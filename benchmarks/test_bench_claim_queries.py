@@ -1,0 +1,162 @@
+"""CLAIM-B: history queries obviate separate version management.
+
+Section 1: storing one small derivation record per object suffices for
+derivation-history queries, and section 4.2 uses them for versioning.
+The bench populates histories of growing size (N design rounds, each
+round = extract + compose + simulate) and measures:
+
+* backward chaining (derivation of one performance),
+* forward chaining (everything derived from one netlist) — served by the
+  database's forward index,
+* template queries (simulations performed for this netlist),
+* the Casotto-baseline equivalent (linear scan over trace events).
+
+Shape to reproduce: indexed forward chaining stays flat as the database
+grows; the trace-manager scan grows linearly.
+"""
+
+import time
+
+from repro.baselines import TraceManager
+from repro.history import (backward_trace, dependents_of_type,
+                           template_query)
+from repro.history.instance import DerivationRecord
+from repro.schema import standard as S
+
+from conftest import fresh_env
+
+SIZES = (50, 200, 800)
+
+
+def populate(env, rounds: int, mirror: TraceManager):
+    """N rounds of layout->netlist->circuit->performance records."""
+    extractor = env.tools[S.EXTRACTOR].instance_id
+    simulator = env.tools[S.SIMULATOR].instance_id
+    models = env.db.install(S.DEVICE_MODELS, {"m": 1}, name="tech")
+    stim = env.db.install(S.STIMULI, [[0]], name="s")
+    first_netlist = None
+    for index in range(rounds):
+        layout = env.db.install(S.EDITED_LAYOUT, {"i": index})
+        netlist = env.db.record(
+            S.EXTRACTED_NETLIST, {"n": index},
+            DerivationRecord.make(extractor,
+                                  {"layout": layout.instance_id}))
+        circuit = env.db.record(
+            S.CIRCUIT, {"c": index},
+            DerivationRecord.make(None, {
+                "models": models.instance_id,
+                "netlist": netlist.instance_id}))
+        performance = env.db.record(
+            S.PERFORMANCE, {"p": index},
+            DerivationRecord.make(simulator, {
+                "circuit": circuit.instance_id,
+                "stimuli": stim.instance_id}))
+        trace = mirror.start_trace()
+        mirror.record(trace, extractor, [layout.instance_id],
+                      [netlist.instance_id])
+        mirror.record(trace, simulator,
+                      [circuit.instance_id, stim.instance_id],
+                      [performance.instance_id])
+        if first_netlist is None:
+            first_netlist = netlist
+    return first_netlist
+
+
+def timed(fn, *args) -> tuple[float, object]:
+    started = time.perf_counter()
+    result = fn(*args)
+    return (time.perf_counter() - started) * 1e6, result
+
+
+def test_bench_claim_queries(benchmark, write_artifact):
+    rows = ["CLAIM-B: query cost vs. history size (times in us)",
+            f"{'rounds':>7} {'instances':>10} {'backward':>9} "
+            f"{'forward':>8} {'template':>9} {'trace-scan':>11}"]
+    measured = {}
+    for rounds in SIZES:
+        env = fresh_env()
+        mirror = TraceManager()
+        netlist = populate(env, rounds, mirror)
+        performance = env.db.browse(S.PERFORMANCE)[0]
+
+        backward_us, trace = timed(backward_trace, env.db,
+                                   performance.instance_id)
+        forward_us, dependents = timed(
+            dependents_of_type, env.db, netlist.instance_id,
+            S.PERFORMANCE)
+        assert len(dependents) == 1
+        # perf + circuit + netlist + layout + models + stimuli + 2 tools
+        assert len(trace) == 8
+
+        template = env.new_flow("q")
+        perf_node = template.place(S.PERFORMANCE)
+        circuit_node = template.graph.add_node(S.CIRCUIT)
+        netlist_node = template.graph.add_node(S.NETLIST)
+        template.connect(perf_node, circuit_node, role="circuit")
+        template.connect(circuit_node, netlist_node, role="netlist")
+        netlist_node.bind(netlist.instance_id)
+        template_us, matches = timed(template_query, env.db,
+                                     template.graph, perf_node.node_id)
+        assert len(matches) == 1
+
+        scan_us, found = timed(mirror.traces_touching,
+                               netlist.instance_id)
+        assert len(found) == 1
+
+        measured[rounds] = (forward_us, scan_us)
+        rows.append(f"{rounds:>7} {len(env.db):>10} {backward_us:>9.1f} "
+                    f"{forward_us:>8.1f} {template_us:>9.1f} "
+                    f"{scan_us:>11.1f}")
+
+    # shape: the indexed forward query does not grow like the scan
+    small_forward, small_scan = measured[SIZES[0]]
+    large_forward, large_scan = measured[SIZES[-1]]
+    scan_growth = large_scan / max(small_scan, 1e-9)
+    forward_growth = large_forward / max(small_forward, 1e-9)
+    rows.append("")
+    rows.append(f"growth {SIZES[0]} -> {SIZES[-1]} rounds: "
+                f"indexed forward x{forward_growth:.1f}, "
+                f"baseline scan x{scan_growth:.1f}")
+    assert scan_growth > forward_growth
+
+    env = fresh_env()
+    mirror = TraceManager()
+    netlist = populate(env, SIZES[0], mirror)
+    benchmark(dependents_of_type, env.db, netlist.instance_id,
+              S.PERFORMANCE)
+    write_artifact("claim_b_queries", "\n".join(rows))
+
+
+def test_bench_persistence_scaling(benchmark, write_artifact, tmp_path):
+    """Save/load cost of the history database vs size (CLAIM-B support:
+    one derivation record per object keeps persistence linear and small).
+    """
+    import os
+    import time
+
+    from repro.baselines import TraceManager
+    from repro.persistence import load_environment, save_environment
+
+    rows = ["history persistence vs size",
+            f"{'rounds':>7} {'instances':>10} {'save ms':>8} "
+            f"{'load ms':>8} {'bytes/inst':>11}"]
+    for rounds in SIZES[:2] + (SIZES[-1],):
+        env = fresh_env()
+        populate(env, rounds, TraceManager())
+        directory = tmp_path / f"p{rounds}"
+        started = time.perf_counter()
+        save_environment(env, directory)
+        save_ms = (time.perf_counter() - started) * 1e3
+        size = sum(os.path.getsize(directory / f)
+                   for f in os.listdir(directory))
+        started = time.perf_counter()
+        restored = load_environment(directory)
+        load_ms = (time.perf_counter() - started) * 1e3
+        assert len(restored.db) == len(env.db)
+        rows.append(f"{rounds:>7} {len(env.db):>10} {save_ms:>8.1f} "
+                    f"{load_ms:>8.1f} {size / len(env.db):>11.0f}")
+
+    env = fresh_env()
+    populate(env, SIZES[0], TraceManager())
+    benchmark(save_environment, env, tmp_path / "bench")
+    write_artifact("claim_b_persistence", "\n".join(rows))

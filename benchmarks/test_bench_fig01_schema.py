@@ -1,0 +1,47 @@
+"""FIG-1: regenerate the example task schema of the paper's Fig. 1.
+
+Artifact: the schema as an entity/dependency listing plus Graphviz DOT.
+Benchmark: building and validating the schema from scratch (the cost a
+methodology manager pays per schema edit — the *only* maintenance
+artifact under the dynamic approach, see CLAIM-C).
+"""
+
+from repro.core.render import schema_to_dot
+from repro.schema import standard as S
+from repro.schema.standard import fig1_schema
+
+
+def render_schema(schema) -> str:
+    lines = [f"task schema {schema.name!r}: {len(schema)} entities, "
+             f"{len(schema.dependencies())} dependencies", ""]
+    lines.append("entities:")
+    for entity in sorted(schema.entities(), key=lambda e: e.name):
+        kind = "tool" if entity.is_tool else (
+            "composed" if entity.composed else "data")
+        parent = f" isa {entity.parent}" if entity.parent else ""
+        lines.append(f"  {entity.name:<22} [{kind}]{parent}")
+    lines.append("")
+    lines.append("dependencies (f = functional, d = data, d? = optional):")
+    for dep in schema.dependencies():
+        lines.append(f"  {dep.source:<22} --{dep.arc_label():>2}:"
+                     f"{dep.role}--> {dep.target}")
+    lines.append("")
+    lines.append(schema_to_dot(schema, "fig1"))
+    return "\n".join(lines)
+
+
+def test_bench_fig01_schema(benchmark, write_artifact):
+    schema = benchmark(fig1_schema)
+
+    # the figure's structural facts
+    assert schema.functional_dependency(S.PERFORMANCE).target == \
+        S.SIMULATOR
+    assert set(schema.subtypes_of(S.NETLIST)) == {S.EXTRACTED_NETLIST,
+                                                  S.EDITED_NETLIST}
+    assert schema.entity(S.CIRCUIT).composed
+    method = schema.construction(S.EDITED_NETLIST)
+    assert [d.role for d in method.optional_inputs] == ["previous"]
+    assert set(schema.outputs_of_tool(S.EXTRACTOR)) == {
+        S.EXTRACTED_NETLIST, S.EXTRACTION_STATISTICS}
+
+    write_artifact("fig01_schema", render_schema(schema))

@@ -1,0 +1,76 @@
+"""FIG-4: two possible expansions of the Fig. 3 flow.
+
+The designer may expand the netlist either toward the circuit editor
+(Fig. 4a) or — after specializing it to an Extracted Netlist — toward the
+extractor and a layout (Fig. 4b).  Benchmarks the expand operation
+itself (the per-click cost of building flows on demand).
+"""
+
+from repro.core import DynamicFlow, ascii_graph
+from repro.schema import standard as S
+from repro.schema.standard import odyssey_schema
+
+SCHEMA = odyssey_schema()
+
+
+def base_flow() -> DynamicFlow:
+    flow = DynamicFlow(SCHEMA, "fig4-base")
+    goal = flow.place(S.PLACED_LAYOUT)
+    flow.expand(goal)
+    return flow
+
+
+def expansion_a() -> DynamicFlow:
+    flow = base_flow()
+    netlist = flow.sole_node_of_type(S.NETLIST)
+    flow.specialize(netlist, S.EDITED_NETLIST)
+    flow.expand(netlist)
+    return flow
+
+
+def expansion_b() -> DynamicFlow:
+    flow = base_flow()
+    netlist = flow.sole_node_of_type(S.NETLIST)
+    flow.specialize(netlist, S.EXTRACTED_NETLIST)
+    flow.expand(netlist)
+    return flow
+
+
+def test_bench_fig04_expansions(benchmark, write_artifact):
+    flows = benchmark(lambda: (expansion_a(), expansion_b()))
+    flow_a, flow_b = flows
+
+    types_a = {n.entity_type for n in flow_a.nodes()}
+    types_b = {n.entity_type for n in flow_b.nodes()}
+    assert S.CIRCUIT_EDITOR in types_a and S.EXTRACTOR not in types_a
+    assert S.EXTRACTOR in types_b and S.LAYOUT in types_b
+    assert S.CIRCUIT_EDITOR not in types_b
+
+    text = [
+        "FIG-4: two possible expansions of the Fig. 3 flow",
+        "",
+        "(a) netlist specialized to EditedNetlist, expanded:",
+        ascii_graph(flow_a.graph),
+        "",
+        "(b) netlist specialized to ExtractedNetlist, expanded:",
+        ascii_graph(flow_b.graph),
+    ]
+    write_artifact("fig04_expansions", "\n".join(text))
+
+
+def test_bench_fig04_unexpand_restores(benchmark, write_artifact):
+    """Expansion is reversible: unexpand returns to the base flow."""
+
+    def roundtrip():
+        flow = expansion_b()
+        netlist = flow.sole_node_of_type(S.NETLIST)
+        flow.unexpand(netlist)
+        flow.generalize(netlist)
+        return flow
+
+    flow = benchmark(roundtrip)
+    assert {n.entity_type for n in flow.nodes()} == \
+        {n.entity_type for n in base_flow().nodes()}
+    write_artifact("fig04_unexpand",
+                   "after unexpand + generalize:\n"
+                   + ascii_graph(flow.graph))

@@ -1,0 +1,74 @@
+"""FIG-10: browsing the design history.
+
+Replays the figure: a Performance icon in a fresh task window reveals,
+via the *History* pop-up operation, the Simulator and Circuit/Stimuli
+instances used to create it.  Benchmarks the backward-chaining query on
+a history of growing depth (the cost of the History click).
+"""
+
+from repro.history import backward_trace
+from repro.history.instance import DerivationRecord
+from repro.schema import standard as S
+from repro.ui import TaskWindow
+
+from conftest import build_simulation_flow, fresh_env, stocked  # noqa: F401
+
+DEPTHS = (4, 16, 64)
+
+
+def deep_history(env, depth: int) -> str:
+    """An edit chain of the given depth ending in one instance."""
+    editor = env.db.install(S.CIRCUIT_EDITOR, {}, name="ed")
+    current = env.db.install(S.EDITED_NETLIST, {"v": 0}, name="v0")
+    for version in range(depth):
+        current = env.db.record(
+            S.EDITED_NETLIST, {"v": version + 1},
+            DerivationRecord.make(editor.instance_id,
+                                  {"previous": current.instance_id}),
+            name=f"v{version + 1}")
+    return current.instance_id
+
+
+def test_bench_fig10_history_popup(benchmark, write_artifact, stocked):
+    env = stocked
+    flow, goal = build_simulation_flow(env)
+    env.run(flow)
+    perf_id = goal.produced[0]
+
+    def reveal():
+        window = TaskWindow(env)
+        node = window.place_data(perf_id)
+        revealed = window.history(node)
+        return window, revealed
+
+    window, revealed = benchmark(reveal)
+    assert {n.entity_type for n in revealed} == {S.SIMULATOR, S.CIRCUIT,
+                                                 S.STIMULI}
+    write_artifact(
+        "fig10_history",
+        "FIG-10: the History operation reveals creating instances\n"
+        "(the Simulator and inputs 'do not appear until after History "
+        "is chosen')\n\n" + window.render()
+        + "\n\nfull derivation trace:\n"
+        + backward_trace(env.db, perf_id).render())
+
+
+def test_bench_fig10_chain_depth_scaling(benchmark, write_artifact):
+    """Backward chaining cost vs. derivation depth."""
+    import time
+
+    env = fresh_env()
+    rows = ["backward-chaining query cost vs. history depth",
+            f"{'depth':>6} {'trace size':>11} {'time us':>9}"]
+    tips = {}
+    for depth in DEPTHS:
+        tips[depth] = deep_history(env, depth)
+    for depth in DEPTHS:
+        started = time.perf_counter()
+        trace = backward_trace(env.db, tips[depth])
+        elapsed = (time.perf_counter() - started) * 1e6
+        rows.append(f"{depth:>6} {len(trace):>11} {elapsed:>9.1f}")
+        assert len(trace) == depth + 2  # versions + v0 + editor
+
+    benchmark(backward_trace, env.db, tips[DEPTHS[-1]])
+    write_artifact("fig10_depth_scaling", "\n".join(rows))

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""A small chip project on the Design Process Level.
+
+Combines the extension subsystems with the paper's core:
+
+* a design hierarchy (chip -> alu / control) with per-cell goals,
+  evaluated live against the history database (Minerva's role in the
+  Odyssey framework, referenced in section 3.1);
+* goal-driven work: the process manager hands back dynamically defined
+  flows for whatever is still open, the designer binds and runs them;
+* consistency: an upstream logic edit flips a goal from ACHIEVED to
+  STALE, and the manager's next_tasks() returns the retrace plan;
+* invocation-level scheduling of a connected flow on two machines.
+
+Run:  python3 examples/chip_project.py
+"""
+
+from repro import DesignEnvironment, odyssey_schema
+from repro.execution import DurationModel, plan_schedule
+from repro.process import (DesignObject, DesignProcessManager, Goal,
+                           GoalStatus, verified_predicate)
+from repro.schema import standard as S
+from repro.tools import (default_models, edit_session, exhaustive,
+                         install_standard_tools, tech_map)
+from repro.tools.logic import LogicSpec
+from repro.views import synthesize_physical, verify_correspondence
+
+
+def achieve_performance(env, tools, netlist, models, stimuli):
+    flow, goal = env.goal_flow(S.PERFORMANCE)
+    flow.expand(goal)
+    flow.expand(flow.sole_node_of_type(S.CIRCUIT))
+    flow.bind(flow.sole_node_of_type(S.NETLIST), netlist.instance_id)
+    flow.bind(flow.sole_node_of_type(S.DEVICE_MODELS),
+              models.instance_id)
+    flow.bind(flow.sole_node_of_type(S.STIMULI), stimuli.instance_id)
+    flow.bind(flow.sole_node_of_type(S.SIMULATOR),
+              tools[S.SIMULATOR].instance_id)
+    report = env.run(flow)
+    return report.created_of_node(goal.node_id)[0]
+
+
+def main() -> None:
+    env = DesignEnvironment(odyssey_schema(), user="jacome")
+    tools = install_standard_tools(env)
+
+    # -- hierarchy and goals ------------------------------------------------
+    chip = DesignObject("chip", owner="director")
+    alu = chip.add_child("alu", owner="sutton")
+    control = chip.add_child("control", owner="brockman")
+    manager = DesignProcessManager(env, chip)
+    for cell in (alu, control):
+        manager.add_goal(cell, Goal("netlist", S.NETLIST,
+                                    require_fresh=False))
+        manager.add_goal(cell, Goal("physical", S.LAYOUT))
+        manager.add_goal(cell, Goal("verified", S.VERIFICATION,
+                                    predicate=verified_predicate))
+        manager.add_goal(cell, Goal("performance", S.PERFORMANCE))
+    print(manager.report())
+
+    # -- work the alu until its goals close ---------------------------------
+    models = env.install_data(S.DEVICE_MODELS, default_models(),
+                              name="tech")
+    alu_spec = LogicSpec.from_equations("alu-slice",
+                                        "y = (a & b) | (a & c)")
+    alu_netlist = env.install_data(S.EDITED_NETLIST, tech_map(alu_spec),
+                                   name="alu-net")
+    alu.attach(alu_netlist.instance_id)
+    placement = env.install_data(S.PLACEMENT_SPEC,
+                                 {"seed": 5, "moves": 200}, name="ps")
+    placed = synthesize_physical(env, alu_netlist, placement,
+                                 tools[S.PLACER])
+    alu.attach(placed.instance_id)
+    verification = verify_correspondence(env, alu_netlist, placed,
+                                         tools[S.VERIFIER],
+                                         tools[S.EXTRACTOR])
+    alu.attach(verification.instance_id)
+    stimuli = env.install_data(S.STIMULI,
+                               exhaustive(("a", "b", "c"), name="v"),
+                               name="v")
+    perf_id = achieve_performance(env, tools, alu_netlist, models,
+                                  stimuli)
+    alu.attach(perf_id)
+    print()
+    print(manager.report())
+    print(f"chip progress: {manager.progress().fraction:.0%}")
+
+    # -- consistency: an edit makes the performance goal stale --------------
+    session = edit_session(env, S.CIRCUIT_EDITOR, [
+        {"op": "rename", "name": "alu-net-v2"}], name="tweak")
+    edit_flow, edit_goal = env.goal_flow(S.EDITED_NETLIST)
+    edit_flow.expand(edit_goal, include_optional=["previous"])
+    previous = edit_flow.graph.data_suppliers(edit_goal.node_id)[
+        "previous"]
+    edit_flow.bind(edit_flow.node(previous), alu_netlist.instance_id)
+    edit_flow.bind(edit_flow.sole_node_of_type(S.CIRCUIT_EDITOR),
+                   session.instance_id)
+    env.run(edit_flow)
+    print("\nafter editing the alu netlist:")
+    stale = [r for r in manager.status()
+             if r.status is GoalStatus.STALE]
+    for report in stale:
+        print(f"  STALE: {report.design} / {report.goal.name} "
+              f"({report.instance_id})")
+    # the manager hands back retrace plans for the stale goals
+    for report, flow in manager.next_tasks("alu"):
+        if report.status is GoalStatus.STALE:
+            schedule = plan_schedule(flow, 2,
+                                     DurationModel(default=0.01))
+            print(f"  retrace plan for {report.goal.name}: "
+                  f"{len(flow.nodes())} nodes, predicted speedup on 2 "
+                  f"machines {schedule.predicted_speedup:.2f}x")
+            execution = env.executor().execute(flow)
+            for instance_id in execution.created:
+                alu.attach(instance_id)  # fresh artifacts replace stale
+    print()
+    print(manager.report())
+    print(f"chip progress: {manager.progress().fraction:.0%} "
+          "(control cell still untouched)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Full-adder design: the complete methodology, with versioning.
+
+A realistic design campaign through the dynamically defined flow manager
+(the Fig. 9 browser even lists a "CMOS Full adder" by user *sutton*):
+
+1. capture the logic view of a full adder;
+2. implement it with standard cells (synthesis flow, Fig. 8a);
+3. extract and verify layout vs. netlist (verification flow, Fig. 8b);
+4. compile a COSMOS-style simulator for the extracted netlist (Fig. 2)
+   and measure performance;
+5. *edit* the device models (a new version appears) — the framework
+   detects the stale performance and retraces automatically;
+6. tune the circuit with a statistical optimizer that takes the
+   simulator as a data input.
+
+Run:  python3 examples/fulladder_design.py
+"""
+
+from repro import DesignEnvironment, odyssey_schema
+from repro.history import backward_trace, lineage
+from repro.schema import standard as S
+from repro.tools import (default_models, edit_session, exhaustive,
+                         install_standard_tools, plot, tech_map)
+from repro.tools.logic import LogicSpec
+from repro.views import synthesize_physical, verify_correspondence
+
+
+def main() -> None:
+    env = DesignEnvironment(odyssey_schema(), user="sutton")
+    tools = install_standard_tools(env)
+
+    # -- 1. the logic view -------------------------------------------------
+    adder = LogicSpec.from_equations(
+        "fulladder",
+        "sum = (a & ~b & ~cin) | (~a & b & ~cin) | (~a & ~b & cin) "
+        "| (a & b & cin)",
+        "cout = (a & b) | (a & cin) | (b & cin)")
+    logic = env.install_data(S.EDITED_LOGIC_SPEC, adder,
+                             name="fa-logic", comment="CMOS Full adder")
+    gates = env.install_data(S.EDITED_NETLIST, tech_map(adder),
+                             name="fa-gates")
+    models = env.install_data(S.DEVICE_MODELS, default_models(),
+                              name="tech-a")
+    stimuli = env.install_data(
+        S.STIMULI, exhaustive(("a", "b", "cin"), name="fa-vec"),
+        name="fa-vec")
+
+    # -- 2. synthesis flow: transistor view -> physical view ---------------
+    pspec = env.install_data(S.PLACEMENT_SPEC,
+                             {"row_width": 6, "seed": 11, "moves": 500},
+                             name="fa-place")
+    placed = synthesize_physical(env, gates, pspec, tools[S.PLACER])
+    layout = env.db.data(placed)
+    print(f"placed layout: {layout.cell_count} cells, "
+          f"wirelength {layout.wirelength()}, area {layout.area()}")
+
+    # -- 3. verification flow: physical view corresponds? ------------------
+    verification = verify_correspondence(
+        env, gates, placed, tools[S.VERIFIER], tools[S.EXTRACTOR])
+    result = env.db.data(verification)
+    print(f"LVS physical-vs-transistor view: "
+          f"{'MATCH' if result.matched else 'MISMATCH'}")
+
+    # -- 4. COSMOS: compile a simulator for the extracted netlist ---------
+    extracted = env.db.latest(S.EXTRACTED_NETLIST)
+    flow, perf_goal = env.goal_flow(S.PERFORMANCE, "fa-sim")
+    flow.expand(perf_goal)
+    sim_node = flow.sole_node_of_type(S.SIMULATOR)
+    flow.specialize(sim_node, S.COMPILED_SIMULATOR)
+    flow.expand(sim_node, reuse={})
+    flow.expand(flow.sole_node_of_type(S.CIRCUIT))
+    for node in flow.nodes_of_type(S.NETLIST):
+        if not node.is_bound:
+            flow.bind(node, extracted.instance_id)
+    flow.bind(flow.sole_node_of_type(S.DEVICE_MODELS),
+              models.instance_id)
+    flow.bind(flow.sole_node_of_type(S.STIMULI), stimuli.instance_id)
+    flow.bind(flow.sole_node_of_type(S.SIM_COMPILER),
+              tools[S.SIM_COMPILER].instance_id)
+    env.run(flow)
+    perf_id = perf_goal.produced[0]
+    report = env.db.data(perf_id)
+    print(plot(report).text)
+
+    # -- 5. edit the device models: consistency maintenance ----------------
+    session = edit_session(env, S.DEVICE_MODEL_EDITOR, [
+        {"op": "set", "field": "stage_delay_ns", "value": 0.8},
+        {"op": "rename", "name": "tech-b"},
+    ], name="process-shrink")
+    edit_flow, models_goal = env.goal_flow(S.DEVICE_MODELS, "fa-models2")
+    edit_flow.expand(models_goal, include_optional=["previous"])
+    previous_node = edit_flow.graph.data_suppliers(
+        models_goal.node_id)["previous"]
+    edit_flow.bind(edit_flow.node(previous_node), models.instance_id)
+    edit_flow.bind(edit_flow.sole_node_of_type(S.DEVICE_MODEL_EDITOR),
+                   session.instance_id)
+    env.run(edit_flow)
+    new_models = models_goal.produced[0]
+    print(f"\ndevice models edited: "
+          f"{' -> '.join(lineage(env.db, new_models))}")
+    print(f"performance {perf_id} stale now? {env.is_stale(perf_id)}")
+    retrace_report = env.retrace(perf_id)
+    fresh_perf = env.db.browse(S.PERFORMANCE)[-1]
+    print(f"automatic retrace created {list(retrace_report.created)}")
+    print(f"new worst delay: "
+          f"{env.db.data(fresh_perf).worst_delay_ns:.2f} ns "
+          f"(was {report.worst_delay_ns:.2f} ns)")
+
+    # -- 6. optimization: the simulator passed as DATA ---------------------
+    opt_flow, opt_goal = env.goal_flow(S.OPTIMIZED_NETLIST, "fa-opt")
+    opt_flow.expand(opt_goal)
+    opt_flow.specialize(opt_flow.sole_node_of_type(S.OPTIMIZER),
+                        S.ANNEALING_OPTIMIZER)
+    circuit_node = opt_flow.sole_node_of_type(S.CIRCUIT)
+    opt_flow.expand(circuit_node)
+    input_netlist = next(n for n in opt_flow.nodes_of_type(S.NETLIST)
+                         if n.node_id != opt_goal.node_id)
+    opt_flow.bind(input_netlist, extracted.instance_id)
+    opt_flow.bind(opt_flow.sole_node_of_type(S.DEVICE_MODELS),
+                  new_models)
+    opt_flow.bind(opt_flow.sole_node_of_type(S.OPTIMIZER),
+                  tools[S.ANNEALING_OPTIMIZER].instance_id)
+    opt_flow.bind(opt_flow.nodes_of_type(S.SIMULATOR)[0],
+                  tools[S.SIMULATOR].instance_id)
+    spec_instance = env.install_data(S.OPTIMIZATION_SPEC,
+                                     {"iterations": 60, "seed": 9},
+                                     name="fa-optspec")
+    opt_flow.bind(opt_flow.sole_node_of_type(S.OPTIMIZATION_SPEC),
+                  spec_instance.instance_id)
+    env.run(opt_flow)
+    tuned = env.db.data(opt_goal.produced[0])
+    original = env.db.data(extracted)
+    print(f"\noptimizer tuned total width "
+          f"{original.total_width():.1f} -> {tuned.total_width():.1f}")
+
+    # -- the full derivation story, one query away --------------------------
+    print("\nderivation history of the optimized netlist:")
+    print(backward_trace(env.db, opt_goal.produced[0]).render())
+
+
+if __name__ == "__main__":
+    main()

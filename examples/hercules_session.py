@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""A scripted Hercules session: the Fig. 9 and Fig. 10 interactions.
+
+Replays the paper's user-interface walkthrough with the text task window:
+
+* section 4.1 — start a task from the entity-catalog, build the flow
+  with Expand operations from the pop-up menu, select instances in the
+  browser, run;
+* section 4.2 / Fig. 10 — select a Performance in a fresh window and use
+  the *History* operation to reveal the instances that created it, then
+  *Use* to forward-chain.
+
+Run:  python3 examples/hercules_session.py
+"""
+
+from repro import DesignEnvironment, odyssey_schema
+from repro.schema import standard as S
+from repro.tools import (default_models, exhaustive,
+                         install_standard_tools, tech_map)
+from repro.tools.logic import LogicSpec
+from repro.ui import HerculesSession
+
+
+def main() -> None:
+    env = DesignEnvironment(odyssey_schema(), user="jbb")
+    install_standard_tools(env)
+
+    spec = LogicSpec.from_equations("lpf-ctl", "y = ~(a & b)")
+    netlist = env.install_data(S.EDITED_NETLIST, tech_map(spec),
+                               name="Low pass filter",
+                               comment="control logic")
+    models = env.install_data(S.DEVICE_MODELS, default_models(),
+                              name="tech")
+    stimuli = env.install_data(S.STIMULI, exhaustive(("a", "b")),
+                               name="ab-vectors")
+
+    session = HerculesSession(env)
+    print("=" * 64)
+    print("Fig. 9: building and running a task from the entity-catalog")
+    print("=" * 64)
+    print(session.run_script(f"""
+        new simulate-performance
+        place Performance
+        popup n0
+        expand n0
+        expand n2
+        browse n5 low
+        bind n5 {netlist.instance_id}
+        bind n4 {models.instance_id}
+        bind n3 {stimuli.instance_id}
+        select-latest n1
+        show
+        run
+    """))
+
+    performance = env.db.browse(S.PERFORMANCE)[-1]
+    print()
+    print("=" * 64)
+    print("Fig. 10: browsing the design history of that performance")
+    print("=" * 64)
+    print(session.run_script(f"""
+        new history-browse
+        place-data {performance.instance_id}
+        popup n0
+        history n0
+        show
+    """))
+
+    print()
+    print("Use Dependencies on the netlist (forward chaining):")
+    print(session.run_script(f"""
+        new use-deps
+        place-data {netlist.instance_id}
+        use n0 Performance
+    """))
+
+
+if __name__ == "__main__":
+    main()

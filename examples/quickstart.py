@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: build and run a dynamically defined flow.
+
+The goal-based approach from the paper, end to end:
+
+1. create a design environment over the standard (Fig. 1 + Fig. 2) task
+   schema and install the mini-CAD tools;
+2. install source data (device models, a netlist, stimuli);
+3. place the goal entity *Performance*, expand it until the leaves are
+   source entities, select instances in the browser;
+4. execute, then query the design history.
+
+Run:  python3 examples/quickstart.py
+"""
+
+from repro import DesignEnvironment, odyssey_schema
+from repro.core.render import ascii_graph
+from repro.history import backward_trace
+from repro.tools import (default_models, exhaustive,
+                         install_standard_tools, tech_map)
+from repro.tools.logic import LogicSpec
+
+
+def main() -> None:
+    # 1. the environment: schema + history database + tool registry
+    env = DesignEnvironment(odyssey_schema(), user="quickstart")
+    tools = install_standard_tools(env)
+
+    # 2. source data entering from outside any flow
+    spec = LogicSpec.from_equations("mux", "y = (a & ~s) | (b & s)")
+    netlist = env.install_data("EditedNetlist", tech_map(spec),
+                               name="mux-gates",
+                               comment="2:1 mux, gate level")
+    models = env.install_data("DeviceModels", default_models(),
+                              name="generic-1993")
+    stimuli = env.install_data("Stimuli",
+                               exhaustive(("a", "b", "s"), name="all"),
+                               name="all-vectors")
+
+    # 3. goal-based: start from the entity we want produced
+    flow, goal = env.goal_flow("Performance", name="simulate-mux")
+    flow.expand(goal)                       # adds Simulator, Circuit, Stimuli
+    flow.expand(flow.sole_node_of_type("Circuit"))  # adds Models, Netlist
+    flow.bind(flow.sole_node_of_type("Netlist"), netlist.instance_id)
+    flow.bind(flow.sole_node_of_type("DeviceModels"), models.instance_id)
+    flow.bind(flow.sole_node_of_type("Stimuli"), stimuli.instance_id)
+    flow.bind(flow.sole_node_of_type("Simulator"),
+              tools["Simulator"].instance_id)
+
+    print(ascii_graph(flow.graph, "the flow, built up on demand"))
+    print()
+
+    # 4. execute: automatic task sequencing from the schema
+    report = env.run(flow)
+    print(f"executed {len(report.results)} invocations, created "
+          f"{list(report.created)}")
+    performance = env.db.data(goal.produced[0])
+    print(f"worst delay: {performance.worst_delay_ns:.2f} ns, "
+          f"energy: {performance.total_energy_fj:.1f} fJ")
+    print(f"y waveform over all vectors: "
+          f"{''.join(performance.waveform('y'))}")
+    print()
+
+    # 5. the design history knows where everything came from
+    print(backward_trace(env.db, goal.produced[0]).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro: a full reproduction of *Design Management Using Dynamically
+Defined Flows* (Sutton, Brockman, Director — DAC 1993).
+
+The package implements the paper's Hercules/Odyssey stack:
+
+* :mod:`repro.schema` — task schemas (entities, f/d dependencies,
+  subtyping, composed entities, catalogs);
+* :mod:`repro.core` — dynamically defined flows: task graphs built by
+  expand/unexpand/specialize, the four design approaches, and the
+  alternative flow representations of Fig. 3;
+* :mod:`repro.execution` — encapsulations, sequential/parallel executors,
+  and the :class:`~repro.execution.context.DesignEnvironment` façade;
+* :mod:`repro.history` — the design history database: derivation records,
+  backward/forward chaining, template queries, flow traces, version
+  projection and consistency maintenance;
+* :mod:`repro.views` — design views and view-correspondence flows;
+* :mod:`repro.tools` — a working mini-CAD substrate (editors, placer,
+  extractor, COSMOS-style compiled switch-level simulator, LVS verifier,
+  plotter, layout generators, statistical optimizers);
+* :mod:`repro.process` — the Design Process Level (hierarchies, goals,
+  progress) referenced by the paper's section 3.1;
+* :mod:`repro.baselines` — JESSI static flows, Casotto traces, classical
+  version trees;
+* :mod:`repro.ui` — the scriptable Hercules task window, browser and
+  interactive shell;
+* :mod:`repro.persistence` / :mod:`repro.cli` — saved environments and
+  the ``python -m repro`` front end.
+
+Quickstart::
+
+    from repro import DesignEnvironment, odyssey_schema
+    from repro.tools import install_standard_tools
+
+    env = DesignEnvironment(odyssey_schema(), user="you")
+    tools = install_standard_tools(env)
+    flow, goal = env.goal_flow("Performance")
+    flow.expand(goal)
+    ...
+"""
+
+from .core import DynamicFlow, TaskGraph
+from .errors import ReproError
+from .execution import DesignEnvironment
+from .history import HistoryDatabase
+from .schema import SchemaBuilder, TaskSchema
+from .schema.standard import fig1_schema, fig2_schema, odyssey_schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DesignEnvironment",
+    "DynamicFlow",
+    "HistoryDatabase",
+    "ReproError",
+    "SchemaBuilder",
+    "TaskGraph",
+    "TaskSchema",
+    "__version__",
+    "fig1_schema",
+    "fig2_schema",
+    "odyssey_schema",
+]

@@ -1,0 +1,25 @@
+"""Baseline systems from the paper's section 2, for comparison benches.
+
+JESSI-style static flows [3], Casotto-style design traces [8], and
+classical version trees — each implemented far enough to measure the
+trade-offs the paper argues about.
+"""
+
+from .static_flow import (Activity, MaintenanceLog, StaticFlow,
+                          StaticFlowManager)
+from .trace_manager import Trace, TraceEvent, TraceManager
+from .version_tree import (Version, VersionTreeManager,
+                           version_tree_from_trace)
+
+__all__ = [
+    "Activity",
+    "MaintenanceLog",
+    "StaticFlow",
+    "StaticFlowManager",
+    "Trace",
+    "TraceEvent",
+    "TraceManager",
+    "Version",
+    "VersionTreeManager",
+    "version_tree_from_trace",
+]

@@ -1,0 +1,210 @@
+"""JESSI-style static flow manager (baseline, paper section 2).
+
+*"JESSI uses the term flow to mean a predefined sequence of activities,
+where an activity represents a particular feature of a tool (taking
+specific input data and producing specific output data) ... Flows are
+also usually hardwired to specific tools, and hence require modification
+whenever tool changes are made or new tools are added to the system."*
+
+:class:`StaticFlowManager` reproduces exactly that model so the paper's
+maintenance claim (CLAIM-C) can be measured: each :class:`StaticFlow` is
+a fixed sequence of :class:`Activity` steps, each hardwired to one tool
+*instance*; designers may only execute a flow start-to-finish (the "flow
+straight-jacket"); and swapping a tool requires editing every flow that
+references it, which :meth:`StaticFlowManager.replace_tool` counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
+
+from ..core.taskgraph import TaskGraph
+from ..errors import BaselineError
+from ..execution.executor import ExecutionReport, FlowExecutor
+from ..history.database import HistoryDatabase
+
+
+@dataclass(frozen=True)
+class Activity:
+    """One hardwired step of a static flow.
+
+    ``inputs`` maps the produced entity's role names either to the label
+    of an earlier step's output (``"@<step-label>"``) or to the name of
+    an external input slot supplied at execution time.
+    """
+
+    label: str
+    output_type: str
+    tool_instance: str
+    inputs: tuple[tuple[str, str], ...] = ()
+
+    def input_map(self) -> dict[str, str]:
+        return dict(self.inputs)
+
+
+@dataclass(frozen=True)
+class StaticFlow:
+    """A fixed, linear-or-branched sequence of activities."""
+
+    name: str
+    activities: tuple[Activity, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        labels = [a.label for a in self.activities]
+        if len(labels) != len(set(labels)):
+            raise BaselineError(f"flow {self.name!r}: duplicate step "
+                                "labels")
+        seen: set[str] = set()
+        for activity in self.activities:
+            for _, source in activity.inputs:
+                if source.startswith("@") and source[1:] not in seen:
+                    raise BaselineError(
+                        f"flow {self.name!r}: step {activity.label!r} "
+                        f"references later/unknown step {source!r}")
+            seen.add(activity.label)
+
+    def tools(self) -> tuple[str, ...]:
+        return tuple(a.tool_instance for a in self.activities)
+
+    def external_slots(self) -> tuple[str, ...]:
+        slots = []
+        for activity in self.activities:
+            for _, source in activity.inputs:
+                if not source.startswith("@") and source not in slots:
+                    slots.append(source)
+        return tuple(slots)
+
+
+@dataclass
+class MaintenanceLog:
+    """Counts the methodology-maintenance work (CLAIM-C observable)."""
+
+    flows_edited: int = 0
+    steps_edited: int = 0
+    flows_added: int = 0
+    events: list[str] = field(default_factory=list)
+
+
+class StaticFlowManager:
+    """Predefined flows only; execution follows the fixed sequence."""
+
+    def __init__(self, db: HistoryDatabase, registry) -> None:
+        self.db = db
+        self.registry = registry
+        self._flows: dict[str, StaticFlow] = {}
+        self.maintenance = MaintenanceLog()
+
+    # -- flow library -----------------------------------------------------
+    def define_flow(self, flow: StaticFlow) -> None:
+        if flow.name in self._flows:
+            raise BaselineError(f"flow {flow.name!r} already defined")
+        for activity in flow.activities:
+            if activity.tool_instance:  # "" marks a composed step
+                self.db.get(activity.tool_instance)
+        self._flows[flow.name] = flow
+        self.maintenance.flows_added += 1
+        self.maintenance.events.append(f"define {flow.name}")
+
+    def flow(self, name: str) -> StaticFlow:
+        if name not in self._flows:
+            raise BaselineError(f"no static flow {name!r}")
+        return self._flows[name]
+
+    def flows(self) -> tuple[str, ...]:
+        return tuple(sorted(self._flows))
+
+    def flows_referencing(self, tool_instance: str) -> tuple[str, ...]:
+        return tuple(sorted(
+            name for name, flow in self._flows.items()
+            if tool_instance in flow.tools()))
+
+    def replace_tool(self, old_instance: str,
+                     new_instance: str) -> int:
+        """Swap a hardwired tool everywhere; returns flows edited.
+
+        This is the maintenance burden the paper criticizes: the dynamic
+        approach would touch only the schema (usually zero edits, since
+        tools are bound per run).
+        """
+        self.db.get(new_instance)
+        edited = 0
+        for name in self.flows_referencing(old_instance):
+            flow = self._flows[name]
+            new_activities = []
+            steps = 0
+            for activity in flow.activities:
+                if activity.tool_instance == old_instance:
+                    new_activities.append(
+                        replace(activity, tool_instance=new_instance))
+                    steps += 1
+                else:
+                    new_activities.append(activity)
+            self._flows[name] = replace(flow,
+                                        activities=tuple(new_activities))
+            edited += 1
+            self.maintenance.flows_edited += 1
+            self.maintenance.steps_edited += steps
+            self.maintenance.events.append(
+                f"edit {name}: {old_instance} -> {new_instance}")
+        return edited
+
+    # -- execution (the straight-jacket) ----------------------------------
+    def execute(self, name: str, external: Mapping[str, str], *,
+                user: str = "", skip_steps: Sequence[str] = ()
+                ) -> ExecutionReport:
+        """Run a flow start to finish.
+
+        ``external`` maps external slot names to instance ids.  Any
+        attempt to skip a step is refused — designers cannot reorder or
+        partially execute a static flow, unlike a dynamically defined
+        one.
+        """
+        if skip_steps:
+            raise BaselineError(
+                "static flows must be followed step by step (the 'flow "
+                f"straight-jacket'); cannot skip {list(skip_steps)}")
+        flow = self.flow(name)
+        missing = [s for s in flow.external_slots() if s not in external]
+        if missing:
+            raise BaselineError(
+                f"flow {name!r}: missing external inputs {missing}")
+        graph = self._to_task_graph(flow, external)
+        executor = FlowExecutor(self.db, self.registry, user=user)
+        return executor.execute(graph)
+
+    def _to_task_graph(self, flow: StaticFlow,
+                       external: Mapping[str, str]) -> TaskGraph:
+        """Lower the static flow onto the shared execution machinery."""
+        graph = TaskGraph(self.db.schema, flow.name)
+        step_nodes: dict[str, str] = {}
+        external_nodes: dict[str, str] = {}
+        for activity in flow.activities:
+            output = graph.add_node(activity.output_type,
+                                    label=activity.label)
+            construction = self.db.schema.construction(
+                activity.output_type)
+            if construction is None:
+                raise BaselineError(
+                    f"step {activity.label!r}: {activity.output_type!r} "
+                    "has no construction method")
+            if construction.tool is not None:
+                tool_instance = self.db.get(activity.tool_instance)
+                tool_node = graph.add_node(tool_instance.entity_type)
+                tool_node.bind(activity.tool_instance)
+                graph.connect(output.node_id, tool_node.node_id)
+            for role, source in activity.inputs:
+                if source.startswith("@"):
+                    supplier = step_nodes[source[1:]]
+                else:
+                    if source not in external_nodes:
+                        instance = self.db.get(external[source])
+                        node = graph.add_node(instance.entity_type)
+                        node.bind(instance.instance_id)
+                        external_nodes[source] = node.node_id
+                    supplier = external_nodes[source]
+                graph.connect(output.node_id, supplier, role=role)
+            step_nodes[activity.label] = output.node_id
+        graph.validate()
+        return graph

@@ -1,0 +1,142 @@
+"""Casotto-style trace manager (baseline, paper section 2).
+
+*"Casotto [8] avoids the problem of flow restriction entirely by merely
+capturing a trace of designer activity and allowing existing traces to be
+used as prototypes for new activities.  The problem with this approach is
+that it provides no means for enforcing a particular design methodology
+(though one may be defined), nor does it provide a means for organizing
+and indexing traces in a more generalized fashion than with regard to
+specific design data files."*
+
+:class:`TraceManager` reproduces both the capability (record everything,
+reuse traces as prototypes) and the two weaknesses, which the baseline
+benchmarks measure:
+
+* **no methodology enforcement** — :meth:`TraceManager.record` accepts
+  any event, including sequences the task schema would reject;
+* **file-bound indexing** — lookups scan events for exact data ids; there
+  is no type-level or structural index, so query cost is linear in the
+  total number of recorded events.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded tool invocation (data ids are opaque 'files')."""
+
+    tool: str
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    comment: str = ""
+
+
+@dataclass
+class Trace:
+    """A historical record of a sequence of tool invocations."""
+
+    trace_id: str
+    owner: str = ""
+    events: list[TraceEvent] = field(default_factory=list)
+    cursor: int = -1  # Chiueh&Katz-style cursor: index into events
+
+    def append(self, event: TraceEvent) -> None:
+        self.events.append(event)
+        self.cursor = len(self.events) - 1
+
+    def reposition(self, index: int) -> None:
+        """Move the activity cursor (to branch from an earlier state)."""
+        if not -1 <= index < len(self.events):
+            raise IndexError(f"cursor {index} outside trace "
+                             f"{self.trace_id!r}")
+        self.cursor = index
+
+    def touched(self, data_id: str) -> bool:
+        return any(data_id in event.inputs or data_id in event.outputs
+                   for event in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class TraceManager:
+    """Record traces; reuse them as prototypes; scan-based lookup."""
+
+    def __init__(self) -> None:
+        self._traces: dict[str, Trace] = {}
+        self._counter = itertools.count(1)
+        self.events_scanned = 0  # instrumentation for the query bench
+
+    # -- capture -------------------------------------------------------
+    def start_trace(self, owner: str = "") -> Trace:
+        trace = Trace(f"trace#{next(self._counter):04d}", owner)
+        self._traces[trace.trace_id] = trace
+        return trace
+
+    def record(self, trace: Trace | str, tool: str,
+               inputs: Sequence[str], outputs: Sequence[str],
+               comment: str = "") -> TraceEvent:
+        """Append an event — *anything* is accepted (no methodology)."""
+        resolved = self._resolve(trace)
+        event = TraceEvent(tool, tuple(inputs), tuple(outputs), comment)
+        resolved.append(event)
+        return event
+
+    def _resolve(self, trace: Trace | str) -> Trace:
+        if isinstance(trace, Trace):
+            return trace
+        if trace not in self._traces:
+            raise KeyError(f"no trace {trace!r}")
+        return self._traces[trace]
+
+    def traces(self) -> tuple[Trace, ...]:
+        return tuple(self._traces[k] for k in sorted(self._traces))
+
+    # -- prototype reuse ------------------------------------------------
+    def prototype(self, trace: Trace | str, *,
+                  substitute: Mapping[str, str] | None = None,
+                  upto_cursor: bool = True) -> tuple[TraceEvent, ...]:
+        """A replayable copy of a trace with data ids substituted.
+
+        ``upto_cursor`` honours a repositioned cursor (the standard-cell
+        to PLA scenario: branch from an earlier point).
+        """
+        resolved = self._resolve(trace)
+        substitute = dict(substitute or {})
+        end = resolved.cursor + 1 if upto_cursor else len(resolved.events)
+        out = []
+        for event in resolved.events[:end]:
+            out.append(TraceEvent(
+                event.tool,
+                tuple(substitute.get(i, i) for i in event.inputs),
+                (),  # outputs are produced anew on replay
+                event.comment))
+        return tuple(out)
+
+    # -- file-bound lookup (the weakness) --------------------------------
+    def traces_touching(self, data_id: str) -> tuple[Trace, ...]:
+        """Linear scan over every event of every trace."""
+        out = []
+        for trace in self.traces():
+            self.events_scanned += len(trace.events)
+            if trace.touched(data_id):
+                out.append(trace)
+        return tuple(out)
+
+    def derivations_of(self, data_id: str) -> tuple[TraceEvent, ...]:
+        """Events that produced a given data id (again: full scan)."""
+        out = []
+        for trace in self.traces():
+            for event in trace.events:
+                self.events_scanned += 1
+                if data_id in event.outputs:
+                    out.append(event)
+        return tuple(out)
+
+    def total_events(self) -> int:
+        return sum(len(t) for t in self._traces.values())

@@ -1,0 +1,133 @@
+"""Classical version-tree manager (baseline for Fig. 11).
+
+The traditional representation the paper contrasts against: versions of
+one design object form a tree via explicit check-ins; the tree records
+*that* c2 came from c1, but not *which tool* made it — the information
+the flow trace keeps (Fig. 11b vs 11a).
+
+:func:`version_tree_from_trace` converts a Hercules flow-trace projection
+into this classical structure, so the benchmark can show the projection
+is information-losing but consistent (same parent relation).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import BaselineError
+from ..history.trace import VersionNode
+
+
+@dataclass(frozen=True)
+class Version:
+    """One node of a classical version tree."""
+
+    version_id: str
+    label: str
+    parent: str | None
+
+
+@dataclass
+class VersionTreeManager:
+    """Explicit check-in based versioning for one design object family."""
+
+    family: str
+    _versions: dict[str, Version] = field(default_factory=dict)
+    _counter: itertools.count = field(default_factory=lambda:
+                                      itertools.count(1))
+
+    def check_in(self, label: str = "",
+                 parent: str | None = None) -> Version:
+        if parent is not None and parent not in self._versions:
+            raise BaselineError(f"unknown parent version {parent!r}")
+        version = Version(f"{self.family}-v{next(self._counter)}",
+                          label, parent)
+        self._versions[version.version_id] = version
+        return version
+
+    def version(self, version_id: str) -> Version:
+        if version_id not in self._versions:
+            raise BaselineError(f"unknown version {version_id!r}")
+        return self._versions[version_id]
+
+    def versions(self) -> tuple[Version, ...]:
+        return tuple(self._versions.values())
+
+    def children(self, version_id: str) -> tuple[Version, ...]:
+        self.version(version_id)
+        return tuple(v for v in self._versions.values()
+                     if v.parent == version_id)
+
+    def roots(self) -> tuple[Version, ...]:
+        return tuple(v for v in self._versions.values()
+                     if v.parent is None)
+
+    def path_to_root(self, version_id: str) -> tuple[Version, ...]:
+        chain = [self.version(version_id)]
+        while chain[-1].parent is not None:
+            chain.append(self.version(chain[-1].parent))
+        return tuple(chain)
+
+    def branch_count(self) -> int:
+        """Number of versions with more than one child (branch points)."""
+        return sum(1 for v in self._versions
+                   if len(self.children(v)) > 1)
+
+    def render(self) -> str:
+        """Indented textual tree (the Fig. 11a picture)."""
+        lines = [f"version tree: {self.family}"]
+
+        def walk(version: Version, depth: int) -> None:
+            label = f" '{version.label}'" if version.label else ""
+            lines.append("  " * (depth + 1) + version.version_id + label)
+            for child in sorted(self.children(version.version_id),
+                                key=lambda v: v.version_id):
+                walk(child, depth + 1)
+
+        for root in sorted(self.roots(), key=lambda v: v.version_id):
+            walk(root, 0)
+        return "\n".join(lines)
+
+
+def version_tree_from_trace(family: str,
+                            nodes: Iterable[VersionNode],
+                            labels: dict[str, str] | None = None
+                            ) -> VersionTreeManager:
+    """Build the classical tree from a flow-trace projection.
+
+    The ``tool_id`` carried by each :class:`VersionNode` is deliberately
+    dropped — that is exactly the information a classical version tree
+    cannot represent.  ``labels`` optionally maps instance ids to display
+    names (e.g. the paper's c1..c5).
+    """
+    labels = labels or {}
+
+    def label_of(node: VersionNode) -> str:
+        return labels.get(node.instance_id, node.instance_id)
+
+    manager = VersionTreeManager(family)
+    id_map: dict[str, str] = {}
+    pending = list(nodes)
+    progressed = True
+    while pending and progressed:
+        progressed = False
+        remaining = []
+        for node in pending:
+            if node.parent_id is None:
+                version = manager.check_in(label=label_of(node))
+            elif node.parent_id in id_map:
+                version = manager.check_in(label=label_of(node),
+                                           parent=id_map[node.parent_id])
+            else:
+                remaining.append(node)
+                continue
+            id_map[node.instance_id] = version.version_id
+            progressed = True
+        pending = remaining
+    if pending:
+        raise BaselineError(
+            "version projection contains orphans: "
+            + ", ".join(n.instance_id for n in pending))
+    return manager

@@ -1,0 +1,244 @@
+"""Command-line interface to a persisted design environment.
+
+A thin, scriptable front end over :mod:`repro.persistence` and the
+Hercules session — enough to drive a design from a shell::
+
+    python -m repro init ./proj
+    python -m repro info ./proj
+    python -m repro browse ./proj Netlist --keyword mux
+    python -m repro session ./proj -c "place Performance" -c "expand n0"
+    python -m repro history ./proj Performance#0001
+    python -m repro stale ./proj
+
+Every mutating command saves the environment back to the directory, so
+consecutive invocations build one continuous design history — the CLI
+equivalent of the paper's persistent framework session.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .errors import ReproError
+from .execution.context import DesignEnvironment
+from .history.consistency import consistency_report
+from .history.database import BrowseFilter
+from .history.query import dependents_of_type
+from .history.trace import backward_trace
+from .persistence import load_environment, save_environment
+from .schema.standard import fig1_schema, fig2_schema, odyssey_schema
+from .tools import install_standard_tools, register_standard_encapsulations
+from .ui.session import HerculesSession
+
+SCHEMAS = {
+    "fig1": fig1_schema,
+    "fig2": fig2_schema,
+    "odyssey": odyssey_schema,
+}
+
+
+def _load(directory: str) -> DesignEnvironment:
+    env = load_environment(directory)
+    register_standard_encapsulations(env)
+    return env
+
+
+def cmd_init(args: argparse.Namespace) -> int:
+    schema = SCHEMAS[args.schema]()
+    env = DesignEnvironment(schema, user=args.user)
+    install_standard_tools(env)
+    save_environment(env, args.directory)
+    print(f"initialized {args.directory} with the {args.schema!r} "
+          f"schema ({len(env.db)} tool instances installed)")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    env = _load(args.directory)
+    print(f"environment: {args.directory}")
+    print(f"  schema: {env.schema.name} ({len(env.schema)} entities, "
+          f"{len(env.schema.dependencies())} dependencies)")
+    print(f"  history: {len(env.db)} instances, "
+          f"{len(env.db.datastore)} data blobs")
+    print(f"  flow catalog: {list(env.flow_catalog.names())}")
+    print(f"  tools: {[e.name for e in env.schema.tools()]}")
+    return 0
+
+
+def cmd_browse(args: argparse.Namespace) -> int:
+    env = _load(args.directory)
+    filters = BrowseFilter(keywords=tuple(args.keyword or ()),
+                           user=args.user)
+    for instance in env.db.browse(args.entity_type, filters=filters):
+        name = instance.name or "-"
+        print(f"{instance.instance_id:<28} {instance.user:<10} "
+              f"{name}")
+    return 0
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    env = _load(args.directory)
+    print(backward_trace(env.db, args.instance).render())
+    return 0
+
+
+def cmd_uses(args: argparse.Namespace) -> int:
+    env = _load(args.directory)
+    if args.entity_type:
+        rows = dependents_of_type(env.db, args.instance,
+                                  args.entity_type)
+        for instance in rows:
+            print(instance.instance_id)
+    else:
+        for instance_id in env.db.consumers_of(args.instance):
+            print(instance_id)
+    return 0
+
+
+def cmd_stale(args: argparse.Namespace) -> int:
+    env = _load(args.directory)
+    report = consistency_report(env.db, args.entity_type)
+    if not report:
+        print("everything is up to date")
+        return 0
+    for instance_id, reasons in sorted(report.items()):
+        print(f"{instance_id}:")
+        for reason in reasons:
+            print(f"  {reason}")
+    return 1  # shell-friendly: stale state is a nonzero exit
+
+
+def cmd_retrace(args: argparse.Namespace) -> int:
+    env = _load(args.directory)
+    report = env.retrace(args.instance)
+    save_environment(env, args.directory)
+    print(f"retraced {args.instance}: created {list(report.created)}")
+    return 0
+
+
+def cmd_session(args: argparse.Namespace) -> int:
+    env = _load(args.directory)
+    session = HerculesSession(env)
+    script = "\n".join(args.command or ())
+    if args.script:
+        with open(args.script, "r", encoding="utf-8") as handle:
+            script = handle.read() + "\n" + script
+    output = session.run_script(script)
+    print(output)
+    save_environment(env, args.directory)
+    return 0
+
+
+def cmd_shell(args: argparse.Namespace) -> int:
+    from .ui.shell import HerculesShell
+
+    env = _load(args.directory)
+    shell = HerculesShell(
+        env, on_save=lambda e: save_environment(e, args.directory))
+    shell.cmdloop()
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from .history.statistics import history_statistics
+
+    env = _load(args.directory)
+    print(history_statistics(env.db).render())
+    return 0
+
+
+def cmd_schema(args: argparse.Namespace) -> int:
+    env = _load(args.directory)
+    from .core.render import schema_to_dot
+
+    print(schema_to_dot(env.schema))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dynamically defined flows: command-line front end")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    init = commands.add_parser("init", help="create a new environment")
+    init.add_argument("directory")
+    init.add_argument("--schema", choices=sorted(SCHEMAS),
+                      default="odyssey")
+    init.add_argument("--user", default="designer")
+    init.set_defaults(fn=cmd_init)
+
+    info = commands.add_parser("info", help="environment summary")
+    info.add_argument("directory")
+    info.set_defaults(fn=cmd_info)
+
+    browse = commands.add_parser("browse", help="list instances")
+    browse.add_argument("directory")
+    browse.add_argument("entity_type")
+    browse.add_argument("--keyword", action="append")
+    browse.add_argument("--user")
+    browse.set_defaults(fn=cmd_browse)
+
+    history = commands.add_parser("history",
+                                  help="derivation trace of an instance")
+    history.add_argument("directory")
+    history.add_argument("instance")
+    history.set_defaults(fn=cmd_history)
+
+    uses = commands.add_parser("uses",
+                               help="forward chaining from an instance")
+    uses.add_argument("directory")
+    uses.add_argument("instance")
+    uses.add_argument("entity_type", nargs="?")
+    uses.set_defaults(fn=cmd_uses)
+
+    stale = commands.add_parser("stale", help="consistency report")
+    stale.add_argument("directory")
+    stale.add_argument("entity_type", nargs="?")
+    stale.set_defaults(fn=cmd_stale)
+
+    retrace = commands.add_parser("retrace",
+                                  help="re-derive a stale instance")
+    retrace.add_argument("directory")
+    retrace.add_argument("instance")
+    retrace.set_defaults(fn=cmd_retrace)
+
+    session = commands.add_parser(
+        "session", help="run Hercules commands against the environment")
+    session.add_argument("directory")
+    session.add_argument("-c", "--command", action="append",
+                         help="a session command (repeatable)")
+    session.add_argument("--script", help="file of session commands")
+    session.set_defaults(fn=cmd_session)
+
+    shell = commands.add_parser(
+        "shell", help="interactive Hercules prompt over the environment")
+    shell.add_argument("directory")
+    shell.set_defaults(fn=cmd_shell)
+
+    stats = commands.add_parser("stats",
+                                help="history statistics report")
+    stats.add_argument("directory")
+    stats.set_defaults(fn=cmd_stats)
+
+    schema = commands.add_parser("schema",
+                                 help="dump the schema as Graphviz DOT")
+    schema.add_argument("directory")
+    schema.set_defaults(fn=cmd_schema)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Dynamically defined flows: task graphs, expansion, representations.
+
+This package is the paper's primary contribution (section 3): the
+:class:`~repro.core.flow.DynamicFlow` façade over a
+:class:`~repro.core.taskgraph.TaskGraph`, the expand/unexpand/specialize
+operations, the four design approaches, and the alternative flow
+representations of Fig. 3 (bipartite diagram and Lisp-style form).
+"""
+
+from .approaches import data_based, goal_based, plan_based, tool_based
+from .bipartite import Activity, BipartiteDiagram, to_bipartite
+from .expand import (expand, expand_fully, expand_toward, forward_choices,
+                     generalize, specialization_choices, specialize,
+                     unexpand)
+from .flow import DynamicFlow
+from .lisp import flow_equation, snake_case, to_call, to_lisp
+from .node import FlowEdge, FlowNode
+from .render import ascii_graph, layers, schema_to_dot, to_dot
+from .taskgraph import TaskGraph, TaskInvocation
+
+__all__ = [
+    "Activity",
+    "BipartiteDiagram",
+    "DynamicFlow",
+    "FlowEdge",
+    "FlowNode",
+    "TaskGraph",
+    "TaskInvocation",
+    "ascii_graph",
+    "data_based",
+    "expand",
+    "expand_fully",
+    "expand_toward",
+    "flow_equation",
+    "forward_choices",
+    "generalize",
+    "goal_based",
+    "layers",
+    "plan_based",
+    "schema_to_dot",
+    "snake_case",
+    "specialization_choices",
+    "specialize",
+    "to_bipartite",
+    "to_call",
+    "to_dot",
+    "to_lisp",
+    "tool_based",
+    "unexpand",
+]

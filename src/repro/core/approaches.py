@@ -1,0 +1,85 @@
+"""The four design approaches of section 3.4.
+
+*"In the goal-based approach, designers identify a task by first selecting
+the goal entity of the task from the task schema.  The tool-based approach
+allows users to initially select either the tool-entity or the
+tool-instance that they wish to work with.  In the data-based approach
+users initially select an existing piece of data ...  The plan- or
+flow-based approach allows designers to choose from a set or library of
+flows that they (or another user) have built up previously."*
+
+Each function returns a :class:`~repro.core.flow.DynamicFlow` with the
+chosen starting node placed (and bound, where an instance was selected);
+from there the designer expands in either direction.  All four approaches
+share one representation and one operation vocabulary — the paper's point
+that Hercules needs no per-approach user interface.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..errors import FlowError
+from ..schema.catalog import FlowCatalog
+from ..schema.schema import TaskSchema
+from .flow import DynamicFlow
+from .node import FlowNode
+
+
+class InstanceLike(Protocol):
+    """Anything carrying an instance id and its entity type.
+
+    :class:`repro.history.instance.EntityInstance` satisfies this; the
+    core layer deliberately does not import the history package.
+    """
+
+    instance_id: str
+    entity_type: str
+
+
+def goal_based(schema: TaskSchema, goal_type: str,
+               name: str = "goal-flow") -> tuple[DynamicFlow, FlowNode]:
+    """Start from the goal entity type the designer wants produced."""
+    flow = DynamicFlow(schema, name)
+    node = flow.place(goal_type)
+    return flow, node
+
+
+def tool_based(schema: TaskSchema, tool_type: str,
+               name: str = "tool-flow",
+               tool_instance: InstanceLike | str | None = None
+               ) -> tuple[DynamicFlow, FlowNode]:
+    """Start from a tool entity type (or a concrete tool instance)."""
+    entity = schema.entity(tool_type)
+    if not entity.is_tool:
+        raise FlowError(f"{tool_type!r} is not a tool entity type")
+    flow = DynamicFlow(schema, name)
+    node = flow.place(tool_type)
+    if tool_instance is not None:
+        node.bind(_instance_id(tool_instance))
+    return flow, node
+
+
+def data_based(schema: TaskSchema, instance: InstanceLike,
+               name: str = "data-flow") -> tuple[DynamicFlow, FlowNode]:
+    """Start from an existing piece of design data."""
+    flow = DynamicFlow(schema, name)
+    node = flow.place(instance.entity_type)
+    node.bind(instance.instance_id)
+    return flow, node
+
+
+def plan_based(catalog: FlowCatalog[DynamicFlow],
+               flow_name: str) -> DynamicFlow:
+    """Start from a predefined flow in the flow catalog.
+
+    The returned flow is a fresh copy; the designer may keep expanding it
+    (it is still a dynamically defined flow, merely pre-built).
+    """
+    return catalog.select(flow_name)
+
+
+def _instance_id(instance: InstanceLike | str) -> str:
+    if isinstance(instance, str):
+        return instance
+    return instance.instance_id

@@ -1,0 +1,247 @@
+"""Expand, unexpand and specialize operations on task graphs.
+
+Section 3.2: *"Expand operations can be used to incorporate further
+primitive tasks into a flow ... the circuit in Fig. 4(b) was specialized
+to an Extracted Netlist before expansion.  (Specialization is the
+selection of an entity subtype so that an expand operation can be
+performed.)"* and section 4.1: *"Flows can be expanded in either direction
+and can be of any depth."*
+
+Three directions are provided:
+
+* :func:`expand` — *backward*: bring a node's construction method (tool +
+  inputs) into the flow;
+* :func:`expand_toward` — *forward*: create a consumer that uses the node
+  as one of its inputs (or, for a tool node, as its tool);
+* :func:`unexpand` — remove a node's construction subgraph again,
+  garbage-collecting implicit nodes that become orphans.
+
+Entity reuse (Fig. 5) is supported by the ``reuse`` argument of
+:func:`expand`, mapping input roles to existing nodes instead of creating
+fresh ones.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..errors import ExpansionError, FlowError, SpecializationError
+from .node import FlowNode
+from .taskgraph import TaskGraph
+
+
+def specialize(flow: TaskGraph, node_id: str, subtype: str) -> FlowNode:
+    """Retype a node to one of its entity type's subtypes.
+
+    Only permitted while the node is unexpanded (its construction method
+    would change) and when every edge already touching it stays valid.
+    """
+    node = flow.node(node_id)
+    if flow.is_expanded(node_id):
+        raise SpecializationError(
+            f"{node}: cannot specialize an expanded node; unexpand first")
+    if not flow.schema.is_subtype(subtype, node.entity_type):
+        raise SpecializationError(
+            f"{node}: {subtype!r} is not a subtype of "
+            f"{node.entity_type!r}")
+    previous = node.entity_type
+    node.entity_type = subtype
+    try:
+        flow.validate()
+    except FlowError:
+        node.entity_type = previous
+        raise
+    return node
+
+
+def generalize(flow: TaskGraph, node_id: str) -> FlowNode:
+    """Undo specialization, returning the node to its original type."""
+    node = flow.node(node_id)
+    if flow.is_expanded(node_id):
+        raise SpecializationError(
+            f"{node}: cannot generalize an expanded node; unexpand first")
+    previous = node.entity_type
+    node.entity_type = node.original_type
+    try:
+        flow.validate()
+    except FlowError:
+        node.entity_type = previous
+        raise
+    return node
+
+
+def specialization_choices(flow: TaskGraph, node_id: str) -> tuple[str, ...]:
+    """Subtypes the designer may specialize this node to."""
+    node = flow.node(node_id)
+    return flow.schema.descendants_of(node.entity_type)
+
+
+def expand(flow: TaskGraph, node_id: str, *,
+           include_optional: Sequence[str] | bool = (),
+           reuse: Mapping[str, str] | None = None) -> tuple[FlowNode, ...]:
+    """Backward-expand a node: add its tool and input nodes to the flow.
+
+    Parameters
+    ----------
+    include_optional:
+        Roles of optional dependencies to include, or ``True`` for all.
+        Optional arcs (the dashed, cycle-breaking ones) are omitted by
+        default, exactly as a designer would start an editor from scratch
+        rather than from a previous version.
+    reuse:
+        ``role -> existing node id``: connect the role to a node already
+        in the flow (entity reuse, Fig. 5) instead of creating a new one.
+        A role may also reuse a node for the functional dependency by
+        passing the pseudo-role ``"@tool"``.
+
+    Returns the newly created nodes (suppliers), in creation order.
+    """
+    node = flow.node(node_id)
+    reuse = dict(reuse or {})
+    if flow.is_expanded(node_id):
+        raise ExpansionError(f"{node}: already expanded")
+    construction = flow.schema.construction(node.entity_type)
+    if construction is None:
+        if flow.schema.is_abstract(node.entity_type):
+            choices = flow.schema.constructible_specializations(
+                node.entity_type)
+            raise SpecializationError(
+                f"{node}: type {node.entity_type!r} is abstract; "
+                f"specialize to one of {list(choices)} before expanding")
+        raise ExpansionError(
+            f"{node}: type {node.entity_type!r} is a source entity "
+            "(no construction method); bind an instance instead")
+
+    created: list[FlowNode] = []
+    # tool (functional dependency)
+    if construction.tool is not None:
+        if "@tool" in reuse:
+            flow.connect(node_id, reuse.pop("@tool"))
+        else:
+            tool_node = flow.add_node(construction.tool)
+            created.append(tool_node)
+            flow.connect(node_id, tool_node.node_id)
+    # data inputs
+    wanted_roles = {d.role for d in construction.required_inputs}
+    if include_optional is True:
+        wanted_roles.update(d.role for d in construction.optional_inputs)
+    else:
+        optional_roles = {d.role for d in construction.optional_inputs}
+        for role in include_optional:
+            if role not in optional_roles:
+                raise ExpansionError(
+                    f"{node}: {role!r} is not an optional input role "
+                    f"(has {sorted(optional_roles)})")
+            wanted_roles.add(role)
+    unknown_reuse = set(reuse) - wanted_roles
+    if unknown_reuse:
+        raise ExpansionError(
+            f"{node}: reuse names unknown/unwanted roles "
+            f"{sorted(unknown_reuse)}")
+    for dep in construction.inputs:
+        if dep.role not in wanted_roles:
+            continue
+        if dep.role in reuse:
+            flow.connect(node_id, reuse[dep.role], role=dep.role)
+        else:
+            supplier = flow.add_node(dep.target)
+            created.append(supplier)
+            flow.connect(node_id, supplier.node_id, role=dep.role)
+    return tuple(created)
+
+
+def expand_fully(flow: TaskGraph, node_id: str, *,
+                 max_depth: int = 32) -> tuple[FlowNode, ...]:
+    """Backward-expand recursively until only sources/abstract leaves remain.
+
+    Abstract leaves are left unexpanded (they need specialization, a
+    designer decision); source entities are natural leaves.  ``max_depth``
+    guards against schemas whose subtype substitutions could recurse.
+    """
+    created: list[FlowNode] = []
+    frontier = [(node_id, 0)]
+    while frontier:
+        current, depth = frontier.pop(0)
+        if depth >= max_depth:
+            raise ExpansionError(
+                f"expansion exceeded max depth {max_depth}")
+        node = flow.node(current)
+        if flow.is_expanded(current):
+            continue
+        construction = flow.schema.construction(node.entity_type)
+        if construction is None:
+            continue  # source or abstract: stop here
+        new_nodes = expand(flow, current)
+        created.extend(new_nodes)
+        frontier.extend((n.node_id, depth + 1) for n in new_nodes)
+    return tuple(created)
+
+
+def expand_toward(flow: TaskGraph, node_id: str, consumer_type: str, *,
+                  role: str | None = None) -> FlowNode:
+    """Forward-expand: create a consumer node fed by this node.
+
+    If the node is a data entity, it is connected under the matching data
+    dependency of ``consumer_type`` (by ``role`` or inferred when
+    unambiguous).  If the node is a tool entity and ``consumer_type``
+    functionally depends on it, it becomes the consumer's tool.
+    """
+    node = flow.node(node_id)
+    producible = flow.schema.producible_from(node.entity_type)
+    if consumer_type not in producible:
+        raise ExpansionError(
+            f"{node}: schema does not allow a {consumer_type!r} to be "
+            f"produced from a {node.entity_type!r}; choices: "
+            f"{sorted(producible)}")
+    consumer = flow.add_node(consumer_type)
+    try:
+        flow.connect(consumer.node_id, node_id, role=role)
+    except FlowError:
+        # role=None may be ambiguous or the only match may be functional
+        deps = flow.schema.effective_dependencies(consumer_type)
+        functional = [d for d in deps if d.is_functional
+                      and flow.schema.is_subtype(node.entity_type, d.target)]
+        if role is None and functional:
+            flow.connect(consumer.node_id, node_id)
+            return consumer
+        flow.remove_node(consumer.node_id)
+        raise
+    return consumer
+
+
+def forward_choices(flow: TaskGraph, node_id: str) -> tuple[str, ...]:
+    """Entity types a forward expansion of this node could produce."""
+    node = flow.node(node_id)
+    return flow.schema.producible_from(node.entity_type)
+
+
+def unexpand(flow: TaskGraph, node_id: str) -> tuple[str, ...]:
+    """Remove a node's construction subgraph from the flow.
+
+    Edges from the node to its suppliers are removed; supplier nodes
+    created implicitly by expansion that thereby become orphans (no other
+    consumers, not explicit) are deleted recursively.  Returns the ids of
+    deleted nodes.
+    """
+    node = flow.node(node_id)
+    suppliers = flow.suppliers(node_id)
+    if not suppliers:
+        raise ExpansionError(f"{node}: not expanded")
+    candidates = [e.supplier for e in suppliers]
+    for edge in suppliers:
+        flow.disconnect(edge.consumer, edge.supplier, edge.role
+                        if edge.is_data else None)
+    deleted: list[str] = []
+    frontier = list(candidates)
+    while frontier:
+        current = frontier.pop()
+        if current not in flow:
+            continue
+        supplier_node = flow.node(current)
+        if supplier_node.explicit or flow.consumers(current):
+            continue
+        next_candidates = [e.supplier for e in flow.suppliers(current)]
+        flow.remove_node(current)
+        deleted.append(current)
+        frontier.extend(next_candidates)
+    return tuple(deleted)

@@ -1,0 +1,157 @@
+"""The user-facing façade for building dynamically defined flows.
+
+:class:`DynamicFlow` wraps a :class:`~repro.core.taskgraph.TaskGraph` with
+the operation vocabulary of the Hercules pop-up menu (Fig. 9): *Expand*,
+*Unexpand*, *Specialize*, *Bind* (select instances in the browser) plus the
+renderings of Fig. 3.  It is what the four design approaches in
+:mod:`repro.core.approaches` hand to the designer and what the executor in
+:mod:`repro.execution` runs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..schema.schema import TaskSchema
+from . import expand as expand_ops
+from .node import FlowNode
+from .taskgraph import TaskGraph
+
+
+class DynamicFlow:
+    """A dynamically defined flow under construction.
+
+    All graph state lives in :attr:`graph`; this class only adds ergonomic
+    operations and keeps the *goal* emphasis of the paper (the node the
+    designer started from, when started goal- or data-based).
+    """
+
+    def __init__(self, schema: TaskSchema, name: str = "flow",
+                 graph: TaskGraph | None = None) -> None:
+        self.graph = graph if graph is not None else TaskGraph(schema, name)
+
+    @property
+    def schema(self) -> TaskSchema:
+        return self.graph.schema
+
+    @property
+    def name(self) -> str:
+        return self.graph.name
+
+    # ------------------------------------------------------------------
+    # starting points
+    # ------------------------------------------------------------------
+    def place(self, entity_type: str, *, label: str = "") -> FlowNode:
+        """Place an entity icon on the task window (explicit node)."""
+        return self.graph.add_node(entity_type, explicit=True, label=label)
+
+    # ------------------------------------------------------------------
+    # pop-up menu operations
+    # ------------------------------------------------------------------
+    def specialize(self, node: FlowNode | str, subtype: str) -> FlowNode:
+        """Select a subtype so the node can be expanded."""
+        return expand_ops.specialize(self.graph, self._id(node), subtype)
+
+    def generalize(self, node: FlowNode | str) -> FlowNode:
+        """Undo a specialization."""
+        return expand_ops.generalize(self.graph, self._id(node))
+
+    def specialization_choices(self, node: FlowNode | str) -> tuple[str, ...]:
+        return expand_ops.specialization_choices(self.graph, self._id(node))
+
+    def expand(self, node: FlowNode | str, *,
+               include_optional: Sequence[str] | bool = (),
+               reuse: Mapping[str, str] | None = None
+               ) -> tuple[FlowNode, ...]:
+        """Bring the node's construction (tool + inputs) into the flow."""
+        return expand_ops.expand(self.graph, self._id(node),
+                                 include_optional=include_optional,
+                                 reuse=reuse)
+
+    def expand_fully(self, node: FlowNode | str, *,
+                     max_depth: int = 32) -> tuple[FlowNode, ...]:
+        """Expand recursively down to source/abstract leaves."""
+        return expand_ops.expand_fully(self.graph, self._id(node),
+                                       max_depth=max_depth)
+
+    def expand_toward(self, node: FlowNode | str, consumer_type: str, *,
+                      role: str | None = None) -> FlowNode:
+        """Forward expansion: create a consumer using this node."""
+        return expand_ops.expand_toward(self.graph, self._id(node),
+                                        consumer_type, role=role)
+
+    def forward_choices(self, node: FlowNode | str) -> tuple[str, ...]:
+        return expand_ops.forward_choices(self.graph, self._id(node))
+
+    def unexpand(self, node: FlowNode | str) -> tuple[str, ...]:
+        """Remove the node's construction subgraph."""
+        return expand_ops.unexpand(self.graph, self._id(node))
+
+    def connect(self, consumer: FlowNode | str, supplier: FlowNode | str, *,
+                role: str | None = None) -> None:
+        """Manually wire two placed nodes (schema-checked)."""
+        self.graph.connect(self._id(consumer), self._id(supplier), role=role)
+
+    def bind(self, node: FlowNode | str, *instance_ids: str) -> FlowNode:
+        """Select instances for a node (several ids fan the task out)."""
+        target = self.graph.node(self._id(node))
+        target.bind(*instance_ids)
+        return target
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def node(self, node_id: str) -> FlowNode:
+        return self.graph.node(node_id)
+
+    def nodes(self) -> tuple[FlowNode, ...]:
+        return self.graph.nodes()
+
+    def nodes_of_type(self, entity_type: str) -> tuple[FlowNode, ...]:
+        return self.graph.nodes_of_type(entity_type)
+
+    def sole_node_of_type(self, entity_type: str) -> FlowNode:
+        """The unique node of a type (convenience for tests/examples)."""
+        nodes = self.graph.nodes_of_type(entity_type)
+        if len(nodes) != 1:
+            raise LookupError(
+                f"expected exactly one {entity_type!r} node, found "
+                f"{len(nodes)}")
+        return nodes[0]
+
+    def leaves(self) -> tuple[FlowNode, ...]:
+        return self.graph.leaves()
+
+    def goals(self) -> tuple[FlowNode, ...]:
+        return self.graph.goals()
+
+    def unbound_leaves(self) -> tuple[FlowNode, ...]:
+        """Leaf nodes still needing an instance selection."""
+        return tuple(n for n in self.graph.leaves() if not n.results())
+
+    def is_ready(self) -> bool:
+        """True when every leaf has an instance: non-leaves are executable."""
+        return not self.unbound_leaves()
+
+    def validate(self) -> None:
+        self.graph.validate()
+
+    # ------------------------------------------------------------------
+    # persistence helpers
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "DynamicFlow":
+        return DynamicFlow(self.schema, graph=self.graph.copy(name))
+
+    def to_dict(self) -> dict:
+        return self.graph.to_dict()
+
+    @classmethod
+    def from_dict(cls, schema: TaskSchema, payload: dict) -> "DynamicFlow":
+        return cls(schema, graph=TaskGraph.from_dict(schema, payload))
+
+    @staticmethod
+    def _id(node: FlowNode | str) -> str:
+        return node.node_id if isinstance(node, FlowNode) else node
+
+    def __repr__(self) -> str:
+        return f"DynamicFlow({self.graph!r})"

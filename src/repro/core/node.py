@@ -1,0 +1,116 @@
+"""Nodes and edges of a task graph.
+
+A task graph (paper section 3.2) is a DAG in which *"each node ...
+corresponds to an entity in the task schema, and each edge ... to a
+dependency"*.  A node may be *specialized* (retyped to a subtype so it can
+be expanded), *bound* to one or more instances from the history database
+(binding several instances causes the task to run once per instance —
+section 4.1), and, after execution, carries the ids of the instances it
+produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import BindingError
+from ..schema.dependency import DepKind
+
+
+@dataclass
+class FlowNode:
+    """One entity occurrence in a dynamically defined flow.
+
+    Attributes
+    ----------
+    node_id:
+        Graph-unique identifier (``"n0"``, ``"n1"``, ...).
+    entity_type:
+        Current entity type name; changes when the node is specialized.
+    original_type:
+        Type the node was created with (before any specialization), kept
+        so specialization can be undone and rendered.
+    explicit:
+        True when the designer placed the node directly (by picking it
+        from a catalog); False when an expand operation created it.
+        Unexpansion only garbage-collects non-explicit orphans.
+    bindings:
+        Instance ids selected in the browser for this node.  More than
+        one id fans the task out over each instance.
+    produced:
+        Instance ids created at this node by execution (one per fan-out
+        combination).
+    label:
+        Optional display label (shown inside the icon, Fig. 10).
+    """
+
+    node_id: str
+    entity_type: str
+    original_type: str = ""
+    explicit: bool = False
+    bindings: tuple[str, ...] = ()
+    produced: tuple[str, ...] = field(default_factory=tuple)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.original_type:
+            self.original_type = self.entity_type
+
+    # -- binding ---------------------------------------------------------
+    def bind(self, *instance_ids: str) -> None:
+        """Select instances for this node (replaces previous selection)."""
+        if not instance_ids:
+            raise BindingError(f"{self}: bind() needs at least one instance")
+        self.bindings = tuple(instance_ids)
+
+    def unbind(self) -> None:
+        self.bindings = ()
+
+    @property
+    def is_bound(self) -> bool:
+        return bool(self.bindings)
+
+    @property
+    def is_executed(self) -> bool:
+        return bool(self.produced)
+
+    def results(self) -> tuple[str, ...]:
+        """Instance ids available at this node (bound or produced)."""
+        if self.produced:
+            return self.produced
+        return self.bindings
+
+    @property
+    def is_specialized(self) -> bool:
+        return self.entity_type != self.original_type
+
+    def __str__(self) -> str:
+        suffix = f"={self.label}" if self.label else ""
+        return f"{self.entity_type}[{self.node_id}]{suffix}"
+
+
+@dataclass(frozen=True)
+class FlowEdge:
+    """A dependency arc between two nodes: ``consumer`` depends on ``supplier``.
+
+    The direction matches the schema: the produced entity points at its
+    tool (functional) and at its data inputs (data).
+    """
+
+    consumer: str
+    supplier: str
+    kind: DepKind
+    role: str
+    optional: bool = False
+
+    @property
+    def is_functional(self) -> bool:
+        return self.kind is DepKind.FUNCTIONAL
+
+    @property
+    def is_data(self) -> bool:
+        return self.kind is DepKind.DATA
+
+    def __str__(self) -> str:
+        label = "f" if self.is_functional else ("d?" if self.optional else "d")
+        return f"{self.consumer} --{label}:{self.role}--> {self.supplier}"

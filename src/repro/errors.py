@@ -1,0 +1,99 @@
+"""Exception hierarchy for the flow-management framework.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch framework failures with a single ``except`` clause while
+still being able to distinguish schema problems from flow-construction
+problems, execution failures, or history-database inconsistencies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all framework errors."""
+
+
+class SchemaError(ReproError):
+    """A task schema is malformed or an operation violates it."""
+
+
+class UnknownEntityError(SchemaError):
+    """An entity type name does not exist in the schema."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown entity type: {name!r}")
+        self.name = name
+
+
+class DependencyError(SchemaError):
+    """A dependency declaration violates the schema rules.
+
+    The paper (section 3.1) requires that an entity has at most one
+    functional dependency, that composed entities have no functional
+    dependency, and that every dependency cycle contains at least one
+    optional data dependency.
+    """
+
+
+class SubtypeError(SchemaError):
+    """An invalid subtype relation (cycle, unknown parent, kind mismatch)."""
+
+
+class FlowError(ReproError):
+    """A task-graph (dynamically defined flow) operation is invalid."""
+
+
+class SpecializationError(FlowError):
+    """Expansion requested on an abstract node that must be specialized first.
+
+    Section 3.2: 'Specialization is the selection of an entity subtype so
+    that an expand operation can be performed.'
+    """
+
+
+class ExpansionError(FlowError):
+    """An expand/unexpand operation cannot be applied to the given node."""
+
+
+class BindingError(FlowError):
+    """Instance binding is missing or inconsistent with the node's type."""
+
+
+class ExecutionError(ReproError):
+    """A flow (or sub-flow) could not be executed."""
+
+
+class EncapsulationError(ExecutionError):
+    """No tool encapsulation is registered, or the encapsulation misbehaved."""
+
+
+class ToolError(ExecutionError):
+    """A CAD tool in the substrate failed on its inputs."""
+
+
+class HistoryError(ReproError):
+    """The design history database rejected an operation."""
+
+
+class UnknownInstanceError(HistoryError):
+    """An instance identifier does not exist in the history database."""
+
+    def __init__(self, instance_id: str) -> None:
+        super().__init__(f"unknown instance: {instance_id!r}")
+        self.instance_id = instance_id
+
+
+class ConsistencyError(HistoryError):
+    """Design data is out of date and cannot be reconciled automatically."""
+
+
+class QueryError(HistoryError):
+    """A history query (template, chain, or browse) is malformed."""
+
+
+class BaselineError(ReproError):
+    """A baseline manager (static flows, traces, version trees) failed."""
+
+
+class UIError(ReproError):
+    """The scriptable Hercules-style user interface rejected an operation."""

@@ -1,0 +1,38 @@
+"""Flow execution: encapsulations, sequential and parallel executors.
+
+Automatic task sequencing from schema dependencies (section 3.3), the
+fan-out semantics of the instance browser (section 4.1), and the parallel
+disjoint-branch execution of Fig. 6.
+"""
+
+from .context import DesignEnvironment
+from .encapsulation import (EncapsulationRegistry, ToolContext,
+                            ToolEncapsulation, default_composition,
+                            encapsulation)
+from .executor import ExecutionReport, FlowExecutor, InvocationResult
+from .parallel import (BranchPlan, Machine, MachinePool,
+                       ParallelFlowExecutor, plan_branches)
+from .scheduler import (DurationModel, Schedule, ScheduleEntry,
+                        ScheduledFlowExecutor, plan_schedule)
+
+__all__ = [
+    "BranchPlan",
+    "DesignEnvironment",
+    "DurationModel",
+    "EncapsulationRegistry",
+    "ExecutionReport",
+    "FlowExecutor",
+    "InvocationResult",
+    "Machine",
+    "MachinePool",
+    "ParallelFlowExecutor",
+    "Schedule",
+    "ScheduleEntry",
+    "ScheduledFlowExecutor",
+    "ToolContext",
+    "ToolEncapsulation",
+    "default_composition",
+    "encapsulation",
+    "plan_branches",
+    "plan_schedule",
+]

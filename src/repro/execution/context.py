@@ -1,0 +1,190 @@
+"""The design environment: schema + history + encapsulations, wired up.
+
+:class:`DesignEnvironment` is the reproduction's Odyssey: one object a
+designer (or an example script) needs.  It owns the task schema, the
+history database, the encapsulation registry, the flow catalog, and hands
+out flows via the four design approaches of section 3.4.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from ..errors import SchemaError
+from ..core.approaches import (data_based, goal_based, plan_based,
+                               tool_based)
+from ..core.flow import DynamicFlow
+from ..core.taskgraph import TaskGraph
+from ..history.consistency import (consistency_report, is_stale,
+                                   refresh_plan, stale_inputs)
+from ..history.database import HistoryDatabase
+from ..history.datastore import CodecRegistry
+from ..history.instance import EntityInstance
+from ..schema.catalog import (DataTypeCatalog, EntityCatalog, FlowCatalog,
+                              ToolCatalog)
+from ..schema.schema import TaskSchema
+from .encapsulation import (EncapsulationRegistry, ToolEncapsulation)
+from .executor import ExecutionReport, FlowExecutor
+from .parallel import MachinePool, ParallelFlowExecutor
+
+
+class DesignEnvironment:
+    """Everything needed to design with dynamically defined flows."""
+
+    def __init__(self, schema: TaskSchema, *, user: str = "designer",
+                 codecs: CodecRegistry | None = None,
+                 clock: Callable[[], float] | None = None) -> None:
+        schema.validate()
+        self.schema = schema
+        self.user = user
+        self.db = HistoryDatabase(schema, codecs=codecs, clock=clock)
+        self.registry = EncapsulationRegistry(schema)
+        self.flow_catalog: FlowCatalog[DynamicFlow] = FlowCatalog()
+        self.entity_catalog = EntityCatalog(schema)
+        self.tool_catalog = ToolCatalog(schema)
+        self.data_type_catalog = DataTypeCatalog(schema)
+
+    # ------------------------------------------------------------------
+    # installation (source entities enter from outside the flows)
+    # ------------------------------------------------------------------
+    def install_tool(self, tool_type: str,
+                     encapsulation: ToolEncapsulation | None = None, *,
+                     data: Any = None, name: str = "",
+                     comment: str = "") -> EntityInstance:
+        """Register a tool instance (optionally with its encapsulation)."""
+        if encapsulation is not None:
+            self.registry.register(tool_type, encapsulation)
+        descriptor = data if data is not None else {"tool": tool_type,
+                                                    "name": name}
+        return self.db.install(tool_type, descriptor, user=self.user,
+                               name=name or tool_type, comment=comment)
+
+    def install_data(self, entity_type: str, data: Any, *, name: str = "",
+                     comment: str = "",
+                     annotations: dict[str, str] | None = None
+                     ) -> EntityInstance:
+        """Register design data entering from outside any flow."""
+        return self.db.install(entity_type, data, user=self.user,
+                               name=name, comment=comment,
+                               annotations=annotations)
+
+    # ------------------------------------------------------------------
+    # the four design approaches (section 3.4)
+    # ------------------------------------------------------------------
+    def goal_flow(self, goal_type: str, name: str = "goal-flow"):
+        """Goal-based approach: start from the entity to be produced."""
+        return goal_based(self.schema, goal_type, name)
+
+    def tool_flow(self, tool_type: str, name: str = "tool-flow",
+                  tool_instance: EntityInstance | str | None = None):
+        """Tool-based approach: start from a tool (type or instance)."""
+        return tool_based(self.schema, tool_type, name,
+                          tool_instance=tool_instance)
+
+    def data_flow(self, instance: EntityInstance | str,
+                  name: str = "data-flow"):
+        """Data-based approach: start from an existing design object."""
+        if isinstance(instance, str):
+            instance = self.db.get(instance)
+        return data_based(self.schema, instance, name)
+
+    def plan_flow(self, flow_name: str) -> DynamicFlow:
+        """Plan-based approach: pick a predefined flow from the catalog."""
+        return plan_based(self.flow_catalog, flow_name)
+
+    def new_flow(self, name: str = "flow") -> DynamicFlow:
+        """An empty flow (place nodes from the catalogs by hand)."""
+        return DynamicFlow(self.schema, name)
+
+    def save_flow(self, name: str, flow: DynamicFlow,
+                  description: str = "") -> None:
+        """Publish a flow into the catalog for plan-based reuse."""
+        self.flow_catalog.register_flow(name, flow.copy(name),
+                                        description=description)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def executor(self, machine: str = "local") -> FlowExecutor:
+        return FlowExecutor(self.db, self.registry, user=self.user,
+                            machine=machine)
+
+    def parallel_executor(self, machines: int = 2,
+                          pool: MachinePool | None = None
+                          ) -> ParallelFlowExecutor:
+        return ParallelFlowExecutor(self.db, self.registry,
+                                    user=self.user, pool=pool,
+                                    machines=machines)
+
+    def run(self, flow: DynamicFlow | TaskGraph,
+            targets: Sequence[str] | None = None, *,
+            force: bool = False) -> ExecutionReport:
+        """Execute a flow with a fresh sequential executor."""
+        return self.executor().execute(flow, targets=targets, force=force)
+
+    # ------------------------------------------------------------------
+    # composed entities (section 3.1)
+    # ------------------------------------------------------------------
+    def decompose(self, instance: EntityInstance | str
+                  ) -> dict[str, EntityInstance]:
+        """Split a composed instance into its component instances.
+
+        Section 3.1: composed entities carry implicit decomposition
+        functions.  The instance-level pointers live in the derivation
+        record (the paper's footnote: composite data usually just points
+        at the parts), so decomposition is a history lookup; composites
+        installed from outside fall back to the registered data-level
+        decomposition function.
+        """
+        if isinstance(instance, str):
+            instance = self.db.get(instance)
+        entity = self.schema.entity(instance.entity_type)
+        if not entity.composed:
+            raise SchemaError(
+                f"{instance.instance_id}: {instance.entity_type!r} is "
+                "not a composed entity")
+        if instance.derivation is not None:
+            return {role: self.db.get(input_id)
+                    for role, input_id in instance.derivation.inputs}
+        # externally installed composite: decompose the data itself and
+        # surface the parts as fresh installed instances
+        decompose = self.registry.decomposition(instance.entity_type)
+        parts = decompose(self.db.data(instance))
+        construction = self.schema.construction(instance.entity_type)
+        out: dict[str, EntityInstance] = {}
+        for role, data in parts.items():
+            target = construction.input_role(role).target
+            out[role] = self.install_data(
+                target, data,
+                name=f"{instance.name or instance.instance_id}.{role}",
+                annotations={"decomposed-from": instance.instance_id})
+        return out
+
+    # ------------------------------------------------------------------
+    # consistency maintenance (section 3.3)
+    # ------------------------------------------------------------------
+    def is_stale(self, instance: EntityInstance | str) -> bool:
+        return is_stale(self.db, self._id(instance))
+
+    def stale_inputs(self, instance: EntityInstance | str):
+        return stale_inputs(self.db, self._id(instance))
+
+    def refresh_plan(self, instance: EntityInstance | str) -> TaskGraph:
+        return refresh_plan(self.db, self._id(instance))
+
+    def retrace(self, instance: EntityInstance | str) -> ExecutionReport:
+        """Automatically re-derive a stale instance from newest versions."""
+        plan = self.refresh_plan(instance)
+        return self.executor().execute(plan)
+
+    def consistency_report(self, entity_type: str | None = None):
+        return consistency_report(self.db, entity_type)
+
+    @staticmethod
+    def _id(instance: EntityInstance | str) -> str:
+        return instance if isinstance(instance, str) \
+            else instance.instance_id
+
+    def __repr__(self) -> str:
+        return (f"DesignEnvironment(schema={self.schema.name!r}, "
+                f"user={self.user!r}, instances={len(self.db)})")

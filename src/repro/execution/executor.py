@@ -1,0 +1,319 @@
+"""Flow execution: turning bound task graphs into design history.
+
+Section 3.3: *"Dynamically defined flows easily allow for automatic task
+sequencing (flow automation) because tool and data dependencies are
+specified in the task schema."*  The executor walks a task graph in
+topological order, runs one tool call per coalesced
+:class:`~repro.core.taskgraph.TaskInvocation` (Fig. 5's multi-output
+subtasks), fans out over multi-instance selections (section 4.1), and
+records every created object in the history database with its derivation
+record — which is the entire persistence story of the paper.
+
+Sub-flows run by passing ``targets``: only the invocations in the targets'
+supplier subtrees execute (*"a subflow may be run at any stage as long as
+its dependencies are satisfied independently of the remainder of the
+flow"*).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..core.flow import DynamicFlow
+from ..core.taskgraph import TaskGraph, TaskInvocation
+from ..errors import ExecutionError
+from ..history.database import HistoryDatabase
+from ..history.instance import DerivationRecord
+from .encapsulation import EncapsulationRegistry, ToolContext
+
+
+@dataclass
+class InvocationResult:
+    """Report entry for one executed task invocation."""
+
+    invocation_id: str
+    tool_type: str | None
+    tool_instances: tuple[str, ...]
+    encapsulation: str
+    runs: int
+    created: tuple[str, ...]
+    outputs_by_node: dict[str, tuple[str, ...]]
+    duration: float
+    machine: str = "local"
+
+
+@dataclass
+class ExecutionReport:
+    """Everything that happened during one ``execute()`` call."""
+
+    flow_name: str
+    results: list[InvocationResult] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+
+    @property
+    def created(self) -> tuple[str, ...]:
+        return tuple(itertools.chain.from_iterable(
+            r.created for r in self.results))
+
+    @property
+    def runs(self) -> int:
+        return sum(r.runs for r in self.results)
+
+    def created_of_node(self, node_id: str) -> tuple[str, ...]:
+        for result in self.results:
+            if node_id in result.outputs_by_node:
+                return result.outputs_by_node[node_id]
+        return ()
+
+    def merge(self, other: "ExecutionReport") -> None:
+        self.results.extend(other.results)
+        self.skipped.extend(other.skipped)
+
+
+class FlowExecutor:
+    """Executes dynamically defined flows against a history database."""
+
+    def __init__(self, db: HistoryDatabase,
+                 registry: EncapsulationRegistry, *, user: str = "",
+                 machine: str = "local",
+                 lock: threading.Lock | None = None) -> None:
+        self.db = db
+        self.registry = registry
+        self.user = user
+        self.machine = machine
+        # The lock serializes history-database access when several
+        # executors share one database across threads (Fig. 6 parallel
+        # branches); tool code runs outside it.
+        self._lock = lock if lock is not None else threading.Lock()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def execute(self, flow: TaskGraph | DynamicFlow,
+                targets: Sequence[str] | None = None, *,
+                force: bool = False) -> ExecutionReport:
+        """Run a flow (or the sub-flow reaching ``targets``).
+
+        Already-executed nodes (with ``produced`` results) and bound
+        nodes are reused unless ``force`` re-runs every invocation.
+        """
+        graph = flow.graph if isinstance(flow, DynamicFlow) else flow
+        graph.validate()
+        needed = self._needed_nodes(graph, targets)
+        self._check_ready(graph, needed)
+        if force:
+            # drop previous results so re-runs do not fan out over them
+            for node_id in needed:
+                if graph.suppliers(node_id):
+                    graph.node(node_id).produced = ()
+        report = ExecutionReport(graph.name)
+        invocation_of: dict[str, TaskInvocation] = {}
+        for invocation in graph.invocations():
+            for output in invocation.outputs:
+                invocation_of[output] = invocation
+        done: set[int] = set()
+        for node_id in graph.topological_order():
+            if node_id not in needed:
+                continue
+            invocation = invocation_of.get(node_id)
+            if invocation is None:
+                continue  # leaf (bound) node
+            if id(invocation) in done:
+                continue
+            done.add(id(invocation))
+            outputs = [graph.node(o) for o in invocation.outputs]
+            if not force and all(o.results() for o in outputs):
+                report.skipped.extend(invocation.outputs)
+                continue
+            report.results.append(self._run_invocation(graph, invocation))
+        return report
+
+    def execute_node(self, flow: TaskGraph | DynamicFlow,
+                     node_id: str, *, force: bool = False
+                     ) -> ExecutionReport:
+        """Run just the sub-flow producing one node."""
+        return self.execute(flow, targets=[node_id], force=force)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _needed_nodes(self, graph: TaskGraph,
+                      targets: Sequence[str] | None) -> set[str]:
+        if targets is None:
+            return set(graph.node_ids())
+        needed: set[str] = set()
+        for target in targets:
+            needed |= graph.subtree(target)
+        return needed
+
+    def _check_ready(self, graph: TaskGraph, needed: set[str]) -> None:
+        unbound = [
+            str(graph.node(node_id)) for node_id in sorted(needed)
+            if not graph.suppliers(node_id)
+            and not graph.node(node_id).results()
+        ]
+        if unbound:
+            raise ExecutionError(
+                "flow is not ready: select instances for leaf nodes "
+                + ", ".join(unbound))
+
+    def _run_invocation(self, graph: TaskGraph,
+                        invocation: TaskInvocation) -> InvocationResult:
+        started = time.perf_counter()
+        output_nodes = [graph.node(o) for o in invocation.outputs]
+        output_types = tuple(n.entity_type for n in output_nodes)
+        role_ids: dict[str, tuple[str, ...]] = {}
+        for role, supplier_id in invocation.inputs:
+            supplier = graph.node(supplier_id)
+            ids = supplier.results()
+            if not ids:
+                raise ExecutionError(
+                    f"{supplier}: no instances available for role "
+                    f"{role!r}")
+            role_ids[role] = ids
+        if invocation.tool_node is None:
+            result = self._run_composition(graph, invocation, output_nodes,
+                                           output_types, role_ids)
+        else:
+            result = self._run_tool(graph, invocation, output_nodes,
+                                    output_types, role_ids)
+        result.duration = time.perf_counter() - started
+        return result
+
+    def _run_composition(self, graph: TaskGraph,
+                         invocation: TaskInvocation, output_nodes,
+                         output_types, role_ids) -> InvocationResult:
+        # Composed invocations have exactly one output by construction.
+        node = output_nodes[0]
+        compose = self.registry.composition(node.entity_type)
+        created: list[str] = []
+        runs = 0
+        with self._lock:
+            invocation_id = self.db.new_invocation_id()
+        for combo in _combinations(role_ids):
+            with self._lock:
+                inputs = {role: self.db.data(ref)
+                          for role, ref in combo.items()}
+            data = compose(inputs)
+            runs += 1
+            with self._lock:
+                instance = self.db.record(
+                    node.entity_type, data,
+                    DerivationRecord.make(None, combo, invocation_id),
+                    user=self.user, name=node.label,
+                    annotations={"flow": graph.name,
+                                 "machine": self.machine})
+            created.append(instance.instance_id)
+        node.produced = node.produced + tuple(created)
+        return InvocationResult(
+            invocation_id, None, (), f"compose:{node.entity_type}", runs,
+            tuple(created), {node.node_id: tuple(created)}, 0.0,
+            self.machine)
+
+    def _run_tool(self, graph: TaskGraph, invocation: TaskInvocation,
+                  output_nodes, output_types, role_ids) -> InvocationResult:
+        tool_node = graph.node(invocation.tool_node)
+        tool_ids = tool_node.results()
+        if not tool_ids:
+            raise ExecutionError(
+                f"{tool_node}: no tool instance available")
+        created_all: list[str] = []
+        outputs_by_node: dict[str, list[str]] = {
+            n.node_id: [] for n in output_nodes}
+        runs = 0
+        with self._lock:
+            invocation_id = self.db.new_invocation_id()
+        encapsulation_name = ""
+        for tool_id in tool_ids:
+            with self._lock:
+                tool_instance = self.db.get(tool_id)
+                tool_data = self.db.data(tool_instance)
+            enc = self.registry.resolve(tool_instance.entity_type, tool_id)
+            encapsulation_name = enc.name
+            ctx = ToolContext(
+                tool_type=tool_instance.entity_type,
+                tool_instance_id=tool_id,
+                tool_data=tool_data,
+                output_types=output_types,
+                options=enc.options(),
+                user=self.user,
+            )
+            if enc.batch:
+                combos: list[dict[str, Any]] = [
+                    {role: list(ids) for role, ids in role_ids.items()}]
+            else:
+                combos = list(_combinations(role_ids))
+            for combo in combos:
+                with self._lock:
+                    inputs = {
+                        role: ([self.db.data(r) for r in ref]
+                               if isinstance(ref, list)
+                               else self.db.data(ref))
+                        for role, ref in combo.items()
+                    }
+                result = enc.run(ctx, inputs)
+                runs += 1
+                produced = _normalize_result(result, output_types,
+                                             enc.name)
+                record_inputs = _derivation_inputs(combo)
+                for node in output_nodes:
+                    data = produced[node.entity_type]
+                    with self._lock:
+                        instance = self.db.record(
+                            node.entity_type, data,
+                            DerivationRecord(tool_id, record_inputs,
+                                             invocation_id),
+                            user=self.user, name=node.label,
+                            annotations={"flow": graph.name,
+                                         "machine": self.machine})
+                    outputs_by_node[node.node_id].append(
+                        instance.instance_id)
+                    created_all.append(instance.instance_id)
+        for node in output_nodes:
+            node.produced = node.produced + tuple(
+                outputs_by_node[node.node_id])
+        return InvocationResult(
+            invocation_id, tool_node.entity_type, tuple(tool_ids),
+            encapsulation_name, runs, tuple(created_all),
+            {k: tuple(v) for k, v in outputs_by_node.items()}, 0.0,
+            self.machine)
+
+
+def _combinations(role_ids: dict[str, tuple[str, ...]]):
+    """Cartesian product over roles with multiple selected instances.
+
+    Section 4.1: selecting a set of instances causes *"the task to be run
+    for each data instance specified"*; with several multi-selected roles
+    the task runs for each combination.
+    """
+    roles = sorted(role_ids)
+    for values in itertools.product(*(role_ids[r] for r in roles)):
+        yield dict(zip(roles, values))
+
+
+def _derivation_inputs(combo: dict[str, Any]
+                       ) -> tuple[tuple[str, str], ...]:
+    pairs: list[tuple[str, str]] = []
+    for role, ref in combo.items():
+        if isinstance(ref, list):
+            pairs.extend((role, r) for r in ref)
+        else:
+            pairs.append((role, ref))
+    return tuple(sorted(pairs))
+
+
+def _normalize_result(result: Any, output_types: tuple[str, ...],
+                      encapsulation_name: str) -> dict[str, Any]:
+    """Map an encapsulation return value onto the expected output types."""
+    if isinstance(result, dict) and set(result) == set(output_types):
+        return result
+    if len(output_types) == 1:
+        return {output_types[0]: result}
+    raise ExecutionError(
+        f"encapsulation {encapsulation_name!r} must return a dict keyed "
+        f"by output types {sorted(output_types)}, got "
+        f"{type(result).__name__}")

@@ -1,0 +1,151 @@
+"""Parallel execution of disjoint flow branches (paper Fig. 6).
+
+Section 3.3: *"It is also possible to support parallel task execution,
+wherein disjoint branches in the flow can be executed in parallel,
+possibly on different machines."*
+
+The 1993 machine farm is simulated by a :class:`MachinePool`; each weakly
+connected component of the task graph (a *branch*) is claimed by one
+machine and executed by a regular
+:class:`~repro.execution.executor.FlowExecutor` on its own thread.  All
+executors share one lock around the history database, so derivation
+records stay consistent while tool code (the slow part — external
+processes in the paper's world, here Python callables that may block or
+sleep) runs concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.flow import DynamicFlow
+from ..core.taskgraph import TaskGraph
+from ..errors import ExecutionError
+from ..history.database import HistoryDatabase
+from .encapsulation import EncapsulationRegistry
+from .executor import ExecutionReport, FlowExecutor
+
+
+@dataclass
+class Machine:
+    """One (simulated) workstation of the design environment."""
+
+    name: str
+    executed_branches: int = 0
+    executed_invocations: int = 0
+
+
+class MachinePool:
+    """Fixed set of machines handed out to branch executions."""
+
+    def __init__(self, names: Sequence[str]) -> None:
+        if not names:
+            raise ExecutionError("machine pool needs at least one machine")
+        self._machines = {name: Machine(name) for name in names}
+        self._idle = list(names)
+        self._condition = threading.Condition()
+
+    @classmethod
+    def local(cls, size: int) -> "MachinePool":
+        return cls([f"machine{i}" for i in range(size)])
+
+    def acquire(self) -> Machine:
+        with self._condition:
+            while not self._idle:
+                self._condition.wait()
+            return self._machines[self._idle.pop()]
+
+    def release(self, machine: Machine) -> None:
+        with self._condition:
+            self._idle.append(machine.name)
+            self._condition.notify()
+
+    def machines(self) -> tuple[Machine, ...]:
+        return tuple(self._machines.values())
+
+    def __len__(self) -> int:
+        return len(self._machines)
+
+
+@dataclass
+class BranchPlan:
+    """The parallel schedule: which nodes run together."""
+
+    branches: tuple[frozenset[str], ...] = field(default_factory=tuple)
+
+    @property
+    def width(self) -> int:
+        return len(self.branches)
+
+
+def plan_branches(graph: TaskGraph,
+                  targets: Sequence[str] | None = None) -> BranchPlan:
+    """Split a flow into independently executable branches.
+
+    With ``targets``, only branches containing a target are scheduled.
+    """
+    branches = graph.disjoint_branches()
+    if targets is not None:
+        wanted = set(targets)
+        branches = tuple(b for b in branches if b & wanted)
+    return BranchPlan(tuple(sorted(branches, key=sorted)))
+
+
+class ParallelFlowExecutor:
+    """Executes disjoint branches of a flow concurrently."""
+
+    def __init__(self, db: HistoryDatabase,
+                 registry: EncapsulationRegistry, *, user: str = "",
+                 pool: MachinePool | None = None,
+                 machines: int = 2) -> None:
+        self.db = db
+        self.registry = registry
+        self.user = user
+        self.pool = pool if pool is not None else MachinePool.local(machines)
+        self._db_lock = threading.Lock()
+
+    def execute(self, flow: TaskGraph | DynamicFlow,
+                targets: Sequence[str] | None = None, *,
+                force: bool = False) -> ExecutionReport:
+        """Run every (selected) branch, one machine per branch."""
+        graph = flow.graph if isinstance(flow, DynamicFlow) else flow
+        graph.validate()
+        plan = plan_branches(graph, targets)
+        report = ExecutionReport(graph.name)
+        if not plan.branches:
+            return report
+        errors: list[BaseException] = []
+        report_lock = threading.Lock()
+
+        def run_branch(branch: frozenset[str]) -> None:
+            machine = self.pool.acquire()
+            try:
+                executor = FlowExecutor(
+                    self.db, self.registry, user=self.user,
+                    machine=machine.name, lock=self._db_lock)
+                branch_targets = sorted(branch)
+                if targets is not None:
+                    branch_targets = sorted(branch & set(targets))
+                branch_report = executor.execute(
+                    graph, targets=branch_targets, force=force)
+                machine.executed_branches += 1
+                machine.executed_invocations += len(branch_report.results)
+                with report_lock:
+                    report.merge(branch_report)
+            except BaseException as exc:  # re-raised on the caller thread
+                with report_lock:
+                    errors.append(exc)
+            finally:
+                self.pool.release(machine)
+
+        with ThreadPoolExecutor(max_workers=len(self.pool)) as tp:
+            futures = [tp.submit(run_branch, branch)
+                       for branch in plan.branches]
+            for future in futures:
+                future.result()
+        if errors:
+            raise errors[0]
+        return report

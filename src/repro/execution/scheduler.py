@@ -1,0 +1,320 @@
+"""Invocation-level flow scheduling (extension beyond Fig. 6).
+
+The paper parallelizes *disjoint branches* (weakly connected components).
+A natural extension — enabled by the same schema dependencies — is
+invocation-level scheduling: within one connected flow, every task
+invocation whose inputs are ready may run, so a diamond-shaped flow
+(extract -> {simulate, verify} -> plot) still overlaps its middle stages.
+
+Three pieces:
+
+* :class:`DurationModel` — expected tool run times learned from executed
+  reports (the history's time-stamps are the paper's meta-data; the
+  durations come from execution reports);
+* :func:`plan_schedule` — critical-path list scheduling of a flow's
+  invocations onto M machines, yielding a predicted makespan;
+* :class:`ScheduledFlowExecutor` — executes a flow with invocation-level
+  parallelism on a :class:`~repro.execution.parallel.MachinePool`,
+  strictly respecting dependencies.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from ..core.flow import DynamicFlow
+from ..core.taskgraph import TaskGraph, TaskInvocation
+from ..errors import ExecutionError
+from ..history.database import HistoryDatabase
+from .encapsulation import EncapsulationRegistry
+from .executor import ExecutionReport, FlowExecutor, InvocationResult
+from .parallel import MachinePool
+
+DEFAULT_DURATION = 1.0
+
+
+class DurationModel:
+    """Per-tool-type expected durations, learned from execution reports."""
+
+    def __init__(self, default: float = DEFAULT_DURATION) -> None:
+        self.default = default
+        self._totals: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    def observe_report(self, report: ExecutionReport) -> None:
+        for result in report.results:
+            self.observe(result)
+
+    def observe(self, result: InvocationResult) -> None:
+        key = result.tool_type or "@compose"
+        self._totals[key] = self._totals.get(key, 0.0) + result.duration
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def record(self, tool_type: str | None, duration: float) -> None:
+        key = tool_type or "@compose"
+        self._totals[key] = self._totals.get(key, 0.0) + duration
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def estimate(self, tool_type: str | None) -> float:
+        key = tool_type or "@compose"
+        if key not in self._counts:
+            return self.default
+        return self._totals[key] / self._counts[key]
+
+    def observed_types(self) -> tuple[str, ...]:
+        return tuple(sorted(self._counts))
+
+
+@dataclass(frozen=True)
+class _InvocationNode:
+    """An invocation plus its dependency bookkeeping."""
+
+    index: int
+    invocation: TaskInvocation
+    tool_type: str | None
+    predecessors: tuple[int, ...]
+    successors: tuple[int, ...]
+    duration: float
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One invocation's planned slot."""
+
+    outputs: tuple[str, ...]
+    tool_type: str | None
+    machine: str
+    start: float
+    end: float
+
+
+@dataclass
+class Schedule:
+    """A planned execution of a flow on M machines."""
+
+    entries: tuple[ScheduleEntry, ...]
+    makespan: float
+    machines: int
+    serial_time: float
+    critical_path: float
+
+    @property
+    def predicted_speedup(self) -> float:
+        return self.serial_time / self.makespan if self.makespan else 1.0
+
+    def render(self) -> str:
+        lines = [f"schedule on {self.machines} machines "
+                 f"(makespan {self.makespan:.3f}, serial "
+                 f"{self.serial_time:.3f}, critical path "
+                 f"{self.critical_path:.3f})"]
+        for entry in sorted(self.entries,
+                            key=lambda e: (e.start, e.machine)):
+            tool = entry.tool_type or "<compose>"
+            lines.append(
+                f"  {entry.machine:<10} {entry.start:7.3f} -> "
+                f"{entry.end:7.3f}  {tool:<20} "
+                f"outputs={list(entry.outputs)}")
+        return "\n".join(lines)
+
+
+def _invocation_graph(graph: TaskGraph, schema_graph: TaskGraph | None,
+                      durations: DurationModel,
+                      tool_type_of) -> list[_InvocationNode]:
+    invocations = graph.invocations()
+    producer_of: dict[str, int] = {}
+    for index, invocation in enumerate(invocations):
+        for output in invocation.outputs:
+            producer_of[output] = index
+    predecessors: list[set[int]] = [set() for _ in invocations]
+    for index, invocation in enumerate(invocations):
+        sources = list(invocation.input_nodes)
+        if invocation.tool_node is not None:
+            sources.append(invocation.tool_node)
+        for node_id in sources:
+            producer = producer_of.get(node_id)
+            if producer is not None and producer != index:
+                predecessors[index].add(producer)
+    successors: list[set[int]] = [set() for _ in invocations]
+    for index, preds in enumerate(predecessors):
+        for pred in preds:
+            successors[pred].add(index)
+    nodes = []
+    for index, invocation in enumerate(invocations):
+        tool_type = tool_type_of(invocation)
+        nodes.append(_InvocationNode(
+            index, invocation, tool_type,
+            tuple(sorted(predecessors[index])),
+            tuple(sorted(successors[index])),
+            durations.estimate(tool_type)))
+    return nodes
+
+
+def _tool_type_of(graph: TaskGraph):
+    def lookup(invocation: TaskInvocation) -> str | None:
+        if invocation.tool_node is None:
+            return None
+        return graph.node(invocation.tool_node).entity_type
+    return lookup
+
+
+def _critical_lengths(nodes: list[_InvocationNode]) -> list[float]:
+    """Longest path from each invocation to any sink (its priority)."""
+    length = [0.0] * len(nodes)
+    # process in reverse topological order: repeat-until-stable is fine
+    # for the small graphs flows produce, but we do it properly:
+    indegree_out = [len(n.successors) for n in nodes]
+    stack = [n.index for n in nodes if not n.successors]
+    order: list[int] = []
+    remaining = list(indegree_out)
+    while stack:
+        current = stack.pop()
+        order.append(current)
+        for pred in nodes[current].predecessors:
+            remaining[pred] -= 1
+            if remaining[pred] == 0:
+                stack.append(pred)
+    for index in order:
+        node = nodes[index]
+        best_successor = max((length[s] for s in node.successors),
+                             default=0.0)
+        length[index] = node.duration + best_successor
+    return length
+
+
+def plan_schedule(flow: TaskGraph | DynamicFlow, machines: int,
+                  durations: DurationModel | None = None) -> Schedule:
+    """Critical-path list schedule of a flow's invocations."""
+    graph = flow.graph if isinstance(flow, DynamicFlow) else flow
+    if machines < 1:
+        raise ExecutionError("need at least one machine")
+    durations = durations if durations is not None else DurationModel()
+    nodes = _invocation_graph(graph, None, durations,
+                              _tool_type_of(graph))
+    priority = _critical_lengths(nodes)
+    pending = {n.index: len(n.predecessors) for n in nodes}
+    ready = sorted((n.index for n in nodes if not n.predecessors),
+                   key=lambda i: -priority[i])
+    machine_free = {f"machine{i}": 0.0 for i in range(machines)}
+    finish_time: dict[int, float] = {}
+    entries: list[ScheduleEntry] = []
+    while ready:
+        index = ready.pop(0)
+        node = nodes[index]
+        earliest = max((finish_time[p] for p in node.predecessors),
+                       default=0.0)
+        machine = min(machine_free,
+                      key=lambda m: (max(machine_free[m], earliest), m))
+        start = max(machine_free[machine], earliest)
+        end = start + node.duration
+        machine_free[machine] = end
+        finish_time[index] = end
+        entries.append(ScheduleEntry(node.invocation.outputs,
+                                     node.tool_type, machine, start,
+                                     end))
+        for successor in node.successors:
+            pending[successor] -= 1
+            if pending[successor] == 0:
+                position = 0
+                while position < len(ready) and \
+                        priority[ready[position]] >= priority[successor]:
+                    position += 1
+                ready.insert(position, successor)
+    makespan = max((e.end for e in entries), default=0.0)
+    serial = sum(n.duration for n in nodes)
+    critical = max(priority, default=0.0)
+    return Schedule(tuple(entries), makespan, machines, serial, critical)
+
+
+class ScheduledFlowExecutor:
+    """Executes one flow with invocation-level parallelism."""
+
+    def __init__(self, db: HistoryDatabase,
+                 registry: EncapsulationRegistry, *, user: str = "",
+                 pool: MachinePool | None = None, machines: int = 2,
+                 durations: DurationModel | None = None) -> None:
+        self.db = db
+        self.registry = registry
+        self.user = user
+        self.pool = pool if pool is not None else MachinePool.local(machines)
+        self.durations = durations if durations is not None \
+            else DurationModel()
+        self._db_lock = threading.Lock()
+
+    def execute(self, flow: TaskGraph | DynamicFlow, *,
+                force: bool = False) -> ExecutionReport:
+        graph = flow.graph if isinstance(flow, DynamicFlow) else flow
+        graph.validate()
+        nodes = _invocation_graph(graph, None, self.durations,
+                                  _tool_type_of(graph))
+        report = ExecutionReport(graph.name)
+        if not nodes:
+            return report
+        # readiness check mirrors FlowExecutor
+        probe = FlowExecutor(self.db, self.registry, user=self.user,
+                             lock=self._db_lock)
+        probe._check_ready(graph, set(graph.node_ids()))
+        if force:
+            for node_id in graph.node_ids():
+                if graph.suppliers(node_id):
+                    graph.node(node_id).produced = ()
+
+        pending = {n.index: len(n.predecessors) for n in nodes}
+        condition = threading.Condition()
+        ready = [n.index for n in nodes if not n.predecessors]
+        done: set[int] = set()
+        errors: list[BaseException] = []
+        report_lock = threading.Lock()
+
+        def worker() -> None:
+            machine = self.pool.acquire()
+            executor = FlowExecutor(self.db, self.registry,
+                                    user=self.user, machine=machine.name,
+                                    lock=self._db_lock)
+            try:
+                while True:
+                    with condition:
+                        while not ready and len(done) < len(nodes) \
+                                and not errors:
+                            condition.wait()
+                        if errors or len(done) >= len(nodes):
+                            return
+                        index = ready.pop(0)
+                    node = nodes[index]
+                    outputs = [graph.node(o)
+                               for o in node.invocation.outputs]
+                    try:
+                        if force or not all(o.results() for o in outputs):
+                            result = executor._run_invocation(
+                                graph, node.invocation)
+                            self.durations.observe(result)
+                            with report_lock:
+                                report.results.append(result)
+                            machine.executed_invocations += 1
+                        else:
+                            with report_lock:
+                                report.skipped.extend(
+                                    node.invocation.outputs)
+                    except BaseException as exc:
+                        with condition:
+                            errors.append(exc)
+                            condition.notify_all()
+                        return
+                    with condition:
+                        done.add(index)
+                        for successor in node.successors:
+                            pending[successor] -= 1
+                            if pending[successor] == 0:
+                                ready.append(successor)
+                        condition.notify_all()
+            finally:
+                self.pool.release(machine)
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(len(self.pool))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return report

@@ -1,0 +1,61 @@
+"""Design history: instances, derivation records, traces and queries.
+
+Implements the paper's claim that *"if flows are properly defined, queries
+into the derivation history of design objects obviate the need for
+additional version management schemes"* (section 1): every design object
+gets one derivation record; backward/forward chaining, flow-template
+queries, version trees and staleness checks are all derived views.
+"""
+
+from .consistency import (StaleInput, consistency_report, is_stale,
+                          is_up_to_date, newest_version, refresh_plan,
+                          retrace, stale_inputs, successor_versions)
+from .database import BrowseFilter, HistoryDatabase
+from .datastore import GLOBAL_CODECS, Codec, CodecRegistry, DataStore
+from .instance import DerivationRecord, EntityInstance
+from .statistics import (HistoryStatistics, derivation_depth,
+                         history_statistics, trace_size)
+from .query import (antecedents_of_type, count_instances,
+                    dependents_of_type, derivation_inputs, derivation_tool,
+                    find_bindings, template_query, was_performed)
+from .trace import (FlowTrace, TraceEdge, VersionNode, backward_trace,
+                    forward_trace, full_trace, lineage)
+
+__all__ = [
+    "BrowseFilter",
+    "Codec",
+    "CodecRegistry",
+    "DataStore",
+    "DerivationRecord",
+    "EntityInstance",
+    "FlowTrace",
+    "GLOBAL_CODECS",
+    "HistoryStatistics",
+    "HistoryDatabase",
+    "StaleInput",
+    "TraceEdge",
+    "VersionNode",
+    "antecedents_of_type",
+    "backward_trace",
+    "consistency_report",
+    "count_instances",
+    "dependents_of_type",
+    "derivation_depth",
+    "derivation_inputs",
+    "derivation_tool",
+    "find_bindings",
+    "forward_trace",
+    "full_trace",
+    "history_statistics",
+    "is_stale",
+    "is_up_to_date",
+    "lineage",
+    "newest_version",
+    "refresh_plan",
+    "retrace",
+    "stale_inputs",
+    "successor_versions",
+    "template_query",
+    "trace_size",
+    "was_performed",
+]

@@ -1,0 +1,165 @@
+"""Design consistency maintenance (paper section 3.3).
+
+*"Design consistency maintenance (i.e., automatic retracing of a flow to
+update derived design data), is readily supported through the storage of
+the design history.  Queries into the design history can quickly determine
+whether such retracing need occur."*
+
+Staleness is defined version-wise: a derived instance is **stale** when
+some instance in its derivation history has a newer *successor version*
+(a descendant through editing tasks within the same entity family).
+:func:`refresh_plan` turns a stale instance's backward trace into an
+executable task graph with the stale inputs rebound to their newest
+versions and every affected intermediate cleared for recomputation;
+:func:`retrace` executes that plan through any object with an
+``execute(flow)`` method (the :class:`repro.execution.executor.FlowExecutor`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..core.taskgraph import TaskGraph
+from ..errors import ConsistencyError
+from .database import HistoryDatabase
+from .instance import EntityInstance
+from .trace import backward_trace, forward_trace, lineage
+
+
+class FlowRunner(Protocol):
+    """Anything that can execute a bound task graph (duck-typed to avoid
+    a package cycle between history and execution)."""
+
+    def execute(self, flow: TaskGraph) -> object: ...
+
+
+def successor_versions(db: HistoryDatabase, instance_id: str
+                       ) -> tuple[EntityInstance, ...]:
+    """Newer versions of an instance within its entity family.
+
+    A successor is a forward-chained descendant whose version lineage
+    passes through the given instance — i.e. it was reached by a chain of
+    editing tasks starting from it.
+    """
+    instance = db.get(instance_id)
+    family = db.schema.root_of(instance.entity_type)
+    out = []
+    for other_id in forward_trace(db, instance_id).instances():
+        if other_id == instance_id:
+            continue
+        other = db.get(other_id)
+        if not db.schema.is_subtype(other.entity_type, family):
+            continue
+        if instance_id in lineage(db, other_id, family):
+            out.append(other)
+    out.sort(key=lambda i: (i.timestamp, i.instance_id))
+    return tuple(out)
+
+
+def newest_version(db: HistoryDatabase, instance_id: str) -> EntityInstance:
+    """The latest successor version (the instance itself if current)."""
+    successors = successor_versions(db, instance_id)
+    return successors[-1] if successors else db.get(instance_id)
+
+
+@dataclass(frozen=True)
+class StaleInput:
+    """One reason an instance is out of date."""
+
+    used: str        # instance id recorded in the derivation history
+    newest: str      # its most recent successor version
+
+    def __str__(self) -> str:
+        return f"{self.used} superseded by {self.newest}"
+
+
+def stale_inputs(db: HistoryDatabase, instance_id: str
+                 ) -> tuple[StaleInput, ...]:
+    """Instances in the derivation history that have newer versions.
+
+    Ancestors in the instance's *own* version lineage are exempt: an
+    edited netlist is not stale merely because it supersedes its own
+    ``previous`` input — superseding it is the purpose of the edit.
+    Successor versions whose lineage passes through the instance itself
+    are likewise not counted against it.
+    """
+    own_lineage = set(lineage(db, instance_id))
+    trace = backward_trace(db, instance_id)
+    in_trace = set(trace.instances())
+    out = []
+    for used_id in trace.instances():
+        if used_id == instance_id or used_id in own_lineage:
+            continue
+        candidates = [
+            s for s in successor_versions(db, used_id)
+            if instance_id not in lineage(db, s.instance_id)
+            # a successor already inside the derivation means the
+            # derivation passes through the newer version: not stale
+            and s.instance_id not in in_trace]
+        if candidates:
+            out.append(StaleInput(used_id, candidates[-1].instance_id))
+    return tuple(out)
+
+
+def is_stale(db: HistoryDatabase, instance_id: str) -> bool:
+    """True when the instance's derivation used superseded data."""
+    return bool(stale_inputs(db, instance_id))
+
+
+def is_up_to_date(db: HistoryDatabase, instance_id: str) -> bool:
+    return not is_stale(db, instance_id)
+
+
+def refresh_plan(db: HistoryDatabase, instance_id: str,
+                 name: str = "retrace") -> TaskGraph:
+    """Build the retrace flow for a stale instance.
+
+    The backward trace becomes a task graph; every superseded instance is
+    rebound to its newest version, and every node downstream of a change
+    has its binding cleared so the executor recomputes it.  Raises
+    :class:`ConsistencyError` if the instance is already up to date.
+    """
+    stale = {s.used: s.newest for s in stale_inputs(db, instance_id)}
+    if not stale:
+        raise ConsistencyError(
+            f"{instance_id!r} is up to date; nothing to retrace")
+    trace = backward_trace(db, instance_id)
+    graph = trace.to_task_graph(name)
+    dirty: set[str] = set()
+    for node_id in graph.topological_order():
+        node = graph.node(node_id)
+        bound = node.bindings[0] if node.bindings else None
+        suppliers_dirty = any(e.supplier in dirty
+                              for e in graph.suppliers(node_id))
+        if bound is not None and bound in stale:
+            node.bind(stale[bound])
+            dirty.add(node_id)
+        elif suppliers_dirty:
+            node.unbind()
+            dirty.add(node_id)
+    if not dirty:
+        raise ConsistencyError(
+            f"stale inputs of {instance_id!r} do not appear in its "
+            "retrace flow")
+    return graph
+
+
+def retrace(db: HistoryDatabase, instance_id: str, runner: FlowRunner,
+            name: str = "retrace"):
+    """Execute the refresh plan; return the runner's execution report."""
+    plan = refresh_plan(db, instance_id, name)
+    return runner.execute(plan)
+
+
+def consistency_report(db: HistoryDatabase, entity_type: str | None = None
+                       ) -> dict[str, tuple[StaleInput, ...]]:
+    """Map every stale instance (optionally of one type) to its reasons."""
+    report: dict[str, tuple[StaleInput, ...]] = {}
+    for instance in db.browse(entity_type):
+        if instance.derivation is None:
+            continue
+        reasons = stale_inputs(db, instance.instance_id)
+        if reasons:
+            report[instance.instance_id] = reasons
+    return report

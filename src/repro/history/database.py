@@ -1,0 +1,309 @@
+"""The design history database.
+
+Section 3.3: *"the task schema aids design data management by forming the
+data schema for a design meta-data (design history) database"*.  The
+database stores :class:`~repro.history.instance.EntityInstance` records
+(meta-data) against a :class:`~repro.history.datastore.DataStore`
+(physical data) and maintains the forward index that makes
+forward-chaining queries (section 4.2) cheap.
+
+Because *all design objects are created through the execution of flows*,
+the two write paths are:
+
+* :meth:`HistoryDatabase.install` — data/tools entering from outside any
+  flow (source entities: stimuli, installed tools, imported libraries);
+* :meth:`HistoryDatabase.record` — objects produced by a task invocation,
+  always with a :class:`~repro.history.instance.DerivationRecord`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from typing import Any, Callable, Iterable
+
+from ..errors import HistoryError, UnknownInstanceError
+from ..schema.schema import TaskSchema
+from .datastore import CodecRegistry, DataStore
+from .instance import DerivationRecord, EntityInstance
+
+
+class BrowseFilter:
+    """Filters of the Fig. 9 instance browser.
+
+    Keywords match case-insensitively against name, comment and
+    annotation values; date limits bound the creation time-stamp; the
+    user limit matches the creating user exactly.
+    """
+
+    def __init__(self, *, keywords: Iterable[str] = (),
+                 since: float | None = None, until: float | None = None,
+                 user: str | None = None) -> None:
+        self.keywords = tuple(k.lower() for k in keywords)
+        self.since = since
+        self.until = until
+        self.user = user
+
+    def matches(self, instance: EntityInstance) -> bool:
+        if self.user is not None and instance.user != self.user:
+            return False
+        if self.since is not None and instance.timestamp < self.since:
+            return False
+        if self.until is not None and instance.timestamp > self.until:
+            return False
+        if self.keywords:
+            haystack = " ".join(
+                [instance.name, instance.comment, instance.instance_id]
+                + [v for _, v in instance.annotations]).lower()
+            if not all(keyword in haystack for keyword in self.keywords):
+                return False
+        return True
+
+
+class HistoryDatabase:
+    """Instance meta-data store, forward index and persistence."""
+
+    def __init__(self, schema: TaskSchema, *,
+                 datastore: DataStore | None = None,
+                 codecs: CodecRegistry | None = None,
+                 clock: Callable[[], float] | None = None) -> None:
+        self.schema = schema
+        self.datastore = datastore if datastore is not None \
+            else DataStore(codecs)
+        self._clock = clock if clock is not None else time.time
+        self._instances: dict[str, EntityInstance] = {}
+        self._by_type: dict[str, list[str]] = {}
+        self._forward: dict[str, list[str]] = {}
+        self._type_counters: dict[str, itertools.count] = {}
+        self._invocation_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # identifier & invocation allocation
+    # ------------------------------------------------------------------
+    def _new_id(self, entity_type: str) -> str:
+        counter = self._type_counters.setdefault(entity_type,
+                                                 itertools.count(1))
+        return f"{entity_type}#{next(counter):04d}"
+
+    def new_invocation_id(self) -> str:
+        """Fresh identifier grouping sibling outputs of one task run."""
+        return f"run#{next(self._invocation_counter):05d}"
+
+    # ------------------------------------------------------------------
+    # write paths
+    # ------------------------------------------------------------------
+    def install(self, entity_type: str, data: Any, *, user: str = "",
+                name: str = "", comment: str = "",
+                annotations: dict[str, str] | None = None
+                ) -> EntityInstance:
+        """Register data or a tool entering the design from outside."""
+        return self._add(entity_type, data, None, user=user, name=name,
+                         comment=comment, annotations=annotations)
+
+    def record(self, entity_type: str, data: Any,
+               derivation: DerivationRecord, *, user: str = "",
+               name: str = "", comment: str = "",
+               annotations: dict[str, str] | None = None
+               ) -> EntityInstance:
+        """Register an object produced by a task invocation."""
+        if derivation is None:
+            raise HistoryError("record() requires a derivation; use "
+                               "install() for external data")
+        self._check_derivation(entity_type, derivation)
+        return self._add(entity_type, data, derivation, user=user,
+                         name=name, comment=comment,
+                         annotations=annotations)
+
+    def _check_derivation(self, entity_type: str,
+                          derivation: DerivationRecord) -> None:
+        for antecedent in derivation.all_antecedents():
+            if antecedent not in self._instances:
+                raise UnknownInstanceError(antecedent)
+        construction = self.schema.construction(entity_type)
+        if construction is None:
+            raise HistoryError(
+                f"{entity_type!r} has no construction method; a derived "
+                "instance of it cannot exist")
+        if construction.tool is None:
+            if derivation.tool is not None:
+                raise HistoryError(
+                    f"composed entity {entity_type!r} must not record a "
+                    "tool in its derivation")
+        else:
+            if derivation.tool is None:
+                raise HistoryError(
+                    f"{entity_type!r} requires tool "
+                    f"{construction.tool!r} in its derivation")
+            tool_instance = self._instances[derivation.tool]
+            if not self.schema.is_subtype(tool_instance.entity_type,
+                                          construction.tool):
+                raise HistoryError(
+                    f"{entity_type!r} derivation names tool "
+                    f"{tool_instance.entity_type!r}, schema requires "
+                    f"{construction.tool!r}")
+        valid_roles = {d.role: d for d in construction.inputs}
+        for role, input_id in derivation.inputs:
+            if role not in valid_roles:
+                raise HistoryError(
+                    f"{entity_type!r} derivation uses unknown input role "
+                    f"{role!r}")
+            input_instance = self._instances[input_id]
+            if not self.schema.is_subtype(input_instance.entity_type,
+                                          valid_roles[role].target):
+                raise HistoryError(
+                    f"{entity_type!r} role {role!r} expects "
+                    f"{valid_roles[role].target!r}, got "
+                    f"{input_instance.entity_type!r}")
+
+    def _add(self, entity_type: str, data: Any,
+             derivation: DerivationRecord | None, *, user: str, name: str,
+             comment: str, annotations: dict[str, str] | None
+             ) -> EntityInstance:
+        self.schema.entity(entity_type)  # raises if unknown
+        data_ref = None if data is None else self.datastore.put(data)
+        instance = EntityInstance(
+            instance_id=self._new_id(entity_type),
+            entity_type=entity_type,
+            user=user,
+            timestamp=self._clock(),
+            name=name,
+            comment=comment,
+            data_ref=data_ref,
+            derivation=derivation,
+            annotations=tuple(sorted((annotations or {}).items())),
+        )
+        self._index(instance)
+        return instance
+
+    def _index(self, instance: EntityInstance) -> None:
+        self._instances[instance.instance_id] = instance
+        self._by_type.setdefault(instance.entity_type, []).append(
+            instance.instance_id)
+        if instance.derivation is not None:
+            for antecedent in instance.derivation.all_antecedents():
+                self._forward.setdefault(antecedent, []).append(
+                    instance.instance_id)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, instance_id: str) -> EntityInstance:
+        try:
+            return self._instances[instance_id]
+        except KeyError:
+            raise UnknownInstanceError(instance_id) from None
+
+    def __contains__(self, instance_id: str) -> bool:
+        return instance_id in self._instances
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def data(self, instance: EntityInstance | str) -> Any:
+        """Fetch the physical data behind an instance (or id)."""
+        if isinstance(instance, str):
+            instance = self.get(instance)
+        if instance.data_ref is None:
+            return None
+        return self.datastore.get(instance.data_ref)
+
+    def instances(self) -> tuple[EntityInstance, ...]:
+        return tuple(self._instances.values())
+
+    def browse(self, entity_type: str | None = None, *,
+               include_subtypes: bool = True,
+               filters: BrowseFilter | None = None
+               ) -> tuple[EntityInstance, ...]:
+        """List instances, newest last (as the Fig. 9 browser does)."""
+        if entity_type is None:
+            candidates: Iterable[str] = self._instances
+        else:
+            self.schema.entity(entity_type)
+            types = [entity_type]
+            if include_subtypes:
+                types.extend(self.schema.descendants_of(entity_type))
+            candidates = itertools.chain.from_iterable(
+                self._by_type.get(t, ()) for t in types)
+        selected = [self._instances[i] for i in candidates]
+        if filters is not None:
+            selected = [i for i in selected if filters.matches(i)]
+        selected.sort(key=lambda i: (i.timestamp, i.instance_id))
+        return tuple(selected)
+
+    def latest(self, entity_type: str, *,
+               include_subtypes: bool = True) -> EntityInstance:
+        """Most recently created instance of a type."""
+        found = self.browse(entity_type, include_subtypes=include_subtypes)
+        if not found:
+            raise HistoryError(f"no instances of {entity_type!r}")
+        return found[-1]
+
+    def consumers_of(self, instance_id: str) -> tuple[str, ...]:
+        """Instances whose derivation directly uses the given instance."""
+        self.get(instance_id)
+        return tuple(self._forward.get(instance_id, ()))
+
+    def update_metadata(self, instance_id: str, *,
+                        name: str | None = None,
+                        comment: str | None = None,
+                        annotations: dict[str, str] | None = None
+                        ) -> EntityInstance:
+        """Annotate an instance (the browser's Comment/Edit operation).
+
+        Derivation meta-data is immutable; only the human-facing fields
+        may change.
+        """
+        instance = self.get(instance_id)
+        if name is not None:
+            instance = instance.renamed(name)
+        if comment is not None:
+            instance = instance.renamed(instance.name, comment)
+        if annotations:
+            instance = instance.annotated(**annotations)
+        self._instances[instance_id] = instance
+        return instance
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": self.schema.name,
+            "instances": [i.to_dict() for i in self._instances.values()],
+            "blobs": self.datastore.to_dict(),
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=1, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, schema: TaskSchema, payload: dict[str, Any], *,
+                  codecs: CodecRegistry | None = None,
+                  clock: Callable[[], float] | None = None
+                  ) -> "HistoryDatabase":
+        db = cls(schema, codecs=codecs, clock=clock)
+        db.datastore.load_dict(payload.get("blobs", {}))
+        for spec in payload.get("instances", ()):
+            db._index(EntityInstance.from_dict(spec))
+        # advance id counters past what was loaded
+        for instance_id in db._instances:
+            entity_type, _, number = instance_id.partition("#")
+            if number.isdigit():
+                counter = db._type_counters.setdefault(
+                    entity_type, itertools.count(1))
+                current = next(counter)
+                target = max(current, int(number) + 1)
+                db._type_counters[entity_type] = itertools.count(target)
+        return db
+
+    @classmethod
+    def load(cls, schema: TaskSchema, path: str, *,
+             codecs: CodecRegistry | None = None) -> "HistoryDatabase":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(schema, json.load(handle), codecs=codecs)
+
+    def __repr__(self) -> str:
+        return (f"HistoryDatabase({self.schema.name!r}, "
+                f"{len(self._instances)} instances)")

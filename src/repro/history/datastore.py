@@ -1,0 +1,145 @@
+"""Content-addressed storage for design data.
+
+Paper footnote 5: *"although each instance of an entity (including
+different versions of the same design) has its own associated meta-data,
+it may share the actual (physical) data with other instances."*  A
+:class:`DataStore` is the reproduction's RCS/SCCS: blobs are keyed by a
+digest of their canonical form, so identical payloads are stored once and
+instances reference them by ``data_ref``.
+
+Arbitrary Python design objects (netlists, layouts, compiled simulators)
+participate through a :class:`CodecRegistry`: each class registers a type
+tag plus ``to_payload``/``from_payload`` functions mapping to JSON-safe
+structures.  Primitives, lists, dicts and tuples need no registration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import HistoryError
+
+
+@dataclass(frozen=True)
+class Codec:
+    """Serialization recipe for one design-data class."""
+
+    tag: str
+    cls: type
+    to_payload: Callable[[Any], Any]
+    from_payload: Callable[[Any], Any]
+
+
+class CodecRegistry:
+    """Maps classes/tags to codecs; shared by datastore persistence."""
+
+    def __init__(self) -> None:
+        self._by_tag: dict[str, Codec] = {}
+        self._by_cls: dict[type, Codec] = {}
+
+    def register(self, tag: str, cls: type,
+                 to_payload: Callable[[Any], Any],
+                 from_payload: Callable[[Any], Any]) -> None:
+        if tag in self._by_tag:
+            raise HistoryError(f"codec tag {tag!r} already registered")
+        if cls in self._by_cls:
+            raise HistoryError(f"codec for {cls.__name__} already registered")
+        codec = Codec(tag, cls, to_payload, from_payload)
+        self._by_tag[tag] = codec
+        self._by_cls[cls] = codec
+
+    def register_dataclass_like(self, tag: str, cls: type) -> None:
+        """Register a class exposing ``to_dict()`` and ``from_dict()``."""
+        self.register(tag, cls,
+                      to_payload=lambda obj: obj.to_dict(),
+                      from_payload=cls.from_dict)
+
+    def encode(self, obj: Any) -> Any:
+        """Convert an object to a JSON-safe tagged structure."""
+        if obj is None or isinstance(obj, (bool, int, float, str)):
+            return obj
+        if isinstance(obj, (list, tuple)):
+            return {"__seq__": "tuple" if isinstance(obj, tuple) else "list",
+                    "items": [self.encode(item) for item in obj]}
+        if isinstance(obj, dict):
+            return {"__map__": [[self.encode(k), self.encode(v)]
+                                for k, v in obj.items()]}
+        codec = self._by_cls.get(type(obj))
+        if codec is None:
+            raise HistoryError(
+                f"no codec registered for {type(obj).__name__}; call "
+                "CodecRegistry.register() (or register_dataclass_like)")
+        return {"__tag__": codec.tag,
+                "payload": self.encode(codec.to_payload(obj))}
+
+    def decode(self, payload: Any) -> Any:
+        """Inverse of :meth:`encode`."""
+        if payload is None or isinstance(payload, (bool, int, float, str)):
+            return payload
+        if isinstance(payload, list):
+            return [self.decode(item) for item in payload]
+        if isinstance(payload, dict):
+            if "__seq__" in payload:
+                items = [self.decode(item) for item in payload["items"]]
+                return tuple(items) if payload["__seq__"] == "tuple" \
+                    else items
+            if "__map__" in payload:
+                return {self.decode(k): self.decode(v)
+                        for k, v in payload["__map__"]}
+            if "__tag__" in payload:
+                codec = self._by_tag.get(payload["__tag__"])
+                if codec is None:
+                    raise HistoryError(
+                        f"no codec for tag {payload['__tag__']!r}")
+                return codec.from_payload(self.decode(payload["payload"]))
+        raise HistoryError(f"cannot decode payload of type "
+                           f"{type(payload).__name__}")
+
+
+#: Registry shared by default; tools register their data classes here at
+#: import time.
+GLOBAL_CODECS = CodecRegistry()
+
+
+class DataStore:
+    """Content-addressed blob store for design data."""
+
+    def __init__(self, codecs: CodecRegistry | None = None) -> None:
+        self.codecs = codecs if codecs is not None else GLOBAL_CODECS
+        self._blobs: dict[str, Any] = {}
+
+    def put(self, obj: Any) -> str:
+        """Store an object; return its content digest (``data_ref``)."""
+        encoded = self.codecs.encode(obj)
+        canonical = json.dumps(encoded, sort_keys=True,
+                               separators=(",", ":"))
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+        if digest not in self._blobs:
+            self._blobs[digest] = obj
+        return digest
+
+    def get(self, data_ref: str) -> Any:
+        if data_ref not in self._blobs:
+            raise HistoryError(f"no data blob {data_ref!r}")
+        return self._blobs[data_ref]
+
+    def __contains__(self, data_ref: str) -> bool:
+        return data_ref in self._blobs
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def refs(self) -> tuple[str, ...]:
+        return tuple(self._blobs)
+
+    # -- persistence -----------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {ref: self.codecs.encode(obj)
+                for ref, obj in self._blobs.items()}
+
+    def load_dict(self, payload: dict[str, Any]) -> None:
+        for ref, encoded in payload.items():
+            self._blobs[ref] = self.codecs.decode(encoded)

@@ -1,0 +1,91 @@
+"""Whole-environment persistence: save/load a design session.
+
+The paper's framework persists three things: the task schema (the one
+methodology artifact), the design history database (meta-data + shared
+physical data), and the flow catalog (the plan-based approach's library).
+:func:`save_environment` writes them as three JSON files in a directory;
+:func:`load_environment` reconstructs a working
+:class:`~repro.execution.context.DesignEnvironment`.
+
+Tool *encapsulations* are code, not data: after loading, re-run the
+site's tool installation (e.g.
+:func:`repro.tools.install_standard_tools` registers encapsulations only
+— already-installed tool instances are found in the history).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Callable
+
+from .core.flow import DynamicFlow
+from .errors import HistoryError
+from .execution.context import DesignEnvironment
+from .history.database import HistoryDatabase
+from .history.datastore import CodecRegistry
+from .schema.serialize import schema_from_dict, schema_to_dict
+
+SCHEMA_FILE = "schema.json"
+HISTORY_FILE = "history.json"
+FLOWS_FILE = "flows.json"
+META_FILE = "environment.json"
+FORMAT_VERSION = 1
+
+
+def save_environment(env: DesignEnvironment, directory: str | pathlib.Path
+                     ) -> pathlib.Path:
+    """Persist schema, history and flow catalog into a directory."""
+    root = pathlib.Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    (root / SCHEMA_FILE).write_text(
+        json.dumps(schema_to_dict(env.schema), indent=1, sort_keys=True),
+        encoding="utf-8")
+    (root / HISTORY_FILE).write_text(
+        json.dumps(env.db.to_dict(), indent=1, sort_keys=True),
+        encoding="utf-8")
+    flows = {}
+    for name in env.flow_catalog.names():
+        flow = env.flow_catalog.select(name)
+        flows[name] = {
+            "description": env.flow_catalog.description(name),
+            "graph": flow.to_dict(),
+        }
+    (root / FLOWS_FILE).write_text(
+        json.dumps(flows, indent=1, sort_keys=True), encoding="utf-8")
+    (root / META_FILE).write_text(
+        json.dumps({"format": FORMAT_VERSION, "user": env.user},
+                   indent=1), encoding="utf-8")
+    return root
+
+
+def load_environment(directory: str | pathlib.Path, *,
+                     codecs: CodecRegistry | None = None,
+                     clock: Callable[[], float] | None = None
+                     ) -> DesignEnvironment:
+    """Rebuild an environment from :func:`save_environment` output."""
+    root = pathlib.Path(directory)
+    meta_path = root / META_FILE
+    if not meta_path.exists():
+        raise HistoryError(f"{root} is not a saved environment "
+                           f"(missing {META_FILE})")
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    if meta.get("format") != FORMAT_VERSION:
+        raise HistoryError(
+            f"unsupported environment format {meta.get('format')!r}")
+    schema = schema_from_dict(
+        json.loads((root / SCHEMA_FILE).read_text(encoding="utf-8")))
+    env = DesignEnvironment(schema, user=meta.get("user", "designer"),
+                            codecs=codecs, clock=clock)
+    env.db = HistoryDatabase.from_dict(
+        schema,
+        json.loads((root / HISTORY_FILE).read_text(encoding="utf-8")),
+        codecs=codecs, clock=clock)
+    flows_path = root / FLOWS_FILE
+    if flows_path.exists():
+        for name, spec in json.loads(
+                flows_path.read_text(encoding="utf-8")).items():
+            flow = DynamicFlow.from_dict(schema, spec["graph"])
+            env.flow_catalog.register_flow(
+                name, flow, description=spec.get("description", ""))
+    return env

@@ -1,0 +1,26 @@
+"""The Design Process Level: hierarchy, goals and process management.
+
+The paper (section 3.1) delegates design decomposition — *"a hierarchy of
+cells within a design"* — to the Odyssey framework's Design Process Level
+(the Minerva Design Process Manager [11]).  This package reproduces that
+level on top of the flow manager: design objects form a hierarchy, goals
+are evaluated by querying the history database (including staleness), and
+unachieved goals map back to dynamically defined flows.
+"""
+
+from .design import DesignObject, ProcessError
+from .goals import (Goal, GoalStatus, clean_performance_predicate,
+                    verified_predicate)
+from .manager import DesignProcessManager, GoalReport, Progress
+
+__all__ = [
+    "DesignObject",
+    "DesignProcessManager",
+    "Goal",
+    "GoalReport",
+    "GoalStatus",
+    "Progress",
+    "ProcessError",
+    "clean_performance_predicate",
+    "verified_predicate",
+]

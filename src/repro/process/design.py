@@ -1,0 +1,114 @@
+"""Hierarchical design objects: the Design Process Level substrate.
+
+Paper section 3.1: *"More complicated notions of design decomposition
+(such as a hierarchy of cells within a design) can be handled at a higher
+level of abstraction.  In the Odyssey CAD Framework, this is the Design
+Process Level implemented in the Minerva Design Process Manager [11]."*
+
+A :class:`DesignObject` is a node of the cell hierarchy (chip, block,
+cell, ...).  It owns no design data itself; instead it *attaches* history
+instances (its views and artifacts) and carries the goals the design
+process manager evaluates against the history database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import ReproError
+
+
+class ProcessError(ReproError):
+    """A design-process-level operation failed."""
+
+
+@dataclass
+class DesignObject:
+    """One node of the design hierarchy."""
+
+    name: str
+    owner: str = ""
+    description: str = ""
+    parent: "DesignObject | None" = field(default=None, repr=False)
+    children: list["DesignObject"] = field(default_factory=list,
+                                           repr=False)
+    attached: list[str] = field(default_factory=list)
+
+    # -- hierarchy -----------------------------------------------------
+    def add_child(self, name: str, *, owner: str = "",
+                  description: str = "") -> "DesignObject":
+        if any(child.name == name for child in self.children):
+            raise ProcessError(
+                f"{self.name!r} already has a child {name!r}")
+        child = DesignObject(name, owner=owner, description=description,
+                             parent=self)
+        self.children.append(child)
+        return child
+
+    def child(self, name: str) -> "DesignObject":
+        for candidate in self.children:
+            if candidate.name == name:
+                return candidate
+        raise ProcessError(f"{self.name!r} has no child {name!r}")
+
+    def find(self, path: str) -> "DesignObject":
+        """Resolve a '/'-separated path relative to this node."""
+        node = self
+        for part in path.split("/"):
+            if part:
+                node = node.child(part)
+        return node
+
+    def path(self) -> str:
+        parts = []
+        node: DesignObject | None = self
+        while node is not None:
+            parts.append(node.name)
+            node = node.parent
+        return "/".join(reversed(parts))
+
+    def walk(self) -> Iterator["DesignObject"]:
+        """This node and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    # -- instance attachment ---------------------------------------------
+    def attach(self, instance_id: str) -> None:
+        """Associate a history instance (a view/artifact) with this cell."""
+        if instance_id not in self.attached:
+            self.attached.append(instance_id)
+
+    def detach(self, instance_id: str) -> None:
+        if instance_id not in self.attached:
+            raise ProcessError(
+                f"{self.path()!r}: {instance_id!r} is not attached")
+        self.attached.remove(instance_id)
+
+    def attached_ids(self, *, recursive: bool = False) -> tuple[str, ...]:
+        if not recursive:
+            return tuple(self.attached)
+        out: list[str] = []
+        for node in self.walk():
+            out.extend(node.attached)
+        return tuple(out)
+
+    def render(self) -> str:
+        """Indented hierarchy listing."""
+        lines: list[str] = []
+
+        def visit(node: DesignObject, depth: int) -> None:
+            owner = f" [{node.owner}]" if node.owner else ""
+            attached = (f" ({len(node.attached)} artifacts)"
+                        if node.attached else "")
+            lines.append("  " * depth + node.name + owner + attached)
+            for child in node.children:
+                visit(child, depth + 1)
+
+        visit(self, 0)
+        return "\n".join(lines)

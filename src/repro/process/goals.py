@@ -1,0 +1,84 @@
+"""Design goals evaluated against the history database.
+
+A :class:`Goal` states what must exist for a design object to progress —
+"a fresh verified physical view", "a performance under the models in
+use".  Goal status is *derived*, never stored: a goal is
+
+* ``ACHIEVED`` when an attached instance of the required type exists,
+  satisfies the goal's predicate, and is up to date;
+* ``STALE`` when such an instance exists but consistency maintenance
+  says it used superseded inputs;
+* ``OPEN`` otherwise.
+
+This is the design-process face of the paper's consistency-maintenance
+claim: the process manager asks the history, not a status file.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..history.consistency import is_stale
+from ..history.database import HistoryDatabase
+from ..history.instance import EntityInstance
+from .design import DesignObject
+
+
+class GoalStatus(enum.Enum):
+    OPEN = "open"
+    STALE = "stale"
+    ACHIEVED = "achieved"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+Predicate = Callable[[HistoryDatabase, EntityInstance], bool]
+
+
+@dataclass(frozen=True)
+class Goal:
+    """One requirement on a design object."""
+
+    name: str
+    entity_type: str
+    predicate: Predicate | None = None
+    require_fresh: bool = True
+    description: str = ""
+
+    def evaluate(self, db: HistoryDatabase,
+                 design: DesignObject) -> tuple[GoalStatus, str | None]:
+        """Status plus the satisfying (or stale) instance id, if any."""
+        best: tuple[GoalStatus, str | None] = (GoalStatus.OPEN, None)
+        for instance_id in design.attached_ids():
+            if instance_id not in db:
+                continue
+            instance = db.get(instance_id)
+            if not db.schema.is_subtype(instance.entity_type,
+                                        self.entity_type):
+                continue
+            if self.predicate is not None \
+                    and not self.predicate(db, instance):
+                continue
+            if self.require_fresh and is_stale(db, instance_id):
+                if best[0] is GoalStatus.OPEN:
+                    best = (GoalStatus.STALE, instance_id)
+                continue
+            return (GoalStatus.ACHIEVED, instance_id)
+        return best
+
+
+def verified_predicate(db: HistoryDatabase,
+                       instance: EntityInstance) -> bool:
+    """Predicate for Verification goals: the comparison matched."""
+    data: Any = db.data(instance)
+    return bool(getattr(data, "matched", False))
+
+
+def clean_performance_predicate(db: HistoryDatabase,
+                                instance: EntityInstance) -> bool:
+    """Predicate for Performance goals: no unknown output values."""
+    data: Any = db.data(instance)
+    return not getattr(data, "has_unknowns", True)

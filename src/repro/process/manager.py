@@ -1,0 +1,153 @@
+"""The design process manager (the reproduction's Minerva).
+
+Couples a :class:`~repro.process.design.DesignObject` hierarchy with
+goals and the design environment:
+
+* :meth:`DesignProcessManager.status` — evaluate every goal of a cell
+  (or the whole subtree) against the history database;
+* :meth:`DesignProcessManager.progress` — achieved/total rollup per
+  subtree;
+* :meth:`DesignProcessManager.next_tasks` — for every open goal, a
+  goal-based dynamically defined flow that would achieve it (the bridge
+  back down to the Hercules task level);
+* :meth:`DesignProcessManager.report` — the textual management view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.flow import DynamicFlow
+from ..execution.context import DesignEnvironment
+from .design import DesignObject, ProcessError
+from .goals import Goal, GoalStatus
+
+
+@dataclass(frozen=True)
+class GoalReport:
+    """One goal's evaluated state on one design object."""
+
+    design: str
+    goal: Goal
+    status: GoalStatus
+    instance_id: str | None
+
+
+@dataclass
+class Progress:
+    """Achievement rollup for a subtree."""
+
+    achieved: int = 0
+    stale: int = 0
+    open: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.achieved + self.stale + self.open
+
+    @property
+    def fraction(self) -> float:
+        return self.achieved / self.total if self.total else 1.0
+
+
+class DesignProcessManager:
+    """Minerva-style process management over the flow manager."""
+
+    def __init__(self, env: DesignEnvironment, root: DesignObject) -> None:
+        self.env = env
+        self.root = root
+        self._goals: dict[str, list[Goal]] = {}
+
+    # -- goal management -------------------------------------------------
+    def add_goal(self, design: DesignObject | str, goal: Goal) -> Goal:
+        node = self._resolve(design)
+        existing = self._goals.setdefault(node.path(), [])
+        if any(g.name == goal.name for g in existing):
+            raise ProcessError(
+                f"{node.path()!r} already has goal {goal.name!r}")
+        self.env.schema.entity(goal.entity_type)  # validated early
+        existing.append(goal)
+        return goal
+
+    def goals_of(self, design: DesignObject | str) -> tuple[Goal, ...]:
+        node = self._resolve(design)
+        return tuple(self._goals.get(node.path(), ()))
+
+    def _resolve(self, design: DesignObject | str) -> DesignObject:
+        if isinstance(design, DesignObject):
+            return design
+        return self.root.find(design) if design else self.root
+
+    # -- evaluation ----------------------------------------------------
+    def status(self, design: DesignObject | str = "", *,
+               recursive: bool = True) -> tuple[GoalReport, ...]:
+        node = self._resolve(design)
+        nodes = node.walk() if recursive else iter((node,))
+        out: list[GoalReport] = []
+        for current in nodes:
+            for goal in self._goals.get(current.path(), ()):
+                state, instance_id = goal.evaluate(self.env.db, current)
+                out.append(GoalReport(current.path(), goal, state,
+                                      instance_id))
+        return tuple(out)
+
+    def progress(self, design: DesignObject | str = "") -> Progress:
+        rollup = Progress()
+        for report in self.status(design):
+            if report.status is GoalStatus.ACHIEVED:
+                rollup.achieved += 1
+            elif report.status is GoalStatus.STALE:
+                rollup.stale += 1
+            else:
+                rollup.open += 1
+        return rollup
+
+    # -- bridge back to the task level ------------------------------------
+    def next_tasks(self, design: DesignObject | str = ""
+                   ) -> tuple[tuple[GoalReport, DynamicFlow], ...]:
+        """A goal-based flow for every unachieved goal.
+
+        Stale goals yield the retrace plan of their stale instance; open
+        goals yield a fresh goal-based flow for the goal's entity type —
+        the designer expands and binds from there.
+        """
+        out = []
+        for report in self.status(design):
+            if report.status is GoalStatus.ACHIEVED:
+                continue
+            if report.status is GoalStatus.STALE \
+                    and report.instance_id is not None:
+                plan = self.env.refresh_plan(report.instance_id)
+                flow = DynamicFlow(self.env.schema, graph=plan)
+            else:
+                flow, _ = self.env.goal_flow(
+                    report.goal.entity_type,
+                    name=f"achieve-{report.goal.name}")
+            out.append((report, flow))
+        return tuple(out)
+
+    # -- reporting ---------------------------------------------------
+    def report(self) -> str:
+        lines = [f"design process: {self.root.name}"]
+
+        def visit(node: DesignObject, depth: int) -> None:
+            rollup = self.progress(node)
+            lines.append("  " * (depth + 1)
+                         + f"{node.name}: {rollup.achieved}/{rollup.total}"
+                         f" goals achieved"
+                         + (f", {rollup.stale} stale" if rollup.stale
+                            else ""))
+            for goal_report in self.status(node, recursive=False):
+                marker = {GoalStatus.ACHIEVED: "[x]",
+                          GoalStatus.STALE: "[~]",
+                          GoalStatus.OPEN: "[ ]"}[goal_report.status]
+                suffix = (f" -> {goal_report.instance_id}"
+                          if goal_report.instance_id else "")
+                lines.append("  " * (depth + 2)
+                             + f"{marker} {goal_report.goal.name}"
+                             + suffix)
+            for child in node.children:
+                visit(child, depth + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Task schemas: entity types, dependencies, catalogs and serialization.
+
+The task schema (paper section 3.1) states the construction rules by which
+tasks can be built and doubles as the data schema of the design history
+database.  See :mod:`repro.schema.standard` for the schemas of the paper's
+Figs. 1 and 2.
+"""
+
+from .builder import SchemaBuilder
+from .catalog import (DataTypeCatalog, EntityCatalog, FlowCatalog,
+                      ToolCatalog)
+from .dependency import DepKind, Dependency, data_dep, functional
+from .entity import EntityKind, EntityType, composed, data, tool
+from .schema import ConstructionMethod, TaskSchema
+from .serialize import (dumps, load, loads, save, schema_from_dict,
+                        schema_to_dict)
+
+__all__ = [
+    "ConstructionMethod",
+    "DataTypeCatalog",
+    "DepKind",
+    "Dependency",
+    "EntityCatalog",
+    "EntityKind",
+    "EntityType",
+    "FlowCatalog",
+    "SchemaBuilder",
+    "TaskSchema",
+    "ToolCatalog",
+    "composed",
+    "data",
+    "data_dep",
+    "dumps",
+    "functional",
+    "load",
+    "loads",
+    "save",
+    "schema_from_dict",
+    "schema_to_dict",
+    "tool",
+]

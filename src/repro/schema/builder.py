@@ -1,0 +1,106 @@
+"""Fluent construction of task schemas.
+
+A :class:`SchemaBuilder` lets the full Fig. 1 schema be written as a short,
+readable program::
+
+    schema = (SchemaBuilder("fig1")
+              .tool("Simulator")
+              .data("Netlist")
+              .data("ExtractedNetlist", parent="Netlist")
+              .produced_by("ExtractedNetlist", "Extractor", inputs=["Layout"])
+              ...
+              .build())
+
+``produced_by`` declares the functional dependency plus the data
+dependencies of one construction method in a single call, which is how a
+methodology manager would naturally think about a task.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import SchemaError
+from .dependency import data_dep, functional
+from .entity import EntityType, composed as composed_entity, data as data_entity
+from .entity import tool as tool_entity
+from .schema import TaskSchema
+
+InputSpec = str | tuple[str, str] | dict
+
+
+class SchemaBuilder:
+    """Incrementally assemble and validate a :class:`TaskSchema`."""
+
+    def __init__(self, name: str = "schema") -> None:
+        self._schema = TaskSchema(name)
+
+    # -- entity declarations -------------------------------------------
+    def tool(self, name: str, *, parent: str | None = None,
+             description: str = "") -> "SchemaBuilder":
+        """Declare a tool entity type."""
+        self._schema.add_entity(
+            tool_entity(name, parent=parent, description=description))
+        return self
+
+    def data(self, name: str, *, parent: str | None = None,
+             description: str = "") -> "SchemaBuilder":
+        """Declare a data entity type."""
+        self._schema.add_entity(
+            data_entity(name, parent=parent, description=description))
+        return self
+
+    def composed(self, name: str, of: Sequence[InputSpec] = (),
+                 *, description: str = "") -> "SchemaBuilder":
+        """Declare a composed entity grouping the given component types."""
+        self._schema.add_entity(
+            composed_entity(name, description=description))
+        for spec in of:
+            self._add_input(name, spec)
+        return self
+
+    def entity(self, entity: EntityType) -> "SchemaBuilder":
+        """Declare a pre-built entity type."""
+        self._schema.add_entity(entity)
+        return self
+
+    # -- dependency declarations ---------------------------------------
+    def produced_by(self, produced: str, tool: str,
+                    inputs: Iterable[InputSpec] = ()) -> "SchemaBuilder":
+        """Declare a construction method: ``produced`` = ``tool``(inputs).
+
+        Each input may be a type name, a ``(role, type)`` tuple, or a dict
+        with keys ``type``, and optionally ``role`` and ``optional``.
+        """
+        self._schema.add_dependency(functional(produced, tool))
+        for spec in inputs:
+            self._add_input(produced, spec)
+        return self
+
+    def needs(self, source: str, target: str, *, optional: bool = False,
+              role: str = "") -> "SchemaBuilder":
+        """Declare one extra data dependency outside ``produced_by``."""
+        self._schema.add_dependency(
+            data_dep(source, target, optional=optional, role=role))
+        return self
+
+    def _add_input(self, source: str, spec: InputSpec) -> None:
+        if isinstance(spec, str):
+            self._schema.add_dependency(data_dep(source, spec))
+        elif isinstance(spec, tuple):
+            role, target = spec
+            self._schema.add_dependency(data_dep(source, target, role=role))
+        elif isinstance(spec, dict):
+            self._schema.add_dependency(data_dep(
+                source, spec["type"],
+                optional=bool(spec.get("optional", False)),
+                role=spec.get("role", "")))
+        else:
+            raise SchemaError(f"bad input spec for {source!r}: {spec!r}")
+
+    # -- finalization ----------------------------------------------------
+    def build(self, validate: bool = True) -> TaskSchema:
+        """Return the schema, validated unless ``validate=False``."""
+        if validate:
+            self._schema.validate()
+        return self._schema

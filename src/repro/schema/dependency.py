@@ -1,0 +1,101 @@
+"""Dependency arcs for task schemas.
+
+The paper distinguishes two arc labels (Fig. 1):
+
+* ``f`` — a *functional dependency*: the entity is produced by the tool the
+  arc points at.  At most one per entity type.
+* ``d`` — a *data dependency*: producing the entity consumes data of the
+  pointed-at type.  Unlimited in number; may be *optional* (drawn dashed in
+  the paper) which is how cycles such as *Edited Layout --d--> Layout* are
+  broken.
+
+Each dependency additionally carries a ``role`` name so that a tool
+encapsulation can map inputs to arguments (e.g. a Verifier consumes two
+Netlists under roles ``"reference"`` and ``"candidate"``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DepKind(enum.Enum):
+    """Arc label from the paper's task schema: ``f`` or ``d``."""
+
+    FUNCTIONAL = "f"
+    DATA = "d"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """A directed dependency arc ``source --kind--> target``.
+
+    ``source`` is the produced entity; ``target`` is the tool (functional)
+    or the consumed data entity (data).  Both are entity type *names*;
+    resolution happens against a :class:`~repro.schema.schema.TaskSchema`.
+
+    Parameters
+    ----------
+    source:
+        Name of the dependent (produced) entity type.
+    target:
+        Name of the entity type depended upon.
+    kind:
+        Functional (``f``) or data (``d``).
+    optional:
+        Only meaningful for data dependencies; optional arcs break schema
+        cycles and need not be present in a flow.
+    role:
+        Input-role label; defaults to the target type name.  Roles must be
+        unique among the data dependencies of one source entity.
+    """
+
+    source: str
+    target: str
+    kind: DepKind = DepKind.DATA
+    optional: bool = False
+    role: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.source or not self.target:
+            raise ValueError("dependency endpoints must be non-empty names")
+        if self.kind is DepKind.FUNCTIONAL and self.optional:
+            raise ValueError(
+                f"{self.source} --f--> {self.target}: "
+                "a functional dependency cannot be optional"
+            )
+        if not self.role:
+            object.__setattr__(self, "role", self.target)
+
+    @property
+    def is_functional(self) -> bool:
+        return self.kind is DepKind.FUNCTIONAL
+
+    @property
+    def is_data(self) -> bool:
+        return self.kind is DepKind.DATA
+
+    def arc_label(self) -> str:
+        """The label the paper would draw on this arc (``f``, ``d`` or ``d?``)."""
+        if self.is_functional:
+            return "f"
+        return "d?" if self.optional else "d"
+
+    def __str__(self) -> str:
+        return f"{self.source} --{self.arc_label()}--> {self.target}"
+
+
+def functional(source: str, target: str) -> Dependency:
+    """Shorthand for a functional dependency ``source --f--> target``."""
+    return Dependency(source, target, DepKind.FUNCTIONAL)
+
+
+def data_dep(source: str, target: str, *, optional: bool = False,
+             role: str = "") -> Dependency:
+    """Shorthand for a data dependency ``source --d--> target``."""
+    return Dependency(source, target, DepKind.DATA, optional=optional,
+                      role=role)

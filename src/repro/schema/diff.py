@@ -1,0 +1,125 @@
+"""Schema evolution: diffing two task schemas.
+
+Under the dynamic approach the task schema is the *only* methodology
+artifact a site maintains (section 3.3), so methodology evolution is
+schema evolution.  :func:`diff_schemas` computes a structured delta
+between two schema versions, and :meth:`SchemaDiff.impact` reports which
+entity types' construction methods changed — exactly the information a
+methodology manager needs to announce to designers (and the information
+the CLAIM-C maintenance benchmark counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .dependency import Dependency
+from .entity import EntityType
+from .schema import TaskSchema
+
+
+@dataclass(frozen=True)
+class EntityChange:
+    """A modified entity type (same name, different definition)."""
+
+    name: str
+    before: EntityType
+    after: EntityType
+
+    def describe(self) -> str:
+        parts = []
+        if self.before.kind is not self.after.kind:
+            parts.append(f"kind {self.before.kind} -> {self.after.kind}")
+        if self.before.parent != self.after.parent:
+            parts.append(f"parent {self.before.parent!r} -> "
+                         f"{self.after.parent!r}")
+        if self.before.composed != self.after.composed:
+            parts.append(f"composed {self.before.composed} -> "
+                         f"{self.after.composed}")
+        if self.before.description != self.after.description:
+            parts.append("description changed")
+        return f"{self.name}: " + ", ".join(parts or ["metadata changed"])
+
+
+@dataclass
+class SchemaDiff:
+    """The structured delta between two schemas."""
+
+    added_entities: tuple[EntityType, ...] = ()
+    removed_entities: tuple[EntityType, ...] = ()
+    changed_entities: tuple[EntityChange, ...] = ()
+    added_dependencies: tuple[Dependency, ...] = ()
+    removed_dependencies: tuple[Dependency, ...] = ()
+    _impacted: tuple[str, ...] = field(default=(), repr=False)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added_entities or self.removed_entities
+                    or self.changed_entities or self.added_dependencies
+                    or self.removed_dependencies)
+
+    def artifact_count(self) -> int:
+        """Maintenance artifacts touched: 1 if anything changed, else 0.
+
+        The schema is one artifact; this is the CLAIM-C observable for
+        the dynamic approach.
+        """
+        return 0 if self.is_empty else 1
+
+    def impact(self) -> tuple[str, ...]:
+        """Entity types whose construction method changed."""
+        return self._impacted
+
+    def render(self) -> str:
+        lines = ["schema diff:"]
+        for entity in self.added_entities:
+            lines.append(f"  + entity {entity.name} ({entity.kind})")
+        for entity in self.removed_entities:
+            lines.append(f"  - entity {entity.name}")
+        for change in self.changed_entities:
+            lines.append(f"  ~ {change.describe()}")
+        for dep in self.added_dependencies:
+            lines.append(f"  + dependency {dep}")
+        for dep in self.removed_dependencies:
+            lines.append(f"  - dependency {dep}")
+        if self.impact():
+            lines.append("  construction methods affected: "
+                         + ", ".join(self.impact()))
+        if self.is_empty:
+            lines.append("  (no changes)")
+        return "\n".join(lines)
+
+
+def diff_schemas(before: TaskSchema, after: TaskSchema) -> SchemaDiff:
+    """Compute the structured delta between two schema versions."""
+    before_entities = {e.name: e for e in before.entities()}
+    after_entities = {e.name: e for e in after.entities()}
+    added = tuple(after_entities[n]
+                  for n in sorted(set(after_entities) -
+                                  set(before_entities)))
+    removed = tuple(before_entities[n]
+                    for n in sorted(set(before_entities) -
+                                    set(after_entities)))
+    changed = tuple(
+        EntityChange(n, before_entities[n], after_entities[n])
+        for n in sorted(set(before_entities) & set(after_entities))
+        if before_entities[n] != after_entities[n])
+    before_deps = set(before.dependencies())
+    after_deps = set(after.dependencies())
+    added_deps = tuple(sorted(after_deps - before_deps,
+                              key=lambda d: (d.source, d.role, d.target)))
+    removed_deps = tuple(sorted(before_deps - after_deps,
+                                key=lambda d: (d.source, d.role,
+                                               d.target)))
+    impacted: set[str] = set()
+    for dep in (*added_deps, *removed_deps):
+        if dep.source in after_entities or dep.source in before_entities:
+            impacted.add(dep.source)
+    # subtype retargeting changes effective construction of descendants
+    for change in changed:
+        if change.before.parent != change.after.parent:
+            impacted.add(change.name)
+            schema = after if change.name in after_entities else before
+            impacted.update(schema.descendants_of(change.name))
+    return SchemaDiff(added, removed, changed, added_deps, removed_deps,
+                      tuple(sorted(impacted)))

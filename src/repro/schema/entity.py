@@ -1,0 +1,105 @@
+"""Entity types for task schemas.
+
+In the paper (section 3.1) a task schema is a graph over *design entities*,
+where both tools and data are entities.  An entity type carries:
+
+* a ``kind`` — :attr:`EntityKind.TOOL` for entities whose instances are
+  executable tools (simulators, editors, placers, ...) and
+  :attr:`EntityKind.DATA` for design data (netlists, layouts, plots, ...).
+  Tools being plain entities is what lets the schema describe tools that are
+  *created during the design* (the COSMOS example, Fig. 2) and tools passed
+  as *data* to other tools (an optimizer taking a simulator as an argument);
+* an optional ``parent`` — subtyping separates alternative construction
+  methods (an *Extracted Netlist* and an *Edited Netlist* are subtypes of
+  *Netlist*, Fig. 1);
+* a ``composed`` flag — composed entities have only data dependencies and
+  carry implicit composition / decomposition functions (a *Circuit* groups
+  *Device Models* and a *Netlist*).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class EntityKind(enum.Enum):
+    """Whether an entity's instances are executable tools or design data."""
+
+    TOOL = "tool"
+    DATA = "data"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class EntityType:
+    """A node of the task schema.
+
+    Parameters
+    ----------
+    name:
+        Unique name within the schema (e.g. ``"Netlist"``).
+    kind:
+        Tool or data entity.
+    parent:
+        Name of the supertype, if this type is a specialization.
+    composed:
+        True for composed entities: data dependencies only, with implicit
+        compose/decompose functions instead of a tool invocation.
+    description:
+        Free-text documentation shown in entity catalogs.
+    attributes:
+        Optional declared metadata attribute names for instances of this
+        type (beyond the standard user/timestamp/comment meta-data).
+    """
+
+    name: str
+    kind: EntityKind = EntityKind.DATA
+    parent: str | None = None
+    composed: bool = False
+    description: str = ""
+    attributes: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.strip():
+            raise ValueError("entity type name must be non-empty")
+        if self.composed and self.kind is EntityKind.TOOL:
+            raise ValueError(
+                f"entity {self.name!r}: a composed entity cannot be a tool"
+            )
+
+    @property
+    def is_tool(self) -> bool:
+        """True if instances of this type are executable tools."""
+        return self.kind is EntityKind.TOOL
+
+    @property
+    def is_data(self) -> bool:
+        """True if instances of this type are design data."""
+        return self.kind is EntityKind.DATA
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def tool(name: str, *, parent: str | None = None, description: str = "",
+         attributes: tuple[str, ...] = ()) -> EntityType:
+    """Shorthand constructor for a tool entity type."""
+    return EntityType(name, EntityKind.TOOL, parent=parent,
+                      description=description, attributes=attributes)
+
+
+def data(name: str, *, parent: str | None = None, description: str = "",
+         attributes: tuple[str, ...] = ()) -> EntityType:
+    """Shorthand constructor for a data entity type."""
+    return EntityType(name, EntityKind.DATA, parent=parent,
+                      description=description, attributes=attributes)
+
+
+def composed(name: str, *, parent: str | None = None,
+             description: str = "") -> EntityType:
+    """Shorthand constructor for a composed (grouping) entity type."""
+    return EntityType(name, EntityKind.DATA, parent=parent, composed=True,
+                      description=description)

@@ -1,0 +1,100 @@
+"""JSON (de)serialization of task schemas.
+
+A schema is the *only* methodology artifact a site has to maintain
+(section 3.3), so it must be storable, diffable and shippable.  The format
+is a plain dict with ``entities`` and ``dependencies`` lists; round-trips
+are exact and tested property-style.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import SchemaError
+from .dependency import DepKind, Dependency
+from .entity import EntityKind, EntityType
+from .schema import TaskSchema
+
+FORMAT_VERSION = 1
+
+
+def schema_to_dict(schema: TaskSchema) -> dict[str, Any]:
+    """Convert a schema to a JSON-safe dict."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": schema.name,
+        "entities": [
+            {
+                "name": e.name,
+                "kind": e.kind.value,
+                "parent": e.parent,
+                "composed": e.composed,
+                "description": e.description,
+                "attributes": list(e.attributes),
+            }
+            for e in schema.entities()
+        ],
+        "dependencies": [
+            {
+                "source": d.source,
+                "target": d.target,
+                "kind": d.kind.value,
+                "optional": d.optional,
+                "role": d.role,
+            }
+            for d in schema.dependencies()
+        ],
+    }
+
+
+def schema_from_dict(payload: dict[str, Any],
+                     validate: bool = True) -> TaskSchema:
+    """Rebuild a schema from :func:`schema_to_dict` output."""
+    if payload.get("format") != FORMAT_VERSION:
+        raise SchemaError(
+            f"unsupported schema format: {payload.get('format')!r}"
+        )
+    schema = TaskSchema(payload.get("name", "schema"))
+    for spec in payload.get("entities", ()):
+        schema.add_entity(EntityType(
+            name=spec["name"],
+            kind=EntityKind(spec.get("kind", "data")),
+            parent=spec.get("parent"),
+            composed=bool(spec.get("composed", False)),
+            description=spec.get("description", ""),
+            attributes=tuple(spec.get("attributes", ())),
+        ))
+    for spec in payload.get("dependencies", ()):
+        schema.add_dependency(Dependency(
+            source=spec["source"],
+            target=spec["target"],
+            kind=DepKind(spec.get("kind", "d")),
+            optional=bool(spec.get("optional", False)),
+            role=spec.get("role", ""),
+        ))
+    if validate:
+        schema.validate()
+    return schema
+
+
+def dumps(schema: TaskSchema, indent: int | None = 2) -> str:
+    """Serialize a schema to a JSON string."""
+    return json.dumps(schema_to_dict(schema), indent=indent, sort_keys=True)
+
+
+def loads(text: str, validate: bool = True) -> TaskSchema:
+    """Deserialize a schema from a JSON string."""
+    return schema_from_dict(json.loads(text), validate=validate)
+
+
+def save(schema: TaskSchema, path: str) -> None:
+    """Write a schema to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(schema))
+
+
+def load(path: str, validate: bool = True) -> TaskSchema:
+    """Read a schema from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read(), validate=validate)

@@ -1,0 +1,236 @@
+"""The task schemas used throughout the paper, reconstructed.
+
+Three schemas are provided:
+
+* :func:`fig1_schema` — the example task schema of Fig. 1: editors,
+  placer, extractor, simulator, verifier and plotter over device models,
+  netlists, layouts, circuits, stimuli, performances, plots and
+  verifications.  It exhibits every schema feature the paper names:
+  functional and data dependencies, subtyping (*Extracted Netlist* /
+  *Edited Netlist*), an optional cycle-breaking dependency (*Edited
+  Netlist --d?--> Netlist*), and a composed entity (*Circuit* = *Device
+  Models* + *Netlist*).
+* :func:`fig2_schema` — Fig. 1 extended with the Fig. 2 subgraph for a
+  tool created during the design: a *Compiled Simulator* is produced by a
+  *Sim Compiler* from a *Netlist* (the COSMOS example) and can then be run
+  on different stimuli.
+* :func:`odyssey_schema` — the full demo schema used by the examples: the
+  above plus logic specifications, standard-cell and PLA layout
+  generators (the Chiueh & Katz re-implementation scenario from section
+  2), and three statistical optimizers that share one tool signature and
+  take a *Simulator* as a **data** input (section 3.3: "tools themselves
+  may serve as data input to other tools").
+
+The exact arc set of the paper's Fig. 1 cannot be recovered verbatim from
+the scanned text, so this is a faithful reconstruction covering every
+relationship the prose describes; DESIGN.md records this substitution.
+"""
+
+from __future__ import annotations
+
+from .builder import SchemaBuilder
+from .schema import TaskSchema
+
+# Canonical entity type names, exported so that examples, tools and tests
+# never spell a type name twice.
+DEVICE_MODEL_EDITOR = "DeviceModelEditor"
+CIRCUIT_EDITOR = "CircuitEditor"
+LAYOUT_EDITOR = "LayoutEditor"
+PLACER = "Placer"
+EXTRACTOR = "Extractor"
+SIMULATOR = "Simulator"
+VERIFIER = "Verifier"
+PLOTTER = "Plotter"
+SIM_COMPILER = "SimCompiler"
+COMPILED_SIMULATOR = "CompiledSimulator"
+LOGIC_EDITOR = "LogicEditor"
+STD_CELL_GENERATOR = "StdCellGenerator"
+PLA_GENERATOR = "PLAGenerator"
+ROUTER = "Router"
+DRC_CHECKER = "DrcChecker"
+ERC_CHECKER = "ErcChecker"
+OPTIMIZER = "Optimizer"
+RANDOM_OPTIMIZER = "RandomSearchOptimizer"
+COORDINATE_OPTIMIZER = "CoordinateDescentOptimizer"
+ANNEALING_OPTIMIZER = "AnnealingOptimizer"
+
+DEVICE_MODELS = "DeviceModels"
+NETLIST = "Netlist"
+EXTRACTED_NETLIST = "ExtractedNetlist"
+EDITED_NETLIST = "EditedNetlist"
+OPTIMIZED_NETLIST = "OptimizedNetlist"
+LAYOUT = "Layout"
+EDITED_LAYOUT = "EditedLayout"
+PLACED_LAYOUT = "PlacedLayout"
+STD_CELL_LAYOUT = "StdCellLayout"
+PLA_LAYOUT = "PLALayout"
+CIRCUIT = "Circuit"
+STIMULI = "Stimuli"
+SIM_ARGS = "SimArgs"
+PLACEMENT_SPEC = "PlacementSpec"
+OPTIMIZATION_SPEC = "OptimizationSpec"
+PERFORMANCE = "Performance"
+PERFORMANCE_PLOT = "PerformancePlot"
+VERIFICATION = "Verification"
+EXTRACTION_STATISTICS = "ExtractionStatistics"
+LOGIC_SPEC = "LogicSpec"
+EDITED_LOGIC_SPEC = "EditedLogicSpec"
+DRC_REPORT = "DrcReport"
+ERC_REPORT = "ErcReport"
+ROUTED_LAYOUT = "RoutedLayout"
+
+
+def _fig1_builder(name: str) -> SchemaBuilder:
+    builder = (
+        SchemaBuilder(name)
+        # -- tools ------------------------------------------------------
+        .tool(DEVICE_MODEL_EDITOR,
+              description="interactive editor for device model sets")
+        .tool(CIRCUIT_EDITOR,
+              description="schematic/netlist editor")
+        .tool(LAYOUT_EDITOR,
+              description="mask layout editor")
+        .tool(PLACER, description="cell placement tool")
+        .tool(EXTRACTOR,
+              description="extracts a netlist and statistics from a layout")
+        .tool(SIMULATOR, description="circuit simulator")
+        .tool(VERIFIER, description="netlist-vs-netlist (LVS) verifier")
+        .tool(PLOTTER, description="performance plotter")
+        # -- data -------------------------------------------------------
+        .data(DEVICE_MODELS, description="device model parameter set")
+        .data(NETLIST, description="circuit connectivity (abstract)")
+        .data(EXTRACTED_NETLIST, parent=NETLIST,
+              description="netlist extracted from a layout")
+        .data(EDITED_NETLIST, parent=NETLIST,
+              description="netlist produced with the circuit editor")
+        .data(LAYOUT, description="mask geometry (abstract)")
+        .data(EDITED_LAYOUT, parent=LAYOUT,
+              description="layout produced with the layout editor")
+        .data(PLACED_LAYOUT, parent=LAYOUT,
+              description="layout produced by the placer")
+        .data(STIMULI, description="simulation input vectors")
+        .data(SIM_ARGS, description="simulator options as an entity type")
+        .data(PLACEMENT_SPEC, description="placement constraints")
+        .data(PERFORMANCE, description="simulated circuit performance")
+        .data(PERFORMANCE_PLOT, description="plot of a performance")
+        .data(VERIFICATION, description="result of an LVS comparison")
+        .data(EXTRACTION_STATISTICS,
+              description="area/device statistics from extraction")
+        # -- composed ---------------------------------------------------
+        .composed(CIRCUIT,
+                  of=[("models", DEVICE_MODELS), ("netlist", NETLIST)],
+                  description="device models grouped with a netlist")
+        # -- construction methods ----------------------------------------
+        .produced_by(DEVICE_MODELS, DEVICE_MODEL_EDITOR,
+                     inputs=[{"type": DEVICE_MODELS, "role": "previous",
+                              "optional": True}])
+        .produced_by(EDITED_NETLIST, CIRCUIT_EDITOR,
+                     inputs=[{"type": NETLIST, "role": "previous",
+                              "optional": True}])
+        .produced_by(EDITED_LAYOUT, LAYOUT_EDITOR,
+                     inputs=[{"type": LAYOUT, "role": "previous",
+                              "optional": True}])
+        .produced_by(PLACED_LAYOUT, PLACER,
+                     inputs=[("netlist", NETLIST),
+                             ("spec", PLACEMENT_SPEC)])
+        .produced_by(EXTRACTED_NETLIST, EXTRACTOR,
+                     inputs=[("layout", LAYOUT)])
+        .produced_by(EXTRACTION_STATISTICS, EXTRACTOR,
+                     inputs=[("layout", LAYOUT)])
+        .produced_by(PERFORMANCE, SIMULATOR,
+                     inputs=[("circuit", CIRCUIT), ("stimuli", STIMULI),
+                             {"type": SIM_ARGS, "role": "args",
+                              "optional": True}])
+        .produced_by(PERFORMANCE_PLOT, PLOTTER,
+                     inputs=[("performance", PERFORMANCE)])
+        .produced_by(VERIFICATION, VERIFIER,
+                     inputs=[("reference", NETLIST),
+                             ("candidate", NETLIST)])
+    )
+    return builder
+
+
+def fig1_schema() -> TaskSchema:
+    """The example task schema of the paper's Fig. 1."""
+    return _fig1_builder("fig1").build()
+
+
+def _add_cosmos(builder: SchemaBuilder) -> SchemaBuilder:
+    return (
+        builder
+        .tool(SIM_COMPILER,
+              description="compiles a netlist into an executable simulator "
+                          "(the COSMOS example, Fig. 2)")
+        .tool(COMPILED_SIMULATOR, parent=SIMULATOR,
+              description="simulator compiled for one netlist; a tool "
+                          "created during the design")
+        .produced_by(COMPILED_SIMULATOR, SIM_COMPILER,
+                     inputs=[("netlist", NETLIST)])
+    )
+
+
+def fig2_schema() -> TaskSchema:
+    """Fig. 1 plus the Fig. 2 subgraph for a tool created during design."""
+    return _add_cosmos(_fig1_builder("fig2")).build()
+
+
+def odyssey_schema() -> TaskSchema:
+    """The full demo schema: Fig. 1 + Fig. 2 + generators + optimizers."""
+    builder = _add_cosmos(_fig1_builder("odyssey"))
+    builder = (
+        builder
+        # logic view and its editor (Fig. 7's logic view of a cell)
+        .tool(LOGIC_EDITOR, description="logic/boolean specification editor")
+        .data(LOGIC_SPEC, description="gate-level logic view (abstract)")
+        .data(EDITED_LOGIC_SPEC, parent=LOGIC_SPEC,
+              description="logic specification from the logic editor")
+        .produced_by(EDITED_LOGIC_SPEC, LOGIC_EDITOR,
+                     inputs=[{"type": LOGIC_SPEC, "role": "previous",
+                              "optional": True}])
+        # alternative layout implementations (Chiueh & Katz scenario)
+        .tool(STD_CELL_GENERATOR,
+              description="standard-cell layout generator")
+        .tool(PLA_GENERATOR, description="PLA layout generator")
+        .data(STD_CELL_LAYOUT, parent=LAYOUT,
+              description="layout implemented with standard cells")
+        .data(PLA_LAYOUT, parent=LAYOUT,
+              description="layout implemented as a PLA")
+        .produced_by(STD_CELL_LAYOUT, STD_CELL_GENERATOR,
+                     inputs=[("logic", LOGIC_SPEC)])
+        .produced_by(PLA_LAYOUT, PLA_GENERATOR,
+                     inputs=[("logic", LOGIC_SPEC)])
+        # geometric routing of the physical view
+        .tool(ROUTER, description="channel/track router")
+        .data(ROUTED_LAYOUT, parent=LAYOUT,
+              description="layout with geometric track wiring")
+        .produced_by(ROUTED_LAYOUT, ROUTER,
+                     inputs=[("layout", LAYOUT)])
+        # design rule checking of the physical view
+        .tool(DRC_CHECKER, description="layout design-rule checker")
+        .data(DRC_REPORT, description="result of a DRC run")
+        .produced_by(DRC_REPORT, DRC_CHECKER,
+                     inputs=[("layout", LAYOUT)])
+        # electrical rule checking of the transistor view
+        .tool(ERC_CHECKER, description="netlist electrical-rule checker")
+        .data(ERC_REPORT, description="result of an ERC run")
+        .produced_by(ERC_REPORT, ERC_CHECKER,
+                     inputs=[("netlist", NETLIST)])
+        # statistical optimizers sharing one signature; note the Simulator
+        # appearing as a *data* input to the optimization task
+        .tool(OPTIMIZER, description="statistical circuit optimizer "
+                                     "(abstract tool family)")
+        .tool(RANDOM_OPTIMIZER, parent=OPTIMIZER,
+              description="random-search optimizer")
+        .tool(COORDINATE_OPTIMIZER, parent=OPTIMIZER,
+              description="coordinate-descent optimizer")
+        .tool(ANNEALING_OPTIMIZER, parent=OPTIMIZER,
+              description="annealing optimizer")
+        .data(OPTIMIZATION_SPEC, description="optimization goal/limits")
+        .data(OPTIMIZED_NETLIST, parent=NETLIST,
+              description="netlist tuned by an optimizer")
+        .produced_by(OPTIMIZED_NETLIST, OPTIMIZER,
+                     inputs=[("circuit", CIRCUIT),
+                             ("simulator", SIMULATOR),
+                             ("spec", OPTIMIZATION_SPEC)])
+    )
+    return builder.build()

@@ -1,0 +1,138 @@
+"""The mini-CAD tool substrate.
+
+Pure-Python reimplementations of every tool the paper's schemas name:
+editors, an annealing placer, a layout extractor, a COSMOS-style compiled
+switch-level simulator, an LVS verifier, a plotter, layout generators and
+three statistical optimizers — plus the design-data models they operate
+on.  Importing this package registers codecs for all design-data classes
+with the global codec registry, so the history database can persist them.
+"""
+
+from ..history.datastore import GLOBAL_CODECS, CodecRegistry
+from .cells import CellDef, CellLibrary, standard_library
+from .device_models import DeviceModels, default_models
+from .drc import DrcReport, DrcViolation, check_design_rules
+from .erc import ErcReport, ErcViolation, check_electrical_rules
+from .editors import (edit_device_models, edit_layout, edit_logic,
+                      edit_netlist)
+from .encapsulations import (compose_circuit, edit_session,
+                             install_standard_tools,
+                             register_standard_encapsulations)
+from .extractor import ExtractionStatistics, extract
+from .generators import pla_layout, pla_statistics, stdcell_layout, tech_map
+from .layout import Layout, Pin, Placement, Wire
+from .layout_render import render_layout
+from .logic import (LogicSpec, evaluate, operator_count,
+                    parse_expr, simplify, variables)
+from .netlist import (GROUND, NMOS, PMOS, POWER, STRONG, WEAK,
+                      CellInstance, Netlist, Transistor)
+from .optimizer import optimize
+from .performance import ONE, UNKNOWN, ZERO, PerformanceReport
+from .placer import place, placement_quality
+from .plotter import PerformancePlot, plot
+from .router import RoutingSummary, route_layout
+from .simulator import (CompiledNetwork, compile_netlist, simulate,
+                        truth_table)
+from .spice import from_spice, to_spice
+from .vcd import to_vcd
+from .stimuli import (Stimuli, exhaustive, from_table, random_vectors,
+                      walking_ones)
+from .verifier import Verification, verify
+
+
+def register_tool_codecs(registry: CodecRegistry) -> None:
+    """Register codecs for every tool data class with a registry."""
+    registry.register_dataclass_like("netlist", Netlist)
+    registry.register_dataclass_like("layout", Layout)
+    registry.register_dataclass_like("logic-spec", LogicSpec)
+    registry.register_dataclass_like("device-models", DeviceModels)
+    registry.register_dataclass_like("stimuli", Stimuli)
+    registry.register_dataclass_like("performance", PerformanceReport)
+    registry.register_dataclass_like("performance-plot", PerformancePlot)
+    registry.register_dataclass_like("verification", Verification)
+    registry.register_dataclass_like("extraction-statistics",
+                                     ExtractionStatistics)
+    registry.register_dataclass_like("compiled-network", CompiledNetwork)
+    registry.register_dataclass_like("cell-library", CellLibrary)
+    registry.register_dataclass_like("drc-report", DrcReport)
+    registry.register_dataclass_like("erc-report", ErcReport)
+
+
+# one-time registration with the shared registry
+if not getattr(GLOBAL_CODECS, "_repro_tools_registered", False):
+    register_tool_codecs(GLOBAL_CODECS)
+    GLOBAL_CODECS._repro_tools_registered = True  # type: ignore[attr-defined]
+
+__all__ = [
+    "GROUND",
+    "NMOS",
+    "ONE",
+    "PMOS",
+    "POWER",
+    "STRONG",
+    "UNKNOWN",
+    "WEAK",
+    "ZERO",
+    "CellDef",
+    "CellInstance",
+    "CellLibrary",
+    "CompiledNetwork",
+    "DeviceModels",
+    "DrcReport",
+    "DrcViolation",
+    "ErcReport",
+    "ErcViolation",
+    "ExtractionStatistics",
+    "Layout",
+    "LogicSpec",
+    "Netlist",
+    "PerformancePlot",
+    "PerformanceReport",
+    "Pin",
+    "Placement",
+    "Stimuli",
+    "Transistor",
+    "Verification",
+    "Wire",
+    "check_design_rules",
+    "check_electrical_rules",
+    "compile_netlist",
+    "compose_circuit",
+    "default_models",
+    "edit_device_models",
+    "edit_layout",
+    "edit_logic",
+    "edit_netlist",
+    "edit_session",
+    "evaluate",
+    "exhaustive",
+    "extract",
+    "from_spice",
+    "from_table",
+    "install_standard_tools",
+    "operator_count",
+    "optimize",
+    "parse_expr",
+    "pla_layout",
+    "pla_statistics",
+    "place",
+    "placement_quality",
+    "plot",
+    "RoutingSummary",
+    "random_vectors",
+    "register_standard_encapsulations",
+    "render_layout",
+    "route_layout",
+    "register_tool_codecs",
+    "simplify",
+    "simulate",
+    "standard_library",
+    "stdcell_layout",
+    "tech_map",
+    "to_spice",
+    "to_vcd",
+    "truth_table",
+    "variables",
+    "verify",
+    "walking_ones",
+]

@@ -1,0 +1,289 @@
+"""Standard-cell library: layout footprints + transistor templates.
+
+Each :class:`CellDef` couples the three views of Fig. 7 for one cell:
+
+* the **logic view** — a boolean function name ('inv', 'nand2', ...);
+* the **transistor view** — a netlist fragment template using the cell's
+  port names as external nets;
+* the **physical view** — a footprint (width, height) with port offsets,
+  placed into layouts by the placer and generators and read back by the
+  extractor.
+
+The default :func:`standard_library` contains the CMOS cells the examples
+use (inverter, NAND2, NOR2, buffer) plus the pseudo-NMOS crosspoint cells
+the PLA generator needs (``pla_nmos``, ``pla_load``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import ToolError
+from .netlist import GROUND, NMOS, PMOS, POWER, WEAK, Netlist
+
+
+@dataclass(frozen=True)
+class CellDef:
+    """One library cell: ports, footprint and transistor template."""
+
+    name: str
+    ports: tuple[str, ...]
+    width: int
+    height: int
+    port_offsets: tuple[tuple[str, tuple[int, int]], ...]
+    template: Callable[[], Netlist]
+    function: str = ""
+
+    def port_offset(self, port: str) -> tuple[int, int]:
+        for name, offset in self.port_offsets:
+            if name == port:
+                return offset
+        raise ToolError(f"cell {self.name!r} has no port {port!r}")
+
+    def netlist_fragment(self) -> Netlist:
+        fragment = self.template()
+        return fragment
+
+    def area(self) -> int:
+        return self.width * self.height
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "ports": list(self.ports),
+                "width": self.width, "height": self.height,
+                "function": self.function}
+
+
+class CellLibrary:
+    """Named collection of cell definitions."""
+
+    def __init__(self, name: str = "stdcells") -> None:
+        self.name = name
+        self._cells: dict[str, CellDef] = {}
+
+    def add(self, cell: CellDef) -> CellDef:
+        if cell.name in self._cells:
+            raise ToolError(f"duplicate cell {cell.name!r}")
+        self._cells[cell.name] = cell
+        return cell
+
+    def cell(self, name: str) -> CellDef:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise ToolError(f"no cell {name!r} in library {self.name!r}"
+                            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._cells))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def to_dict(self) -> dict[str, Any]:
+        # Libraries are code-defined; persistence stores the identity and
+        # re-resolves against the in-process standard library.
+        return {"name": self.name, "cells": sorted(self._cells)}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "CellLibrary":
+        library = standard_library()
+        missing = [c for c in payload.get("cells", ())
+                   if c not in library]
+        if missing:
+            raise ToolError(f"library payload references unknown cells "
+                            f"{missing}")
+        library.name = payload.get("name", library.name)
+        return library
+
+
+# ---------------------------------------------------------------------------
+# transistor templates (the transistor view of each cell)
+# ---------------------------------------------------------------------------
+
+def _inv_template() -> Netlist:
+    netlist = Netlist("inv", inputs=("a",), outputs=("y",))
+    netlist.add("mp", PMOS, gate="a", source=POWER, drain="y", width=2.0)
+    netlist.add("mn", NMOS, gate="a", source=GROUND, drain="y", width=1.0)
+    return netlist
+
+
+def _buf_template() -> Netlist:
+    netlist = Netlist("buf", inputs=("a",), outputs=("y",))
+    netlist.add("mp1", PMOS, gate="a", source=POWER, drain="x", width=2.0)
+    netlist.add("mn1", NMOS, gate="a", source=GROUND, drain="x", width=1.0)
+    netlist.add("mp2", PMOS, gate="x", source=POWER, drain="y", width=2.0)
+    netlist.add("mn2", NMOS, gate="x", source=GROUND, drain="y", width=1.0)
+    return netlist
+
+
+def _nand2_template() -> Netlist:
+    netlist = Netlist("nand2", inputs=("a", "b"), outputs=("y",))
+    netlist.add("mpa", PMOS, gate="a", source=POWER, drain="y", width=2.0)
+    netlist.add("mpb", PMOS, gate="b", source=POWER, drain="y", width=2.0)
+    netlist.add("mna", NMOS, gate="a", source="mid", drain="y", width=2.0)
+    netlist.add("mnb", NMOS, gate="b", source=GROUND, drain="mid",
+                width=2.0)
+    return netlist
+
+
+def _nor2_template() -> Netlist:
+    netlist = Netlist("nor2", inputs=("a", "b"), outputs=("y",))
+    netlist.add("mpa", PMOS, gate="a", source=POWER, drain="mid",
+                width=4.0)
+    netlist.add("mpb", PMOS, gate="b", source="mid", drain="y", width=4.0)
+    netlist.add("mna", NMOS, gate="a", source=GROUND, drain="y", width=1.0)
+    netlist.add("mnb", NMOS, gate="b", source=GROUND, drain="y", width=1.0)
+    return netlist
+
+
+def _xor2_template() -> Netlist:
+    """XOR built hierarchically from NAND gates (templates may nest)."""
+    netlist = Netlist("xor2", inputs=("a", "b"), outputs=("y",))
+    netlist.add_instance("n1", "nand2", a="a", b="b", y="nab")
+    netlist.add_instance("n2", "nand2", a="a", b="nab", y="w1")
+    netlist.add_instance("n3", "nand2", a="nab", b="b", y="w2")
+    netlist.add_instance("n4", "nand2", a="w1", b="w2", y="y")
+    return netlist
+
+
+def _aoi21_template() -> Netlist:
+    """AND-OR-INVERT: y = ~((a & b) | c)."""
+    netlist = Netlist("aoi21", inputs=("a", "b", "c"), outputs=("y",))
+    # pull-up conducts iff (~a | ~b) & ~c: a,b parallel, then c in series
+    netlist.add("mpa", PMOS, gate="a", source=POWER, drain="pm",
+                width=4.0)
+    netlist.add("mpb", PMOS, gate="b", source=POWER, drain="pm",
+                width=4.0)
+    netlist.add("mpc", PMOS, gate="c", source="pm", drain="y",
+                width=2.0)
+    netlist.add("mna", NMOS, gate="a", source="nm", drain="y", width=2.0)
+    netlist.add("mnb", NMOS, gate="b", source=GROUND, drain="nm",
+                width=2.0)
+    netlist.add("mnc", NMOS, gate="c", source=GROUND, drain="y",
+                width=1.0)
+    return netlist
+
+
+def _tielo_template() -> Netlist:
+    """Constant 0: an always-on pull-down."""
+    netlist = Netlist("tielo", inputs=(), outputs=("y",))
+    netlist.add("mn", NMOS, gate=POWER, source=GROUND, drain="y")
+    return netlist
+
+
+def _tiehi_template() -> Netlist:
+    """Constant 1: an always-on pull-up."""
+    netlist = Netlist("tiehi", inputs=(), outputs=("y",))
+    netlist.add("mp", PMOS, gate=GROUND, source=POWER, drain="y")
+    return netlist
+
+
+def _dlatch_template() -> Netlist:
+    """Dynamic transparent latch: pass transistor + two inverters.
+
+    Relies on the simulator's charge retention: with ``en`` low the
+    storage node floats and keeps its value.
+    """
+    netlist = Netlist("dlatch", inputs=("d", "en"), outputs=("q",))
+    netlist.add("pass", NMOS, gate="en", source="d", drain="s",
+                width=1.5)
+    netlist.add("mp1", PMOS, gate="s", source=POWER, drain="qb",
+                width=2.0)
+    netlist.add("mn1", NMOS, gate="s", source=GROUND, drain="qb",
+                width=1.0)
+    netlist.add("mp2", PMOS, gate="qb", source=POWER, drain="q",
+                width=2.0)
+    netlist.add("mn2", NMOS, gate="qb", source=GROUND, drain="q",
+                width=1.0)
+    return netlist
+
+
+def _dff_template() -> Netlist:
+    """Master-slave D flip-flop from two dynamic latches.
+
+    Master is transparent while the clock is low, slave while it is
+    high: q updates on the rising edge.
+    """
+    netlist = Netlist("dff", inputs=("d", "clk"), outputs=("q",))
+    netlist.add("cinvp", PMOS, gate="clk", source=POWER, drain="clkb",
+                width=2.0)
+    netlist.add("cinvn", NMOS, gate="clk", source=GROUND, drain="clkb",
+                width=1.0)
+    netlist.add_instance("master", "dlatch", d="d", en="clkb", q="m")
+    netlist.add_instance("slave", "dlatch", d="m", en="clk", q="q")
+    return netlist
+
+
+def _pla_nmos_template() -> Netlist:
+    """Crosspoint pulldown of a pseudo-NMOS NOR plane."""
+    netlist = Netlist("pla_nmos", inputs=("g",), outputs=("line",))
+    netlist.add("mn", NMOS, gate="g", source=GROUND, drain="line",
+                width=2.0)
+    return netlist
+
+
+def _pla_load_template() -> Netlist:
+    """Weak always-on PMOS pull-up for a pseudo-NMOS line."""
+    netlist = Netlist("pla_load", inputs=(), outputs=("line",))
+    netlist.add("mp", PMOS, gate=GROUND, source=POWER, drain="line",
+                width=1.0, strength=WEAK)
+    return netlist
+
+
+def standard_library() -> CellLibrary:
+    """The default cell library used by examples and benchmarks."""
+    library = CellLibrary("stdcells")
+    library.add(CellDef(
+        "inv", ("a", "y"), width=2, height=4,
+        port_offsets=(("a", (0, 1)), ("y", (1, 1))),
+        template=_inv_template, function="inv"))
+    library.add(CellDef(
+        "buf", ("a", "y"), width=3, height=4,
+        port_offsets=(("a", (0, 1)), ("y", (2, 1))),
+        template=_buf_template, function="buf"))
+    library.add(CellDef(
+        "nand2", ("a", "b", "y"), width=3, height=4,
+        port_offsets=(("a", (0, 1)), ("b", (0, 2)), ("y", (2, 1))),
+        template=_nand2_template, function="nand2"))
+    library.add(CellDef(
+        "nor2", ("a", "b", "y"), width=3, height=4,
+        port_offsets=(("a", (0, 1)), ("b", (0, 2)), ("y", (2, 1))),
+        template=_nor2_template, function="nor2"))
+    library.add(CellDef(
+        "xor2", ("a", "b", "y"), width=5, height=4,
+        port_offsets=(("a", (0, 1)), ("b", (0, 2)), ("y", (4, 1))),
+        template=_xor2_template, function="xor2"))
+    library.add(CellDef(
+        "aoi21", ("a", "b", "c", "y"), width=4, height=4,
+        port_offsets=(("a", (0, 1)), ("b", (0, 2)), ("c", (0, 3)),
+                      ("y", (3, 1))),
+        template=_aoi21_template, function="aoi21"))
+    library.add(CellDef(
+        "tielo", ("y",), width=1, height=4,
+        port_offsets=(("y", (0, 1)),),
+        template=_tielo_template, function="tielo"))
+    library.add(CellDef(
+        "tiehi", ("y",), width=1, height=4,
+        port_offsets=(("y", (0, 1)),),
+        template=_tiehi_template, function="tiehi"))
+    library.add(CellDef(
+        "dlatch", ("d", "en", "q"), width=4, height=4,
+        port_offsets=(("d", (0, 1)), ("en", (0, 2)), ("q", (3, 1))),
+        template=_dlatch_template, function="dlatch"))
+    library.add(CellDef(
+        "dff", ("d", "clk", "q"), width=6, height=4,
+        port_offsets=(("d", (0, 1)), ("clk", (0, 2)), ("q", (5, 1))),
+        template=_dff_template, function="dff"))
+    library.add(CellDef(
+        "pla_nmos", ("g", "line"), width=1, height=2,
+        port_offsets=(("g", (0, 0)), ("line", (0, 1))),
+        template=_pla_nmos_template, function="pla_nmos"))
+    library.add(CellDef(
+        "pla_load", ("line",), width=1, height=1,
+        port_offsets=(("line", (0, 0)),),
+        template=_pla_load_template, function="pla_load"))
+    return library

@@ -1,0 +1,61 @@
+"""Device model sets: the technology parameters of the substrate.
+
+A :class:`DeviceModels` instance is what the *Device Model Editor* of
+Fig. 1 produces.  The switch-level simulator uses these parameters to turn
+settle steps and transition counts into nanoseconds and microwatts, so
+editing a model set genuinely changes downstream Performance instances —
+which is what drives the consistency-maintenance experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+
+@dataclass(frozen=True)
+class DeviceModels:
+    """Technology parameters for simulation and analysis."""
+
+    name: str = "generic-1993"
+    vdd: float = 5.0               # supply voltage [V]
+    vth: float = 0.7               # threshold voltage [V]
+    stage_delay_ns: float = 1.2    # delay of one switch-level settle step
+    node_cap_ff: float = 12.0      # per-net capacitance [fF]
+    weak_ratio: float = 0.25       # drive of a weak device vs strong
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+        if not 0 < self.vth < self.vdd:
+            raise ValueError("vth must lie between 0 and vdd")
+        if self.stage_delay_ns <= 0 or self.node_cap_ff <= 0:
+            raise ValueError("delay and capacitance must be positive")
+        if not 0 < self.weak_ratio < 1:
+            raise ValueError("weak_ratio must be in (0, 1)")
+
+    def scaled(self, *, name: str | None = None,
+               speed: float = 1.0) -> "DeviceModels":
+        """A faster/slower process corner (speed > 1 means faster)."""
+        if speed <= 0:
+            raise ValueError("speed factor must be positive")
+        return replace(self, name=name or f"{self.name}-x{speed:g}",
+                       stage_delay_ns=self.stage_delay_ns / speed)
+
+    def switching_energy_fj(self) -> float:
+        """Energy of one net transition: C * Vdd^2 (in femtojoules)."""
+        return self.node_cap_ff * self.vdd * self.vdd / 1000.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "vdd": self.vdd, "vth": self.vth,
+                "stage_delay_ns": self.stage_delay_ns,
+                "node_cap_ff": self.node_cap_ff,
+                "weak_ratio": self.weak_ratio}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "DeviceModels":
+        return cls(**payload)
+
+
+def default_models() -> DeviceModels:
+    return DeviceModels()

@@ -1,0 +1,180 @@
+"""Design rule checking: geometric sanity for layouts.
+
+A DRC tool rounds out the verification side of the substrate (the paper's
+framework is explicitly tool-agnostic: adding a checker is one schema
+entity plus one encapsulation, which the maintenance benchmark counts).
+
+Checked rules:
+
+* ``overlap``     — two cell footprints intersect;
+* ``short``       — wires of two different nets share a grid point, or a
+  wire of one net passes through another net's pin or port point;
+* ``pin-stack``   — two pins on the same coordinate;
+* ``off-grid``    — a placement at negative coordinates beyond the
+  allowed margin (pins and PLA loads may sit slightly outside);
+* ``dangling``    — a cell port with no wire or pin touching it
+  (reported as a warning, not a violation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .cells import CellLibrary
+from .layout import Layout, Point
+
+MARGIN = 16  # how far outside the origin quadrant geometry may sit
+
+
+@dataclass(frozen=True)
+class DrcViolation:
+    """One broken rule."""
+
+    rule: str
+    message: str
+    at: Point | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"rule": self.rule, "message": self.message,
+                "at": list(self.at) if self.at is not None else None}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "DrcViolation":
+        at = payload.get("at")
+        return cls(payload["rule"], payload["message"],
+                   tuple(at) if at is not None else None)
+
+    def __str__(self) -> str:
+        where = f" at {self.at}" if self.at is not None else ""
+        return f"[{self.rule}]{where} {self.message}"
+
+
+@dataclass(frozen=True)
+class DrcReport:
+    """Outcome of one DRC run."""
+
+    layout: str
+    clean: bool
+    violations: tuple[DrcViolation, ...]
+    warnings: tuple[DrcViolation, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"layout": self.layout, "clean": self.clean,
+                "violations": [v.to_dict() for v in self.violations],
+                "warnings": [w.to_dict() for w in self.warnings]}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "DrcReport":
+        return cls(payload["layout"], payload["clean"],
+                   tuple(DrcViolation.from_dict(v)
+                         for v in payload["violations"]),
+                   tuple(DrcViolation.from_dict(w)
+                         for w in payload["warnings"]))
+
+    def __bool__(self) -> bool:
+        return self.clean
+
+    def render(self) -> str:
+        lines = [f"DRC report for {self.layout!r}: "
+                 f"{'CLEAN' if self.clean else 'VIOLATIONS'}"]
+        lines.extend(f"  {v}" for v in self.violations)
+        lines.extend(f"  (warning) {w}" for w in self.warnings)
+        return "\n".join(lines)
+
+
+def check_design_rules(layout: Layout, library: CellLibrary) -> DrcReport:
+    """Run every rule; return the structured report."""
+    violations: list[DrcViolation] = []
+    warnings: list[DrcViolation] = []
+    _check_overlaps(layout, library, violations)
+    _check_shorts(layout, library, violations)
+    _check_pin_stacks(layout, violations)
+    _check_off_grid(layout, violations)
+    _check_dangling(layout, library, warnings)
+    return DrcReport(layout.name, not violations, tuple(violations),
+                     tuple(warnings))
+
+
+def _footprint(placement, library: CellLibrary
+               ) -> tuple[int, int, int, int]:
+    cell = library.cell(placement.cell)
+    return (placement.x, placement.y,
+            placement.x + cell.width, placement.y + cell.height)
+
+
+def _check_overlaps(layout: Layout, library: CellLibrary,
+                    violations: list[DrcViolation]) -> None:
+    placements = layout.placements()
+    for index, first in enumerate(placements):
+        ax1, ay1, ax2, ay2 = _footprint(first, library)
+        for second in placements[index + 1:]:
+            bx1, by1, bx2, by2 = _footprint(second, library)
+            if ax1 < bx2 and bx1 < ax2 and ay1 < by2 and by1 < ay2:
+                violations.append(DrcViolation(
+                    "overlap",
+                    f"cells {first.name!r} and {second.name!r} overlap",
+                    (max(ax1, bx1), max(ay1, by1))))
+
+
+def _point_owners(layout: Layout, library: CellLibrary
+                  ) -> dict[Point, set[str]]:
+    """Every labelled electrical claim on each coordinate."""
+    owners: dict[Point, set[str]] = {}
+    for wire in layout.wires():
+        for point in wire.points:
+            owners.setdefault(point, set()).add(f"net:{wire.net}")
+    for pin in layout.pins():
+        owners.setdefault(pin.point(), set()).add(f"net:{pin.net}")
+    return owners
+
+
+def _check_shorts(layout: Layout, library: CellLibrary,
+                  violations: list[DrcViolation]) -> None:
+    for point, owners in _point_owners(layout, library).items():
+        nets = {o for o in owners if o.startswith("net:")}
+        if len(nets) > 1:
+            names = sorted(o.split(":", 1)[1] for o in nets)
+            violations.append(DrcViolation(
+                "short", f"nets {names} meet", point))
+
+
+def _check_pin_stacks(layout: Layout,
+                      violations: list[DrcViolation]) -> None:
+    seen: dict[Point, str] = {}
+    for pin in layout.pins():
+        if pin.point() in seen:
+            violations.append(DrcViolation(
+                "pin-stack",
+                f"pins {seen[pin.point()]!r} and {pin.net!r} coincide",
+                pin.point()))
+        seen[pin.point()] = pin.net
+
+
+def _check_off_grid(layout: Layout,
+                    violations: list[DrcViolation]) -> None:
+    for placement in layout.placements():
+        if placement.x < -MARGIN or placement.y < -MARGIN:
+            violations.append(DrcViolation(
+                "off-grid",
+                f"cell {placement.name!r} placed far outside the grid",
+                placement.origin()))
+
+
+def _check_dangling(layout: Layout, library: CellLibrary,
+                    warnings: list[DrcViolation]) -> None:
+    connected: set[Point] = set()
+    for wire in layout.wires():
+        connected.update(wire.points)
+    for pin in layout.pins():
+        connected.add(pin.point())
+    for placement in layout.placements():
+        cell = library.cell(placement.cell)
+        for port in cell.ports:
+            dx, dy = cell.port_offset(port)
+            at = (placement.x + dx, placement.y + dy)
+            if at not in connected:
+                warnings.append(DrcViolation(
+                    "dangling",
+                    f"port {port!r} of {placement.name!r} is "
+                    "unconnected", at))

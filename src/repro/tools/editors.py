@@ -1,0 +1,163 @@
+"""Editing tools: layout editor, circuit (netlist) editor, logic editor,
+device model editor.
+
+Editors are the versioning workhorses of the paper (section 4.2):
+*"Versioning is closely associated with editing tasks which, in a task
+schema, are characterized by having a data dependency whose source and
+target are of the same entity type."*  Each editor here applies a
+deterministic **edit script** — a list of command dicts — to an optional
+previous version, yielding a new object.  Interactive editing is replayed
+as scripts, which keeps the Fig. 9 session fully scriptable.
+
+Command formats (``op`` selects the command):
+
+Layout: ``place`` (name, cell, x, y) · ``move`` (name, x, y) ·
+``remove`` (name) · ``route`` (net, points) · ``unroute`` (net) ·
+``pin`` (net, x, y, direction) · ``rename`` (name)
+
+Netlist: ``new`` (name, inputs, outputs) · ``add_transistor``
+(fields of :class:`~repro.tools.netlist.Transistor`) · ``add_instance``
+(name, cell, connections) · ``remove_transistor`` (name) ·
+``set_width`` (name, width) · ``rename`` (name)
+
+Logic: ``new`` (name) · ``set`` (equation string) · ``rename`` (name)
+
+Device models: ``set`` (field, value) · ``rename`` (name)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping, Sequence
+
+from ..errors import ToolError
+from .device_models import DeviceModels
+from .layout import Layout
+from .logic import LogicSpec, parse_expr
+from .netlist import Netlist, Transistor
+
+EditScript = Sequence[Mapping[str, Any]]
+
+
+def edit_layout(script: EditScript,
+                previous: Layout | None = None) -> Layout:
+    """Apply a layout edit script to a previous version (or from scratch)."""
+    layout = previous.copy() if previous is not None else Layout("layout")
+    for command in script:
+        op = command.get("op")
+        if op == "place":
+            layout.place(command["name"], command["cell"],
+                         command["x"], command["y"])
+        elif op == "move":
+            layout.move(command["name"], command["x"], command["y"])
+        elif op == "remove":
+            layout.remove(command["name"])
+        elif op == "route":
+            layout.route(command["net"],
+                         [tuple(p) for p in command["points"]])
+        elif op == "unroute":
+            layout.unroute(command["net"])
+        elif op == "pin":
+            layout.add_pin(command["net"], command["x"], command["y"],
+                           command.get("direction", "in"))
+        elif op == "rename":
+            layout.name = command["name"]
+        else:
+            raise ToolError(f"layout editor: unknown op {op!r}")
+    return layout
+
+
+def edit_netlist(script: EditScript,
+                 previous: Netlist | None = None) -> Netlist:
+    """Apply a netlist edit script."""
+    netlist = previous.copy() if previous is not None else None
+    for command in script:
+        op = command.get("op")
+        if op == "new":
+            netlist = Netlist(command["name"],
+                              command.get("inputs", ()),
+                              command.get("outputs", ()))
+            continue
+        if netlist is None:
+            raise ToolError(
+                "netlist editor: script must start with 'new' when no "
+                "previous netlist is given")
+        if op == "add_transistor":
+            fields = {k: v for k, v in command.items() if k != "op"}
+            netlist.add_transistor(Transistor(**fields))
+        elif op == "add_instance":
+            netlist.add_instance(command["name"], command["cell"],
+                                 **command.get("connections", {}))
+        elif op == "remove_transistor":
+            netlist = netlist.without_device(command["name"])
+        elif op == "set_width":
+            netlist = netlist.with_device_width(command["name"],
+                                                command["width"])
+        elif op == "rename":
+            netlist = netlist.renamed(command["name"])
+        else:
+            raise ToolError(f"netlist editor: unknown op {op!r}")
+    if netlist is None:
+        raise ToolError("netlist editor: empty script and no previous "
+                        "netlist")
+    return netlist
+
+
+def edit_logic(script: EditScript,
+               previous: LogicSpec | None = None) -> LogicSpec:
+    """Apply a logic edit script (equations are replaced by output name)."""
+    name = previous.name if previous is not None else "logic"
+    equations: dict[str, Any] = (
+        {o: e for o, e in previous.equations} if previous is not None
+        else {})
+    for command in script:
+        op = command.get("op")
+        if op == "new":
+            name = command["name"]
+            equations = {}
+        elif op == "set":
+            lhs, _, rhs = command["equation"].partition("=")
+            if not rhs:
+                raise ToolError(
+                    f"logic editor: equation {command['equation']!r} "
+                    "lacks '='")
+            equations[lhs.strip()] = parse_expr(rhs)
+        elif op == "drop":
+            equations.pop(command["output"], None)
+        elif op == "rename":
+            name = command["name"]
+        else:
+            raise ToolError(f"logic editor: unknown op {op!r}")
+    if not equations:
+        return LogicSpec(name, (), ())
+    free: set[str] = set()
+    for expr in equations.values():
+        free |= _expr_vars(expr)
+    return LogicSpec(name, tuple(sorted(free)), tuple(equations.items()))
+
+
+def _expr_vars(expr: Any) -> set[str]:
+    from .logic import variables
+    return variables(expr)
+
+
+def edit_device_models(script: EditScript,
+                       previous: DeviceModels | None = None
+                       ) -> DeviceModels:
+    """Apply a device-model edit script."""
+    models = previous if previous is not None else DeviceModels()
+    for command in script:
+        op = command.get("op")
+        if op == "set":
+            field = command["field"]
+            valid = {f.name for f in dataclasses.fields(DeviceModels)}
+            if field not in valid:
+                raise ToolError(
+                    f"device model editor: unknown field {field!r}")
+            models = dataclasses.replace(models,
+                                         **{field: command["value"]})
+        elif op == "rename":
+            models = dataclasses.replace(models, name=command["name"])
+        else:
+            raise ToolError(f"device model editor: unknown op {op!r}")
+    return models

@@ -1,0 +1,304 @@
+"""Standard encapsulations: wiring the mini-CAD tools into the schema.
+
+:func:`install_standard_tools` outfits a
+:class:`~repro.execution.context.DesignEnvironment` built on the
+:func:`~repro.schema.standard.odyssey_schema` (or a subset) with every
+tool the schema names, demonstrating each encapsulation pattern of
+section 3.3:
+
+* the **Extractor** returns both outputs of its invocation (netlist +
+  statistics) — the Fig. 5 multi-output subtask;
+* the **Simulator** encapsulation serves plain and *compiled* simulator
+  instances alike: a ``CompiledSimulator``'s tool data is the
+  :class:`~repro.tools.simulator.CompiledNetwork` the Sim Compiler
+  produced (Fig. 2);
+* the three **optimizers** share one encapsulation registered on their
+  common supertype, and receive a simulator *as a data input*;
+* the **editors** run deterministic edit scripts; an interactive session
+  is modelled by :func:`edit_session`, which installs a tool instance
+  carrying the session's script as an instance-specific encapsulation —
+  the paper's "multiple encapsulations specify the differing arguments".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ..errors import ToolError
+from ..execution.context import DesignEnvironment
+from ..execution.encapsulation import ToolContext, encapsulation
+from ..history.instance import EntityInstance
+from ..schema import standard as S
+from .cells import CellLibrary, standard_library
+from .device_models import DeviceModels
+from .drc import check_design_rules
+from .erc import check_electrical_rules
+from .editors import (edit_device_models, edit_layout, edit_logic,
+                      edit_netlist)
+from .extractor import extract
+from .generators import pla_layout, stdcell_layout
+from .layout import Layout
+from .logic import LogicSpec
+from .netlist import Netlist
+from .optimizer import optimize
+from .placer import place
+from .plotter import plot
+from .router import route_layout
+from .simulator import CompiledNetwork, compile_netlist, simulate
+from .stimuli import Stimuli
+from .verifier import verify
+
+
+def _script(ctx: ToolContext) -> Sequence[Mapping[str, Any]]:
+    script = ctx.options.get("script")
+    if script is None:
+        raise ToolError(
+            f"{ctx.tool_type}: no edit script; start an edit_session() "
+            "or register an encapsulation with preset script=")
+    return script
+
+
+def _device_model_editor(ctx: ToolContext, inputs: dict) -> DeviceModels:
+    return edit_device_models(_script(ctx), inputs.get("previous"))
+
+
+def _circuit_editor(ctx: ToolContext, inputs: dict) -> Netlist:
+    return edit_netlist(_script(ctx), inputs.get("previous"))
+
+
+def _layout_editor(ctx: ToolContext, inputs: dict) -> Layout:
+    return edit_layout(_script(ctx), inputs.get("previous"))
+
+
+def _logic_editor(ctx: ToolContext, inputs: dict) -> LogicSpec:
+    return edit_logic(_script(ctx), inputs.get("previous"))
+
+
+def _library(ctx: ToolContext) -> CellLibrary:
+    data = ctx.tool_data
+    if isinstance(data, Mapping) and isinstance(data.get("library"),
+                                                CellLibrary):
+        return data["library"]
+    return standard_library()
+
+
+def _placer(ctx: ToolContext, inputs: dict) -> Layout:
+    return place(inputs["netlist"], inputs["spec"], _library(ctx))
+
+
+def _extractor(ctx: ToolContext, inputs: dict) -> dict:
+    netlist, statistics = extract(inputs["layout"], _library(ctx))
+    produced = {S.EXTRACTED_NETLIST: netlist,
+                S.EXTRACTION_STATISTICS: statistics}
+    missing = set(ctx.output_types) - set(produced)
+    if missing:
+        raise ToolError(f"extractor cannot produce {sorted(missing)}")
+    return {t: produced[t] for t in ctx.output_types}
+
+
+def _simulator(ctx: ToolContext, inputs: dict):
+    circuit = inputs["circuit"]
+    models = circuit["models"]
+    stimuli = inputs["stimuli"]
+    args = inputs.get("args") or {}
+    if isinstance(args, Mapping) and "limit_vectors" in args:
+        # SimArgs as an entity type (section 3.3): options are data
+        limit = int(args["limit_vectors"])
+        stimuli = Stimuli(f"{stimuli.name}[:{limit}]", stimuli.inputs,
+                          stimuli.vectors[:limit])
+    if isinstance(ctx.tool_data, CompiledNetwork):
+        # a tool created during the design (Fig. 2): already compiled
+        return ctx.tool_data.simulate(stimuli, models)
+    return simulate(circuit["netlist"], stimuli, models,
+                    library=_library(ctx))
+
+
+def _sim_compiler(ctx: ToolContext, inputs: dict) -> CompiledNetwork:
+    return compile_netlist(inputs["netlist"], _library(ctx))
+
+
+def _router(ctx: ToolContext, inputs: dict) -> Layout:
+    routed, _summary = route_layout(inputs["layout"], _library(ctx))
+    return routed
+
+
+def _drc_checker(ctx: ToolContext, inputs: dict):
+    return check_design_rules(inputs["layout"], _library(ctx))
+
+
+def _erc_checker(ctx: ToolContext, inputs: dict):
+    return check_electrical_rules(inputs["netlist"], _library(ctx))
+
+
+def _verifier(ctx: ToolContext, inputs: dict):
+    return verify(inputs["reference"], inputs["candidate"],
+                  library=_library(ctx))
+
+
+def _plotter(ctx: ToolContext, inputs: dict):
+    return plot(inputs["performance"])
+
+
+def _stdcell_generator(ctx: ToolContext, inputs: dict) -> Layout:
+    return stdcell_layout(inputs["logic"], _library(ctx),
+                          placement_spec=ctx.options.get("placement"))
+
+
+def _pla_generator(ctx: ToolContext, inputs: dict) -> Layout:
+    return pla_layout(inputs["logic"], _library(ctx))
+
+
+_STRATEGY_BY_TOOL = {
+    S.RANDOM_OPTIMIZER: "random",
+    S.COORDINATE_OPTIMIZER: "coordinate",
+    S.ANNEALING_OPTIMIZER: "annealing",
+}
+
+
+def _optimizer(ctx: ToolContext, inputs: dict) -> Netlist:
+    """Shared encapsulation of the three statistical optimizers."""
+    circuit = inputs["circuit"]
+    simulator_data = inputs["simulator"]
+    spec = inputs["spec"]
+    strategy = ctx.options.get("strategy",
+                               _STRATEGY_BY_TOOL.get(ctx.tool_type,
+                                                     "random"))
+    library = standard_library()
+
+    def run_simulation(netlist, stimuli, models):
+        # the simulator handed in as *data* selects the engine; a
+        # CompiledNetwork cannot serve width-perturbed candidates, so the
+        # optimizer recompiles per candidate through the same engine
+        if isinstance(simulator_data, CompiledNetwork):
+            return simulate(netlist, stimuli, models, library=library)
+        return simulate(netlist, stimuli, models, library=library)
+
+    netlist = circuit["netlist"]
+    if not netlist.is_flat:
+        netlist = netlist.flatten(library)
+    tuned, _cost, _evaluations = optimize(
+        netlist, circuit["models"], run_simulation, spec,
+        strategy=strategy)
+    return tuned
+
+
+def compose_circuit(inputs: dict) -> dict:
+    """Composition function for *Circuit* with a consistency check.
+
+    Section 3.1: composition functions *"can be used, for example, to
+    check for consistency between entities (e.g., can these device models
+    be used with this circuit?)"*.
+    """
+    models = inputs.get("models")
+    netlist = inputs.get("netlist")
+    if not isinstance(models, DeviceModels):
+        raise ToolError("Circuit composition: 'models' must be a "
+                        "DeviceModels object")
+    if not isinstance(netlist, Netlist):
+        raise ToolError("Circuit composition: 'netlist' must be a "
+                        "Netlist object")
+    flat = netlist if netlist.is_flat \
+        else netlist.flatten(standard_library())
+    if flat.device_count == 0:
+        raise ToolError("Circuit composition: netlist has no devices")
+    return {"models": models, "netlist": netlist}
+
+
+def _standard_plan(library: CellLibrary):
+    lib_data = {"library": library}
+    return [
+        (S.DEVICE_MODEL_EDITOR, "dm-edit", _device_model_editor, None),
+        (S.CIRCUIT_EDITOR, "cct-edit", _circuit_editor, None),
+        (S.LAYOUT_EDITOR, "lay-edit", _layout_editor, None),
+        (S.LOGIC_EDITOR, "logic-edit", _logic_editor, None),
+        (S.PLACER, "rowplace", _placer, lib_data),
+        (S.EXTRACTOR, "netex", _extractor, lib_data),
+        (S.SIMULATOR, "cosmos", _simulator, lib_data),
+        (S.SIM_COMPILER, "cosmos-cc", _sim_compiler, lib_data),
+        (S.VERIFIER, "lvs", _verifier, lib_data),
+        (S.ROUTER, "trackroute", _router, lib_data),
+        (S.DRC_CHECKER, "drc", _drc_checker, lib_data),
+        (S.ERC_CHECKER, "erc", _erc_checker, lib_data),
+        (S.PLOTTER, "waveplot", _plotter, None),
+        (S.STD_CELL_GENERATOR, "sc-gen", _stdcell_generator, lib_data),
+        (S.PLA_GENERATOR, "pla-gen", _pla_generator, lib_data),
+    ]
+
+
+def register_standard_encapsulations(env: DesignEnvironment,
+                                     library: CellLibrary | None = None
+                                     ) -> None:
+    """Register the standard encapsulations without installing tools.
+
+    Encapsulations are code, so a reloaded environment (see
+    :mod:`repro.persistence`) re-registers them here; the tool
+    *instances* are already in the reloaded history.  Per-instance edit
+    sessions are not recreated — consistency retracing never re-runs
+    editing tasks, so this is only a limitation for explicitly re-running
+    an old session.
+    """
+    library = library if library is not None else standard_library()
+    for tool_type, name, fn, _data in _standard_plan(library):
+        if tool_type in env.schema \
+                and not env.registry.has_encapsulation(tool_type):
+            env.registry.register(tool_type, encapsulation(name, fn))
+    if S.OPTIMIZER in env.schema \
+            and not env.registry.has_encapsulation(S.OPTIMIZER):
+        env.registry.register(S.OPTIMIZER,
+                              encapsulation("statopt", _optimizer))
+    if S.CIRCUIT in env.schema:
+        env.registry.register_composition(S.CIRCUIT, compose_circuit)
+
+
+def install_standard_tools(env: DesignEnvironment,
+                           library: CellLibrary | None = None
+                           ) -> dict[str, EntityInstance]:
+    """Install every tool the environment's schema declares.
+
+    Returns a mapping from tool type name to the installed instance.
+    Tool types absent from the schema (e.g. a plain Fig. 1 schema without
+    the COSMOS extension) are skipped, so this works for
+    :func:`~repro.schema.standard.fig1_schema` subsets too.
+    """
+    library = library if library is not None else standard_library()
+    register_standard_encapsulations(env, library)
+    installed: dict[str, EntityInstance] = {}
+    for tool_type, name, _fn, data in _standard_plan(library):
+        if tool_type not in env.schema:
+            continue
+        installed[tool_type] = env.install_tool(tool_type, None,
+                                                data=data, name=name)
+    if S.OPTIMIZER in env.schema:
+        for tool_type, name in ((S.RANDOM_OPTIMIZER, "randopt"),
+                                (S.COORDINATE_OPTIMIZER, "coordopt"),
+                                (S.ANNEALING_OPTIMIZER, "annealopt")):
+            installed[tool_type] = env.install_tool(tool_type, None,
+                                                    name=name)
+    return installed
+
+
+def edit_session(env: DesignEnvironment, editor_type: str,
+                 script: Sequence[Mapping[str, Any]], *,
+                 name: str = "") -> EntityInstance:
+    """Install one editing-session tool instance carrying a script.
+
+    Each interactive session of an editor becomes its own tool instance
+    whose instance-specific encapsulation presets the session's edit
+    script — so the history records *which* session made each version.
+    """
+    editors = {
+        S.DEVICE_MODEL_EDITOR: _device_model_editor,
+        S.CIRCUIT_EDITOR: _circuit_editor,
+        S.LAYOUT_EDITOR: _layout_editor,
+        S.LOGIC_EDITOR: _logic_editor,
+    }
+    if editor_type not in editors:
+        raise ToolError(f"{editor_type!r} is not an editor tool type")
+    session_name = name or f"{editor_type}-session"
+    instance = env.db.install(editor_type, {"session": session_name},
+                              user=env.user, name=session_name)
+    env.registry.register_for_instance(
+        instance.instance_id,
+        encapsulation(session_name, editors[editor_type],
+                      script=list(script)))
+    return instance

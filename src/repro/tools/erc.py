@@ -1,0 +1,148 @@
+"""Electrical rule checking: netlist-level sanity (the ERC tool).
+
+Complements DRC (geometry) and LVS (equivalence) with the classic
+netlist checks:
+
+* ``floating-gate``   — a transistor gate driven by nothing (not an
+  input, not a supply, and no channel of any device touches it);
+* ``undriven-output`` — a declared output no channel terminal touches;
+* ``unused-input``    — a declared input that gates or feeds nothing
+  (warning);
+* ``supply-bridge``   — a single always-on transistor directly bridging
+  VDD and GND (gate tied to the supply that turns it on);
+* ``isolated-net``    — an internal net touched by exactly one terminal
+  (warning: probably a typo in a net name).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .netlist import GROUND, NMOS, PMOS, POWER, Netlist
+
+
+@dataclass(frozen=True)
+class ErcViolation:
+    """One electrical-rule finding."""
+
+    rule: str
+    message: str
+    net: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"rule": self.rule, "message": self.message,
+                "net": self.net}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ErcViolation":
+        return cls(payload["rule"], payload["message"],
+                   payload.get("net"))
+
+    def __str__(self) -> str:
+        where = f" (net {self.net!r})" if self.net else ""
+        return f"[{self.rule}]{where} {self.message}"
+
+
+@dataclass(frozen=True)
+class ErcReport:
+    """Outcome of one ERC run."""
+
+    netlist: str
+    clean: bool
+    violations: tuple[ErcViolation, ...]
+    warnings: tuple[ErcViolation, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"netlist": self.netlist, "clean": self.clean,
+                "violations": [v.to_dict() for v in self.violations],
+                "warnings": [w.to_dict() for w in self.warnings]}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ErcReport":
+        return cls(payload["netlist"], payload["clean"],
+                   tuple(ErcViolation.from_dict(v)
+                         for v in payload["violations"]),
+                   tuple(ErcViolation.from_dict(w)
+                         for w in payload["warnings"]))
+
+    def __bool__(self) -> bool:
+        return self.clean
+
+    def render(self) -> str:
+        lines = [f"ERC report for {self.netlist!r}: "
+                 f"{'CLEAN' if self.clean else 'VIOLATIONS'}"]
+        lines.extend(f"  {v}" for v in self.violations)
+        lines.extend(f"  (warning) {w}" for w in self.warnings)
+        return "\n".join(lines)
+
+
+def check_electrical_rules(netlist: Netlist,
+                           library=None) -> ErcReport:
+    """Run every rule on a (flattened if needed) netlist."""
+    if not netlist.is_flat:
+        if library is None:
+            raise ValueError("hierarchical netlist needs a library")
+        netlist = netlist.flatten(library)
+    violations: list[ErcViolation] = []
+    warnings: list[ErcViolation] = []
+    transistors = netlist.transistors()
+    supplies = {POWER, GROUND}
+    inputs = set(netlist.inputs)
+    outputs = set(netlist.outputs)
+
+    channel_nets = set()
+    gate_nets = set()
+    for t in transistors:
+        channel_nets.update((t.source, t.drain))
+        gate_nets.add(t.gate)
+
+    # floating gates: gate net with no possible driver
+    for t in transistors:
+        gate = t.gate
+        if gate in supplies or gate in inputs:
+            continue
+        if gate not in channel_nets:
+            violations.append(ErcViolation(
+                "floating-gate",
+                f"gate of {t.name!r} is driven by nothing", gate))
+
+    # undriven outputs
+    for output in netlist.outputs:
+        if output not in channel_nets:
+            violations.append(ErcViolation(
+                "undriven-output",
+                f"output {output!r} has no driver", output))
+
+    # unused inputs (warning)
+    for net in netlist.inputs:
+        if net not in gate_nets and net not in channel_nets:
+            warnings.append(ErcViolation(
+                "unused-input", f"input {net!r} drives nothing", net))
+
+    # direct supply bridges: one device with channel across VDD/GND that
+    # is always on (nmos gated by VDD, pmos gated by GND)
+    for t in transistors:
+        channel = {t.source, t.drain}
+        if channel == supplies:
+            always_on = (t.kind == NMOS and t.gate == POWER) or \
+                        (t.kind == PMOS and t.gate == GROUND)
+            if always_on:
+                violations.append(ErcViolation(
+                    "supply-bridge",
+                    f"{t.name!r} permanently shorts VDD to GND",
+                    t.name))
+
+    # isolated internal nets (warning)
+    touch_count: dict[str, int] = {}
+    for t in transistors:
+        for net in (t.source, t.drain, t.gate):
+            touch_count[net] = touch_count.get(net, 0) + 1
+    for net in netlist.internal_nets():
+        if touch_count.get(net, 0) == 1:
+            warnings.append(ErcViolation(
+                "isolated-net",
+                f"internal net {net!r} touches a single terminal", net))
+
+    return ErcReport(netlist.name, not violations, tuple(violations),
+                     tuple(warnings))

@@ -1,0 +1,177 @@
+"""Layout extraction: geometry back to a transistor netlist + statistics.
+
+The *Extractor* of Fig. 1 produces **two** outputs from one run — an
+*Extracted Netlist* and *Extraction Statistics* — which is the paper's
+Fig. 5 multi-output subtask.  Connectivity is positional: a cell port,
+wire point or pin sharing a grid coordinate is one electrical node; wires
+merge the nodes along their points.  Net names are recovered from pins
+first, then wire labels, then deterministic ``n<i>`` names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ToolError
+from .cells import CellLibrary
+from .layout import Layout, Point
+from .netlist import GROUND, POWER, Netlist
+
+
+@dataclass(frozen=True)
+class ExtractionStatistics:
+    """The statistics output of an extraction run."""
+
+    layout: str
+    cell_count: int
+    transistor_count: int
+    net_count: int
+    wire_count: int
+    wirelength: int
+    area: int
+    total_width: float
+    cells_by_type: tuple[tuple[str, int], ...]
+
+    def cells_by_type_map(self) -> dict[str, int]:
+        return dict(self.cells_by_type)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "layout": self.layout,
+            "cell_count": self.cell_count,
+            "transistor_count": self.transistor_count,
+            "net_count": self.net_count,
+            "wire_count": self.wire_count,
+            "wirelength": self.wirelength,
+            "area": self.area,
+            "total_width": self.total_width,
+            "cells_by_type": [[c, n] for c, n in self.cells_by_type],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ExtractionStatistics":
+        return cls(
+            layout=payload["layout"],
+            cell_count=payload["cell_count"],
+            transistor_count=payload["transistor_count"],
+            net_count=payload["net_count"],
+            wire_count=payload["wire_count"],
+            wirelength=payload["wirelength"],
+            area=payload["area"],
+            total_width=payload["total_width"],
+            cells_by_type=tuple((c, n) for c, n in
+                                payload["cells_by_type"]),
+        )
+
+
+class _PointMerger:
+    """Union-find over grid coordinates."""
+
+    def __init__(self) -> None:
+        self._parent: dict[Point, Point] = {}
+
+    def _ensure(self, point: Point) -> None:
+        if point not in self._parent:
+            self._parent[point] = point
+
+    def find(self, point: Point) -> Point:
+        self._ensure(point)
+        root = point
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[point] != root:
+            self._parent[point], point = root, self._parent[point]
+        return root
+
+    def union(self, a: Point, b: Point) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+    def points(self) -> tuple[Point, ...]:
+        return tuple(self._parent)
+
+
+def extract(layout: Layout, library: CellLibrary
+            ) -> tuple[Netlist, ExtractionStatistics]:
+    """Extract the netlist and statistics from a layout.
+
+    Returns the pair the Fig. 1 Extractor produces.  The netlist is flat
+    (cell templates expanded) with IO ports taken from the layout's pins.
+    """
+    merger = _PointMerger()
+    # wires merge their points
+    for wire in layout.wires():
+        first = wire.points[0]
+        merger._ensure(first)
+        for point in wire.points[1:]:
+            merger.union(first, point)
+    # cell ports and pins register their coordinates
+    port_points: list[tuple[str, str, Point]] = []  # (instance, port, at)
+    for placement in layout.placements():
+        cell = library.cell(placement.cell)
+        for port in cell.ports:
+            dx, dy = cell.port_offset(port)
+            at = (placement.x + dx, placement.y + dy)
+            merger._ensure(at)
+            port_points.append((placement.name, port, at))
+    for pin in layout.pins():
+        merger._ensure(pin.point())
+
+    # name the electrical nodes: pins beat wire labels beat auto names
+    names: dict[Point, str] = {}
+
+    def claim(root: Point, name: str) -> None:
+        existing = names.get(root)
+        if existing is None:
+            names[root] = name
+        elif existing != name:
+            raise ToolError(
+                f"layout {layout.name!r}: node at {root} claimed as both "
+                f"{existing!r} and {name!r} (short between nets)")
+
+    for pin in layout.pins():
+        claim(merger.find(pin.point()), pin.net)
+    for wire in layout.wires():
+        if wire.net:
+            root = merger.find(wire.points[0])
+            if root not in names:
+                names[root] = wire.net
+    auto = 0
+    for point in sorted(merger.points()):
+        root = merger.find(point)
+        if root not in names:
+            names[root] = f"n{auto}"
+            auto += 1
+
+    inputs = tuple(p.net for p in layout.pins() if p.direction == "in")
+    outputs = tuple(p.net for p in layout.pins() if p.direction == "out")
+    hierarchical = Netlist(f"{layout.name}-extracted", inputs, outputs)
+    for placement in layout.placements():
+        cell = library.cell(placement.cell)
+        connections = {}
+        for port in cell.ports:
+            dx, dy = cell.port_offset(port)
+            at = (placement.x + dx, placement.y + dy)
+            connections[port] = names[merger.find(at)]
+        hierarchical.add_instance(placement.name, placement.cell,
+                                  **connections)
+    netlist = hierarchical.flatten(library)
+
+    nets = [n for n in netlist.nets() if n not in (POWER, GROUND)]
+    by_type: dict[str, int] = {}
+    for placement in layout.placements():
+        by_type[placement.cell] = by_type.get(placement.cell, 0) + 1
+    statistics = ExtractionStatistics(
+        layout=layout.name,
+        cell_count=layout.cell_count,
+        transistor_count=netlist.device_count,
+        net_count=len(nets),
+        wire_count=len(layout.wires()),
+        wirelength=layout.wirelength(),
+        area=layout.area(library),
+        total_width=netlist.total_width(),
+        cells_by_type=tuple(sorted(by_type.items())),
+    )
+    return netlist, statistics

@@ -1,0 +1,270 @@
+"""Layout generators: standard-cell and PLA implementations of logic.
+
+These are the two alternative implementation routes of the Chiueh & Katz
+scenario the paper cites in section 2: *"if a designer implemented a logic
+circuit using standard cells and then wished to re-implement the same
+circuit using a PLA, he or she could reposition a cursor ... and create a
+new activity branch using a 'create PLA' task."*
+
+* :func:`tech_map` — logic spec to a gate-level (hierarchical) netlist
+  over inv/nand2/nor2 cells;
+* :func:`stdcell_layout` — tech map + annealing placement = a
+  *StdCellLayout*;
+* :func:`pla_layout` — a pseudo-NMOS NOR-NOR PLA built from crosspoint
+  cells = a *PLALayout*.
+
+Both outputs are ordinary :class:`~repro.tools.layout.Layout` objects, so
+the extractor/simulator/verifier chain works identically on either
+implementation — that is what makes the history-branching example
+meaningful.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Mapping
+
+from ..errors import ToolError
+from .cells import CellLibrary
+from .layout import Layout
+from .logic import Expr, LogicSpec, simplify
+from .netlist import Netlist
+from .placer import DEFAULT_SPEC, place
+
+
+# ---------------------------------------------------------------------------
+# technology mapping
+# ---------------------------------------------------------------------------
+
+class _Mapper:
+    """Naive tech mapper: AND -> NAND2+INV, OR -> NOR2+INV, NOT -> INV."""
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        self._counter = itertools.count()
+        self._cse: dict[str, str] = {}
+
+    def fresh_net(self) -> str:
+        return f"w{next(self._counter)}"
+
+    def fresh_gate(self, kind: str) -> str:
+        return f"{kind}{next(self._counter)}"
+
+    def map_expr(self, expr: Expr, target: str | None = None) -> str:
+        key = repr(expr)
+        if target is None and key in self._cse:
+            return self._cse[key]
+        net = self._map(expr, target)
+        if target is None:
+            self._cse[key] = net
+        return net
+
+    def _map(self, expr: Expr, target: str | None) -> str:
+        op = expr[0]
+        if op == "var":
+            source = expr[1]
+            if target is not None and target != source:
+                # outputs must be driven by a gate: buffer the variable
+                out = target
+                gate = self.fresh_gate("buf")
+                self.netlist.add_instance(gate, "buf", a=source, y=out)
+                return out
+            return source
+        if op == "const":
+            # constants come from tie cells (always-on pull-up/down)
+            out = target if target is not None else self.fresh_net()
+            cell = "tiehi" if expr[1] else "tielo"
+            gate = self.fresh_gate("tie")
+            self.netlist.add_instance(gate, cell, y=out)
+            return out
+        if op == "not":
+            inner = self.map_expr(expr[1])
+            out = target if target is not None else self.fresh_net()
+            gate = self.fresh_gate("inv")
+            self.netlist.add_instance(gate, "inv", a=inner, y=out)
+            return out
+        if op == "or":
+            xor_operands = _xor_pattern(expr)
+            if xor_operands is not None:
+                left = self.map_expr(xor_operands[0])
+                right = self.map_expr(xor_operands[1])
+                out = target if target is not None else self.fresh_net()
+                gate = self.fresh_gate("xor")
+                self.netlist.add_instance(gate, "xor2", a=left, b=right,
+                                          y=out)
+                return out
+        if op in ("and", "or"):
+            terms = [self.map_expr(e) for e in expr[1:]]
+            value = terms[0]
+            for term in terms[1:]:
+                value = self._map_pair(op, value, term, None)
+            if target is not None and value != target:
+                gate = self.fresh_gate("buf")
+                self.netlist.add_instance(gate, "buf", a=value, y=target)
+                return target
+            return value
+        raise ToolError(f"unknown operator {op!r}")
+
+    def _map_pair(self, op: str, a: str, b: str,
+                  target: str | None) -> str:
+        inverted = self.fresh_net()
+        out = target if target is not None else self.fresh_net()
+        if op == "and":
+            gate = self.fresh_gate("nand")
+            self.netlist.add_instance(gate, "nand2", a=a, b=b, y=inverted)
+        else:
+            gate = self.fresh_gate("nor")
+            self.netlist.add_instance(gate, "nor2", a=a, b=b, y=inverted)
+        inv = self.fresh_gate("inv")
+        self.netlist.add_instance(inv, "inv", a=inverted, y=out)
+        return out
+
+
+def _xor_pattern(expr: Expr) -> tuple[Expr, Expr] | None:
+    """Recognize ``(p & ~q) | (~p & q)`` and return ``(p, q)``.
+
+    A structural peephole: the mapper emits one xor2 cell instead of two
+    NAND trees when an OR of two ANDs forms the exclusive-or shape.
+    """
+    if expr[0] != "or" or len(expr) != 3:
+        return None
+    left, right = expr[1], expr[2]
+    if left[0] != "and" or right[0] != "and":
+        return None
+    if len(left) != 3 or len(right) != 3:
+        return None
+
+    def split(term: Expr) -> tuple[str, Expr] | None:
+        # returns ('pos'|'neg', operand)
+        if term[0] == "not":
+            return ("neg", term[1])
+        return ("pos", term)
+
+    left_terms = [split(t) for t in left[1:]]
+    right_terms = [split(t) for t in right[1:]]
+    if any(t is None for t in (*left_terms, *right_terms)):
+        return None
+    # left must be {pos p, neg q}; right must be {neg p, pos q}
+    left_pos = [o for sign, o in left_terms if sign == "pos"]
+    left_neg = [o for sign, o in left_terms if sign == "neg"]
+    right_pos = [o for sign, o in right_terms if sign == "pos"]
+    right_neg = [o for sign, o in right_terms if sign == "neg"]
+    if len(left_pos) != 1 or len(left_neg) != 1 \
+            or len(right_pos) != 1 or len(right_neg) != 1:
+        return None
+    p, q = left_pos[0], left_neg[0]
+    if repr(right_neg[0]) == repr(p) and repr(right_pos[0]) == repr(q):
+        return (p, q)
+    return None
+
+
+def tech_map(spec: LogicSpec, name: str | None = None) -> Netlist:
+    """Map a logic spec to a hierarchical gate netlist."""
+    netlist = Netlist(name or f"{spec.name}-gates",
+                      inputs=spec.inputs, outputs=spec.outputs)
+    mapper = _Mapper(netlist)
+    for output, expr in spec.equations:
+        mapper.map_expr(simplify(expr), target=output)
+    return netlist
+
+
+def stdcell_layout(spec: LogicSpec, library: CellLibrary,
+                   placement_spec: Mapping[str, Any] | None = None,
+                   name: str | None = None) -> Layout:
+    """Standard-cell implementation: tech map, then place and route."""
+    netlist = tech_map(spec)
+    merged = dict(DEFAULT_SPEC)
+    if placement_spec:
+        merged.update(placement_spec)
+    layout = place(netlist, merged, library)
+    layout.name = name or f"{spec.name}-stdcell"
+    return layout
+
+
+# ---------------------------------------------------------------------------
+# PLA generation
+# ---------------------------------------------------------------------------
+
+def pla_layout(spec: LogicSpec, library: CellLibrary,
+               name: str | None = None) -> Layout:
+    """Pseudo-NMOS NOR-NOR PLA implementation of a logic spec.
+
+    AND plane: one product line per distinct minterm (shared between
+    outputs), pulled down by crosspoints gated with the literal
+    *complements*.  OR plane: one NOR line per output pulled down by its
+    product terms, re-inverted by an output inverter.
+    """
+    for cell in ("pla_nmos", "pla_load", "inv"):
+        if cell not in library:
+            raise ToolError(f"PLA generation needs cell {cell!r}")
+    layout = Layout(name or f"{spec.name}-pla")
+    inputs = spec.inputs
+    outputs = spec.outputs
+    table = spec.truth_table()
+    terms: list[tuple[int, ...]] = []
+    term_outputs: dict[tuple[int, ...], list[int]] = {}
+    for bits, values in table:
+        if any(values):
+            terms.append(bits)
+            term_outputs[bits] = [k for k, v in enumerate(values) if v]
+    n_terms = len(terms)
+    x_or = 4 * len(inputs) + 6
+
+    wires: dict[str, list[tuple[int, int]]] = {}
+
+    def touch(net: str, point: tuple[int, int]) -> None:
+        wires.setdefault(net, []).append(point)
+
+    # input pins, true lines, complement inverters and complement lines
+    for i, net in enumerate(inputs):
+        x_true, x_comp = 4 * i, 4 * i + 2
+        pin = layout.add_pin(net, x_true, -8, "in")
+        touch(net, pin.point())
+        inv_name = f"cinv_{net}"
+        layout.place(inv_name, "inv", x_comp, -6)
+        touch(net, (x_comp + 0, -5))            # inv input port a
+        touch(f"{net}_bar", (x_comp + 1, -5))   # inv output port y
+    # AND plane
+    for j, bits in enumerate(terms):
+        y = 2 * j
+        product = f"p{j}"
+        load = layout.place(f"load_{product}", "pla_load", -2, y + 1)
+        touch(product, (load.x, load.y))
+        for i, bit in enumerate(bits):
+            # pulldown gated by the literal complement
+            gate_net = f"{inputs[i]}_bar" if bit == 1 else inputs[i]
+            column = 4 * i + 2 if bit == 1 else 4 * i
+            cross = layout.place(f"and_{j}_{i}", "pla_nmos", column, y)
+            touch(gate_net, (cross.x, cross.y))
+            touch(product, (cross.x, cross.y + 1))
+    # OR plane + output inverters + pins
+    for k, output in enumerate(outputs):
+        x = x_or + 4 * k
+        nor_line = f"z{k}"
+        load = layout.place(f"load_{nor_line}", "pla_load", x,
+                            2 * n_terms + 1)
+        touch(nor_line, (load.x, load.y))
+        for j, bits in enumerate(terms):
+            if k not in term_outputs[bits]:
+                continue
+            cross = layout.place(f"or_{j}_{k}", "pla_nmos", x, 2 * j)
+            touch(f"p{j}", (cross.x, cross.y))
+            touch(nor_line, (cross.x, cross.y + 1))
+        inv_name = f"oinv_{output}"
+        layout.place(inv_name, "inv", x, 2 * n_terms + 4)
+        touch(nor_line, (x + 0, 2 * n_terms + 5))
+        touch(output, (x + 1, 2 * n_terms + 5))
+        pin = layout.add_pin(output, x + 1, 2 * n_terms + 8, "out")
+        touch(output, pin.point())
+    for net, points in sorted(wires.items()):
+        layout.route(net, sorted(set(points)))
+    return layout
+
+
+def pla_statistics(spec: LogicSpec) -> dict[str, int]:
+    """Size summary used by tests and benches."""
+    terms = set()
+    for output in spec.outputs:
+        terms.update(spec.minterms(output))
+    return {"inputs": len(spec.inputs), "outputs": len(spec.outputs),
+            "terms": len(terms)}

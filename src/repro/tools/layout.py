@@ -1,0 +1,246 @@
+"""Grid layout model: the physical view of a design.
+
+A :class:`Layout` is a Manhattan grid carrying placed cell instances
+(referencing a :class:`~repro.tools.cells.CellLibrary`), wires (polylines
+of grid points, optionally pre-named with their net), and IO pins.  It is
+deliberately simple — connectivity is positional: a cell port, wire point
+or pin at the same grid coordinate belongs to the same electrical node,
+which is exactly what the extractor recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..errors import ToolError
+
+Point = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One placed cell instance."""
+
+    name: str
+    cell: str
+    x: int
+    y: int
+
+    def origin(self) -> Point:
+        return (self.x, self.y)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "cell": self.cell,
+                "x": self.x, "y": self.y}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Placement":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class Pin:
+    """An IO pin: a named grid point with a direction.
+
+    Directions are ``"in"``, ``"out"`` or ``"supply"`` — the extractor
+    uses them to reconstruct the netlist's port lists.
+    """
+
+    net: str
+    x: int
+    y: int
+    direction: str = "in"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("in", "out", "supply"):
+            raise ToolError(f"pin {self.net!r}: bad direction "
+                            f"{self.direction!r}")
+
+    def point(self) -> Point:
+        return (self.x, self.y)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"net": self.net, "x": self.x, "y": self.y,
+                "direction": self.direction}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Pin":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class Wire:
+    """A polyline of grid points; every point is electrically one node."""
+
+    net: str
+    points: tuple[Point, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 1:
+            raise ToolError("a wire needs at least one point")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"net": self.net, "points": [[x, y] for x, y in self.points]}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Wire":
+        return cls(payload["net"],
+                   tuple((x, y) for x, y in payload["points"]))
+
+    def length(self) -> int:
+        total = 0
+        for (x1, y1), (x2, y2) in zip(self.points, self.points[1:]):
+            total += abs(x1 - x2) + abs(y1 - y2)
+        return total
+
+
+class Layout:
+    """Placed cells + wires + IO pins on an integer grid."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._placements: dict[str, Placement] = {}
+        self._wires: list[Wire] = []
+        self._pins: dict[str, Pin] = {}
+
+    # ------------------------------------------------------------------
+    # editing primitives (used by the layout editor tool)
+    # ------------------------------------------------------------------
+    def place(self, name: str, cell: str, x: int, y: int) -> Placement:
+        if name in self._placements:
+            raise ToolError(f"cell instance {name!r} already placed")
+        placement = Placement(name, cell, x, y)
+        self._placements[name] = placement
+        return placement
+
+    def move(self, name: str, x: int, y: int) -> Placement:
+        old = self.placement(name)
+        moved = Placement(old.name, old.cell, x, y)
+        self._placements[name] = moved
+        return moved
+
+    def remove(self, name: str) -> None:
+        self.placement(name)
+        del self._placements[name]
+
+    def route(self, net: str, points: Iterable[Point]) -> Wire:
+        wire = Wire(net, tuple(tuple(p) for p in points))
+        self._wires.append(wire)
+        return wire
+
+    def unroute(self, net: str) -> int:
+        """Remove all wires of a net; returns how many were removed."""
+        before = len(self._wires)
+        self._wires = [w for w in self._wires if w.net != net]
+        return before - len(self._wires)
+
+    def add_pin(self, net: str, x: int, y: int,
+                direction: str = "in") -> Pin:
+        if net in self._pins:
+            raise ToolError(f"pin {net!r} already present")
+        pin = Pin(net, x, y, direction)
+        self._pins[net] = pin
+        return pin
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def placement(self, name: str) -> Placement:
+        try:
+            return self._placements[name]
+        except KeyError:
+            raise ToolError(f"no cell instance {name!r} in layout "
+                            f"{self.name!r}") from None
+
+    def placements(self) -> tuple[Placement, ...]:
+        return tuple(self._placements[k] for k in sorted(self._placements))
+
+    def wires(self) -> tuple[Wire, ...]:
+        return tuple(self._wires)
+
+    def pins(self) -> tuple[Pin, ...]:
+        return tuple(self._pins[k] for k in sorted(self._pins))
+
+    def pin(self, net: str) -> Pin:
+        try:
+            return self._pins[net]
+        except KeyError:
+            raise ToolError(f"no pin {net!r} in layout {self.name!r}"
+                            ) from None
+
+    @property
+    def cell_count(self) -> int:
+        return len(self._placements)
+
+    def wirelength(self) -> int:
+        return sum(w.length() for w in self._wires)
+
+    def bounding_box(self, library=None) -> tuple[int, int, int, int]:
+        """(min_x, min_y, max_x, max_y) over cells, wires and pins."""
+        xs: list[int] = []
+        ys: list[int] = []
+        for placement in self._placements.values():
+            xs.append(placement.x)
+            ys.append(placement.y)
+            if library is not None:
+                cell = library.cell(placement.cell)
+                xs.append(placement.x + cell.width)
+                ys.append(placement.y + cell.height)
+        for wire in self._wires:
+            for x, y in wire.points:
+                xs.append(x)
+                ys.append(y)
+        for pin in self._pins.values():
+            xs.append(pin.x)
+            ys.append(pin.y)
+        if not xs:
+            return (0, 0, 0, 0)
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def area(self, library=None) -> int:
+        min_x, min_y, max_x, max_y = self.bounding_box(library)
+        return max(0, max_x - min_x) * max(0, max_y - min_y)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "Layout":
+        clone = Layout(name or self.name)
+        clone._placements = dict(self._placements)
+        clone._wires = list(self._wires)
+        clone._pins = dict(self._pins)
+        return clone
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "placements": [p.to_dict() for p in self.placements()],
+            "wires": [w.to_dict() for w in self._wires],
+            "pins": [p.to_dict() for p in self.pins()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Layout":
+        layout = cls(payload["name"])
+        for spec in payload.get("placements", ()):
+            placement = Placement.from_dict(spec)
+            layout._placements[placement.name] = placement
+        layout._wires = [Wire.from_dict(s) for s in payload.get("wires",
+                                                                ())]
+        for spec in payload.get("pins", ()):
+            pin = Pin.from_dict(spec)
+            layout._pins[pin.net] = pin
+        return layout
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Layout):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:
+        return hash(repr(self.to_dict()))
+
+    def __repr__(self) -> str:
+        return (f"Layout({self.name!r}, {self.cell_count} cells, "
+                f"{len(self._wires)} wires)")

@@ -1,0 +1,61 @@
+"""ASCII rendering of layouts: the physical view as a picture.
+
+Draws the grid with one character per coordinate: cell footprints as
+letters (first letter of the cell type, the origin uppercased), wire
+points as ``+``, pins as ``I``/``O``/``S`` by direction.  Deterministic,
+so figure benchmarks and docs can embed the output.
+"""
+
+from __future__ import annotations
+
+from .cells import CellLibrary
+from .layout import Layout
+
+_PIN_GLYPH = {"in": "I", "out": "O", "supply": "S"}
+
+
+def render_layout(layout: Layout, library: CellLibrary | None = None,
+                  *, max_width: int = 100, max_height: int = 48) -> str:
+    """Draw the layout as ASCII art (clipped to max dimensions)."""
+    min_x, min_y, max_x, max_y = layout.bounding_box(library)
+    width = min(max_x - min_x + 1, max_width)
+    height = min(max_y - min_y + 1, max_height)
+    if width <= 0 or height <= 0:
+        return f"layout {layout.name!r}: (empty)"
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(x: int, y: int, glyph: str) -> None:
+        column = x - min_x
+        row = y - min_y
+        if 0 <= column < width and 0 <= row < height:
+            grid[row][column] = glyph
+
+    # cell footprints
+    for placement in layout.placements():
+        glyph = placement.cell[0].lower()
+        if library is not None:
+            cell = library.cell(placement.cell)
+            for dx in range(cell.width):
+                for dy in range(cell.height):
+                    put(placement.x + dx, placement.y + dy, glyph)
+        put(placement.x, placement.y, glyph.upper())
+    # wires override cell interiors at their claimed points
+    for wire in layout.wires():
+        for x, y in wire.points:
+            put(x, y, "+")
+    for pin in layout.pins():
+        put(pin.x, pin.y, _PIN_GLYPH.get(pin.direction, "?"))
+
+    lines = [f"layout {layout.name!r} "
+             f"({layout.cell_count} cells, "
+             f"{len(layout.wires())} wires, bbox "
+             f"{min_x},{min_y}..{max_x},{max_y})"]
+    # draw with y increasing downward being wrong for schematics: flip
+    for row in reversed(range(height)):
+        lines.append("".join(grid[row]).rstrip())
+    legend = sorted({p.cell for p in layout.placements()})
+    if legend:
+        lines.append("legend: " + ", ".join(
+            f"{cell[0].lower()}={cell}" for cell in legend)
+            + "; +=wire, I/O=pins")
+    return "\n".join(lines)

@@ -1,0 +1,263 @@
+"""Logic specifications: the logic view of a design (Fig. 7).
+
+A :class:`LogicSpec` names inputs and outputs and gives each output a
+boolean expression tree.  Expressions are JSON-safe nested lists::
+
+    ["and", ["var", "a"], ["not", ["var", "b"]]]
+
+with operators ``and``/``or`` (n-ary, n >= 2), ``not``, ``var`` and
+``const``.  :func:`parse_expr` accepts the usual infix syntax
+(``~``, ``&``, ``|``, parentheses, ``0``/``1``) so examples can write
+``LogicSpec.from_equations("f", "y = ~(a & b)")``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from ..errors import ToolError
+
+Expr = list  # nested ["op", ...] lists
+
+_TOKEN = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9]*|[01()&|~])")
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse an infix boolean expression into an expression tree."""
+    tokens = _tokenize(text)
+    expr, rest = _parse_or(tokens)
+    if rest:
+        raise ToolError(f"trailing tokens in expression {text!r}: {rest}")
+    return expr
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            if text[position:].strip():
+                raise ToolError(
+                    f"bad character in expression at {text[position:]!r}")
+            break
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+def _parse_or(tokens: list[str]) -> tuple[Expr, list[str]]:
+    left, rest = _parse_and(tokens)
+    terms = [left]
+    while rest and rest[0] == "|":
+        term, rest = _parse_and(rest[1:])
+        terms.append(term)
+    if len(terms) == 1:
+        return left, rest
+    return ["or", *terms], rest
+
+
+def _parse_and(tokens: list[str]) -> tuple[Expr, list[str]]:
+    left, rest = _parse_unary(tokens)
+    terms = [left]
+    while rest and rest[0] == "&":
+        term, rest = _parse_unary(rest[1:])
+        terms.append(term)
+    if len(terms) == 1:
+        return left, rest
+    return ["and", *terms], rest
+
+
+def _parse_unary(tokens: list[str]) -> tuple[Expr, list[str]]:
+    if not tokens:
+        raise ToolError("unexpected end of expression")
+    head, *rest = tokens
+    if head == "~":
+        inner, remaining = _parse_unary(rest)
+        return ["not", inner], remaining
+    if head == "(":
+        inner, remaining = _parse_or(rest)
+        if not remaining or remaining[0] != ")":
+            raise ToolError("missing closing parenthesis")
+        return inner, remaining[1:]
+    if head in ("0", "1"):
+        return ["const", int(head)], rest
+    if re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", head):
+        return ["var", head], rest
+    raise ToolError(f"unexpected token {head!r}")
+
+
+def evaluate(expr: Expr, assignment: Mapping[str, int]) -> int:
+    """Evaluate an expression tree over a 0/1 variable assignment."""
+    op = expr[0]
+    if op == "var":
+        name = expr[1]
+        if name not in assignment:
+            raise ToolError(f"unbound variable {name!r}")
+        return 1 if assignment[name] else 0
+    if op == "const":
+        return 1 if expr[1] else 0
+    if op == "not":
+        return 1 - evaluate(expr[1], assignment)
+    if op == "and":
+        return int(all(evaluate(e, assignment) for e in expr[1:]))
+    if op == "or":
+        return int(any(evaluate(e, assignment) for e in expr[1:]))
+    raise ToolError(f"unknown operator {op!r}")
+
+
+def simplify(expr: Expr) -> Expr:
+    """Boolean simplification: the tech mapper's front end.
+
+    Applies, bottom-up: double-negation elimination, constant folding
+    (De Morgan-free: ``~0 -> 1``), flattening of nested same-operator
+    nodes, identity/annihilator removal (``x & 1``, ``x | 0`` / ``x &
+    0``, ``x | 1``), duplicate-operand removal, and complementary-pair
+    detection (``x & ~x -> 0``, ``x | ~x -> 1``).  The result computes
+    the same function (property-tested) and never has more operators.
+    """
+    op = expr[0]
+    if op in ("var", "const"):
+        return list(expr)
+    if op == "not":
+        inner = simplify(expr[1])
+        if inner[0] == "not":
+            return inner[1]
+        if inner[0] == "const":
+            return ["const", 1 - inner[1]]
+        return ["not", inner]
+    if op in ("and", "or"):
+        identity = 1 if op == "and" else 0
+        annihilator = 1 - identity
+        terms: list[Expr] = []
+        seen: set[str] = set()
+        for raw in expr[1:]:
+            term = simplify(raw)
+            if term[0] == op:
+                inner_terms = term[1:]
+            else:
+                inner_terms = [term]
+            for inner in inner_terms:
+                if inner[0] == "const":
+                    if inner[1] == annihilator:
+                        return ["const", annihilator]
+                    continue  # identity element: drop
+                key = repr(inner)
+                if key in seen:
+                    continue
+                seen.add(key)
+                terms.append(inner)
+        # complementary pair: x op ~x
+        for term in terms:
+            complement = repr(simplify(["not", term]))
+            if complement in seen:
+                return ["const", annihilator]
+        if not terms:
+            return ["const", identity]
+        if len(terms) == 1:
+            return terms[0]
+        return [op, *terms]
+    raise ToolError(f"unknown operator {op!r}")
+
+
+def operator_count(expr: Expr) -> int:
+    """Number of and/or/not operators in an expression tree."""
+    op = expr[0]
+    if op in ("var", "const"):
+        return 0
+    return 1 + sum(operator_count(e) for e in expr[1:])
+
+
+def variables(expr: Expr) -> set[str]:
+    """Free variables of an expression tree."""
+    op = expr[0]
+    if op == "var":
+        return {expr[1]}
+    if op == "const":
+        return set()
+    return set().union(*(variables(e) for e in expr[1:]))
+
+
+@dataclass(frozen=True)
+class LogicSpec:
+    """Named boolean functions over named inputs."""
+
+    name: str
+    inputs: tuple[str, ...]
+    equations: tuple[tuple[str, Expr], ...]  # (output, expression)
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for output, expr in self.equations:
+            if output in seen:
+                raise ToolError(f"duplicate output {output!r}")
+            seen.add(output)
+            unknown = variables(expr) - set(self.inputs)
+            if unknown:
+                raise ToolError(
+                    f"output {output!r} uses undeclared inputs "
+                    f"{sorted(unknown)}")
+
+    @property
+    def outputs(self) -> tuple[str, ...]:
+        return tuple(output for output, _ in self.equations)
+
+    def expression(self, output: str) -> Expr:
+        for name, expr in self.equations:
+            if name == output:
+                return expr
+        raise ToolError(f"no output {output!r} in {self.name!r}")
+
+    @classmethod
+    def from_equations(cls, name: str, *equations: str,
+                       inputs: Iterable[str] | None = None) -> "LogicSpec":
+        """Build from ``"output = expression"`` strings.
+
+        Inputs default to the union of free variables, sorted.
+        """
+        parsed: list[tuple[str, Expr]] = []
+        for equation in equations:
+            lhs, _, rhs = equation.partition("=")
+            if not rhs:
+                raise ToolError(f"equation {equation!r} lacks '='")
+            parsed.append((lhs.strip(), parse_expr(rhs)))
+        if inputs is None:
+            free: set[str] = set()
+            for _, expr in parsed:
+                free |= variables(expr)
+            inputs = sorted(free)
+        return cls(name, tuple(inputs), tuple(parsed))
+
+    def evaluate(self, assignment: Mapping[str, int]) -> dict[str, int]:
+        return {output: evaluate(expr, assignment)
+                for output, expr in self.equations}
+
+    def truth_table(self) -> tuple[tuple[tuple[int, ...],
+                                         tuple[int, ...]], ...]:
+        """((input bits), (output bits)) rows in counting order."""
+        import itertools
+
+        rows = []
+        for bits in itertools.product((0, 1), repeat=len(self.inputs)):
+            assignment = dict(zip(self.inputs, bits))
+            values = self.evaluate(assignment)
+            rows.append((bits, tuple(values[o] for o in self.outputs)))
+        return tuple(rows)
+
+    def minterms(self, output: str) -> tuple[tuple[int, ...], ...]:
+        """Input combinations for which an output is 1."""
+        index = self.outputs.index(output)
+        return tuple(bits for bits, values in self.truth_table()
+                     if values[index] == 1)
+
+    # -- persistence -------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "inputs": list(self.inputs),
+                "equations": [[o, e] for o, e in self.equations]}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "LogicSpec":
+        return cls(payload["name"], tuple(payload["inputs"]),
+                   tuple((o, e) for o, e in payload["equations"]))

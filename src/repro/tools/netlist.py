@@ -1,0 +1,283 @@
+"""Netlist model: the central design-data structure of the substrate.
+
+A :class:`Netlist` is a SPICE-flavoured circuit description holding
+
+* **transistors** — switch-level MOS devices with gate/source/drain nets,
+  a width/length, and a drive *strength* (``strong`` for ordinary
+  devices, ``weak`` for pseudo-NMOS loads so ratioed logic resolves);
+* **cell instances** — hierarchical references to library cells
+  (SPICE ``X`` lines); :meth:`Netlist.flatten` expands them through a
+  cell library into a transistor-level netlist.
+
+Net names are plain strings; ``VDD`` and ``GND`` are the global supply
+nets.  The model is immutable-by-convention: editing tools build modified
+copies (:meth:`Netlist.copy`, :meth:`Netlist.with_device_width`), which is
+what makes content-addressed storage and version lineages meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Iterable
+
+from ..errors import ToolError
+
+POWER = "VDD"
+GROUND = "GND"
+
+NMOS = "nmos"
+PMOS = "pmos"
+
+STRONG = "strong"
+WEAK = "weak"
+
+
+@dataclass(frozen=True)
+class Transistor:
+    """One MOS switch."""
+
+    name: str
+    kind: str                 # NMOS or PMOS
+    gate: str
+    source: str
+    drain: str
+    width: float = 1.0
+    length: float = 1.0
+    strength: str = STRONG
+
+    def __post_init__(self) -> None:
+        if self.kind not in (NMOS, PMOS):
+            raise ToolError(f"transistor {self.name!r}: kind must be "
+                            f"{NMOS!r} or {PMOS!r}, got {self.kind!r}")
+        if self.strength not in (STRONG, WEAK):
+            raise ToolError(f"transistor {self.name!r}: strength must be "
+                            f"{STRONG!r} or {WEAK!r}")
+        if self.width <= 0 or self.length <= 0:
+            raise ToolError(f"transistor {self.name!r}: non-positive "
+                            "geometry")
+
+    @property
+    def terminals(self) -> tuple[str, str, str]:
+        return (self.gate, self.source, self.drain)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "kind": self.kind, "gate": self.gate,
+                "source": self.source, "drain": self.drain,
+                "width": self.width, "length": self.length,
+                "strength": self.strength}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Transistor":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class CellInstance:
+    """A hierarchical reference to a library cell (SPICE ``X`` line)."""
+
+    name: str
+    cell: str
+    connections: tuple[tuple[str, str], ...]  # (port, net) pairs
+
+    def connection_map(self) -> dict[str, str]:
+        return dict(self.connections)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "cell": self.cell,
+                "connections": [[p, n] for p, n in self.connections]}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "CellInstance":
+        return cls(payload["name"], payload["cell"],
+                   tuple((p, n) for p, n in payload["connections"]))
+
+
+class Netlist:
+    """A circuit: IO ports plus transistors and/or cell instances."""
+
+    def __init__(self, name: str, inputs: Iterable[str] = (),
+                 outputs: Iterable[str] = ()) -> None:
+        self.name = name
+        self.inputs = tuple(inputs)
+        self.outputs = tuple(outputs)
+        self._transistors: dict[str, Transistor] = {}
+        self._instances: dict[str, CellInstance] = {}
+        overlap = set(self.inputs) & set(self.outputs)
+        if overlap:
+            raise ToolError(f"netlist {name!r}: nets {sorted(overlap)} "
+                            "declared both input and output")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_transistor(self, transistor: Transistor) -> Transistor:
+        if transistor.name in self._transistors:
+            raise ToolError(f"duplicate transistor {transistor.name!r}")
+        self._transistors[transistor.name] = transistor
+        return transistor
+
+    def add(self, name: str, kind: str, gate: str, source: str,
+            drain: str, *, width: float = 1.0, length: float = 1.0,
+            strength: str = STRONG) -> Transistor:
+        return self.add_transistor(Transistor(
+            name, kind, gate, source, drain, width, length, strength))
+
+    def add_instance(self, name: str, cell: str,
+                     **connections: str) -> CellInstance:
+        if name in self._instances:
+            raise ToolError(f"duplicate cell instance {name!r}")
+        instance = CellInstance(name, cell,
+                                tuple(sorted(connections.items())))
+        self._instances[name] = instance
+        return instance
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def transistors(self) -> tuple[Transistor, ...]:
+        return tuple(self._transistors[k]
+                     for k in sorted(self._transistors))
+
+    def instances(self) -> tuple[CellInstance, ...]:
+        return tuple(self._instances[k] for k in sorted(self._instances))
+
+    def transistor(self, name: str) -> Transistor:
+        try:
+            return self._transistors[name]
+        except KeyError:
+            raise ToolError(f"no transistor {name!r} in {self.name!r}"
+                            ) from None
+
+    @property
+    def device_count(self) -> int:
+        return len(self._transistors)
+
+    @property
+    def instance_count(self) -> int:
+        return len(self._instances)
+
+    @property
+    def is_flat(self) -> bool:
+        return not self._instances
+
+    def nets(self) -> tuple[str, ...]:
+        """Every net name, supplies and IO included, sorted."""
+        out = {POWER, GROUND, *self.inputs, *self.outputs}
+        for transistor in self._transistors.values():
+            out.update(transistor.terminals)
+        for instance in self._instances.values():
+            out.update(net for _, net in instance.connections)
+        return tuple(sorted(out))
+
+    def internal_nets(self) -> tuple[str, ...]:
+        external = {POWER, GROUND, *self.inputs, *self.outputs}
+        return tuple(n for n in self.nets() if n not in external)
+
+    def total_width(self) -> float:
+        return sum(t.width for t in self._transistors.values())
+
+    # ------------------------------------------------------------------
+    # derived netlists
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "Netlist":
+        clone = Netlist(name or self.name, self.inputs, self.outputs)
+        clone._transistors = dict(self._transistors)
+        clone._instances = dict(self._instances)
+        return clone
+
+    def with_device_width(self, device: str, width: float) -> "Netlist":
+        """A copy with one transistor resized (optimizer move)."""
+        transistor = self.transistor(device)
+        clone = self.copy()
+        clone._transistors[device] = replace(transistor, width=width)
+        return clone
+
+    def without_device(self, device: str) -> "Netlist":
+        self.transistor(device)
+        clone = self.copy()
+        del clone._transistors[device]
+        return clone
+
+    def renamed(self, name: str) -> "Netlist":
+        return self.copy(name)
+
+    def flatten(self, library: "CellLibraryLike",
+                name: str | None = None) -> "Netlist":
+        """Expand cell instances into transistors via a cell library.
+
+        Internal nets of each cell are prefixed with the instance name;
+        unconnected cell ports raise.  Nested cells flatten recursively.
+        """
+        flat = Netlist(name or self.name, self.inputs, self.outputs)
+        flat._transistors = dict(self._transistors)
+        for instance in self.instances():
+            cell = library.cell(instance.cell)
+            mapping = instance.connection_map()
+            missing = [p for p in cell.ports if p not in mapping]
+            if missing:
+                raise ToolError(
+                    f"instance {instance.name!r} of {instance.cell!r}: "
+                    f"unconnected ports {missing}")
+            fragment = cell.netlist_fragment()
+            sub = fragment.flatten(library) if not fragment.is_flat \
+                else fragment
+            for transistor in sub.transistors():
+                flat.add_transistor(replace(
+                    transistor,
+                    name=f"{instance.name}.{transistor.name}",
+                    gate=_map_net(transistor.gate, mapping, instance.name),
+                    source=_map_net(transistor.source, mapping,
+                                    instance.name),
+                    drain=_map_net(transistor.drain, mapping,
+                                   instance.name)))
+        return flat
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "inputs": list(self.inputs),
+            "outputs": list(self.outputs),
+            "transistors": [t.to_dict() for t in self.transistors()],
+            "instances": [i.to_dict() for i in self.instances()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Netlist":
+        netlist = cls(payload["name"], payload.get("inputs", ()),
+                      payload.get("outputs", ()))
+        for spec in payload.get("transistors", ()):
+            netlist.add_transistor(Transistor.from_dict(spec))
+        for spec in payload.get("instances", ()):
+            instance = CellInstance.from_dict(spec)
+            netlist._instances[instance.name] = instance
+        return netlist
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Netlist):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:  # content hash for set/dict membership
+        return hash(repr(self.to_dict()))
+
+    def __repr__(self) -> str:
+        return (f"Netlist({self.name!r}, {self.device_count} devices, "
+                f"{self.instance_count} instances)")
+
+
+def _map_net(net: str, mapping: dict[str, str], prefix: str) -> str:
+    if net in (POWER, GROUND):
+        return net
+    if net in mapping:
+        return mapping[net]
+    return f"{prefix}.{net}"
+
+
+class CellLibraryLike:
+    """Protocol stub: anything with ``cell(name) -> CellDef``."""
+
+    def cell(self, name: str):  # pragma: no cover - protocol only
+        raise NotImplementedError

@@ -1,0 +1,154 @@
+"""Statistical circuit optimizers (three tools, one signature).
+
+Section 3.3: *"we have encapsulated three statistical circuit
+optimization tools that take exactly the same input arguments and produce
+the same type of output"* and *"an optimization procedure may have a
+circuit simulator passed to it as an argument"*.
+
+All three strategies share :func:`optimize`'s signature — a circuit
+(device models + netlist), a **simulator passed as data**, and an
+optimization spec — and return a width-tuned netlist.  The objective is
+
+    J(w) = delay_weight * D(w) + area_weight * total_width(w)
+
+where ``D(w) = settle_steps * stage_delay * (1 + drive_coeff *
+mean(1/w_i))`` — wider devices drive harder (lower delay) but cost area —
+plus an enormous penalty if the tuned circuit stops producing clean 0/1
+outputs under the evaluation stimuli.  The simulator the caller passes is
+genuinely invoked for every candidate evaluation.
+
+Strategies: ``random`` (uniform sampling), ``coordinate`` (cyclic
+per-device descent), ``annealing`` (temperature-scheduled perturbation).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Callable, Mapping
+
+from ..errors import ToolError
+from .device_models import DeviceModels
+from .netlist import Netlist
+from .performance import PerformanceReport
+from .stimuli import Stimuli, exhaustive, walking_ones
+
+DEFAULT_SPEC: dict[str, Any] = {
+    "delay_weight": 1.0,
+    "area_weight": 0.15,
+    "drive_coeff": 3.0,
+    "width_bounds": [0.5, 8.0],
+    "iterations": 40,
+    "seed": 7,
+}
+
+SimulateFn = Callable[[Netlist, Stimuli, DeviceModels], PerformanceReport]
+
+
+def default_stimuli(netlist: Netlist) -> Stimuli:
+    """Evaluation vectors: exhaustive up to 6 inputs, else walking ones."""
+    if len(netlist.inputs) <= 6:
+        return exhaustive(netlist.inputs, name="opt-eval")
+    return walking_ones(netlist.inputs, name="opt-eval")
+
+
+def objective(report: PerformanceReport, netlist: Netlist,
+              spec: Mapping[str, Any]) -> float:
+    """The shared cost function J(w)."""
+    widths = [t.width for t in netlist.transistors()]
+    if not widths:
+        raise ToolError("cannot optimize an empty netlist")
+    mean_inverse_width = sum(1.0 / w for w in widths) / len(widths)
+    delay = (max(report.settle_steps or (0,)) * report.stage_delay_ns
+             * (1.0 + float(spec["drive_coeff"]) * mean_inverse_width))
+    area = sum(widths)
+    cost = (float(spec["delay_weight"]) * delay
+            + float(spec["area_weight"]) * area)
+    if report.has_unknowns or report.oscillating_vectors:
+        cost += 1e6  # functional failure dominates everything
+    return cost
+
+
+def _evaluate(netlist: Netlist, simulate: SimulateFn, stimuli: Stimuli,
+              models: DeviceModels, spec: Mapping[str, Any]) -> float:
+    return objective(simulate(netlist, stimuli, models), netlist, spec)
+
+
+def _clamp(width: float, bounds: tuple[float, float]) -> float:
+    low, high = bounds
+    return max(low, min(high, width))
+
+
+def optimize(netlist: Netlist, models: DeviceModels,
+             simulate: SimulateFn, spec: Mapping[str, Any], *,
+             strategy: str = "random") -> tuple[Netlist, float, int]:
+    """Tune transistor widths; returns (netlist, best cost, evaluations)."""
+    merged = dict(DEFAULT_SPEC)
+    merged.update(spec)
+    bounds = (float(merged["width_bounds"][0]),
+              float(merged["width_bounds"][1]))
+    iterations = int(merged["iterations"])
+    rng = random.Random(int(merged["seed"]))
+    stimuli = default_stimuli(netlist)
+    devices = [t.name for t in netlist.transistors()]
+    if not devices:
+        raise ToolError("cannot optimize an empty netlist")
+
+    best = netlist.renamed(f"{netlist.name}-opt")
+    best_cost = _evaluate(best, simulate, stimuli, models, merged)
+    evaluations = 1
+
+    if strategy == "random":
+        for _ in range(iterations):
+            candidate = best.copy()
+            for device in devices:
+                candidate = candidate.with_device_width(
+                    device, _clamp(rng.uniform(*bounds), bounds))
+            cost = _evaluate(candidate, simulate, stimuli, models, merged)
+            evaluations += 1
+            if cost < best_cost:
+                best, best_cost = candidate, cost
+    elif strategy == "coordinate":
+        step = (bounds[1] - bounds[0]) / 4.0
+        current, current_cost = best, best_cost
+        while step > 0.05 and evaluations < iterations + 1:
+            improved = False
+            for device in devices:
+                width = current.transistor(device).width
+                for direction in (step, -step):
+                    candidate = current.with_device_width(
+                        device, _clamp(width + direction, bounds))
+                    cost = _evaluate(candidate, simulate, stimuli, models,
+                                     merged)
+                    evaluations += 1
+                    if cost < current_cost:
+                        current, current_cost = candidate, cost
+                        improved = True
+                        break
+                if evaluations >= iterations + 1:
+                    break
+            if not improved:
+                step /= 2.0
+        best, best_cost = current, current_cost
+    elif strategy == "annealing":
+        current, current_cost = best, best_cost
+        temperature = max(best_cost / 5.0, 1e-6)
+        for _ in range(iterations):
+            device = rng.choice(devices)
+            width = current.transistor(device).width
+            delta = rng.gauss(0.0, (bounds[1] - bounds[0]) / 6.0)
+            candidate = current.with_device_width(
+                device, _clamp(width + delta, bounds))
+            cost = _evaluate(candidate, simulate, stimuli, models, merged)
+            evaluations += 1
+            accept = (cost < current_cost
+                      or rng.random() < math.exp(
+                          (current_cost - cost) / max(temperature, 1e-9)))
+            if accept:
+                current, current_cost = candidate, cost
+            if current_cost < best_cost:
+                best, best_cost = current, current_cost
+            temperature *= 0.95
+    else:
+        raise ToolError(f"unknown optimization strategy {strategy!r}")
+    return best.renamed(f"{netlist.name}-opt"), best_cost, evaluations

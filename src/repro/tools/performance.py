@@ -1,0 +1,143 @@
+"""Performance reports: the *Performance* entity of the standard schema.
+
+A :class:`PerformanceReport` is what the simulator produces: output
+waveforms, per-vector settle counts and transition counts, plus derived
+delay/energy metrics computed against a
+:class:`~repro.tools.device_models.DeviceModels` parameter set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .device_models import DeviceModels
+
+ZERO = "0"
+ONE = "1"
+UNKNOWN = "X"
+
+
+@dataclass(frozen=True)
+class PerformanceReport:
+    """Simulation outcome for one (circuit, stimuli, models) triple."""
+
+    circuit: str
+    stimuli: str
+    models: str
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    waveforms: tuple[tuple[str, tuple[str, ...]], ...]
+    settle_steps: tuple[int, ...]
+    transitions: tuple[int, ...]
+    stage_delay_ns: float
+    switching_energy_fj: float
+    oscillating_vectors: tuple[int, ...] = ()
+
+    # -- derived metrics ------------------------------------------------
+    @property
+    def vector_count(self) -> int:
+        return len(self.settle_steps)
+
+    def waveform(self, net: str) -> tuple[str, ...]:
+        for name, values in self.waveforms:
+            if name == net:
+                return values
+        raise KeyError(f"no waveform recorded for net {net!r}")
+
+    def waveform_map(self) -> dict[str, tuple[str, ...]]:
+        return dict(self.waveforms)
+
+    @property
+    def worst_delay_ns(self) -> float:
+        if not self.settle_steps:
+            return 0.0
+        return max(self.settle_steps) * self.stage_delay_ns
+
+    @property
+    def average_delay_ns(self) -> float:
+        if not self.settle_steps:
+            return 0.0
+        return (sum(self.settle_steps) / len(self.settle_steps)
+                * self.stage_delay_ns)
+
+    @property
+    def total_energy_fj(self) -> float:
+        return sum(self.transitions) * self.switching_energy_fj
+
+    @property
+    def average_power_uw(self) -> float:
+        """Energy / time, assuming one vector per settled interval."""
+        total_time_ns = sum(self.settle_steps) * self.stage_delay_ns
+        if total_time_ns <= 0:
+            return 0.0
+        # fJ/ns == uW
+        return self.total_energy_fj / total_time_ns
+
+    @property
+    def has_unknowns(self) -> bool:
+        return any(UNKNOWN in values for _, values in self.waveforms)
+
+    def output_table(self) -> tuple[tuple[str, ...], ...]:
+        """Rows of output values, one row per vector."""
+        by_net = self.waveform_map()
+        return tuple(
+            tuple(by_net[o][i] for o in self.outputs)
+            for i in range(self.vector_count))
+
+    # -- persistence -------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "circuit": self.circuit,
+            "stimuli": self.stimuli,
+            "models": self.models,
+            "inputs": list(self.inputs),
+            "outputs": list(self.outputs),
+            "waveforms": [[net, list(values)]
+                          for net, values in self.waveforms],
+            "settle_steps": list(self.settle_steps),
+            "transitions": list(self.transitions),
+            "stage_delay_ns": self.stage_delay_ns,
+            "switching_energy_fj": self.switching_energy_fj,
+            "oscillating_vectors": list(self.oscillating_vectors),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "PerformanceReport":
+        return cls(
+            circuit=payload["circuit"],
+            stimuli=payload["stimuli"],
+            models=payload["models"],
+            inputs=tuple(payload["inputs"]),
+            outputs=tuple(payload["outputs"]),
+            waveforms=tuple((net, tuple(values))
+                            for net, values in payload["waveforms"]),
+            settle_steps=tuple(payload["settle_steps"]),
+            transitions=tuple(payload["transitions"]),
+            stage_delay_ns=payload["stage_delay_ns"],
+            switching_energy_fj=payload["switching_energy_fj"],
+            oscillating_vectors=tuple(payload.get("oscillating_vectors",
+                                                  ())),
+        )
+
+
+def make_report(circuit: str, stimuli: str, models: DeviceModels,
+                inputs: tuple[str, ...], outputs: tuple[str, ...],
+                waveforms: dict[str, list[str]],
+                settle_steps: list[int], transitions: list[int],
+                oscillating: list[int]) -> PerformanceReport:
+    """Assemble a report from raw simulation arrays."""
+    return PerformanceReport(
+        circuit=circuit,
+        stimuli=stimuli,
+        models=models.name,
+        inputs=inputs,
+        outputs=outputs,
+        waveforms=tuple(sorted((net, tuple(values))
+                               for net, values in waveforms.items())),
+        settle_steps=tuple(settle_steps),
+        transitions=tuple(transitions),
+        stage_delay_ns=models.stage_delay_ns,
+        switching_energy_fj=models.switching_energy_fj(),
+        oscillating_vectors=tuple(oscillating),
+    )

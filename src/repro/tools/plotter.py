@@ -1,0 +1,64 @@
+"""ASCII performance plotter (the *Plotter* of Fig. 1).
+
+Turns a :class:`~repro.tools.performance.PerformanceReport` into a
+deterministic text artifact: waveforms per output plus a metric summary.
+The plot object is first-class design data (a *Performance Plot* entity)
+so it lands in the history database like everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .performance import ONE, UNKNOWN, ZERO, PerformanceReport
+
+_GLYPHS = {ZERO: "_", ONE: "#", UNKNOWN: "?"}
+
+
+@dataclass(frozen=True)
+class PerformancePlot:
+    """Rendered waveforms + metrics for one performance report."""
+
+    circuit: str
+    stimuli: str
+    text: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"circuit": self.circuit, "stimuli": self.stimuli,
+                "text": self.text}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "PerformancePlot":
+        return cls(**payload)
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def waveform_line(values: tuple[str, ...], width: int = 3) -> str:
+    """One net's waveform as a glyph strip (3 columns per vector)."""
+    return "".join(_GLYPHS.get(v, "?") * width for v in values)
+
+
+def plot(report: PerformanceReport) -> PerformancePlot:
+    """Render a report into an ASCII plot."""
+    lines = [f"performance plot: {report.circuit} / {report.stimuli} "
+             f"({report.models})"]
+    label_width = max((len(n) for n, _ in report.waveforms), default=4)
+    ruler = "".join(f"{i % 10}--" for i in range(report.vector_count))
+    lines.append(f"  {'vec'.rjust(label_width)} {ruler}")
+    for net, values in report.waveforms:
+        lines.append(f"  {net.rjust(label_width)} {waveform_line(values)}")
+    lines.append(
+        f"  worst delay {report.worst_delay_ns:.2f} ns | avg "
+        f"{report.average_delay_ns:.2f} ns | energy "
+        f"{report.total_energy_fj:.1f} fJ | power "
+        f"{report.average_power_uw:.2f} uW")
+    if report.oscillating_vectors:
+        lines.append(f"  OSCILLATING vectors: "
+                     f"{list(report.oscillating_vectors)}")
+    if report.has_unknowns:
+        lines.append("  note: waveforms contain unknown (X) values")
+    return PerformancePlot(report.circuit, report.stimuli,
+                           "\n".join(lines))

@@ -1,0 +1,107 @@
+"""Track router: geometric Manhattan wiring for placed layouts.
+
+The placer realizes connectivity with idealized multi-point wires (every
+terminal in one point set).  The router replaces them with *geometric*
+Manhattan paths: each net gets a dedicated horizontal track in a routing
+channel above the cell area, and every terminal connects to the track
+with a vertical stub.  Because the layout model's connectivity is
+positional, geometric wiring can create *shorts* where paths of
+different nets cross — the router's job is to avoid that, and the DRC
+checker (:mod:`repro.tools.drc`) verifies it did.
+
+This makes the routed layout an honest physical view: wirelength is real
+path length, and area includes the routing channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ToolError
+from .cells import CellLibrary
+from .layout import Layout, Point
+
+
+@dataclass(frozen=True)
+class RoutingSummary:
+    """What the router did (returned alongside the layout by callers)."""
+
+    nets: int
+    tracks: int
+    wirelength: int
+    channel_height: int
+
+
+def _terminals(layout: Layout, library: CellLibrary
+               ) -> dict[str, list[Point]]:
+    """net -> terminal points (cell ports via old wires, plus pins)."""
+    # The pre-route layout stores connectivity as one point-set wire per
+    # net; its points are exactly the terminals to connect.
+    terminals: dict[str, list[Point]] = {}
+    for wire in layout.wires():
+        terminals.setdefault(wire.net, []).extend(wire.points)
+    for pin in layout.pins():
+        terminals.setdefault(pin.net, []).append(pin.point())
+    return {net: sorted(set(points))
+            for net, points in terminals.items()}
+
+
+def route_layout(layout: Layout, library: CellLibrary, *,
+                 track_pitch: int = 2
+                 ) -> tuple[Layout, RoutingSummary]:
+    """Re-route a layout with geometric track wiring.
+
+    Every net with two or more terminals is assigned one horizontal
+    track in a channel above the existing geometry; single-terminal nets
+    keep a degenerate stub.  Vertical stubs share a column with their
+    terminal, so two stubs can only meet if two terminals of different
+    nets share a column — at different y, which is safe because a wire
+    only claims its *listed* points (the grid model has no intersection
+    between segments, only shared endpoints).
+
+    Raises :class:`ToolError` if two different nets share a terminal
+    point (a genuine short in the input).
+    """
+    terminals = _terminals(layout, library)
+    seen: dict[Point, str] = {}
+    for net, points in terminals.items():
+        for point in points:
+            if point in seen and seen[point] != net:
+                raise ToolError(
+                    f"layout {layout.name!r}: nets {seen[point]!r} and "
+                    f"{net!r} share terminal {point}")
+            seen[point] = net
+
+    _, _, _, max_y = layout.bounding_box(library)
+    channel_base = max_y + 2
+    routed = Layout(f"{layout.name}-routed")
+    for placement in layout.placements():
+        routed.place(placement.name, placement.cell, placement.x,
+                     placement.y)
+    for pin in layout.pins():
+        routed.add_pin(pin.net, pin.x, pin.y, pin.direction)
+
+    track = 0
+    for net in sorted(terminals):
+        points = terminals[net]
+        if len(points) <= 1:
+            if points:
+                routed.route(net, points)
+            continue
+        track_y = channel_base + track * track_pitch
+        track += 1
+        # one vertical stub per terminal, up to the net's track
+        for x, y in points:
+            routed.route(net, [(x, y), (x, track_y)])
+        # the horizontal track visits every stub top, in x order, so the
+        # stubs and the track share points and merge electrically
+        span = sorted({(x, track_y) for x, _ in points})
+        routed.route(net, span)
+    summary = RoutingSummary(
+        nets=len(terminals),
+        tracks=track,
+        wirelength=routed.wirelength(),
+        channel_height=track * track_pitch + 2,
+    )
+    return routed, summary
+

@@ -1,0 +1,641 @@
+"""COSMOS-style switch-level simulator.
+
+The paper's Fig. 2 example is COSMOS [10]: a simulator *compiled* for a
+given netlist that can then be executed on different stimuli — a tool
+created during the design.  This module provides both halves:
+
+* :func:`compile_netlist` — the *Sim Compiler*: turns a flat transistor
+  netlist into a :class:`CompiledNetwork` (net indexing, transistor
+  tables, channel-connected component partition precomputed);
+* :meth:`CompiledNetwork.simulate` — runs input vectors against device
+  models, producing a :class:`~repro.tools.performance.PerformanceReport`.
+
+The value algebra is {0, 1, X} with two drive strengths.  Per settle
+step, conduction states follow from gate values (an X gate conducts
+*maybe*), then net values are resolved pessimistically:
+
+1. strong components are formed over definitely/maybe-ON strong
+   transistors; a component's value set is the union of the forced values
+   (inputs, VDD, GND) it contains;
+2. undriven strong components adopt the union of driven value sets
+   reachable through ON/maybe-ON *weak* transistors (pseudo-NMOS
+   pull-ups lose against strong pull-downs);
+3. a value set {0} or {1} resolves to that value, {0,1} to X (fight or
+   X-gate pessimism); an *undriven* component retains the union of its
+   members' previous values (charge storage / charge sharing), so
+   latches and dynamic nodes hold state — a node that was never driven
+   retains its initial X.
+
+Settle steps iterate to a fixpoint; the per-vector step count is the
+delay observable, transitions between settled vectors the power
+observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ToolError
+from .device_models import DeviceModels
+from .netlist import GROUND, NMOS, POWER, STRONG, Netlist
+from .performance import ONE, UNKNOWN, ZERO, PerformanceReport, make_report
+from .stimuli import Stimuli
+
+# internal value encoding: bitmask {can-be-0, can-be-1}
+_V0 = 1
+_V1 = 2
+_VX = _V0 | _V1
+
+_TO_CHAR = {_V0: ZERO, _V1: ONE, _VX: UNKNOWN, 0: UNKNOWN}
+_FROM_BIT = {0: _V0, 1: _V1}
+
+_ON = 2
+_MAYBE = 1
+_OFF = 0
+
+
+class _UnionFind:
+    __slots__ = ("parent",)
+
+    def __init__(self, size: int) -> None:
+        self.parent = list(range(size))
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[ra] = rb
+
+
+@dataclass(frozen=True)
+class _CompiledTransistor:
+    kind: str
+    strong: bool
+    gate: int
+    source: int
+    drain: int
+
+
+class CompiledNetwork:
+    """A netlist compiled for repeated simulation (the COSMOS product)."""
+
+    def __init__(self, netlist: Netlist) -> None:
+        if not netlist.is_flat:
+            raise ToolError(
+                f"netlist {netlist.name!r} has unexpanded cell instances; "
+                "flatten it against a library before compiling")
+        self.netlist = netlist
+        self.nets = netlist.nets()
+        self._index = {net: i for i, net in enumerate(self.nets)}
+        self.power = self._index[POWER]
+        self.ground = self._index[GROUND]
+        self.input_indices = tuple(self._index[n] for n in netlist.inputs)
+        self.output_indices = tuple(self._index[n]
+                                    for n in netlist.outputs)
+        self.transistors = tuple(
+            _CompiledTransistor(
+                t.kind, t.strength == STRONG, self._index[t.gate],
+                self._index[t.source], self._index[t.drain])
+            for t in netlist.transistors())
+        self.max_steps = 2 * len(self.nets) + 8
+        self._compile_groups()
+
+    def _compile_groups(self) -> None:
+        """Partition the network into channel-connected groups.
+
+        This is the 'compilation' that makes the COSMOS trade-off real:
+        nets connected through transistor channels (any strength, any
+        state) form static groups; externally driven nets (supplies and
+        declared inputs) are injectors and belong to no group.  During
+        settling, only groups whose member transistors' *gate* nets
+        changed need re-resolution — the event-driven evaluation a
+        per-netlist compiled simulator buys.
+        """
+        n = len(self.nets)
+        static_forced = {self.power, self.ground, *self.input_indices}
+        uf = _UnionFind(n)
+        for transistor in self.transistors:
+            if (transistor.source not in static_forced
+                    and transistor.drain not in static_forced):
+                uf.union(transistor.source, transistor.drain)
+        self.group_of_net = [-1] * n
+        nets_by_group: list[list[int]] = []
+        root_to_gid: dict[int, int] = {}
+        for net in range(n):
+            if net in static_forced:
+                continue
+            root = uf.find(net)
+            gid = root_to_gid.get(root)
+            if gid is None:
+                gid = len(nets_by_group)
+                root_to_gid[root] = gid
+                nets_by_group.append([])
+            nets_by_group[gid].append(net)
+            self.group_of_net[net] = gid
+        transistors_by_group: list[set[int]] = [
+            set() for _ in nets_by_group]
+        for index, transistor in enumerate(self.transistors):
+            for terminal in (transistor.source, transistor.drain):
+                gid = self.group_of_net[terminal]
+                if gid >= 0:
+                    transistors_by_group[gid].add(index)
+        self.group_nets = tuple(tuple(nets) for nets in nets_by_group)
+        self.group_transistors = tuple(
+            tuple(sorted(members)) for members in transistors_by_group)
+        # gate net -> groups whose resolution depends on it
+        listeners: list[set[int]] = [set() for _ in range(n)]
+        for gid, members in enumerate(self.group_transistors):
+            for index in members:
+                listeners[self.transistors[index].gate].add(gid)
+        self.gate_listener_groups = tuple(
+            tuple(sorted(groups)) for groups in listeners)
+
+    # ------------------------------------------------------------------
+    def net_index(self, net: str) -> int:
+        try:
+            return self._index[net]
+        except KeyError:
+            raise ToolError(f"no net {net!r} in compiled network") from None
+
+    # ------------------------------------------------------------------
+    def _conduction(self, values: list[int]) -> list[int]:
+        states = []
+        for transistor in self.transistors:
+            gate = values[transistor.gate]
+            if gate == _VX:
+                states.append(_MAYBE)
+            elif transistor.kind == NMOS:
+                states.append(_ON if gate == _V1 else _OFF)
+            else:  # PMOS
+                states.append(_ON if gate == _V0 else _OFF)
+        return states
+
+    def _resolve(self, values: list[int], forced: dict[int, int]
+                 ) -> list[int]:
+        """One value-resolution pass given the current gate values.
+
+        Forced nets (supplies and inputs) are *sources*, not conductors:
+        a conduction path never continues through them, it injects their
+        value into the adjacent component.  Components form over strong
+        non-off devices first; weak devices then feed components that no
+        strong source drives (pseudo-NMOS ratioing).  Maybe-on devices
+        (X gate) participate everywhere, which makes unknowns propagate
+        pessimistically.
+        """
+        states = self._conduction(values)
+        n = len(self.nets)
+        strong_uf = _UnionFind(n)
+        strong_inject: list[tuple[int, int]] = []   # (net, value)
+        weak_links: list[tuple[int, int]] = []      # (net, net)
+        weak_inject: list[tuple[int, int]] = []     # (net, value)
+        for transistor, state in zip(self.transistors, states):
+            if state == _OFF:
+                continue
+            source, drain = transistor.source, transistor.drain
+            source_forced = source in forced
+            drain_forced = drain in forced
+            if transistor.strong:
+                if source_forced and drain_forced:
+                    continue
+                if source_forced:
+                    strong_inject.append((drain, forced[source]))
+                elif drain_forced:
+                    strong_inject.append((source, forced[drain]))
+                else:
+                    strong_uf.union(source, drain)
+            else:
+                if source_forced and drain_forced:
+                    continue
+                if source_forced:
+                    weak_inject.append((drain, forced[source]))
+                elif drain_forced:
+                    weak_inject.append((source, forced[drain]))
+                else:
+                    weak_links.append((source, drain))
+        # strong component values from injections
+        comp_value: dict[int, int] = {}
+        for net, value in strong_inject:
+            root = strong_uf.find(net)
+            comp_value[root] = comp_value.get(root, 0) | value
+        # weak tier: strong components joined through weak devices
+        weak_uf = _UnionFind(n)
+        for a, b in weak_links:
+            weak_uf.union(strong_uf.find(a), strong_uf.find(b))
+        super_value: dict[int, int] = {}
+        for root, value in comp_value.items():
+            super_root = weak_uf.find(root)
+            super_value[super_root] = super_value.get(super_root, 0) | value
+        for net, value in weak_inject:
+            super_root = weak_uf.find(strong_uf.find(net))
+            super_value[super_root] = (super_value.get(super_root, 0)
+                                       | value)
+        # charge retention: an undriven component keeps the union of its
+        # members' previous values (charge sharing), so latches and
+        # dynamic nodes hold state instead of decaying to X
+        retained: dict[int, int] = {}
+        for net in range(n):
+            if net in forced:
+                continue
+            root = strong_uf.find(net)
+            if root not in comp_value:
+                retained[root] = retained.get(root, 0) | values[net]
+        out = []
+        for net in range(n):
+            if net in forced:
+                out.append(forced[net])
+                continue
+            root = strong_uf.find(net)
+            value = comp_value.get(root, 0)
+            if value == 0:
+                value = super_value.get(weak_uf.find(root), 0)
+            if value == 0:
+                value = retained.get(root, _VX)
+            out.append(value if value else _VX)
+        return out
+
+    def _resolve_group(self, gid: int, values: list[int],
+                       forced: dict[int, int]) -> dict[int, int]:
+        """Resolve one channel group; return the nets that changed.
+
+        Identical algebra to :meth:`_resolve`, restricted to the group's
+        nets and transistors (weak super-components never cross group
+        boundaries because grouping unions every channel statically).
+        """
+        parent: dict[int, int] = {net: net for net in self.group_nets[gid]}
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        strong_inject: list[tuple[int, int]] = []
+        weak_links: list[tuple[int, int]] = []
+        weak_inject: list[tuple[int, int]] = []
+        for index in self.group_transistors[gid]:
+            transistor = self.transistors[index]
+            gate = values[transistor.gate]
+            if gate == _VX:
+                state = _MAYBE
+            elif transistor.kind == NMOS:
+                state = _ON if gate == _V1 else _OFF
+            else:
+                state = _ON if gate == _V0 else _OFF
+            if state == _OFF:
+                continue
+            source, drain = transistor.source, transistor.drain
+            source_forced = source in forced
+            drain_forced = drain in forced
+            if source_forced and drain_forced:
+                continue
+            inject = strong_inject if transistor.strong else weak_inject
+            if source_forced:
+                inject.append((drain, forced[source]))
+            elif drain_forced:
+                inject.append((source, forced[drain]))
+            elif transistor.strong:
+                union(source, drain)
+            else:
+                weak_links.append((source, drain))
+        comp_value: dict[int, int] = {}
+        for net, value in strong_inject:
+            root = find(net)
+            comp_value[root] = comp_value.get(root, 0) | value
+        weak_parent: dict[int, int] = {net: net
+                                       for net in self.group_nets[gid]}
+
+        def wfind(x: int) -> int:
+            while weak_parent[x] != x:
+                weak_parent[x] = weak_parent[weak_parent[x]]
+                x = weak_parent[x]
+            return x
+
+        for a, b in weak_links:
+            ra, rb = wfind(find(a)), wfind(find(b))
+            if ra != rb:
+                weak_parent[ra] = rb
+        super_value: dict[int, int] = {}
+        for root, value in comp_value.items():
+            super_root = wfind(root)
+            super_value[super_root] = super_value.get(super_root,
+                                                      0) | value
+        for net, value in weak_inject:
+            super_root = wfind(find(net))
+            super_value[super_root] = super_value.get(super_root,
+                                                      0) | value
+        # charge retention: an undriven component keeps the union of
+        # its members' previous values (charge sharing), so latches and
+        # dynamic nodes hold state instead of decaying to X
+        retained: dict[int, int] = {}
+        for net in self.group_nets[gid]:
+            root = find(net)
+            if root not in comp_value:
+                retained[root] = retained.get(root, 0) | values[net]
+        changes: dict[int, int] = {}
+        for net in self.group_nets[gid]:
+            root = find(net)
+            value = comp_value.get(root, 0)
+            if value == 0:
+                value = super_value.get(wfind(root), 0)
+            if value == 0:
+                value = retained.get(root, _VX)
+            if value == 0:
+                value = _VX
+            if values[net] != value:
+                changes[net] = value
+        return changes
+
+    # ------------------------------------------------------------------
+    def simulate(self, stimuli: Stimuli,
+                 models: DeviceModels | None = None) -> PerformanceReport:
+        """Run every vector to a settled state; collect the report."""
+        models = models if models is not None else DeviceModels()
+        unknown_inputs = [i for i in stimuli.inputs
+                          if i not in self._index]
+        if unknown_inputs:
+            raise ToolError(
+                f"stimuli drive unknown nets {unknown_inputs}")
+        undriven = set(self.netlist.inputs) - set(stimuli.inputs)
+        if undriven:
+            raise ToolError(
+                f"stimuli must drive every declared input; missing "
+                f"{sorted(undriven)}")
+        n = len(self.nets)
+        values = [_VX] * n
+        values[self.power] = _V1
+        values[self.ground] = _V0
+        observed = tuple(self.netlist.outputs)
+        waveforms: dict[str, list[str]] = {net: [] for net in observed}
+        settle_steps: list[int] = []
+        transitions: list[int] = []
+        oscillating: list[int] = []
+        previous = list(values)
+        all_groups = tuple(range(len(self.group_nets)))
+        for vector_index, vector in enumerate(stimuli.as_maps()):
+            forced = {self.power: _V1, self.ground: _V0}
+            for net, bit in vector.items():
+                forced[self._index[net]] = _FROM_BIT[bit]
+            for net, value in forced.items():
+                values[net] = value
+            steps = 0
+            settled = False
+            dirty = all_groups  # new forced values: full first pass
+            while steps < self.max_steps:
+                steps += 1
+                changes: dict[int, int] = {}
+                for gid in dirty:
+                    changes.update(
+                        self._resolve_group(gid, values, forced))
+                if not changes:
+                    settled = True
+                    break
+                next_dirty: set[int] = set()
+                for net, value in changes.items():
+                    values[net] = value
+                    next_dirty.update(self.gate_listener_groups[net])
+                dirty = tuple(sorted(next_dirty))
+            if not settled:
+                oscillating.append(vector_index)
+                values = [_VX] * n
+                for net, value in forced.items():
+                    values[net] = value
+            settle_steps.append(steps)
+            transitions.append(sum(
+                1 for i in range(n)
+                if values[i] != previous[i] and values[i] != _VX
+                and previous[i] != _VX))
+            previous = list(values)
+            for net in observed:
+                waveforms[net].append(_TO_CHAR[values[self._index[net]]])
+        return make_report(
+            circuit=self.netlist.name,
+            stimuli=stimuli.name,
+            models=models,
+            inputs=tuple(stimuli.inputs),
+            outputs=observed,
+            waveforms=waveforms,
+            settle_steps=settle_steps,
+            transitions=transitions,
+            oscillating=oscillating,
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {"netlist": self.netlist.to_dict()}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "CompiledNetwork":
+        return cls(Netlist.from_dict(payload["netlist"]))
+
+    def __repr__(self) -> str:
+        return (f"CompiledNetwork({self.netlist.name!r}, "
+                f"{len(self.nets)} nets, "
+                f"{len(self.transistors)} transistors)")
+
+
+def compile_netlist(netlist: Netlist, library=None) -> CompiledNetwork:
+    """The Sim Compiler tool: netlist (flattened if needed) -> network."""
+    if not netlist.is_flat:
+        if library is None:
+            raise ToolError(
+                f"netlist {netlist.name!r} is hierarchical; the compiler "
+                "needs a cell library to flatten it")
+        netlist = netlist.flatten(library)
+    return CompiledNetwork(netlist)
+
+
+def simulate(netlist: Netlist, stimuli: Stimuli,
+             models: DeviceModels | None = None,
+             library=None) -> PerformanceReport:
+    """One-shot interpretation: compile then run (the plain Simulator)."""
+    return compile_netlist(netlist, library).simulate(stimuli, models)
+
+
+def simulate_interpreted(netlist: Netlist, stimuli: Stimuli,
+                         models: DeviceModels | None = None,
+                         library=None) -> PerformanceReport:
+    """Reference *interpretive* switch-level simulator.
+
+    Works directly on the :class:`Netlist` object, re-deriving conduction
+    structure from the transistor list with string-keyed dictionaries on
+    every settle step — the way a naive interpretive simulator would.
+    Exists for two reasons:
+
+    * it is the differential-testing oracle for :class:`CompiledNetwork`
+      (identical value algebra, independent implementation);
+    * it quantifies the COSMOS claim (Fig. 2): compiling a netlist into
+      an executable network pays off across repeated stimulus runs.
+    """
+    models = models if models is not None else DeviceModels()
+    if not netlist.is_flat:
+        if library is None:
+            raise ToolError(
+                f"netlist {netlist.name!r} is hierarchical; pass a "
+                "library")
+        netlist = netlist.flatten(library)
+    nets = netlist.nets()
+    unknown_inputs = [i for i in stimuli.inputs if i not in nets]
+    if unknown_inputs:
+        raise ToolError(f"stimuli drive unknown nets {unknown_inputs}")
+    undriven = set(netlist.inputs) - set(stimuli.inputs)
+    if undriven:
+        raise ToolError(
+            f"stimuli must drive every declared input; missing "
+            f"{sorted(undriven)}")
+    values: dict[str, int] = {net: _VX for net in nets}
+    values[POWER] = _V1
+    values[GROUND] = _V0
+    observed = tuple(netlist.outputs)
+    waveforms: dict[str, list[str]] = {net: [] for net in observed}
+    settle_steps: list[int] = []
+    transitions: list[int] = []
+    oscillating: list[int] = []
+    max_steps = 2 * len(nets) + 8
+    previous = dict(values)
+    for vector_index, vector in enumerate(stimuli.as_maps()):
+        forced = {POWER: _V1, GROUND: _V0}
+        for net, bit in vector.items():
+            forced[net] = _FROM_BIT[bit]
+        values.update(forced)
+        steps = 0
+        settled = False
+        while steps < max_steps:
+            steps += 1
+            new_values = _interpret_step(netlist, values, forced)
+            if new_values == values:
+                settled = True
+                break
+            values = new_values
+        if not settled:
+            oscillating.append(vector_index)
+            values = {net: _VX for net in nets}
+            values.update(forced)
+        settle_steps.append(steps)
+        transitions.append(sum(
+            1 for net in nets
+            if values[net] != previous[net] and values[net] != _VX
+            and previous[net] != _VX))
+        previous = dict(values)
+        for net in observed:
+            waveforms[net].append(_TO_CHAR[values[net]])
+    return make_report(
+        circuit=netlist.name, stimuli=stimuli.name, models=models,
+        inputs=tuple(stimuli.inputs), outputs=observed,
+        waveforms=waveforms, settle_steps=settle_steps,
+        transitions=transitions, oscillating=oscillating)
+
+
+def _interpret_step(netlist: Netlist, values: dict[str, int],
+                    forced: dict[str, int]) -> dict[str, int]:
+    """One naive value-resolution pass over a raw netlist."""
+    # conduction states, straight from the transistor list
+    strong_parent: dict[str, str] = {net: net for net in values}
+
+    def find(parent: dict[str, str], net: str) -> str:
+        while parent[net] != net:
+            parent[net] = parent[parent[net]]
+            net = parent[net]
+        return net
+
+    def union(parent: dict[str, str], a: str, b: str) -> None:
+        ra, rb = find(parent, a), find(parent, b)
+        if ra != rb:
+            parent[ra] = rb
+
+    strong_inject: list[tuple[str, int]] = []
+    weak_links: list[tuple[str, str]] = []
+    weak_inject: list[tuple[str, int]] = []
+    for t in netlist.transistors():
+        gate = values[t.gate]
+        if gate == _VX:
+            state = _MAYBE
+        elif t.kind == NMOS:
+            state = _ON if gate == _V1 else _OFF
+        else:
+            state = _ON if gate == _V0 else _OFF
+        if state == _OFF:
+            continue
+        source_forced = t.source in forced
+        drain_forced = t.drain in forced
+        bucket_inject = (strong_inject if t.strength == STRONG
+                         else weak_inject)
+        if source_forced and drain_forced:
+            continue
+        if source_forced:
+            bucket_inject.append((t.drain, forced[t.source]))
+        elif drain_forced:
+            bucket_inject.append((t.source, forced[t.drain]))
+        elif t.strength == STRONG:
+            union(strong_parent, t.source, t.drain)
+        else:
+            weak_links.append((t.source, t.drain))
+    comp_value: dict[str, int] = {}
+    for net, value in strong_inject:
+        root = find(strong_parent, net)
+        comp_value[root] = comp_value.get(root, 0) | value
+    weak_parent: dict[str, str] = {net: net for net in values}
+    for a, b in weak_links:
+        union(weak_parent, find(strong_parent, a),
+              find(strong_parent, b))
+    super_value: dict[str, int] = {}
+    for root, value in comp_value.items():
+        super_root = find(weak_parent, root)
+        super_value[super_root] = super_value.get(super_root, 0) | value
+    for net, value in weak_inject:
+        super_root = find(weak_parent, find(strong_parent, net))
+        super_value[super_root] = super_value.get(super_root, 0) | value
+    # charge retention, mirroring the compiled engine exactly
+    retained: dict[str, int] = {}
+    for net in values:
+        if net in forced:
+            continue
+        root = find(strong_parent, net)
+        if root not in comp_value:
+            retained[root] = retained.get(root, 0) | values[net]
+    out: dict[str, int] = {}
+    for net in values:
+        if net in forced:
+            out[net] = forced[net]
+            continue
+        root = find(strong_parent, net)
+        value = comp_value.get(root, 0)
+        if value == 0:
+            value = super_value.get(find(weak_parent, root), 0)
+        if value == 0:
+            value = retained.get(root, _VX)
+        out[net] = value if value else _VX
+    return out
+
+
+def logic_value(report: PerformanceReport, output: str,
+                vector_index: int) -> str:
+    """Convenience accessor for one settled output bit."""
+    return report.waveform(output)[vector_index]
+
+
+def truth_table(netlist: Netlist, library=None,
+                models: DeviceModels | None = None
+                ) -> dict[tuple[int, ...], tuple[str, ...]]:
+    """Exhaustive simulation as a mapping input-bits -> output values."""
+    from .stimuli import exhaustive
+
+    network = compile_netlist(netlist, library)
+    stim = exhaustive(network.netlist.inputs)
+    report = network.simulate(stim, models)
+    table = {}
+    for index, vector in enumerate(stim.vectors):
+        table[vector] = tuple(report.waveform(o)[index]
+                              for o in network.netlist.outputs)
+    return table

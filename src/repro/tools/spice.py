@@ -1,0 +1,133 @@
+"""SPICE-flavoured netlist interchange.
+
+The 1993 tool world speaks SPICE decks; this module writes and parses a
+conservative subset so netlists can enter and leave the framework as
+text files:
+
+* ``M<name> <drain> <gate> <source> <bulk> <model> [W=x] [L=x]`` —
+  transistor cards (bulk is written as the matching supply and ignored
+  on read; model names containing ``p`` map to PMOS, else NMOS; a
+  ``weak`` suffix selects the weak strength);
+* ``X<name> <net...> <subckt>`` — hierarchical cell instances; the
+  called cell's port order comes from the library (writing) or from a
+  ``.subckt`` header earlier in the deck / the standard library
+  (reading);
+* ``.subckt <name> <ports...>`` / ``.ends`` wrap the top cell, with
+  ``*.in`` / ``*.out`` comment cards carrying port directions (plain
+  SPICE has no directions; the comments round-trip them).
+"""
+
+from __future__ import annotations
+
+from ..errors import ToolError
+from .cells import CellLibrary, standard_library
+from .netlist import GROUND, NMOS, PMOS, POWER, STRONG, WEAK, Netlist
+
+
+def to_spice(netlist: Netlist,
+             library: CellLibrary | None = None) -> str:
+    """Render a netlist as a SPICE deck (one ``.subckt`` per netlist)."""
+    library = library if library is not None else standard_library()
+    lines = [f"* {netlist.name} — written by repro.tools.spice"]
+    lines.append(f"* .in {' '.join(netlist.inputs)}".rstrip())
+    lines.append(f"* .out {' '.join(netlist.outputs)}".rstrip())
+    ports = " ".join((*netlist.inputs, *netlist.outputs))
+    lines.append(f".subckt {netlist.name} {ports}".rstrip())
+    for t in netlist.transistors():
+        bulk = GROUND if t.kind == NMOS else POWER
+        model = t.kind + ("_weak" if t.strength == WEAK else "")
+        lines.append(
+            f"M{t.name} {t.drain} {t.gate} {t.source} {bulk} {model} "
+            f"W={t.width!r} L={t.length!r}")
+    for instance in netlist.instances():
+        cell = library.cell(instance.cell)
+        connections = instance.connection_map()
+        nets = " ".join(connections[port] for port in cell.ports)
+        lines.append(f"X{instance.name} {nets} {instance.cell}")
+    lines.append(".ends")
+    return "\n".join(lines) + "\n"
+
+
+def from_spice(text: str,
+               library: CellLibrary | None = None) -> Netlist:
+    """Parse a deck written by :func:`to_spice` (or compatible)."""
+    library = library if library is not None else standard_library()
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+    netlist: Netlist | None = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        lower = line.lower()
+        if lower.startswith("* .in"):
+            inputs = tuple(line.split()[2:])
+            continue
+        if lower.startswith("* .out"):
+            outputs = tuple(line.split()[2:])
+            continue
+        if line.startswith("*"):
+            continue
+        if lower.startswith(".subckt"):
+            parts = line.split()
+            if len(parts) < 2:
+                raise ToolError("malformed .subckt card")
+            name = parts[1]
+            declared = tuple(parts[2:])
+            if not inputs and not outputs:
+                inputs = declared  # no direction comments: all inputs
+            netlist = Netlist(name, inputs, outputs)
+            continue
+        if lower.startswith(".ends"):
+            break
+        if netlist is None:
+            raise ToolError(f"card before .subckt: {line!r}")
+        if line[0] in "Mm":
+            _parse_transistor(netlist, line)
+        elif line[0] in "Xx":
+            _parse_instance(netlist, line, library)
+        else:
+            raise ToolError(f"unsupported SPICE card: {line!r}")
+    if netlist is None:
+        raise ToolError("no .subckt found in deck")
+    return netlist
+
+
+def _parse_transistor(netlist: Netlist, line: str) -> None:
+    parts = line.split()
+    if len(parts) < 6:
+        raise ToolError(f"malformed transistor card: {line!r}")
+    name = parts[0][1:]
+    drain, gate, source, _bulk, model = parts[1:6]
+    width = length = 1.0
+    for token in parts[6:]:
+        key, _, value = token.partition("=")
+        if key.upper() == "W":
+            width = float(value)
+        elif key.upper() == "L":
+            length = float(value)
+    model_lower = model.lower()
+    kind = PMOS if model_lower.startswith("p") else NMOS
+    strength = WEAK if model_lower.endswith("weak") else STRONG
+    netlist.add(name, kind, gate=gate, source=source, drain=drain,
+                width=width, length=length, strength=strength)
+
+
+def _parse_instance(netlist: Netlist, line: str,
+                    library: CellLibrary) -> None:
+    parts = line.split()
+    if len(parts) < 3:
+        raise ToolError(f"malformed subcircuit card: {line!r}")
+    name = parts[0][1:]
+    cell_name = parts[-1]
+    nets = parts[1:-1]
+    if cell_name not in library:
+        raise ToolError(f"instance {name!r} calls unknown cell "
+                        f"{cell_name!r}")
+    cell = library.cell(cell_name)
+    if len(nets) != len(cell.ports):
+        raise ToolError(
+            f"instance {name!r}: {len(nets)} nets for "
+            f"{len(cell.ports)} ports of {cell_name!r}")
+    netlist.add_instance(name, cell_name,
+                         **dict(zip(cell.ports, nets)))

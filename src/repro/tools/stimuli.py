@@ -1,0 +1,88 @@
+"""Stimulus generation: input vectors for the switch-level simulator.
+
+A :class:`Stimuli` object is an ordered sequence of input vectors, each a
+mapping from input net name to 0/1.  Generators cover the patterns the
+benchmarks need: exhaustive truth-table sweeps, seeded random vectors and
+walking-ones patterns.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class Stimuli:
+    """An ordered set of input vectors."""
+
+    name: str
+    inputs: tuple[str, ...]
+    vectors: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        for vector in self.vectors:
+            if len(vector) != len(self.inputs):
+                raise ValueError(
+                    f"stimuli {self.name!r}: vector {vector} does not "
+                    f"match inputs {self.inputs}")
+            if any(bit not in (0, 1) for bit in vector):
+                raise ValueError(
+                    f"stimuli {self.name!r}: vectors must be 0/1")
+
+    def __len__(self) -> int:
+        return len(self.vectors)
+
+    def as_maps(self) -> tuple[dict[str, int], ...]:
+        return tuple(dict(zip(self.inputs, vector))
+                     for vector in self.vectors)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "inputs": list(self.inputs),
+                "vectors": [list(v) for v in self.vectors]}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Stimuli":
+        return cls(payload["name"], tuple(payload["inputs"]),
+                   tuple(tuple(v) for v in payload["vectors"]))
+
+
+def exhaustive(inputs: Iterable[str], name: str = "exhaustive") -> Stimuli:
+    """All 2^n input combinations, in counting order."""
+    input_names = tuple(inputs)
+    vectors = tuple(itertools.product((0, 1), repeat=len(input_names)))
+    return Stimuli(name, input_names, vectors)
+
+
+def random_vectors(inputs: Iterable[str], count: int, *, seed: int = 1,
+                   name: str = "random") -> Stimuli:
+    """``count`` seeded-random vectors (reproducible)."""
+    input_names = tuple(inputs)
+    rng = random.Random(seed)
+    vectors = tuple(
+        tuple(rng.randint(0, 1) for _ in input_names)
+        for _ in range(count))
+    return Stimuli(name, input_names, vectors)
+
+
+def walking_ones(inputs: Iterable[str], name: str = "walking-ones"
+                 ) -> Stimuli:
+    """All-zero vector followed by each single-bit-high vector."""
+    input_names = tuple(inputs)
+    zero = tuple(0 for _ in input_names)
+    vectors = [zero]
+    for position in range(len(input_names)):
+        vectors.append(tuple(1 if i == position else 0
+                             for i in range(len(input_names))))
+    return Stimuli(name, input_names, tuple(vectors))
+
+
+def from_table(inputs: Iterable[str],
+               rows: Iterable[Mapping[str, int]],
+               name: str = "table") -> Stimuli:
+    """Vectors from explicit ``{input: bit}`` rows."""
+    input_names = tuple(inputs)
+    vectors = tuple(tuple(row[i] for i in input_names) for row in rows)
+    return Stimuli(name, input_names, vectors)

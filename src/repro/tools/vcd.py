@@ -1,0 +1,61 @@
+"""VCD (value change dump) export for performance reports.
+
+Turns a :class:`~repro.tools.performance.PerformanceReport` into an IEEE
+1364-style VCD text so waveforms can leave the framework for ordinary
+waveform viewers.  One timescale tick per settled vector; unknown values
+map to ``x``.
+"""
+
+from __future__ import annotations
+
+import string
+
+from .performance import UNKNOWN, PerformanceReport
+
+_CODES = string.ascii_letters + "!\"#$%&'()*+,-./:;<=>?@[\\]^_`{|}~"
+
+
+def _value_char(value: str) -> str:
+    return "x" if value == UNKNOWN else value
+
+
+def to_vcd(report: PerformanceReport, *,
+           timescale: str = "1ns") -> str:
+    """Render the report's waveforms as a VCD document."""
+    nets = [net for net, _ in report.waveforms]
+    if len(nets) > len(_CODES):
+        raise ValueError(
+            f"too many nets for single-character VCD codes "
+            f"({len(nets)} > {len(_CODES)})")
+    codes = {net: _CODES[index] for index, net in enumerate(nets)}
+    lines = [
+        f"$comment circuit {report.circuit}, stimuli {report.stimuli}, "
+        f"models {report.models} $end",
+        f"$timescale {timescale} $end",
+        f"$scope module {_sanitize(report.circuit)} $end",
+    ]
+    for net in nets:
+        lines.append(f"$var wire 1 {codes[net]} {_sanitize(net)} $end")
+    lines.append("$upscope $end")
+    lines.append("$enddefinitions $end")
+    waveform_map = report.waveform_map()
+    previous: dict[str, str] = {}
+    # one tick per settled vector, scaled by the stage delay in ns
+    tick = max(1, round(report.stage_delay_ns))
+    for index in range(report.vector_count):
+        changes = []
+        for net in nets:
+            value = waveform_map[net][index]
+            if previous.get(net) != value:
+                changes.append(f"{_value_char(value)}{codes[net]}")
+                previous[net] = value
+        if changes or index == 0:
+            lines.append(f"#{index * tick}")
+            lines.extend(changes)
+    lines.append(f"#{report.vector_count * tick}")
+    return "\n".join(lines) + "\n"
+
+
+def _sanitize(name: str) -> str:
+    """VCD identifiers: no whitespace."""
+    return "".join(ch if not ch.isspace() else "_" for ch in name)

@@ -1,0 +1,149 @@
+"""LVS-style netlist verification (the *Verifier* of Fig. 1).
+
+Compares a *reference* netlist against a *candidate* netlist (typically
+edited-vs-extracted, Fig. 8b) up to renaming of internal nets.  Matching
+uses Weisfeiler-Lehman-style iterative refinement: nets and devices are
+colored, colors are rehashed from neighborhoods until stable, and the two
+netlists match when their final color multisets agree *and* the IO ports
+carry matching colors under their (shared) names.
+
+The result object reports what differs — device counts by type, port
+signature mismatches, or refinement signature divergence — so that a
+failed verification is actionable, as a real LVS report would be.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any
+
+from .netlist import GROUND, POWER, Netlist
+
+
+@dataclass(frozen=True)
+class Verification:
+    """Outcome of one netlist comparison."""
+
+    reference: str
+    candidate: str
+    matched: bool
+    reasons: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"reference": self.reference, "candidate": self.candidate,
+                "matched": self.matched, "reasons": list(self.reasons)}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Verification":
+        return cls(payload["reference"], payload["candidate"],
+                   payload["matched"], tuple(payload.get("reasons", ())))
+
+    def __bool__(self) -> bool:
+        return self.matched
+
+
+def _digest(*parts: str) -> str:
+    joined = "|".join(parts)
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()[:12]
+
+
+def _refine(netlist: Netlist, rounds: int | None = None
+            ) -> tuple[dict[str, str], dict[str, str]]:
+    """Iteratively refine net and device colors.
+
+    Returns (net colors, device colors).  Initial net colors distinguish
+    supplies and IO ports *by name* (LVS must respect the interface);
+    internal nets start identical and split by structure.
+    """
+    nets = netlist.nets()
+    net_color: dict[str, str] = {}
+    for net in nets:
+        if net == POWER:
+            net_color[net] = _digest("POWER")
+        elif net == GROUND:
+            net_color[net] = _digest("GROUND")
+        elif net in netlist.inputs:
+            net_color[net] = _digest("IN", net)
+        elif net in netlist.outputs:
+            net_color[net] = _digest("OUT", net)
+        else:
+            net_color[net] = _digest("INTERNAL")
+    transistors = netlist.transistors()
+    device_color = {t.name: _digest(t.kind, t.strength, f"{t.width:g}",
+                                    f"{t.length:g}")
+                    for t in transistors}
+    total_rounds = rounds if rounds is not None else len(nets) + 2
+    for _ in range(total_rounds):
+        # devices absorb terminal net colors (source/drain symmetric)
+        new_device = {}
+        for t in transistors:
+            channel = sorted((net_color[t.source], net_color[t.drain]))
+            new_device[t.name] = _digest(device_color[t.name],
+                                         net_color[t.gate], *channel)
+        # nets absorb the colors of devices touching them, per terminal
+        touches: dict[str, list[str]] = {net: [] for net in nets}
+        for t in transistors:
+            touches[t.gate].append(_digest("g", new_device[t.name]))
+            touches[t.source].append(_digest("sd", new_device[t.name]))
+            touches[t.drain].append(_digest("sd", new_device[t.name]))
+        new_net = {net: _digest(net_color[net], *sorted(touches[net]))
+                   for net in nets}
+        if new_net == net_color and new_device == device_color:
+            break
+        net_color, device_color = new_net, new_device
+    return net_color, device_color
+
+
+def verify(reference: Netlist, candidate: Netlist, *,
+           library=None) -> Verification:
+    """Compare two netlists; hierarchical inputs are flattened first."""
+    reference = _flatten_if_needed(reference, library)
+    candidate = _flatten_if_needed(candidate, library)
+    reasons: list[str] = []
+
+    ref_counts = _device_counts(reference)
+    cand_counts = _device_counts(candidate)
+    if ref_counts != cand_counts:
+        reasons.append(
+            f"device counts differ: reference {ref_counts}, "
+            f"candidate {cand_counts}")
+    if set(reference.inputs) != set(candidate.inputs):
+        reasons.append(
+            f"input ports differ: {sorted(reference.inputs)} vs "
+            f"{sorted(candidate.inputs)}")
+    if set(reference.outputs) != set(candidate.outputs):
+        reasons.append(
+            f"output ports differ: {sorted(reference.outputs)} vs "
+            f"{sorted(candidate.outputs)}")
+    if not reasons:
+        ref_nets, ref_devices = _refine(reference)
+        cand_nets, cand_devices = _refine(candidate)
+        if sorted(ref_devices.values()) != sorted(cand_devices.values()):
+            reasons.append("device refinement signatures differ "
+                           "(topology mismatch)")
+        for port in (*reference.inputs, *reference.outputs):
+            if ref_nets.get(port) != cand_nets.get(port):
+                reasons.append(
+                    f"port {port!r} has mismatched surroundings")
+        if sorted(ref_nets.values()) != sorted(cand_nets.values()):
+            reasons.append("net refinement signatures differ")
+    return Verification(reference.name, candidate.name,
+                        matched=not reasons, reasons=tuple(reasons))
+
+
+def _flatten_if_needed(netlist: Netlist, library) -> Netlist:
+    if netlist.is_flat:
+        return netlist
+    if library is None:
+        raise ValueError(
+            f"netlist {netlist.name!r} is hierarchical; the verifier "
+            "needs a cell library")
+    return netlist.flatten(library)
+
+
+def _device_counts(netlist: Netlist) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for t in netlist.transistors():
+        counts[t.kind] = counts.get(t.kind, 0) + 1
+    return counts

@@ -1,0 +1,9 @@
+"""The scriptable Hercules user interface (paper Figs. 9 and 10)."""
+
+from .browser import InstanceBrowser
+from .session import HerculesSession
+from .shell import HerculesShell
+from .task_window import TaskWindow
+
+__all__ = ["HerculesSession", "HerculesShell", "InstanceBrowser",
+           "TaskWindow"]

@@ -1,0 +1,118 @@
+"""The entity instance browser (paper Fig. 9b).
+
+One browser per entity type, with the filters the figure shows — keyword,
+date limits, user limit — plus the *Use Dependencies* option (forward
+chaining) and *Select* (binding instances to a flow node, possibly several
+at once for fan-out).  Rows render as the figure's listing: user, date,
+name.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from ..core.flow import DynamicFlow
+from ..core.node import FlowNode
+from ..errors import UIError
+from ..execution.context import DesignEnvironment
+from ..history.database import BrowseFilter
+from ..history.instance import EntityInstance
+from ..history.query import dependents_of_type
+
+
+class InstanceBrowser:
+    """A filtered, selectable listing of one entity type's instances."""
+
+    def __init__(self, env: DesignEnvironment, entity_type: str, *,
+                 bind_target: tuple[DynamicFlow, FlowNode] | None = None
+                 ) -> None:
+        env.schema.entity(entity_type)
+        self.env = env
+        self.entity_type = entity_type
+        self.bind_target = bind_target
+        self.keywords: tuple[str, ...] = ()
+        self.since: float | None = None
+        self.until: float | None = None
+        self.user: str | None = None
+        self.use_dependencies_of: str | None = None
+
+    # -- filter controls (the Fig. 9b widgets) -------------------------
+    def set_keywords(self, *keywords: str) -> "InstanceBrowser":
+        self.keywords = keywords
+        return self
+
+    def set_date_limits(self, since: float | None = None,
+                        until: float | None = None) -> "InstanceBrowser":
+        self.since = since
+        self.until = until
+        return self
+
+    def set_user_limit(self, user: str | None) -> "InstanceBrowser":
+        self.user = user
+        return self
+
+    def set_use_dependencies(self, instance_id: str | None
+                             ) -> "InstanceBrowser":
+        """Restrict the listing to instances derived from a given one."""
+        self.use_dependencies_of = instance_id
+        return self
+
+    def clear(self) -> "InstanceBrowser":
+        self.keywords = ()
+        self.since = self.until = None
+        self.user = None
+        self.use_dependencies_of = None
+        return self
+
+    # -- listing ---------------------------------------------------------
+    def listing(self) -> tuple[EntityInstance, ...]:
+        if self.use_dependencies_of is not None:
+            rows = dependents_of_type(self.env.db,
+                                      self.use_dependencies_of,
+                                      self.entity_type)
+            filters = BrowseFilter(keywords=self.keywords,
+                                   since=self.since, until=self.until,
+                                   user=self.user)
+            return tuple(r for r in rows if filters.matches(r))
+        return self.env.db.browse(
+            self.entity_type,
+            filters=BrowseFilter(keywords=self.keywords, since=self.since,
+                                 until=self.until, user=self.user))
+
+    def render(self) -> str:
+        """The browser listing, one row per instance (Fig. 9b style)."""
+        lines = [f"browser: {self.entity_type}"]
+        for instance in self.listing():
+            stamp = datetime.datetime.fromtimestamp(
+                instance.timestamp,
+                tz=datetime.timezone.utc).strftime("%b %d, %Y %H:%M")
+            name = instance.name or instance.instance_id
+            lines.append(f"  {instance.user:<10} {stamp:<19} {name}")
+        if len(lines) == 1:
+            lines.append("  (no matching instances)")
+        return "\n".join(lines)
+
+    # -- selection ---------------------------------------------------
+    def select(self, *instance_ids: str) -> FlowNode:
+        """Bind the chosen instances to the browser's flow node.
+
+        Several ids select a *set* of instances — the task then runs for
+        each one (section 4.1).
+        """
+        if self.bind_target is None:
+            raise UIError("this browser is not attached to a flow node")
+        listed = {i.instance_id for i in self.listing()}
+        missing = [i for i in instance_ids if i not in listed]
+        if missing:
+            raise UIError(f"instances {missing} are not in the current "
+                          "listing (check filters)")
+        flow, node = self.bind_target
+        flow.bind(node, *instance_ids)
+        return node
+
+    def select_latest(self) -> FlowNode:
+        """Bind the newest matching instance."""
+        rows = self.listing()
+        if not rows:
+            raise UIError(f"no instances of {self.entity_type!r} match")
+        return self.select(rows[-1].instance_id)

@@ -1,0 +1,161 @@
+"""A scriptable Hercules session: Fig. 9/10 interactions as text commands.
+
+:class:`HerculesSession` drives a :class:`~repro.ui.task_window.TaskWindow`
+through a small command language and collects a transcript, which is how
+the figure benchmarks replay the paper's interactions deterministically::
+
+    session.run_script('''
+        new simulate
+        place Performance
+        expand n0
+        bind n3 Stimuli#0001
+        run
+        show
+    ''')
+
+Commands: ``new <name>`` · ``place <EntityType>`` · ``place-tool
+<ToolType>`` · ``place-data <instance>`` · ``load-flow <name>`` ·
+``expand <node>`` · ``expand-optional <node>`` · ``unexpand <node>`` ·
+``specialize <node> <subtype>`` · ``connect <consumer> <supplier>
+[role]`` · ``bind <node> <instance>...`` · ``select-latest <node>`` ·
+``browse <node> [keyword]...`` · ``popup <node>`` · ``history <node>`` ·
+``use <node> [EntityType]`` · ``recall <instance>`` · ``rerun`` ·
+``run [node]`` · ``show`` · ``help <node>``
+"""
+
+from __future__ import annotations
+
+from ..errors import UIError
+from ..execution.context import DesignEnvironment
+from .task_window import TaskWindow
+
+
+class HerculesSession:
+    """Command-driven task-window session with a transcript."""
+
+    def __init__(self, env: DesignEnvironment) -> None:
+        self.env = env
+        self.window = TaskWindow(env)
+        self.transcript: list[str] = []
+
+    # ------------------------------------------------------------------
+    def run_script(self, script: str) -> str:
+        """Execute newline-separated commands; return the new transcript."""
+        start = len(self.transcript)
+        for raw in script.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            self.execute(line)
+        return "\n".join(self.transcript[start:])
+
+    def execute(self, command: str) -> str:
+        """Execute one command; returns (and records) its output."""
+        parts = command.split()
+        verb, args = parts[0], parts[1:]
+        handler = getattr(self, f"_cmd_{verb.replace('-', '_')}", None)
+        if handler is None:
+            raise UIError(f"unknown command {verb!r}")
+        output = handler(*args)
+        self.transcript.append(f"> {command}")
+        if output:
+            self.transcript.append(output)
+        return output
+
+    # -- command handlers ------------------------------------------------
+    def _cmd_new(self, name: str = "task") -> str:
+        self.window.new_task(name)
+        return f"new task {name!r}"
+
+    def _cmd_place(self, entity_type: str) -> str:
+        node = self.window.place_entity(entity_type)
+        return f"placed {node}"
+
+    def _cmd_place_tool(self, tool_type: str) -> str:
+        node = self.window.place_tool(tool_type)
+        return f"placed {node}"
+
+    def _cmd_place_data(self, instance_id: str) -> str:
+        node = self.window.place_data(instance_id)
+        return f"placed {node} bound to {instance_id}"
+
+    def _cmd_load_flow(self, name: str) -> str:
+        self.window.load_flow(name)
+        return f"loaded flow {name!r} ({len(self.window.flow.nodes())} " \
+               "nodes)"
+
+    def _cmd_expand(self, node: str) -> str:
+        created = self.window.expand(node)
+        return "expanded: " + ", ".join(str(n) for n in created)
+
+    def _cmd_expand_optional(self, node: str) -> str:
+        created = self.window.expand(node, include_optional=True)
+        return "expanded (with optional inputs): " + ", ".join(
+            str(n) for n in created)
+
+    def _cmd_unexpand(self, node: str) -> str:
+        deleted = self.window.unexpand(node)
+        return f"unexpanded; removed {list(deleted)}"
+
+    def _cmd_specialize(self, node: str, subtype: str) -> str:
+        specialized = self.window.specialize(node, subtype)
+        return f"specialized to {specialized}"
+
+    def _cmd_connect(self, consumer: str, supplier: str,
+                     role: str | None = None) -> str:
+        self.window.flow.connect(consumer, supplier, role=role)
+        return f"connected {consumer} -> {supplier}"
+
+    def _cmd_bind(self, node: str, *instance_ids: str) -> str:
+        if not instance_ids:
+            raise UIError("bind needs at least one instance id")
+        self.window.flow.bind(node, *instance_ids)
+        return f"bound {node} to {list(instance_ids)}"
+
+    def _cmd_select_latest(self, node: str) -> str:
+        browser = self.window.browse(node)
+        bound = browser.select_latest()
+        return f"selected {bound.bindings[0]} for {bound}"
+
+    def _cmd_browse(self, node: str, *keywords: str) -> str:
+        browser = self.window.browse(node)
+        if keywords:
+            browser.set_keywords(*keywords)
+        return browser.render()
+
+    def _cmd_popup(self, node: str) -> str:
+        return "popup: " + " | ".join(self.window.popup(node))
+
+    def _cmd_history(self, node: str) -> str:
+        revealed = self.window.history(node)
+        if not revealed:
+            return "no derivation history to reveal"
+        return "revealed: " + ", ".join(str(n) for n in revealed)
+
+    def _cmd_use(self, node: str, entity_type: str | None = None) -> str:
+        dependents = self.window.use(node, entity_type)
+        if not dependents:
+            return "no dependent instances"
+        return "used by: " + ", ".join(i.instance_id for i in dependents)
+
+    def _cmd_recall(self, instance_id: str) -> str:
+        flow = self.window.recall(instance_id)
+        return (f"recalled task of {instance_id} "
+                f"({len(flow.nodes())} nodes)")
+
+    def _cmd_rerun(self) -> str:
+        report = self.window.rerun()
+        return (f"re-executed {len(report.results)} invocations; "
+                f"created {list(report.created)}")
+
+    def _cmd_run(self, node: str | None = None) -> str:
+        report = self.window.run(node)
+        return (f"executed {len(report.results)} invocations "
+                f"({report.runs} tool runs); created "
+                f"{list(report.created)}")
+
+    def _cmd_show(self) -> str:
+        return self.window.render()
+
+    def _cmd_help(self, node: str) -> str:
+        return self.window.help(node)

@@ -1,0 +1,96 @@
+"""Interactive Hercules shell (``python -m repro shell <dir>``).
+
+A readline REPL over :class:`~repro.ui.session.HerculesSession`: the same
+command vocabulary as scripted sessions, plus ``catalog`` listings,
+``save`` and ``quit``.  Built on :mod:`cmd`, so every handler is unit
+testable through ``onecmd``.
+"""
+
+from __future__ import annotations
+
+import cmd
+
+from ..errors import ReproError
+from ..execution.context import DesignEnvironment
+from .session import HerculesSession
+
+
+class HerculesShell(cmd.Cmd):
+    """The interactive task-window prompt."""
+
+    intro = ("Hercules task manager — dynamically defined flows.\n"
+             "Type a session command (place/expand/bind/run/show/...), "
+             "'catalog', or 'help'.")
+    prompt = "hercules> "
+
+    def __init__(self, env: DesignEnvironment,
+                 on_save=None, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.env = env
+        self.session = HerculesSession(env)
+        self._on_save = on_save
+        self.saved = False
+
+    # -- generic dispatch: every session command works verbatim ---------
+    def default(self, line: str) -> bool | None:
+        if line.strip() in ("EOF", "quit", "exit"):
+            return self.do_quit(line)
+        try:
+            output = self.session.execute(line.strip())
+            if output:
+                self.stdout.write(output + "\n")
+        except ReproError as error:
+            self.stdout.write(f"error: {error}\n")
+        except TypeError as error:
+            self.stdout.write(f"usage error: {error}\n")
+        return None
+
+    def emptyline(self) -> bool:
+        return False  # do not repeat the previous command
+
+    # -- extra shell-only commands ------------------------------------
+    def do_catalog(self, arg: str) -> None:
+        """catalog [entities|tools|data|flows] — list a catalog."""
+        which = arg.strip() or "entities"
+        if which.startswith("tool"):
+            names = self.env.tool_catalog.names()
+        elif which.startswith("data"):
+            names = self.env.data_type_catalog.names()
+        elif which.startswith("flow"):
+            names = self.env.flow_catalog.names()
+        else:
+            names = self.env.entity_catalog.names()
+        for name in names:
+            self.stdout.write(f"  {name}\n")
+        if not names:
+            self.stdout.write("  (empty)\n")
+
+    def do_save(self, arg: str) -> None:
+        """save — persist the environment (when opened from a directory)."""
+        if self._on_save is None:
+            self.stdout.write("no backing directory; nothing saved\n")
+            return
+        self._on_save(self.env)
+        self.saved = True
+        self.stdout.write("saved\n")
+
+    def do_quit(self, arg: str) -> bool:
+        """quit — leave the shell (saving first when backed)."""
+        if self._on_save is not None:
+            self._on_save(self.env)
+            self.saved = True
+        return True
+
+    do_EOF = do_quit
+
+    def do_help(self, arg: str) -> None:
+        if arg:
+            super().do_help(arg)
+            return
+        self.stdout.write(
+            "session commands: new place place-tool place-data load-flow "
+            "expand expand-optional unexpand specialize connect bind "
+            "select-latest browse popup history use recall rerun run "
+            "show help\n"
+            "shell commands:   catalog [entities|tools|data|flows], "
+            "save, quit\n")

@@ -1,0 +1,196 @@
+"""The Hercules task window, scriptable (paper Fig. 9/10).
+
+The original task window shows a flow as a graph of entity icons with a
+pop-up menu per icon: *Unexpand / Expand / Browse / History / Use / Help*
+(Fig. 9a), plus specialization and execution.  :class:`TaskWindow` is the
+deterministic text equivalent: the same operations against the same
+single representation, regardless of which design approach started the
+task (section 4.1: Hercules *"uses the same user interface for each
+approach"*).
+
+The *History* operation reproduces Fig. 10: on a node holding exactly one
+instance, it reveals the instances used to create it by adding bound
+supplier nodes to the flow.
+"""
+
+from __future__ import annotations
+
+from ..core.flow import DynamicFlow
+from ..core.node import FlowNode
+from ..core.render import ascii_graph
+from ..errors import UIError
+from ..execution.context import DesignEnvironment
+from ..execution.executor import ExecutionReport
+from ..history.query import dependents_of_type
+from .browser import InstanceBrowser
+
+
+class TaskWindow:
+    """One task window over one dynamically defined flow."""
+
+    def __init__(self, env: DesignEnvironment,
+                 flow: DynamicFlow | None = None,
+                 name: str = "task") -> None:
+        self.env = env
+        self.flow = flow if flow is not None else env.new_flow(name)
+
+    # ------------------------------------------------------------------
+    # starting a task (the four catalogs)
+    # ------------------------------------------------------------------
+    def new_task(self, name: str = "task") -> None:
+        """Clear the window (the Fig. 9 'New Task...' menu entry)."""
+        self.flow = self.env.new_flow(name)
+
+    def place_entity(self, entity_type: str) -> FlowNode:
+        """Select an entity type from the entity-catalog."""
+        return self.flow.place(entity_type)
+
+    def place_tool(self, tool_type: str) -> FlowNode:
+        """Select a tool from the tool-catalog."""
+        if not self.env.schema.entity(tool_type).is_tool:
+            raise UIError(f"{tool_type!r} is not in the tool catalog")
+        return self.flow.place(tool_type)
+
+    def place_data(self, instance_id: str) -> FlowNode:
+        """Select a piece of data from the data-catalog (the browser)."""
+        instance = self.env.db.get(instance_id)
+        node = self.flow.place(instance.entity_type)
+        node.bind(instance.instance_id)
+        node.label = instance.name or instance.instance_id
+        return node
+
+    def load_flow(self, flow_name: str) -> None:
+        """Select a predefined flow from the flow-catalog."""
+        self.flow = self.env.plan_flow(flow_name)
+
+    # ------------------------------------------------------------------
+    # the pop-up menu (Fig. 9a)
+    # ------------------------------------------------------------------
+    def popup(self, node: FlowNode | str) -> tuple[str, ...]:
+        """Menu entries applicable to a node right now."""
+        node = self._node(node)
+        entries = ["Browse", "Help"]
+        if self.flow.graph.is_expanded(node.node_id):
+            entries.insert(0, "Unexpand")
+        else:
+            construction = self.env.schema.construction(node.entity_type)
+            if construction is not None:
+                entries.insert(0, "Expand")
+            if self.env.schema.descendants_of(node.entity_type):
+                entries.append("Specialize")
+        if len(node.results()) == 1:
+            entries.append("History")
+            entries.append("Use")
+        if (self.flow.graph.is_expanded(node.node_id)
+                and not node.produced):
+            entries.append("Run")
+        return tuple(entries)
+
+    def expand(self, node: FlowNode | str, **kwargs) -> tuple[FlowNode, ...]:
+        return self.flow.expand(self._node(node), **kwargs)
+
+    def unexpand(self, node: FlowNode | str) -> tuple[str, ...]:
+        return self.flow.unexpand(self._node(node))
+
+    def specialize(self, node: FlowNode | str, subtype: str) -> FlowNode:
+        return self.flow.specialize(self._node(node), subtype)
+
+    def browse(self, node: FlowNode | str) -> InstanceBrowser:
+        """Open the instance browser for a node's entity type."""
+        node = self._node(node)
+        return InstanceBrowser(self.env, node.entity_type,
+                               bind_target=(self.flow, node))
+
+    def history(self, node: FlowNode | str) -> tuple[FlowNode, ...]:
+        """Reveal the instances used to create this node's instance.
+
+        Fig. 10: *"the Simulator and Netlist entities do not appear until
+        after History is chosen"*.  Returns the revealed nodes.
+        """
+        node = self._node(node)
+        results = node.results()
+        if len(results) != 1:
+            raise UIError(f"{node}: History needs a unique instance "
+                          f"(has {len(results)})")
+        if self.flow.graph.is_expanded(node.node_id):
+            return ()  # already revealed
+        instance = self.env.db.get(results[0])
+        if instance.derivation is None:
+            return ()  # external data: no derivation history
+        revealed: list[FlowNode] = []
+        record = instance.derivation
+        if record.tool is not None:
+            tool = self.env.db.get(record.tool)
+            tool_node = self.flow.graph.add_node(tool.entity_type,
+                                                 label=tool.name)
+            tool_node.bind(tool.instance_id)
+            self.flow.connect(node, tool_node)
+            revealed.append(tool_node)
+        for role, input_id in record.inputs:
+            input_instance = self.env.db.get(input_id)
+            input_node = self.flow.graph.add_node(
+                input_instance.entity_type, label=input_instance.name)
+            input_node.bind(input_instance.instance_id)
+            self.flow.connect(node, input_node, role=role)
+            revealed.append(input_node)
+        return tuple(revealed)
+
+    def recall(self, instance_id: str, *, depth: int | None = None
+               ) -> DynamicFlow:
+        """Recall a previously executed task as an editable flow.
+
+        Section 4.1: *"It also allows previously executed tasks to be
+        recalled, possibly modified, and executed."*  The instance's
+        backward trace becomes the task window's flow, every node bound
+        to its historical instance; the designer may rebind inputs (the
+        modification) and Run with ``force=True`` to re-execute.
+        """
+        from ..history.trace import backward_trace
+
+        instance = self.env.db.get(instance_id)
+        if instance.derivation is None:
+            raise UIError(f"{instance_id}: external data has no executed "
+                          "task to recall")
+        trace = backward_trace(self.env.db, instance_id, depth=depth)
+        graph = trace.to_task_graph(f"recall-{instance_id}")
+        self.flow = DynamicFlow(self.env.schema, graph=graph)
+        return self.flow
+
+    def rerun(self) -> ExecutionReport:
+        """Re-execute the (possibly modified) recalled flow."""
+        return self.env.executor().execute(self.flow, force=True)
+
+    def use(self, node: FlowNode | str, entity_type: str | None = None):
+        """Forward-chain: what was derived from this node's instance?"""
+        node = self._node(node)
+        results = node.results()
+        if len(results) != 1:
+            raise UIError(f"{node}: Use needs a unique instance")
+        if entity_type is None:
+            return tuple(self.env.db.get(i)
+                         for i in self.env.db.consumers_of(results[0]))
+        return dependents_of_type(self.env.db, results[0], entity_type)
+
+    def run(self, node: FlowNode | str | None = None) -> ExecutionReport:
+        """Execute the flow (or the sub-flow reaching one node)."""
+        if node is None:
+            return self.env.run(self.flow)
+        return self.env.run(self.flow, targets=[self._node(node).node_id])
+
+    def help(self, node: FlowNode | str) -> str:
+        node = self._node(node)
+        entity = self.env.schema.entity(node.entity_type)
+        kind = "tool" if entity.is_tool else (
+            "composed entity" if entity.composed else "data entity")
+        return (f"{entity.name}: {kind}. "
+                f"{entity.description or '(no description)'}")
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The task-window picture (layered ASCII of the task graph)."""
+        return ascii_graph(self.flow.graph)
+
+    def _node(self, node: FlowNode | str) -> FlowNode:
+        if isinstance(node, FlowNode):
+            return node
+        return self.flow.node(node)

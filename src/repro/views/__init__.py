@@ -1,0 +1,17 @@
+"""Design views and view-correspondence flows (paper Fig. 7/8)."""
+
+from .sync import (synthesis_flow, synthesize_physical, verification_flow,
+                   verify_correspondence, views_in_correspondence)
+from .view import ViewBinding, ViewError, ViewRegistry, standard_views
+
+__all__ = [
+    "ViewBinding",
+    "ViewError",
+    "ViewRegistry",
+    "standard_views",
+    "synthesis_flow",
+    "synthesize_physical",
+    "verification_flow",
+    "verify_correspondence",
+    "views_in_correspondence",
+]

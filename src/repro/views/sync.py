@@ -1,0 +1,100 @@
+"""View transformations as flows (paper Fig. 8).
+
+Two canonical flows over the standard schema:
+
+* :func:`synthesis_flow` — Fig. 8a: synthesize the physical view from the
+  transistor view (``PlacedLayout <- Placer(netlist, spec)``);
+* :func:`verification_flow` — Fig. 8b: verify that the physical view
+  corresponds to the transistor view (``Verification <-
+  Verifier(reference=netlist, candidate=ExtractedNetlist <-
+  Extractor(layout))``).
+
+:func:`synthesize_physical` and :func:`verify_correspondence` bind and
+execute them against a :class:`~repro.execution.context.DesignEnvironment`
+— view management implemented *by* the flow manager rather than beside it,
+which is the section's point.
+"""
+
+from __future__ import annotations
+
+from ..core.flow import DynamicFlow
+from ..execution.context import DesignEnvironment
+from ..history.instance import EntityInstance
+from ..schema import standard as S
+from ..schema.schema import TaskSchema
+
+
+def synthesis_flow(schema: TaskSchema,
+                   name: str = "synthesize-physical") -> DynamicFlow:
+    """Fig. 8a: transistor view -> physical view."""
+    flow = DynamicFlow(schema, name)
+    goal = flow.place(S.PLACED_LAYOUT)
+    flow.expand(goal)
+    return flow
+
+
+def verification_flow(schema: TaskSchema,
+                      name: str = "verify-views") -> DynamicFlow:
+    """Fig. 8b: check that physical view matches transistor view."""
+    flow = DynamicFlow(schema, name)
+    goal = flow.place(S.VERIFICATION)
+    flow.expand(goal)
+    candidate = flow.graph.data_suppliers(goal.node_id)["candidate"]
+    candidate_node = flow.node(candidate)
+    flow.specialize(candidate_node, S.EXTRACTED_NETLIST)
+    flow.expand(candidate_node)
+    return flow
+
+
+def synthesize_physical(env: DesignEnvironment,
+                        netlist: EntityInstance | str,
+                        spec: EntityInstance | str,
+                        placer: EntityInstance | str
+                        ) -> EntityInstance:
+    """Run the synthesis flow; returns the PlacedLayout instance."""
+    flow = synthesis_flow(env.schema)
+    goal = flow.sole_node_of_type(S.PLACED_LAYOUT)
+    flow.bind(flow.sole_node_of_type(S.NETLIST), _id(netlist))
+    flow.bind(flow.sole_node_of_type(S.PLACEMENT_SPEC), _id(spec))
+    flow.bind(flow.sole_node_of_type(S.PLACER), _id(placer))
+    report = env.run(flow)
+    return env.db.get(report.created_of_node(goal.node_id)[0])
+
+
+def verify_correspondence(env: DesignEnvironment,
+                          netlist: EntityInstance | str,
+                          layout: EntityInstance | str,
+                          verifier: EntityInstance | str,
+                          extractor: EntityInstance | str
+                          ) -> EntityInstance:
+    """Run the verification flow; returns the Verification instance.
+
+    The physical view is extracted and compared against the transistor
+    view; the Verification's derivation history records both views, so a
+    later query can prove which layout version was verified against
+    which netlist version.
+    """
+    flow = verification_flow(env.schema)
+    goal = flow.sole_node_of_type(S.VERIFICATION)
+    reference = flow.graph.data_suppliers(goal.node_id)["reference"]
+    flow.bind(flow.node(reference), _id(netlist))
+    flow.bind(flow.sole_node_of_type(S.LAYOUT), _id(layout))
+    flow.bind(flow.sole_node_of_type(S.VERIFIER), _id(verifier))
+    flow.bind(flow.sole_node_of_type(S.EXTRACTOR), _id(extractor))
+    report = env.run(flow)
+    return env.db.get(report.created_of_node(goal.node_id)[0])
+
+
+def views_in_correspondence(env: DesignEnvironment,
+                            netlist: EntityInstance | str,
+                            layout: EntityInstance | str,
+                            verifier: EntityInstance | str,
+                            extractor: EntityInstance | str) -> bool:
+    """Convenience wrapper returning the boolean LVS outcome."""
+    verification = verify_correspondence(env, netlist, layout, verifier,
+                                         extractor)
+    return bool(env.db.data(verification).matched)
+
+
+def _id(instance: EntityInstance | str) -> str:
+    return instance if isinstance(instance, str) else instance.instance_id

@@ -1,0 +1,86 @@
+"""Design views bound to schema entities (paper Fig. 7, section 3.3).
+
+*"Designers often think of a design in terms of different views such as a
+logic view, a transistor level view, or a physical view ... If views of a
+design are associated with entities in a task schema, however, flows can
+be used to represent the transformations between views."*
+
+A :class:`ViewRegistry` maps view names to entity types; the standard
+mapping covers the three views of Fig. 7.  Given a design name, the
+registry can collect the instances representing each view of that design
+from the history database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from ..history.database import BrowseFilter, HistoryDatabase
+from ..history.instance import EntityInstance
+from ..schema import standard as S
+from ..schema.schema import TaskSchema
+
+
+class ViewError(ReproError):
+    """A view lookup or correspondence operation failed."""
+
+
+@dataclass(frozen=True)
+class ViewBinding:
+    """One view of one design: a name bound to an entity type."""
+
+    view: str
+    entity_type: str
+
+
+class ViewRegistry:
+    """Maps view names to task-schema entity types."""
+
+    def __init__(self, schema: TaskSchema) -> None:
+        self.schema = schema
+        self._views: dict[str, str] = {}
+
+    def bind(self, view: str, entity_type: str) -> ViewBinding:
+        self.schema.entity(entity_type)  # raises for unknown types
+        if view in self._views:
+            raise ViewError(f"view {view!r} already bound to "
+                            f"{self._views[view]!r}")
+        self._views[view] = entity_type
+        return ViewBinding(view, entity_type)
+
+    def entity_type(self, view: str) -> str:
+        if view not in self._views:
+            raise ViewError(f"unknown view {view!r}; have "
+                            f"{sorted(self._views)}")
+        return self._views[view]
+
+    def views(self) -> tuple[str, ...]:
+        return tuple(sorted(self._views))
+
+    def view_of(self, instance: EntityInstance) -> str | None:
+        """Which view an instance belongs to (most specific match)."""
+        best: tuple[int, str] | None = None
+        for view, entity_type in self._views.items():
+            if self.schema.is_subtype(instance.entity_type, entity_type):
+                depth = len(self.schema.ancestors_of(entity_type))
+                if best is None or depth > best[0]:
+                    best = (depth, view)
+        return None if best is None else best[1]
+
+    def instances_of_view(self, db: HistoryDatabase, view: str, *,
+                          keywords: tuple[str, ...] = ()
+                          ) -> tuple[EntityInstance, ...]:
+        """All instances representing a view (optionally filtered)."""
+        filters = BrowseFilter(keywords=keywords) if keywords else None
+        return db.browse(self.entity_type(view), filters=filters)
+
+
+def standard_views(schema: TaskSchema) -> ViewRegistry:
+    """The Fig. 7 mapping: logic / transistor / physical."""
+    registry = ViewRegistry(schema)
+    if S.LOGIC_SPEC in schema:
+        registry.bind("logic", S.LOGIC_SPEC)
+    registry.bind("transistor", S.NETLIST)
+    registry.bind("physical", S.LAYOUT)
+    return registry

@@ -1,0 +1,99 @@
+"""Shared fixtures for the test suite.
+
+A deterministic clock makes timestamps reproducible; the ``env`` fixture
+is a fully tooled design environment over the odyssey schema with a small
+set of installed source data, which most integration-flavoured tests
+build on.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import DesignEnvironment
+from repro.schema.standard import fig1_schema, fig2_schema, odyssey_schema
+from repro.tools import (default_models, exhaustive, install_standard_tools,
+                         standard_library, tech_map)
+from repro.tools.logic import LogicSpec
+
+
+class TickClock:
+    """Logical clock: each call advances by one second."""
+
+    def __init__(self, start: float = 1_000_000.0) -> None:
+        self._ticks = itertools.count()
+        self._start = start
+
+    def __call__(self) -> float:
+        return self._start + next(self._ticks)
+
+
+@pytest.fixture
+def clock() -> TickClock:
+    return TickClock()
+
+
+@pytest.fixture
+def schema_fig1():
+    return fig1_schema()
+
+
+@pytest.fixture
+def schema_fig2():
+    return fig2_schema()
+
+
+@pytest.fixture
+def schema():
+    return odyssey_schema()
+
+
+@pytest.fixture
+def library():
+    return standard_library()
+
+
+@pytest.fixture
+def mux_spec() -> LogicSpec:
+    return LogicSpec.from_equations("mux", "y = (a & ~s) | (b & s)")
+
+
+@pytest.fixture
+def nand_spec() -> LogicSpec:
+    return LogicSpec.from_equations("nandf", "y = ~(a & b)")
+
+
+@pytest.fixture
+def env(schema, clock) -> DesignEnvironment:
+    """Environment with every standard tool installed."""
+    environment = DesignEnvironment(schema, user="tester", clock=clock)
+    environment.tools = install_standard_tools(environment)  # type: ignore
+    return environment
+
+
+@pytest.fixture
+def stocked_env(env, mux_spec) -> DesignEnvironment:
+    """Environment with models, stimuli and a mux netlist installed."""
+    env.models = env.install_data(  # type: ignore[attr-defined]
+        "DeviceModels", default_models(), name="tech1")
+    env.stimuli = env.install_data(  # type: ignore[attr-defined]
+        "Stimuli", exhaustive(("a", "b", "s"), name="all3"), name="all3")
+    env.netlist = env.install_data(  # type: ignore[attr-defined]
+        "EditedNetlist", tech_map(mux_spec), name="mux-gates")
+    return env
+
+
+def build_performance_flow(env, *, netlist_id: str, models_id: str,
+                           stimuli_id: str, simulator_id: str):
+    """Standard simulate-performance flow used across tests/benches."""
+    flow, goal = env.goal_flow("Performance", "simulate")
+    flow.expand(goal)
+    circuit = flow.sole_node_of_type("Circuit")
+    flow.expand(circuit)
+    flow.bind(flow.sole_node_of_type("Netlist"), netlist_id)
+    flow.bind(flow.sole_node_of_type("DeviceModels"), models_id)
+    flow.bind(flow.sole_node_of_type("Stimuli"), stimuli_id)
+    flow.bind(flow.sole_node_of_type("Simulator"), simulator_id)
+    return flow, goal

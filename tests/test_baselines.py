@@ -1,0 +1,230 @@
+"""Tests for the section-2 baselines: static flows, traces, version trees."""
+
+import pytest
+
+from repro.baselines import (Activity, StaticFlow, StaticFlowManager,
+                             TraceManager, VersionTreeManager,
+                             version_tree_from_trace)
+from repro.errors import BaselineError
+from repro.history.instance import DerivationRecord
+from repro.history.trace import forward_trace
+from repro.schema import standard as S
+
+
+@pytest.fixture
+def static_world(stocked_env):
+    env = stocked_env
+    manager = StaticFlowManager(env.db, env.registry)
+    extract_flow = StaticFlow(
+        "extract-and-simulate",
+        activities=(
+            Activity("extract", S.EXTRACTED_NETLIST,
+                     env.tools[S.EXTRACTOR].instance_id,
+                     inputs=(("layout", "the-layout"),)),
+            Activity("compose", S.CIRCUIT, "",
+                     inputs=(("netlist", "@extract"),
+                             ("models", "the-models"))),
+            Activity("simulate", S.PERFORMANCE,
+                     env.tools[S.SIMULATOR].instance_id,
+                     inputs=(("circuit", "@compose"),
+                             ("stimuli", "the-stimuli"))),
+        ))
+    return env, manager, extract_flow
+
+
+class TestStaticFlowDefinition:
+    def test_duplicate_labels_rejected(self, stocked_env):
+        with pytest.raises(BaselineError):
+            StaticFlow("f", activities=(
+                Activity("a", S.CIRCUIT, ""),
+                Activity("a", S.CIRCUIT, "")))
+
+    def test_forward_reference_rejected(self, stocked_env):
+        with pytest.raises(BaselineError):
+            StaticFlow("f", activities=(
+                Activity("first", S.CIRCUIT, "",
+                         inputs=(("netlist", "@second"),)),
+                Activity("second", S.EXTRACTED_NETLIST, "x")))
+
+    def test_hardwired_tool_must_exist(self, static_world):
+        env, manager, _ = static_world
+        ghost = StaticFlow("g", activities=(
+            Activity("step", S.EXTRACTED_NETLIST, "Extractor#9999",
+                     inputs=(("layout", "l"),)),))
+        with pytest.raises(Exception):
+            manager.define_flow(ghost)
+
+    def test_external_slots(self, static_world):
+        _, _, flow = static_world
+        assert set(flow.external_slots()) == {"the-layout", "the-models",
+                                              "the-stimuli"}
+
+
+class TestStaticFlowExecution:
+    def install_layout(self, env):
+        from repro.tools import edit_layout
+
+        layout = edit_layout([
+            {"op": "rename", "name": "L"},
+            {"op": "place", "name": "u1", "cell": "inv", "x": 2,
+             "y": 0},
+            {"op": "pin", "net": "a", "x": 0, "y": 1,
+             "direction": "in"},
+            {"op": "pin", "net": "y", "x": 6, "y": 1,
+             "direction": "out"},
+            {"op": "route", "net": "a", "points": [[0, 1], [2, 1]]},
+            {"op": "route", "net": "y", "points": [[3, 1], [6, 1]]},
+        ])
+        return env.install_data(S.EDITED_LAYOUT, layout, name="L")
+
+    def test_executes_via_shared_machinery(self, static_world):
+        env, manager, flow = static_world
+        manager.define_flow(flow)
+        layout = self.install_layout(env)
+        from repro.tools import exhaustive
+
+        stim = env.install_data(S.STIMULI, exhaustive(("a",)), name="sa")
+        report = manager.execute(
+            "extract-and-simulate",
+            {"the-layout": layout.instance_id,
+             "the-models": env.models.instance_id,
+             "the-stimuli": stim.instance_id})
+        assert len(report.results) == 3
+        performance = env.db.browse(S.PERFORMANCE)[-1]
+        assert env.db.data(performance).waveform("y") == ("1", "0")
+
+    def test_straight_jacket_no_skipping(self, static_world):
+        env, manager, flow = static_world
+        manager.define_flow(flow)
+        with pytest.raises(BaselineError, match="straight-jacket"):
+            manager.execute("extract-and-simulate", {},
+                            skip_steps=["extract"])
+
+    def test_missing_external_inputs_rejected(self, static_world):
+        env, manager, flow = static_world
+        manager.define_flow(flow)
+        with pytest.raises(BaselineError, match="missing external"):
+            manager.execute("extract-and-simulate", {})
+
+
+class TestStaticFlowMaintenance:
+    def test_tool_replacement_touches_every_flow(self, static_world):
+        """CLAIM-C observable: hardwiring creates maintenance work."""
+        env, manager, flow = static_world
+        manager.define_flow(flow)
+        # five more flows referencing the same simulator
+        for index in range(5):
+            manager.define_flow(StaticFlow(
+                f"sim-{index}", activities=(
+                    Activity("simulate", S.PERFORMANCE,
+                             env.tools[S.SIMULATOR].instance_id,
+                             inputs=(("circuit", "c"),
+                                     ("stimuli", "s"))),)))
+        new_simulator = env.db.install(S.SIMULATOR, {}, name="spice2")
+        edited = manager.replace_tool(
+            env.tools[S.SIMULATOR].instance_id,
+            new_simulator.instance_id)
+        assert edited == 6
+        assert manager.maintenance.flows_edited == 6
+        assert manager.flows_referencing(
+            new_simulator.instance_id) == tuple(sorted(
+                ["extract-and-simulate"] + [f"sim-{i}" for i in
+                                            range(5)]))
+
+
+class TestTraceManager:
+    def test_record_accepts_anything(self):
+        """No methodology enforcement — even nonsense sequences."""
+        manager = TraceManager()
+        trace = manager.start_trace("casotto")
+        manager.record(trace, "plotter", ["netlist-1"], ["layout-1"])
+        manager.record(trace, "???", [], [])
+        assert len(trace) == 2
+
+    def test_prototype_substitution(self):
+        manager = TraceManager()
+        trace = manager.start_trace()
+        manager.record(trace, "extract", ["lay-1"], ["net-1"])
+        manager.record(trace, "simulate", ["net-1"], ["perf-1"])
+        proto = manager.prototype(trace, substitute={"lay-1": "lay-2"})
+        assert proto[0].inputs == ("lay-2",)
+        assert proto[0].outputs == ()  # replays produce new outputs
+
+    def test_cursor_repositioning(self):
+        """Branch from an earlier point (the PLA scenario, section 2)."""
+        manager = TraceManager()
+        trace = manager.start_trace()
+        manager.record(trace, "logic-edit", [], ["logic-1"])
+        manager.record(trace, "stdcell-gen", ["logic-1"], ["lay-std"])
+        trace.reposition(0)
+        proto = manager.prototype(trace)
+        assert len(proto) == 1  # only up to the cursor
+        with pytest.raises(IndexError):
+            trace.reposition(7)
+
+    def test_file_bound_lookup_scans_everything(self):
+        manager = TraceManager()
+        for index in range(10):
+            trace = manager.start_trace()
+            manager.record(trace, "tool", [f"in-{index}"],
+                           [f"out-{index}"])
+        manager.events_scanned = 0
+        found = manager.traces_touching("in-3")
+        assert len(found) == 1
+        assert manager.events_scanned == manager.total_events()
+
+    def test_derivations_of(self):
+        manager = TraceManager()
+        trace = manager.start_trace()
+        manager.record(trace, "extract", ["lay"], ["net"])
+        events = manager.derivations_of("net")
+        assert len(events) == 1 and events[0].tool == "extract"
+
+
+class TestVersionTree:
+    def test_check_in_chain_and_branches(self):
+        manager = VersionTreeManager("Netlist")
+        c1 = manager.check_in("c1")
+        c2 = manager.check_in("c2", parent=c1.version_id)
+        c3 = manager.check_in("c3", parent=c1.version_id)
+        c4 = manager.check_in("c4", parent=c2.version_id)
+        assert manager.branch_count() == 1
+        assert [v.label for v in manager.path_to_root(c4.version_id)] \
+            == ["c4", "c2", "c1"]
+        assert {v.label for v in manager.children(c1.version_id)} == \
+            {"c2", "c3"}
+
+    def test_unknown_parent_rejected(self):
+        manager = VersionTreeManager("Netlist")
+        with pytest.raises(BaselineError):
+            manager.check_in("x", parent="ghost")
+
+    def test_render(self):
+        manager = VersionTreeManager("Netlist")
+        root = manager.check_in("c1")
+        manager.check_in("c2", parent=root.version_id)
+        text = manager.render()
+        assert "c1" in text and "c2" in text
+
+    def test_projection_from_flow_trace(self, schema, clock):
+        """Fig. 11: the classical tree is recoverable from the trace."""
+        from repro.history.database import HistoryDatabase
+
+        db = HistoryDatabase(schema, clock=clock)
+        editor = db.install(S.CIRCUIT_EDITOR, {}, name="e1")
+        c1 = db.install(S.EDITED_NETLIST, {"v": 1}, name="c1")
+        c2 = db.record(S.EDITED_NETLIST, {"v": 2},
+                       DerivationRecord.make(
+                           editor.instance_id,
+                           {"previous": c1.instance_id}), name="c2")
+        db.record(S.EDITED_NETLIST, {"v": 3},
+                  DerivationRecord.make(
+                      editor.instance_id,
+                      {"previous": c1.instance_id}), name="c3")
+        trace = forward_trace(db, c1.instance_id)
+        nodes = trace.version_tree(S.NETLIST)
+        tree = version_tree_from_trace(S.NETLIST, nodes)
+        assert len(tree.versions()) == 3
+        assert tree.branch_count() == 1
+        # classical tree lost the tool; the trace still has it
+        assert editor.instance_id in trace

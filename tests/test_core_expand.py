@@ -1,0 +1,227 @@
+"""Tests for expand/unexpand/specialize — the heart of section 3.2."""
+
+import pytest
+
+import sys
+
+import repro.core.expand
+
+ops = sys.modules["repro.core.expand"]
+from repro.core.taskgraph import TaskGraph
+from repro.errors import ExpansionError, SpecializationError
+from repro.schema import standard as S
+
+
+@pytest.fixture
+def graph(schema) -> TaskGraph:
+    return TaskGraph(schema, "test")
+
+
+class TestSpecialize:
+    def test_specialize_abstract_netlist(self, graph):
+        node = graph.add_node(S.NETLIST)
+        ops.specialize(graph, node.node_id, S.EXTRACTED_NETLIST)
+        assert node.entity_type == S.EXTRACTED_NETLIST
+        assert node.is_specialized
+        assert node.original_type == S.NETLIST
+
+    def test_generalize_restores(self, graph):
+        node = graph.add_node(S.NETLIST)
+        ops.specialize(graph, node.node_id, S.EDITED_NETLIST)
+        ops.generalize(graph, node.node_id)
+        assert node.entity_type == S.NETLIST
+        assert not node.is_specialized
+
+    def test_non_subtype_rejected(self, graph):
+        node = graph.add_node(S.NETLIST)
+        with pytest.raises(SpecializationError):
+            ops.specialize(graph, node.node_id, S.EDITED_LAYOUT)
+
+    def test_expanded_node_cannot_specialize(self, graph):
+        node = graph.add_node(S.EXTRACTED_NETLIST)
+        ops.expand(graph, node.node_id)
+        with pytest.raises(SpecializationError):
+            ops.specialize(graph, node.node_id, S.EXTRACTED_NETLIST)
+
+    def test_specialization_choices(self, graph):
+        node = graph.add_node(S.NETLIST)
+        choices = set(ops.specialization_choices(graph, node.node_id))
+        assert {S.EXTRACTED_NETLIST, S.EDITED_NETLIST,
+                S.OPTIMIZED_NETLIST} == choices
+
+    def test_specialization_respects_existing_edges(self, graph):
+        """A node already used as 'reference' can still specialize."""
+        verification = graph.add_node(S.VERIFICATION)
+        netlist = graph.add_node(S.NETLIST)
+        graph.connect(verification.node_id, netlist.node_id,
+                      role="reference")
+        ops.specialize(graph, netlist.node_id, S.EXTRACTED_NETLIST)
+        graph.validate()
+
+
+class TestExpand:
+    def test_expand_creates_tool_and_inputs(self, graph):
+        perf = graph.add_node(S.PERFORMANCE)
+        created = ops.expand(graph, perf.node_id)
+        types = [n.entity_type for n in created]
+        assert types == [S.SIMULATOR, S.CIRCUIT, S.STIMULI]
+        assert graph.is_expanded(perf.node_id)
+
+    def test_optional_inputs_omitted_by_default(self, graph):
+        edited = graph.add_node(S.EDITED_NETLIST)
+        created = ops.expand(graph, edited.node_id)
+        assert [n.entity_type for n in created] == [S.CIRCUIT_EDITOR]
+
+    def test_optional_inputs_by_name(self, graph):
+        edited = graph.add_node(S.EDITED_NETLIST)
+        created = ops.expand(graph, edited.node_id,
+                             include_optional=["previous"])
+        assert [n.entity_type for n in created] == [S.CIRCUIT_EDITOR,
+                                                    S.NETLIST]
+
+    def test_optional_inputs_all(self, graph):
+        perf = graph.add_node(S.PERFORMANCE)
+        created = ops.expand(graph, perf.node_id, include_optional=True)
+        assert S.SIM_ARGS in [n.entity_type for n in created]
+
+    def test_unknown_optional_role_rejected(self, graph):
+        perf = graph.add_node(S.PERFORMANCE)
+        with pytest.raises(ExpansionError):
+            ops.expand(graph, perf.node_id, include_optional=["ghost"])
+
+    def test_double_expand_rejected(self, graph):
+        perf = graph.add_node(S.PERFORMANCE)
+        ops.expand(graph, perf.node_id)
+        with pytest.raises(ExpansionError):
+            ops.expand(graph, perf.node_id)
+
+    def test_abstract_requires_specialization(self, graph):
+        netlist = graph.add_node(S.NETLIST)
+        with pytest.raises(SpecializationError, match="specialize"):
+            ops.expand(graph, netlist.node_id)
+
+    def test_source_cannot_expand(self, graph):
+        stim = graph.add_node(S.STIMULI)
+        with pytest.raises(ExpansionError, match="source"):
+            ops.expand(graph, stim.node_id)
+
+    def test_reuse_existing_node(self, graph):
+        """Fig. 5: an entity reused in several subtasks."""
+        layout = graph.add_node(S.EDITED_LAYOUT, explicit=True)
+        netlist = graph.add_node(S.EXTRACTED_NETLIST)
+        stats = graph.add_node(S.EXTRACTION_STATISTICS)
+        ops.expand(graph, netlist.node_id,
+                   reuse={"layout": layout.node_id})
+        ops.expand(graph, stats.node_id,
+                   reuse={"layout": layout.node_id,
+                          "@tool": graph.functional_supplier(
+                              netlist.node_id)})
+        # both extractions share layout AND tool -> one invocation
+        assert len(graph.invocations()) == 1
+
+    def test_reuse_unknown_role_rejected(self, graph):
+        perf = graph.add_node(S.PERFORMANCE)
+        other = graph.add_node(S.STIMULI)
+        with pytest.raises(ExpansionError):
+            ops.expand(graph, perf.node_id,
+                       reuse={"bogus": other.node_id})
+
+    def test_expand_fully_reaches_sources(self, graph):
+        perf = graph.add_node(S.PERFORMANCE)
+        ops.expand_fully(graph, perf.node_id)
+        leaf_types = {n.entity_type for n in graph.leaves()}
+        # Netlist stays unexpanded (abstract), Stimuli is a source
+        assert S.STIMULI in leaf_types
+        assert S.NETLIST in leaf_types
+        assert S.DEVICE_MODELS in leaf_types or any(
+            graph.is_expanded(n.node_id)
+            for n in graph.nodes_of_type(S.DEVICE_MODELS))
+
+
+class TestExpandToward:
+    def test_forward_from_data(self, graph):
+        """Start data-based at a netlist, grow a Performance above it."""
+        netlist = graph.add_node(S.EXTRACTED_NETLIST, explicit=True)
+        circuit = ops.expand_toward(graph, netlist.node_id, S.CIRCUIT)
+        assert circuit.entity_type == S.CIRCUIT
+        assert graph.data_suppliers(circuit.node_id)["netlist"] == \
+            netlist.node_id
+        perf = ops.expand_toward(graph, circuit.node_id, S.PERFORMANCE)
+        assert graph.data_suppliers(perf.node_id)["circuit"] == \
+            circuit.node_id
+
+    def test_forward_from_tool(self, graph):
+        """Start tool-based at a Simulator, grow its output."""
+        sim = graph.add_node(S.SIMULATOR, explicit=True)
+        perf = ops.expand_toward(graph, sim.node_id, S.PERFORMANCE)
+        assert graph.functional_supplier(perf.node_id) == sim.node_id
+
+    def test_disallowed_production_rejected(self, graph):
+        stim = graph.add_node(S.STIMULI)
+        with pytest.raises(ExpansionError):
+            ops.expand_toward(graph, stim.node_id, S.EDITED_LAYOUT)
+
+    def test_forward_choices(self, graph):
+        netlist = graph.add_node(S.NETLIST)
+        choices = ops.forward_choices(graph, netlist.node_id)
+        assert S.CIRCUIT in choices
+        assert S.PLACED_LAYOUT in choices
+
+    def test_failed_forward_leaves_graph_clean(self, graph):
+        verification = graph.add_node(S.VERIFICATION)
+        netlist = graph.add_node(S.EXTRACTED_NETLIST)
+        graph.connect(verification.node_id, netlist.node_id,
+                      role="reference")
+        before = len(graph)
+        with pytest.raises(Exception):
+            ops.expand_toward(graph, netlist.node_id, S.VERIFICATION,
+                              role="ghost")
+        assert len(graph) == before
+
+
+class TestUnexpand:
+    def test_unexpand_removes_orphans(self, graph):
+        perf = graph.add_node(S.PERFORMANCE, explicit=True)
+        created = ops.expand(graph, perf.node_id)
+        removed = ops.unexpand(graph, perf.node_id)
+        assert set(removed) == {n.node_id for n in created}
+        assert len(graph) == 1
+
+    def test_unexpand_keeps_shared_nodes(self, graph):
+        layout = graph.add_node(S.EDITED_LAYOUT, explicit=True)
+        netlist = graph.add_node(S.EXTRACTED_NETLIST)
+        stats = graph.add_node(S.EXTRACTION_STATISTICS)
+        ops.expand(graph, netlist.node_id,
+                   reuse={"layout": layout.node_id})
+        tool = graph.functional_supplier(netlist.node_id)
+        ops.expand(graph, stats.node_id,
+                   reuse={"layout": layout.node_id, "@tool": tool})
+        ops.unexpand(graph, stats.node_id)
+        # layout is explicit, tool still used by netlist: both survive
+        assert layout.node_id in graph
+        assert tool in graph
+
+    def test_unexpand_recursive(self, graph):
+        perf = graph.add_node(S.PERFORMANCE, explicit=True)
+        ops.expand(graph, perf.node_id)
+        circuit = graph.nodes_of_type(S.CIRCUIT)[0]
+        ops.expand(graph, circuit.node_id)
+        ops.unexpand(graph, perf.node_id)
+        assert len(graph) == 1  # everything below perf collapsed
+
+    def test_unexpand_unexpanded_rejected(self, graph):
+        node = graph.add_node(S.STIMULI)
+        with pytest.raises(ExpansionError):
+            ops.unexpand(graph, node.node_id)
+
+    def test_expand_after_unexpand(self, graph):
+        """Fig. 4: the designer may reconsider and re-expand."""
+        netlist = graph.add_node(S.NETLIST, explicit=True)
+        ops.specialize(graph, netlist.node_id, S.EDITED_NETLIST)
+        ops.expand(graph, netlist.node_id)
+        ops.unexpand(graph, netlist.node_id)
+        ops.generalize(graph, netlist.node_id)
+        ops.specialize(graph, netlist.node_id, S.EXTRACTED_NETLIST)
+        created = ops.expand(graph, netlist.node_id)
+        assert {n.entity_type for n in created} == {S.EXTRACTOR,
+                                                    S.LAYOUT}

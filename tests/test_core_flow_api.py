@@ -1,0 +1,127 @@
+"""Tests for the DynamicFlow façade and the four design approaches."""
+
+import pytest
+
+from repro.core import (DynamicFlow, data_based, goal_based, plan_based,
+                        tool_based)
+from repro.errors import FlowError
+from repro.schema import standard as S
+from repro.schema.catalog import FlowCatalog
+
+
+class TestDynamicFlow:
+    def test_place_marks_explicit(self, schema):
+        flow = DynamicFlow(schema)
+        node = flow.place(S.PERFORMANCE)
+        assert node.explicit
+
+    def test_expand_and_inspect(self, schema):
+        flow = DynamicFlow(schema, "f")
+        goal = flow.place(S.PERFORMANCE)
+        flow.expand(goal)
+        assert flow.sole_node_of_type(S.CIRCUIT)
+        assert goal in flow.goals()
+        assert len(flow.leaves()) == 3
+
+    def test_sole_node_of_type_requires_uniqueness(self, schema):
+        flow = DynamicFlow(schema)
+        flow.place(S.STIMULI)
+        flow.place(S.STIMULI)
+        with pytest.raises(LookupError):
+            flow.sole_node_of_type(S.STIMULI)
+        with pytest.raises(LookupError):
+            flow.sole_node_of_type(S.PERFORMANCE)
+
+    def test_readiness(self, schema):
+        flow = DynamicFlow(schema)
+        goal = flow.place(S.PERFORMANCE)
+        flow.expand(goal)
+        assert not flow.is_ready()
+        assert len(flow.unbound_leaves()) == 3
+        for leaf in flow.leaves():
+            flow.bind(leaf, "X#0001")
+        assert flow.is_ready()
+
+    def test_accepts_node_or_id(self, schema):
+        flow = DynamicFlow(schema)
+        goal = flow.place(S.PERFORMANCE)
+        flow.expand(goal.node_id)
+        assert flow.graph.is_expanded(goal.node_id)
+
+    def test_copy_independent(self, schema):
+        flow = DynamicFlow(schema, "orig")
+        goal = flow.place(S.PERFORMANCE)
+        clone = flow.copy("clone")
+        clone.expand(goal.node_id)
+        assert not flow.graph.is_expanded(goal.node_id)
+
+    def test_dict_roundtrip(self, schema):
+        flow = DynamicFlow(schema, "rt")
+        goal = flow.place(S.PERFORMANCE)
+        flow.expand(goal)
+        restored = DynamicFlow.from_dict(schema, flow.to_dict())
+        assert len(restored.nodes()) == len(flow.nodes())
+        assert restored.name == "rt"
+
+    def test_manual_connect_checked(self, schema):
+        flow = DynamicFlow(schema)
+        perf = flow.place(S.PERFORMANCE)
+        layout = flow.place(S.EDITED_LAYOUT)
+        with pytest.raises(FlowError):
+            flow.connect(perf, layout)
+
+
+class TestApproaches:
+    def test_goal_based(self, schema):
+        flow, node = goal_based(schema, S.PERFORMANCE)
+        assert node.entity_type == S.PERFORMANCE
+        assert node.explicit
+
+    def test_tool_based_with_instance(self, schema):
+        flow, node = tool_based(schema, S.SIMULATOR,
+                                tool_instance="Simulator#0007")
+        assert node.bindings == ("Simulator#0007",)
+
+    def test_tool_based_rejects_data_type(self, schema):
+        with pytest.raises(FlowError):
+            tool_based(schema, S.NETLIST)
+
+    def test_data_based(self, schema):
+        class FakeInstance:
+            instance_id = "ExtractedNetlist#0042"
+            entity_type = S.EXTRACTED_NETLIST
+
+        flow, node = data_based(schema, FakeInstance())
+        assert node.bindings == ("ExtractedNetlist#0042",)
+        assert node.entity_type == S.EXTRACTED_NETLIST
+
+    def test_plan_based(self, schema):
+        catalog: FlowCatalog[DynamicFlow] = FlowCatalog()
+        proto = DynamicFlow(schema, "proto")
+        proto.place(S.VERIFICATION)
+        catalog.register_flow("verify", proto)
+        flow = plan_based(catalog, "verify")
+        assert len(flow.nodes()) == 1
+        assert flow is not proto
+
+    def test_all_approaches_reach_same_flow_shape(self, schema):
+        """Section 3.4 / CLAIM-D: every approach converges."""
+        # goal-based
+        goal_flow, goal = goal_based(schema, S.PERFORMANCE)
+        goal_flow.expand(goal)
+        # tool-based: place Simulator, grow Performance, expand the rest
+        tool_flow, sim = tool_based(schema, S.SIMULATOR)
+        perf = tool_flow.expand_toward(sim, S.PERFORMANCE)
+        for dep in schema.construction(S.PERFORMANCE).required_inputs:
+            supplier = tool_flow.graph.add_node(dep.target)
+            tool_flow.connect(perf, supplier, role=dep.role)
+        # both flows have the same multiset of entity types and edges
+        def shape(flow):
+            types = sorted(n.entity_type for n in flow.nodes())
+            edges = sorted(
+                (flow.node(e.consumer).entity_type, e.role,
+                 flow.node(e.supplier).entity_type)
+                for e in flow.graph.edges())
+            return types, edges
+
+        assert shape(goal_flow) == shape(tool_flow)

@@ -1,0 +1,140 @@
+"""Tests for the Fig. 3 representations: Lisp form, bipartite, renders."""
+
+import pytest
+
+from repro.core import (DynamicFlow, ascii_graph, flow_equation, layers,
+                        schema_to_dot, snake_case, to_bipartite, to_call,
+                        to_dot, to_lisp)
+from repro.schema import standard as S
+
+
+@pytest.fixture
+def fig3_flow(schema) -> DynamicFlow:
+    """placement <- placer(circuit_editor(circuit), placement_spec)."""
+    flow = DynamicFlow(schema, "fig3")
+    goal = flow.place(S.PLACED_LAYOUT)
+    flow.expand(goal)
+    netlist = flow.sole_node_of_type(S.NETLIST)
+    flow.specialize(netlist, S.EDITED_NETLIST)
+    flow.expand(netlist, include_optional=["previous"])
+    return flow
+
+
+class TestSnakeCase:
+    @pytest.mark.parametrize("name,expected", [
+        ("Netlist", "netlist"),
+        ("ExtractedNetlist", "extracted_netlist"),
+        ("PLALayout", "pla_layout"),
+        ("SimArgs", "sim_args"),
+    ])
+    def test_conversions(self, name, expected):
+        assert snake_case(name) == expected
+
+
+class TestLispForm:
+    def test_lisp_matches_paper_footnote(self, fig3_flow):
+        goal = fig3_flow.sole_node_of_type(S.PLACED_LAYOUT)
+        lisp = to_lisp(fig3_flow.graph, goal.node_id)
+        # (placer, (circuit_editor, netlist), placement_spec)
+        assert lisp == ("(placer, (circuit_editor, netlist), "
+                        "placement_spec)")
+
+    def test_call_form(self, fig3_flow):
+        goal = fig3_flow.sole_node_of_type(S.PLACED_LAYOUT)
+        call = to_call(fig3_flow.graph, goal.node_id)
+        assert call == "placer(circuit_editor(netlist), placement_spec)"
+
+    def test_equation(self, fig3_flow):
+        goal = fig3_flow.sole_node_of_type(S.PLACED_LAYOUT)
+        equation = flow_equation(fig3_flow.graph, goal.node_id, "call")
+        assert equation.startswith("placed_layout <- placer(")
+
+    def test_labels_used_when_present(self, schema):
+        flow = DynamicFlow(schema)
+        node = flow.place(S.STIMULI, label="LPF Stimuli")
+        assert to_lisp(flow.graph, node.node_id) == "lpf_stimuli"
+
+    def test_composed_call_form(self, schema):
+        flow = DynamicFlow(schema)
+        circuit = flow.place(S.CIRCUIT)
+        flow.expand(circuit)
+        call = to_call(flow.graph, circuit.node_id)
+        assert call == "compose_circuit(device_models, netlist)"
+
+
+class TestBipartite:
+    def test_tools_become_activities(self, fig3_flow):
+        diagram = to_bipartite(fig3_flow.graph)
+        assert diagram.activity_count() == 2
+        tool_types = {a.tool_type for a in diagram.activities}
+        assert tool_types == {S.PLACER, S.CIRCUIT_EDITOR}
+        # plain tool nodes are absorbed, data nodes remain
+        node_types = {fig3_flow.node(n).entity_type
+                      for n in diagram.data_nodes}
+        assert S.PLACER not in node_types
+        assert S.PLACED_LAYOUT in node_types
+
+    def test_produced_tool_stays_visible(self, schema):
+        """A compiled simulator is data in the bipartite view too."""
+        flow = DynamicFlow(schema)
+        perf = flow.place(S.PERFORMANCE)
+        flow.expand(perf)
+        sim = flow.sole_node_of_type(S.SIMULATOR)
+        flow.specialize(sim, S.COMPILED_SIMULATOR)
+        flow.expand(sim)
+        diagram = to_bipartite(flow.graph)
+        assert sim.node_id in diagram.data_nodes
+
+    def test_render_mentions_roles(self, fig3_flow):
+        diagram = to_bipartite(fig3_flow.graph)
+        text = diagram.render(fig3_flow.graph)
+        assert "netlist=" in text
+        assert "==[Placer]==>" in text
+
+    def test_multi_output_activity(self, schema):
+        flow = DynamicFlow(schema)
+        netlist = flow.place(S.EXTRACTED_NETLIST)
+        flow.expand(netlist)
+        stats = flow.graph.add_node(S.EXTRACTION_STATISTICS)
+        flow.connect(stats, flow.sole_node_of_type(S.EXTRACTOR))
+        flow.connect(stats, flow.sole_node_of_type(S.LAYOUT),
+                     role="layout")
+        diagram = to_bipartite(flow.graph)
+        assert diagram.activity_count() == 1
+        assert len(diagram.activities[0].outputs) == 2
+
+
+class TestRender:
+    def test_layers_order_suppliers_first(self, fig3_flow):
+        all_layers = layers(fig3_flow.graph)
+        goal = fig3_flow.sole_node_of_type(S.PLACED_LAYOUT)
+        assert goal.node_id in all_layers[-1]
+
+    def test_ascii_contains_every_node(self, fig3_flow):
+        text = ascii_graph(fig3_flow.graph)
+        for node in fig3_flow.nodes():
+            assert node.node_id in text
+
+    def test_ascii_marks_specialization_and_bindings(self, fig3_flow):
+        netlist = fig3_flow.graph.nodes_of_type(
+            S.EDITED_NETLIST, include_subtypes=False)[0]
+        netlist.bind("EditedNetlist#0001")
+        text = ascii_graph(fig3_flow.graph)
+        assert "(was Netlist)" in text
+        assert "EditedNetlist#0001" in text
+
+    def test_empty_graph_renders(self, schema):
+        flow = DynamicFlow(schema, "empty")
+        assert "(empty)" in ascii_graph(flow.graph)
+
+    def test_dot_output(self, fig3_flow):
+        dot = to_dot(fig3_flow.graph)
+        assert dot.startswith("digraph")
+        assert "shape=ellipse" in dot  # tools
+        assert "shape=box" in dot      # data
+        assert "style=dashed" in dot   # the optional previous edge
+
+    def test_schema_dot(self, schema):
+        dot = schema_to_dot(schema)
+        assert '"ExtractedNetlist" -> "Netlist"' in dot  # isa edge
+        assert "digraph" in dot

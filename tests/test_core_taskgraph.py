@@ -1,0 +1,247 @@
+"""Unit tests for the task graph: structure, invariants, coalescing."""
+
+import pytest
+
+from repro.core.taskgraph import TaskGraph
+from repro.errors import BindingError, FlowError
+from repro.schema import standard as S
+
+
+@pytest.fixture
+def graph(schema) -> TaskGraph:
+    return TaskGraph(schema, "test")
+
+
+class TestNodes:
+    def test_add_and_lookup(self, graph):
+        node = graph.add_node(S.PERFORMANCE)
+        assert graph.node(node.node_id) is node
+        assert node.node_id in graph
+        assert len(graph) == 1
+
+    def test_unknown_type_rejected(self, graph):
+        with pytest.raises(Exception):
+            graph.add_node("Ghost")
+
+    def test_unknown_node_lookup(self, graph):
+        with pytest.raises(FlowError):
+            graph.node("n99")
+
+    def test_remove_node_drops_edges(self, graph):
+        perf = graph.add_node(S.PERFORMANCE)
+        sim = graph.add_node(S.SIMULATOR)
+        graph.connect(perf.node_id, sim.node_id)
+        graph.remove_node(sim.node_id)
+        assert graph.suppliers(perf.node_id) == ()
+
+    def test_node_ids_unique_after_copy(self, graph):
+        graph.add_node(S.PERFORMANCE)
+        clone = graph.copy()
+        fresh = clone.add_node(S.STIMULI)
+        assert fresh.node_id not in graph
+
+    def test_nodes_of_type_includes_subtypes(self, graph):
+        graph.add_node(S.EXTRACTED_NETLIST)
+        graph.add_node(S.EDITED_NETLIST)
+        assert len(graph.nodes_of_type(S.NETLIST)) == 2
+        assert len(graph.nodes_of_type(S.NETLIST,
+                                       include_subtypes=False)) == 0
+
+    def test_binding(self, graph):
+        node = graph.add_node(S.STIMULI)
+        node.bind("Stimuli#0001", "Stimuli#0002")
+        assert node.is_bound
+        assert node.results() == ("Stimuli#0001", "Stimuli#0002")
+        node.unbind()
+        assert not node.is_bound
+
+    def test_empty_bind_rejected(self, graph):
+        node = graph.add_node(S.STIMULI)
+        with pytest.raises(BindingError):
+            node.bind()
+
+
+class TestEdges:
+    def test_connect_functional(self, graph):
+        perf = graph.add_node(S.PERFORMANCE)
+        sim = graph.add_node(S.SIMULATOR)
+        edge = graph.connect(perf.node_id, sim.node_id)
+        assert edge.is_functional
+        assert graph.functional_supplier(perf.node_id) == sim.node_id
+
+    def test_connect_data_with_role(self, graph):
+        verification = graph.add_node(S.VERIFICATION)
+        netlist = graph.add_node(S.EXTRACTED_NETLIST)
+        edge = graph.connect(verification.node_id, netlist.node_id,
+                             role="reference")
+        assert edge.role == "reference"
+
+    def test_role_inferred_when_unambiguous(self, graph):
+        perf = graph.add_node(S.PERFORMANCE)
+        stim = graph.add_node(S.STIMULI)
+        edge = graph.connect(perf.node_id, stim.node_id)
+        assert edge.role == "stimuli"
+
+    def test_ambiguous_connection_requires_role(self, graph):
+        verification = graph.add_node(S.VERIFICATION)
+        netlist = graph.add_node(S.EXTRACTED_NETLIST)
+        with pytest.raises(FlowError, match="ambiguous"):
+            graph.connect(verification.node_id, netlist.node_id)
+
+    def test_second_tool_rejected(self, graph):
+        perf = graph.add_node(S.PERFORMANCE)
+        graph.connect(perf.node_id, graph.add_node(S.SIMULATOR).node_id)
+        with pytest.raises(FlowError):
+            graph.connect(perf.node_id,
+                          graph.add_node(S.SIMULATOR).node_id)
+
+    def test_duplicate_role_rejected(self, graph):
+        perf = graph.add_node(S.PERFORMANCE)
+        graph.connect(perf.node_id, graph.add_node(S.STIMULI).node_id)
+        with pytest.raises(FlowError):
+            graph.connect(perf.node_id, graph.add_node(S.STIMULI).node_id)
+
+    def test_subtype_accepted_for_supertype_role(self, graph):
+        circuit = graph.add_node(S.CIRCUIT)
+        extracted = graph.add_node(S.EXTRACTED_NETLIST)
+        edge = graph.connect(circuit.node_id, extracted.node_id,
+                             role="netlist")
+        assert edge.role == "netlist"
+
+    def test_wrong_type_rejected(self, graph):
+        perf = graph.add_node(S.PERFORMANCE)
+        layout = graph.add_node(S.EDITED_LAYOUT)
+        with pytest.raises(FlowError):
+            graph.connect(perf.node_id, layout.node_id)
+
+    def test_cycle_rejected(self, graph):
+        # EditedNetlist --previous--> Netlist; try to close a loop
+        edited = graph.add_node(S.EDITED_NETLIST)
+        other = graph.add_node(S.EDITED_NETLIST)
+        graph.connect(edited.node_id, other.node_id, role="previous")
+        with pytest.raises(FlowError, match="cycle"):
+            graph.connect(other.node_id, edited.node_id, role="previous")
+
+    def test_disconnect(self, graph):
+        perf = graph.add_node(S.PERFORMANCE)
+        stim = graph.add_node(S.STIMULI)
+        graph.connect(perf.node_id, stim.node_id)
+        graph.disconnect(perf.node_id, stim.node_id, "stimuli")
+        assert graph.suppliers(perf.node_id) == ()
+        with pytest.raises(FlowError):
+            graph.disconnect(perf.node_id, stim.node_id)
+
+
+class TestStructure:
+    def build_fig3(self, graph):
+        placed = graph.add_node(S.PLACED_LAYOUT)
+        placer = graph.add_node(S.PLACER)
+        netlist = graph.add_node(S.EDITED_NETLIST)
+        spec = graph.add_node(S.PLACEMENT_SPEC)
+        editor = graph.add_node(S.CIRCUIT_EDITOR)
+        graph.connect(placed.node_id, placer.node_id)
+        graph.connect(placed.node_id, netlist.node_id, role="netlist")
+        graph.connect(placed.node_id, spec.node_id, role="spec")
+        graph.connect(netlist.node_id, editor.node_id)
+        return placed, placer, netlist, spec, editor
+
+    def test_leaves_and_goals(self, graph):
+        placed, placer, netlist, spec, editor = self.build_fig3(graph)
+        leaf_ids = {n.node_id for n in graph.leaves()}
+        assert leaf_ids == {placer.node_id, spec.node_id, editor.node_id}
+        assert [g.node_id for g in graph.goals()] == [placed.node_id]
+
+    def test_topological_order(self, graph):
+        placed, placer, netlist, *_ = self.build_fig3(graph)
+        order = graph.topological_order()
+        assert order.index(netlist.node_id) < order.index(placed.node_id)
+
+    def test_subtree_and_dependents(self, graph):
+        placed, placer, netlist, spec, editor = self.build_fig3(graph)
+        assert editor.node_id in graph.subtree(placed.node_id)
+        assert placed.node_id in graph.dependents(editor.node_id)
+
+    def test_disjoint_branches(self, graph):
+        self.build_fig3(graph)
+        lone = graph.add_node(S.STIMULI)
+        branches = graph.disjoint_branches()
+        assert len(branches) == 2
+        assert frozenset({lone.node_id}) in branches
+
+    def test_validate_detects_foreign_edge(self, graph):
+        # force an edge that no schema dependency matches
+        perf = graph.add_node(S.PERFORMANCE)
+        stim = graph.add_node(S.STIMULI)
+        edge = graph.connect(perf.node_id, stim.node_id)
+        object.__setattr__(edge, "role", "bogus")
+        with pytest.raises(FlowError):
+            graph.validate()
+
+    def test_missing_inputs(self, graph):
+        perf = graph.add_node(S.PERFORMANCE)
+        graph.connect(perf.node_id, graph.add_node(S.STIMULI).node_id)
+        assert set(graph.missing_inputs(perf.node_id)) == {"circuit"}
+
+
+class TestInvocations:
+    def test_multi_output_coalescing(self, graph):
+        """Fig. 5: extractor netlist + statistics from one tool run."""
+        netlist = graph.add_node(S.EXTRACTED_NETLIST)
+        stats = graph.add_node(S.EXTRACTION_STATISTICS)
+        extractor = graph.add_node(S.EXTRACTOR)
+        layout = graph.add_node(S.EDITED_LAYOUT)
+        for output in (netlist, stats):
+            graph.connect(output.node_id, extractor.node_id)
+            graph.connect(output.node_id, layout.node_id, role="layout")
+        invocations = graph.invocations()
+        assert len(invocations) == 1
+        assert set(invocations[0].outputs) == {netlist.node_id,
+                                               stats.node_id}
+
+    def test_different_inputs_do_not_coalesce(self, graph):
+        extractor = graph.add_node(S.EXTRACTOR)
+        for _ in range(2):
+            out = graph.add_node(S.EXTRACTED_NETLIST)
+            lay = graph.add_node(S.EDITED_LAYOUT)
+            graph.connect(out.node_id, extractor.node_id)
+            graph.connect(out.node_id, lay.node_id, role="layout")
+        assert len(graph.invocations()) == 2
+
+    def test_composed_invocations_never_coalesce(self, graph):
+        models = graph.add_node(S.DEVICE_MODELS)
+        netlist = graph.add_node(S.EDITED_NETLIST)
+        for _ in range(2):
+            circuit = graph.add_node(S.CIRCUIT)
+            graph.connect(circuit.node_id, models.node_id, role="models")
+            graph.connect(circuit.node_id, netlist.node_id,
+                          role="netlist")
+        assert len(graph.invocations()) == 2
+
+    def test_invocation_for(self, graph):
+        perf = graph.add_node(S.PERFORMANCE)
+        graph.connect(perf.node_id, graph.add_node(S.SIMULATOR).node_id)
+        invocation = graph.invocation_for(perf.node_id)
+        assert perf.node_id in invocation.outputs
+        with pytest.raises(FlowError):
+            graph.invocation_for(graph.add_node(S.STIMULI).node_id)
+
+
+class TestPersistence:
+    def test_roundtrip(self, graph, schema):
+        perf = graph.add_node(S.PERFORMANCE)
+        sim = graph.add_node(S.SIMULATOR)
+        graph.connect(perf.node_id, sim.node_id)
+        sim.bind("Simulator#0001")
+        payload = graph.to_dict()
+        restored = TaskGraph.from_dict(schema, payload)
+        assert restored.node(sim.node_id).bindings == ("Simulator#0001",)
+        assert len(restored.edges()) == 1
+
+    def test_copy_preserves_structure_independently(self, graph):
+        perf = graph.add_node(S.PERFORMANCE)
+        sim = graph.add_node(S.SIMULATOR)
+        graph.connect(perf.node_id, sim.node_id)
+        clone = graph.copy("clone")
+        clone.remove_node(sim.node_id)
+        assert sim.node_id in graph
+        assert graph.functional_supplier(perf.node_id) == sim.node_id

@@ -1,0 +1,152 @@
+"""Tests for the DesignEnvironment façade and standard tool wiring."""
+
+import pytest
+
+from repro.errors import ConsistencyError, SchemaError
+from repro.execution import DesignEnvironment, encapsulation
+from repro.schema import standard as S
+from repro.schema.standard import fig1_schema
+from repro.tools import (install_standard_tools,
+                         register_standard_encapsulations)
+from tests.conftest import build_performance_flow
+
+
+class TestEnvironmentBasics:
+    def test_validates_schema_on_creation(self, clock):
+        from repro.schema.dependency import data_dep
+        from repro.schema.entity import data
+        from repro.schema.schema import TaskSchema
+
+        broken = TaskSchema("broken")
+        broken.add_entity(data("A"))
+        broken.add_entity(data("B"))
+        broken.add_dependency(data_dep("A", "B"))
+        broken.add_dependency(data_dep("B", "A"))
+        with pytest.raises(Exception):
+            DesignEnvironment(broken, clock=clock)
+
+    def test_install_tool_with_encapsulation(self, schema, clock):
+        env = DesignEnvironment(schema, clock=clock)
+        instance = env.install_tool(
+            S.PLOTTER, encapsulation("p", lambda ctx, ins: "x"),
+            name="plot9000", comment="fresh install")
+        assert instance.entity_type == S.PLOTTER
+        assert env.registry.has_encapsulation(S.PLOTTER)
+        assert env.db.get(instance.instance_id).comment == \
+            "fresh install"
+
+    def test_install_data_with_annotations(self, schema, clock):
+        env = DesignEnvironment(schema, clock=clock)
+        instance = env.install_data(S.STIMULI, [[1]], name="v",
+                                    annotations={"origin": "vendor"})
+        assert instance.annotation_map()["origin"] == "vendor"
+
+    def test_catalogs_views(self, schema, clock):
+        env = DesignEnvironment(schema, clock=clock)
+        assert len(env.tool_catalog) == len(schema.tools())
+        assert len(env.entity_catalog) == len(schema)
+        assert S.NETLIST in env.data_type_catalog.names()
+        assert repr(env).startswith("DesignEnvironment(")
+
+    def test_save_and_plan_flow(self, schema, clock):
+        env = DesignEnvironment(schema, clock=clock)
+        flow, goal = env.goal_flow(S.PERFORMANCE)
+        flow.expand(goal)
+        env.save_flow("sim", flow, "simulate something")
+        fresh = env.plan_flow("sim")
+        assert len(fresh.nodes()) == len(flow.nodes())
+        assert fresh is not flow
+        with pytest.raises(SchemaError):
+            env.save_flow("sim", flow)  # duplicate name
+
+    def test_data_flow_accepts_id_or_instance(self, stocked_env):
+        env = stocked_env
+        by_instance, node_a = env.data_flow(env.netlist)
+        by_id, node_b = env.data_flow(env.netlist.instance_id)
+        assert node_a.bindings == node_b.bindings
+
+    def test_retrace_on_current_instance_raises(self, stocked_env):
+        with pytest.raises(ConsistencyError):
+            stocked_env.retrace(stocked_env.netlist)
+
+
+class TestStandardToolWiring:
+    def test_fig1_subset_installs(self, clock):
+        env = DesignEnvironment(fig1_schema(), clock=clock)
+        tools = install_standard_tools(env)
+        assert S.SIMULATOR in tools
+        assert S.SIM_COMPILER not in tools       # not in fig1
+        assert S.OPTIMIZER not in tools
+        assert env.registry.has_encapsulation(S.VERIFIER)
+
+    def test_register_encapsulations_is_idempotent(self, schema, clock):
+        env = DesignEnvironment(schema, clock=clock)
+        register_standard_encapsulations(env)
+        first = env.registry.resolve(S.SIMULATOR)
+        register_standard_encapsulations(env)
+        assert env.registry.resolve(S.SIMULATOR) is first
+
+    def test_custom_registration_survives(self, schema, clock):
+        env = DesignEnvironment(schema, clock=clock)
+        mine = encapsulation("mine", lambda ctx, ins: None)
+        env.registry.register(S.SIMULATOR, mine)
+        register_standard_encapsulations(env)
+        assert env.registry.resolve(S.SIMULATOR) is mine
+
+    def test_installed_tools_have_library_data(self, env):
+        extractor = env.tools[S.EXTRACTOR]
+        data = env.db.data(extractor)
+        from repro.tools import CellLibrary
+
+        assert isinstance(data["library"], CellLibrary)
+
+    def test_run_convenience_equals_executor(self, stocked_env):
+        env = stocked_env
+        flow, goal = build_performance_flow(
+            env,
+            netlist_id=env.netlist.instance_id,
+            models_id=env.models.instance_id,
+            stimuli_id=env.stimuli.instance_id,
+            simulator_id=env.tools[S.SIMULATOR].instance_id)
+        report = env.run(flow)
+        assert goal.produced
+        assert report.created_of_node(goal.node_id) == goal.produced
+
+
+class TestDecomposition:
+    def test_decompose_derived_circuit(self, stocked_env):
+        env = stocked_env
+        flow, goal = build_performance_flow(
+            env,
+            netlist_id=env.netlist.instance_id,
+            models_id=env.models.instance_id,
+            stimuli_id=env.stimuli.instance_id,
+            simulator_id=env.tools[S.SIMULATOR].instance_id)
+        env.run(flow)
+        circuit = env.db.browse(S.CIRCUIT)[-1]
+        parts = env.decompose(circuit)
+        assert parts["netlist"].instance_id == env.netlist.instance_id
+        assert parts["models"].instance_id == env.models.instance_id
+
+    def test_decompose_installed_composite(self, stocked_env):
+        env = stocked_env
+        from repro.tools import default_models
+
+        composite = env.install_data(
+            S.CIRCUIT,
+            {"models": default_models(),
+             "netlist": env.db.data(env.netlist)},
+            name="imported")
+        parts = env.decompose(composite.instance_id)
+        assert parts["models"].entity_type == S.DEVICE_MODELS
+        assert parts["netlist"].entity_type == S.NETLIST
+        assert parts["netlist"].annotation_map()[
+            "decomposed-from"] == composite.instance_id
+        # the part data is the component data
+        assert env.db.data(parts["netlist"]) == env.db.data(env.netlist)
+
+    def test_non_composed_rejected(self, stocked_env):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            stocked_env.decompose(stocked_env.netlist)

@@ -1,0 +1,251 @@
+"""Tests for instances, the datastore and the history database."""
+
+import pytest
+
+from repro.errors import HistoryError, UnknownInstanceError
+from repro.history.database import BrowseFilter, HistoryDatabase
+from repro.history.datastore import CodecRegistry, DataStore
+from repro.history.instance import DerivationRecord, EntityInstance
+from repro.schema import standard as S
+from tests.conftest import TickClock
+
+
+@pytest.fixture
+def db(schema, clock) -> HistoryDatabase:
+    return HistoryDatabase(schema, clock=clock)
+
+
+class TestDerivationRecord:
+    def test_inputs_sorted(self):
+        record = DerivationRecord.make("T#1", {"b": "B#1", "a": "A#1"})
+        assert record.inputs == (("a", "A#1"), ("b", "B#1"))
+
+    def test_antecedents_tool_first(self):
+        record = DerivationRecord.make("T#1", {"x": "X#1"})
+        assert record.all_antecedents() == ("T#1", "X#1")
+
+    def test_composed_record(self):
+        record = DerivationRecord.make(None, {"x": "X#1"})
+        assert record.tool is None
+        assert record.all_antecedents() == ("X#1",)
+
+    def test_dict_roundtrip(self):
+        record = DerivationRecord.make("T#1", {"x": "X#1"}, "run#1")
+        assert DerivationRecord.from_dict(record.to_dict()) == record
+
+
+class TestEntityInstance:
+    def test_annotation_merge(self):
+        instance = EntityInstance("N#1", S.NETLIST)
+        annotated = instance.annotated(flow="f1", machine="m0")
+        assert annotated.annotation_map() == {"flow": "f1",
+                                              "machine": "m0"}
+        # original untouched (frozen semantics)
+        assert instance.annotations == ()
+
+    def test_rename(self):
+        instance = EntityInstance("N#1", S.NETLIST, name="old")
+        renamed = instance.renamed("new", "why")
+        assert renamed.name == "new" and renamed.comment == "why"
+
+    def test_dict_roundtrip(self):
+        instance = EntityInstance(
+            "N#1", S.NETLIST, user="u", timestamp=5.0, name="n",
+            comment="c", data_ref="abc",
+            derivation=DerivationRecord.make("T#1", {"x": "X#1"}),
+            annotations=(("k", "v"),))
+        assert EntityInstance.from_dict(instance.to_dict()) == instance
+
+
+class TestDataStore:
+    def test_content_addressing_shares_blobs(self):
+        store = DataStore(CodecRegistry())
+        ref1 = store.put({"a": 1})
+        ref2 = store.put({"a": 1})
+        assert ref1 == ref2
+        assert len(store) == 1
+
+    def test_different_content_different_refs(self):
+        store = DataStore(CodecRegistry())
+        assert store.put({"a": 1}) != store.put({"a": 2})
+
+    def test_get_unknown_rejected(self):
+        store = DataStore(CodecRegistry())
+        with pytest.raises(HistoryError):
+            store.get("nope")
+
+    def test_unregistered_class_rejected(self):
+        store = DataStore(CodecRegistry())
+
+        class Thing:
+            pass
+
+        with pytest.raises(HistoryError):
+            store.put(Thing())
+
+    def test_codec_roundtrip_nested(self):
+        registry = CodecRegistry()
+        payload = {"list": [1, 2.5, "x", None, True],
+                   "tuple": (1, (2, 3)), "nested": {"k": [{"z": 0}]}}
+        decoded = registry.decode(registry.encode(payload))
+        assert decoded == payload
+        assert isinstance(decoded["tuple"], tuple)
+
+    def test_tool_codecs_registered_globally(self):
+        from repro.tools import Netlist
+
+        store = DataStore()
+        netlist = Netlist("x", inputs=("a",), outputs=("y",))
+        ref = store.put(netlist)
+        assert store.get(ref) == netlist
+
+    def test_duplicate_codec_rejected(self):
+        registry = CodecRegistry()
+
+        class Thing:
+            pass
+
+        registry.register("t", Thing, lambda o: {}, lambda p: Thing())
+        with pytest.raises(HistoryError):
+            registry.register("t", Thing, lambda o: {},
+                              lambda p: Thing())
+
+
+class TestHistoryDatabase:
+    def test_install_assigns_sequential_ids(self, db):
+        first = db.install(S.STIMULI, [1], name="s1")
+        second = db.install(S.STIMULI, [2], name="s2")
+        assert first.instance_id == "Stimuli#0001"
+        assert second.instance_id == "Stimuli#0002"
+
+    def test_timestamps_from_clock(self, db):
+        first = db.install(S.STIMULI, [1])
+        second = db.install(S.STIMULI, [2])
+        assert second.timestamp > first.timestamp
+
+    def test_unknown_type_rejected(self, db):
+        with pytest.raises(Exception):
+            db.install("Ghost", {})
+
+    def test_record_requires_known_antecedents(self, db):
+        with pytest.raises(UnknownInstanceError):
+            db.record(S.EXTRACTED_NETLIST, {},
+                      DerivationRecord.make("Extractor#9999"))
+
+    def test_record_validates_tool_type(self, db):
+        wrong_tool = db.install(S.PLOTTER, {}, name="p")
+        layout = db.install(S.EDITED_LAYOUT, {}, name="l")
+        with pytest.raises(HistoryError, match="schema requires"):
+            db.record(S.EXTRACTED_NETLIST, {},
+                      DerivationRecord.make(
+                          wrong_tool.instance_id,
+                          {"layout": layout.instance_id}))
+
+    def test_record_validates_roles(self, db):
+        extractor = db.install(S.EXTRACTOR, {})
+        layout = db.install(S.EDITED_LAYOUT, {})
+        with pytest.raises(HistoryError, match="unknown input role"):
+            db.record(S.EXTRACTED_NETLIST, {},
+                      DerivationRecord.make(
+                          extractor.instance_id,
+                          {"bogus": layout.instance_id}))
+
+    def test_record_validates_input_types(self, db):
+        extractor = db.install(S.EXTRACTOR, {})
+        stim = db.install(S.STIMULI, [])
+        with pytest.raises(HistoryError, match="expects"):
+            db.record(S.EXTRACTED_NETLIST, {},
+                      DerivationRecord.make(
+                          extractor.instance_id,
+                          {"layout": stim.instance_id}))
+
+    def test_record_source_entity_rejected(self, db):
+        with pytest.raises(HistoryError):
+            db.record(S.STIMULI, [], DerivationRecord.make(None))
+
+    def test_composed_record_must_not_name_tool(self, db):
+        models = db.install(S.DEVICE_MODELS, {})
+        netlist = db.install(S.EDITED_NETLIST, {})
+        plotter = db.install(S.PLOTTER, {})
+        with pytest.raises(HistoryError, match="composed"):
+            db.record(S.CIRCUIT, {},
+                      DerivationRecord.make(
+                          plotter.instance_id,
+                          {"models": models.instance_id,
+                           "netlist": netlist.instance_id}))
+
+    def test_forward_index(self, db):
+        extractor = db.install(S.EXTRACTOR, {})
+        layout = db.install(S.EDITED_LAYOUT, {})
+        derived = db.record(
+            S.EXTRACTED_NETLIST, {},
+            DerivationRecord.make(extractor.instance_id,
+                                  {"layout": layout.instance_id}))
+        assert db.consumers_of(layout.instance_id) == (
+            derived.instance_id,)
+        assert db.consumers_of(extractor.instance_id) == (
+            derived.instance_id,)
+
+    def test_browse_includes_subtypes(self, db):
+        db.install(S.EDITED_NETLIST, {}, name="e")
+        db.install(S.EXTRACTED_NETLIST, {}, name="x")
+        assert len(db.browse(S.NETLIST)) == 2
+        assert len(db.browse(S.NETLIST, include_subtypes=False)) == 0
+
+    def test_browse_filters(self, db):
+        early = db.install(S.STIMULI, [1], name="alpha vectors")
+        db.install(S.STIMULI, [2], name="beta vectors")
+        by_keyword = db.browse(
+            S.STIMULI, filters=BrowseFilter(keywords=["alpha"]))
+        assert [i.instance_id for i in by_keyword] == [early.instance_id]
+        by_date = db.browse(
+            S.STIMULI, filters=BrowseFilter(since=early.timestamp + 0.5))
+        assert early.instance_id not in [i.instance_id for i in by_date]
+
+    def test_browse_user_filter(self, schema, clock):
+        db = HistoryDatabase(schema, clock=clock)
+        db.install(S.STIMULI, [1], user="alice")
+        db.install(S.STIMULI, [2], user="bob")
+        rows = db.browse(S.STIMULI, filters=BrowseFilter(user="alice"))
+        assert len(rows) == 1 and rows[0].user == "alice"
+
+    def test_latest(self, db):
+        db.install(S.STIMULI, [1], name="old")
+        newest = db.install(S.STIMULI, [2], name="new")
+        assert db.latest(S.STIMULI).instance_id == newest.instance_id
+        with pytest.raises(HistoryError):
+            db.latest(S.PERFORMANCE)
+
+    def test_update_metadata(self, db):
+        instance = db.install(S.STIMULI, [1], name="old")
+        db.update_metadata(instance.instance_id, name="renamed",
+                           comment="note", annotations={"k": "v"})
+        fresh = db.get(instance.instance_id)
+        assert fresh.name == "renamed"
+        assert fresh.comment == "note"
+        assert fresh.annotation_map()["k"] == "v"
+
+    def test_data_retrieval_shared(self, db):
+        a = db.install(S.STIMULI, [1, 2, 3])
+        b = db.install(S.STIMULI, [1, 2, 3])
+        assert a.data_ref == b.data_ref  # footnote 5: shared physical data
+        assert db.data(a) == [1, 2, 3]
+
+    def test_persistence_roundtrip(self, db, schema, tmp_path):
+        extractor = db.install(S.EXTRACTOR, {"tool": "x"})
+        layout = db.install(S.EDITED_LAYOUT, {"cells": []}, name="l1")
+        derived = db.record(
+            S.EXTRACTED_NETLIST, {"n": 1},
+            DerivationRecord.make(extractor.instance_id,
+                                  {"layout": layout.instance_id}),
+            user="tester")
+        path = str(tmp_path / "history.json")
+        db.save(path)
+        restored = HistoryDatabase.load(schema, path)
+        assert len(restored) == 3
+        copy = restored.get(derived.instance_id)
+        assert copy.derivation == derived.derivation
+        assert restored.data(copy) == {"n": 1}
+        # id counters continue past loaded ids
+        fresh = restored.install(S.EDITED_LAYOUT, {})
+        assert fresh.instance_id == "EditedLayout#0002"

@@ -1,0 +1,203 @@
+"""Tests for traces, chaining queries, template queries and versioning."""
+
+import pytest
+
+from repro.core.taskgraph import TaskGraph
+from repro.history.database import HistoryDatabase
+from repro.history.instance import DerivationRecord
+from repro.history.query import (antecedents_of_type, dependents_of_type,
+                                 derivation_inputs, derivation_tool,
+                                 find_bindings, template_query,
+                                 was_performed)
+from repro.history.trace import (backward_trace, forward_trace, full_trace,
+                                 lineage)
+from repro.schema import standard as S
+
+
+@pytest.fixture
+def world(schema, clock):
+    """A small populated history: layout -> netlist -> circuit -> 2 perfs.
+
+    Also a second, unrelated layout/netlist pair to catch over-matching.
+    """
+    db = HistoryDatabase(schema, clock=clock)
+    w = {"db": db}
+    w["extractor"] = db.install(S.EXTRACTOR, {}, name="netex")
+    w["simulator"] = db.install(S.SIMULATOR, {}, name="cosmos")
+    w["models"] = db.install(S.DEVICE_MODELS, {"vth": 0.7}, name="tech")
+    w["stim_a"] = db.install(S.STIMULI, [[0], [1]], name="stimA")
+    w["stim_b"] = db.install(S.STIMULI, [[1], [0]], name="stimB")
+    w["layout"] = db.install(S.EDITED_LAYOUT, {"id": "L1"}, name="lay1")
+    w["other_layout"] = db.install(S.EDITED_LAYOUT, {"id": "L2"},
+                                   name="lay2")
+
+    def extract(layout):
+        return db.record(
+            S.EXTRACTED_NETLIST, {"from": layout.instance_id},
+            DerivationRecord.make(w["extractor"].instance_id,
+                                  {"layout": layout.instance_id}))
+
+    w["netlist"] = extract(w["layout"])
+    w["other_netlist"] = extract(w["other_layout"])
+    w["circuit"] = db.record(
+        S.CIRCUIT, {"c": 1},
+        DerivationRecord.make(None,
+                              {"models": w["models"].instance_id,
+                               "netlist": w["netlist"].instance_id}))
+    for stim_key in ("stim_a", "stim_b"):
+        w[f"perf_{stim_key}"] = db.record(
+            S.PERFORMANCE, {"delay": 1},
+            DerivationRecord.make(
+                w["simulator"].instance_id,
+                {"circuit": w["circuit"].instance_id,
+                 "stimuli": w[stim_key].instance_id}))
+    return w
+
+
+class TestBackwardChaining:
+    def test_immediate_inputs(self, world):
+        inputs = derivation_inputs(world["db"],
+                                   world["netlist"].instance_id)
+        assert inputs["layout"].instance_id == \
+            world["layout"].instance_id
+
+    def test_tool_lookup(self, world):
+        tool = derivation_tool(world["db"], world["netlist"].instance_id)
+        assert tool.instance_id == world["extractor"].instance_id
+        assert derivation_tool(world["db"],
+                               world["layout"].instance_id) is None
+
+    def test_full_backward_trace(self, world):
+        trace = backward_trace(world["db"],
+                               world["perf_stim_a"].instance_id)
+        assert world["layout"].instance_id in trace
+        assert world["extractor"].instance_id in trace
+        assert world["stim_b"].instance_id not in trace
+
+    def test_depth_limited_trace_is_the_history_popup(self, world):
+        trace = backward_trace(world["db"],
+                               world["perf_stim_a"].instance_id, depth=1)
+        assert world["circuit"].instance_id in trace
+        assert world["simulator"].instance_id in trace
+        # deeper ancestry not revealed at depth 1
+        assert world["netlist"].instance_id not in trace
+
+    def test_antecedents_of_type(self, world):
+        layouts = antecedents_of_type(world["db"],
+                                      world["perf_stim_a"].instance_id,
+                                      S.LAYOUT)
+        assert [i.instance_id for i in layouts] == [
+            world["layout"].instance_id]
+
+
+class TestForwardChaining:
+    def test_performances_from_netlist(self, world):
+        """Section 4.2's example query."""
+        perfs = dependents_of_type(world["db"],
+                                   world["netlist"].instance_id,
+                                   S.PERFORMANCE)
+        assert {p.instance_id for p in perfs} == {
+            world["perf_stim_a"].instance_id,
+            world["perf_stim_b"].instance_id}
+
+    def test_unrelated_data_not_included(self, world):
+        perfs = dependents_of_type(world["db"],
+                                   world["other_netlist"].instance_id,
+                                   S.PERFORMANCE)
+        assert perfs == ()
+
+    def test_forward_trace_contains_intermediates(self, world):
+        trace = forward_trace(world["db"], world["layout"].instance_id)
+        assert world["circuit"].instance_id in trace
+        assert world["perf_stim_b"].instance_id in trace
+
+    def test_full_trace_spans_both_directions(self, world):
+        trace = full_trace(world["db"], world["circuit"].instance_id)
+        assert world["layout"].instance_id in trace
+        assert world["perf_stim_a"].instance_id in trace
+
+
+class TestWasPerformed:
+    def test_positive(self, world):
+        matches = was_performed(world["db"], S.EXTRACTED_NETLIST,
+                                layout=world["layout"].instance_id)
+        assert [m.instance_id for m in matches] == [
+            world["netlist"].instance_id]
+
+    def test_negative_means_task_needed(self, world):
+        fresh_layout = world["db"].install(S.EDITED_LAYOUT, {"id": "L3"})
+        assert was_performed(world["db"], S.EXTRACTED_NETLIST,
+                             layout=fresh_layout.instance_id) == ()
+
+
+class TestTemplateQuery:
+    def build_template(self, world, netlist_id=None) -> TaskGraph:
+        """Performance <- Sim(circuit <- compose(netlist=bound), stim)."""
+        db = world["db"]
+        graph = TaskGraph(db.schema, "template")
+        perf = graph.add_node(S.PERFORMANCE)
+        circuit = graph.add_node(S.CIRCUIT)
+        netlist = graph.add_node(S.NETLIST)
+        graph.connect(perf.node_id, circuit.node_id, role="circuit")
+        graph.connect(circuit.node_id, netlist.node_id, role="netlist")
+        if netlist_id is not None:
+            netlist.bind(netlist_id)
+        return graph, perf
+
+    def test_simulations_performed_for_this_netlist(self, world):
+        graph, perf = self.build_template(
+            world, world["netlist"].instance_id)
+        results = template_query(world["db"], graph, perf.node_id)
+        assert {r.instance_id for r in results} == {
+            world["perf_stim_a"].instance_id,
+            world["perf_stim_b"].instance_id}
+
+    def test_other_netlist_matches_nothing(self, world):
+        graph, perf = self.build_template(
+            world, world["other_netlist"].instance_id)
+        assert template_query(world["db"], graph, perf.node_id) == ()
+
+    def test_unbound_template_matches_all(self, world):
+        graph, perf = self.build_template(world)
+        results = template_query(world["db"], graph, perf.node_id)
+        assert len(results) == 2
+
+    def test_tool_edge_constrains(self, world):
+        db = world["db"]
+        graph = TaskGraph(db.schema, "t")
+        netlist = graph.add_node(S.EXTRACTED_NETLIST)
+        extractor = graph.add_node(S.EXTRACTOR)
+        graph.connect(netlist.node_id, extractor.node_id)
+        extractor.bind(world["extractor"].instance_id)
+        results = template_query(db, graph, netlist.node_id)
+        assert len(results) == 2  # both extractions used this extractor
+
+    def test_find_bindings_covers_subtree(self, world):
+        graph, perf = self.build_template(
+            world, world["netlist"].instance_id)
+        assignments = find_bindings(world["db"], graph, perf.node_id)
+        assert len(assignments) == 2
+        for assignment in assignments:
+            assert assignment[perf.node_id].startswith("Performance#")
+            assert len(assignment) == 3
+
+
+class TestLineage:
+    def test_edit_chain(self, world):
+        db = world["db"]
+        editor = db.install(S.CIRCUIT_EDITOR, {}, name="ed")
+        v1 = db.install(S.EDITED_NETLIST, {"v": 1}, name="v1")
+        v2 = db.record(S.EDITED_NETLIST, {"v": 2},
+                       DerivationRecord.make(editor.instance_id,
+                                             {"previous": v1.instance_id}))
+        v3 = db.record(S.EDITED_NETLIST, {"v": 3},
+                       DerivationRecord.make(editor.instance_id,
+                                             {"previous": v2.instance_id}))
+        assert lineage(db, v3.instance_id) == (
+            v1.instance_id, v2.instance_id, v3.instance_id)
+        assert lineage(db, v1.instance_id) == (v1.instance_id,)
+
+    def test_extraction_is_not_an_edit(self, world):
+        """An ExtractedNetlist's lineage does not cross into layouts."""
+        chain = lineage(world["db"], world["netlist"].instance_id)
+        assert chain == (world["netlist"].instance_id,)

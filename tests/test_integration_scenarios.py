@@ -1,0 +1,260 @@
+"""Integration tests: the paper's scenarios end to end.
+
+Each test replays one of the workflows the paper narrates, through the
+full stack (schema -> flow -> executor -> tools -> history).
+"""
+
+import pytest
+
+from repro.history import (backward_trace, dependents_of_type, lineage,
+                           template_query)
+from repro.schema import standard as S
+from repro.tools import (default_models, edit_session, exhaustive,
+                         tech_map, truth_table)
+from repro.tools.logic import LogicSpec
+from repro.views import (standard_views, synthesize_physical,
+                         verify_correspondence)
+from tests.conftest import build_performance_flow
+
+
+@pytest.fixture
+def world(stocked_env):
+    env = stocked_env
+    env.sim_id = env.tools[S.SIMULATOR].instance_id
+    return env
+
+
+class TestSimulatePerformance:
+    def test_goal_based_simulation(self, world):
+        flow, goal = build_performance_flow(
+            world,
+            netlist_id=world.netlist.instance_id,
+            models_id=world.models.instance_id,
+            stimuli_id=world.stimuli.instance_id,
+            simulator_id=world.sim_id)
+        report = world.run(flow)
+        assert len(report.results) == 2  # compose + simulate
+        performance = world.db.data(goal.produced[0])
+        assert performance.worst_delay_ns > 0
+        # the simulated function matches the logic spec
+        # (a,b,s) counting order; y = a&~s | b&s
+        assert performance.waveform("y") == (
+            "0", "0", "0", "1", "1", "0", "1", "1")
+
+    def test_plot_extension_of_executed_flow(self, world):
+        flow, goal = build_performance_flow(
+            world,
+            netlist_id=world.netlist.instance_id,
+            models_id=world.models.instance_id,
+            stimuli_id=world.stimuli.instance_id,
+            simulator_id=world.sim_id)
+        world.run(flow)
+        plot_node = flow.expand_toward(goal, S.PERFORMANCE_PLOT)
+        plotter_node = flow.graph.add_node(S.PLOTTER)
+        plotter_node.bind(world.tools[S.PLOTTER].instance_id)
+        flow.connect(plot_node, plotter_node)
+        world.run(flow)
+        rendered = world.db.data(plot_node.produced[0])
+        assert "worst delay" in rendered.text
+
+
+class TestCosmosScenario:
+    """Fig. 2: a simulator compiled for a netlist, run on two stimuli."""
+
+    def test_compiled_simulator_tool(self, world):
+        flow, goal = world.goal_flow(S.PERFORMANCE, "cosmos")
+        flow.expand(goal)
+        sim_node = flow.sole_node_of_type(S.SIMULATOR)
+        flow.specialize(sim_node, S.COMPILED_SIMULATOR)
+        flow.expand(sim_node)
+        circuit = flow.sole_node_of_type(S.CIRCUIT)
+        flow.expand(circuit)
+        for netlist_node in flow.nodes_of_type(S.NETLIST):
+            if not netlist_node.is_bound:
+                flow.bind(netlist_node, world.netlist.instance_id)
+        flow.bind(flow.sole_node_of_type(S.DEVICE_MODELS),
+                  world.models.instance_id)
+        flow.bind(flow.sole_node_of_type(S.SIM_COMPILER),
+                  world.tools[S.SIM_COMPILER].instance_id)
+        stim2 = world.install_data(
+            S.STIMULI, exhaustive(("a", "b", "s"), name="again"),
+            name="again")
+        flow.bind(flow.sole_node_of_type(S.STIMULI),
+                  world.stimuli.instance_id, stim2.instance_id)
+        report = world.run(flow)
+        # one compile, one compose, two simulations (stimuli fan-out)
+        assert len(goal.produced) == 2
+        compiled = flow.graph.node(sim_node.node_id).produced
+        assert len(compiled) == 1
+        created_types = {world.db.get(i).entity_type
+                         for i in report.created}
+        assert S.COMPILED_SIMULATOR in created_types
+        # the performance's derivation names the compiled tool
+        perf = world.db.get(goal.produced[0])
+        assert perf.derivation.tool == compiled[0]
+        # and the compiled tool itself has a derivation (it is data too)
+        tool_instance = world.db.get(compiled[0])
+        assert tool_instance.derivation.tool == \
+            world.tools[S.SIM_COMPILER].instance_id
+
+
+class TestFig5ComplexFlow:
+    """Entity reuse + multiple outputs, executed for real."""
+
+    def test_reuse_and_multi_output(self, world, mux_spec):
+        layout_session = edit_session(world, S.LAYOUT_EDITOR, [
+            {"op": "rename", "name": "mux-lay"},
+            {"op": "place", "name": "u1", "cell": "inv", "x": 2,
+             "y": 0},
+            {"op": "pin", "net": "a", "x": 0, "y": 1,
+             "direction": "in"},
+            {"op": "pin", "net": "y", "x": 6, "y": 1,
+             "direction": "out"},
+            {"op": "route", "net": "a", "points": [[0, 1], [2, 1]]},
+            {"op": "route", "net": "y", "points": [[3, 1], [6, 1]]},
+        ], name="lay-session")
+        flow, layout_goal = world.goal_flow(S.EDITED_LAYOUT, "fig5")
+        flow.expand(layout_goal)
+        flow.bind(flow.sole_node_of_type(S.LAYOUT_EDITOR),
+                  layout_session.instance_id)
+        # extraction: two outputs reusing the same layout + extractor
+        netlist_node = flow.expand_toward(layout_goal,
+                                          S.EXTRACTED_NETLIST)
+        extractor_node = flow.graph.add_node(S.EXTRACTOR)
+        extractor_node.bind(world.tools[S.EXTRACTOR].instance_id)
+        flow.connect(netlist_node, extractor_node)
+        stats_node = flow.graph.add_node(S.EXTRACTION_STATISTICS)
+        flow.connect(stats_node, extractor_node)
+        flow.connect(stats_node, layout_goal, role="layout")
+        report = world.run(flow)
+        extract_invocations = [
+            r for r in report.results if r.tool_type == S.EXTRACTOR]
+        assert len(extract_invocations) == 1
+        assert len(extract_invocations[0].created) == 2
+        stats = world.db.data(stats_node.produced[0])
+        assert stats.cell_count == 1
+        netlist = world.db.data(netlist_node.produced[0])
+        assert truth_table(netlist) == {(0,): ("1",), (1,): ("0",)}
+
+
+class TestStdcellToPla:
+    """The Chiueh & Katz scenario: branch history to re-implement."""
+
+    def test_reimplementation_branch(self, world):
+        spec = LogicSpec.from_equations("decode", "y = a & ~b")
+        logic = world.install_data(S.EDITED_LOGIC_SPEC, spec,
+                                   name="decode-logic")
+        # first implementation: standard cells
+        flow, std_goal = world.goal_flow(S.STD_CELL_LAYOUT, "impl-std")
+        flow.expand(std_goal)
+        flow.bind(flow.sole_node_of_type(S.LOGIC_SPEC),
+                  logic.instance_id)
+        flow.bind(flow.sole_node_of_type(S.STD_CELL_GENERATOR),
+                  world.tools[S.STD_CELL_GENERATOR].instance_id)
+        world.run(flow)
+        # branch: same logic, PLA implementation (data-based approach)
+        pla_flow, logic_node = world.data_flow(logic, "impl-pla")
+        pla_node = pla_flow.expand_toward(logic_node, S.PLA_LAYOUT)
+        generator = pla_flow.graph.add_node(S.PLA_GENERATOR)
+        generator.bind(world.tools[S.PLA_GENERATOR].instance_id)
+        pla_flow.connect(pla_node, generator)
+        world.run(pla_flow)
+        # both implementations hang off the same logic instance
+        layouts = dependents_of_type(world.db, logic.instance_id,
+                                     S.LAYOUT)
+        types = {i.entity_type for i in layouts}
+        assert types == {S.STD_CELL_LAYOUT, S.PLA_LAYOUT}
+        # and both implement the same function
+        from repro.tools import extract, standard_library
+
+        library = standard_library()
+        tables = []
+        for layout_instance in layouts:
+            netlist, _ = extract(world.db.data(layout_instance), library)
+            tables.append(truth_table(netlist))
+        assert tables[0] == tables[1]
+
+
+class TestViewManagement:
+    """Fig. 7/8: views and view correspondence through flows."""
+
+    def test_standard_views(self, world):
+        registry = standard_views(world.schema)
+        assert set(registry.views()) == {"logic", "transistor",
+                                         "physical"}
+        assert registry.view_of(world.netlist) == "transistor"
+
+    def test_synthesis_and_verification_flows(self, world):
+        spec_instance = world.install_data(
+            S.PLACEMENT_SPEC, {"row_width": 3, "seed": 1, "moves": 150},
+            name="pspec")
+        placed = synthesize_physical(
+            world, world.netlist, spec_instance,
+            world.tools[S.PLACER])
+        assert placed.entity_type == S.PLACED_LAYOUT
+        verification = verify_correspondence(
+            world, world.netlist, placed,
+            world.tools[S.VERIFIER], world.tools[S.EXTRACTOR])
+        assert world.db.data(verification).matched
+        # the verification's history records both views
+        trace = backward_trace(world.db, verification.instance_id)
+        assert world.netlist.instance_id in trace
+        assert placed.instance_id in trace
+
+    def test_corrupted_layout_fails_verification(self, world):
+        spec_instance = world.install_data(
+            S.PLACEMENT_SPEC, {"seed": 2}, name="pspec2")
+        placed = synthesize_physical(
+            world, world.netlist, spec_instance, world.tools[S.PLACER])
+        # corrupt: drop a cell, register as a new edited layout
+        layout = world.db.data(placed).copy("broken")
+        layout.remove(layout.placements()[0].name)
+        broken = world.install_data(S.EDITED_LAYOUT, layout,
+                                    name="broken")
+        verification = verify_correspondence(
+            world, world.netlist, broken,
+            world.tools[S.VERIFIER], world.tools[S.EXTRACTOR])
+        assert not world.db.data(verification).matched
+
+
+class TestEditingAndVersioning:
+    def test_edit_sessions_record_versions(self, world):
+        session1 = edit_session(world, S.CIRCUIT_EDITOR, [
+            {"op": "new", "name": "c", "inputs": ["a"],
+             "outputs": ["y"]},
+            {"op": "add_instance", "name": "u1", "cell": "inv",
+             "connections": {"a": "a", "y": "y"}},
+        ], name="s1")
+        flow, goal = world.goal_flow(S.EDITED_NETLIST)
+        flow.expand(goal)
+        flow.bind(flow.sole_node_of_type(S.CIRCUIT_EDITOR),
+                  session1.instance_id)
+        v1 = world.run(flow).created[0]
+
+        session2 = edit_session(world, S.CIRCUIT_EDITOR, [
+            {"op": "add_instance", "name": "u2", "cell": "buf",
+             "connections": {"a": "y", "y": "z"}},
+        ], name="s2")
+        flow2, goal2 = world.goal_flow(S.EDITED_NETLIST)
+        flow2.expand(goal2, include_optional=["previous"])
+        previous = flow2.graph.data_suppliers(goal2.node_id)["previous"]
+        flow2.bind(flow2.node(previous), v1)
+        flow2.bind(flow2.sole_node_of_type(S.CIRCUIT_EDITOR),
+                   session2.instance_id)
+        v2 = world.run(flow2).created[0]
+        assert lineage(world.db, v2) == (v1, v2)
+        # the flow trace knows which session made v2 (Fig. 11b)
+        trace = backward_trace(world.db, v2)
+        assert session2.instance_id in trace
+
+    def test_template_query_after_simulation(self, world):
+        flow, goal = build_performance_flow(
+            world,
+            netlist_id=world.netlist.instance_id,
+            models_id=world.models.instance_id,
+            stimuli_id=world.stimuli.instance_id,
+            simulator_id=world.sim_id)
+        world.run(flow)
+        # "find the simulations that were performed for this netlist"
+        matches = template_query(world.db, flow.graph, goal.node_id)
+        assert [m.instance_id for m in matches] == list(goal.produced)

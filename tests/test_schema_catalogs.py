@@ -1,0 +1,98 @@
+"""Tests for catalogs and schema serialization details."""
+
+import pytest
+
+from repro import DynamicFlow
+from repro.errors import SchemaError
+from repro.schema import standard as S
+from repro.schema.catalog import (DataTypeCatalog, EntityCatalog,
+                                  FlowCatalog, ToolCatalog)
+from repro.schema.serialize import (loads, schema_from_dict,
+                                    schema_to_dict)
+
+
+class TestEntityCatalogs:
+    def test_entity_catalog_lists_everything(self, schema):
+        catalog = EntityCatalog(schema)
+        assert len(catalog) == len(schema)
+        assert catalog.names() == tuple(sorted(schema.entity_names()))
+
+    def test_tool_catalog_only_tools(self, schema):
+        catalog = ToolCatalog(schema)
+        assert all(schema.entity(n).is_tool for n in catalog.names())
+        assert S.SIMULATOR in catalog.names()
+        assert S.NETLIST not in catalog.names()
+
+    def test_data_catalog_only_data(self, schema):
+        catalog = DataTypeCatalog(schema)
+        assert S.NETLIST in catalog.names()
+        assert S.SIMULATOR not in catalog.names()
+
+    def test_lookup(self, schema):
+        catalog = EntityCatalog(schema)
+        assert catalog.lookup(S.CIRCUIT).composed
+
+    def test_iteration_sorted(self, schema):
+        catalog = ToolCatalog(schema)
+        names = [e.name for e in catalog]
+        assert names == sorted(names)
+
+
+class TestFlowCatalog:
+    def test_register_and_select_returns_fresh_copy(self, schema):
+        catalog: FlowCatalog[DynamicFlow] = FlowCatalog()
+        flow = DynamicFlow(schema, "proto")
+        flow.place(S.PERFORMANCE)
+        catalog.register_flow("perf", flow, description="simulate")
+        first = catalog.select("perf")
+        second = catalog.select("perf")
+        assert first is not second
+        # expanding one copy must not affect the other
+        first.expand(first.nodes()[0])
+        assert len(first.nodes()) > len(second.nodes())
+
+    def test_duplicate_name_rejected(self, schema):
+        catalog: FlowCatalog[DynamicFlow] = FlowCatalog()
+        catalog.register("a", lambda: DynamicFlow(schema))
+        with pytest.raises(SchemaError):
+            catalog.register("a", lambda: DynamicFlow(schema))
+
+    def test_unknown_selection_rejected(self):
+        catalog: FlowCatalog = FlowCatalog()
+        with pytest.raises(SchemaError):
+            catalog.select("ghost")
+
+    def test_description_and_contains(self, schema):
+        catalog: FlowCatalog[DynamicFlow] = FlowCatalog()
+        catalog.register("a", lambda: DynamicFlow(schema), "does a")
+        assert "a" in catalog
+        assert catalog.description("a") == "does a"
+        with pytest.raises(SchemaError):
+            catalog.description("b")
+
+
+class TestSerializationDetails:
+    def test_bad_format_version(self):
+        with pytest.raises(SchemaError):
+            schema_from_dict({"format": 99})
+
+    def test_roundtrip_preserves_metadata(self, schema):
+        payload = schema_to_dict(schema)
+        restored = schema_from_dict(payload)
+        original = schema.entity(S.COMPILED_SIMULATOR)
+        copy = restored.entity(S.COMPILED_SIMULATOR)
+        assert copy.parent == original.parent
+        assert copy.kind == original.kind
+        assert copy.description == original.description
+
+    def test_loads_can_skip_validation(self, schema):
+        payload = schema_to_dict(schema)
+        # corrupt: add a mandatory self-cycle
+        payload["dependencies"].append(
+            {"source": S.STIMULI, "target": S.STIMULI, "kind": "d",
+             "optional": False, "role": "loop"})
+        import json
+        with pytest.raises(Exception):
+            loads(json.dumps(payload))
+        restored = loads(json.dumps(payload), validate=False)
+        assert S.STIMULI in restored

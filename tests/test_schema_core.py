@@ -1,0 +1,268 @@
+"""Unit tests for TaskSchema: rules, lookups, navigation, validation."""
+
+import pytest
+
+from repro.errors import (DependencyError, SubtypeError,
+                          UnknownEntityError)
+from repro.schema.builder import SchemaBuilder
+from repro.schema.dependency import data_dep, functional
+from repro.schema.entity import composed, data, tool
+from repro.schema.schema import TaskSchema
+
+
+def small_schema() -> TaskSchema:
+    schema = TaskSchema("small")
+    schema.add_entities([
+        tool("Editor"), tool("Sim"),
+        data("Doc"), data("EditedDoc", parent="Doc"),
+        data("Result"),
+    ])
+    schema.add_dependency(functional("EditedDoc", "Editor"))
+    schema.add_dependency(data_dep("EditedDoc", "Doc", optional=True,
+                                   role="previous"))
+    schema.add_dependency(functional("Result", "Sim"))
+    schema.add_dependency(data_dep("Result", "Doc", role="doc"))
+    schema.validate()
+    return schema
+
+
+class TestConstructionRules:
+    def test_duplicate_entity_rejected(self):
+        schema = TaskSchema()
+        schema.add_entity(data("Doc"))
+        with pytest.raises(SubtypeError):
+            schema.add_entity(data("Doc"))
+
+    def test_dependency_endpoints_must_exist(self):
+        schema = TaskSchema()
+        schema.add_entity(data("Doc"))
+        with pytest.raises(UnknownEntityError):
+            schema.add_dependency(data_dep("Doc", "Ghost"))
+
+    def test_single_functional_dependency(self):
+        schema = TaskSchema()
+        schema.add_entities([tool("T1"), tool("T2"), data("D")])
+        schema.add_dependency(functional("D", "T1"))
+        with pytest.raises(DependencyError):
+            schema.add_dependency(functional("D", "T2"))
+
+    def test_functional_target_must_be_tool(self):
+        schema = TaskSchema()
+        schema.add_entities([data("A"), data("B")])
+        with pytest.raises(DependencyError):
+            schema.add_dependency(functional("A", "B"))
+
+    def test_composed_cannot_have_functional(self):
+        schema = TaskSchema()
+        schema.add_entities([tool("T"), composed("C")])
+        with pytest.raises(DependencyError):
+            schema.add_dependency(functional("C", "T"))
+
+    def test_duplicate_role_rejected(self):
+        schema = TaskSchema()
+        schema.add_entities([data("A"), data("B"), data("C")])
+        schema.add_dependency(data_dep("A", "B", role="x"))
+        with pytest.raises(DependencyError):
+            schema.add_dependency(data_dep("A", "C", role="x"))
+
+
+class TestSubtyping:
+    def test_ancestors_and_descendants(self):
+        schema = small_schema()
+        assert schema.ancestors_of("EditedDoc") == ("Doc",)
+        assert schema.descendants_of("Doc") == ("EditedDoc",)
+
+    def test_is_subtype_reflexive(self):
+        schema = small_schema()
+        assert schema.is_subtype("Doc", "Doc")
+        assert schema.is_subtype("EditedDoc", "Doc")
+        assert not schema.is_subtype("Doc", "EditedDoc")
+
+    def test_root_of(self):
+        schema = small_schema()
+        assert schema.root_of("EditedDoc") == "Doc"
+        assert schema.root_of("Doc") == "Doc"
+
+    def test_unknown_parent_fails_validation(self):
+        schema = TaskSchema()
+        schema.add_entity(data("Child", parent="Ghost"))
+        with pytest.raises(SubtypeError):
+            schema.validate()
+
+    def test_kind_mismatch_fails_validation(self):
+        schema = TaskSchema()
+        schema.add_entity(data("D"))
+        schema.add_entity(tool("T", parent="D"))
+        with pytest.raises(SubtypeError):
+            schema.validate()
+
+    def test_subtype_cycle_detected(self):
+        schema = TaskSchema()
+        # construct a cycle by hand (builder would not allow forward refs)
+        schema.add_entity(data("A", parent="B"))
+        schema.add_entity(data("B", parent="A"))
+        with pytest.raises(SubtypeError):
+            schema.ancestors_of("A")
+
+
+class TestConstructionMethods:
+    def test_source_entity(self):
+        schema = small_schema()
+        assert schema.construction("Doc") is None
+        # Doc is abstract (EditedDoc is constructible), not a pure source
+        assert schema.is_abstract("Doc")
+        assert not schema.is_source("Doc")
+
+    def test_pure_source(self):
+        schema = TaskSchema()
+        schema.add_entity(data("Stim"))
+        assert schema.is_source("Stim")
+
+    def test_constructible(self):
+        schema = small_schema()
+        method = schema.construction("Result")
+        assert method is not None
+        assert method.tool == "Sim"
+        assert [d.role for d in method.inputs] == ["doc"]
+
+    def test_optional_inputs_split(self):
+        schema = small_schema()
+        method = schema.construction("EditedDoc")
+        assert method.required_inputs == ()
+        assert [d.role for d in method.optional_inputs] == ["previous"]
+
+    def test_input_role_lookup(self):
+        schema = small_schema()
+        method = schema.construction("Result")
+        assert method.input_role("doc").target == "Doc"
+        with pytest.raises(DependencyError):
+            method.input_role("ghost")
+
+    def test_constructible_specializations(self):
+        schema = small_schema()
+        assert schema.constructible_specializations("Doc") == (
+            "EditedDoc",)
+
+    def test_composed_construction(self):
+        schema = TaskSchema()
+        schema.add_entities([data("A"), data("B"), composed("C")])
+        schema.add_dependency(data_dep("C", "A", role="a"))
+        schema.add_dependency(data_dep("C", "B", role="b"))
+        method = schema.construction("C")
+        assert method.is_composed
+        assert method.tool is None
+        assert len(method.inputs) == 2
+
+    def test_inherited_data_dependency(self):
+        schema = TaskSchema()
+        schema.add_entities([tool("T"), data("Base"), data("Spec"),
+                             data("Derived", parent="Base")])
+        schema.add_dependency(data_dep("Base", "Spec", role="spec"))
+        schema.add_dependency(functional("Derived", "T"))
+        deps = schema.effective_dependencies("Derived")
+        roles = {d.role for d in deps if d.is_data}
+        assert "spec" in roles
+
+    def test_subtype_overrides_role(self):
+        schema = TaskSchema()
+        schema.add_entities([data("Base"), data("SpecA"), data("SpecB"),
+                             data("Derived", parent="Base")])
+        schema.add_dependency(data_dep("Base", "SpecA", role="spec"))
+        schema.add_dependency(data_dep("Derived", "SpecB", role="spec"))
+        deps = schema.data_dependencies("Derived")
+        assert [d.target for d in deps if d.role == "spec"] == ["SpecB"]
+
+
+class TestNavigation:
+    def test_consumers_accept_subtypes(self):
+        schema = small_schema()
+        # Result needs a Doc; an EditedDoc satisfies it
+        roles = [d.role for d in schema.consumers_of("EditedDoc")]
+        assert "doc" in roles
+
+    def test_producible_from(self):
+        schema = small_schema()
+        assert "Result" in schema.producible_from("Doc")
+        assert "EditedDoc" in schema.producible_from("Doc")
+
+    def test_outputs_of_tool(self):
+        schema = small_schema()
+        assert schema.outputs_of_tool("Sim") == ("Result",)
+        with pytest.raises(DependencyError):
+            schema.outputs_of_tool("Doc")
+
+    def test_editing_entities(self):
+        schema = small_schema()
+        assert schema.editing_entities() == ("EditedDoc",)
+
+    def test_tools_and_data_listings(self):
+        schema = small_schema()
+        assert {e.name for e in schema.tools()} == {"Editor", "Sim"}
+        assert "Doc" in {e.name for e in schema.data_entities()}
+
+
+class TestAcyclicity:
+    def test_mandatory_cycle_rejected(self):
+        schema = TaskSchema()
+        schema.add_entities([data("A"), data("B")])
+        schema.add_dependency(data_dep("A", "B"))
+        schema.add_dependency(data_dep("B", "A"))
+        with pytest.raises(DependencyError):
+            schema.validate()
+
+    def test_optional_breaks_cycle(self):
+        schema = TaskSchema()
+        schema.add_entities([data("A"), data("B")])
+        schema.add_dependency(data_dep("A", "B"))
+        schema.add_dependency(data_dep("B", "A", optional=True))
+        schema.validate()  # must not raise
+
+    def test_self_loop_requires_optional(self):
+        schema = TaskSchema()
+        schema.add_entity(data("A"))
+        schema.add_dependency(data_dep("A", "A", role="previous"))
+        with pytest.raises(DependencyError):
+            schema.validate()
+
+
+class TestBuilder:
+    def test_produced_by_wires_everything(self):
+        schema = (SchemaBuilder("b")
+                  .tool("T").data("In").data("Out")
+                  .produced_by("Out", "T", inputs=[("src", "In")])
+                  .build())
+        method = schema.construction("Out")
+        assert method.tool == "T"
+        assert method.inputs[0].role == "src"
+
+    def test_dict_input_spec(self):
+        schema = (SchemaBuilder("b")
+                  .tool("T").data("Out")
+                  .produced_by("Out", "T", inputs=[
+                      {"type": "Out", "role": "previous",
+                       "optional": True}])
+                  .build())
+        method = schema.construction("Out")
+        assert method.optional_inputs[0].role == "previous"
+
+    def test_composed_builder(self):
+        schema = (SchemaBuilder("b")
+                  .data("A").data("B")
+                  .composed("C", of=[("a", "A"), ("b", "B")])
+                  .build())
+        assert schema.entity("C").composed
+        assert len(schema.construction("C").inputs) == 2
+
+    def test_invalid_schema_raises_at_build(self):
+        builder = SchemaBuilder("b").data("A").data("B")
+        builder.needs("A", "B")
+        builder.needs("B", "A")
+        with pytest.raises(DependencyError):
+            builder.build()
+
+    def test_build_without_validation(self):
+        builder = SchemaBuilder("b").data("A").data("B")
+        builder.needs("A", "B")
+        builder.needs("B", "A")
+        schema = builder.build(validate=False)
+        assert len(schema) == 2

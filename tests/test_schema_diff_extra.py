@@ -1,0 +1,45 @@
+"""Extra coverage for schema diff rendering and entity changes."""
+
+from repro.schema.diff import diff_schemas
+from repro.schema.entity import EntityKind, data, tool
+from repro.schema.schema import TaskSchema
+
+
+def test_changed_entity_descriptions():
+    a = TaskSchema("a")
+    a.add_entity(data("Netlist", description="old words"))
+    b = TaskSchema("b")
+    b.add_entity(data("Netlist", description="new words"))
+    diff = diff_schemas(a, b)
+    assert len(diff.changed_entities) == 1
+    assert "description changed" in diff.changed_entities[0].describe()
+    assert not diff.is_empty
+
+
+def test_kind_change_described():
+    a = TaskSchema("a")
+    a.add_entity(data("Thing"))
+    b = TaskSchema("b")
+    b.add_entity(tool("Thing"))
+    diff = diff_schemas(a, b)
+    description = diff.changed_entities[0].describe()
+    assert str(EntityKind.DATA) in description
+    assert str(EntityKind.TOOL) in description
+
+
+def test_render_includes_all_sections():
+    a = TaskSchema("a")
+    a.add_entity(data("Keep"))
+    a.add_entity(data("Drop"))
+    b = TaskSchema("b")
+    b.add_entity(data("Keep"))
+    b.add_entity(data("Add"))
+    from repro.schema.dependency import data_dep
+
+    b.add_dependency(data_dep("Add", "Keep"))
+    diff = diff_schemas(a, b)
+    text = diff.render()
+    assert "+ entity Add" in text
+    assert "- entity Drop" in text
+    assert "+ dependency Add --d--> Keep" in text
+    assert "construction methods affected: Add" in text

@@ -1,0 +1,86 @@
+"""Unit tests for entity types and dependency arcs."""
+
+import pytest
+
+from repro.schema.dependency import DepKind, Dependency, data_dep, functional
+from repro.schema.entity import (EntityKind, EntityType, composed, data,
+                                 tool)
+
+
+class TestEntityType:
+    def test_default_kind_is_data(self):
+        entity = EntityType("Netlist")
+        assert entity.kind is EntityKind.DATA
+        assert entity.is_data and not entity.is_tool
+
+    def test_tool_shorthand(self):
+        entity = tool("Simulator", description="sim")
+        assert entity.is_tool
+        assert entity.description == "sim"
+
+    def test_data_shorthand_with_parent(self):
+        entity = data("ExtractedNetlist", parent="Netlist")
+        assert entity.parent == "Netlist"
+
+    def test_composed_shorthand(self):
+        entity = composed("Circuit")
+        assert entity.composed and entity.is_data
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            EntityType("")
+
+    def test_whitespace_name_rejected(self):
+        with pytest.raises(ValueError):
+            EntityType("   ")
+
+    def test_composed_tool_rejected(self):
+        with pytest.raises(ValueError):
+            EntityType("Bad", EntityKind.TOOL, composed=True)
+
+    def test_str_is_name(self):
+        assert str(EntityType("Layout")) == "Layout"
+
+    def test_frozen(self):
+        entity = EntityType("Netlist")
+        with pytest.raises(AttributeError):
+            entity.name = "Other"  # type: ignore[misc]
+
+
+class TestDependency:
+    def test_functional_shorthand(self):
+        dep = functional("Performance", "Simulator")
+        assert dep.kind is DepKind.FUNCTIONAL
+        assert dep.is_functional and not dep.is_data
+        assert dep.arc_label() == "f"
+
+    def test_data_shorthand(self):
+        dep = data_dep("Performance", "Stimuli")
+        assert dep.is_data
+        assert dep.arc_label() == "d"
+
+    def test_optional_label(self):
+        dep = data_dep("EditedNetlist", "Netlist", optional=True)
+        assert dep.arc_label() == "d?"
+
+    def test_role_defaults_to_target(self):
+        dep = data_dep("Performance", "Stimuli")
+        assert dep.role == "Stimuli"
+
+    def test_explicit_role(self):
+        dep = data_dep("Verification", "Netlist", role="reference")
+        assert dep.role == "reference"
+
+    def test_optional_functional_rejected(self):
+        with pytest.raises(ValueError):
+            Dependency("A", "B", DepKind.FUNCTIONAL, optional=True)
+
+    def test_empty_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            Dependency("", "B")
+        with pytest.raises(ValueError):
+            Dependency("A", "")
+
+    def test_str_rendering(self):
+        dep = data_dep("A", "B", optional=True)
+        assert str(dep) == "A --d?--> B"

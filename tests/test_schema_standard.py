@@ -1,0 +1,114 @@
+"""Tests for the reconstructed paper schemas (Figs. 1 and 2)."""
+
+import pytest
+
+from repro.schema import standard as S
+from repro.schema.serialize import dumps, loads
+from repro.schema.standard import fig1_schema, fig2_schema, odyssey_schema
+
+
+class TestFig1Schema:
+    def test_validates(self, schema_fig1):
+        schema_fig1.validate()
+
+    def test_netlist_subtypes(self, schema_fig1):
+        assert set(schema_fig1.subtypes_of(S.NETLIST)) == {
+            S.EXTRACTED_NETLIST, S.EDITED_NETLIST}
+
+    def test_netlist_is_abstract(self, schema_fig1):
+        assert schema_fig1.is_abstract(S.NETLIST)
+
+    def test_performance_functionally_depends_on_simulator(
+            self, schema_fig1):
+        dep = schema_fig1.functional_dependency(S.PERFORMANCE)
+        assert dep.target == S.SIMULATOR
+
+    def test_circuit_is_composed(self, schema_fig1):
+        entity = schema_fig1.entity(S.CIRCUIT)
+        assert entity.composed
+        method = schema_fig1.construction(S.CIRCUIT)
+        assert method.tool is None
+        assert {d.role for d in method.inputs} == {"models", "netlist"}
+
+    def test_edit_loop_is_optional(self, schema_fig1):
+        method = schema_fig1.construction(S.EDITED_NETLIST)
+        assert [d.role for d in method.optional_inputs] == ["previous"]
+
+    def test_extractor_has_two_outputs(self, schema_fig1):
+        assert set(schema_fig1.outputs_of_tool(S.EXTRACTOR)) == {
+            S.EXTRACTED_NETLIST, S.EXTRACTION_STATISTICS}
+
+    def test_verifier_roles(self, schema_fig1):
+        method = schema_fig1.construction(S.VERIFICATION)
+        assert {d.role for d in method.inputs} == {"reference",
+                                                   "candidate"}
+
+    def test_editing_entities_cover_editors(self, schema_fig1):
+        editing = set(schema_fig1.editing_entities())
+        assert {S.DEVICE_MODELS, S.EDITED_NETLIST,
+                S.EDITED_LAYOUT} <= editing
+
+    def test_stimuli_is_source(self, schema_fig1):
+        assert schema_fig1.is_source(S.STIMULI)
+
+    def test_sim_args_optional(self, schema_fig1):
+        method = schema_fig1.construction(S.PERFORMANCE)
+        optional_roles = {d.role for d in method.optional_inputs}
+        assert "args" in optional_roles
+
+
+class TestFig2Schema:
+    def test_compiled_simulator_is_simulator_subtype(self, schema_fig2):
+        assert schema_fig2.is_subtype(S.COMPILED_SIMULATOR, S.SIMULATOR)
+
+    def test_compiled_simulator_is_a_tool_created_during_design(
+            self, schema_fig2):
+        entity = schema_fig2.entity(S.COMPILED_SIMULATOR)
+        assert entity.is_tool
+        method = schema_fig2.construction(S.COMPILED_SIMULATOR)
+        assert method.tool == S.SIM_COMPILER
+        assert [d.target for d in method.inputs] == [S.NETLIST]
+
+    def test_plain_simulator_remains_installable(self, schema_fig2):
+        # Simulator itself has no construction: instances are installed
+        assert schema_fig2.construction(S.SIMULATOR) is None
+
+
+class TestOdysseySchema:
+    def test_superset_of_fig2(self):
+        fig2 = {e.name for e in fig2_schema().entities()}
+        odyssey = {e.name for e in odyssey_schema().entities()}
+        assert fig2 <= odyssey
+
+    def test_optimizers_share_supertype(self, schema):
+        for optimizer in (S.RANDOM_OPTIMIZER, S.COORDINATE_OPTIMIZER,
+                          S.ANNEALING_OPTIMIZER):
+            assert schema.is_subtype(optimizer, S.OPTIMIZER)
+
+    def test_optimizer_takes_simulator_as_data(self, schema):
+        method = schema.construction(S.OPTIMIZED_NETLIST)
+        targets = {d.role: d.target for d in method.inputs}
+        assert targets["simulator"] == S.SIMULATOR
+        assert schema.entity(S.SIMULATOR).is_tool
+
+    def test_three_layout_generators(self, schema):
+        assert schema.construction(S.STD_CELL_LAYOUT).tool == \
+            S.STD_CELL_GENERATOR
+        assert schema.construction(S.PLA_LAYOUT).tool == S.PLA_GENERATOR
+
+    def test_layout_family(self, schema):
+        for layout_type in (S.EDITED_LAYOUT, S.PLACED_LAYOUT,
+                            S.STD_CELL_LAYOUT, S.PLA_LAYOUT):
+            assert schema.is_subtype(layout_type, S.LAYOUT)
+
+    def test_serialization_roundtrip(self, schema):
+        restored = loads(dumps(schema))
+        assert {e.name for e in restored.entities()} == \
+            {e.name for e in schema.entities()}
+        assert set(restored.dependencies()) == set(schema.dependencies())
+        restored.validate()
+
+    @pytest.mark.parametrize("factory", [fig1_schema, fig2_schema,
+                                         odyssey_schema])
+    def test_all_schemas_validate(self, factory):
+        factory().validate()

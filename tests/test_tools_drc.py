@@ -1,0 +1,115 @@
+"""Tests for the design-rule checker."""
+
+import pytest
+
+from repro.schema import standard as S
+from repro.tools import (DrcReport, check_design_rules, standard_library,
+                         stdcell_layout)
+from repro.tools.layout import Layout
+from repro.tools.logic import LogicSpec
+
+
+@pytest.fixture
+def clean_layout(library) -> Layout:
+    layout = Layout("clean")
+    layout.place("u1", "inv", 2, 0)
+    layout.add_pin("a", 0, 1, "in")
+    layout.add_pin("y", 6, 1, "out")
+    layout.route("a", [(0, 1), (2, 1)])
+    layout.route("y", [(3, 1), (6, 1)])
+    return layout
+
+
+class TestRules:
+    def test_clean_layout(self, clean_layout, library):
+        report = check_design_rules(clean_layout, library)
+        assert report.clean
+        assert bool(report)
+        assert report.violations == ()
+        assert report.warnings == ()
+
+    def test_overlap_detected(self, library):
+        layout = Layout("bad")
+        layout.place("u1", "inv", 0, 0)
+        layout.place("u2", "inv", 1, 1)  # inv is 2x4: overlaps
+        report = check_design_rules(layout, library)
+        rules = {v.rule for v in report.violations}
+        assert "overlap" in rules
+        assert not report.clean
+
+    def test_touching_cells_not_overlap(self, library):
+        layout = Layout("ok")
+        layout.place("u1", "inv", 0, 0)
+        layout.place("u2", "inv", 2, 0)  # abutting, not overlapping
+        report = check_design_rules(layout, library)
+        assert "overlap" not in {v.rule for v in report.violations}
+
+    def test_short_detected(self, clean_layout, library):
+        clean_layout.route("other", [(2, 1), (9, 9)])  # hits port of a
+        report = check_design_rules(clean_layout, library)
+        shorts = [v for v in report.violations if v.rule == "short"]
+        assert shorts
+        assert shorts[0].at == (2, 1)
+
+    def test_pin_stack_detected(self, library):
+        layout = Layout("pins")
+        layout.add_pin("a", 0, 0, "in")
+        layout.add_pin("b", 0, 0, "in")
+        report = check_design_rules(layout, library)
+        assert "pin-stack" in {v.rule for v in report.violations}
+
+    def test_off_grid_detected(self, library):
+        layout = Layout("far")
+        layout.place("u1", "inv", -100, 0)
+        report = check_design_rules(layout, library)
+        assert "off-grid" in {v.rule for v in report.violations}
+
+    def test_dangling_port_is_warning_only(self, library):
+        layout = Layout("dangle")
+        layout.place("u1", "inv", 0, 0)
+        report = check_design_rules(layout, library)
+        assert report.clean  # warnings do not fail DRC
+        assert {w.rule for w in report.warnings} == {"dangling"}
+
+    def test_generated_layouts_are_clean(self, library):
+        spec = LogicSpec.from_equations("m", "y = (a & b) | ~c")
+        layout = stdcell_layout(spec, library)
+        report = check_design_rules(layout, library)
+        assert report.clean, report.render()
+
+    def test_report_roundtrip(self, clean_layout, library):
+        report = check_design_rules(clean_layout, library)
+        assert DrcReport.from_dict(report.to_dict()) == report
+
+    def test_render(self, library):
+        layout = Layout("bad")
+        layout.place("u1", "inv", 0, 0)
+        layout.place("u2", "inv", 0, 0)
+        text = check_design_rules(layout, library).render()
+        assert "VIOLATIONS" in text and "overlap" in text
+
+
+class TestDrcThroughFlows:
+    def test_drc_as_a_flow_task(self, stocked_env):
+        """The checker is just another tool behind the schema."""
+        env = stocked_env
+        from repro.tools import standard_library, stdcell_layout
+        from repro.tools.logic import LogicSpec
+
+        layout = env.install_data(
+            S.STD_CELL_LAYOUT,
+            stdcell_layout(LogicSpec.from_equations("f", "y = a & b"),
+                           standard_library()),
+            name="lay")
+        flow, goal = env.goal_flow(S.DRC_REPORT, "drc")
+        flow.expand(goal)
+        flow.bind(flow.sole_node_of_type(S.LAYOUT), layout.instance_id)
+        flow.bind(flow.sole_node_of_type(S.DRC_CHECKER),
+                  env.tools[S.DRC_CHECKER].instance_id)
+        env.run(flow)
+        report = env.db.data(goal.produced[0])
+        assert report.clean
+        # the DRC result has a derivation like everything else
+        instance = env.db.get(goal.produced[0])
+        assert instance.derivation.input_map()["layout"] == \
+            layout.instance_id

@@ -1,0 +1,131 @@
+"""Tests for electrical rule checking and VCD export."""
+
+import pytest
+
+from repro.schema import standard as S
+from repro.tools import (ErcReport, GROUND, NMOS, PMOS, POWER, Netlist,
+                         check_electrical_rules, compile_netlist,
+                         default_models, exhaustive, tech_map, to_vcd)
+from repro.tools.logic import LogicSpec
+
+
+def inverter() -> Netlist:
+    n = Netlist("inv", inputs=("a",), outputs=("y",))
+    n.add("mp", PMOS, gate="a", source=POWER, drain="y")
+    n.add("mn", NMOS, gate="a", source=GROUND, drain="y")
+    return n
+
+
+class TestErc:
+    def test_clean_inverter(self):
+        report = check_electrical_rules(inverter())
+        assert report.clean and bool(report)
+        assert report.warnings == ()
+
+    def test_clean_generated_design(self, library, mux_spec):
+        gates = tech_map(mux_spec)
+        report = check_electrical_rules(gates, library)
+        assert report.clean, report.render()
+
+    def test_floating_gate(self):
+        n = Netlist("fg", inputs=("a",), outputs=("y",))
+        n.add("mp", PMOS, gate="ghost", source=POWER, drain="y")
+        n.add("mn", NMOS, gate="a", source=GROUND, drain="y")
+        report = check_electrical_rules(n)
+        assert not report.clean
+        assert {v.rule for v in report.violations} == {"floating-gate"}
+
+    def test_undriven_output(self):
+        n = Netlist("uo", inputs=("a",), outputs=("y", "z"))
+        n.add("mn", NMOS, gate="a", source=GROUND, drain="y")
+        report = check_electrical_rules(n)
+        rules = {v.rule: v.net for v in report.violations}
+        assert rules.get("undriven-output") == "z"
+
+    def test_unused_input_is_warning(self):
+        n = Netlist("ui", inputs=("a", "spare"), outputs=("y",))
+        n.add("mp", PMOS, gate="a", source=POWER, drain="y")
+        n.add("mn", NMOS, gate="a", source=GROUND, drain="y")
+        report = check_electrical_rules(n)
+        assert report.clean
+        assert {w.rule for w in report.warnings} == {"unused-input"}
+
+    def test_supply_bridge(self):
+        n = Netlist("sb", inputs=("a",), outputs=("y",))
+        n.add("mp", PMOS, gate="a", source=POWER, drain="y")
+        n.add("mn", NMOS, gate="a", source=GROUND, drain="y")
+        n.add("oops", NMOS, gate=POWER, source=GROUND, drain=POWER)
+        report = check_electrical_rules(n)
+        assert "supply-bridge" in {v.rule for v in report.violations}
+
+    def test_gated_supply_crosser_is_fine(self):
+        """A transistor across the rails that is NOT always on is legal
+        (that is just a (terrible) gated path, not a static short)."""
+        n = Netlist("ok", inputs=("en",), outputs=("y",))
+        n.add("mp", PMOS, gate="en", source=POWER, drain="y")
+        n.add("mn", NMOS, gate="en", source=GROUND, drain="y")
+        n.add("crosser", NMOS, gate="en", source=GROUND, drain=POWER)
+        report = check_electrical_rules(n)
+        assert "supply-bridge" not in {v.rule for v in report.violations}
+
+    def test_isolated_net_warning(self):
+        n = Netlist("iso", inputs=("a",), outputs=("y",))
+        n.add("mp", PMOS, gate="a", source=POWER, drain="y")
+        n.add("mn", NMOS, gate="a", source=GROUND, drain="y")
+        n.add("dangler", NMOS, gate="a", source="nowhere", drain="y")
+        report = check_electrical_rules(n)
+        assert {w.rule for w in report.warnings} == {"isolated-net"}
+
+    def test_report_roundtrip(self):
+        report = check_electrical_rules(inverter())
+        assert ErcReport.from_dict(report.to_dict()) == report
+
+    def test_through_flow(self, stocked_env):
+        env = stocked_env
+        flow, goal = env.goal_flow(S.ERC_REPORT)
+        flow.expand(goal)
+        flow.bind(flow.sole_node_of_type(S.NETLIST),
+                  env.netlist.instance_id)
+        flow.bind(flow.sole_node_of_type(S.ERC_CHECKER),
+                  env.tools[S.ERC_CHECKER].instance_id)
+        env.run(flow)
+        assert env.db.data(goal.produced[0]).clean
+
+
+class TestVcd:
+    def report(self):
+        return compile_netlist(inverter()).simulate(
+            exhaustive(("a",)), default_models())
+
+    def test_structure(self):
+        vcd = to_vcd(self.report())
+        assert "$timescale 1ns $end" in vcd
+        assert "$var wire 1" in vcd
+        assert "$enddefinitions $end" in vcd
+        assert "#0" in vcd
+
+    def test_value_changes_only(self):
+        vcd = to_vcd(self.report())
+        # y goes 1 then 0: two change records for its code
+        changes = [line for line in vcd.splitlines()
+                   if line and line[0] in "01x" and len(line) == 2]
+        assert len(changes) == 2
+
+    def test_unknowns_map_to_x(self, library):
+        n = Netlist("t", inputs=("d", "en"), outputs=("q",))
+        n.add_instance("l", "dlatch", d="d", en="en", q="q")
+        from repro.tools.stimuli import from_table
+
+        stim = from_table(("d", "en"), [{"d": 1, "en": 0}])
+        report = compile_netlist(n, library).simulate(
+            stim, default_models())
+        vcd = to_vcd(report)
+        assert any(line.startswith("x") for line in vcd.splitlines())
+
+    def test_sanitizes_names(self):
+        report = self.report()
+        import dataclasses
+
+        renamed = dataclasses.replace(report, circuit="my circuit")
+        vcd = to_vcd(renamed)
+        assert "$scope module my_circuit $end" in vcd

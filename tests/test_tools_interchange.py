@@ -1,0 +1,134 @@
+"""Tests for SPICE interchange, layout rendering, history statistics."""
+
+import pytest
+
+from repro.errors import ToolError
+from repro.history import history_statistics, derivation_depth, trace_size
+from repro.schema import standard as S
+from repro.tools import (Netlist, from_spice, render_layout,
+                         standard_library, stdcell_layout, tech_map,
+                         to_spice, truth_table)
+from repro.tools.layout import Layout
+from repro.tools.logic import LogicSpec
+from tests.conftest import build_performance_flow
+
+
+class TestSpice:
+    def test_hierarchical_roundtrip(self, library, mux_spec):
+        gates = tech_map(mux_spec)
+        deck = to_spice(gates, library)
+        assert ".subckt" in deck and ".ends" in deck
+        restored = from_spice(deck, library)
+        assert restored == gates
+
+    def test_flat_roundtrip_preserves_widths_and_strength(self, library):
+        from repro.tools import GROUND, NMOS, PMOS, POWER, WEAK
+
+        n = Netlist("pn", inputs=("g",), outputs=("line",))
+        n.add("load", PMOS, gate=GROUND, source=POWER, drain="line",
+              width=1.5, length=2.0, strength=WEAK)
+        n.add("pd", NMOS, gate="g", source=GROUND, drain="line",
+              width=3.0)
+        restored = from_spice(to_spice(n, library), library)
+        assert restored == n
+        assert restored.transistor("load").strength == WEAK
+        assert restored.transistor("pd").width == 3.0
+
+    def test_roundtrip_preserves_function(self, library, mux_spec):
+        gates = tech_map(mux_spec).flatten(library)
+        restored = from_spice(to_spice(gates, library), library)
+        assert truth_table(restored) == truth_table(gates)
+
+    def test_directions_roundtrip(self, library):
+        n = Netlist("io", inputs=("a", "b"), outputs=("y", "z"))
+        n.add("m", "nmos", gate="a", source="GND", drain="y")
+        restored = from_spice(to_spice(n, library), library)
+        assert restored.inputs == ("a", "b")
+        assert restored.outputs == ("y", "z")
+
+    def test_plain_subckt_without_direction_comments(self, library):
+        deck = """
+        .subckt thing a b y
+        Mm1 y a GND GND nmos W=2 L=1
+        .ends
+        """
+        restored = from_spice(deck, library)
+        assert restored.inputs == ("a", "b", "y")  # all default to in
+        assert restored.transistor("m1").width == 2.0
+
+    @pytest.mark.parametrize("deck,message", [
+        ("Mbad y a GND nmos\n.ends", "before .subckt"),
+        (".subckt t a\nMbad y a\n.ends", "malformed transistor"),
+        (".subckt t a\nXu1 a ghostcell\n.ends", "unknown cell"),
+        (".subckt t a\nXu1 a inv\n.ends", "nets for"),
+        (".subckt t a\nR1 a GND 100\n.ends", "unsupported"),
+        ("* nothing here", "no .subckt"),
+    ])
+    def test_parse_errors(self, library, deck, message):
+        with pytest.raises(ToolError, match=message):
+            from_spice(deck, library)
+
+
+class TestLayoutRender:
+    def test_render_contains_cells_wires_pins(self, library):
+        layout = stdcell_layout(
+            LogicSpec.from_equations("f", "y = a & b"), library)
+        art = render_layout(layout, library)
+        assert "legend:" in art
+        assert "+" in art          # wires
+        assert "I" in art and "O" in art  # pins
+        assert "n=nand2" in art
+
+    def test_empty_layout(self, library):
+        art = render_layout(Layout("void"), library)
+        assert "(empty)" in art or "0 cells" in art
+
+    def test_clipping(self, library):
+        layout = Layout("wide")
+        layout.place("far", "inv", 500, 0)
+        layout.place("near", "inv", 0, 0)
+        art = render_layout(layout, library, max_width=40)
+        assert max(len(line) for line in art.splitlines()) <= 60
+
+    def test_deterministic(self, library):
+        layout = stdcell_layout(
+            LogicSpec.from_equations("f", "y = a | b"), library)
+        assert render_layout(layout, library) == \
+            render_layout(layout, library)
+
+
+class TestHistoryStatistics:
+    def test_counts_and_depths(self, stocked_env):
+        env = stocked_env
+        flow, goal = build_performance_flow(
+            env,
+            netlist_id=env.netlist.instance_id,
+            models_id=env.models.instance_id,
+            stimuli_id=env.stimuli.instance_id,
+            simulator_id=env.tools[S.SIMULATOR].instance_id)
+        env.run(flow)
+        stats = history_statistics(env.db)
+        assert stats.instances == len(env.db)
+        assert stats.derived == 2      # circuit + performance
+        assert stats.installed == stats.instances - 2
+        assert stats.instances_by_user["tester"] == stats.instances
+        assert stats.tool_runs == {"cosmos": 1}
+        assert stats.max_depth == 2   # performance <- circuit <- sources
+        perf_id = goal.produced[0]
+        assert derivation_depth(env.db, perf_id) == 2
+        assert derivation_depth(
+            env.db, env.netlist.instance_id) == 0
+        assert trace_size(env.db, perf_id) == 6
+
+    def test_dedup_counted(self, stocked_env):
+        env = stocked_env
+        env.install_data(S.STIMULI, [[9]], name="dup-a")
+        env.install_data(S.STIMULI, [[9]], name="dup-b")
+        stats = history_statistics(env.db)
+        assert stats.shared_blob_instances >= 2
+        assert stats.dedup_ratio > 1.0
+
+    def test_render(self, stocked_env):
+        text = history_statistics(stocked_env.db).render()
+        assert "history statistics:" in text
+        assert "by user:" in text

@@ -1,0 +1,296 @@
+"""Tests for logic specs, editors, device models, plotter, optimizer."""
+
+import pytest
+
+from repro.errors import ToolError
+from repro.tools import (DeviceModels, Netlist, default_models,
+                         edit_device_models, edit_layout, edit_logic,
+                         edit_netlist, optimize, plot, simulate, tech_map,
+                         truth_table)
+from repro.tools.logic import LogicSpec, evaluate, parse_expr, variables
+from repro.tools.plotter import PerformancePlot, waveform_line
+from repro.tools.simulator import compile_netlist
+from repro.tools.stimuli import exhaustive
+
+
+class TestLogicExpressions:
+    @pytest.mark.parametrize("text,assignment,value", [
+        ("a & b", {"a": 1, "b": 1}, 1),
+        ("a & b", {"a": 1, "b": 0}, 0),
+        ("a | b", {"a": 0, "b": 1}, 1),
+        ("~a", {"a": 1}, 0),
+        ("~(a & b) | c", {"a": 1, "b": 1, "c": 1}, 1),
+        ("a & b & c", {"a": 1, "b": 1, "c": 1}, 1),
+        ("1", {}, 1),
+        ("0 | a", {"a": 0}, 0),
+    ])
+    def test_parse_and_evaluate(self, text, assignment, value):
+        assert evaluate(parse_expr(text), assignment) == value
+
+    def test_precedence_and_over_or(self):
+        expr = parse_expr("a | b & c")
+        assert evaluate(expr, {"a": 0, "b": 1, "c": 0}) == 0
+        assert evaluate(expr, {"a": 1, "b": 0, "c": 0}) == 1
+
+    def test_variables(self):
+        assert variables(parse_expr("a & (b | ~c)")) == {"a", "b", "c"}
+
+    def test_parse_errors(self):
+        for bad in ("a &", "(a", "a b", "a + b"):
+            with pytest.raises(ToolError):
+                parse_expr(bad)
+
+    def test_unbound_variable(self):
+        with pytest.raises(ToolError):
+            evaluate(parse_expr("a"), {})
+
+
+class TestLogicSpec:
+    def test_from_equations_infers_inputs(self):
+        spec = LogicSpec.from_equations("f", "y = a & b", "z = ~c")
+        assert spec.inputs == ("a", "b", "c")
+        assert spec.outputs == ("y", "z")
+
+    def test_duplicate_output_rejected(self):
+        with pytest.raises(ToolError):
+            LogicSpec.from_equations("f", "y = a", "y = ~a")
+
+    def test_undeclared_input_rejected(self):
+        with pytest.raises(ToolError):
+            LogicSpec("f", ("a",), (("y", parse_expr("a & b")),))
+
+    def test_truth_table_and_minterms(self):
+        spec = LogicSpec.from_equations("f", "y = a & b")
+        assert spec.minterms("y") == ((1, 1),)
+        assert len(spec.truth_table()) == 4
+
+    def test_dict_roundtrip(self):
+        spec = LogicSpec.from_equations("f", "y = ~(a | b)")
+        restored = LogicSpec.from_dict(spec.to_dict())
+        assert restored.truth_table() == spec.truth_table()
+
+    def test_equation_missing_equals(self):
+        with pytest.raises(ToolError):
+            LogicSpec.from_equations("f", "y ~a")
+
+
+class TestEditors:
+    def test_layout_editor_from_scratch(self):
+        layout = edit_layout([
+            {"op": "rename", "name": "mine"},
+            {"op": "place", "name": "u1", "cell": "inv", "x": 0, "y": 0},
+            {"op": "route", "net": "a", "points": [[0, 1], [4, 1]]},
+            {"op": "pin", "net": "a", "x": 0, "y": 1},
+        ])
+        assert layout.name == "mine"
+        assert layout.cell_count == 1
+
+    def test_layout_editor_edits_previous(self):
+        first = edit_layout([
+            {"op": "place", "name": "u1", "cell": "inv", "x": 0, "y": 0}])
+        second = edit_layout([{"op": "move", "name": "u1", "x": 5,
+                               "y": 5}], first)
+        assert first.placement("u1").origin() == (0, 0)
+        assert second.placement("u1").origin() == (5, 5)
+
+    def test_layout_editor_unknown_op(self):
+        with pytest.raises(ToolError):
+            edit_layout([{"op": "teleport"}])
+
+    def test_netlist_editor_new(self):
+        netlist = edit_netlist([
+            {"op": "new", "name": "n", "inputs": ["a"], "outputs": ["y"]},
+            {"op": "add_transistor", "name": "m1", "kind": "nmos",
+             "gate": "a", "source": "GND", "drain": "y"},
+        ])
+        assert netlist.device_count == 1
+
+    def test_netlist_editor_requires_new_or_previous(self):
+        with pytest.raises(ToolError):
+            edit_netlist([{"op": "set_width", "name": "m", "width": 2}])
+
+    def test_netlist_editor_edits(self):
+        base = edit_netlist([
+            {"op": "new", "name": "n", "inputs": ["a"], "outputs": ["y"]},
+            {"op": "add_transistor", "name": "m1", "kind": "nmos",
+             "gate": "a", "source": "GND", "drain": "y", "width": 1.0},
+        ])
+        edited = edit_netlist([
+            {"op": "set_width", "name": "m1", "width": 4.0},
+            {"op": "rename", "name": "n2"},
+        ], base)
+        assert edited.transistor("m1").width == 4.0
+        assert base.transistor("m1").width == 1.0
+        assert edited.name == "n2"
+
+    def test_logic_editor(self):
+        spec = edit_logic([
+            {"op": "new", "name": "f"},
+            {"op": "set", "equation": "y = a & b"},
+        ])
+        assert spec.outputs == ("y",)
+        changed = edit_logic([{"op": "set", "equation": "y = a | b"}],
+                             spec)
+        assert changed.evaluate({"a": 0, "b": 1})["y"] == 1
+        dropped = edit_logic([{"op": "drop", "output": "y"}], changed)
+        assert dropped.outputs == ()
+
+    def test_device_model_editor(self):
+        models = edit_device_models([
+            {"op": "set", "field": "stage_delay_ns", "value": 2.0},
+            {"op": "rename", "name": "slow"},
+        ])
+        assert models.stage_delay_ns == 2.0
+        assert models.name == "slow"
+        with pytest.raises(ToolError):
+            edit_device_models([{"op": "set", "field": "ghost",
+                                 "value": 1}])
+
+
+class TestDeviceModels:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceModels(vdd=-1)
+        with pytest.raises(ValueError):
+            DeviceModels(vth=9.0)
+        with pytest.raises(ValueError):
+            DeviceModels(weak_ratio=2.0)
+
+    def test_scaled_corner(self):
+        fast = default_models().scaled(speed=2.0)
+        assert fast.stage_delay_ns == default_models().stage_delay_ns / 2
+
+    def test_models_change_delay_metric(self, nand_spec, library):
+        gates = tech_map(nand_spec)
+        slow = default_models()
+        fast = slow.scaled(speed=3.0)
+        slow_report = simulate(gates, exhaustive(("a", "b")), slow,
+                               library=library)
+        fast_report = simulate(gates, exhaustive(("a", "b")), fast,
+                               library=library)
+        assert fast_report.worst_delay_ns < slow_report.worst_delay_ns
+
+    def test_dict_roundtrip(self):
+        models = default_models()
+        assert DeviceModels.from_dict(models.to_dict()) == models
+
+
+class TestPlotter:
+    def test_plot_contains_waveforms_and_metrics(self, nand_spec,
+                                                 library):
+        gates = tech_map(nand_spec)
+        report = simulate(gates, exhaustive(("a", "b")),
+                          default_models(), library=library)
+        rendered = plot(report)
+        assert "worst delay" in rendered.text
+        assert "y" in rendered.text
+        assert rendered.circuit == report.circuit
+
+    def test_waveform_line_glyphs(self):
+        assert waveform_line(("0", "1", "X"), width=1) == "_#?"
+
+    def test_plot_roundtrip(self):
+        p = PerformancePlot("c", "s", "text")
+        assert PerformancePlot.from_dict(p.to_dict()) == p
+
+
+class TestOptimizer:
+    def run(self, strategy, spec_overrides=None):
+        spec = LogicSpec.from_equations("f", "y = ~(a & b)")
+        gates = tech_map(spec)
+        from repro.tools import standard_library
+
+        library = standard_library()
+        flat = gates.flatten(library)
+        options = {"iterations": 12, "seed": 3}
+        options.update(spec_overrides or {})
+        return flat, *optimize(
+            flat, default_models(),
+            lambda n, s, m: simulate(n, s, m), options,
+            strategy=strategy)
+
+    @pytest.mark.parametrize("strategy", ["random", "coordinate",
+                                          "annealing"])
+    def test_strategies_preserve_function(self, strategy):
+        original, tuned, cost, evaluations = self.run(strategy)
+        assert truth_table(tuned) == truth_table(original)
+        assert evaluations >= 1
+        assert cost < 1e6  # no functional-failure penalty
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ToolError):
+            self.run("gradient-descent")
+
+    def test_width_bounds_respected(self):
+        _, tuned, _, _ = self.run("random",
+                                  {"width_bounds": [0.5, 2.0],
+                                   "iterations": 10})
+        for t in tuned.transistors():
+            assert 0.5 <= t.width <= 2.0
+
+    def test_optimizer_improves_or_equals_initial_cost(self):
+        from repro.tools.optimizer import objective
+
+        original, tuned, best_cost, _ = self.run("coordinate")
+        base_spec = {"delay_weight": 1.0, "area_weight": 0.15,
+                     "drive_coeff": 3.0}
+        initial = objective(
+            simulate(original, exhaustive(original.inputs),
+                     default_models()),
+            original, base_spec)
+        assert best_cost <= initial + 1e-9
+
+    def test_empty_netlist_rejected(self):
+        empty = Netlist("empty", inputs=("a",), outputs=())
+        with pytest.raises(ToolError):
+            optimize(empty, default_models(),
+                     lambda n, s, m: None, {})
+
+
+class TestSimplify:
+    from repro.tools.logic import parse_expr as _parse
+
+    @pytest.mark.parametrize("text,expected", [
+        ("~~a", ["var", "a"]),
+        ("~~~a", ["not", ["var", "a"]]),
+        ("a & 1", ["var", "a"]),
+        ("a & 0", ["const", 0]),
+        ("a | 0", ["var", "a"]),
+        ("a | 1", ["const", 1]),
+        ("a & a", ["var", "a"]),
+        ("a | ~a", ["const", 1]),
+        ("a & ~a", ["const", 0]),
+        ("~1", ["const", 0]),
+    ])
+    def test_rules(self, text, expected):
+        from repro.tools.logic import parse_expr, simplify
+
+        assert simplify(parse_expr(text)) == expected
+
+    def test_flattening(self):
+        from repro.tools.logic import parse_expr, simplify
+
+        expr = simplify(parse_expr("a & (b & (c & d))"))
+        assert expr[0] == "and" and len(expr) == 5
+
+    def test_never_more_operators(self):
+        from repro.tools.logic import (operator_count, parse_expr,
+                                       simplify)
+
+        for text in ("a & b | c", "~(a | ~b) & (a | ~b)",
+                     "(a & 1) | (b & 0) | ~~c"):
+            expr = parse_expr(text)
+            assert operator_count(simplify(expr)) <= operator_count(expr)
+
+    def test_tech_map_benefits(self, library):
+        """Redundant logic maps to fewer gates after simplification."""
+        from repro.tools import tech_map
+        from repro.tools.logic import LogicSpec
+
+        redundant = LogicSpec.from_equations(
+            "r", "y = (a & b) | (a & b) | (~~a & b & 1)")
+        minimal = LogicSpec.from_equations("m", "y = a & b")
+        assert tech_map(redundant).instance_count == \
+            tech_map(minimal).instance_count
+        assert truth_table(tech_map(redundant), library) == \
+            truth_table(tech_map(minimal), library)

@@ -1,0 +1,162 @@
+"""Tests for the netlist model and cell library."""
+
+import pytest
+
+from repro.errors import ToolError
+from repro.tools import (GROUND, NMOS, PMOS, POWER, WEAK, CellLibrary,
+                         Netlist, Transistor, standard_library)
+
+
+class TestTransistor:
+    def test_valid(self):
+        t = Transistor("m1", NMOS, "g", "s", "d", width=2.0)
+        assert t.terminals == ("g", "s", "d")
+
+    def test_bad_kind(self):
+        with pytest.raises(ToolError):
+            Transistor("m1", "bjt", "g", "s", "d")
+
+    def test_bad_strength(self):
+        with pytest.raises(ToolError):
+            Transistor("m1", NMOS, "g", "s", "d", strength="mega")
+
+    def test_bad_geometry(self):
+        with pytest.raises(ToolError):
+            Transistor("m1", NMOS, "g", "s", "d", width=0)
+
+    def test_dict_roundtrip(self):
+        t = Transistor("m1", PMOS, "g", POWER, "d", width=2.5,
+                       strength=WEAK)
+        assert Transistor.from_dict(t.to_dict()) == t
+
+
+class TestNetlist:
+    def make(self) -> Netlist:
+        n = Netlist("test", inputs=("a",), outputs=("y",))
+        n.add("mp", PMOS, gate="a", source=POWER, drain="y")
+        n.add("mn", NMOS, gate="a", source=GROUND, drain="y")
+        return n
+
+    def test_io_overlap_rejected(self):
+        with pytest.raises(ToolError):
+            Netlist("bad", inputs=("x",), outputs=("x",))
+
+    def test_duplicate_device_rejected(self):
+        n = self.make()
+        with pytest.raises(ToolError):
+            n.add("mp", NMOS, gate="a", source=GROUND, drain="y")
+
+    def test_nets_include_supplies(self):
+        n = self.make()
+        assert set(n.nets()) == {POWER, GROUND, "a", "y"}
+        assert n.internal_nets() == ()
+
+    def test_counts_and_width(self):
+        n = self.make()
+        assert n.device_count == 2
+        assert n.total_width() == 2.0
+        assert n.is_flat
+
+    def test_with_device_width_is_a_copy(self):
+        n = self.make()
+        wider = n.with_device_width("mn", 4.0)
+        assert n.transistor("mn").width == 1.0
+        assert wider.transistor("mn").width == 4.0
+
+    def test_without_device(self):
+        n = self.make()
+        smaller = n.without_device("mp")
+        assert smaller.device_count == 1
+        assert n.device_count == 2
+
+    def test_unknown_device_lookup(self):
+        with pytest.raises(ToolError):
+            self.make().transistor("ghost")
+
+    def test_dict_roundtrip(self):
+        n = self.make()
+        n.add_instance("u1", "inv", a="a", y="w")
+        restored = Netlist.from_dict(n.to_dict())
+        assert restored == n
+        assert restored.instance_count == 1
+
+    def test_equality_is_structural(self):
+        assert self.make() == self.make()
+        other = self.make().with_device_width("mn", 2.0)
+        assert other != self.make()
+
+
+class TestFlatten:
+    def test_flatten_inverter(self, library):
+        n = Netlist("top", inputs=("a",), outputs=("y",))
+        n.add_instance("u1", "inv", a="a", y="y")
+        flat = n.flatten(library)
+        assert flat.is_flat
+        assert flat.device_count == 2
+        names = {t.name for t in flat.transistors()}
+        assert names == {"u1.mp", "u1.mn"}
+
+    def test_internal_nets_prefixed(self, library):
+        n = Netlist("top", inputs=("a", "b"), outputs=("y",))
+        n.add_instance("u1", "nand2", a="a", b="b", y="y")
+        flat = n.flatten(library)
+        assert "u1.mid" in flat.nets()
+
+    def test_supplies_stay_global(self, library):
+        n = Netlist("top", inputs=("a",), outputs=("y",))
+        n.add_instance("u1", "inv", a="a", y="y")
+        flat = n.flatten(library)
+        assert POWER in flat.nets() and GROUND in flat.nets()
+        assert "u1.VDD" not in flat.nets()
+
+    def test_unconnected_port_rejected(self, library):
+        n = Netlist("top", inputs=("a",), outputs=("y",))
+        n.add_instance("u1", "nand2", a="a", y="y")  # b missing
+        with pytest.raises(ToolError, match="unconnected"):
+            n.flatten(library)
+
+    def test_mixed_flat_and_hierarchical(self, library):
+        n = Netlist("top", inputs=("a",), outputs=("y",))
+        n.add("extra", NMOS, gate="a", source=GROUND, drain="y")
+        n.add_instance("u1", "inv", a="a", y="y")
+        flat = n.flatten(library)
+        assert flat.device_count == 3
+
+
+class TestCellLibrary:
+    def test_standard_cells_present(self, library):
+        for cell in ("inv", "buf", "nand2", "nor2", "pla_nmos",
+                     "pla_load"):
+            assert cell in library
+
+    def test_unknown_cell_rejected(self, library):
+        with pytest.raises(ToolError):
+            library.cell("flipflop9000")
+
+    def test_port_offsets_inside_footprint(self, library):
+        for name in library.names():
+            cell = library.cell(name)
+            for port in cell.ports:
+                dx, dy = cell.port_offset(port)
+                assert 0 <= dx < max(cell.width, 1)
+                assert 0 <= dy < max(cell.height, 1) + 1
+
+    def test_templates_use_port_names(self, library):
+        for name in library.names():
+            cell = library.cell(name)
+            fragment = cell.netlist_fragment()
+            nets = set(fragment.nets())
+            for port in cell.ports:
+                assert port in nets
+
+    def test_duplicate_cell_rejected(self, library):
+        with pytest.raises(ToolError):
+            library.add(library.cell("inv"))
+
+    def test_pla_load_is_weak(self, library):
+        fragment = library.cell("pla_load").netlist_fragment()
+        assert fragment.transistors()[0].strength == WEAK
+
+    def test_library_roundtrip(self, library):
+        restored = CellLibrary.from_dict(library.to_dict())
+        assert set(restored.names()) == set(library.names())

@@ -1,0 +1,252 @@
+"""Tests for layout, extraction, verification, placement, generation."""
+
+import pytest
+
+from repro.errors import ToolError
+from repro.tools import (Layout, Netlist, extract, pla_layout,
+                         pla_statistics, place, placement_quality,
+                         stdcell_layout, tech_map, truth_table, verify)
+from repro.tools.logic import LogicSpec
+from repro.tools.placer import DEFAULT_SPEC
+
+
+class TestLayoutModel:
+    def test_place_move_remove(self):
+        layout = Layout("l")
+        layout.place("u1", "inv", 0, 0)
+        layout.move("u1", 4, 2)
+        assert layout.placement("u1").origin() == (4, 2)
+        layout.remove("u1")
+        assert layout.cell_count == 0
+
+    def test_duplicate_placement_rejected(self):
+        layout = Layout("l")
+        layout.place("u1", "inv", 0, 0)
+        with pytest.raises(ToolError):
+            layout.place("u1", "inv", 2, 0)
+
+    def test_route_and_unroute(self):
+        layout = Layout("l")
+        layout.route("n1", [(0, 0), (3, 0), (3, 2)])
+        assert layout.wirelength() == 5
+        assert layout.unroute("n1") == 1
+        assert layout.wires() == ()
+
+    def test_pins_and_directions(self):
+        layout = Layout("l")
+        layout.add_pin("a", 0, 0, "in")
+        with pytest.raises(ToolError):
+            layout.add_pin("a", 1, 1)
+        with pytest.raises(ToolError):
+            layout.add_pin("b", 0, 0, "sideways")
+
+    def test_bounding_box_and_area(self, library):
+        layout = Layout("l")
+        layout.place("u1", "inv", 0, 0)
+        layout.place("u2", "inv", 6, 0)
+        box = layout.bounding_box(library)
+        assert box == (0, 0, 8, 4)
+        assert layout.area(library) == 32
+
+    def test_dict_roundtrip(self):
+        layout = Layout("l")
+        layout.place("u1", "inv", 0, 0)
+        layout.route("n1", [(0, 1), (5, 1)])
+        layout.add_pin("a", 0, 1, "in")
+        assert Layout.from_dict(layout.to_dict()) == layout
+
+    def test_copy_independent(self):
+        layout = Layout("l")
+        layout.place("u1", "inv", 0, 0)
+        clone = layout.copy()
+        clone.remove("u1")
+        assert layout.cell_count == 1
+
+
+class TestExtraction:
+    def hand_layout(self, library) -> Layout:
+        """An inverter wired to explicit pins."""
+        layout = Layout("hand-inv")
+        layout.place("u1", "inv", 2, 0)
+        layout.add_pin("a", 0, 1, "in")
+        layout.add_pin("y", 6, 1, "out")
+        layout.route("a", [(0, 1), (2, 1)])      # pin -> port a
+        layout.route("y", [(3, 1), (6, 1)])      # port y -> pin
+        return layout
+
+    def test_extract_recovers_inverter(self, library):
+        netlist, stats = extract(self.hand_layout(library), library)
+        assert netlist.device_count == 2
+        assert netlist.inputs == ("a",)
+        assert netlist.outputs == ("y",)
+        assert truth_table(netlist) == {(0,): ("1",), (1,): ("0",)}
+
+    def test_statistics(self, library):
+        _, stats = extract(self.hand_layout(library), library)
+        assert stats.cell_count == 1
+        assert stats.transistor_count == 2
+        assert stats.wire_count == 2
+        assert stats.cells_by_type_map() == {"inv": 1}
+        assert stats.wirelength == 5
+
+    def test_short_detected(self, library):
+        layout = self.hand_layout(library)
+        # wire the output pin position into the input net: a short
+        layout.route("a", [(0, 1), (6, 1)])
+        with pytest.raises(ToolError, match="short"):
+            extract(layout, library)
+
+    def test_unconnected_ports_become_floating_nets(self, library):
+        layout = Layout("floating")
+        layout.place("u1", "inv", 0, 0)
+        netlist, stats = extract(layout, library)
+        assert netlist.device_count == 2
+        assert stats.net_count >= 2
+
+    def test_statistics_roundtrip(self, library):
+        from repro.tools import ExtractionStatistics
+
+        _, stats = extract(self.hand_layout(library), library)
+        assert ExtractionStatistics.from_dict(stats.to_dict()) == stats
+
+
+class TestVerifier:
+    def test_identical_netlists_match(self, nand_spec, library):
+        gates = tech_map(nand_spec)
+        result = verify(gates, gates.copy("other-name"), library=library)
+        assert result.matched
+        assert bool(result)
+
+    def test_net_renaming_tolerated(self, library):
+        def build(mid_name):
+            n = Netlist("chain", inputs=("a",), outputs=("y",))
+            n.add_instance("u1", "inv", a="a", y=mid_name)
+            n.add_instance("u2", "inv", a=mid_name, y="y")
+            return n.flatten(library)
+
+        assert verify(build("w"), build("zz")).matched
+
+    def test_device_count_mismatch(self, library):
+        a = Netlist("a", inputs=("x",), outputs=("y",))
+        a.add_instance("u1", "inv", a="x", y="y")
+        b = Netlist("b", inputs=("x",), outputs=("y",))
+        b.add_instance("u1", "buf", a="x", y="y")
+        result = verify(a, b, library=library)
+        assert not result.matched
+        assert any("device counts" in r for r in result.reasons)
+
+    def test_port_mismatch(self, library):
+        a = Netlist("a", inputs=("x",), outputs=("y",))
+        a.add_instance("u1", "inv", a="x", y="y")
+        b = Netlist("b", inputs=("w",), outputs=("y",))
+        b.add_instance("u1", "inv", a="w", y="y")
+        result = verify(a, b, library=library)
+        assert not result.matched
+        assert any("input ports" in r for r in result.reasons)
+
+    def test_topology_mismatch_same_counts(self, library):
+        """Same devices, different wiring: refinement must catch it."""
+        a = Netlist("a", inputs=("p", "q"), outputs=("y",))
+        a.add_instance("u1", "nand2", a="p", b="q", y="y")
+        b = Netlist("b", inputs=("p", "q"), outputs=("y",))
+        b.add_instance("u1", "nand2", a="p", b="p", y="y")  # q unused
+        result = verify(a, b, library=library)
+        assert not result.matched
+
+    def test_hierarchical_needs_library(self, nand_spec):
+        gates = tech_map(nand_spec)
+        with pytest.raises(ValueError):
+            verify(gates, gates)
+
+    def test_verification_roundtrip(self, nand_spec, library):
+        from repro.tools import Verification
+
+        result = verify(tech_map(nand_spec), tech_map(nand_spec),
+                        library=library)
+        assert Verification.from_dict(result.to_dict()) == result
+
+
+class TestPlacer:
+    def test_requires_cell_instances(self, library):
+        flat = Netlist("flat", inputs=("a",), outputs=("y",))
+        flat.add("m", "nmos", gate="a", source="GND", drain="y")
+        with pytest.raises(ToolError):
+            place(flat, DEFAULT_SPEC, library)
+
+    def test_placement_is_extractable_and_equivalent(self, mux_spec,
+                                                     library):
+        gates = tech_map(mux_spec)
+        layout = place(gates, DEFAULT_SPEC, library)
+        netlist, _ = extract(layout, library)
+        assert verify(gates, netlist, library=library).matched
+
+    def test_seeded_determinism(self, mux_spec, library):
+        gates = tech_map(mux_spec)
+        a = place(gates, {"seed": 42}, library)
+        b = place(gates, {"seed": 42}, library)
+        assert a.to_dict() == b.to_dict()
+
+    def test_annealing_not_worse_than_initial(self, mux_spec, library):
+        gates = tech_map(mux_spec)
+        unoptimized = place(gates, {"moves": 0}, library)
+        optimized = place(gates, {"moves": 600, "seed": 5}, library)
+        assert optimized.wirelength() <= unoptimized.wirelength()
+
+    def test_quality_metrics(self, mux_spec, library):
+        layout = place(tech_map(mux_spec), DEFAULT_SPEC, library)
+        quality = placement_quality(layout)
+        assert quality["cells"] == layout.cell_count
+        assert quality["wirelength"] > 0
+
+
+class TestGenerators:
+    def expected(self, spec):
+        return {bits: tuple(str(v) for v in values)
+                for bits, values in spec.truth_table()}
+
+    def test_stdcell_implements_logic(self, mux_spec, library):
+        layout = stdcell_layout(mux_spec, library)
+        netlist, _ = extract(layout, library)
+        assert truth_table(netlist) == self.expected(mux_spec)
+
+    def test_pla_implements_logic(self, mux_spec, library):
+        layout = pla_layout(mux_spec, library)
+        netlist, _ = extract(layout, library)
+        assert truth_table(netlist) == self.expected(mux_spec)
+
+    def test_pla_and_stdcell_functionally_equivalent(self, library):
+        spec = LogicSpec.from_equations(
+            "f", "y0 = (a & b) | ~c", "y1 = a | (b & c)")
+        std_net, _ = extract(stdcell_layout(spec, library), library)
+        pla_net, _ = extract(pla_layout(spec, library), library)
+        assert truth_table(std_net) == truth_table(pla_net)
+
+    def test_multi_output_pla_shares_terms(self, library):
+        spec = LogicSpec.from_equations("f", "y0 = a & b", "y1 = a & b")
+        stats = pla_statistics(spec)
+        assert stats["terms"] == 1  # shared minterm
+
+    def test_constant_zero_output(self, library):
+        spec = LogicSpec("const0", ("a",), (("y", ["const", 0]),))
+        layout = pla_layout(spec, library)
+        netlist, _ = extract(layout, library)
+        table = truth_table(netlist)
+        assert table[(0,)] == ("0",) and table[(1,)] == ("0",)
+
+    def test_stdcell_constants_use_tie_cells(self, library):
+        spec = LogicSpec("const1", ("a",), (("y", ["const", 1]),))
+        layout = stdcell_layout(spec, library)
+        cells = {p.cell for p in layout.placements()}
+        assert "tiehi" in cells
+        netlist, _ = extract(layout, library)
+        table = truth_table(netlist)
+        assert table[(0,)] == ("1",) and table[(1,)] == ("1",)
+
+    def test_pla_bigger_for_dense_function(self, library):
+        """XOR-heavy logic needs many minterms: PLA grows, stdcell wins."""
+        parity = LogicSpec.from_equations(
+            "parity", "y = (a & ~b & ~c) | (~a & b & ~c) | "
+                      "(~a & ~b & c) | (a & b & c)")
+        simple = LogicSpec.from_equations("simple", "y = a & b & c")
+        assert pla_statistics(parity)["terms"] > \
+            pla_statistics(simple)["terms"]

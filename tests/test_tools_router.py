@@ -1,0 +1,92 @@
+"""Tests for the track router."""
+
+import pytest
+
+from repro.errors import ToolError
+from repro.schema import standard as S
+from repro.tools import (check_design_rules, extract, route_layout,
+                         standard_library, stdcell_layout, truth_table,
+                         verify)
+from repro.tools.layout import Layout
+from repro.tools.logic import LogicSpec
+
+
+@pytest.fixture
+def placed(library):
+    spec = LogicSpec.from_equations("mux", "y = (a & ~s) | (b & s)")
+    return stdcell_layout(spec, library)
+
+
+class TestRouteLayout:
+    def test_preserves_connectivity(self, placed, library):
+        routed, summary = route_layout(placed, library)
+        ideal_netlist, _ = extract(placed, library)
+        routed_netlist, _ = extract(routed, library)
+        assert verify(ideal_netlist, routed_netlist,
+                      library=library).matched
+        assert truth_table(routed_netlist) == \
+            truth_table(ideal_netlist)
+
+    def test_routed_layout_is_drc_clean(self, placed, library):
+        routed, _ = route_layout(placed, library)
+        report = check_design_rules(routed, library)
+        assert report.clean, report.render()
+
+    def test_wirelength_is_geometric(self, placed, library):
+        routed, summary = route_layout(placed, library)
+        # tracks + stubs are strictly longer than HPWL point sets
+        assert summary.wirelength > placed.wirelength()
+        assert summary.wirelength == routed.wirelength()
+        assert summary.tracks <= summary.nets
+
+    def test_channel_above_cells(self, placed, library):
+        _, _, _, cells_top = placed.bounding_box(library)
+        routed, _ = route_layout(placed, library)
+        track_ys = [p[1] for wire in routed.wires()
+                    for p in wire.points if p[1] > cells_top]
+        assert track_ys  # tracks exist and sit above the cell area
+
+    def test_single_terminal_nets_kept(self, library):
+        layout = Layout("single")
+        layout.place("u1", "inv", 0, 0)
+        layout.route("lonely", [(0, 1)])
+        routed, summary = route_layout(layout, library)
+        assert any(w.net == "lonely" for w in routed.wires())
+        assert summary.tracks == 0
+
+    def test_input_short_rejected(self, library):
+        layout = Layout("short")
+        layout.route("a", [(0, 0), (1, 0)])
+        layout.route("b", [(1, 0), (2, 0)])  # shares (1,0) with a
+        with pytest.raises(ToolError, match="share terminal"):
+            route_layout(layout, library)
+
+    def test_track_pitch_spacing(self, placed, library):
+        tight, _ = route_layout(placed, library, track_pitch=1)
+        loose, _ = route_layout(placed, library, track_pitch=4)
+        assert loose.wirelength() > tight.wirelength()
+
+
+class TestRouterThroughFlows:
+    def test_router_as_schema_tool(self, stocked_env):
+        """RoutedLayout = Router(layout) through the framework."""
+        env = stocked_env
+        layout = env.install_data(
+            S.STD_CELL_LAYOUT,
+            stdcell_layout(LogicSpec.from_equations("f", "y = a | b"),
+                           standard_library()),
+            name="to-route")
+        flow, goal = env.goal_flow(S.ROUTED_LAYOUT, "route")
+        flow.expand(goal)
+        input_layout = next(n for n in flow.nodes_of_type(S.LAYOUT)
+                            if n.node_id != goal.node_id)
+        flow.bind(input_layout, layout.instance_id)
+        flow.bind(flow.sole_node_of_type(S.ROUTER),
+                  env.tools[S.ROUTER].instance_id)
+        env.run(flow)
+        routed = env.db.data(goal.produced[0])
+        report = check_design_rules(routed, standard_library())
+        assert report.clean
+        # routed layout is a Layout subtype: extractable downstream
+        netlist, _ = extract(routed, standard_library())
+        assert netlist.device_count > 0

@@ -1,0 +1,308 @@
+"""Tests for the switch-level simulator (the COSMOS substrate)."""
+
+import pytest
+
+from repro.errors import ToolError
+from repro.tools import (GROUND, NMOS, PMOS, POWER, WEAK, CompiledNetwork,
+                         Netlist, compile_netlist, default_models,
+                         exhaustive, simulate, truth_table, walking_ones)
+from repro.tools.stimuli import Stimuli, from_table, random_vectors
+
+
+def inverter() -> Netlist:
+    n = Netlist("inv", inputs=("a",), outputs=("y",))
+    n.add("mp", PMOS, gate="a", source=POWER, drain="y")
+    n.add("mn", NMOS, gate="a", source=GROUND, drain="y")
+    return n
+
+
+class TestStimuli:
+    def test_exhaustive_counts(self):
+        stim = exhaustive(("a", "b"))
+        assert len(stim) == 4
+        assert stim.vectors[0] == (0, 0)
+        assert stim.vectors[-1] == (1, 1)
+
+    def test_walking_ones(self):
+        stim = walking_ones(("a", "b", "c"))
+        assert len(stim) == 4
+        assert stim.vectors[1] == (1, 0, 0)
+
+    def test_random_reproducible(self):
+        first = random_vectors(("a",), 10, seed=3)
+        second = random_vectors(("a",), 10, seed=3)
+        assert first.vectors == second.vectors
+
+    def test_from_table(self):
+        stim = from_table(("a", "b"), [{"a": 1, "b": 0}])
+        assert stim.vectors == ((1, 0),)
+
+    def test_bad_vector_rejected(self):
+        with pytest.raises(ValueError):
+            Stimuli("bad", ("a",), ((0, 1),))
+        with pytest.raises(ValueError):
+            Stimuli("bad", ("a",), ((2,),))
+
+    def test_as_maps(self):
+        stim = exhaustive(("a",))
+        assert stim.as_maps() == ({"a": 0}, {"a": 1})
+
+
+class TestCompile:
+    def test_compile_flat(self):
+        network = compile_netlist(inverter())
+        assert isinstance(network, CompiledNetwork)
+        assert len(network.transistors) == 2
+
+    def test_hierarchical_needs_library(self, library):
+        n = Netlist("top", inputs=("a",), outputs=("y",))
+        n.add_instance("u1", "inv", a="a", y="y")
+        with pytest.raises(ToolError):
+            compile_netlist(n)
+        network = compile_netlist(n, library)
+        assert len(network.transistors) == 2
+
+    def test_unknown_net_lookup(self):
+        network = compile_netlist(inverter())
+        with pytest.raises(ToolError):
+            network.net_index("ghost")
+
+    def test_compiled_roundtrip(self):
+        network = compile_netlist(inverter())
+        restored = CompiledNetwork.from_dict(network.to_dict())
+        assert restored.nets == network.nets
+
+
+class TestBasicGates:
+    def test_inverter(self):
+        assert truth_table(inverter()) == {(0,): ("1",), (1,): ("0",)}
+
+    @pytest.mark.parametrize("cell,function", [
+        ("inv", lambda a: 1 - a),
+        ("buf", lambda a: a),
+    ])
+    def test_single_input_cells(self, library, cell, function):
+        n = Netlist("t", inputs=("a",), outputs=("y",))
+        n.add_instance("u1", cell, a="a", y="y")
+        table = truth_table(n, library)
+        for a in (0, 1):
+            assert table[(a,)] == (str(function(a)),)
+
+    @pytest.mark.parametrize("cell,function", [
+        ("nand2", lambda a, b: 1 - (a & b)),
+        ("nor2", lambda a, b: 1 - (a | b)),
+    ])
+    def test_two_input_cells(self, library, cell, function):
+        n = Netlist("t", inputs=("a", "b"), outputs=("y",))
+        n.add_instance("u1", cell, a="a", b="b", y="y")
+        table = truth_table(n, library)
+        for a in (0, 1):
+            for b in (0, 1):
+                assert table[(a, b)] == (str(function(a, b)),)
+
+    def test_gate_chain_settles(self, library):
+        n = Netlist("chain", inputs=("a",), outputs=("y",))
+        previous = "a"
+        for index in range(6):
+            net = "y" if index == 5 else f"w{index}"
+            n.add_instance(f"u{index}", "inv", a=previous, y=net)
+            previous = net
+        table = truth_table(n, library)
+        # six inversions cancel out: y == a
+        assert table == {(0,): ("0",), (1,): ("1",)}
+
+    def test_deeper_chain_takes_longer(self, library):
+        def chain(depth):
+            n = Netlist(f"chain{depth}", inputs=("a",), outputs=("y",))
+            previous = "a"
+            for index in range(depth):
+                net = "y" if index == depth - 1 else f"w{index}"
+                n.add_instance(f"u{index}", "inv", a=previous, y=net)
+                previous = net
+            report = compile_netlist(n, library).simulate(
+                exhaustive(("a",)), default_models())
+            return max(report.settle_steps)
+
+        assert chain(8) > chain(2)
+
+
+class TestPseudoNmos:
+    def pulldown_line(self) -> Netlist:
+        """Weak pull-up vs strong pull-down: the PLA primitive."""
+        n = Netlist("pn", inputs=("g",), outputs=("line",))
+        n.add("load", PMOS, gate=GROUND, source=POWER, drain="line",
+              strength=WEAK)
+        n.add("pd", NMOS, gate="g", source=GROUND, drain="line")
+        return n
+
+    def test_ratioed_logic(self):
+        table = truth_table(self.pulldown_line())
+        assert table[(0,)] == ("1",)   # weak pull-up wins when pd off
+        assert table[(1,)] == ("0",)   # strong pull-down wins when on
+
+    def test_floating_is_unknown(self):
+        n = Netlist("float", inputs=("g",), outputs=("y",))
+        n.add("pass", NMOS, gate="g", source="iso", drain="y")
+        table = truth_table(n)
+        assert table[(0,)] == ("X",)  # undriven either way
+        assert table[(1,)] == ("X",)  # connected to floating 'iso'
+
+    def test_fighting_drivers_are_unknown(self):
+        n = Netlist("fight", inputs=("g",), outputs=("y",))
+        n.add("up", PMOS, gate=GROUND, source=POWER, drain="y")
+        n.add("down", NMOS, gate=POWER, source=GROUND, drain="y")
+        table = truth_table(n)
+        assert table[(0,)] == ("X",)
+
+    def test_unknown_gate_propagates_pessimistically(self):
+        """An inverter driven by a floating net outputs X."""
+        n = Netlist("xprop", inputs=("g",), outputs=("y",))
+        n.add("pass", NMOS, gate="g", source="iso", drain="w")
+        n.add("mp", PMOS, gate="w", source=POWER, drain="y")
+        n.add("mn", NMOS, gate="w", source=GROUND, drain="y")
+        table = truth_table(n)
+        assert table[(1,)] == ("X",)
+
+
+class TestReportMetrics:
+    def test_settle_and_transitions(self):
+        report = compile_netlist(inverter()).simulate(
+            exhaustive(("a",)), default_models())
+        assert report.vector_count == 2
+        assert all(step >= 1 for step in report.settle_steps)
+        assert report.transitions[1] >= 1  # y flips between vectors
+        assert report.worst_delay_ns > 0
+        assert report.total_energy_fj > 0
+
+    def test_feedback_resolves_to_unknown(self):
+        """A ring oscillator settles at the conservative all-X fixpoint.
+
+        The {0,1,X} algebra is monotone toward X, so feedback loops
+        without a defined initial state resolve to X rather than
+        oscillating numerically — the MOSSIM-style pessimistic answer.
+        """
+        ring = Netlist("ring3", inputs=(), outputs=("a",))
+        prev = "a"
+        for index, net in enumerate(("b", "c", "a")):
+            ring.add(f"mp{index}", PMOS, gate=prev, source=POWER,
+                     drain=net)
+            ring.add(f"mn{index}", NMOS, gate=prev, source=GROUND,
+                     drain=net)
+            prev = net
+        stim = Stimuli("one", (), ((),))
+        report = compile_netlist(ring).simulate(stim, default_models())
+        assert report.waveform("a") == ("X",)
+        assert report.has_unknowns
+
+    def test_stimuli_for_unknown_nets_rejected(self):
+        network = compile_netlist(inverter())
+        with pytest.raises(ToolError):
+            network.simulate(exhaustive(("zz",)), default_models())
+
+    def test_report_roundtrip(self):
+        from repro.tools import PerformanceReport
+
+        report = compile_netlist(inverter()).simulate(
+            exhaustive(("a",)), default_models())
+        restored = PerformanceReport.from_dict(report.to_dict())
+        assert restored == report
+
+    def test_output_table(self):
+        report = compile_netlist(inverter()).simulate(
+            exhaustive(("a",)), default_models())
+        assert report.output_table() == (("1",), ("0",))
+
+
+class TestInterpretedReference:
+    def test_matches_compiled_on_pseudo_nmos(self, library):
+        from repro.tools.simulator import simulate_interpreted
+        from repro.tools import pla_layout, extract
+        from repro.tools.logic import LogicSpec
+
+        spec = LogicSpec.from_equations("f", "y = (a & b) | ~c")
+        netlist, _ = extract(pla_layout(spec, library), library)
+        stim = exhaustive(netlist.inputs)
+        models = default_models()
+        fast = compile_netlist(netlist).simulate(stim, models)
+        slow = simulate_interpreted(netlist, stim, models)
+        assert fast.waveform_map() == slow.waveform_map()
+        assert fast.settle_steps == slow.settle_steps
+
+    def test_undriven_declared_input_rejected(self):
+        from repro.tools.simulator import simulate_interpreted
+
+        netlist = inverter()
+        stim = exhaustive(())  # drives nothing
+        with pytest.raises(ToolError, match="declared input"):
+            compile_netlist(netlist).simulate(stim, default_models())
+        with pytest.raises(ToolError, match="declared input"):
+            simulate_interpreted(netlist, stim, default_models())
+
+    def test_channel_groups_are_static_partition(self, library):
+        n = Netlist("two", inputs=("a", "b"), outputs=("x", "y"))
+        n.add_instance("u1", "inv", a="a", y="x")
+        n.add_instance("u2", "inv", a="b", y="y")
+        network = compile_netlist(n, library)
+        # two independent inverters: two channel groups (x and y)
+        assert len(network.group_nets) == 2
+        grouped = sorted(net for group in network.group_nets
+                         for net in group)
+        assert grouped == sorted(
+            network.net_index(net) for net in ("x", "y"))
+
+
+class TestSequentialCircuits:
+    """Charge retention makes latches and flip-flops work."""
+
+    def test_dynamic_latch_holds_state(self, library):
+        from repro.tools.stimuli import from_table
+
+        n = Netlist("t", inputs=("d", "en"), outputs=("q",))
+        n.add_instance("l", "dlatch", d="d", en="en", q="q")
+        stim = from_table(("d", "en"), [
+            {"d": 1, "en": 1},   # write 1
+            {"d": 0, "en": 0},   # hold: d changed, latch closed
+            {"d": 0, "en": 1},   # write 0
+            {"d": 1, "en": 0},   # hold
+        ])
+        report = compile_netlist(n, library).simulate(
+            stim, default_models())
+        assert report.waveform("q") == ("1", "1", "0", "0")
+
+    def test_dff_captures_on_rising_edge(self, library):
+        from repro.tools.stimuli import from_table
+
+        n = Netlist("t", inputs=("d", "clk"), outputs=("q",))
+        n.add_instance("ff", "dff", d="d", clk="clk", q="q")
+        # keep d stable across each rising edge (no hold violations)
+        seq = [(1, 0), (1, 1), (1, 0), (0, 0), (0, 1), (0, 0)]
+        stim = from_table(("d", "clk"),
+                          [{"d": d, "clk": c} for d, c in seq])
+        report = compile_netlist(n, library).simulate(
+            stim, default_models())
+        assert report.waveform("q") == ("X", "1", "1", "1", "0", "0")
+
+    def test_uninitialized_storage_is_unknown(self, library):
+        from repro.tools.stimuli import from_table
+
+        n = Netlist("t", inputs=("d", "en"), outputs=("q",))
+        n.add_instance("l", "dlatch", d="d", en="en", q="q")
+        stim = from_table(("d", "en"), [{"d": 1, "en": 0}])
+        report = compile_netlist(n, library).simulate(
+            stim, default_models())
+        assert report.waveform("q") == ("X",)  # never written
+
+    def test_retention_parity_with_interpreter(self, library):
+        from repro.tools.simulator import simulate_interpreted
+        from repro.tools.stimuli import from_table
+
+        n = Netlist("t", inputs=("d", "clk"), outputs=("q",))
+        n.add_instance("ff", "dff", d="d", clk="clk", q="q")
+        seq = [(1, 0), (1, 1), (0, 0), (0, 1), (1, 1), (1, 0)]
+        stim = from_table(("d", "clk"),
+                          [{"d": d, "clk": c} for d, c in seq])
+        models = default_models()
+        fast = compile_netlist(n, library).simulate(stim, models)
+        slow = simulate_interpreted(n.flatten(library), stim, models)
+        assert fast.waveform_map() == slow.waveform_map()
+        assert fast.settle_steps == slow.settle_steps

@@ -1,0 +1,293 @@
+"""Tests for the scriptable Hercules UI (Figs. 9 and 10)."""
+
+import pytest
+
+from repro.errors import UIError
+from repro.schema import standard as S
+from repro.ui import HerculesSession, InstanceBrowser, TaskWindow
+from tests.conftest import build_performance_flow
+
+
+@pytest.fixture
+def window(stocked_env) -> TaskWindow:
+    return TaskWindow(stocked_env)
+
+
+class TestTaskWindow:
+    def test_place_from_catalogs(self, window, stocked_env):
+        entity = window.place_entity(S.PERFORMANCE)
+        tool = window.place_tool(S.SIMULATOR)
+        data = window.place_data(stocked_env.netlist.instance_id)
+        assert entity.explicit and tool.explicit
+        assert data.bindings == (stocked_env.netlist.instance_id,)
+        with pytest.raises(UIError):
+            window.place_tool(S.NETLIST)
+
+    def test_popup_reflects_state(self, window):
+        goal = window.place_entity(S.PERFORMANCE)
+        assert "Expand" in window.popup(goal)
+        window.expand(goal)
+        assert "Unexpand" in window.popup(goal)
+        assert "Run" in window.popup(goal)
+        netlist = window.place_entity(S.NETLIST)
+        assert "Specialize" in window.popup(netlist)
+        stim = window.place_entity(S.STIMULI)
+        stim.bind("Stimuli#0001")
+        assert "History" in window.popup(stim)
+        assert "Use" in window.popup(stim)
+
+    def test_expand_unexpand_specialize(self, window):
+        goal = window.place_entity(S.PERFORMANCE)
+        created = window.expand(goal)
+        assert len(created) == 3
+        removed = window.unexpand(goal)
+        assert len(removed) == 3
+        netlist = window.place_entity(S.NETLIST)
+        window.specialize(netlist, S.EXTRACTED_NETLIST)
+        assert netlist.entity_type == S.EXTRACTED_NETLIST
+
+    def test_help(self, window):
+        node = window.place_entity(S.CIRCUIT)
+        text = window.help(node)
+        assert "composed entity" in text
+
+    def test_run_and_history_reveal(self, window, stocked_env):
+        env = stocked_env
+        flow, goal = build_performance_flow(
+            env,
+            netlist_id=env.netlist.instance_id,
+            models_id=env.models.instance_id,
+            stimuli_id=env.stimuli.instance_id,
+            simulator_id=env.tools[S.SIMULATOR].instance_id)
+        window.flow = flow
+        window.run()
+        assert goal.produced
+        # Fig. 10: a fresh window, place the performance, reveal history
+        fresh = TaskWindow(env)
+        perf_node = fresh.place_data(goal.produced[0])
+        revealed = fresh.history(perf_node)
+        revealed_types = {n.entity_type for n in revealed}
+        assert revealed_types == {S.SIMULATOR, S.CIRCUIT, S.STIMULI}
+        # already-revealed: second call is a no-op
+        assert fresh.history(perf_node) == ()
+        # external data has no history
+        stim_node = fresh.place_data(env.stimuli.instance_id)
+        assert fresh.history(stim_node) == ()
+
+    def test_history_requires_unique_instance(self, window):
+        node = window.place_entity(S.STIMULI)
+        with pytest.raises(UIError):
+            window.history(node)
+
+    def test_use_forward_chains(self, window, stocked_env):
+        env = stocked_env
+        flow, goal = build_performance_flow(
+            env,
+            netlist_id=env.netlist.instance_id,
+            models_id=env.models.instance_id,
+            stimuli_id=env.stimuli.instance_id,
+            simulator_id=env.tools[S.SIMULATOR].instance_id)
+        env.run(flow)
+        fresh = TaskWindow(env)
+        netlist_node = fresh.place_data(env.netlist.instance_id)
+        performances = fresh.use(netlist_node, S.PERFORMANCE)
+        assert [p.instance_id for p in performances] == \
+            list(goal.produced)
+
+    def test_render_lists_nodes(self, window):
+        goal = window.place_entity(S.PERFORMANCE)
+        window.expand(goal)
+        text = window.render()
+        assert "Performance" in text and "Simulator" in text
+
+
+class TestInstanceBrowser:
+    def test_listing_and_filters(self, stocked_env):
+        env = stocked_env
+        browser = InstanceBrowser(env, S.STIMULI)
+        assert len(browser.listing()) == 1
+        browser.set_keywords("nomatch")
+        assert browser.listing() == ()
+        browser.clear()
+        browser.set_user_limit("somebody-else")
+        assert browser.listing() == ()
+        browser.clear()
+        browser.set_date_limits(since=env.stimuli.timestamp + 1)
+        assert browser.listing() == ()
+
+    def test_render_rows(self, stocked_env):
+        browser = InstanceBrowser(stocked_env, S.STIMULI)
+        text = browser.render()
+        assert "tester" in text
+        assert "all3" in text
+
+    def test_select_binds_flow_node(self, stocked_env):
+        env = stocked_env
+        window = TaskWindow(env)
+        node = window.place_entity(S.NETLIST)
+        browser = window.browse(node)
+        bound = browser.select_latest()
+        assert bound.bindings == (env.netlist.instance_id,)
+
+    def test_select_requires_listing_membership(self, stocked_env):
+        env = stocked_env
+        window = TaskWindow(env)
+        node = window.place_entity(S.NETLIST)
+        browser = window.browse(node).set_keywords("nomatch")
+        with pytest.raises(UIError):
+            browser.select(env.netlist.instance_id)
+
+    def test_unattached_browser_cannot_select(self, stocked_env):
+        browser = InstanceBrowser(stocked_env, S.NETLIST)
+        with pytest.raises(UIError):
+            browser.select("x")
+
+    def test_use_dependencies_option(self, stocked_env):
+        env = stocked_env
+        flow, goal = build_performance_flow(
+            env,
+            netlist_id=env.netlist.instance_id,
+            models_id=env.models.instance_id,
+            stimuli_id=env.stimuli.instance_id,
+            simulator_id=env.tools[S.SIMULATOR].instance_id)
+        env.run(flow)
+        browser = InstanceBrowser(env, S.PERFORMANCE)
+        browser.set_use_dependencies(env.netlist.instance_id)
+        assert [i.instance_id for i in browser.listing()] == \
+            list(goal.produced)
+        browser.set_use_dependencies(env.stimuli.instance_id)
+        assert len(browser.listing()) == 1
+
+
+class TestHerculesSession:
+    def test_scripted_fig9_interaction(self, stocked_env):
+        env = stocked_env
+        session = HerculesSession(env)
+        transcript = session.run_script(f"""
+            # start a simulate-performance task, goal-based
+            new simulate
+            place Performance
+            popup n0
+            expand n0
+            expand n2
+            bind n5 {env.netlist.instance_id}
+            bind n4 {env.models.instance_id}
+            bind n3 {env.stimuli.instance_id}
+            select-latest n1
+            run
+            show
+        """)
+        assert "placed Performance[n0]" in transcript
+        assert "created" in transcript
+        assert "task graph" in transcript
+        performances = env.db.browse(S.PERFORMANCE)
+        assert len(performances) == 1
+
+    def test_fig10_history_browsing(self, stocked_env):
+        env = stocked_env
+        session = HerculesSession(env)
+        session.run_script(f"""
+            place Performance
+            expand n0
+            expand n2
+            bind n5 {env.netlist.instance_id}
+            bind n4 {env.models.instance_id}
+            bind n3 {env.stimuli.instance_id}
+            select-latest n1
+            run
+        """)
+        perf = env.db.browse(S.PERFORMANCE)[-1]
+        output = session.run_script(f"""
+            new history-browse
+            place-data {perf.instance_id}
+            history n0
+            use n0
+        """)
+        assert "revealed" in output
+        assert "Simulator" in output
+
+    def test_unknown_command_rejected(self, stocked_env):
+        session = HerculesSession(stocked_env)
+        with pytest.raises(UIError):
+            session.execute("teleport n0")
+
+    def test_bind_requires_arguments(self, stocked_env):
+        session = HerculesSession(stocked_env)
+        session.execute("place Stimuli")
+        with pytest.raises(UIError):
+            session.execute("bind n0")
+
+    def test_browse_command(self, stocked_env):
+        session = HerculesSession(stocked_env)
+        session.execute("place Netlist")
+        output = session.execute("browse n0 mux")
+        assert "mux-gates" in output
+
+    def test_load_flow_from_catalog(self, stocked_env):
+        env = stocked_env
+        flow, goal = env.goal_flow(S.PERFORMANCE, "sim-proto")
+        flow.expand(goal)
+        env.save_flow("sim-proto", flow, "simulate a circuit")
+        session = HerculesSession(env)
+        output = session.execute("load-flow sim-proto")
+        assert "4 nodes" in output
+
+
+class TestHerculesShell:
+    def make_shell(self, env, tmp_path=None):
+        import io
+
+        from repro.ui import HerculesShell
+
+        saves = []
+        shell = HerculesShell(env, on_save=saves.append,
+                              stdout=io.StringIO())
+        return shell, saves
+
+    def output(self, shell) -> str:
+        return shell.stdout.getvalue()
+
+    def test_session_commands_dispatch(self, stocked_env):
+        shell, _ = self.make_shell(stocked_env)
+        shell.onecmd("place Performance")
+        shell.onecmd("expand n0")
+        shell.onecmd("show")
+        out = self.output(shell)
+        assert "placed Performance[n0]" in out
+        assert "task graph" in out
+
+    def test_errors_are_reported_not_raised(self, stocked_env):
+        shell, _ = self.make_shell(stocked_env)
+        shell.onecmd("expand n99")
+        assert "error:" in self.output(shell)
+        shell.onecmd("bind")  # missing arguments
+        assert "usage error:" in self.output(shell) or \
+            "error:" in self.output(shell)
+
+    def test_catalog_listings(self, stocked_env):
+        shell, _ = self.make_shell(stocked_env)
+        shell.onecmd("catalog tools")
+        assert "Simulator" in self.output(shell)
+        shell.onecmd("catalog flows")
+        assert "(empty)" in self.output(shell)
+
+    def test_quit_saves(self, stocked_env):
+        shell, saves = self.make_shell(stocked_env)
+        assert shell.onecmd("quit") is True
+        assert saves == [stocked_env]
+        assert shell.saved
+
+    def test_save_without_backing(self, stocked_env):
+        import io
+
+        from repro.ui import HerculesShell
+
+        shell = HerculesShell(stocked_env, stdout=io.StringIO())
+        shell.onecmd("save")
+        assert "nothing saved" in shell.stdout.getvalue()
+
+    def test_help_lists_vocabulary(self, stocked_env):
+        shell, _ = self.make_shell(stocked_env)
+        shell.onecmd("help")
+        out = self.output(shell)
+        assert "session commands:" in out and "catalog" in out

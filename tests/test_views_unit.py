@@ -1,0 +1,59 @@
+"""Unit tests for the view registry (Fig. 7 machinery)."""
+
+import pytest
+
+from repro.schema import standard as S
+from repro.views import ViewError, ViewRegistry, standard_views
+
+
+class TestViewRegistry:
+    def test_bind_and_lookup(self, schema):
+        registry = ViewRegistry(schema)
+        binding = registry.bind("physical", S.LAYOUT)
+        assert binding.entity_type == S.LAYOUT
+        assert registry.entity_type("physical") == S.LAYOUT
+        assert registry.views() == ("physical",)
+
+    def test_duplicate_view_rejected(self, schema):
+        registry = ViewRegistry(schema)
+        registry.bind("physical", S.LAYOUT)
+        with pytest.raises(ViewError):
+            registry.bind("physical", S.NETLIST)
+
+    def test_unknown_view_rejected(self, schema):
+        registry = ViewRegistry(schema)
+        with pytest.raises(ViewError):
+            registry.entity_type("astral")
+
+    def test_unknown_entity_type_rejected(self, schema):
+        registry = ViewRegistry(schema)
+        with pytest.raises(Exception):
+            registry.bind("weird", "Ghost")
+
+    def test_view_of_uses_most_specific_binding(self, stocked_env):
+        env = stocked_env
+        registry = ViewRegistry(env.schema)
+        registry.bind("physical", S.LAYOUT)
+        registry.bind("routed", S.ROUTED_LAYOUT)
+        layout = env.install_data(S.EDITED_LAYOUT, {"x": 1})
+        assert registry.view_of(layout) == "physical"
+
+    def test_view_of_none_for_unbound_types(self, stocked_env):
+        env = stocked_env
+        registry = ViewRegistry(env.schema)
+        registry.bind("physical", S.LAYOUT)
+        assert registry.view_of(env.stimuli) is None
+
+    def test_instances_of_view_with_keywords(self, stocked_env):
+        env = stocked_env
+        registry = standard_views(env.schema)
+        rows = registry.instances_of_view(env.db, "transistor",
+                                          keywords=("mux",))
+        assert [r.instance_id for r in rows] == \
+            [env.netlist.instance_id]
+        assert registry.instances_of_view(env.db, "transistor",
+                                          keywords=("zzz",)) == ()
+
+    def test_standard_views_without_logic(self, schema_fig1):
+        registry = standard_views(schema_fig1)
+        assert set(registry.views()) == {"physical", "transistor"}
