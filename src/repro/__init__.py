@@ -42,6 +42,8 @@ from .core import DynamicFlow, TaskGraph
 from .errors import ReproError
 from .execution import DesignEnvironment
 from .history import HistoryDatabase
+from .obs import (Event, EventBus, JSONLSink, MetricsRegistry,
+                  RingBufferSink)
 from .schema import SchemaBuilder, TaskSchema
 from .schema.standard import fig1_schema, fig2_schema, odyssey_schema
 
@@ -50,8 +52,13 @@ __version__ = "1.0.0"
 __all__ = [
     "DesignEnvironment",
     "DynamicFlow",
+    "Event",
+    "EventBus",
     "HistoryDatabase",
+    "JSONLSink",
+    "MetricsRegistry",
     "ReproError",
+    "RingBufferSink",
     "SchemaBuilder",
     "TaskGraph",
     "TaskSchema",

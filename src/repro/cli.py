@@ -6,9 +6,12 @@ Hercules session — enough to drive a design from a shell::
     python -m repro init ./proj
     python -m repro info ./proj
     python -m repro browse ./proj Netlist --keyword mux
-    python -m repro session ./proj -c "place Performance" -c "expand n0"
+    python -m repro session ./proj --events run.jsonl \\
+        -c "place Performance" -c "expand n0"
     python -m repro history ./proj Performance#0001
     python -m repro stale ./proj
+    python -m repro events run.jsonl --type tool_finished
+    python -m repro stats ./proj --events run.jsonl
 
 Every mutating command saves the environment back to the directory, so
 consecutive invocations build one continuous design history — the CLI
@@ -18,6 +21,7 @@ equivalent of the paper's persistent framework session.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -27,6 +31,8 @@ from .history.consistency import consistency_report
 from .history.database import BrowseFilter
 from .history.query import dependents_of_type
 from .history.trace import backward_trace
+from .obs import (EVENT_TYPES, JSONLSink, MetricsRegistry, replay_events,
+                  replay_into)
 from .persistence import load_environment, save_environment
 from .schema.standard import fig1_schema, fig2_schema, odyssey_schema
 from .tools import install_standard_tools, register_standard_encapsulations
@@ -120,12 +126,20 @@ def cmd_retrace(args: argparse.Namespace) -> int:
 
 def cmd_session(args: argparse.Namespace) -> int:
     env = _load(args.directory)
+    sink = None
+    if args.events:
+        sink = JSONLSink(args.events)
+        env.bus.subscribe(sink)
     session = HerculesSession(env)
     script = "\n".join(args.command or ())
     if args.script:
         with open(args.script, "r", encoding="utf-8") as handle:
             script = handle.read() + "\n" + script
-    output = session.run_script(script)
+    try:
+        output = session.run_script(script)
+    finally:
+        if sink is not None:
+            sink.close()
     print(output)
     save_environment(env, args.directory)
     return 0
@@ -146,6 +160,45 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
     env = _load(args.directory)
     print(history_statistics(env.db).render())
+    if args.events:
+        metrics = MetricsRegistry()
+        replay_into(replay_events(args.events), metrics)
+        print(metrics.render())
+    return 0
+
+
+def cmd_events(args: argparse.Namespace) -> int:
+    events = replay_events(args.logfile)
+    if args.type:
+        wanted = set(args.type)
+        unknown = wanted - EVENT_TYPES
+        if unknown:
+            print(f"error: unknown event type(s) {sorted(unknown)}; "
+                  f"known: {sorted(EVENT_TYPES)}", file=sys.stderr)
+            return 2
+        events = (e for e in events if e.event_type in wanted)
+    if args.flow:
+        events = (e for e in events if e.flow == args.flow)
+    if args.tool:
+        events = (e for e in events if e.tool_type == args.tool)
+    if args.replay:
+        metrics = MetricsRegistry()
+        count = replay_into(events, metrics)
+        print(f"replayed {count} events")
+        print(metrics.render())
+        return 0
+    if args.tail is not None and args.tail < 0:
+        print(f"error: --tail must be >= 0, got {args.tail}",
+              file=sys.stderr)
+        return 2
+    selected = list(events)
+    if args.tail is not None:
+        selected = selected[-args.tail:] if args.tail else []
+    for event in selected:
+        if args.json:
+            print(json.dumps(event.to_dict(), sort_keys=True))
+        else:
+            print(event.render())
     return 0
 
 
@@ -211,6 +264,8 @@ def build_parser() -> argparse.ArgumentParser:
     session.add_argument("-c", "--command", action="append",
                          help="a session command (repeatable)")
     session.add_argument("--script", help="file of session commands")
+    session.add_argument("--events",
+                         help="record execution events to this JSONL log")
     session.set_defaults(fn=cmd_session)
 
     shell = commands.add_parser(
@@ -221,7 +276,28 @@ def build_parser() -> argparse.ArgumentParser:
     stats = commands.add_parser("stats",
                                 help="history statistics report")
     stats.add_argument("directory")
+    stats.add_argument("--events",
+                       help="also summarize metrics from a JSONL event "
+                            "log (see 'repro events')")
     stats.set_defaults(fn=cmd_stats)
+
+    events = commands.add_parser(
+        "events", help="tail/filter/replay a JSONL execution event log")
+    events.add_argument("logfile")
+    events.add_argument("--type", action="append",
+                        help="keep only this event type (repeatable)")
+    events.add_argument("--flow", help="keep only events of this flow")
+    events.add_argument("--tool",
+                        help="keep only events of this tool type")
+    events.add_argument("--tail", type=int,
+                        help="show only the last N matching events")
+    events.add_argument("--json", action="store_true",
+                        help="print raw JSON lines instead of the "
+                             "rendered form")
+    events.add_argument("--replay", action="store_true",
+                        help="replay matching events into a metrics "
+                             "registry and print the summary")
+    events.set_defaults(fn=cmd_events)
 
     schema = commands.add_parser("schema",
                                  help="dump the schema as Graphviz DOT")

@@ -91,7 +91,7 @@ class FlowNode:
 
 @dataclass(frozen=True)
 class FlowEdge:
-    """A dependency arc between two nodes: ``consumer`` depends on ``supplier``.
+    """A dependency arc: ``consumer`` depends on ``supplier``.
 
     The direction matches the schema: the produced entity points at its
     tool (functional) and at its data inputs (data).

@@ -91,6 +91,10 @@ class QueryError(HistoryError):
     """A history query (template, chain, or browse) is malformed."""
 
 
+class ObservabilityError(ReproError):
+    """An event-bus, sink, or metrics operation is invalid."""
+
+
 class BaselineError(ReproError):
     """A baseline manager (static flows, traces, version trees) failed."""
 

@@ -20,6 +20,7 @@ from ..history.consistency import (consistency_report, is_stale,
 from ..history.database import HistoryDatabase
 from ..history.datastore import CodecRegistry
 from ..history.instance import EntityInstance
+from ..obs import EventBus
 from ..schema.catalog import (DataTypeCatalog, EntityCatalog, FlowCatalog,
                               ToolCatalog)
 from ..schema.schema import TaskSchema
@@ -33,11 +34,18 @@ class DesignEnvironment:
 
     def __init__(self, schema: TaskSchema, *, user: str = "designer",
                  codecs: CodecRegistry | None = None,
-                 clock: Callable[[], float] | None = None) -> None:
+                 clock: Callable[[], float] | None = None,
+                 bus: EventBus | None = None) -> None:
         schema.validate()
         self.schema = schema
         self.user = user
-        self.db = HistoryDatabase(schema, codecs=codecs, clock=clock)
+        # One bus per environment: the database and every executor this
+        # environment hands out emit onto it.  It stays a no-op until a
+        # sink subscribes (env.bus.subscribe(...)).
+        self.bus = bus if bus is not None else (
+            EventBus(clock=clock) if clock is not None else EventBus())
+        self.db = HistoryDatabase(schema, codecs=codecs, clock=clock,
+                                  bus=self.bus)
         self.registry = EncapsulationRegistry(schema)
         self.flow_catalog: FlowCatalog[DynamicFlow] = FlowCatalog()
         self.entity_catalog = EntityCatalog(schema)
@@ -107,14 +115,14 @@ class DesignEnvironment:
     # ------------------------------------------------------------------
     def executor(self, machine: str = "local") -> FlowExecutor:
         return FlowExecutor(self.db, self.registry, user=self.user,
-                            machine=machine)
+                            machine=machine, bus=self.bus)
 
     def parallel_executor(self, machines: int = 2,
                           pool: MachinePool | None = None
                           ) -> ParallelFlowExecutor:
         return ParallelFlowExecutor(self.db, self.registry,
                                     user=self.user, pool=pool,
-                                    machines=machines)
+                                    machines=machines, bus=self.bus)
 
     def run(self, flow: DynamicFlow | TaskGraph,
             targets: Sequence[str] | None = None, *,

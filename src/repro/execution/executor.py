@@ -28,6 +28,9 @@ from ..core.taskgraph import TaskGraph, TaskInvocation
 from ..errors import ExecutionError
 from ..history.database import HistoryDatabase
 from ..history.instance import DerivationRecord
+from ..obs import (COMPOSE_TOOL, COMPOSITION_RUN, EXECUTION_FAILED,
+                   FLOW_FINISHED, FLOW_STARTED, NO_OP_BUS, NODE_READY,
+                   TOOL_FINISHED, TOOL_INVOKED, EventBus)
 from .encapsulation import EncapsulationRegistry, ToolContext
 
 
@@ -48,11 +51,18 @@ class InvocationResult:
 
 @dataclass
 class ExecutionReport:
-    """Everything that happened during one ``execute()`` call."""
+    """Everything that happened during one ``execute()`` call.
+
+    ``wall_time`` is the elapsed clock time of the whole ``execute()``
+    call; ``serial_time`` sums the individual invocation durations.  For
+    a sequential run the two are close; for parallel lanes the gap is
+    the realized speedup.
+    """
 
     flow_name: str
     results: list[InvocationResult] = field(default_factory=list)
     skipped: list[str] = field(default_factory=list)
+    wall_time: float = 0.0
 
     @property
     def created(self) -> tuple[str, ...]:
@@ -63,6 +73,16 @@ class ExecutionReport:
     def runs(self) -> int:
         return sum(r.runs for r in self.results)
 
+    @property
+    def serial_time(self) -> float:
+        """Total tool/composition time, as if run on one machine."""
+        return sum(r.duration for r in self.results)
+
+    @property
+    def speedup(self) -> float:
+        """Realized serial-time / wall-time ratio (1.0 when unknown)."""
+        return self.serial_time / self.wall_time if self.wall_time else 1.0
+
     def created_of_node(self, node_id: str) -> tuple[str, ...]:
         for result in self.results:
             if node_id in result.outputs_by_node:
@@ -70,8 +90,16 @@ class ExecutionReport:
         return ()
 
     def merge(self, other: "ExecutionReport") -> None:
+        """Fold another report (e.g. one parallel lane) into this one.
+
+        Lanes overlap in time, so wall-clock aggregates by ``max`` —
+        summing would silently report serial time and erase the very
+        speedup the parallel executors exist to deliver.  (Serial time
+        needs no special handling: it derives from the merged results.)
+        """
         self.results.extend(other.results)
         self.skipped.extend(other.skipped)
+        self.wall_time = max(self.wall_time, other.wall_time)
 
 
 class FlowExecutor:
@@ -80,7 +108,8 @@ class FlowExecutor:
     def __init__(self, db: HistoryDatabase,
                  registry: EncapsulationRegistry, *, user: str = "",
                  machine: str = "local",
-                 lock: threading.Lock | None = None) -> None:
+                 lock: threading.Lock | None = None,
+                 bus: EventBus | None = None) -> None:
         self.db = db
         self.registry = registry
         self.user = user
@@ -89,6 +118,9 @@ class FlowExecutor:
         # executors share one database across threads (Fig. 6 parallel
         # branches); tool code runs outside it.
         self._lock = lock if lock is not None else threading.Lock()
+        # Without sinks the shared no-op bus makes every emit an early
+        # return, so uninstrumented execution stays on the fast path.
+        self.bus = bus if bus is not None else NO_OP_BUS
 
     # ------------------------------------------------------------------
     # public API
@@ -103,8 +135,16 @@ class FlowExecutor:
         """
         graph = flow.graph if isinstance(flow, DynamicFlow) else flow
         graph.validate()
+        started = time.perf_counter()
+        emitting = self.bus.enabled
         needed = self._needed_nodes(graph, targets)
         self._check_ready(graph, needed)
+        if emitting:
+            self.bus.emit(FLOW_STARTED, flow=graph.name,
+                          machine=self.machine,
+                          payload={"nodes": len(needed),
+                                   "targets": sorted(targets or ()),
+                                   "force": force})
         if force:
             # drop previous results so re-runs do not fan out over them
             for node_id in needed:
@@ -116,20 +156,36 @@ class FlowExecutor:
             for output in invocation.outputs:
                 invocation_of[output] = invocation
         done: set[int] = set()
-        for node_id in graph.topological_order():
-            if node_id not in needed:
-                continue
-            invocation = invocation_of.get(node_id)
-            if invocation is None:
-                continue  # leaf (bound) node
-            if id(invocation) in done:
-                continue
-            done.add(id(invocation))
-            outputs = [graph.node(o) for o in invocation.outputs]
-            if not force and all(o.results() for o in outputs):
-                report.skipped.extend(invocation.outputs)
-                continue
-            report.results.append(self._run_invocation(graph, invocation))
+        try:
+            for node_id in graph.topological_order():
+                if node_id not in needed:
+                    continue
+                invocation = invocation_of.get(node_id)
+                if invocation is None:
+                    continue  # leaf (bound) node
+                if id(invocation) in done:
+                    continue
+                done.add(id(invocation))
+                outputs = [graph.node(o) for o in invocation.outputs]
+                if not force and all(o.results() for o in outputs):
+                    report.skipped.extend(invocation.outputs)
+                    continue
+                report.results.append(
+                    self._run_invocation(graph, invocation))
+        except Exception as error:
+            if emitting:
+                self.bus.emit(EXECUTION_FAILED, flow=graph.name,
+                              machine=self.machine,
+                              payload={"error": str(error)})
+            raise
+        report.wall_time = time.perf_counter() - started
+        if emitting:
+            self.bus.emit(FLOW_FINISHED, flow=graph.name,
+                          machine=self.machine,
+                          duration=report.wall_time,
+                          payload={"created": len(report.created),
+                                   "runs": report.runs,
+                                   "skipped": len(report.skipped)})
         return report
 
     def execute_node(self, flow: TaskGraph | DynamicFlow,
@@ -164,8 +220,14 @@ class FlowExecutor:
     def _run_invocation(self, graph: TaskGraph,
                         invocation: TaskInvocation) -> InvocationResult:
         started = time.perf_counter()
+        emitting = self.bus.enabled
         output_nodes = [graph.node(o) for o in invocation.outputs]
         output_types = tuple(n.entity_type for n in output_nodes)
+        if emitting:
+            for node in output_nodes:
+                self.bus.emit(NODE_READY, flow=graph.name,
+                              node=node.node_id, machine=self.machine,
+                              payload={"entity_type": node.entity_type})
         role_ids: dict[str, tuple[str, ...]] = {}
         for role, supplier_id in invocation.inputs:
             supplier = graph.node(supplier_id)
@@ -175,6 +237,13 @@ class FlowExecutor:
                     f"{supplier}: no instances available for role "
                     f"{role!r}")
             role_ids[role] = ids
+        tool_type = (graph.node(invocation.tool_node).entity_type
+                     if invocation.tool_node is not None else COMPOSE_TOOL)
+        if emitting:
+            self.bus.emit(TOOL_INVOKED, flow=graph.name,
+                          node=",".join(invocation.outputs),
+                          tool_type=tool_type, machine=self.machine,
+                          payload={"roles": sorted(role_ids)})
         if invocation.tool_node is None:
             result = self._run_composition(graph, invocation, output_nodes,
                                            output_types, role_ids)
@@ -182,6 +251,15 @@ class FlowExecutor:
             result = self._run_tool(graph, invocation, output_nodes,
                                     output_types, role_ids)
         result.duration = time.perf_counter() - started
+        if emitting:
+            self.bus.emit(
+                COMPOSITION_RUN if invocation.tool_node is None
+                else TOOL_FINISHED,
+                flow=graph.name, node=",".join(invocation.outputs),
+                tool_type=tool_type, invocation_id=result.invocation_id,
+                machine=self.machine, duration=result.duration,
+                payload={"runs": result.runs,
+                         "created": list(result.created)})
         return result
 
     def _run_composition(self, graph: TaskGraph,

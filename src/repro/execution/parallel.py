@@ -17,6 +17,7 @@ sleep) runs concurrently.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -25,6 +26,8 @@ from ..core.flow import DynamicFlow
 from ..core.taskgraph import TaskGraph
 from ..errors import ExecutionError
 from ..history.database import HistoryDatabase
+from ..obs import (EXECUTION_FAILED, FLOW_FINISHED, FLOW_STARTED,
+                   LANE_ASSIGNED, NO_OP_BUS, EventBus)
 from .encapsulation import EncapsulationRegistry
 from .executor import ExecutionReport, FlowExecutor
 
@@ -100,11 +103,13 @@ class ParallelFlowExecutor:
     def __init__(self, db: HistoryDatabase,
                  registry: EncapsulationRegistry, *, user: str = "",
                  pool: MachinePool | None = None,
-                 machines: int = 2) -> None:
+                 machines: int = 2,
+                 bus: EventBus | None = None) -> None:
         self.db = db
         self.registry = registry
         self.user = user
         self.pool = pool if pool is not None else MachinePool.local(machines)
+        self.bus = bus if bus is not None else NO_OP_BUS
         self._db_lock = threading.Lock()
 
     def execute(self, flow: TaskGraph | DynamicFlow,
@@ -113,19 +118,31 @@ class ParallelFlowExecutor:
         """Run every (selected) branch, one machine per branch."""
         graph = flow.graph if isinstance(flow, DynamicFlow) else flow
         graph.validate()
+        started = time.perf_counter()
+        emitting = self.bus.enabled
         plan = plan_branches(graph, targets)
         report = ExecutionReport(graph.name)
         if not plan.branches:
             return report
+        if emitting:
+            self.bus.emit(FLOW_STARTED, flow=graph.name,
+                          payload={"scheduler": "disjoint-branches",
+                                   "branches": plan.width,
+                                   "machines": len(self.pool)})
         errors: list[BaseException] = []
         report_lock = threading.Lock()
 
         def run_branch(branch: frozenset[str]) -> None:
             machine = self.pool.acquire()
             try:
+                if emitting:
+                    self.bus.emit(LANE_ASSIGNED, flow=graph.name,
+                                  machine=machine.name,
+                                  payload={"branch": sorted(branch)})
                 executor = FlowExecutor(
                     self.db, self.registry, user=self.user,
-                    machine=machine.name, lock=self._db_lock)
+                    machine=machine.name, lock=self._db_lock,
+                    bus=self.bus)
                 branch_targets = sorted(branch)
                 if targets is not None:
                     branch_targets = sorted(branch & set(targets))
@@ -147,5 +164,17 @@ class ParallelFlowExecutor:
             for future in futures:
                 future.result()
         if errors:
+            if emitting:
+                self.bus.emit(EXECUTION_FAILED, flow=graph.name,
+                              payload={"error": str(errors[0])})
             raise errors[0]
+        # lanes overlap: the merged lane maximum is a lower bound, the
+        # measured elapsed time of this call is the true wall-clock
+        report.wall_time = time.perf_counter() - started
+        if emitting:
+            self.bus.emit(FLOW_FINISHED, flow=graph.name,
+                          duration=report.wall_time,
+                          payload={"serial_time": report.serial_time,
+                                   "speedup": round(report.speedup, 3),
+                                   "lanes": plan.width})
         return report

@@ -21,11 +21,16 @@ Three pieces:
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
+
 from ..core.flow import DynamicFlow
 from ..core.taskgraph import TaskGraph, TaskInvocation
 from ..errors import ExecutionError
 from ..history.database import HistoryDatabase
+from ..obs import (COMPOSE_TOOL, COMPOSITION_RUN, EXECUTION_FAILED,
+                   FLOW_FINISHED, FLOW_STARTED, TOOL_FINISHED, Event,
+                   EventBus)
 from .encapsulation import EncapsulationRegistry
 from .executor import ExecutionReport, FlowExecutor, InvocationResult
 from .parallel import MachinePool
@@ -34,29 +39,39 @@ DEFAULT_DURATION = 1.0
 
 
 class DurationModel:
-    """Per-tool-type expected durations, learned from execution reports."""
+    """Per-tool-type expected durations, learned from execution events.
+
+    The model is an event sink: subscribe it to the bus an executor
+    emits on and every ``tool_finished`` / ``composition_run`` event
+    updates the estimate — no ad-hoc recording calls in the executors.
+    The report/result entry points remain for offline training from
+    stored reports.
+    """
 
     def __init__(self, default: float = DEFAULT_DURATION) -> None:
         self.default = default
         self._totals: dict[str, float] = {}
         self._counts: dict[str, int] = {}
 
+    def handle(self, event: Event) -> None:
+        """EventBus sink interface: learn from timing events."""
+        if event.event_type in (TOOL_FINISHED, COMPOSITION_RUN):
+            self.record(event.tool_type or None, event.duration)
+
     def observe_report(self, report: ExecutionReport) -> None:
         for result in report.results:
             self.observe(result)
 
     def observe(self, result: InvocationResult) -> None:
-        key = result.tool_type or "@compose"
-        self._totals[key] = self._totals.get(key, 0.0) + result.duration
-        self._counts[key] = self._counts.get(key, 0) + 1
+        self.record(result.tool_type, result.duration)
 
     def record(self, tool_type: str | None, duration: float) -> None:
-        key = tool_type or "@compose"
+        key = tool_type or COMPOSE_TOOL
         self._totals[key] = self._totals.get(key, 0.0) + duration
         self._counts[key] = self._counts.get(key, 0) + 1
 
     def estimate(self, tool_type: str | None) -> float:
-        key = tool_type or "@compose"
+        key = tool_type or COMPOSE_TOOL
         if key not in self._counts:
             return self.default
         return self._totals[key] / self._counts[key]
@@ -231,24 +246,35 @@ class ScheduledFlowExecutor:
     def __init__(self, db: HistoryDatabase,
                  registry: EncapsulationRegistry, *, user: str = "",
                  pool: MachinePool | None = None, machines: int = 2,
-                 durations: DurationModel | None = None) -> None:
+                 durations: DurationModel | None = None,
+                 bus: EventBus | None = None) -> None:
         self.db = db
         self.registry = registry
         self.user = user
         self.pool = pool if pool is not None else MachinePool.local(machines)
         self.durations = durations if durations is not None \
             else DurationModel()
+        # The duration model learns from the event stream: worker
+        # executors emit tool_finished/composition_run on this bus and
+        # the model is just one more subscriber.
+        self.bus = bus if bus is not None else EventBus()
+        self.bus.subscribe(self.durations)
         self._db_lock = threading.Lock()
 
     def execute(self, flow: TaskGraph | DynamicFlow, *,
                 force: bool = False) -> ExecutionReport:
         graph = flow.graph if isinstance(flow, DynamicFlow) else flow
         graph.validate()
+        started = time.perf_counter()
         nodes = _invocation_graph(graph, None, self.durations,
                                   _tool_type_of(graph))
         report = ExecutionReport(graph.name)
         if not nodes:
             return report
+        self.bus.emit(FLOW_STARTED, flow=graph.name,
+                      payload={"scheduler": "invocation-level",
+                               "machines": len(self.pool),
+                               "invocations": len(nodes)})
         # readiness check mirrors FlowExecutor
         probe = FlowExecutor(self.db, self.registry, user=self.user,
                              lock=self._db_lock)
@@ -269,7 +295,7 @@ class ScheduledFlowExecutor:
             machine = self.pool.acquire()
             executor = FlowExecutor(self.db, self.registry,
                                     user=self.user, machine=machine.name,
-                                    lock=self._db_lock)
+                                    lock=self._db_lock, bus=self.bus)
             try:
                 while True:
                     with condition:
@@ -286,7 +312,6 @@ class ScheduledFlowExecutor:
                         if force or not all(o.results() for o in outputs):
                             result = executor._run_invocation(
                                 graph, node.invocation)
-                            self.durations.observe(result)
                             with report_lock:
                                 report.results.append(result)
                             machine.executed_invocations += 1
@@ -316,5 +341,13 @@ class ScheduledFlowExecutor:
         for thread in threads:
             thread.join()
         if errors:
+            self.bus.emit(EXECUTION_FAILED, flow=graph.name,
+                          payload={"error": str(errors[0])})
             raise errors[0]
+        report.wall_time = time.perf_counter() - started
+        self.bus.emit(FLOW_FINISHED, flow=graph.name,
+                      duration=report.wall_time,
+                      payload={"serial_time": report.serial_time,
+                               "speedup": round(report.speedup, 3),
+                               "runs": report.runs})
         return report

@@ -24,6 +24,7 @@ import time
 from typing import Any, Callable, Iterable
 
 from ..errors import HistoryError, UnknownInstanceError
+from ..obs import INSTANCE_CREATED, NO_OP_BUS, EventBus
 from ..schema.schema import TaskSchema
 from .datastore import CodecRegistry, DataStore
 from .instance import DerivationRecord, EntityInstance
@@ -67,10 +68,12 @@ class HistoryDatabase:
     def __init__(self, schema: TaskSchema, *,
                  datastore: DataStore | None = None,
                  codecs: CodecRegistry | None = None,
-                 clock: Callable[[], float] | None = None) -> None:
+                 clock: Callable[[], float] | None = None,
+                 bus: EventBus | None = None) -> None:
         self.schema = schema
         self.datastore = datastore if datastore is not None \
             else DataStore(codecs)
+        self.bus = bus if bus is not None else NO_OP_BUS
         self._clock = clock if clock is not None else time.time
         self._instances: dict[str, EntityInstance] = {}
         self._by_type: dict[str, list[str]] = {}
@@ -174,6 +177,16 @@ class HistoryDatabase:
             annotations=tuple(sorted((annotations or {}).items())),
         )
         self._index(instance)
+        if self.bus.enabled:
+            self.bus.emit(
+                INSTANCE_CREATED,
+                flow=(annotations or {}).get("flow", ""),
+                invocation_id=(derivation.invocation
+                               if derivation is not None else ""),
+                machine=(annotations or {}).get("machine", ""),
+                payload={"entity_type": entity_type,
+                         "instance_id": instance.instance_id,
+                         "installed": derivation is None})
         return instance
 
     def _index(self, instance: EntityInstance) -> None:
@@ -281,9 +294,9 @@ class HistoryDatabase:
     @classmethod
     def from_dict(cls, schema: TaskSchema, payload: dict[str, Any], *,
                   codecs: CodecRegistry | None = None,
-                  clock: Callable[[], float] | None = None
-                  ) -> "HistoryDatabase":
-        db = cls(schema, codecs=codecs, clock=clock)
+                  clock: Callable[[], float] | None = None,
+                  bus: EventBus | None = None) -> "HistoryDatabase":
+        db = cls(schema, codecs=codecs, clock=clock, bus=bus)
         db.datastore.load_dict(payload.get("blobs", {}))
         for spec in payload.get("instances", ()):
             db._index(EntityInstance.from_dict(spec))

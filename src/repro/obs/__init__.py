@@ -1,0 +1,49 @@
+"""Observability for flow execution: events, metrics, sinks.
+
+Zero-dependency instrumentation layered over the execution stack: a
+typed :class:`EventBus` carrying structured execution events, pluggable
+sinks (in-memory ring buffer, schema-versioned JSONL log), and a
+:class:`MetricsRegistry` aggregating counters and timer histograms per
+tool type and per flow.  Everything an executor emits can be persisted,
+replayed and summarized — ``repro events`` and ``repro stats`` are thin
+shells over this module.
+"""
+
+from .events import (COMPOSE_TOOL, COMPOSITION_RUN, EVENT_TYPES,
+                     EXECUTION_FAILED, FLOW_FINISHED, FLOW_STARTED,
+                     INSTANCE_CREATED, LANE_ASSIGNED, NODE_READY,
+                     SCHEMA_VERSION, TOOL_FINISHED, TOOL_INVOKED, Event,
+                     EventBus, NO_OP_BUS)
+from .metrics import EMPTY_TIMER, MetricsRegistry, TimerStats
+from .sinks import (CallbackSink, EventSink, JSONLSink, NullSink,
+                    RingBufferSink, read_events, replay_events,
+                    replay_into)
+
+__all__ = [
+    "COMPOSE_TOOL",
+    "COMPOSITION_RUN",
+    "CallbackSink",
+    "EMPTY_TIMER",
+    "EVENT_TYPES",
+    "EXECUTION_FAILED",
+    "Event",
+    "EventBus",
+    "EventSink",
+    "FLOW_FINISHED",
+    "FLOW_STARTED",
+    "INSTANCE_CREATED",
+    "JSONLSink",
+    "LANE_ASSIGNED",
+    "MetricsRegistry",
+    "NODE_READY",
+    "NO_OP_BUS",
+    "NullSink",
+    "RingBufferSink",
+    "SCHEMA_VERSION",
+    "TOOL_FINISHED",
+    "TOOL_INVOKED",
+    "TimerStats",
+    "read_events",
+    "replay_events",
+    "replay_into",
+]

@@ -1,0 +1,188 @@
+"""Metrics aggregated from execution events.
+
+A :class:`MetricsRegistry` is both a plain metrics API (counters,
+gauges, timer histograms with p50/p95/max) and an event sink: subscribe
+it to an :class:`~repro.obs.events.EventBus` (or replay a JSONL log
+into it) and it aggregates invocation counts, tool durations and
+failures per tool type and per flow — the numbers every perf PR must
+cite before claiming a win.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from .events import (COMPOSITION_RUN, EXECUTION_FAILED, FLOW_FINISHED,
+                     FLOW_STARTED, INSTANCE_CREATED, TOOL_FINISHED, Event)
+
+
+@dataclass(frozen=True)
+class TimerStats:
+    """Summary of one timer histogram."""
+
+    count: int
+    total: float
+    mean: float
+    p50: float
+    p95: float
+    max: float
+
+    def render(self) -> str:
+        return (f"n={self.count} total={self.total * 1e3:.2f}ms "
+                f"mean={self.mean * 1e3:.2f}ms p50={self.p50 * 1e3:.2f}ms "
+                f"p95={self.p95 * 1e3:.2f}ms max={self.max * 1e3:.2f}ms")
+
+
+EMPTY_TIMER = TimerStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile over a pre-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+class MetricsRegistry:
+    """Counters, gauges and timers, aggregated per tool type and flow."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._timers: dict[str, list[float]] = {}
+
+    # ------------------------------------------------------------------
+    # plain metrics API
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(name, default)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            self._timers.setdefault(name, []).append(value)
+
+    def timer(self, name: str) -> TimerStats:
+        with self._lock:
+            values = sorted(self._timers.get(name, ()))
+        if not values:
+            return EMPTY_TIMER
+        total = sum(values)
+        return TimerStats(
+            count=len(values),
+            total=total,
+            mean=total / len(values),
+            p50=_percentile(values, 0.50),
+            p95=_percentile(values, 0.95),
+            max=values[-1],
+        )
+
+    def counters(self, prefix: str = "") -> dict[str, int]:
+        with self._lock:
+            return {name: count for name, count in self._counters.items()
+                    if name.startswith(prefix)}
+
+    def timers(self, prefix: str = "") -> dict[str, TimerStats]:
+        names = [name for name in self._timers if name.startswith(prefix)]
+        return {name: self.timer(name) for name in sorted(names)}
+
+    # ------------------------------------------------------------------
+    # event-sink interface
+    # ------------------------------------------------------------------
+    def handle(self, event: Event) -> None:
+        """Aggregate one execution event (EventBus sink interface)."""
+        kind = event.event_type
+        if kind in (TOOL_FINISHED, COMPOSITION_RUN):
+            tool = event.tool_type or "@compose"
+            self.inc(f"tool.{tool}.invocations")
+            self.inc(f"tool.{tool}.runs", event.value("runs", 1))
+            self.observe(f"tool.{tool}", event.duration)
+            if event.flow:
+                self.inc(f"flow.{event.flow}.invocations")
+        elif kind == INSTANCE_CREATED:
+            entity = event.value("entity_type", "?")
+            self.inc("instances")
+            self.inc(f"instances.{entity}")
+        elif kind == FLOW_STARTED:
+            self.inc("flows.started")
+        elif kind == FLOW_FINISHED:
+            self.inc("flows.finished")
+            if event.flow:
+                self.observe(f"flow.{event.flow}", event.duration)
+        elif kind == EXECUTION_FAILED:
+            self.inc("failures")
+            if event.flow:
+                self.inc(f"failures.{event.flow}")
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            timer_names = sorted(self._timers)
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "timers": {name: vars(self.timer(name))
+                       for name in timer_names},
+        }
+
+    def render(self, top: int = 8) -> str:
+        """The ``repro stats`` metrics summary."""
+        lines = ["execution metrics:"]
+        started = self.counter("flows.started")
+        finished = self.counter("flows.finished")
+        failures = self.counter("failures")
+        lines.append(f"  flows: {started} started, {finished} finished, "
+                     f"{failures} failed")
+        instances = self.counter("instances")
+        if instances:
+            busiest = sorted(
+                ((name.partition("instances.")[2], count)
+                 for name, count in self.counters("instances.").items()),
+                key=lambda kv: (-kv[1], kv[0]))[:top]
+            lines.append(f"  instances created: {instances} (" + ", ".join(
+                f"{name}={count}" for name, count in busiest) + ")")
+        tools = self.timers("tool.")
+        if tools:
+            by_total = sorted(tools.items(),
+                              key=lambda kv: (-kv[1].total, kv[0]))[:top]
+            lines.append("  slowest tool types:")
+            for name, stats in by_total:
+                tool = name.partition("tool.")[2]
+                lines.append(f"    {tool:<22} {stats.render()}")
+        invocations = self.counters("flow.")
+        if invocations:
+            busiest_flows = sorted(invocations.items(),
+                                   key=lambda kv: (-kv[1], kv[0]))[:top]
+            lines.append("  invocations by flow: " + ", ".join(
+                f"{name.partition('flow.')[2].rpartition('.invocations')[0]}"
+                f"={count}" for name, count in busiest_flows))
+        failure_flows = self.counters("failures.")
+        if failure_flows:
+            lines.append("  failures by flow: " + ", ".join(
+                f"{name.partition('failures.')[2]}={count}"
+                for name, count in sorted(failure_flows.items())))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"MetricsRegistry({len(self._counters)} counters, "
+                f"{len(self._gauges)} gauges, "
+                f"{len(self._timers)} timers)")

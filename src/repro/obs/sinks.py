@@ -1,0 +1,142 @@
+"""Event sinks: where emitted events go.
+
+A sink is anything with ``handle(event)`` (and optionally ``close()``).
+Three are provided:
+
+* :class:`NullSink` — drops events (explicit no-op);
+* :class:`RingBufferSink` — keeps the last N events in memory, the
+  test/debug sink;
+* :class:`JSONLSink` — schema-versioned append-only JSON-lines log,
+  replayable with :func:`replay_events` into an identical event
+  sequence (and therefore into any other sink, e.g. a
+  :class:`~repro.obs.metrics.MetricsRegistry`).
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import pathlib
+from typing import IO, Iterable, Iterator
+
+from ..errors import ObservabilityError
+from .events import Event
+
+
+class EventSink:
+    """Base class documenting the sink interface."""
+
+    def handle(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; further ``handle`` calls are undefined."""
+
+
+class NullSink(EventSink):
+    """Swallows every event."""
+
+    def handle(self, event: Event) -> None:
+        pass
+
+
+class RingBufferSink(EventSink):
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ObservabilityError("ring buffer capacity must be >= 1")
+        self._buffer: collections.deque[Event] = collections.deque(
+            maxlen=capacity)
+
+    def handle(self, event: Event) -> None:
+        self._buffer.append(event)
+
+    def events(self, event_type: str | None = None) -> tuple[Event, ...]:
+        if event_type is None:
+            return tuple(self._buffer)
+        return tuple(e for e in self._buffer
+                     if e.event_type == event_type)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class CallbackSink(EventSink):
+    """Adapts a plain callable into a sink."""
+
+    def __init__(self, fn) -> None:
+        self._fn = fn
+
+    def handle(self, event: Event) -> None:
+        self._fn(event)
+
+
+class JSONLSink(EventSink):
+    """Append-only JSON-lines event log.
+
+    One event per line, written eagerly and flushed so a crashed run
+    still leaves a readable prefix.  The file opens lazily on the first
+    event, so attaching the sink to an execution that emits nothing
+    creates no file.
+    """
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        self._handle: IO[str] | None = None
+
+    def handle(self, event: Event) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        json.dump(event.to_dict(), self._handle, sort_keys=True)
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JSONLSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def replay_events(path: str | pathlib.Path) -> Iterator[Event]:
+    """Stream events back out of a :class:`JSONLSink` log, in order."""
+    log = pathlib.Path(path)
+    if not log.exists():
+        raise ObservabilityError(f"no event log at {log}")
+    with open(log, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                spec = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ObservabilityError(
+                    f"{log}:{lineno}: corrupt event line "
+                    f"({error})") from None
+            yield Event.from_dict(spec)
+
+
+def read_events(path: str | pathlib.Path) -> tuple[Event, ...]:
+    """Eager variant of :func:`replay_events`."""
+    return tuple(replay_events(path))
+
+
+def replay_into(events: Iterable[Event], *sinks) -> int:
+    """Feed an event sequence through sinks; returns the event count."""
+    count = 0
+    for event in events:
+        for sink in sinks:
+            sink.handle(event)
+        count += 1
+    return count

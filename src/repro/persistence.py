@@ -80,7 +80,7 @@ def load_environment(directory: str | pathlib.Path, *,
     env.db = HistoryDatabase.from_dict(
         schema,
         json.loads((root / HISTORY_FILE).read_text(encoding="utf-8")),
-        codecs=codecs, clock=clock)
+        codecs=codecs, clock=clock, bus=env.bus)
     flows_path = root / FLOWS_FILE
     if flows_path.exists():
         for name, spec in json.loads(

@@ -22,7 +22,8 @@ from typing import Iterable, Sequence
 
 from ..errors import SchemaError
 from .dependency import data_dep, functional
-from .entity import EntityType, composed as composed_entity, data as data_entity
+from .entity import (EntityType, composed as composed_entity,
+                     data as data_entity)
 from .entity import tool as tool_entity
 from .schema import TaskSchema
 

@@ -80,7 +80,7 @@ class Dependency:
         return self.kind is DepKind.DATA
 
     def arc_label(self) -> str:
-        """The label the paper would draw on this arc (``f``, ``d`` or ``d?``)."""
+        """The arc label the paper draws (``f``, ``d`` or ``d?``)."""
         if self.is_functional:
             return "f"
         return "d?" if self.optional else "d"

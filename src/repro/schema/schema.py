@@ -168,7 +168,7 @@ class TaskSchema:
         return tuple(e for e in self._entities.values() if e.is_tool)
 
     def data_entities(self) -> tuple[EntityType, ...]:
-        """All data entity types (the paper's data side of the entity-catalog)."""
+        """All data entity types (the data side of the entity-catalog)."""
         return tuple(e for e in self._entities.values() if e.is_data)
 
     # ------------------------------------------------------------------

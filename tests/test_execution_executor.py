@@ -247,3 +247,46 @@ class TestExecutor:
         assert report.created_of_node(goal.node_id) == goal.produced
         assert report.created_of_node("n99") == ()
         assert report.runs == len(report.results)
+
+
+class TestExecutionReportMerge:
+    """Regression: merging parallel-lane reports must aggregate the
+    timing fields correctly — wall-clock by max (lanes overlap), serial
+    time by sum (it derives from the merged results)."""
+
+    @staticmethod
+    def result(duration: float):
+        from repro.execution import InvocationResult
+
+        return InvocationResult(
+            "run#1", "Simulator", ("Simulator#0001",), "enc", 1,
+            ("Performance#0001",), {"n0": ("Performance#0001",)},
+            duration)
+
+    def test_merge_takes_max_wall_time_not_sum(self):
+        from repro.execution import ExecutionReport
+
+        lane_a = ExecutionReport("f", results=[self.result(1.0)],
+                                 wall_time=1.0)
+        lane_b = ExecutionReport("f", results=[self.result(2.0)],
+                                 wall_time=2.0)
+        merged = ExecutionReport("f")
+        merged.merge(lane_a)
+        merged.merge(lane_b)
+        assert merged.wall_time == 2.0  # max, not 3.0
+        assert merged.serial_time == pytest.approx(3.0)
+        assert len(merged.results) == 2
+        assert merged.speedup == pytest.approx(1.5)
+
+    def test_sequential_report_wall_time_measured(self, bare_env):
+        flow, goal = TestExecutor().simulate_flow(bare_env)
+        report = bare_env.run(flow)
+        assert report.wall_time > 0
+        assert report.serial_time <= report.wall_time
+
+    def test_empty_report_has_neutral_speedup(self):
+        from repro.execution import ExecutionReport
+
+        report = ExecutionReport("f")
+        assert report.wall_time == 0.0
+        assert report.speedup == 1.0

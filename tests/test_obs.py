@@ -1,0 +1,316 @@
+"""Tests for the observability subsystem (events, sinks, metrics)."""
+
+import time
+
+import pytest
+
+from repro.errors import ObservabilityError, ToolError
+from repro.execution import (DesignEnvironment, ScheduledFlowExecutor,
+                             encapsulation)
+from repro.obs import (COMPOSITION_RUN, EXECUTION_FAILED, FLOW_FINISHED,
+                       FLOW_STARTED, INSTANCE_CREATED, LANE_ASSIGNED,
+                       NODE_READY, SCHEMA_VERSION, TOOL_FINISHED,
+                       TOOL_INVOKED, Event, EventBus, JSONLSink,
+                       MetricsRegistry, NullSink, RingBufferSink,
+                       read_events, replay_into)
+from repro.schema import standard as S
+from tests.conftest import build_performance_flow
+
+
+@pytest.fixture
+def ring(stocked_env) -> RingBufferSink:
+    sink = RingBufferSink()
+    stocked_env.bus.subscribe(sink)
+    return sink
+
+
+def simulate_flow(env):
+    return build_performance_flow(
+        env,
+        netlist_id=env.netlist.instance_id,
+        models_id=env.models.instance_id,
+        stimuli_id=env.stimuli.instance_id,
+        simulator_id=env.tools[S.SIMULATOR].instance_id)
+
+
+class TestEventBus:
+    def test_emit_without_sinks_is_noop(self):
+        bus = EventBus()
+        assert not bus.enabled
+        assert bus.emit(FLOW_STARTED, flow="f") is None
+
+    def test_emit_dispatches_in_sequence_order(self):
+        bus = EventBus()
+        sink = RingBufferSink()
+        bus.subscribe(sink)
+        bus.emit(FLOW_STARTED, flow="f")
+        bus.emit(FLOW_FINISHED, flow="f", duration=1.5)
+        first, second = sink.events()
+        assert (first.seq, second.seq) == (1, 2)
+        assert first.event_type == FLOW_STARTED
+        assert second.duration == 1.5
+        assert second.schema_version == SCHEMA_VERSION
+
+    def test_unknown_event_type_rejected(self):
+        bus = EventBus()
+        bus.subscribe(NullSink())
+        with pytest.raises(ObservabilityError):
+            bus.emit("made_up_event")
+
+    def test_sink_without_handle_rejected(self):
+        with pytest.raises(ObservabilityError):
+            EventBus().subscribe(object())
+
+    def test_unsubscribe_restores_fast_path(self):
+        bus = EventBus()
+        sink = RingBufferSink()
+        bus.subscribe(sink)
+        bus.unsubscribe(sink)
+        assert not bus.enabled
+        assert bus.emit(FLOW_STARTED) is None
+
+    def test_ring_buffer_evicts_oldest(self):
+        bus = EventBus()
+        sink = RingBufferSink(capacity=3)
+        bus.subscribe(sink)
+        for _ in range(5):
+            bus.emit(NODE_READY, node="n")
+        assert [e.seq for e in sink.events()] == [3, 4, 5]
+
+
+class TestEventOrdering:
+    def test_multi_node_flow_event_sequence(self, stocked_env, ring):
+        flow, goal = simulate_flow(stocked_env)
+        stocked_env.run(flow)
+        kinds = [e.event_type for e in ring.events()]
+        # one compose invocation (Circuit) then one tool invocation
+        # (Simulator), bracketed by flow start/finish
+        assert kinds == [
+            FLOW_STARTED,
+            NODE_READY, TOOL_INVOKED, INSTANCE_CREATED, COMPOSITION_RUN,
+            NODE_READY, TOOL_INVOKED, INSTANCE_CREATED, TOOL_FINISHED,
+            FLOW_FINISHED,
+        ]
+        seqs = [e.seq for e in ring.events()]
+        assert seqs == sorted(seqs)
+        assert all(e.flow == "simulate" for e in ring.events())
+
+    def test_events_join_back_onto_history(self, stocked_env, ring):
+        flow, goal = simulate_flow(stocked_env)
+        stocked_env.run(flow)
+        created = ring.events(INSTANCE_CREATED)
+        for event in created:
+            instance_id = event.value("instance_id")
+            assert instance_id in stocked_env.db
+            instance = stocked_env.db.get(instance_id)
+            assert instance.derivation.invocation == event.invocation_id
+        finished = ring.events(TOOL_FINISHED)[0]
+        assert finished.tool_type == S.SIMULATOR
+        assert finished.duration > 0
+        assert finished.value("created") == [
+            created[-1].value("instance_id")]
+
+    def test_installs_emit_instance_created(self, env):
+        sink = RingBufferSink()
+        env.bus.subscribe(sink)
+        env.install_data(S.STIMULI, {"vectors": []}, name="s")
+        event = sink.events(INSTANCE_CREATED)[-1]
+        assert event.value("installed") is True
+        assert event.value("entity_type") == S.STIMULI
+
+    def test_failure_emits_execution_failed(self, stocked_env, ring):
+        env = stocked_env
+
+        def explode(ctx, inputs):
+            raise ToolError("simulator crashed")
+
+        env.registry.register(S.SIMULATOR,
+                              encapsulation("boom", explode))
+        flow, goal = simulate_flow(env)
+        with pytest.raises(ToolError):
+            env.run(flow)
+        failed = ring.events(EXECUTION_FAILED)
+        assert len(failed) == 1
+        assert "simulator crashed" in failed[0].value("error")
+        assert not ring.events(FLOW_FINISHED)
+
+    def test_parallel_lanes_emit_lane_events(self, stocked_env):
+        env = stocked_env
+        sink = RingBufferSink()
+        env.bus.subscribe(sink)
+        # two disjoint single-node branches: two independent circuits
+        flow = env.new_flow("par")
+        n1 = flow.place(S.CIRCUIT)
+        n2 = flow.place(S.CIRCUIT)
+        for node in (n1, n2):
+            flow.expand(node)
+        for node in flow.nodes():
+            if node.entity_type == S.NETLIST:
+                flow.bind(node, env.netlist.instance_id)
+            elif node.entity_type == S.DEVICE_MODELS:
+                flow.bind(node, env.models.instance_id)
+        report = env.parallel_executor(machines=2).execute(flow)
+        assert len(report.results) == 2
+        lanes = sink.events(LANE_ASSIGNED)
+        assert len(lanes) == 2
+        # a fast lane may release its machine before the other acquires,
+        # so distinctness isn't guaranteed — pool membership is
+        assert {lane.machine for lane in lanes} <= \
+            {"machine0", "machine1"}
+        assert all(lane.value("branch") for lane in lanes)
+        summary = [e for e in sink.events(FLOW_FINISHED)
+                   if e.value("lanes") is not None]
+        assert summary and summary[-1].value("lanes") == 2
+        assert summary[-1].value("serial_time") == \
+            pytest.approx(report.serial_time)
+
+
+class TestMetricsRegistry:
+    def test_aggregation_across_repeated_invocations(self, stocked_env):
+        metrics = MetricsRegistry()
+        stocked_env.bus.subscribe(metrics)
+        flow, goal = simulate_flow(stocked_env)
+        stocked_env.run(flow)
+        stocked_env.run(flow, force=True)
+        stocked_env.run(flow, force=True)
+        assert metrics.counter(f"tool.{S.SIMULATOR}.invocations") == 3
+        assert metrics.counter("tool.@compose.invocations") == 3
+        assert metrics.counter("flows.started") == 3
+        assert metrics.counter("flows.finished") == 3
+        stats = metrics.timer(f"tool.{S.SIMULATOR}")
+        assert stats.count == 3
+        assert stats.total == pytest.approx(stats.mean * 3)
+        assert stats.p50 <= stats.p95 <= stats.max
+        assert metrics.counter("failures") == 0
+
+    def test_counters_and_gauges_api(self):
+        metrics = MetricsRegistry()
+        metrics.inc("a")
+        metrics.inc("a", 4)
+        metrics.set_gauge("queue_depth", 7.0)
+        assert metrics.counter("a") == 5
+        assert metrics.counter("missing") == 0
+        assert metrics.gauge("queue_depth") == 7.0
+        assert metrics.timer("missing").count == 0
+
+    def test_render_summarizes_failures_and_tools(self):
+        metrics = MetricsRegistry()
+        bus = EventBus()
+        bus.subscribe(metrics)
+        bus.emit(FLOW_STARTED, flow="f")
+        bus.emit(TOOL_FINISHED, flow="f", tool_type="Simulator",
+                 duration=0.25, payload={"runs": 1})
+        bus.emit(EXECUTION_FAILED, flow="f", payload={"error": "x"})
+        text = metrics.render()
+        assert "1 started" in text
+        assert "1 failed" in text
+        assert "Simulator" in text
+        assert "failures by flow: f=1" in text
+
+    def test_snapshot_shape(self):
+        metrics = MetricsRegistry()
+        metrics.inc("c")
+        metrics.observe("t", 0.5)
+        snap = metrics.snapshot()
+        assert snap["counters"] == {"c": 1}
+        assert snap["timers"]["t"]["count"] == 1
+
+
+class TestJsonlRoundTrip:
+    def test_write_replay_identical_sequence(self, stocked_env, ring,
+                                             tmp_path):
+        log = tmp_path / "events.jsonl"
+        jsonl = JSONLSink(log)
+        stocked_env.bus.subscribe(jsonl)
+        flow, goal = simulate_flow(stocked_env)
+        stocked_env.run(flow)
+        jsonl.close()
+        replayed = read_events(log)
+        assert replayed == ring.events()
+
+    def test_replay_into_metrics_matches_live(self, stocked_env, ring,
+                                              tmp_path):
+        log = tmp_path / "events.jsonl"
+        live = MetricsRegistry()
+        with JSONLSink(log) as jsonl:
+            stocked_env.bus.subscribe(jsonl)
+            stocked_env.bus.subscribe(live)
+            flow, goal = simulate_flow(stocked_env)
+            stocked_env.run(flow)
+        offline = MetricsRegistry()
+        count = replay_into(read_events(log), offline)
+        assert count == len(ring.events())
+        assert offline.snapshot() == live.snapshot()
+
+    def test_unsupported_schema_version_rejected(self, tmp_path):
+        log = tmp_path / "bad.jsonl"
+        log.write_text('{"schema_version": "obs2.v9", "seq": 1, '
+                       '"event_type": "flow_started", "timestamp": 0}\n')
+        with pytest.raises(ObservabilityError):
+            read_events(log)
+
+    def test_corrupt_line_rejected(self, tmp_path):
+        log = tmp_path / "bad.jsonl"
+        log.write_text("not json\n")
+        with pytest.raises(ObservabilityError):
+            read_events(log)
+
+    def test_missing_log_rejected(self, tmp_path):
+        with pytest.raises(ObservabilityError):
+            read_events(tmp_path / "absent.jsonl")
+
+
+class TestSchedulerFedFromEvents:
+    def test_duration_model_learns_from_bus(self):
+        from repro.execution import DurationModel
+
+        model = DurationModel(default=9.0)
+        bus = EventBus()
+        bus.subscribe(model)
+        bus.emit(TOOL_FINISHED, tool_type="Simulator", duration=2.0)
+        bus.emit(TOOL_FINISHED, tool_type="Simulator", duration=4.0)
+        bus.emit(COMPOSITION_RUN, tool_type="@compose", duration=1.0)
+        assert model.estimate("Simulator") == pytest.approx(3.0)
+        assert model.estimate(None) == pytest.approx(1.0)
+        assert model.estimate("Extractor") == 9.0
+
+    def test_scheduled_executor_feeds_model_via_events(self, stocked_env):
+        env = stocked_env
+        flow, goal = simulate_flow(env)
+        executor = ScheduledFlowExecutor(env.db, env.registry,
+                                         user=env.user, machines=2)
+        report = executor.execute(flow)
+        assert len(report.results) == 2
+        assert S.SIMULATOR in executor.durations.observed_types()
+        assert "@compose" in executor.durations.observed_types()
+        assert report.wall_time > 0
+
+
+class TestOverhead:
+    def test_no_sink_emission_is_cheap(self):
+        bus = EventBus()
+        iterations = 20_000
+        started = time.perf_counter()
+        for _ in range(iterations):
+            bus.emit(NODE_READY, flow="f", node="n")
+        elapsed = time.perf_counter() - started
+        # generous bound: a disabled bus must stay far under 50us/emit
+        assert elapsed < iterations * 50e-6
+
+    def test_uninstrumented_executor_uses_noop_bus(self, stocked_env):
+        executor = stocked_env.executor()
+        assert executor.bus is stocked_env.bus
+        assert not executor.bus.enabled
+        flow, goal = simulate_flow(stocked_env)
+        report = executor.execute(flow)
+        assert report.created  # execution unaffected
+
+
+class TestEventValueHelpers:
+    def test_payload_lookup_and_render(self):
+        event = Event(seq=1, event_type=FLOW_STARTED, timestamp=0.0,
+                      flow="f", payload=(("a", 1),))
+        assert event.value("a") == 1
+        assert event.value("missing", "dflt") == "dflt"
+        assert "flow=f" in event.render()
+        assert event.to_dict()["payload"] == {"a": 1}

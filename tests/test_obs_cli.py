@@ -1,0 +1,142 @@
+"""Tests for the ``repro events`` CLI and the CI pipeline config."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.obs import JSONLSink, read_events
+from repro.persistence import save_environment
+from repro.schema import standard as S
+from tests.conftest import build_performance_flow
+
+
+@pytest.fixture
+def event_log(stocked_env, tmp_path) -> pathlib.Path:
+    """A saved environment directory plus a recorded event log."""
+    log = tmp_path / "run.jsonl"
+    sink = JSONLSink(log)
+    stocked_env.bus.subscribe(sink)
+    flow, goal = build_performance_flow(
+        stocked_env,
+        netlist_id=stocked_env.netlist.instance_id,
+        models_id=stocked_env.models.instance_id,
+        stimuli_id=stocked_env.stimuli.instance_id,
+        simulator_id=stocked_env.tools[S.SIMULATOR].instance_id)
+    stocked_env.run(flow)
+    sink.close()
+    save_environment(stocked_env, tmp_path / "proj")
+    return log
+
+
+class TestEventsCommand:
+    def run(self, *argv: str) -> int:
+        return main(list(argv))
+
+    def test_renders_all_events(self, event_log, capsys):
+        assert self.run("events", str(event_log)) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == len(read_events(event_log))
+        assert "flow_started" in out[0]
+        assert "flow_finished" in out[-1]
+
+    def test_type_filter(self, event_log, capsys):
+        assert self.run("events", str(event_log),
+                        "--type", "tool_finished") == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 1
+        assert "tool=Simulator" in out[0]
+
+    def test_unknown_type_rejected(self, event_log, capsys):
+        assert self.run("events", str(event_log),
+                        "--type", "nonsense") == 2
+        assert "unknown event type" in capsys.readouterr().err
+
+    def test_tool_filter_and_tail(self, event_log, capsys):
+        assert self.run("events", str(event_log), "--tool", "Simulator",
+                        "--tail", "1") == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 1
+
+    def test_json_output_round_trips(self, event_log, capsys):
+        assert self.run("events", str(event_log), "--json") == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        specs = [json.loads(line) for line in lines]
+        assert [s["seq"] for s in specs] == sorted(
+            s["seq"] for s in specs)
+        assert all(s["schema_version"] == "obs.v1" for s in specs)
+
+    def test_replay_summarizes_metrics(self, event_log, capsys):
+        assert self.run("events", str(event_log), "--replay") == 0
+        out = capsys.readouterr().out
+        assert "execution metrics:" in out
+        assert "Simulator" in out
+        assert "1 started, 1 finished, 0 failed" in out
+
+    def test_negative_tail_rejected(self, event_log, capsys):
+        assert self.run("events", str(event_log), "--tail", "-1") == 2
+        assert "--tail must be >= 0" in capsys.readouterr().err
+
+    def test_zero_tail_shows_nothing(self, event_log, capsys):
+        assert self.run("events", str(event_log), "--tail", "0") == 0
+        assert capsys.readouterr().out == ""
+
+    def test_missing_log_is_error(self, tmp_path, capsys):
+        assert self.run("events", str(tmp_path / "none.jsonl")) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_stats_with_events(self, event_log, tmp_path, capsys):
+        assert self.run("stats", str(tmp_path / "proj"),
+                        "--events", str(event_log)) == 0
+        out = capsys.readouterr().out
+        assert "history statistics:" in out
+        assert "execution metrics:" in out
+
+    def test_session_records_events(self, tmp_path, capsys):
+        directory = str(tmp_path / "cliproj")
+        log = tmp_path / "session.jsonl"
+        assert self.run("init", directory) == 0
+        assert self.run("session", directory, "--events", str(log),
+                        "-c", "new t", "-c", "place Netlist") == 0
+        # nothing executed: flow construction alone emits no events,
+        # and the lazy sink leaves no file behind
+        assert not log.exists()
+
+
+class TestCiPipelineConfig:
+    """The workflow file must exist, parse, and run the tier-1 command."""
+
+    WORKFLOW = pathlib.Path(__file__).parent.parent / ".github" \
+        / "workflows" / "ci.yml"
+
+    def test_workflow_parses_and_covers_tier1(self):
+        yaml = pytest.importorskip("yaml")
+        doc = yaml.safe_load(self.WORKFLOW.read_text(encoding="utf-8"))
+        triggers = doc.get("on", doc.get(True))
+        assert {"push", "pull_request"} <= set(triggers)
+        jobs = doc["jobs"]
+        assert {"lint", "test", "bench-smoke"} <= set(jobs)
+        matrix = jobs["test"]["strategy"]["matrix"]["python-version"]
+        assert matrix == ["3.10", "3.11", "3.12"]
+        runs = [step.get("run", "") for step in jobs["test"]["steps"]]
+        assert any("PYTHONPATH=src python -m pytest -x -q" in r
+                   for r in runs)
+        bench_steps = jobs["bench-smoke"]["steps"]
+        assert any("benchmarks -q" in s.get("run", "")
+                   for s in bench_steps)
+        assert any("upload-artifact" in s.get("uses", "")
+                   for s in bench_steps)
+
+    def test_ruff_configured(self):
+        tomllib = pytest.importorskip("tomllib")
+        pyproject = pathlib.Path(__file__).parent.parent \
+            / "pyproject.toml"
+        with open(pyproject, "rb") as handle:
+            config = tomllib.load(handle)
+        ruff = config["tool"]["ruff"]
+        assert ruff["line-length"] == 79
+        assert ruff["target-version"] == "py310"
+        assert "isort" in ruff["lint"]
+        assert "ruff" in " ".join(
+            config["project"]["optional-dependencies"]["dev"])
