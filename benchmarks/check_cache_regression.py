@@ -1,0 +1,148 @@
+"""CI gate: the derivation cache must fully coalesce a warm re-run.
+
+Runs the Fig. 5 complex flow twice in one process with the derivation
+cache enabled and fails (exit 1) when:
+
+* the warm run executes ANY tool invocation (the acceptance criterion:
+  a warm re-run performs zero tool runs and returns the same ids);
+* the warm run does not emit one ``cache_hit`` event per coalesced
+  invocation;
+* the structural numbers (cold invocations, instances created, warm
+  hits) drift more than the tolerance from the checked-in baseline in
+  ``benchmarks/artifacts/cache_baseline.json``;
+* the warm run's wall time exceeds the cold run's by more than the
+  tolerance (a very lenient sanity bound — counts, not clocks, are the
+  real contract, so machine speed never flakes this check).
+
+Regenerate the baseline after an intentional structural change with::
+
+    PYTHONPATH=src python benchmarks/check_cache_regression.py \
+        --write-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+BASELINE = (pathlib.Path(__file__).parent / "artifacts"
+            / "cache_baseline.json")
+TOLERANCE = 0.25
+
+
+def run_once():
+    """Cold + warm Fig. 5 execution in one environment; returns stats."""
+    from conftest import fresh_env
+    from test_bench_fig05_complex_flow import (build_fig5_flow,
+                                               build_layout_instance)
+    from repro.obs import CACHE_HIT, RingBufferSink
+    from repro.schema import standard as S
+    from repro.tools import default_models, exhaustive, tech_map
+    from repro.tools.logic import LogicSpec
+
+    env = fresh_env()
+    env.models = env.install_data(S.DEVICE_MODELS, default_models(),
+                                  name="tech")
+    env.stimuli_inv = env.install_data(S.STIMULI, exhaustive(("a",)),
+                                       name="a-vec")
+    reference = env.install_data(
+        S.EDITED_NETLIST,
+        tech_map(LogicSpec.from_equations("ref", "y = ~a")),
+        name="ref-inv")
+    layout_id = build_layout_instance(env)
+
+    cold_flow = build_fig5_flow(env, layout_id, reference.instance_id)
+    cold_started = time.perf_counter()
+    cold = env.run(cold_flow, cache="readwrite")
+    cold_elapsed = time.perf_counter() - cold_started
+
+    sink = RingBufferSink(256)
+    env.bus.subscribe(sink)
+    warm_flow = build_fig5_flow(env, layout_id, reference.instance_id)
+    warm_started = time.perf_counter()
+    warm = env.run(warm_flow, cache="reuse")
+    warm_elapsed = time.perf_counter() - warm_started
+    hit_events = sum(1 for e in sink.events()
+                     if e.event_type == CACHE_HIT)
+
+    return {
+        "cold_invocations": len(cold.results),
+        "cold_created": len(cold.created),
+        "warm_invocations": len(warm.results),
+        "warm_hits": warm.cache_hits,
+        "warm_reused": len(warm.reused),
+        "hit_events": hit_events,
+        "same_ids": sorted(warm.reused) == sorted(cold.created),
+        "cold_elapsed": cold_elapsed,
+        "warm_elapsed": warm_elapsed,
+    }
+
+
+def check(stats: dict, baseline: dict | None) -> list[str]:
+    failures = []
+    if stats["warm_invocations"] != 0:
+        failures.append(
+            f"warm run executed {stats['warm_invocations']} tool "
+            "invocations; expected 0 (full coalescing)")
+    if not stats["same_ids"]:
+        failures.append("warm run did not return the cold run's "
+                        "instance ids")
+    if stats["hit_events"] != stats["warm_hits"] \
+            or stats["warm_hits"] == 0:
+        failures.append(
+            f"expected one cache_hit event per coalesced invocation, "
+            f"got {stats['hit_events']} events for "
+            f"{stats['warm_hits']} hits")
+    if stats["warm_elapsed"] > stats["cold_elapsed"] * (1 + TOLERANCE) \
+            and stats["warm_elapsed"] > 0.05:
+        failures.append(
+            f"warm run ({stats['warm_elapsed']:.3f}s) slower than "
+            f"cold ({stats['cold_elapsed']:.3f}s) beyond tolerance")
+    if baseline is not None:
+        for key in ("cold_invocations", "cold_created", "warm_hits",
+                    "warm_reused"):
+            want, got = baseline[key], stats[key]
+            if want and abs(got - want) / want > TOLERANCE:
+                failures.append(
+                    f"{key} regressed: baseline {want}, measured {got} "
+                    f"(>{TOLERANCE:.0%} drift)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record current numbers as the baseline")
+    args = parser.parse_args(argv)
+    stats = run_once()
+    print(json.dumps(stats, indent=1, sort_keys=True))
+    if args.write_baseline:
+        BASELINE.parent.mkdir(exist_ok=True)
+        recorded = {k: v for k, v in stats.items()
+                    if not k.endswith("_elapsed")}
+        BASELINE.write_text(json.dumps(recorded, indent=1,
+                                       sort_keys=True) + "\n",
+                            encoding="utf-8")
+        print(f"baseline written to {BASELINE}")
+        return 0
+    baseline = None
+    if BASELINE.exists():
+        baseline = json.loads(BASELINE.read_text(encoding="utf-8"))
+    else:
+        print(f"warning: no baseline at {BASELINE}; structural-drift "
+              "checks skipped", file=sys.stderr)
+    failures = check(stats, baseline)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("cache regression check passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

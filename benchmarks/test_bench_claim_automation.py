@@ -10,7 +10,7 @@ dependency order.
 
 from repro.schema import standard as S
 from repro.tools import (default_models, exhaustive, stdcell_layout,
-                         standard_library, tech_map)
+                         standard_library)
 from repro.tools.logic import LogicSpec
 
 from conftest import fresh_env

@@ -8,6 +8,7 @@ Hercules session — enough to drive a design from a shell::
     python -m repro browse ./proj Netlist --keyword mux
     python -m repro session ./proj --events run.jsonl \\
         -c "place Performance" -c "expand n0"
+    python -m repro run ./proj my-flow --cache reuse
     python -m repro history ./proj Performance#0001
     python -m repro stale ./proj
     python -m repro events run.jsonl --type tool_finished
@@ -22,10 +23,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
 from typing import Sequence
 
 from .errors import ReproError
+from .execution.cache import CACHE_OFF, CACHE_POLICIES
 from .execution.context import DesignEnvironment
 from .history.consistency import consistency_report
 from .history.database import BrowseFilter
@@ -33,7 +36,7 @@ from .history.query import dependents_of_type
 from .history.trace import backward_trace
 from .obs import (EVENT_TYPES, JSONLSink, MetricsRegistry, replay_events,
                   replay_into)
-from .persistence import load_environment, save_environment
+from .persistence import CACHE_FILE, load_environment, save_environment
 from .schema.standard import fig1_schema, fig2_schema, odyssey_schema
 from .tools import install_standard_tools, register_standard_encapsulations
 from .ui.session import HerculesSession
@@ -124,6 +127,35 @@ def cmd_retrace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_run(args: argparse.Namespace) -> int:
+    env = _load(args.directory)
+    sink = None
+    if args.events:
+        sink = JSONLSink(args.events)
+        env.bus.subscribe(sink)
+    flow = env.plan_flow(args.flow)
+    try:
+        report = env.run(flow, targets=args.target or None,
+                         force=args.force,
+                         cache=None if args.cache == "off" else args.cache)
+    finally:
+        if sink is not None:
+            sink.close()
+    save_environment(env, args.directory)
+    print(f"ran {args.flow!r}: {report.runs} tool runs, "
+          f"{len(report.created)} instances created, "
+          f"{report.cache_hits} cache hits "
+          f"({len(report.reused)} instances reused)")
+    if report.cache_hits:
+        print(f"  saved {report.time_saved * 1000.0:.1f}ms and "
+              f"{report.bytes_saved} bytes of tool output")
+    for instance_id in report.created:
+        print(f"  created {instance_id}")
+    for instance_id in report.reused:
+        print(f"  reused  {instance_id}")
+    return 0
+
+
 def cmd_session(args: argparse.Namespace) -> int:
     env = _load(args.directory)
     sink = None
@@ -160,6 +192,13 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
     env = _load(args.directory)
     print(history_statistics(env.db).render())
+    cache_path = pathlib.Path(args.directory) / CACHE_FILE
+    if cache_path.exists():
+        snapshot = json.loads(cache_path.read_text(encoding="utf-8"))
+        entries = snapshot.get("entries", {})
+        groups = sum(len(e.get("groups", ())) for e in entries.values())
+        print(f"derivation cache: {len(entries)} keys, "
+              f"{groups} remembered results")
     if args.events:
         metrics = MetricsRegistry()
         replay_into(replay_events(args.events), metrics)
@@ -257,6 +296,24 @@ def build_parser() -> argparse.ArgumentParser:
     retrace.add_argument("directory")
     retrace.add_argument("instance")
     retrace.set_defaults(fn=cmd_retrace)
+
+    run = commands.add_parser(
+        "run", help="execute a cataloged flow (optionally cached)")
+    run.add_argument("directory")
+    run.add_argument("flow", help="a flow name from the catalog "
+                                  "(see 'repro info')")
+    run.add_argument("--target", action="append",
+                     help="only produce these nodes (repeatable)")
+    run.add_argument("--force", action="store_true",
+                     help="recompute even already-produced nodes")
+    run.add_argument("--cache", choices=sorted(CACHE_POLICIES),
+                     default=CACHE_OFF,
+                     help="re-execution cache policy: reuse remembered "
+                          "results ('reuse'), also index new ones "
+                          "('readwrite'), or neither ('off', default)")
+    run.add_argument("--events",
+                     help="record execution events to this JSONL log")
+    run.set_defaults(fn=cmd_run)
 
     session = commands.add_parser(
         "session", help="run Hercules commands against the environment")

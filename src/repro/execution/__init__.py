@@ -5,11 +5,15 @@ fan-out semantics of the instance browser (section 4.1), and the parallel
 disjoint-branch execution of Fig. 6.
 """
 
+from .cache import (CACHE_OFF, CACHE_POLICIES, CACHE_READWRITE,
+                    CACHE_REUSE, CacheHit, CacheStats, DerivationCache,
+                    normalize_policy)
 from .context import DesignEnvironment
 from .encapsulation import (EncapsulationRegistry, ToolContext,
                             ToolEncapsulation, default_composition,
-                            encapsulation)
-from .executor import ExecutionReport, FlowExecutor, InvocationResult
+                            encapsulation, fingerprint_callable)
+from .executor import (CachedInvocation, ExecutionReport, FlowExecutor,
+                       InvocationResult)
 from .parallel import (BranchPlan, Machine, MachinePool,
                        ParallelFlowExecutor, plan_branches)
 from .scheduler import (DurationModel, Schedule, ScheduleEntry,
@@ -17,6 +21,14 @@ from .scheduler import (DurationModel, Schedule, ScheduleEntry,
 
 __all__ = [
     "BranchPlan",
+    "CACHE_OFF",
+    "CACHE_POLICIES",
+    "CACHE_READWRITE",
+    "CACHE_REUSE",
+    "CacheHit",
+    "CacheStats",
+    "CachedInvocation",
+    "DerivationCache",
     "DesignEnvironment",
     "DurationModel",
     "EncapsulationRegistry",
@@ -33,6 +45,8 @@ __all__ = [
     "ToolEncapsulation",
     "default_composition",
     "encapsulation",
+    "fingerprint_callable",
+    "normalize_policy",
     "plan_branches",
     "plan_schedule",
 ]

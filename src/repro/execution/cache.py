@@ -1,0 +1,411 @@
+"""Derivation-keyed incremental re-execution cache.
+
+Every design object already carries a :class:`DerivationRecord` (the
+immediate tool and data inputs that created it — paper section 1) and
+the datastore is content-addressed, so the ingredients of Make/Dask
+style memoization are free: a *derivation key* — tool type, tool data
+content, encapsulation fingerprint, canonical content digests of every
+bound input and the output-type signature — uniquely identifies one
+tool run.  The :class:`DerivationCache` maintains a key -> instance-ids
+index over a :class:`~repro.history.database.HistoryDatabase`; an
+executor that is about to run a tool asks the cache first, and on a hit
+reuses the recorded instances instead of calling the tool again.
+
+A hit is only taken when every remembered instance is still up to date
+(:func:`repro.history.consistency.all_up_to_date`), so version-wise
+staleness — an edited input anywhere upstream — silently degrades to a
+miss and a fresh run, exactly the paper's consistency-maintenance rules
+applied in reverse.
+
+The index is populated three ways:
+
+* **on record** — the cache registers as a record listener on the
+  database, so every instance written while the cache is attached is
+  indexed immediately;
+* **lazily for pre-existing histories** — the first lookup sweeps any
+  instances the listener never saw (e.g. a history loaded from disk)
+  and indexes their recorded derivations under current fingerprints;
+* **from a persisted snapshot** — :mod:`repro.persistence` saves the
+  index as ``cache.json``; a snapshot is only believed when the current
+  encapsulation registry's :meth:`signature` matches the one it was
+  built against, otherwise it is dropped and rebuilt lazily.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from ..errors import ExecutionError
+from ..history.consistency import all_up_to_date
+from ..history.database import HistoryDatabase
+from ..history.instance import EntityInstance
+from .encapsulation import EncapsulationRegistry, fingerprint_callable
+
+# -- cache policies ----------------------------------------------------------
+CACHE_OFF = "off"            #: no lookups, no indexing of this run
+CACHE_REUSE = "reuse"        #: reuse hits; do not index this run's results
+CACHE_READWRITE = "readwrite"  #: reuse hits and index fresh results
+
+CACHE_POLICIES = (CACHE_OFF, CACHE_REUSE, CACHE_READWRITE)
+
+
+def normalize_policy(policy: str | None) -> str:
+    """Validate a ``cache=`` policy value (``None`` means off)."""
+    if policy is None:
+        return CACHE_OFF
+    if policy not in CACHE_POLICIES:
+        raise ExecutionError(
+            f"unknown cache policy {policy!r}; choose from "
+            f"{', '.join(CACHE_POLICIES)}")
+    return policy
+
+
+@dataclass(frozen=True)
+class CacheHit:
+    """One remembered tool run the executor may coalesce.
+
+    ``outputs`` preserves the recording order of ``(entity_type,
+    instance_id)`` pairs, so multi-output invocations (Fig. 5) can map
+    each reused instance back onto the right flow node.
+    """
+
+    key: str
+    outputs: tuple[tuple[str, str], ...]
+    saved: float
+    bytes_saved: int
+
+    @property
+    def instance_ids(self) -> tuple[str, ...]:
+        return tuple(instance_id for _, instance_id in self.outputs)
+
+    def ids_by_type(self) -> dict[str, list[str]]:
+        grouped: dict[str, list[str]] = {}
+        for entity_type, instance_id in self.outputs:
+            grouped.setdefault(entity_type, []).append(instance_id)
+        return grouped
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache (process lifetime)."""
+
+    hits: int = 0
+    misses: int = 0
+    bytes_saved: int = 0
+    time_saved: float = 0.0
+    invalidated: int = 0
+
+    def render(self) -> str:
+        total = self.hits + self.misses
+        rate = (100.0 * self.hits / total) if total else 0.0
+        return (f"derivation cache: {self.hits} hits, "
+                f"{self.misses} misses ({rate:.0f}% hit rate), "
+                f"{self.bytes_saved} bytes saved, "
+                f"{self.time_saved * 1e3:.2f}ms saved, "
+                f"{self.invalidated} stale entries skipped")
+
+
+@dataclass
+class _Entry:
+    """All remembered runs for one derivation key, newest last."""
+
+    groups: list[tuple[tuple[str, str], ...]] = field(default_factory=list)
+    duration: float = 0.0
+
+
+class DerivationCache:
+    """Key -> instance-ids index enabling incremental re-execution."""
+
+    def __init__(self, db: HistoryDatabase,
+                 registry: EncapsulationRegistry) -> None:
+        self.db = db
+        self.registry = registry
+        self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self._entries: dict[str, _Entry] = {}
+        self._seen: set[str] = set()
+        self._dirty: list[EntityInstance] = []
+        self._synced = False
+        self._attached = False
+        self._pending: dict[str, Any] | None = None
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self) -> "DerivationCache":
+        """Start indexing every instance the database records."""
+        if not self._attached:
+            self.db.add_record_listener(self._on_record)
+            self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self.db.remove_record_listener(self._on_record)
+            self._attached = False
+
+    def _on_record(self, instance: EntityInstance) -> None:
+        """Record listener: capture freshly written instances.
+
+        Sibling outputs of one multi-output run arrive one at a time, so
+        keys (which embed the full output signature) cannot be computed
+        here; instances queue up and are grouped and indexed in batch at
+        the next :meth:`sync`.
+        """
+        with self._lock:
+            self._dirty.append(instance)
+
+    # ------------------------------------------------------------------
+    # derivation keys
+    # ------------------------------------------------------------------
+    def _data_digest(self, instance_id: str) -> str:
+        instance = self.db.get(instance_id)
+        if instance.data_ref is None:
+            return ""
+        # legacy short refs resolve to full-length digests, so keys
+        # never inherit the old truncation collisions
+        return self.db.datastore.resolve(instance.data_ref)
+
+    def tool_run_key(self, tool_id: str,
+                     combo: Mapping[str, Any],
+                     output_types: Iterable[str]) -> str:
+        """Derivation key for one tool call.
+
+        ``combo`` maps role names to an input instance id (fan-out mode)
+        or a list of them (batch mode).
+        """
+        tool = self.db.get(tool_id)
+        encapsulation = self.registry.resolve(tool.entity_type, tool_id)
+        return self._key(
+            kind="tool",
+            tool_type=tool.entity_type,
+            tool_digest=self._data_digest(tool_id),
+            code=encapsulation.fingerprint(),
+            combo=combo,
+            output_types=output_types)
+
+    def composition_key(self, entity_type: str,
+                        combo: Mapping[str, Any]) -> str:
+        """Derivation key for one implicit-composition run."""
+        compose = self.registry.composition(entity_type)
+        return self._key(
+            kind="compose",
+            tool_type=entity_type,
+            tool_digest="",
+            code=fingerprint_callable(compose),
+            combo=combo,
+            output_types=(entity_type,))
+
+    def _key(self, *, kind: str, tool_type: str, tool_digest: str,
+             code: str, combo: Mapping[str, Any],
+             output_types: Iterable[str]) -> str:
+        inputs = []
+        for role in sorted(combo):
+            ref = combo[role]
+            ids = ref if isinstance(ref, (list, tuple)) else (ref,)
+            inputs.append(
+                [role, sorted(self._data_digest(i) for i in ids)])
+        spec = json.dumps(
+            {"kind": kind, "tool": tool_type, "tool_data": tool_digest,
+             "code": code, "inputs": inputs,
+             "outputs": sorted(output_types)},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(spec.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # index maintenance
+    # ------------------------------------------------------------------
+    def sync(self) -> int:
+        """Materialize the index from captured and pre-existing records.
+
+        Drains the record listener's queue and — on first use — sweeps
+        the whole database, so histories that predate the cache (or were
+        loaded from disk) participate.  Instances are grouped into tool
+        runs by ``(invocation, tool, inputs)`` before keys are computed,
+        so multi-output siblings land in one group under one key.
+        Returns the number of instances newly indexed.
+        """
+        with self._lock:
+            self._absorb_pending()
+            batch = self._dirty
+            self._dirty = []
+            if not self._synced:
+                batch = list(self.db.instances())
+                self._synced = True
+            groups: dict[tuple[Any, ...], list[EntityInstance]] = {}
+            added = 0
+            for instance in batch:
+                if instance.instance_id in self._seen:
+                    continue
+                self._seen.add(instance.instance_id)
+                added += 1
+                derivation = instance.derivation
+                if derivation is None:
+                    continue
+                groups.setdefault(
+                    (derivation.invocation, derivation.tool,
+                     derivation.inputs), []).append(instance)
+            for (_, tool, inputs), members in groups.items():
+                members.sort(key=lambda i: (i.timestamp, i.instance_id))
+                combo: dict[str, list[str]] = {}
+                for role, input_id in inputs:
+                    combo.setdefault(role, []).append(input_id)
+                try:
+                    if tool is None:
+                        key = self.composition_key(
+                            members[0].entity_type, combo)
+                    else:
+                        key = self.tool_run_key(
+                            tool, combo,
+                            sorted({m.entity_type for m in members}))
+                except Exception:
+                    # underivable record (unregistered encapsulation,
+                    # vanished blob, ...): stays uncached
+                    continue
+                pairs = tuple((m.entity_type, m.instance_id)
+                              for m in members)
+                self._remember(key, pairs)
+            return added
+
+    def _remember(self, key: str,
+                  pairs: tuple[tuple[str, str], ...]) -> None:
+        entry = self._entries.setdefault(key, _Entry())
+        members = frozenset(pairs)
+        if not any(frozenset(g) == members for g in entry.groups):
+            entry.groups.append(pairs)
+
+    def invalidate(self) -> None:
+        """Drop the whole index (it will lazily rebuild on next use)."""
+        with self._lock:
+            self._entries.clear()
+            self._seen.clear()
+            self._dirty = []
+            self._synced = False
+            self._pending = None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def fetch(self, key: str,
+              output_types: Iterable[str]) -> CacheHit | None:
+        """Newest remembered run for ``key`` that is still reusable.
+
+        Validates that the remembered instances exist, are up to date
+        version-wise, and cover the requested output types; stale or
+        incomplete groups are skipped (and counted as invalidated).
+        Updates hit/miss statistics.
+        """
+        wanted = sorted(output_types)
+        with self._lock:
+            self.sync()
+            entry = self._entries.get(key)
+            groups = list(entry.groups) if entry is not None else []
+            duration = entry.duration if entry is not None else 0.0
+
+        def recency(group: tuple[tuple[str, str], ...]) -> float:
+            # rank by actual member timestamps, not list position: a
+            # persisted snapshot may interleave with swept history in
+            # either order
+            stamps = [self.db.get(instance_id).timestamp
+                      for _, instance_id in group
+                      if instance_id in self.db]
+            return max(stamps) if stamps else -1.0
+
+        for group in sorted(groups, key=recency, reverse=True):
+            types = sorted(entity_type for entity_type, _ in group)
+            if types != wanted:
+                continue
+            ids = [instance_id for _, instance_id in group]
+            if not all_up_to_date(self.db, ids):
+                with self._lock:
+                    self.stats.invalidated += 1
+                continue
+            bytes_saved = 0
+            for instance_id in ids:
+                ref = self.db.get(instance_id).data_ref
+                if ref is not None:
+                    bytes_saved += self.db.datastore.size(ref)
+            with self._lock:
+                self.stats.hits += 1
+                self.stats.bytes_saved += bytes_saved
+                self.stats.time_saved += duration
+            return CacheHit(key, tuple(group), duration, bytes_saved)
+        with self._lock:
+            self.stats.misses += 1
+        return None
+
+    def store(self, key: str, outputs: Iterable[tuple[str, str]],
+              duration: float = 0.0) -> None:
+        """Index one freshly executed run under its key.
+
+        The record listener has usually indexed the instances already;
+        this entry point additionally remembers the measured duration
+        (the basis of ``time saved`` reporting) and covers databases the
+        cache is not attached to.
+        """
+        group = tuple(outputs)
+        if not group:
+            return
+        with self._lock:
+            self.sync()
+            self._seen.update(instance_id for _, instance_id in group)
+            entry = self._entries.setdefault(key, _Entry())
+            if duration > 0.0:
+                entry.duration = duration
+            self._remember(key, group)
+
+    # ------------------------------------------------------------------
+    # persistence (used by repro.persistence)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        with self._lock:
+            self.sync()
+            return {
+                "signature": self.registry.signature(),
+                "seen": sorted(self._seen),
+                "entries": {
+                    key: {"duration": entry.duration,
+                          "groups": [[[t, i] for t, i in group]
+                                     for group in entry.groups]}
+                    for key, entry in sorted(self._entries.items())
+                },
+            }
+
+    def restore(self, payload: dict[str, Any]) -> None:
+        """Adopt a persisted index snapshot.
+
+        Deferred until first use: encapsulations are registered *after*
+        an environment loads, so the signature check must wait for them.
+        """
+        with self._lock:
+            self._pending = payload
+
+    def _absorb_pending(self) -> None:
+        payload, self._pending = self._pending, None
+        if not payload:
+            return
+        if payload.get("signature") != self.registry.signature():
+            # encapsulation code changed since the snapshot: every key
+            # in it embeds a dead fingerprint, so rebuild from history
+            return
+        for key, spec in payload.get("entries", {}).items():
+            entry = self._entries.setdefault(key, _Entry())
+            entry.duration = float(spec.get("duration", 0.0))
+            for group in spec.get("groups", ()):
+                pairs = tuple((entity_type, instance_id)
+                              for entity_type, instance_id in group)
+                if pairs and pairs not in entry.groups:
+                    entry.groups.append(pairs)
+        self._seen.update(payload.get("seen", ()))
+
+    def __repr__(self) -> str:
+        return (f"DerivationCache({len(self._entries)} keys, "
+                f"{len(self._seen)} instances indexed)")

@@ -24,9 +24,11 @@ from ..obs import EventBus
 from ..schema.catalog import (DataTypeCatalog, EntityCatalog, FlowCatalog,
                               ToolCatalog)
 from ..schema.schema import TaskSchema
+from .cache import CACHE_OFF, DerivationCache, normalize_policy
 from .encapsulation import (EncapsulationRegistry, ToolEncapsulation)
 from .executor import ExecutionReport, FlowExecutor
 from .parallel import MachinePool, ParallelFlowExecutor
+from .scheduler import DurationModel, ScheduledFlowExecutor
 
 
 class DesignEnvironment:
@@ -51,6 +53,20 @@ class DesignEnvironment:
         self.entity_catalog = EntityCatalog(schema)
         self.tool_catalog = ToolCatalog(schema)
         self.data_type_catalog = DataTypeCatalog(schema)
+        self._cache: DerivationCache | None = None
+
+    @property
+    def cache(self) -> DerivationCache:
+        """The environment's derivation cache (created and attached lazily).
+
+        Attaching registers a record listener on the history database, so
+        results produced by *any* executor of this environment become
+        reusable; executors only consult it when asked to (``cache=``).
+        """
+        if self._cache is None:
+            self._cache = DerivationCache(self.db, self.registry)
+            self._cache.attach()
+        return self._cache
 
     # ------------------------------------------------------------------
     # installation (source entities enter from outside the flows)
@@ -113,22 +129,54 @@ class DesignEnvironment:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def executor(self, machine: str = "local") -> FlowExecutor:
-        return FlowExecutor(self.db, self.registry, user=self.user,
-                            machine=machine, bus=self.bus)
+    def _cache_args(self, cache: str | None):
+        """(cache object, policy) for an executor; ``off`` stays inert —
+        the cache is not even constructed."""
+        policy = normalize_policy(cache)
+        if policy == CACHE_OFF:
+            return None, CACHE_OFF
+        return self.cache, policy
+
+    def executor(self, machine: str = "local", *,
+                 cache: str | None = None) -> FlowExecutor:
+        cache_obj, policy = self._cache_args(cache)
+        return FlowExecutor(
+            self.db, self.registry, user=self.user, machine=machine,
+            bus=self.bus, cache=cache_obj, cache_policy=policy)
 
     def parallel_executor(self, machines: int = 2,
-                          pool: MachinePool | None = None
+                          pool: MachinePool | None = None, *,
+                          cache: str | None = None
                           ) -> ParallelFlowExecutor:
-        return ParallelFlowExecutor(self.db, self.registry,
-                                    user=self.user, pool=pool,
-                                    machines=machines, bus=self.bus)
+        cache_obj, policy = self._cache_args(cache)
+        return ParallelFlowExecutor(
+            self.db, self.registry, user=self.user, pool=pool,
+            machines=machines, bus=self.bus, cache=cache_obj,
+            cache_policy=policy)
+
+    def scheduled_executor(self, machines: int = 2,
+                           pool: MachinePool | None = None,
+                           durations: DurationModel | None = None, *,
+                           cache: str | None = None
+                           ) -> ScheduledFlowExecutor:
+        cache_obj, policy = self._cache_args(cache)
+        return ScheduledFlowExecutor(
+            self.db, self.registry, user=self.user, pool=pool,
+            machines=machines, durations=durations, bus=self.bus,
+            cache=cache_obj, cache_policy=policy)
 
     def run(self, flow: DynamicFlow | TaskGraph,
             targets: Sequence[str] | None = None, *,
-            force: bool = False) -> ExecutionReport:
-        """Execute a flow with a fresh sequential executor."""
-        return self.executor().execute(flow, targets=targets, force=force)
+            force: bool = False,
+            cache: str | None = None) -> ExecutionReport:
+        """Execute a flow with a fresh sequential executor.
+
+        ``cache`` selects the re-execution policy: ``"off"`` (default),
+        ``"reuse"`` (read-only coalescing of remembered results) or
+        ``"readwrite"`` (also index new results eagerly).
+        """
+        return self.executor(cache=cache).execute(
+            flow, targets=targets, force=force)
 
     # ------------------------------------------------------------------
     # composed entities (section 3.1)

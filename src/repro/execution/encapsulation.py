@@ -27,11 +27,45 @@ output entity type.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import types
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from ..errors import EncapsulationError
 from ..schema.schema import TaskSchema
+
+
+def _const_token(value: Any) -> str:
+    """Process-stable token for one code constant.
+
+    Nested code objects (comprehensions, lambdas) repr with their memory
+    address, so they are hashed structurally instead.
+    """
+    if isinstance(value, types.CodeType):
+        inner = ",".join(_const_token(c) for c in value.co_consts)
+        return ("code:"
+                + hashlib.sha256(value.co_code).hexdigest()
+                + ":" + inner)
+    return repr(value)
+
+
+def fingerprint_callable(fn: Callable[..., Any]) -> str:
+    """Stable identity of a tool/composition callable.
+
+    Hashes the code object (bytecode + constants) when one is available,
+    so editing the implementation — not merely re-importing it — changes
+    the fingerprint.  Builtins and other code-less callables fall back to
+    their qualified name.  The result is stable across processes.
+    """
+    parts = [getattr(fn, "__module__", "") or "",
+             getattr(fn, "__qualname__", repr(fn))]
+    code = getattr(fn, "__code__", None)
+    if code is not None:
+        parts.append(hashlib.sha256(code.co_code).hexdigest())
+        parts.append(",".join(_const_token(c) for c in code.co_consts))
+    return hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -78,6 +112,19 @@ class ToolEncapsulation:
 
     def options(self) -> dict[str, Any]:
         return dict(self.preset_args)
+
+    def fingerprint(self) -> str:
+        """Version stamp of this encapsulation for derivation keys.
+
+        Covers the wrapped callable, the batch mode and every preset
+        argument, so re-registering a tool with different behaviour (new
+        code or new parameters) invalidates previously cached runs.
+        """
+        spec = json.dumps(
+            {"fn": fingerprint_callable(self.fn), "batch": self.batch,
+             "preset": [[k, repr(v)] for k, v in self.preset_args]},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(spec.encode("utf-8")).hexdigest()
 
     def run(self, ctx: ToolContext, inputs: dict[str, Any]) -> Any:
         return self.fn(ctx, inputs)
@@ -196,6 +243,23 @@ class EncapsulationRegistry:
 
     def registered_types(self) -> tuple[str, ...]:
         return tuple(sorted(self._by_type))
+
+    def signature(self) -> str:
+        """Digest over every registered encapsulation/composition.
+
+        A persisted derivation-cache index is only trustworthy while the
+        code it was built against is unchanged; this signature is the
+        cheap way to check that at load time.
+        """
+        parts = []
+        for tool_type, enc in sorted(self._by_type.items()):
+            parts.append(f"t:{tool_type}:{enc.fingerprint()}")
+        for instance_id, enc in sorted(self._by_instance.items()):
+            parts.append(f"i:{instance_id}:{enc.fingerprint()}")
+        for entity_type, fn in sorted(self._compositions.items()):
+            parts.append(f"c:{entity_type}:{fingerprint_callable(fn)}")
+        return hashlib.sha256(
+            "\n".join(parts).encode("utf-8")).hexdigest()
 
 
 def _default_decomposition(data: Any) -> dict[str, Any]:

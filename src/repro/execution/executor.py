@@ -28,9 +28,12 @@ from ..core.taskgraph import TaskGraph, TaskInvocation
 from ..errors import ExecutionError
 from ..history.database import HistoryDatabase
 from ..history.instance import DerivationRecord
-from ..obs import (COMPOSE_TOOL, COMPOSITION_RUN, EXECUTION_FAILED,
-                   FLOW_FINISHED, FLOW_STARTED, NO_OP_BUS, NODE_READY,
-                   TOOL_FINISHED, TOOL_INVOKED, EventBus)
+from ..obs import (CACHE_HIT, CACHE_MISS, COMPOSE_TOOL, COMPOSITION_RUN,
+                   EXECUTION_FAILED, FLOW_FINISHED, FLOW_STARTED,
+                   NO_OP_BUS, NODE_READY, TOOL_FINISHED, TOOL_INVOKED,
+                   EventBus)
+from .cache import (CACHE_OFF, CACHE_READWRITE, CACHE_REUSE,
+                    DerivationCache, normalize_policy)
 from .encapsulation import EncapsulationRegistry, ToolContext
 
 
@@ -50,6 +53,26 @@ class InvocationResult:
 
 
 @dataclass
+class CachedInvocation:
+    """Report entry for a task invocation coalesced from the cache.
+
+    ``hits`` counts the remembered tool runs reused (one per input
+    combination); ``saved`` estimates the tool time those runs cost when
+    first executed, and ``bytes_saved`` the canonical size of the design
+    data that did not have to be recreated.
+    """
+
+    tool_type: str | None
+    outputs: tuple[str, ...]
+    hits: int
+    instances: tuple[str, ...]
+    outputs_by_node: dict[str, tuple[str, ...]]
+    saved: float
+    bytes_saved: int
+    machine: str = "local"
+
+
+@dataclass
 class ExecutionReport:
     """Everything that happened during one ``execute()`` call.
 
@@ -62,6 +85,7 @@ class ExecutionReport:
     flow_name: str
     results: list[InvocationResult] = field(default_factory=list)
     skipped: list[str] = field(default_factory=list)
+    cached: list[CachedInvocation] = field(default_factory=list)
     wall_time: float = 0.0
 
     @property
@@ -74,6 +98,27 @@ class ExecutionReport:
         return sum(r.runs for r in self.results)
 
     @property
+    def cache_hits(self) -> int:
+        """Tool runs coalesced from the derivation cache."""
+        return sum(c.hits for c in self.cached)
+
+    @property
+    def reused(self) -> tuple[str, ...]:
+        """Instance ids served from the cache instead of re-derived."""
+        return tuple(itertools.chain.from_iterable(
+            c.instances for c in self.cached))
+
+    @property
+    def time_saved(self) -> float:
+        """Estimated tool time the cache hits avoided."""
+        return sum(c.saved for c in self.cached)
+
+    @property
+    def bytes_saved(self) -> int:
+        """Canonical data bytes the cache hits avoided recreating."""
+        return sum(c.bytes_saved for c in self.cached)
+
+    @property
     def serial_time(self) -> float:
         """Total tool/composition time, as if run on one machine."""
         return sum(r.duration for r in self.results)
@@ -84,10 +129,14 @@ class ExecutionReport:
         return self.serial_time / self.wall_time if self.wall_time else 1.0
 
     def created_of_node(self, node_id: str) -> tuple[str, ...]:
+        out: tuple[str, ...] = ()
+        for cached in self.cached:
+            if node_id in cached.outputs_by_node:
+                out += cached.outputs_by_node[node_id]
         for result in self.results:
             if node_id in result.outputs_by_node:
-                return result.outputs_by_node[node_id]
-        return ()
+                out += result.outputs_by_node[node_id]
+        return out
 
     def merge(self, other: "ExecutionReport") -> None:
         """Fold another report (e.g. one parallel lane) into this one.
@@ -99,6 +148,7 @@ class ExecutionReport:
         """
         self.results.extend(other.results)
         self.skipped.extend(other.skipped)
+        self.cached.extend(other.cached)
         self.wall_time = max(self.wall_time, other.wall_time)
 
 
@@ -109,7 +159,9 @@ class FlowExecutor:
                  registry: EncapsulationRegistry, *, user: str = "",
                  machine: str = "local",
                  lock: threading.Lock | None = None,
-                 bus: EventBus | None = None) -> None:
+                 bus: EventBus | None = None,
+                 cache: DerivationCache | None = None,
+                 cache_policy: str = CACHE_READWRITE) -> None:
         self.db = db
         self.registry = registry
         self.user = user
@@ -121,20 +173,37 @@ class FlowExecutor:
         # Without sinks the shared no-op bus makes every emit an early
         # return, so uninstrumented execution stays on the fast path.
         self.bus = bus if bus is not None else NO_OP_BUS
+        # Incremental re-execution: with a cache attached, remembered
+        # tool runs (same tool, code and input content) are reused
+        # instead of re-executed, subject to the policy.
+        self.cache = cache
+        self.cache_policy = normalize_policy(
+            cache_policy if cache is not None else CACHE_OFF)
+        self._force = False
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def execute(self, flow: TaskGraph | DynamicFlow,
                 targets: Sequence[str] | None = None, *,
-                force: bool = False) -> ExecutionReport:
+                force: bool = False,
+                cache: str | None = None) -> ExecutionReport:
         """Run a flow (or the sub-flow reaching ``targets``).
 
         Already-executed nodes (with ``produced`` results) and bound
         nodes are reused unless ``force`` re-runs every invocation.
+        ``cache`` overrides the executor's cache policy for this call
+        (``"off"`` / ``"reuse"`` / ``"readwrite"``).
         """
         graph = flow.graph if isinstance(flow, DynamicFlow) else flow
         graph.validate()
+        if cache is not None:
+            if self.cache is None and normalize_policy(cache) != CACHE_OFF:
+                raise ExecutionError(
+                    f"cache policy {cache!r} requires a DerivationCache; "
+                    "construct the executor with cache=... (or use "
+                    "DesignEnvironment.run)")
+            self.cache_policy = normalize_policy(cache)
         started = time.perf_counter()
         emitting = self.bus.enabled
         needed = self._needed_nodes(graph, targets)
@@ -150,6 +219,7 @@ class FlowExecutor:
             for node_id in needed:
                 if graph.suppliers(node_id):
                     graph.node(node_id).produced = ()
+        self._force = force
         report = ExecutionReport(graph.name)
         invocation_of: dict[str, TaskInvocation] = {}
         for invocation in graph.invocations():
@@ -170,8 +240,11 @@ class FlowExecutor:
                 if not force and all(o.results() for o in outputs):
                     report.skipped.extend(invocation.outputs)
                     continue
-                report.results.append(
-                    self._run_invocation(graph, invocation))
+                result, cached = self._run_invocation(graph, invocation)
+                if result is not None:
+                    report.results.append(result)
+                if cached is not None:
+                    report.cached.append(cached)
         except Exception as error:
             if emitting:
                 self.bus.emit(EXECUTION_FAILED, flow=graph.name,
@@ -185,7 +258,8 @@ class FlowExecutor:
                           duration=report.wall_time,
                           payload={"created": len(report.created),
                                    "runs": report.runs,
-                                   "skipped": len(report.skipped)})
+                                   "skipped": len(report.skipped),
+                                   "cache_hits": report.cache_hits})
         return report
 
     def execute_node(self, flow: TaskGraph | DynamicFlow,
@@ -217,8 +291,49 @@ class FlowExecutor:
                 "flow is not ready: select instances for leaf nodes "
                 + ", ".join(unbound))
 
-    def _run_invocation(self, graph: TaskGraph,
-                        invocation: TaskInvocation) -> InvocationResult:
+    def _cache_for_run(self) -> DerivationCache | None:
+        if self.cache is None or self.cache_policy == CACHE_OFF:
+            return None
+        return self.cache
+
+    @property
+    def _cache_reads(self) -> bool:
+        return self.cache_policy in (CACHE_REUSE, CACHE_READWRITE) \
+            and not self._force
+
+    @property
+    def _cache_writes(self) -> bool:
+        return self.cache_policy == CACHE_READWRITE
+
+    def _emit_cache_hit(self, graph: TaskGraph,
+                        invocation: TaskInvocation, tool_type: str,
+                        hit) -> None:
+        self.bus.emit(CACHE_HIT, flow=graph.name,
+                      node=",".join(invocation.outputs),
+                      tool_type=tool_type, machine=self.machine,
+                      payload={"instances": list(hit.instance_ids),
+                               "saved": hit.saved,
+                               "bytes": hit.bytes_saved,
+                               "key": hit.key[:16]})
+
+    def _emit_cache_miss(self, graph: TaskGraph,
+                         invocation: TaskInvocation, tool_type: str,
+                         key: str) -> None:
+        self.bus.emit(CACHE_MISS, flow=graph.name,
+                      node=",".join(invocation.outputs),
+                      tool_type=tool_type, machine=self.machine,
+                      payload={"key": key[:16]})
+
+    def _run_invocation(
+            self, graph: TaskGraph, invocation: TaskInvocation
+    ) -> tuple[InvocationResult | None, CachedInvocation | None]:
+        """Execute one coalesced invocation, consulting the cache.
+
+        Returns the executed-runs entry and the cache-reuse entry; a
+        fully warm invocation yields ``(None, CachedInvocation)``, a
+        cold one ``(InvocationResult, None)``, and a partially warm
+        fan-out both.
+        """
         started = time.perf_counter()
         emitting = self.bus.enabled
         output_nodes = [graph.node(o) for o in invocation.outputs]
@@ -245,38 +360,64 @@ class FlowExecutor:
                           tool_type=tool_type, machine=self.machine,
                           payload={"roles": sorted(role_ids)})
         if invocation.tool_node is None:
-            result = self._run_composition(graph, invocation, output_nodes,
-                                           output_types, role_ids)
+            result, cached = self._run_composition(
+                graph, invocation, output_nodes, output_types, role_ids)
         else:
-            result = self._run_tool(graph, invocation, output_nodes,
-                                    output_types, role_ids)
-        result.duration = time.perf_counter() - started
-        if emitting:
-            self.bus.emit(
-                COMPOSITION_RUN if invocation.tool_node is None
-                else TOOL_FINISHED,
-                flow=graph.name, node=",".join(invocation.outputs),
-                tool_type=tool_type, invocation_id=result.invocation_id,
-                machine=self.machine, duration=result.duration,
-                payload={"runs": result.runs,
-                         "created": list(result.created)})
-        return result
+            result, cached = self._run_tool(
+                graph, invocation, output_nodes, output_types, role_ids)
+        if result is not None:
+            result.duration = time.perf_counter() - started
+            if emitting:
+                self.bus.emit(
+                    COMPOSITION_RUN if invocation.tool_node is None
+                    else TOOL_FINISHED,
+                    flow=graph.name, node=",".join(invocation.outputs),
+                    tool_type=tool_type,
+                    invocation_id=result.invocation_id,
+                    machine=self.machine, duration=result.duration,
+                    payload={"runs": result.runs,
+                             "created": list(result.created)})
+        return result, cached
 
-    def _run_composition(self, graph: TaskGraph,
-                         invocation: TaskInvocation, output_nodes,
-                         output_types, role_ids) -> InvocationResult:
+    def _run_composition(
+            self, graph: TaskGraph, invocation: TaskInvocation,
+            output_nodes, output_types, role_ids
+    ) -> tuple[InvocationResult | None, CachedInvocation | None]:
         # Composed invocations have exactly one output by construction.
         node = output_nodes[0]
         compose = self.registry.composition(node.entity_type)
+        cache = self._cache_for_run()
         created: list[str] = []
+        reused: list[str] = []
         runs = 0
-        with self._lock:
-            invocation_id = self.db.new_invocation_id()
+        hits = 0
+        saved = 0.0
+        bytes_saved = 0
+        invocation_id: str | None = None
         for combo in _combinations(role_ids):
+            key = None
+            if cache is not None:
+                key = cache.composition_key(node.entity_type, combo)
+                if self._cache_reads:
+                    hit = cache.fetch(key, (node.entity_type,))
+                    if hit is not None:
+                        reused.extend(hit.instance_ids)
+                        hits += 1
+                        saved += hit.saved
+                        bytes_saved += hit.bytes_saved
+                        self._emit_cache_hit(graph, invocation,
+                                             COMPOSE_TOOL, hit)
+                        continue
+                    self._emit_cache_miss(graph, invocation,
+                                          COMPOSE_TOOL, key)
             with self._lock:
+                if invocation_id is None:
+                    invocation_id = self.db.new_invocation_id()
                 inputs = {role: self.db.data(ref)
                           for role, ref in combo.items()}
+            run_started = time.perf_counter()
             data = compose(inputs)
+            run_elapsed = time.perf_counter() - run_started
             runs += 1
             with self._lock:
                 instance = self.db.record(
@@ -286,25 +427,47 @@ class FlowExecutor:
                     annotations={"flow": graph.name,
                                  "machine": self.machine})
             created.append(instance.instance_id)
-        node.produced = node.produced + tuple(created)
-        return InvocationResult(
-            invocation_id, None, (), f"compose:{node.entity_type}", runs,
-            tuple(created), {node.node_id: tuple(created)}, 0.0,
-            self.machine)
+            if key is not None and self._cache_writes:
+                cache.store(key,
+                            [(node.entity_type, instance.instance_id)],
+                            run_elapsed)
+        node.produced = node.produced + tuple(reused) + tuple(created)
+        result = None
+        if runs:
+            result = InvocationResult(
+                invocation_id or "", None, (),
+                f"compose:{node.entity_type}", runs, tuple(created),
+                {node.node_id: tuple(created)}, 0.0, self.machine)
+        cached = None
+        if hits:
+            cached = CachedInvocation(
+                None, invocation.outputs, hits, tuple(reused),
+                {node.node_id: tuple(reused)}, saved, bytes_saved,
+                self.machine)
+        return result, cached
 
-    def _run_tool(self, graph: TaskGraph, invocation: TaskInvocation,
-                  output_nodes, output_types, role_ids) -> InvocationResult:
+    def _run_tool(
+            self, graph: TaskGraph, invocation: TaskInvocation,
+            output_nodes, output_types, role_ids
+    ) -> tuple[InvocationResult | None, CachedInvocation | None]:
         tool_node = graph.node(invocation.tool_node)
         tool_ids = tool_node.results()
         if not tool_ids:
             raise ExecutionError(
                 f"{tool_node}: no tool instance available")
+        cache = self._cache_for_run()
+        tool_type = tool_node.entity_type
         created_all: list[str] = []
+        reused_all: list[str] = []
         outputs_by_node: dict[str, list[str]] = {
             n.node_id: [] for n in output_nodes}
+        reused_by_node: dict[str, list[str]] = {
+            n.node_id: [] for n in output_nodes}
         runs = 0
-        with self._lock:
-            invocation_id = self.db.new_invocation_id()
+        hits = 0
+        saved = 0.0
+        bytes_saved = 0
+        invocation_id: str | None = None
         encapsulation_name = ""
         for tool_id in tool_ids:
             with self._lock:
@@ -326,18 +489,46 @@ class FlowExecutor:
             else:
                 combos = list(_combinations(role_ids))
             for combo in combos:
+                key = None
+                if cache is not None:
+                    key = cache.tool_run_key(tool_id, combo,
+                                             sorted(set(output_types)))
+                    if self._cache_reads:
+                        hit = cache.fetch(key, sorted(set(output_types)))
+                        if hit is not None:
+                            grouped = hit.ids_by_type()
+                            for node in output_nodes:
+                                ids = grouped.get(node.entity_type, [])
+                                instance_id = (ids.pop(0) if ids
+                                               else hit.instance_ids[0])
+                                reused_by_node[node.node_id].append(
+                                    instance_id)
+                                reused_all.append(instance_id)
+                            hits += 1
+                            saved += hit.saved
+                            bytes_saved += hit.bytes_saved
+                            self._emit_cache_hit(graph, invocation,
+                                                 tool_type, hit)
+                            continue
+                        self._emit_cache_miss(graph, invocation,
+                                              tool_type, key)
                 with self._lock:
+                    if invocation_id is None:
+                        invocation_id = self.db.new_invocation_id()
                     inputs = {
                         role: ([self.db.data(r) for r in ref]
                                if isinstance(ref, list)
                                else self.db.data(ref))
                         for role, ref in combo.items()
                     }
+                run_started = time.perf_counter()
                 result = enc.run(ctx, inputs)
+                run_elapsed = time.perf_counter() - run_started
                 runs += 1
                 produced = _normalize_result(result, output_types,
                                              enc.name)
                 record_inputs = _derivation_inputs(combo)
+                combo_created: list[tuple[str, str]] = []
                 for node in output_nodes:
                     data = produced[node.entity_type]
                     with self._lock:
@@ -351,14 +542,28 @@ class FlowExecutor:
                     outputs_by_node[node.node_id].append(
                         instance.instance_id)
                     created_all.append(instance.instance_id)
+                    combo_created.append(
+                        (node.entity_type, instance.instance_id))
+                if key is not None and self._cache_writes:
+                    cache.store(key, combo_created, run_elapsed)
         for node in output_nodes:
-            node.produced = node.produced + tuple(
-                outputs_by_node[node.node_id])
-        return InvocationResult(
-            invocation_id, tool_node.entity_type, tuple(tool_ids),
-            encapsulation_name, runs, tuple(created_all),
-            {k: tuple(v) for k, v in outputs_by_node.items()}, 0.0,
-            self.machine)
+            node.produced = node.produced \
+                + tuple(reused_by_node[node.node_id]) \
+                + tuple(outputs_by_node[node.node_id])
+        result = None
+        if runs:
+            result = InvocationResult(
+                invocation_id or "", tool_type, tuple(tool_ids),
+                encapsulation_name, runs, tuple(created_all),
+                {k: tuple(v) for k, v in outputs_by_node.items()}, 0.0,
+                self.machine)
+        cached = None
+        if hits:
+            cached = CachedInvocation(
+                tool_type, invocation.outputs, hits, tuple(reused_all),
+                {k: tuple(v) for k, v in reused_by_node.items()},
+                saved, bytes_saved, self.machine)
+        return result, cached
 
 
 def _combinations(role_ids: dict[str, tuple[str, ...]]):

@@ -28,6 +28,7 @@ from ..errors import ExecutionError
 from ..history.database import HistoryDatabase
 from ..obs import (EXECUTION_FAILED, FLOW_FINISHED, FLOW_STARTED,
                    LANE_ASSIGNED, NO_OP_BUS, EventBus)
+from .cache import CACHE_OFF, DerivationCache, normalize_policy
 from .encapsulation import EncapsulationRegistry
 from .executor import ExecutionReport, FlowExecutor
 
@@ -104,18 +105,29 @@ class ParallelFlowExecutor:
                  registry: EncapsulationRegistry, *, user: str = "",
                  pool: MachinePool | None = None,
                  machines: int = 2,
-                 bus: EventBus | None = None) -> None:
+                 bus: EventBus | None = None,
+                 cache: DerivationCache | None = None,
+                 cache_policy: str = CACHE_OFF) -> None:
         self.db = db
         self.registry = registry
         self.user = user
         self.pool = pool if pool is not None else MachinePool.local(machines)
         self.bus = bus if bus is not None else NO_OP_BUS
+        self.cache = cache
+        self.cache_policy = normalize_policy(
+            cache_policy if cache is not None else CACHE_OFF)
         self._db_lock = threading.Lock()
 
     def execute(self, flow: TaskGraph | DynamicFlow,
                 targets: Sequence[str] | None = None, *,
-                force: bool = False) -> ExecutionReport:
+                force: bool = False,
+                cache: str | None = None) -> ExecutionReport:
         """Run every (selected) branch, one machine per branch."""
+        if cache is not None:
+            if self.cache is None and normalize_policy(cache) != CACHE_OFF:
+                raise ExecutionError(
+                    f"cache policy {cache!r} requires a DerivationCache")
+            self.cache_policy = normalize_policy(cache)
         graph = flow.graph if isinstance(flow, DynamicFlow) else flow
         graph.validate()
         started = time.perf_counter()
@@ -142,7 +154,8 @@ class ParallelFlowExecutor:
                 executor = FlowExecutor(
                     self.db, self.registry, user=self.user,
                     machine=machine.name, lock=self._db_lock,
-                    bus=self.bus)
+                    bus=self.bus, cache=self.cache,
+                    cache_policy=self.cache_policy)
                 branch_targets = sorted(branch)
                 if targets is not None:
                     branch_targets = sorted(branch & set(targets))

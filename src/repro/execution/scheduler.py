@@ -31,6 +31,7 @@ from ..history.database import HistoryDatabase
 from ..obs import (COMPOSE_TOOL, COMPOSITION_RUN, EXECUTION_FAILED,
                    FLOW_FINISHED, FLOW_STARTED, TOOL_FINISHED, Event,
                    EventBus)
+from .cache import CACHE_OFF, DerivationCache, normalize_policy
 from .encapsulation import EncapsulationRegistry
 from .executor import ExecutionReport, FlowExecutor, InvocationResult
 from .parallel import MachinePool
@@ -247,11 +248,16 @@ class ScheduledFlowExecutor:
                  registry: EncapsulationRegistry, *, user: str = "",
                  pool: MachinePool | None = None, machines: int = 2,
                  durations: DurationModel | None = None,
-                 bus: EventBus | None = None) -> None:
+                 bus: EventBus | None = None,
+                 cache: DerivationCache | None = None,
+                 cache_policy: str = CACHE_OFF) -> None:
         self.db = db
         self.registry = registry
         self.user = user
         self.pool = pool if pool is not None else MachinePool.local(machines)
+        self.cache = cache
+        self.cache_policy = normalize_policy(
+            cache_policy if cache is not None else CACHE_OFF)
         self.durations = durations if durations is not None \
             else DurationModel()
         # The duration model learns from the event stream: worker
@@ -262,7 +268,13 @@ class ScheduledFlowExecutor:
         self._db_lock = threading.Lock()
 
     def execute(self, flow: TaskGraph | DynamicFlow, *,
-                force: bool = False) -> ExecutionReport:
+                force: bool = False,
+                cache: str | None = None) -> ExecutionReport:
+        if cache is not None:
+            if self.cache is None and normalize_policy(cache) != CACHE_OFF:
+                raise ExecutionError(
+                    f"cache policy {cache!r} requires a DerivationCache")
+            self.cache_policy = normalize_policy(cache)
         graph = flow.graph if isinstance(flow, DynamicFlow) else flow
         graph.validate()
         started = time.perf_counter()
@@ -295,7 +307,10 @@ class ScheduledFlowExecutor:
             machine = self.pool.acquire()
             executor = FlowExecutor(self.db, self.registry,
                                     user=self.user, machine=machine.name,
-                                    lock=self._db_lock, bus=self.bus)
+                                    lock=self._db_lock, bus=self.bus,
+                                    cache=self.cache,
+                                    cache_policy=self.cache_policy)
+            executor._force = force
             try:
                 while True:
                     with condition:
@@ -310,11 +325,15 @@ class ScheduledFlowExecutor:
                                for o in node.invocation.outputs]
                     try:
                         if force or not all(o.results() for o in outputs):
-                            result = executor._run_invocation(
+                            result, cached = executor._run_invocation(
                                 graph, node.invocation)
                             with report_lock:
-                                report.results.append(result)
-                            machine.executed_invocations += 1
+                                if result is not None:
+                                    report.results.append(result)
+                                if cached is not None:
+                                    report.cached.append(cached)
+                            if result is not None:
+                                machine.executed_invocations += 1
                         else:
                             with report_lock:
                                 report.skipped.extend(
@@ -349,5 +368,6 @@ class ScheduledFlowExecutor:
                       duration=report.wall_time,
                       payload={"serial_time": report.serial_time,
                                "speedup": round(report.speedup, 3),
-                               "runs": report.runs})
+                               "runs": report.runs,
+                               "cache_hits": report.cache_hits})
         return report

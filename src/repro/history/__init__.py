@@ -7,9 +7,10 @@ gets one derivation record; backward/forward chaining, flow-template
 queries, version trees and staleness checks are all derived views.
 """
 
-from .consistency import (StaleInput, consistency_report, is_stale,
-                          is_up_to_date, newest_version, refresh_plan,
-                          retrace, stale_inputs, successor_versions)
+from .consistency import (StaleInput, all_up_to_date, consistency_report,
+                          is_stale, is_up_to_date, newest_version,
+                          refresh_plan, retrace, stale_inputs,
+                          successor_versions)
 from .database import BrowseFilter, HistoryDatabase
 from .datastore import GLOBAL_CODECS, Codec, CodecRegistry, DataStore
 from .instance import DerivationRecord, EntityInstance
@@ -35,6 +36,7 @@ __all__ = [
     "StaleInput",
     "TraceEdge",
     "VersionNode",
+    "all_up_to_date",
     "antecedents_of_type",
     "backward_trace",
     "consistency_report",

@@ -18,7 +18,7 @@ versions and every affected intermediate cleared for recomputation;
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Iterable, Protocol
 
 from ..core.taskgraph import TaskGraph
 from ..errors import ConsistencyError
@@ -109,6 +109,21 @@ def is_stale(db: HistoryDatabase, instance_id: str) -> bool:
 
 def is_up_to_date(db: HistoryDatabase, instance_id: str) -> bool:
     return not is_stale(db, instance_id)
+
+
+def all_up_to_date(db: HistoryDatabase,
+                   instance_ids: Iterable[str]) -> bool:
+    """True when every instance exists and none is stale.
+
+    The derivation cache's reuse gate: a remembered result may only be
+    coalesced into a new execution while its entire derivation history is
+    still current.  Unknown ids (e.g. an index restored against a
+    different history) count as not up to date rather than raising.
+    """
+    for instance_id in instance_ids:
+        if instance_id not in db or is_stale(db, instance_id):
+            return False
+    return True
 
 
 def refresh_plan(db: HistoryDatabase, instance_id: str,

@@ -80,6 +80,9 @@ class HistoryDatabase:
         self._forward: dict[str, list[str]] = {}
         self._type_counters: dict[str, itertools.count] = {}
         self._invocation_counter = itertools.count(1)
+        # secondary-index maintainers (e.g. the derivation cache) called
+        # with every newly added instance; see add_record_listener()
+        self._record_listeners: list[Callable[[EntityInstance], None]] = []
 
     # ------------------------------------------------------------------
     # identifier & invocation allocation
@@ -177,6 +180,8 @@ class HistoryDatabase:
             annotations=tuple(sorted((annotations or {}).items())),
         )
         self._index(instance)
+        for listener in self._record_listeners:
+            listener(instance)
         if self.bus.enabled:
             self.bus.emit(
                 INSTANCE_CREATED,
@@ -188,6 +193,22 @@ class HistoryDatabase:
                          "instance_id": instance.instance_id,
                          "installed": derivation is None})
         return instance
+
+    def add_record_listener(
+            self, listener: Callable[[EntityInstance], None]) -> None:
+        """Call ``listener(instance)`` for every instance added from now.
+
+        Listeners maintain secondary indexes (the derivation cache's
+        key -> instance-ids map); they run synchronously inside the write
+        path, after the instance is indexed.
+        """
+        if listener not in self._record_listeners:
+            self._record_listeners.append(listener)
+
+    def remove_record_listener(
+            self, listener: Callable[[EntityInstance], None]) -> None:
+        if listener in self._record_listeners:
+            self._record_listeners.remove(listener)
 
     def _index(self, instance: EntityInstance) -> None:
         self._instances[instance.instance_id] = instance
@@ -301,14 +322,23 @@ class HistoryDatabase:
         for spec in payload.get("instances", ()):
             db._index(EntityInstance.from_dict(spec))
         # advance id counters past what was loaded
-        for instance_id in db._instances:
-            entity_type, _, number = instance_id.partition("#")
+        highest_invocation = 0
+        for instance in db._instances.values():
+            entity_type, _, number = instance.instance_id.partition("#")
             if number.isdigit():
                 counter = db._type_counters.setdefault(
                     entity_type, itertools.count(1))
                 current = next(counter)
                 target = max(current, int(number) + 1)
                 db._type_counters[entity_type] = itertools.count(target)
+            if instance.derivation is not None:
+                _, _, run = instance.derivation.invocation.partition("#")
+                if run.isdigit():
+                    highest_invocation = max(highest_invocation, int(run))
+        # the invocation counter must also survive reload: reused
+        # invocation ids would merge unrelated runs into fake
+        # multi-output sibling groups (breaking derivation grouping)
+        db._invocation_counter = itertools.count(highest_invocation + 1)
         return db
 
     @classmethod

@@ -104,30 +104,61 @@ class CodecRegistry:
 GLOBAL_CODECS = CodecRegistry()
 
 
+#: Length histories written before full-digest storage used for refs.
+SHORT_REF_LENGTH = 16
+
+
 class DataStore:
-    """Content-addressed blob store for design data."""
+    """Content-addressed blob store for design data.
+
+    Blobs are keyed by the **full** sha256 hex digest of their canonical
+    form.  Earlier histories truncated digests to 16 hex characters;
+    those short refs still resolve through a prefix alias table, but new
+    refs are always full-length so downstream users (derivation cache
+    keys in particular) cannot collide.
+    """
 
     def __init__(self, codecs: CodecRegistry | None = None) -> None:
         self.codecs = codecs if codecs is not None else GLOBAL_CODECS
         self._blobs: dict[str, Any] = {}
+        self._sizes: dict[str, int] = {}
+        self._aliases: dict[str, str] = {}
+
+    def _canonical(self, encoded: Any) -> str:
+        return json.dumps(encoded, sort_keys=True, separators=(",", ":"))
+
+    def _admit(self, digest: str, obj: Any, size: int) -> None:
+        if digest not in self._blobs:
+            self._blobs[digest] = obj
+            self._sizes[digest] = size
+        self._aliases.setdefault(digest[:SHORT_REF_LENGTH], digest)
 
     def put(self, obj: Any) -> str:
         """Store an object; return its content digest (``data_ref``)."""
         encoded = self.codecs.encode(obj)
-        canonical = json.dumps(encoded, sort_keys=True,
-                               separators=(",", ":"))
-        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
-        if digest not in self._blobs:
-            self._blobs[digest] = obj
+        canonical = self._canonical(encoded)
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        self._admit(digest, obj, len(canonical))
         return digest
 
+    def resolve(self, data_ref: str) -> str:
+        """Map a (possibly legacy short) ref to its full digest."""
+        if data_ref in self._blobs:
+            return data_ref
+        full = self._aliases.get(data_ref)
+        if full is not None:
+            return full
+        raise HistoryError(f"no data blob {data_ref!r}")
+
     def get(self, data_ref: str) -> Any:
-        if data_ref not in self._blobs:
-            raise HistoryError(f"no data blob {data_ref!r}")
-        return self._blobs[data_ref]
+        return self._blobs[self.resolve(data_ref)]
+
+    def size(self, data_ref: str) -> int:
+        """Canonical-form byte size of a stored blob."""
+        return self._sizes[self.resolve(data_ref)]
 
     def __contains__(self, data_ref: str) -> bool:
-        return data_ref in self._blobs
+        return data_ref in self._blobs or data_ref in self._aliases
 
     def __len__(self) -> int:
         return len(self._blobs)
@@ -142,4 +173,11 @@ class DataStore:
 
     def load_dict(self, payload: dict[str, Any]) -> None:
         for ref, encoded in payload.items():
-            self._blobs[ref] = self.codecs.decode(encoded)
+            canonical = self._canonical(encoded)
+            digest = hashlib.sha256(
+                canonical.encode("utf-8")).hexdigest()
+            self._admit(digest, self.codecs.decode(encoded),
+                        len(canonical))
+            # refs recorded by truncating builds keep resolving
+            if ref != digest:
+                self._aliases.setdefault(ref, digest)

@@ -9,17 +9,19 @@ replayed and summarized — ``repro events`` and ``repro stats`` are thin
 shells over this module.
 """
 
-from .events import (COMPOSE_TOOL, COMPOSITION_RUN, EVENT_TYPES,
-                     EXECUTION_FAILED, FLOW_FINISHED, FLOW_STARTED,
-                     INSTANCE_CREATED, LANE_ASSIGNED, NODE_READY,
-                     SCHEMA_VERSION, TOOL_FINISHED, TOOL_INVOKED, Event,
-                     EventBus, NO_OP_BUS)
+from .events import (CACHE_HIT, CACHE_MISS, COMPOSE_TOOL, COMPOSITION_RUN,
+                     EVENT_TYPES, EXECUTION_FAILED, FLOW_FINISHED,
+                     FLOW_STARTED, INSTANCE_CREATED, LANE_ASSIGNED,
+                     NODE_READY, SCHEMA_VERSION, TOOL_FINISHED,
+                     TOOL_INVOKED, Event, EventBus, NO_OP_BUS)
 from .metrics import EMPTY_TIMER, MetricsRegistry, TimerStats
 from .sinks import (CallbackSink, EventSink, JSONLSink, NullSink,
                     RingBufferSink, read_events, replay_events,
                     replay_into)
 
 __all__ = [
+    "CACHE_HIT",
+    "CACHE_MISS",
     "COMPOSE_TOOL",
     "COMPOSITION_RUN",
     "CallbackSink",

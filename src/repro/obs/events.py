@@ -39,6 +39,8 @@ COMPOSITION_RUN = "composition_run"
 FLOW_FINISHED = "flow_finished"
 EXECUTION_FAILED = "execution_failed"
 LANE_ASSIGNED = "lane_assigned"
+CACHE_HIT = "cache_hit"
+CACHE_MISS = "cache_miss"
 
 EVENT_TYPES = frozenset({
     FLOW_STARTED,
@@ -50,6 +52,8 @@ EVENT_TYPES = frozenset({
     FLOW_FINISHED,
     EXECUTION_FAILED,
     LANE_ASSIGNED,
+    CACHE_HIT,
+    CACHE_MISS,
 })
 
 #: Tool-type key used for composition (tool-less) invocations, matching

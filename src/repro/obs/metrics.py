@@ -14,8 +14,9 @@ import threading
 from dataclasses import dataclass
 from typing import Any
 
-from .events import (COMPOSITION_RUN, EXECUTION_FAILED, FLOW_FINISHED,
-                     FLOW_STARTED, INSTANCE_CREATED, TOOL_FINISHED, Event)
+from .events import (CACHE_HIT, CACHE_MISS, COMPOSITION_RUN,
+                     EXECUTION_FAILED, FLOW_FINISHED, FLOW_STARTED,
+                     INSTANCE_CREATED, TOOL_FINISHED, Event)
 
 
 @dataclass(frozen=True)
@@ -128,6 +129,16 @@ class MetricsRegistry:
             self.inc("failures")
             if event.flow:
                 self.inc(f"failures.{event.flow}")
+        elif kind == CACHE_HIT:
+            tool = event.tool_type or "@compose"
+            self.inc("cache.hits")
+            self.inc(f"cache.hits.{tool}")
+            self.inc("cache.bytes_saved", int(event.value("bytes", 0)))
+            self.observe("cache.time_saved",
+                         float(event.value("saved", 0.0)))
+        elif kind == CACHE_MISS:
+            self.inc("cache.misses")
+            self.inc(f"cache.misses.{event.tool_type or '@compose'}")
 
     # ------------------------------------------------------------------
     # reporting
@@ -160,6 +171,14 @@ class MetricsRegistry:
                 key=lambda kv: (-kv[1], kv[0]))[:top]
             lines.append(f"  instances created: {instances} (" + ", ".join(
                 f"{name}={count}" for name, count in busiest) + ")")
+        hits = self.counter("cache.hits")
+        misses = self.counter("cache.misses")
+        if hits or misses:
+            saved = self.timer("cache.time_saved")
+            lines.append(
+                f"  cache: {hits} hits, {misses} misses, "
+                f"{self.counter('cache.bytes_saved')} bytes saved, "
+                f"{saved.total * 1e3:.2f}ms saved")
         tools = self.timers("tool.")
         if tools:
             by_total = sorted(tools.items(),

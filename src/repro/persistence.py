@@ -30,6 +30,7 @@ SCHEMA_FILE = "schema.json"
 HISTORY_FILE = "history.json"
 FLOWS_FILE = "flows.json"
 META_FILE = "environment.json"
+CACHE_FILE = "cache.json"
 FORMAT_VERSION = 1
 
 
@@ -56,6 +57,10 @@ def save_environment(env: DesignEnvironment, directory: str | pathlib.Path
     (root / META_FILE).write_text(
         json.dumps({"format": FORMAT_VERSION, "user": env.user},
                    indent=1), encoding="utf-8")
+    if env._cache is not None:
+        (root / CACHE_FILE).write_text(
+            json.dumps(env._cache.to_dict(), indent=1, sort_keys=True),
+            encoding="utf-8")
     return root
 
 
@@ -88,4 +93,11 @@ def load_environment(directory: str | pathlib.Path, *,
             flow = DynamicFlow.from_dict(schema, spec["graph"])
             env.flow_catalog.register_flow(
                 name, flow, description=spec.get("description", ""))
+    cache_path = root / CACHE_FILE
+    if cache_path.exists():
+        # restore() only stages the snapshot; it is trusted (absorbed)
+        # at first use, once the encapsulation registry's signature can
+        # be compared — tool code registers after load returns.
+        env.cache.restore(
+            json.loads(cache_path.read_text(encoding="utf-8")))
     return env

@@ -7,7 +7,6 @@ from repro.history.database import BrowseFilter, HistoryDatabase
 from repro.history.datastore import CodecRegistry, DataStore
 from repro.history.instance import DerivationRecord, EntityInstance
 from repro.schema import standard as S
-from tests.conftest import TickClock
 
 
 @pytest.fixture

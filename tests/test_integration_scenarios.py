@@ -9,8 +9,7 @@ import pytest
 from repro.history import (backward_trace, dependents_of_type, lineage,
                            template_query)
 from repro.schema import standard as S
-from repro.tools import (default_models, edit_session, exhaustive,
-                         tech_map, truth_table)
+from repro.tools import edit_session, exhaustive, truth_table
 from repro.tools.logic import LogicSpec
 from repro.views import (standard_views, synthesize_physical,
                          verify_correspondence)

@@ -5,8 +5,7 @@ import time
 import pytest
 
 from repro.errors import ObservabilityError, ToolError
-from repro.execution import (DesignEnvironment, ScheduledFlowExecutor,
-                             encapsulation)
+from repro.execution import ScheduledFlowExecutor, encapsulation
 from repro.obs import (COMPOSITION_RUN, EXECUTION_FAILED, FLOW_FINISHED,
                        FLOW_STARTED, INSTANCE_CREATED, LANE_ASSIGNED,
                        NODE_READY, SCHEMA_VERSION, TOOL_FINISHED,

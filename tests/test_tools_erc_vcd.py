@@ -1,12 +1,9 @@
 """Tests for electrical rule checking and VCD export."""
 
-import pytest
-
 from repro.schema import standard as S
 from repro.tools import (ErcReport, GROUND, NMOS, PMOS, POWER, Netlist,
                          check_electrical_rules, compile_netlist,
                          default_models, exhaustive, tech_map, to_vcd)
-from repro.tools.logic import LogicSpec
 
 
 def inverter() -> Netlist:

@@ -6,7 +6,7 @@ from repro.errors import ToolError
 from repro.history import history_statistics, derivation_depth, trace_size
 from repro.schema import standard as S
 from repro.tools import (Netlist, from_spice, render_layout,
-                         standard_library, stdcell_layout, tech_map,
+                         stdcell_layout, tech_map,
                          to_spice, truth_table)
 from repro.tools.layout import Layout
 from repro.tools.logic import LogicSpec

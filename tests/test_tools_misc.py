@@ -9,7 +9,6 @@ from repro.tools import (DeviceModels, Netlist, default_models,
                          truth_table)
 from repro.tools.logic import LogicSpec, evaluate, parse_expr, variables
 from repro.tools.plotter import PerformancePlot, waveform_line
-from repro.tools.simulator import compile_netlist
 from repro.tools.stimuli import exhaustive
 
 
@@ -248,8 +247,6 @@ class TestOptimizer:
 
 
 class TestSimplify:
-    from repro.tools.logic import parse_expr as _parse
-
     @pytest.mark.parametrize("text,expected", [
         ("~~a", ["var", "a"]),
         ("~~~a", ["not", ["var", "a"]]),

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ToolError
 from repro.tools import (GROUND, NMOS, PMOS, POWER, WEAK, CellLibrary,
-                         Netlist, Transistor, standard_library)
+                         Netlist, Transistor)
 
 
 class TestTransistor:

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ToolError
 from repro.tools import (GROUND, NMOS, PMOS, POWER, WEAK, CompiledNetwork,
                          Netlist, compile_netlist, default_models,
-                         exhaustive, simulate, truth_table, walking_ones)
+                         exhaustive, truth_table, walking_ones)
 from repro.tools.stimuli import Stimuli, from_table, random_vectors
 
 
