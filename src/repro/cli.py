@@ -34,9 +34,12 @@ from .history.consistency import consistency_report
 from .history.database import BrowseFilter
 from .history.query import dependents_of_type
 from .history.trace import backward_trace
-from .obs import (EVENT_TYPES, JSONLSink, MetricsRegistry, replay_events,
-                  replay_into)
-from .persistence import CACHE_FILE, load_environment, save_environment
+from .obs import (EVENT_TYPES, JSONLSink, MetricsRegistry, critical_path,
+                  export_chrome, read_spans, render_span_tree,
+                  replay_events, replay_into, validate_chrome_trace,
+                  validate_spans)
+from .persistence import (CACHE_FILE, TRACE_FILE, load_environment,
+                          save_environment)
 from .schema.standard import fig1_schema, fig2_schema, odyssey_schema
 from .tools import install_standard_tools, register_standard_encapsulations
 from .ui.session import HerculesSession
@@ -90,6 +93,24 @@ def cmd_browse(args: argparse.Namespace) -> int:
 def cmd_history(args: argparse.Namespace) -> int:
     env = _load(args.directory)
     print(backward_trace(env.db, args.instance).render())
+    instance = env.db.get(args.instance)
+    if instance.span_id:
+        trace_log = pathlib.Path(args.directory) / TRACE_FILE
+        if trace_log.exists():
+            spans = {s.span_id: s
+                     for s in read_spans(trace_log, strict=False)
+                     if s.trace_id == instance.trace_id}
+            span = spans.get(instance.span_id)
+            if span is not None:
+                print(f"produced by span {span.span_id} of trace "
+                      f"{span.trace_id}:")
+                print(f"  {span.render()}")
+                parent = spans.get(span.parent_id or "")
+                if parent is not None:
+                    print(f"  within {parent.render()}")
+                return 0
+        print(f"produced by span {instance.span_id} of trace "
+              f"{instance.trace_id} (trace log not available)")
     return 0
 
 
@@ -133,6 +154,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.events:
         sink = JSONLSink(args.events)
         env.bus.subscribe(sink)
+    trace_sink = None
+    if args.trace:
+        trace_sink = JSONLSink(
+            pathlib.Path(args.directory) / TRACE_FILE)
+        env.tracer.subscribe(trace_sink)
     flow = env.plan_flow(args.flow)
     try:
         report = env.run(flow, targets=args.target or None,
@@ -141,11 +167,16 @@ def cmd_run(args: argparse.Namespace) -> int:
     finally:
         if sink is not None:
             sink.close()
+        if trace_sink is not None:
+            trace_sink.close()
     save_environment(env, args.directory)
     print(f"ran {args.flow!r}: {report.runs} tool runs, "
           f"{len(report.created)} instances created, "
           f"{report.cache_hits} cache hits "
           f"({len(report.reused)} instances reused)")
+    if args.trace and env.tracer.last_trace_id:
+        print(f"  trace {env.tracer.last_trace_id} appended to "
+              f"{trace_sink.path}")
     if report.cache_hits:
         print(f"  saved {report.time_saved * 1000.0:.1f}ms and "
               f"{report.bytes_saved} bytes of tool output")
@@ -207,7 +238,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_events(args: argparse.Namespace) -> int:
-    events = replay_events(args.logfile)
+    # lenient: a truncated trailing line (killed writer) is tolerated
+    events = replay_events(args.logfile, strict=False)
     if args.type:
         wanted = set(args.type)
         unknown = wanted - EVENT_TYPES
@@ -220,6 +252,8 @@ def cmd_events(args: argparse.Namespace) -> int:
         events = (e for e in events if e.flow == args.flow)
     if args.tool:
         events = (e for e in events if e.tool_type == args.tool)
+    if args.since is not None:
+        events = (e for e in events if e.timestamp >= args.since)
     if args.replay:
         metrics = MetricsRegistry()
         count = replay_into(events, metrics)
@@ -246,6 +280,47 @@ def cmd_schema(args: argparse.Namespace) -> int:
     from .core.render import schema_to_dot
 
     print(schema_to_dot(env.schema))
+    return 0
+
+
+def _trace_log(path: str) -> pathlib.Path:
+    """Accept either a trace file or an environment directory."""
+    candidate = pathlib.Path(path)
+    if candidate.is_dir():
+        return candidate / TRACE_FILE
+    return candidate
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    spans = list(read_spans(_trace_log(args.path), strict=False))
+    if not spans:
+        print("no spans recorded", file=sys.stderr)
+        return 2
+    if args.trace_command == "show":
+        print(render_span_tree(spans, args.trace_id))
+        return 0
+    if args.trace_command == "critical-path":
+        print(critical_path(spans, args.trace_id).render())
+        return 0
+    # export
+    problems = validate_spans(spans)
+    if problems:
+        for problem in problems:
+            print(f"warning: {problem}", file=sys.stderr)
+    payload = export_chrome(spans, args.trace_id)
+    broken = validate_chrome_trace(payload)
+    if broken:
+        for problem in broken:
+            print(f"error: {problem}", file=sys.stderr)
+        return 2
+    text = json.dumps(payload, indent=1, sort_keys=True)
+    if args.output:
+        pathlib.Path(args.output).write_text(text + "\n",
+                                             encoding="utf-8")
+        print(f"wrote {len(payload['traceEvents'])} trace events to "
+              f"{args.output} (open in https://ui.perfetto.dev)")
+    else:
+        print(text)
     return 0
 
 
@@ -313,6 +388,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "('readwrite'), or neither ('off', default)")
     run.add_argument("--events",
                      help="record execution events to this JSONL log")
+    run.add_argument("--trace", action="store_true",
+                     help="record hierarchical spans to the "
+                          "environment's trace.jsonl (inspect with "
+                          "'repro trace')")
     run.set_defaults(fn=cmd_run)
 
     session = commands.add_parser(
@@ -351,10 +430,42 @@ def build_parser() -> argparse.ArgumentParser:
     events.add_argument("--json", action="store_true",
                         help="print raw JSON lines instead of the "
                              "rendered form")
+    events.add_argument("--since", type=float,
+                        help="keep only events with timestamp >= this "
+                             "(same clock the log was recorded with)")
     events.add_argument("--replay", action="store_true",
                         help="replay matching events into a metrics "
                              "registry and print the summary")
     events.set_defaults(fn=cmd_events)
+
+    trace = commands.add_parser(
+        "trace", help="inspect a recorded span trace "
+                      "(see 'repro run --trace')")
+    trace_commands = trace.add_subparsers(dest="trace_command",
+                                          required=True)
+    for name, description in (
+            ("show", "print the span tree of a trace"),
+            ("critical-path",
+             "longest cost-weighted dependency chain with per-task "
+             "slack"),
+            ("export", "export a trace for external viewers")):
+        sub = trace_commands.add_parser(name, help=description)
+        sub.add_argument("path",
+                         help="a trace JSONL file or an environment "
+                              "directory containing trace.jsonl")
+        sub.add_argument("--trace-id",
+                         help="select a trace (default: the latest "
+                              "recorded run)")
+        if name == "export":
+            sub.add_argument("--format", choices=["chrome"],
+                             default="chrome",
+                             help="output format: Chrome trace-event "
+                                  "JSON, loadable in Perfetto "
+                                  "(default)")
+            sub.add_argument("-o", "--output",
+                             help="write to this file instead of "
+                                  "stdout")
+        sub.set_defaults(fn=cmd_trace)
 
     schema = commands.add_parser("schema",
                                  help="dump the schema as Graphviz DOT")

@@ -20,7 +20,7 @@ from ..history.consistency import (consistency_report, is_stale,
 from ..history.database import HistoryDatabase
 from ..history.datastore import CodecRegistry
 from ..history.instance import EntityInstance
-from ..obs import EventBus
+from ..obs import DECOMPOSE_SPAN, EventBus, Tracer
 from ..schema.catalog import (DataTypeCatalog, EntityCatalog, FlowCatalog,
                               ToolCatalog)
 from ..schema.schema import TaskSchema
@@ -46,6 +46,10 @@ class DesignEnvironment:
         # sink subscribes (env.bus.subscribe(...)).
         self.bus = bus if bus is not None else (
             EventBus(clock=clock) if clock is not None else EventBus())
+        # Likewise one tracer: subscribe a span sink
+        # (env.tracer.subscribe(JSONLSink(...))) and every executor this
+        # environment hands out records hierarchical spans.
+        self.tracer = Tracer()
         self.db = HistoryDatabase(schema, codecs=codecs, clock=clock,
                                   bus=self.bus)
         self.registry = EncapsulationRegistry(schema)
@@ -142,7 +146,8 @@ class DesignEnvironment:
         cache_obj, policy = self._cache_args(cache)
         return FlowExecutor(
             self.db, self.registry, user=self.user, machine=machine,
-            bus=self.bus, cache=cache_obj, cache_policy=policy)
+            bus=self.bus, cache=cache_obj, cache_policy=policy,
+            tracer=self.tracer)
 
     def parallel_executor(self, machines: int = 2,
                           pool: MachinePool | None = None, *,
@@ -152,7 +157,7 @@ class DesignEnvironment:
         return ParallelFlowExecutor(
             self.db, self.registry, user=self.user, pool=pool,
             machines=machines, bus=self.bus, cache=cache_obj,
-            cache_policy=policy)
+            cache_policy=policy, tracer=self.tracer)
 
     def scheduled_executor(self, machines: int = 2,
                            pool: MachinePool | None = None,
@@ -163,7 +168,7 @@ class DesignEnvironment:
         return ScheduledFlowExecutor(
             self.db, self.registry, user=self.user, pool=pool,
             machines=machines, durations=durations, bus=self.bus,
-            cache=cache_obj, cache_policy=policy)
+            cache=cache_obj, cache_policy=policy, tracer=self.tracer)
 
     def run(self, flow: DynamicFlow | TaskGraph,
             targets: Sequence[str] | None = None, *,
@@ -199,22 +204,28 @@ class DesignEnvironment:
             raise SchemaError(
                 f"{instance.instance_id}: {instance.entity_type!r} is "
                 "not a composed entity")
-        if instance.derivation is not None:
-            return {role: self.db.get(input_id)
-                    for role, input_id in instance.derivation.inputs}
-        # externally installed composite: decompose the data itself and
-        # surface the parts as fresh installed instances
-        decompose = self.registry.decomposition(instance.entity_type)
-        parts = decompose(self.db.data(instance))
-        construction = self.schema.construction(instance.entity_type)
-        out: dict[str, EntityInstance] = {}
-        for role, data in parts.items():
-            target = construction.input_role(role).target
-            out[role] = self.install_data(
-                target, data,
-                name=f"{instance.name or instance.instance_id}.{role}",
-                annotations={"decomposed-from": instance.instance_id})
-        return out
+        with self.tracer.span(
+                f"decompose:{instance.entity_type}", DECOMPOSE_SPAN,
+                attributes={"instance": instance.instance_id,
+                            "entity_type": instance.entity_type}):
+            if instance.derivation is not None:
+                return {role: self.db.get(input_id)
+                        for role, input_id in instance.derivation.inputs}
+            # externally installed composite: decompose the data itself
+            # and surface the parts as fresh installed instances
+            decompose = self.registry.decomposition(instance.entity_type)
+            parts = decompose(self.db.data(instance))
+            construction = self.schema.construction(instance.entity_type)
+            out: dict[str, EntityInstance] = {}
+            for role, data in parts.items():
+                target = construction.input_role(role).target
+                out[role] = self.install_data(
+                    target, data,
+                    name=f"{instance.name or instance.instance_id}"
+                         f".{role}",
+                    annotations={"decomposed-from":
+                                 instance.instance_id})
+            return out
 
     # ------------------------------------------------------------------
     # consistency maintenance (section 3.3)

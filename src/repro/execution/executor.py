@@ -20,6 +20,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -28,10 +29,12 @@ from ..core.taskgraph import TaskGraph, TaskInvocation
 from ..errors import ExecutionError
 from ..history.database import HistoryDatabase
 from ..history.instance import DerivationRecord
-from ..obs import (CACHE_HIT, CACHE_MISS, COMPOSE_TOOL, COMPOSITION_RUN,
-                   EXECUTION_FAILED, FLOW_FINISHED, FLOW_STARTED,
-                   NO_OP_BUS, NODE_READY, TOOL_FINISHED, TOOL_INVOKED,
-                   EventBus)
+from ..obs import (CACHE_HIT, CACHE_MISS, CACHE_SPAN, COMPOSE_SPAN,
+                   COMPOSE_TOOL, COMPOSITION_RUN, EXECUTION_FAILED,
+                   FLOW_FINISHED, FLOW_STARTED, NO_OP_BUS, NO_OP_TRACER,
+                   NODE_READY, NULL_SPAN, RUN_SPAN, TASK_SPAN,
+                   TOOL_FINISHED, TOOL_INVOKED, TOOL_SPAN, EventBus,
+                   Tracer)
 from .cache import (CACHE_OFF, CACHE_READWRITE, CACHE_REUSE,
                     DerivationCache, normalize_policy)
 from .encapsulation import EncapsulationRegistry, ToolContext
@@ -50,6 +53,10 @@ class InvocationResult:
     outputs_by_node: dict[str, tuple[str, ...]]
     duration: float
     machine: str = "local"
+    #: Time the invocation sat ready (dependencies satisfied) before a
+    #: machine picked it up — nonzero only under scheduled/parallel
+    #: execution, and always separate from ``duration``.
+    queue_wait: float = 0.0
 
 
 @dataclass
@@ -124,6 +131,16 @@ class ExecutionReport:
         return sum(r.duration for r in self.results)
 
     @property
+    def queue_wait_time(self) -> float:
+        """Total time invocations spent ready but waiting for a machine.
+
+        Reported separately from execute time: ``serial_time`` counts
+        only the work itself, so scheduling pressure is visible instead
+        of being conflated into tool durations.
+        """
+        return sum(r.queue_wait for r in self.results)
+
+    @property
     def speedup(self) -> float:
         """Realized serial-time / wall-time ratio (1.0 when unknown)."""
         return self.serial_time / self.wall_time if self.wall_time else 1.0
@@ -161,7 +178,8 @@ class FlowExecutor:
                  lock: threading.Lock | None = None,
                  bus: EventBus | None = None,
                  cache: DerivationCache | None = None,
-                 cache_policy: str = CACHE_READWRITE) -> None:
+                 cache_policy: str = CACHE_READWRITE,
+                 tracer: Tracer | None = None) -> None:
         self.db = db
         self.registry = registry
         self.user = user
@@ -173,6 +191,9 @@ class FlowExecutor:
         # Without sinks the shared no-op bus makes every emit an early
         # return, so uninstrumented execution stays on the fast path.
         self.bus = bus if bus is not None else NO_OP_BUS
+        # Likewise for spans: without sinks the tracer hands out the
+        # shared null span and tracing costs one truth test.
+        self.tracer = tracer if tracer is not None else NO_OP_TRACER
         # Incremental re-execution: with a cache attached, remembered
         # tool runs (same tool, code and input content) are reused
         # instead of re-executed, subject to the policy.
@@ -180,6 +201,10 @@ class FlowExecutor:
         self.cache_policy = normalize_policy(
             cache_policy if cache is not None else CACHE_OFF)
         self._force = False
+        # Coordinators (parallel/scheduled executors) open the run span
+        # themselves and clear this on their worker-facing executors so
+        # tasks attach to the coordinator's trace, not a second root.
+        self._trace_run_span = True
 
     # ------------------------------------------------------------------
     # public API
@@ -204,6 +229,27 @@ class FlowExecutor:
                     "construct the executor with cache=... (or use "
                     "DesignEnvironment.run)")
             self.cache_policy = normalize_policy(cache)
+        # Root span of the trace.  Coordinators (parallel/scheduled)
+        # open it themselves, so their per-branch executors skip this.
+        span_cm = (
+            self.tracer.span(
+                f"run:{graph.name}", RUN_SPAN,
+                attributes={"flow": graph.name, "machine": self.machine,
+                            "cache": self.cache_policy,
+                            "targets": sorted(targets or ()),
+                            "force": force})
+            if self._trace_run_span else nullcontext(NULL_SPAN))
+        with span_cm as run_span:
+            report = self._execute_graph(graph, targets, force=force)
+            run_span.set(runs=report.runs,
+                         created=len(report.created),
+                         skipped=len(report.skipped),
+                         cache_hits=report.cache_hits)
+        return report
+
+    def _execute_graph(self, graph: TaskGraph,
+                       targets: Sequence[str] | None, *,
+                       force: bool) -> ExecutionReport:
         started = time.perf_counter()
         emitting = self.bus.enabled
         needed = self._needed_nodes(graph, targets)
@@ -325,19 +371,44 @@ class FlowExecutor:
                       payload={"key": key[:16]})
 
     def _run_invocation(
-            self, graph: TaskGraph, invocation: TaskInvocation
+            self, graph: TaskGraph, invocation: TaskInvocation, *,
+            queue_wait: float = 0.0, wave: int | None = None
     ) -> tuple[InvocationResult | None, CachedInvocation | None]:
         """Execute one coalesced invocation, consulting the cache.
 
         Returns the executed-runs entry and the cache-reuse entry; a
         fully warm invocation yields ``(None, CachedInvocation)``, a
         cold one ``(InvocationResult, None)``, and a partially warm
-        fan-out both.
+        fan-out both.  ``queue_wait`` and ``wave`` come from scheduling
+        coordinators and flow into the report and the task span.
         """
+        attributes: dict[str, Any] = {
+            "flow": graph.name,
+            "machine": self.machine,
+            "outputs": sorted(invocation.outputs),
+            "inputs": sorted({supplier_id for _, supplier_id
+                              in invocation.inputs}),
+        }
+        if wave is not None:
+            attributes["wave"] = wave
+        if queue_wait > 0:
+            attributes["queue_wait"] = round(queue_wait, 6)
+        with self.tracer.span("task:" + ",".join(invocation.outputs),
+                              TASK_SPAN,
+                              attributes=attributes) as task_span:
+            result, cached = self._run_invocation_inner(
+                graph, invocation, task_span, queue_wait=queue_wait)
+        return result, cached
+
+    def _run_invocation_inner(
+            self, graph: TaskGraph, invocation: TaskInvocation,
+            task_span: Any, *, queue_wait: float
+    ) -> tuple[InvocationResult | None, CachedInvocation | None]:
         started = time.perf_counter()
         emitting = self.bus.enabled
         output_nodes = [graph.node(o) for o in invocation.outputs]
         output_types = tuple(n.entity_type for n in output_nodes)
+        task_span.set(entity_types=sorted(set(output_types)))
         if emitting:
             for node in output_nodes:
                 self.bus.emit(NODE_READY, flow=graph.name,
@@ -354,6 +425,7 @@ class FlowExecutor:
             role_ids[role] = ids
         tool_type = (graph.node(invocation.tool_node).entity_type
                      if invocation.tool_node is not None else COMPOSE_TOOL)
+        task_span.set(tool_type=tool_type)
         if emitting:
             self.bus.emit(TOOL_INVOKED, flow=graph.name,
                           node=",".join(invocation.outputs),
@@ -365,9 +437,27 @@ class FlowExecutor:
         else:
             result, cached = self._run_tool(
                 graph, invocation, output_nodes, output_types, role_ids)
+        if self._cache_for_run() is not None:
+            # cache outcome: every combination served from the cache is
+            # a hit; a mix of reused and executed combos is "partial"
+            if cached is not None:
+                task_span.set(cache="hit" if result is None
+                              else "partial")
+            elif self._cache_reads:
+                task_span.set(cache="miss")
+        if cached is not None:
+            task_span.set(reused=list(cached.instances))
         if result is not None:
             result.duration = time.perf_counter() - started
+            result.queue_wait = queue_wait
+            task_span.set(created=list(result.created),
+                          invocation_id=result.invocation_id)
             if emitting:
+                payload: dict[str, Any] = {
+                    "runs": result.runs,
+                    "created": list(result.created)}
+                if queue_wait > 0:
+                    payload["queue_wait"] = round(queue_wait, 6)
                 self.bus.emit(
                     COMPOSITION_RUN if invocation.tool_node is None
                     else TOOL_FINISHED,
@@ -375,8 +465,7 @@ class FlowExecutor:
                     tool_type=tool_type,
                     invocation_id=result.invocation_id,
                     machine=self.machine, duration=result.duration,
-                    payload={"runs": result.runs,
-                             "created": list(result.created)})
+                    payload=payload)
         return result, cached
 
     def _run_composition(
@@ -399,7 +488,12 @@ class FlowExecutor:
             if cache is not None:
                 key = cache.composition_key(node.entity_type, combo)
                 if self._cache_reads:
-                    hit = cache.fetch(key, (node.entity_type,))
+                    with self.tracer.span(
+                            f"cache:{node.entity_type}", CACHE_SPAN,
+                            attributes={"key": key[:16]}) as lookup:
+                        hit = cache.fetch(key, (node.entity_type,))
+                        lookup.set(outcome="hit" if hit is not None
+                                   else "miss")
                     if hit is not None:
                         reused.extend(hit.instance_ids)
                         hits += 1
@@ -415,17 +509,25 @@ class FlowExecutor:
                     invocation_id = self.db.new_invocation_id()
                 inputs = {role: self.db.data(ref)
                           for role, ref in combo.items()}
-            run_started = time.perf_counter()
-            data = compose(inputs)
-            run_elapsed = time.perf_counter() - run_started
-            runs += 1
-            with self._lock:
-                instance = self.db.record(
-                    node.entity_type, data,
-                    DerivationRecord.make(None, combo, invocation_id),
-                    user=self.user, name=node.label,
-                    annotations={"flow": graph.name,
-                                 "machine": self.machine})
+            with self.tracer.span(
+                    f"compose:{node.entity_type}", COMPOSE_SPAN,
+                    attributes={"entity_type": node.entity_type}
+                    ) as compose_span:
+                run_started = time.perf_counter()
+                data = compose(inputs)
+                run_elapsed = time.perf_counter() - run_started
+                runs += 1
+                with self._lock:
+                    instance = self.db.record(
+                        node.entity_type, data,
+                        DerivationRecord.make(None, combo,
+                                              invocation_id),
+                        user=self.user, name=node.label,
+                        annotations={"flow": graph.name,
+                                     "machine": self.machine},
+                        trace=compose_span.context)
+                compose_span.set(created=[instance.instance_id],
+                                 invocation_id=invocation_id)
             created.append(instance.instance_id)
             if key is not None and self._cache_writes:
                 cache.store(key,
@@ -494,7 +596,14 @@ class FlowExecutor:
                     key = cache.tool_run_key(tool_id, combo,
                                              sorted(set(output_types)))
                     if self._cache_reads:
-                        hit = cache.fetch(key, sorted(set(output_types)))
+                        with self.tracer.span(
+                                f"cache:{tool_type}", CACHE_SPAN,
+                                attributes={"key": key[:16],
+                                            "tool": tool_id}) as lookup:
+                            hit = cache.fetch(
+                                key, sorted(set(output_types)))
+                            lookup.set(outcome="hit" if hit is not None
+                                       else "miss")
                         if hit is not None:
                             grouped = hit.ids_by_type()
                             for node in output_nodes:
@@ -521,29 +630,38 @@ class FlowExecutor:
                                else self.db.data(ref))
                         for role, ref in combo.items()
                     }
-                run_started = time.perf_counter()
-                result = enc.run(ctx, inputs)
-                run_elapsed = time.perf_counter() - run_started
-                runs += 1
-                produced = _normalize_result(result, output_types,
-                                             enc.name)
-                record_inputs = _derivation_inputs(combo)
-                combo_created: list[tuple[str, str]] = []
-                for node in output_nodes:
-                    data = produced[node.entity_type]
-                    with self._lock:
-                        instance = self.db.record(
-                            node.entity_type, data,
-                            DerivationRecord(tool_id, record_inputs,
-                                             invocation_id),
-                            user=self.user, name=node.label,
-                            annotations={"flow": graph.name,
-                                         "machine": self.machine})
-                    outputs_by_node[node.node_id].append(
-                        instance.instance_id)
-                    created_all.append(instance.instance_id)
-                    combo_created.append(
-                        (node.entity_type, instance.instance_id))
+                with self.tracer.span(
+                        f"tool:{tool_type}", TOOL_SPAN,
+                        attributes={"tool": tool_id,
+                                    "tool_type": tool_type,
+                                    "encapsulation": enc.name}
+                        ) as tool_span:
+                    run_started = time.perf_counter()
+                    result = enc.run(ctx, inputs)
+                    run_elapsed = time.perf_counter() - run_started
+                    runs += 1
+                    produced = _normalize_result(result, output_types,
+                                                 enc.name)
+                    record_inputs = _derivation_inputs(combo)
+                    combo_created: list[tuple[str, str]] = []
+                    for node in output_nodes:
+                        data = produced[node.entity_type]
+                        with self._lock:
+                            instance = self.db.record(
+                                node.entity_type, data,
+                                DerivationRecord(tool_id, record_inputs,
+                                                 invocation_id),
+                                user=self.user, name=node.label,
+                                annotations={"flow": graph.name,
+                                             "machine": self.machine},
+                                trace=tool_span.context)
+                        outputs_by_node[node.node_id].append(
+                            instance.instance_id)
+                        created_all.append(instance.instance_id)
+                        combo_created.append(
+                            (node.entity_type, instance.instance_id))
+                    tool_span.set(
+                        created=[i for _, i in combo_created])
                 if key is not None and self._cache_writes:
                     cache.store(key, combo_created, run_elapsed)
         for node in output_nodes:

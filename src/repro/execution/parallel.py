@@ -27,7 +27,8 @@ from ..core.taskgraph import TaskGraph
 from ..errors import ExecutionError
 from ..history.database import HistoryDatabase
 from ..obs import (EXECUTION_FAILED, FLOW_FINISHED, FLOW_STARTED,
-                   LANE_ASSIGNED, NO_OP_BUS, EventBus)
+                   LANE_ASSIGNED, NO_OP_BUS, NO_OP_TRACER, RUN_SPAN,
+                   WAVE_SPAN, EventBus, Tracer)
 from .cache import CACHE_OFF, DerivationCache, normalize_policy
 from .encapsulation import EncapsulationRegistry
 from .executor import ExecutionReport, FlowExecutor
@@ -107,12 +108,14 @@ class ParallelFlowExecutor:
                  machines: int = 2,
                  bus: EventBus | None = None,
                  cache: DerivationCache | None = None,
-                 cache_policy: str = CACHE_OFF) -> None:
+                 cache_policy: str = CACHE_OFF,
+                 tracer: Tracer | None = None) -> None:
         self.db = db
         self.registry = registry
         self.user = user
         self.pool = pool if pool is not None else MachinePool.local(machines)
         self.bus = bus if bus is not None else NO_OP_BUS
+        self.tracer = tracer if tracer is not None else NO_OP_TRACER
         self.cache = cache
         self.cache_policy = normalize_policy(
             cache_policy if cache is not None else CACHE_OFF)
@@ -136,6 +139,19 @@ class ParallelFlowExecutor:
         report = ExecutionReport(graph.name)
         if not plan.branches:
             return report
+        # One root span per execute() call; worker threads adopt its
+        # context explicitly (thread-locals never cross threads).
+        run_span = None
+        run_ctx = None
+        if self.tracer.enabled:
+            run_span = self.tracer.start_span(
+                f"run:{graph.name}", RUN_SPAN,
+                attributes={"flow": graph.name,
+                            "scheduler": "disjoint-branches",
+                            "branches": plan.width,
+                            "machines": len(self.pool),
+                            "cache": self.cache_policy})
+            run_ctx = run_span.context
         if emitting:
             self.bus.emit(FLOW_STARTED, flow=graph.name,
                           payload={"scheduler": "disjoint-branches",
@@ -145,22 +161,34 @@ class ParallelFlowExecutor:
         report_lock = threading.Lock()
 
         def run_branch(branch: frozenset[str]) -> None:
+            wait_started = time.perf_counter()
             machine = self.pool.acquire()
+            queue_wait = time.perf_counter() - wait_started
             try:
                 if emitting:
                     self.bus.emit(LANE_ASSIGNED, flow=graph.name,
                                   machine=machine.name,
                                   payload={"branch": sorted(branch)})
-                executor = FlowExecutor(
-                    self.db, self.registry, user=self.user,
-                    machine=machine.name, lock=self._db_lock,
-                    bus=self.bus, cache=self.cache,
-                    cache_policy=self.cache_policy)
-                branch_targets = sorted(branch)
-                if targets is not None:
-                    branch_targets = sorted(branch & set(targets))
-                branch_report = executor.execute(
-                    graph, targets=branch_targets, force=force)
+                with self.tracer.activate(run_ctx), self.tracer.span(
+                        f"branch:{machine.name}", WAVE_SPAN,
+                        attributes={"flow": graph.name,
+                                    "machine": machine.name,
+                                    "branch": sorted(branch),
+                                    "queue_wait": round(queue_wait, 6)}):
+                    executor = FlowExecutor(
+                        self.db, self.registry, user=self.user,
+                        machine=machine.name, lock=self._db_lock,
+                        bus=self.bus, cache=self.cache,
+                        cache_policy=self.cache_policy,
+                        tracer=self.tracer)
+                    # the branch rides this run's trace: its tasks
+                    # parent to the branch span, not a second root
+                    executor._trace_run_span = False
+                    branch_targets = sorted(branch)
+                    if targets is not None:
+                        branch_targets = sorted(branch & set(targets))
+                    branch_report = executor.execute(
+                        graph, targets=branch_targets, force=force)
                 machine.executed_branches += 1
                 machine.executed_invocations += len(branch_report.results)
                 with report_lock:
@@ -171,19 +199,31 @@ class ParallelFlowExecutor:
             finally:
                 self.pool.release(machine)
 
-        with ThreadPoolExecutor(max_workers=len(self.pool)) as tp:
-            futures = [tp.submit(run_branch, branch)
-                       for branch in plan.branches]
-            for future in futures:
-                future.result()
-        if errors:
-            if emitting:
-                self.bus.emit(EXECUTION_FAILED, flow=graph.name,
-                              payload={"error": str(errors[0])})
-            raise errors[0]
-        # lanes overlap: the merged lane maximum is a lower bound, the
-        # measured elapsed time of this call is the true wall-clock
-        report.wall_time = time.perf_counter() - started
+        try:
+            with ThreadPoolExecutor(max_workers=len(self.pool)) as tp:
+                futures = [tp.submit(run_branch, branch)
+                           for branch in plan.branches]
+                for future in futures:
+                    future.result()
+            if errors:
+                if emitting:
+                    self.bus.emit(EXECUTION_FAILED, flow=graph.name,
+                                  payload={"error": str(errors[0])})
+                if run_span is not None:
+                    run_span.status = \
+                        f"error:{type(errors[0]).__name__}"
+                raise errors[0]
+            # lanes overlap: the merged lane maximum is a lower bound,
+            # the measured elapsed time of this call is the true
+            # wall-clock
+            report.wall_time = time.perf_counter() - started
+            if run_span is not None:
+                run_span.set(runs=report.runs,
+                             created=len(report.created),
+                             cache_hits=report.cache_hits)
+        finally:
+            if run_span is not None:
+                self.tracer.finish(run_span)
         if emitting:
             self.bus.emit(FLOW_FINISHED, flow=graph.name,
                           duration=report.wall_time,

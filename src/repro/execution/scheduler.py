@@ -29,8 +29,8 @@ from ..core.taskgraph import TaskGraph, TaskInvocation
 from ..errors import ExecutionError
 from ..history.database import HistoryDatabase
 from ..obs import (COMPOSE_TOOL, COMPOSITION_RUN, EXECUTION_FAILED,
-                   FLOW_FINISHED, FLOW_STARTED, TOOL_FINISHED, Event,
-                   EventBus)
+                   FLOW_FINISHED, FLOW_STARTED, NO_OP_TRACER, RUN_SPAN,
+                   TOOL_FINISHED, WAVE_SPAN, Event, EventBus, Tracer)
 from .cache import CACHE_OFF, DerivationCache, normalize_policy
 from .encapsulation import EncapsulationRegistry
 from .executor import ExecutionReport, FlowExecutor, InvocationResult
@@ -250,11 +250,13 @@ class ScheduledFlowExecutor:
                  durations: DurationModel | None = None,
                  bus: EventBus | None = None,
                  cache: DerivationCache | None = None,
-                 cache_policy: str = CACHE_OFF) -> None:
+                 cache_policy: str = CACHE_OFF,
+                 tracer: Tracer | None = None) -> None:
         self.db = db
         self.registry = registry
         self.user = user
         self.pool = pool if pool is not None else MachinePool.local(machines)
+        self.tracer = tracer if tracer is not None else NO_OP_TRACER
         self.cache = cache
         self.cache_policy = normalize_policy(
             cache_policy if cache is not None else CACHE_OFF)
@@ -296,9 +298,42 @@ class ScheduledFlowExecutor:
                 if graph.suppliers(node_id):
                     graph.node(node_id).produced = ()
 
+        # dependency depth of each invocation: its scheduler "wave"
+        # (wave 0 runs immediately, wave n waits on some wave n-1 task)
+        wave: dict[int, int] = {}
+        for node in nodes:
+            chain = [node.index]
+            while chain:
+                index = chain[-1]
+                missing = [p for p in nodes[index].predecessors
+                           if p not in wave]
+                if missing:
+                    chain.extend(missing)
+                    continue
+                chain.pop()
+                wave[index] = 1 + max(
+                    (wave[p] for p in nodes[index].predecessors),
+                    default=-1)
+
+        # One root span; workers adopt its context explicitly and open
+        # one lane span each, so queue waits show per machine.
+        run_span = None
+        run_ctx = None
+        if self.tracer.enabled:
+            run_span = self.tracer.start_span(
+                f"run:{graph.name}", RUN_SPAN,
+                attributes={"flow": graph.name,
+                            "scheduler": "invocation-level",
+                            "machines": len(self.pool),
+                            "invocations": len(nodes),
+                            "cache": self.cache_policy})
+            run_ctx = run_span.context
+
         pending = {n.index: len(n.predecessors) for n in nodes}
         condition = threading.Condition()
         ready = [n.index for n in nodes if not n.predecessors]
+        # when each invocation became runnable, for queue-wait accounting
+        ready_at = {index: time.perf_counter() for index in ready}
         done: set[int] = set()
         errors: list[BaseException] = []
         report_lock = threading.Lock()
@@ -309,47 +344,20 @@ class ScheduledFlowExecutor:
                                     user=self.user, machine=machine.name,
                                     lock=self._db_lock, bus=self.bus,
                                     cache=self.cache,
-                                    cache_policy=self.cache_policy)
+                                    cache_policy=self.cache_policy,
+                                    tracer=self.tracer)
             executor._force = force
+            executor._trace_run_span = False
             try:
-                while True:
-                    with condition:
-                        while not ready and len(done) < len(nodes) \
-                                and not errors:
-                            condition.wait()
-                        if errors or len(done) >= len(nodes):
-                            return
-                        index = ready.pop(0)
-                    node = nodes[index]
-                    outputs = [graph.node(o)
-                               for o in node.invocation.outputs]
-                    try:
-                        if force or not all(o.results() for o in outputs):
-                            result, cached = executor._run_invocation(
-                                graph, node.invocation)
-                            with report_lock:
-                                if result is not None:
-                                    report.results.append(result)
-                                if cached is not None:
-                                    report.cached.append(cached)
-                            if result is not None:
-                                machine.executed_invocations += 1
-                        else:
-                            with report_lock:
-                                report.skipped.extend(
-                                    node.invocation.outputs)
-                    except BaseException as exc:
-                        with condition:
-                            errors.append(exc)
-                            condition.notify_all()
-                        return
-                    with condition:
-                        done.add(index)
-                        for successor in node.successors:
-                            pending[successor] -= 1
-                            if pending[successor] == 0:
-                                ready.append(successor)
-                        condition.notify_all()
+                with self.tracer.activate(run_ctx), self.tracer.span(
+                        f"lane:{machine.name}", WAVE_SPAN,
+                        attributes={"flow": graph.name,
+                                    "machine": machine.name}) as lane:
+                    executed = self._drain_ready(
+                        graph, nodes, executor, machine, force,
+                        condition, pending, ready, ready_at, done,
+                        errors, report, report_lock, wave)
+                    lane.set(invocations=executed)
             finally:
                 self.pool.release(machine)
 
@@ -359,15 +367,91 @@ class ScheduledFlowExecutor:
             thread.start()
         for thread in threads:
             thread.join()
-        if errors:
-            self.bus.emit(EXECUTION_FAILED, flow=graph.name,
-                          payload={"error": str(errors[0])})
-            raise errors[0]
-        report.wall_time = time.perf_counter() - started
+        try:
+            if errors:
+                self.bus.emit(EXECUTION_FAILED, flow=graph.name,
+                              payload={"error": str(errors[0])})
+                if run_span is not None:
+                    run_span.status = \
+                        f"error:{type(errors[0]).__name__}"
+                raise errors[0]
+            report.wall_time = time.perf_counter() - started
+            if run_span is not None:
+                run_span.set(runs=report.runs,
+                             created=len(report.created),
+                             cache_hits=report.cache_hits,
+                             queue_wait=round(report.queue_wait_time, 6))
+        finally:
+            if run_span is not None:
+                self.tracer.finish(run_span)
         self.bus.emit(FLOW_FINISHED, flow=graph.name,
                       duration=report.wall_time,
                       payload={"serial_time": report.serial_time,
                                "speedup": round(report.speedup, 3),
                                "runs": report.runs,
-                               "cache_hits": report.cache_hits})
+                               "cache_hits": report.cache_hits,
+                               "queue_wait": round(
+                                   report.queue_wait_time, 6)})
         return report
+
+    def _drain_ready(self, graph: TaskGraph,
+                     nodes: list[_InvocationNode],
+                     executor: FlowExecutor, machine,
+                     force: bool, condition: threading.Condition,
+                     pending: dict[int, int], ready: list[int],
+                     ready_at: dict[int, float], done: set[int],
+                     errors: list[BaseException],
+                     report: ExecutionReport,
+                     report_lock: threading.Lock,
+                     wave: dict[int, int]) -> int:
+        """One worker's loop: claim ready invocations until drained.
+
+        Returns the number of invocations this worker executed.
+        """
+        executed = 0
+        while True:
+            with condition:
+                while not ready and len(done) < len(nodes) \
+                        and not errors:
+                    condition.wait()
+                if errors or len(done) >= len(nodes):
+                    return executed
+                index = ready.pop(0)
+                queue_wait = max(
+                    0.0, time.perf_counter() - ready_at.get(
+                        index, time.perf_counter()))
+            node = nodes[index]
+            outputs = [graph.node(o)
+                       for o in node.invocation.outputs]
+            try:
+                if force or not all(o.results() for o in outputs):
+                    result, cached = executor._run_invocation(
+                        graph, node.invocation,
+                        queue_wait=queue_wait,
+                        wave=wave.get(index))
+                    with report_lock:
+                        if result is not None:
+                            report.results.append(result)
+                        if cached is not None:
+                            report.cached.append(cached)
+                    if result is not None:
+                        machine.executed_invocations += 1
+                        executed += 1
+                else:
+                    with report_lock:
+                        report.skipped.extend(
+                            node.invocation.outputs)
+            except BaseException as exc:
+                with condition:
+                    errors.append(exc)
+                    condition.notify_all()
+                return executed
+            with condition:
+                done.add(index)
+                now = time.perf_counter()
+                for successor in node.successors:
+                    pending[successor] -= 1
+                    if pending[successor] == 0:
+                        ready.append(successor)
+                        ready_at[successor] = now
+                condition.notify_all()

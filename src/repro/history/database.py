@@ -24,7 +24,7 @@ import time
 from typing import Any, Callable, Iterable
 
 from ..errors import HistoryError, UnknownInstanceError
-from ..obs import INSTANCE_CREATED, NO_OP_BUS, EventBus
+from ..obs import INSTANCE_CREATED, NO_OP_BUS, EventBus, SpanContext
 from ..schema.schema import TaskSchema
 from .datastore import CodecRegistry, DataStore
 from .instance import DerivationRecord, EntityInstance
@@ -110,16 +110,21 @@ class HistoryDatabase:
     def record(self, entity_type: str, data: Any,
                derivation: DerivationRecord, *, user: str = "",
                name: str = "", comment: str = "",
-               annotations: dict[str, str] | None = None
-               ) -> EntityInstance:
-        """Register an object produced by a task invocation."""
+               annotations: dict[str, str] | None = None,
+               trace: SpanContext | None = None) -> EntityInstance:
+        """Register an object produced by a task invocation.
+
+        ``trace`` carries the producing span's identity when the run is
+        traced; the ids are stamped into the instance so provenance and
+        timing stay joinable (``repro history`` prints the span).
+        """
         if derivation is None:
             raise HistoryError("record() requires a derivation; use "
                                "install() for external data")
         self._check_derivation(entity_type, derivation)
         return self._add(entity_type, data, derivation, user=user,
                          name=name, comment=comment,
-                         annotations=annotations)
+                         annotations=annotations, trace=trace)
 
     def _check_derivation(self, entity_type: str,
                           derivation: DerivationRecord) -> None:
@@ -164,8 +169,8 @@ class HistoryDatabase:
 
     def _add(self, entity_type: str, data: Any,
              derivation: DerivationRecord | None, *, user: str, name: str,
-             comment: str, annotations: dict[str, str] | None
-             ) -> EntityInstance:
+             comment: str, annotations: dict[str, str] | None,
+             trace: SpanContext | None = None) -> EntityInstance:
         self.schema.entity(entity_type)  # raises if unknown
         data_ref = None if data is None else self.datastore.put(data)
         instance = EntityInstance(
@@ -178,20 +183,26 @@ class HistoryDatabase:
             data_ref=data_ref,
             derivation=derivation,
             annotations=tuple(sorted((annotations or {}).items())),
+            trace_id=trace.trace_id if trace is not None else "",
+            span_id=trace.span_id if trace is not None else "",
         )
         self._index(instance)
         for listener in self._record_listeners:
             listener(instance)
         if self.bus.enabled:
+            payload = {"entity_type": entity_type,
+                       "instance_id": instance.instance_id,
+                       "installed": derivation is None}
+            if trace is not None:
+                payload["trace_id"] = trace.trace_id
+                payload["span_id"] = trace.span_id
             self.bus.emit(
                 INSTANCE_CREATED,
                 flow=(annotations or {}).get("flow", ""),
                 invocation_id=(derivation.invocation
                                if derivation is not None else ""),
                 machine=(annotations or {}).get("machine", ""),
-                payload={"entity_type": entity_type,
-                         "instance_id": instance.instance_id,
-                         "installed": derivation is None})
+                payload=payload)
         return instance
 
     def add_record_listener(

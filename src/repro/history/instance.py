@@ -94,6 +94,10 @@ class EntityInstance:
     data_ref: str | None = None
     derivation: DerivationRecord | None = None
     annotations: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+    #: When the producing run was traced, the ids of the span that
+    #: executed the invocation — the provenance↔timing join key.
+    trace_id: str = ""
+    span_id: str = ""
 
     def annotation_map(self) -> dict[str, str]:
         return dict(self.annotations)
@@ -116,7 +120,7 @@ class EntityInstance:
         return self.derivation is not None
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "instance_id": self.instance_id,
             "entity_type": self.entity_type,
             "user": self.user,
@@ -128,6 +132,13 @@ class EntityInstance:
                            else self.derivation.to_dict()),
             "annotations": [[k, v] for k, v in self.annotations],
         }
+        # only stamped for traced runs; omitting the keys otherwise
+        # keeps untraced history files byte-identical to older builds
+        if self.trace_id:
+            payload["trace_id"] = self.trace_id
+        if self.span_id:
+            payload["span_id"] = self.span_id
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "EntityInstance":
@@ -144,6 +155,8 @@ class EntityInstance:
                         else DerivationRecord.from_dict(derivation)),
             annotations=tuple((k, v) for k, v in
                               payload.get("annotations", ())),
+            trace_id=payload.get("trace_id", ""),
+            span_id=payload.get("span_id", ""),
         )
 
     def __str__(self) -> str:

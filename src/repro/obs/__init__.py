@@ -1,11 +1,13 @@
-"""Observability for flow execution: events, metrics, sinks.
+"""Observability for flow execution: events, spans, metrics, sinks.
 
 Zero-dependency instrumentation layered over the execution stack: a
-typed :class:`EventBus` carrying structured execution events, pluggable
-sinks (in-memory ring buffer, schema-versioned JSONL log), and a
-:class:`MetricsRegistry` aggregating counters and timer histograms per
-tool type and per flow.  Everything an executor emits can be persisted,
-replayed and summarized — ``repro events`` and ``repro stats`` are thin
+typed :class:`EventBus` carrying structured execution events, a
+:class:`Tracer` producing hierarchical spans with critical-path
+analysis and Chrome-trace export, pluggable sinks (in-memory ring
+buffer, schema-versioned JSONL log), and a :class:`MetricsRegistry`
+aggregating counters and timer histograms per tool type and per flow.
+Everything an executor emits can be persisted, replayed and summarized
+— ``repro events``, ``repro stats`` and ``repro trace`` are thin
 shells over this module.
 """
 
@@ -16,15 +18,26 @@ from .events import (CACHE_HIT, CACHE_MISS, COMPOSE_TOOL, COMPOSITION_RUN,
                      TOOL_INVOKED, Event, EventBus, NO_OP_BUS)
 from .metrics import EMPTY_TIMER, MetricsRegistry, TimerStats
 from .sinks import (CallbackSink, EventSink, JSONLSink, NullSink,
-                    RingBufferSink, read_events, replay_events,
-                    replay_into)
+                    RingBufferSink, iter_jsonl_objects, read_events,
+                    replay_events, replay_into)
+from .tracing import (CACHE_SPAN, COMPOSE_SPAN, DECOMPOSE_SPAN, NO_OP_TRACER,
+                      NULL_SPAN, RUN_SPAN, SPAN_KINDS, TASK_SPAN, TOOL_SPAN,
+                      TRACE_SCHEMA_VERSION, WAVE_SPAN, CriticalPathReport,
+                      Span, SpanContext, TaskTiming, Tracer, critical_path,
+                      export_chrome, read_spans, render_span_tree,
+                      spans_of_trace, trace_ids, validate_chrome_trace,
+                      validate_spans)
 
 __all__ = [
     "CACHE_HIT",
     "CACHE_MISS",
+    "CACHE_SPAN",
+    "COMPOSE_SPAN",
     "COMPOSE_TOOL",
     "COMPOSITION_RUN",
     "CallbackSink",
+    "CriticalPathReport",
+    "DECOMPOSE_SPAN",
     "EMPTY_TIMER",
     "EVENT_TYPES",
     "EXECUTION_FAILED",
@@ -39,13 +52,34 @@ __all__ = [
     "MetricsRegistry",
     "NODE_READY",
     "NO_OP_BUS",
+    "NO_OP_TRACER",
+    "NULL_SPAN",
     "NullSink",
+    "RUN_SPAN",
     "RingBufferSink",
     "SCHEMA_VERSION",
+    "SPAN_KINDS",
+    "Span",
+    "SpanContext",
+    "TASK_SPAN",
     "TOOL_FINISHED",
     "TOOL_INVOKED",
+    "TOOL_SPAN",
+    "TRACE_SCHEMA_VERSION",
+    "TaskTiming",
     "TimerStats",
+    "Tracer",
+    "WAVE_SPAN",
+    "critical_path",
+    "export_chrome",
+    "iter_jsonl_objects",
     "read_events",
+    "read_spans",
+    "render_span_tree",
     "replay_events",
     "replay_into",
+    "spans_of_trace",
+    "trace_ids",
+    "validate_chrome_trace",
+    "validate_spans",
 ]

@@ -113,6 +113,12 @@ class MetricsRegistry:
             self.inc(f"tool.{tool}.invocations")
             self.inc(f"tool.{tool}.runs", event.value("runs", 1))
             self.observe(f"tool.{tool}", event.duration)
+            # queue wait is reported separately from execute time so
+            # scheduling pressure never inflates tool durations
+            queue_wait = float(event.value("queue_wait", 0.0))
+            if queue_wait > 0:
+                self.observe("queue_wait", queue_wait)
+                self.observe(f"tool.{tool}.queue_wait", queue_wait)
             if event.flow:
                 self.inc(f"flow.{event.flow}.invocations")
         elif kind == INSTANCE_CREATED:
@@ -171,6 +177,9 @@ class MetricsRegistry:
                 key=lambda kv: (-kv[1], kv[0]))[:top]
             lines.append(f"  instances created: {instances} (" + ", ".join(
                 f"{name}={count}" for name, count in busiest) + ")")
+        waits = self.timer("queue_wait")
+        if waits.count:
+            lines.append(f"  queue wait: {waits.render()}")
         hits = self.counter("cache.hits")
         misses = self.counter("cache.misses")
         if hits or misses:

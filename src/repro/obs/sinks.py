@@ -17,7 +17,7 @@ from __future__ import annotations
 import collections
 import json
 import pathlib
-from typing import IO, Iterable, Iterator
+from typing import IO, Any, Callable, Iterable, Iterator
 
 from ..errors import ObservabilityError
 from .events import Event
@@ -68,7 +68,7 @@ class RingBufferSink(EventSink):
 class CallbackSink(EventSink):
     """Adapts a plain callable into a sink."""
 
-    def __init__(self, fn) -> None:
+    def __init__(self, fn: Callable[[Event], None]) -> None:
         self._fn = fn
 
     def handle(self, event: Event) -> None:
@@ -104,15 +104,26 @@ class JSONLSink(EventSink):
     def __enter__(self) -> "JSONLSink":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
-def replay_events(path: str | pathlib.Path) -> Iterator[Event]:
-    """Stream events back out of a :class:`JSONLSink` log, in order."""
+def iter_jsonl_objects(path: str | pathlib.Path, *,
+                       strict: bool = True
+                       ) -> Iterator[tuple[int, dict[str, Any]]]:
+    """Yield ``(lineno, object)`` pairs from a JSON-lines file.
+
+    ``strict=True`` raises on any corrupt line.  ``strict=False``
+    tolerates corruption *at the tail only* — the partial final line a
+    killed writer leaves behind — by buffering a decode failure and
+    forgiving it if no valid line follows.  A corrupt line in the
+    middle of the log (valid data after it) still raises, since that
+    means real damage, not mere truncation.
+    """
     log = pathlib.Path(path)
     if not log.exists():
         raise ObservabilityError(f"no event log at {log}")
+    pending: ObservabilityError | None = None
     with open(log, "r", encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
@@ -121,18 +132,43 @@ def replay_events(path: str | pathlib.Path) -> Iterator[Event]:
             try:
                 spec = json.loads(line)
             except json.JSONDecodeError as error:
-                raise ObservabilityError(
+                problem = ObservabilityError(
                     f"{log}:{lineno}: corrupt event line "
-                    f"({error})") from None
-            yield Event.from_dict(spec)
+                    f"({error})")
+                if strict:
+                    raise problem from None
+                pending = problem
+                continue
+            if pending is not None:
+                raise pending from None  # corruption mid-file
+            if not isinstance(spec, dict):
+                problem = ObservabilityError(
+                    f"{log}:{lineno}: expected a JSON object, got "
+                    f"{type(spec).__name__}")
+                if strict:
+                    raise problem
+                pending = problem
+                continue
+            yield lineno, spec
 
 
-def read_events(path: str | pathlib.Path) -> tuple[Event, ...]:
+def replay_events(path: str | pathlib.Path, *,
+                  strict: bool = True) -> Iterator[Event]:
+    """Stream events back out of a :class:`JSONLSink` log, in order.
+
+    See :func:`iter_jsonl_objects` for ``strict`` semantics.
+    """
+    for _, spec in iter_jsonl_objects(path, strict=strict):
+        yield Event.from_dict(spec)
+
+
+def read_events(path: str | pathlib.Path, *,
+                strict: bool = True) -> tuple[Event, ...]:
     """Eager variant of :func:`replay_events`."""
-    return tuple(replay_events(path))
+    return tuple(replay_events(path, strict=strict))
 
 
-def replay_into(events: Iterable[Event], *sinks) -> int:
+def replay_into(events: Iterable[Event], *sinks: Any) -> int:
     """Feed an event sequence through sinks; returns the event count."""
     count = 0
     for event in events:

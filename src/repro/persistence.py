@@ -31,6 +31,7 @@ HISTORY_FILE = "history.json"
 FLOWS_FILE = "flows.json"
 META_FILE = "environment.json"
 CACHE_FILE = "cache.json"
+TRACE_FILE = "trace.jsonl"
 FORMAT_VERSION = 1
 
 
