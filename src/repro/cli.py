@@ -13,6 +13,10 @@ Hercules session — enough to drive a design from a shell::
     python -m repro stale ./proj
     python -m repro events run.jsonl --type tool_finished
     python -m repro stats ./proj --events run.jsonl
+    python -m repro health ./proj
+    python -m repro ledger show ./proj --tail 5
+    python -m repro ledger compare ./proj 3f2a 9c1b
+    python -m repro ledger export ./proj --format prometheus
 
 Every mutating command saves the environment back to the directory, so
 consecutive invocations build one continuous design history — the CLI
@@ -23,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 from typing import Sequence
@@ -34,12 +39,15 @@ from .history.consistency import consistency_report
 from .history.database import BrowseFilter
 from .history.query import dependents_of_type
 from .history.trace import backward_trace
-from .obs import (EVENT_TYPES, JSONLSink, MetricsRegistry, critical_path,
-                  export_chrome, read_spans, render_span_tree,
-                  replay_events, replay_into, validate_chrome_trace,
-                  validate_spans)
-from .persistence import (CACHE_FILE, TRACE_FILE, load_environment,
-                          save_environment)
+from .obs import (EVENT_TYPES, HealthThresholds, JSONLSink,
+                  MetricsRegistry, RunLedger, RunRecord, critical_path,
+                  evaluate_health, export_chrome, read_spans,
+                  render_json, render_prometheus_ledger,
+                  render_span_tree, replay_events, replay_into,
+                  tool_baselines, validate_chrome_trace, validate_spans)
+from .obs.health import DEFAULT_K, DEFAULT_MIN_SAMPLES, DEFAULT_WINDOW
+from .persistence import (CACHE_FILE, LEDGER_FILE, TRACE_FILE,
+                          load_environment, save_environment)
 from .schema.standard import fig1_schema, fig2_schema, odyssey_schema
 from .tools import install_standard_tools, register_standard_encapsulations
 from .ui.session import HerculesSession
@@ -94,6 +102,14 @@ def cmd_history(args: argparse.Namespace) -> int:
     env = _load(args.directory)
     print(backward_trace(env.db, args.instance).render())
     instance = env.db.get(args.instance)
+    if instance.trace_id:
+        # join history to the run ledger: the producing run's record
+        # carries the same trace id the instance was stamped with
+        run = RunLedger(pathlib.Path(args.directory)
+                        / LEDGER_FILE).for_trace(instance.trace_id)
+        if run is not None:
+            print(f"produced by run {run.run_id}:")
+            print(f"  {run.render()}")
     if instance.span_id:
         trace_log = pathlib.Path(args.directory) / TRACE_FILE
         if trace_log.exists():
@@ -222,17 +238,41 @@ def cmd_stats(args: argparse.Namespace) -> int:
     from .history.statistics import history_statistics
 
     env = _load(args.directory)
-    print(history_statistics(env.db).render())
+    stats = history_statistics(env.db)
+    cache_summary = None
     cache_path = pathlib.Path(args.directory) / CACHE_FILE
     if cache_path.exists():
         snapshot = json.loads(cache_path.read_text(encoding="utf-8"))
         entries = snapshot.get("entries", {})
         groups = sum(len(e.get("groups", ())) for e in entries.values())
-        print(f"derivation cache: {len(entries)} keys, "
-              f"{groups} remembered results")
+        cache_summary = {"keys": len(entries), "results": groups}
+    records = RunLedger(
+        pathlib.Path(args.directory) / LEDGER_FILE).records()
+    metrics = None
     if args.events:
         metrics = MetricsRegistry()
         replay_into(replay_events(args.events), metrics)
+    if args.json:
+        payload = {
+            "history": stats.to_dict(),
+            "cache": cache_summary,
+            "ledger": {
+                "runs": len(records),
+                "last": records[-1].to_dict() if records else None,
+            },
+        }
+        if metrics is not None:
+            payload["metrics"] = metrics.snapshot()
+        print(render_json(payload))
+        return 0
+    print(stats.render())
+    if cache_summary is not None:
+        print(f"derivation cache: {cache_summary['keys']} keys, "
+              f"{cache_summary['results']} remembered results")
+    if records:
+        print(f"run ledger: {len(records)} recorded runs, latest:")
+        print(f"  {records[-1].render()}")
+    if metrics is not None:
         print(metrics.render())
     return 0
 
@@ -269,9 +309,124 @@ def cmd_events(args: argparse.Namespace) -> int:
         selected = selected[-args.tail:] if args.tail else []
     for event in selected:
         if args.json:
-            print(json.dumps(event.to_dict(), sort_keys=True))
+            # same canonical serializer as ledger records and
+            # `repro stats --json`: sorted keys, one object per line
+            print(render_json(event.to_dict()))
         else:
             print(event.render())
+    return 0
+
+
+def _ledger_path(path: str) -> pathlib.Path:
+    """Accept either a ledger file or an environment directory."""
+    candidate = pathlib.Path(path)
+    if candidate.is_dir():
+        return candidate / LEDGER_FILE
+    return candidate
+
+
+def _thresholds(args: argparse.Namespace) -> HealthThresholds:
+    return HealthThresholds(window=args.window, k=args.k,
+                            min_samples=args.min_samples)
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    ledger = RunLedger(_ledger_path(args.path))
+    records = ledger.records()
+    thresholds = _thresholds(args)
+    report = evaluate_health(records, thresholds=thresholds)
+    if args.json:
+        print(render_json(report.to_dict()))
+        return report.exit_code
+    print(report.render())
+    if args.baselines and len(records) > 1:
+        baselines = tool_baselines(
+            list(records[:-1]), window=thresholds.window,
+            k=thresholds.k)
+        if baselines:
+            print("baselines:")
+            for tool in sorted(baselines):
+                print(f"  {baselines[tool].render()}")
+    return report.exit_code
+
+
+def cmd_ledger(args: argparse.Namespace) -> int:
+    ledger = RunLedger(_ledger_path(args.path))
+    records = ledger.records()
+    if args.ledger_command == "show":
+        if args.flow:
+            records = tuple(r for r in records if r.flow == args.flow)
+        if args.tail is not None:
+            if args.tail < 0:
+                print(f"error: --tail must be >= 0, got {args.tail}",
+                      file=sys.stderr)
+                return 2
+            records = records[-args.tail:] if args.tail else ()
+        for record in records:
+            print(render_json(record.to_dict()) if args.json
+                  else record.render())
+        return 0
+    if args.ledger_command == "compare":
+        return _ledger_compare(ledger.find(args.run_a),
+                               ledger.find(args.run_b))
+    # export
+    if args.format == "json":
+        text = "\n".join(render_json(r.to_dict()) for r in records)
+        text = text + "\n" if text else ""
+    else:
+        text = render_prometheus_ledger(records)
+        if args.events:
+            metrics = MetricsRegistry()
+            replay_into(replay_events(args.events), metrics)
+            text += metrics.render_prometheus()
+    if args.output:
+        pathlib.Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {len(records)} ledger records to {args.output} "
+              f"({args.format} format)")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _ledger_compare(before: RunRecord, after: RunRecord) -> int:
+    """Side-by-side diff of two runs (the regression-hunt view)."""
+
+    def delta(label: str, old: float, new: float,
+              scale: float = 1e3, unit: str = "ms") -> str:
+        change = ""
+        if old > 0:
+            change = f" ({(new - old) / old:+.1%})"
+        return (f"  {label}: {old * scale:.2f}{unit} -> "
+                f"{new * scale:.2f}{unit}{change}")
+
+    print(f"comparing {before.run_id} (flow {before.flow}, "
+          f"{before.executor}) -> {after.run_id} (flow {after.flow}, "
+          f"{after.executor})")
+    print(delta("wall_time", before.wall_time, after.wall_time))
+    print(delta("serial_time", before.serial_time, after.serial_time))
+    if before.queue_wait or after.queue_wait:
+        print(delta("queue_wait", before.queue_wait, after.queue_wait))
+    print(f"  parallelism: {before.parallelism:.2f}x -> "
+          f"{after.parallelism:.2f}x")
+    print(f"  tool runs: {before.runs} -> {after.runs}")
+    print(f"  created: {before.created} -> {after.created}, "
+          f"reused: {before.reused} -> {after.reused}")
+    if before.cache_lookups or after.cache_lookups:
+        print(f"  cache hits: {before.cache_hits}/"
+              f"{before.cache_lookups} -> "
+              f"{after.cache_hits}/{after.cache_lookups}")
+    for tool in sorted(set(before.tools) | set(after.tools)):
+        old = before.tools.get(tool)
+        new = after.tools.get(tool)
+        if old is None or new is None:
+            status = "added" if old is None else "removed"
+            print(f"  tool {tool}: {status}")
+            continue
+        print(delta(f"tool {tool} mean", old.duration.mean,
+                    new.duration.mean))
+    if before.errors or after.errors:
+        print(f"  errors: {before.errors} -> {after.errors}"
+              + (f" ({after.error})" if after.error else ""))
     return 0
 
 
@@ -415,7 +570,77 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--events",
                        help="also summarize metrics from a JSONL event "
                             "log (see 'repro events')")
+    stats.add_argument("--json", action="store_true",
+                       help="machine-readable output (one JSON object: "
+                            "history, cache, ledger, metrics)")
     stats.set_defaults(fn=cmd_stats)
+
+    health = commands.add_parser(
+        "health", help="judge the latest recorded run against its "
+                       "ledger baseline (exit 1 on any failing check)")
+    health.add_argument("path",
+                        help="an environment directory or a ledger "
+                             "JSONL file")
+    health.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                        help="baseline window: how many prior runs "
+                             "feed the EWMA/MAD baselines "
+                             f"(default {DEFAULT_WINDOW})")
+    health.add_argument("--k", type=float, default=DEFAULT_K,
+                        help="drift gate in sigma-equivalent MADs "
+                             f"above the median (default {DEFAULT_K})")
+    health.add_argument("--min-samples", type=int,
+                        default=DEFAULT_MIN_SAMPLES,
+                        help="baseline runs required before a check "
+                             "may gate "
+                             f"(default {DEFAULT_MIN_SAMPLES})")
+    health.add_argument("--baselines", action="store_true",
+                        help="also print the per-tool baselines")
+    health.add_argument("--json", action="store_true",
+                        help="machine-readable health report")
+    health.set_defaults(fn=cmd_health)
+
+    ledger = commands.add_parser(
+        "ledger", help="inspect the longitudinal run ledger "
+                       "(one record per executed flow)")
+    ledger_commands = ledger.add_subparsers(dest="ledger_command",
+                                            required=True)
+    show = ledger_commands.add_parser(
+        "show", help="list recorded runs, oldest first")
+    show.add_argument("path",
+                      help="an environment directory or a ledger "
+                           "JSONL file")
+    show.add_argument("--flow", help="keep only runs of this flow")
+    show.add_argument("--tail", type=int,
+                      help="show only the last N matching runs")
+    show.add_argument("--json", action="store_true",
+                      help="print raw JSON records instead of the "
+                           "rendered form")
+    show.set_defaults(fn=cmd_ledger)
+    compare = ledger_commands.add_parser(
+        "compare", help="diff two recorded runs (unambiguous run-id "
+                        "prefixes accepted)")
+    compare.add_argument("path",
+                         help="an environment directory or a ledger "
+                              "JSONL file")
+    compare.add_argument("run_a", help="baseline run id")
+    compare.add_argument("run_b", help="run id to compare against it")
+    compare.set_defaults(fn=cmd_ledger)
+    export = ledger_commands.add_parser(
+        "export", help="export the ledger for external tooling")
+    export.add_argument("path",
+                        help="an environment directory or a ledger "
+                             "JSONL file")
+    export.add_argument("--format", choices=["prometheus", "json"],
+                        default="prometheus",
+                        help="Prometheus text exposition format "
+                             "(default) or one JSON object per line")
+    export.add_argument("--events",
+                        help="with --format prometheus: also replay "
+                             "this JSONL event log into a metrics "
+                             "registry and append its families")
+    export.add_argument("-o", "--output",
+                        help="write to this file instead of stdout")
+    export.set_defaults(fn=cmd_ledger)
 
     events = commands.add_parser(
         "events", help="tail/filter/replay a JSONL execution event log")
@@ -482,6 +707,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # downstream closed the pipe mid-print (`repro events | head`):
+        # exit quietly like any unix filter.  Point stdout at devnull so
+        # the interpreter's shutdown flush does not raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via main()

@@ -8,6 +8,7 @@ out flows via the four design approaches of section 3.4.
 
 from __future__ import annotations
 
+import pathlib
 from typing import Any, Callable, Sequence
 
 from ..errors import SchemaError
@@ -20,7 +21,7 @@ from ..history.consistency import (consistency_report, is_stale,
 from ..history.database import HistoryDatabase
 from ..history.datastore import CodecRegistry
 from ..history.instance import EntityInstance
-from ..obs import DECOMPOSE_SPAN, EventBus, Tracer
+from ..obs import DECOMPOSE_SPAN, EventBus, RunLedger, Tracer
 from ..schema.catalog import (DataTypeCatalog, EntityCatalog, FlowCatalog,
                               ToolCatalog)
 from ..schema.schema import TaskSchema
@@ -58,6 +59,20 @@ class DesignEnvironment:
         self.tool_catalog = ToolCatalog(schema)
         self.data_type_catalog = DataTypeCatalog(schema)
         self._cache: DerivationCache | None = None
+        # Longitudinal run history: attached by persistence for saved
+        # environments (attach_ledger); in-memory environments record
+        # nothing unless a ledger is attached explicitly.
+        self.ledger: RunLedger | None = None
+
+    def attach_ledger(self, path: str | pathlib.Path) -> RunLedger:
+        """Record every executed run into a ledger at ``path``.
+
+        Every executor this environment hands out afterwards appends
+        one :class:`~repro.obs.ledger.RunRecord` per ``execute()``
+        call; ``repro health`` and ``repro ledger`` read them back.
+        """
+        self.ledger = RunLedger(path)
+        return self.ledger
 
     @property
     def cache(self) -> DerivationCache:
@@ -147,7 +162,7 @@ class DesignEnvironment:
         return FlowExecutor(
             self.db, self.registry, user=self.user, machine=machine,
             bus=self.bus, cache=cache_obj, cache_policy=policy,
-            tracer=self.tracer)
+            tracer=self.tracer, ledger=self.ledger)
 
     def parallel_executor(self, machines: int = 2,
                           pool: MachinePool | None = None, *,
@@ -157,7 +172,8 @@ class DesignEnvironment:
         return ParallelFlowExecutor(
             self.db, self.registry, user=self.user, pool=pool,
             machines=machines, bus=self.bus, cache=cache_obj,
-            cache_policy=policy, tracer=self.tracer)
+            cache_policy=policy, tracer=self.tracer,
+            ledger=self.ledger)
 
     def scheduled_executor(self, machines: int = 2,
                            pool: MachinePool | None = None,
@@ -168,7 +184,8 @@ class DesignEnvironment:
         return ScheduledFlowExecutor(
             self.db, self.registry, user=self.user, pool=pool,
             machines=machines, durations=durations, bus=self.bus,
-            cache=cache_obj, cache_policy=policy, tracer=self.tracer)
+            cache=cache_obj, cache_policy=policy, tracer=self.tracer,
+            ledger=self.ledger)
 
     def run(self, flow: DynamicFlow | TaskGraph,
             targets: Sequence[str] | None = None, *,

@@ -32,9 +32,9 @@ from ..history.instance import DerivationRecord
 from ..obs import (CACHE_HIT, CACHE_MISS, CACHE_SPAN, COMPOSE_SPAN,
                    COMPOSE_TOOL, COMPOSITION_RUN, EXECUTION_FAILED,
                    FLOW_FINISHED, FLOW_STARTED, NO_OP_BUS, NO_OP_TRACER,
-                   NODE_READY, NULL_SPAN, RUN_SPAN, TASK_SPAN,
-                   TOOL_FINISHED, TOOL_INVOKED, TOOL_SPAN, EventBus,
-                   Tracer)
+                   NODE_READY, NULL_SPAN, RUN_SPAN, SEQUENTIAL_EXECUTOR,
+                   TASK_SPAN, TOOL_FINISHED, TOOL_INVOKED, TOOL_SPAN,
+                   EventBus, RunLedger, Tracer)
 from .cache import (CACHE_OFF, CACHE_READWRITE, CACHE_REUSE,
                     DerivationCache, normalize_policy)
 from .encapsulation import EncapsulationRegistry, ToolContext
@@ -179,7 +179,8 @@ class FlowExecutor:
                  bus: EventBus | None = None,
                  cache: DerivationCache | None = None,
                  cache_policy: str = CACHE_READWRITE,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 ledger: RunLedger | None = None) -> None:
         self.db = db
         self.registry = registry
         self.user = user
@@ -201,6 +202,11 @@ class FlowExecutor:
         self.cache_policy = normalize_policy(
             cache_policy if cache is not None else CACHE_OFF)
         self._force = False
+        # Longitudinal observability: with a ledger attached, every
+        # execute() call appends one RunRecord.  Coordinators keep the
+        # ledger for themselves (their worker executors get none), so
+        # one coordinated run is one record, never one per lane.
+        self.ledger = ledger
         # Coordinators (parallel/scheduled executors) open the run span
         # themselves and clear this on their worker-facing executors so
         # tasks attach to the coordinator's trace, not a second root.
@@ -240,12 +246,31 @@ class FlowExecutor:
                             "force": force})
             if self._trace_run_span else nullcontext(NULL_SPAN))
         with span_cm as run_span:
-            report = self._execute_graph(graph, targets, force=force)
+            try:
+                report = self._execute_graph(graph, targets, force=force)
+            except Exception as error:
+                self._ledger_record(ExecutionReport(graph.name),
+                                    error=error)
+                raise
             run_span.set(runs=report.runs,
                          created=len(report.created),
                          skipped=len(report.skipped),
                          cache_hits=report.cache_hits)
+        self._ledger_record(report)
         return report
+
+    def _ledger_record(self, report: ExecutionReport,
+                       error: BaseException | None = None) -> None:
+        """Append this run to the ledger, when one is attached."""
+        if self.ledger is None:
+            return
+        trace_id = ""
+        if self.tracer.enabled and self._trace_run_span:
+            trace_id = self.tracer.last_trace_id or ""
+        self.ledger.record_run(
+            report, executor=SEQUENTIAL_EXECUTOR,
+            cache_policy=self.cache_policy, trace_id=trace_id,
+            error=error)
 
     def _execute_graph(self, graph: TaskGraph,
                        targets: Sequence[str] | None, *,

@@ -27,8 +27,9 @@ from ..core.taskgraph import TaskGraph
 from ..errors import ExecutionError
 from ..history.database import HistoryDatabase
 from ..obs import (EXECUTION_FAILED, FLOW_FINISHED, FLOW_STARTED,
-                   LANE_ASSIGNED, NO_OP_BUS, NO_OP_TRACER, RUN_SPAN,
-                   WAVE_SPAN, EventBus, Tracer)
+                   LANE_ASSIGNED, NO_OP_BUS, NO_OP_TRACER,
+                   PARALLEL_EXECUTOR, RUN_SPAN, WAVE_SPAN, EventBus,
+                   RunLedger, Tracer)
 from .cache import CACHE_OFF, DerivationCache, normalize_policy
 from .encapsulation import EncapsulationRegistry
 from .executor import ExecutionReport, FlowExecutor
@@ -109,7 +110,8 @@ class ParallelFlowExecutor:
                  bus: EventBus | None = None,
                  cache: DerivationCache | None = None,
                  cache_policy: str = CACHE_OFF,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 ledger: RunLedger | None = None) -> None:
         self.db = db
         self.registry = registry
         self.user = user
@@ -119,6 +121,9 @@ class ParallelFlowExecutor:
         self.cache = cache
         self.cache_policy = normalize_policy(
             cache_policy if cache is not None else CACHE_OFF)
+        # One RunRecord per coordinated execute() call; the per-branch
+        # worker executors deliberately get no ledger of their own.
+        self.ledger = ledger
         self._db_lock = threading.Lock()
 
     def execute(self, flow: TaskGraph | DynamicFlow,
@@ -212,6 +217,8 @@ class ParallelFlowExecutor:
                 if run_span is not None:
                     run_span.status = \
                         f"error:{type(errors[0]).__name__}"
+                report.wall_time = time.perf_counter() - started
+                self._ledger_record(report, run_span, errors[0])
                 raise errors[0]
             # lanes overlap: the merged lane maximum is a lower bound,
             # the measured elapsed time of this call is the true
@@ -230,4 +237,15 @@ class ParallelFlowExecutor:
                           payload={"serial_time": report.serial_time,
                                    "speedup": round(report.speedup, 3),
                                    "lanes": plan.width})
+        self._ledger_record(report, run_span)
         return report
+
+    def _ledger_record(self, report: ExecutionReport, run_span,
+                       error: BaseException | None = None) -> None:
+        if self.ledger is None:
+            return
+        self.ledger.record_run(
+            report, executor=PARALLEL_EXECUTOR,
+            cache_policy=self.cache_policy,
+            trace_id=run_span.trace_id if run_span is not None else "",
+            error=error)

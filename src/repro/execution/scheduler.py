@@ -30,7 +30,8 @@ from ..errors import ExecutionError
 from ..history.database import HistoryDatabase
 from ..obs import (COMPOSE_TOOL, COMPOSITION_RUN, EXECUTION_FAILED,
                    FLOW_FINISHED, FLOW_STARTED, NO_OP_TRACER, RUN_SPAN,
-                   TOOL_FINISHED, WAVE_SPAN, Event, EventBus, Tracer)
+                   SCHEDULED_EXECUTOR, TOOL_FINISHED, WAVE_SPAN, Event,
+                   EventBus, RunLedger, Tracer)
 from .cache import CACHE_OFF, DerivationCache, normalize_policy
 from .encapsulation import EncapsulationRegistry
 from .executor import ExecutionReport, FlowExecutor, InvocationResult
@@ -251,7 +252,8 @@ class ScheduledFlowExecutor:
                  bus: EventBus | None = None,
                  cache: DerivationCache | None = None,
                  cache_policy: str = CACHE_OFF,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 ledger: RunLedger | None = None) -> None:
         self.db = db
         self.registry = registry
         self.user = user
@@ -260,6 +262,9 @@ class ScheduledFlowExecutor:
         self.cache = cache
         self.cache_policy = normalize_policy(
             cache_policy if cache is not None else CACHE_OFF)
+        # One RunRecord per execute() call (workers share this
+        # coordinator's report; they never write the ledger themselves).
+        self.ledger = ledger
         self.durations = durations if durations is not None \
             else DurationModel()
         # The duration model learns from the event stream: worker
@@ -374,6 +379,8 @@ class ScheduledFlowExecutor:
                 if run_span is not None:
                     run_span.status = \
                         f"error:{type(errors[0]).__name__}"
+                report.wall_time = time.perf_counter() - started
+                self._ledger_record(report, run_span, errors[0])
                 raise errors[0]
             report.wall_time = time.perf_counter() - started
             if run_span is not None:
@@ -392,7 +399,18 @@ class ScheduledFlowExecutor:
                                "cache_hits": report.cache_hits,
                                "queue_wait": round(
                                    report.queue_wait_time, 6)})
+        self._ledger_record(report, run_span)
         return report
+
+    def _ledger_record(self, report: ExecutionReport, run_span,
+                       error: BaseException | None = None) -> None:
+        if self.ledger is None:
+            return
+        self.ledger.record_run(
+            report, executor=SCHEDULED_EXECUTOR,
+            cache_policy=self.cache_policy,
+            trace_id=run_span.trace_id if run_span is not None else "",
+            error=error)
 
     def _drain_ready(self, graph: TaskGraph,
                      nodes: list[_InvocationNode],

@@ -39,6 +39,24 @@ class HistoryStatistics:
 
     _no_data: int = 0
 
+    def to_dict(self) -> dict:
+        """Machine-readable form (the ``repro stats --json`` payload)."""
+        return {
+            "instances": self.instances,
+            "derived": self.derived,
+            "installed": self.installed,
+            "blobs": self.blobs,
+            "dedup_ratio": self.dedup_ratio,
+            "instances_by_type": dict(sorted(
+                self.instances_by_type.items())),
+            "instances_by_user": dict(sorted(
+                self.instances_by_user.items())),
+            "tool_runs": dict(sorted(self.tool_runs.items())),
+            "max_depth": self.max_depth,
+            "mean_depth": self.mean_depth,
+            "shared_blob_instances": self.shared_blob_instances,
+        }
+
     def render(self) -> str:
         lines = [
             "history statistics:",

@@ -1,0 +1,374 @@
+"""Longitudinal health checks over the run ledger.
+
+The ledger records per-run performance; this module decides whether the
+*latest* run is healthy relative to the runs before it.  Per tool type
+it maintains a rolling baseline — an EWMA of per-run mean durations for
+trend reporting plus a robust center/spread pair (median and MAD) for
+gating — and flags a regression when the latest mean drifts more than
+``k``·MAD above the median (with relative and absolute floors so
+near-deterministic tools and sub-millisecond timers don't flake on
+scheduler noise).
+
+On top of the baselines sits a small catalog of *named* health checks,
+each returning an ok/warn/fail verdict:
+
+* ``tool-duration-drift`` — per-tool mean duration vs. the baseline;
+* ``error-rate`` — the latest run failed while the baseline was clean;
+* ``cache-hit-rate`` — cache effectiveness collapsed vs. the baseline;
+* ``parallelism-efficiency`` — the realized serial/wall ratio (the
+  PR 3 critical-path efficiency figure) degraded vs. runs of the same
+  executor kind.
+
+``repro health`` renders the report and exits 1 on any fail, which is
+what CI gates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .ledger import RunRecord
+
+OK = "ok"
+WARN = "warn"
+FAIL = "fail"
+
+_SEVERITY = {OK: 0, WARN: 1, FAIL: 2}
+
+#: Default tuning: drift gate ``k``·MAD (MAD scaled to sigma-equivalent),
+#: with floors so a tiny-but-stable baseline never gates on noise.
+DEFAULT_WINDOW = 20
+DEFAULT_K = 4.0
+DEFAULT_MIN_SAMPLES = 2
+DEFAULT_EWMA_ALPHA = 0.3
+DEFAULT_REL_FLOOR = 0.25
+#: Sub-10ms mean drift never gates: framework-level tasks (composition,
+#: trivial tool stubs) time in the noise band of a fresh process, while
+#: the tool runs worth gating on are external-process scale.
+DEFAULT_ABS_FLOOR = 0.010
+#: MAD -> sigma-equivalent scale for normally distributed samples.
+MAD_SIGMA = 1.4826
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+def _mad(values: Sequence[float], center: float) -> float:
+    """Median absolute deviation around a given center."""
+    return _median([abs(value - center) for value in values])
+
+
+def _ewma(values: Sequence[float], alpha: float) -> float:
+    """Exponentially weighted moving average, oldest first."""
+    if not values:
+        return 0.0
+    average = values[0]
+    for value in values[1:]:
+        average = alpha * value + (1.0 - alpha) * average
+    return average
+
+
+@dataclass(frozen=True)
+class ToolBaseline:
+    """Rolling duration baseline for one tool type."""
+
+    tool: str
+    samples: int
+    ewma: float
+    median: float
+    mad: float
+    #: Absolute drift (seconds above the median) that flips to FAIL.
+    threshold: float
+
+    def render(self) -> str:
+        return (f"{self.tool}: n={self.samples} "
+                f"median={self.median * 1e3:.2f}ms "
+                f"ewma={self.ewma * 1e3:.2f}ms "
+                f"mad={self.mad * 1e3:.2f}ms "
+                f"threshold=+{self.threshold * 1e3:.2f}ms")
+
+
+def tool_baselines(records: Sequence[RunRecord], *,
+                   window: int = DEFAULT_WINDOW,
+                   alpha: float = DEFAULT_EWMA_ALPHA,
+                   k: float = DEFAULT_K,
+                   rel_floor: float = DEFAULT_REL_FLOOR,
+                   abs_floor: float = DEFAULT_ABS_FLOOR
+                   ) -> dict[str, ToolBaseline]:
+    """Per-tool-type baselines over the last ``window`` ledger records.
+
+    The drift threshold is ``max(k * 1.4826 * MAD, rel_floor * median,
+    abs_floor)``: MAD carries the gate when the baseline is noisy, the
+    relative floor when it is tight, and the absolute floor keeps
+    microsecond-scale tools from gating on clock jitter.
+    """
+    recent = [r for r in records if not r.errors][-window:]
+    samples: dict[str, list[float]] = {}
+    for record in recent:
+        for tool, stats in record.tools.items():
+            samples.setdefault(tool, []).append(stats.duration.mean)
+    baselines: dict[str, ToolBaseline] = {}
+    for tool, means in samples.items():
+        median = _median(means)
+        mad = _mad(means, median)
+        threshold = max(k * MAD_SIGMA * mad, rel_floor * median,
+                        abs_floor)
+        baselines[tool] = ToolBaseline(
+            tool=tool,
+            samples=len(means),
+            ewma=_ewma(means, alpha),
+            median=median,
+            mad=mad,
+            threshold=threshold,
+        )
+    return baselines
+
+
+# ---------------------------------------------------------------------------
+# health checks
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CheckResult:
+    """Verdict of one named health check."""
+
+    name: str
+    verdict: str
+    detail: str
+
+    def render(self) -> str:
+        return f"[{self.verdict.upper():<4}] {self.name}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """Tunable knobs shared by every check."""
+
+    window: int = DEFAULT_WINDOW
+    k: float = DEFAULT_K
+    min_samples: int = DEFAULT_MIN_SAMPLES
+    ewma_alpha: float = DEFAULT_EWMA_ALPHA
+    rel_floor: float = DEFAULT_REL_FLOOR
+    abs_floor: float = DEFAULT_ABS_FLOOR
+    #: Baseline error rate above which a failing run only warns (the
+    #: flow was already unstable; nothing *regressed*).
+    error_rate_unstable: float = 0.25
+    #: Minimum baseline hit rate before cache collapse can gate.
+    cache_min_rate: float = 0.25
+    cache_fail_ratio: float = 0.5
+    cache_warn_ratio: float = 0.8
+    #: Minimum baseline parallelism before efficiency loss can gate.
+    parallelism_min: float = 1.5
+    parallelism_fail_ratio: float = 0.6
+    parallelism_warn_ratio: float = 0.8
+
+
+def _worst(verdicts: Sequence[str]) -> str:
+    return max(verdicts, key=lambda v: _SEVERITY[v]) if verdicts else OK
+
+
+def check_tool_duration_drift(current: RunRecord,
+                              baseline: Sequence[RunRecord],
+                              thresholds: HealthThresholds
+                              ) -> CheckResult:
+    """Per-tool mean duration vs. the EWMA+MAD ledger baseline."""
+    name = "tool-duration-drift"
+    baselines = tool_baselines(
+        baseline, window=thresholds.window, alpha=thresholds.ewma_alpha,
+        k=thresholds.k, rel_floor=thresholds.rel_floor,
+        abs_floor=thresholds.abs_floor)
+    verdicts: list[str] = []
+    details: list[str] = []
+    for tool, stats in sorted(current.tools.items()):
+        base = baselines.get(tool)
+        if base is None or base.samples < thresholds.min_samples:
+            continue
+        drift = stats.duration.mean - base.median
+        if drift > base.threshold:
+            verdicts.append(FAIL)
+            details.append(
+                f"{tool} mean {stats.duration.mean * 1e3:.2f}ms is "
+                f"+{drift * 1e3:.2f}ms over baseline median "
+                f"{base.median * 1e3:.2f}ms "
+                f"(threshold +{base.threshold * 1e3:.2f}ms, "
+                f"n={base.samples})")
+        elif drift > 0.5 * base.threshold:
+            verdicts.append(WARN)
+            details.append(
+                f"{tool} drifting: mean {stats.duration.mean * 1e3:.2f}"
+                f"ms, +{drift * 1e3:.2f}ms over median "
+                f"{base.median * 1e3:.2f}ms")
+    if not verdicts:
+        return CheckResult(name, OK,
+                           "tool durations within baseline"
+                           if baselines else "no baseline yet")
+    return CheckResult(name, _worst(verdicts), "; ".join(details))
+
+
+def check_error_rate(current: RunRecord,
+                     baseline: Sequence[RunRecord],
+                     thresholds: HealthThresholds) -> CheckResult:
+    """A failing run against a (mostly) clean baseline is a spike."""
+    name = "error-rate"
+    if not current.errors:
+        return CheckResult(name, OK, "run completed without errors")
+    if len(baseline) < thresholds.min_samples:
+        return CheckResult(
+            name, WARN,
+            f"run failed ({current.error or 'unknown error'}); "
+            "no baseline to compare against")
+    rate = sum(1 for r in baseline if r.errors) / len(baseline)
+    if rate <= thresholds.error_rate_unstable:
+        return CheckResult(
+            name, FAIL,
+            f"run failed ({current.error or 'unknown error'}) while "
+            f"baseline error rate was {rate:.0%} over {len(baseline)} "
+            "runs")
+    return CheckResult(
+        name, WARN,
+        f"run failed but the flow was already unstable "
+        f"(baseline error rate {rate:.0%})")
+
+
+def check_cache_hit_rate(current: RunRecord,
+                         baseline: Sequence[RunRecord],
+                         thresholds: HealthThresholds) -> CheckResult:
+    """Cache-effectiveness collapse vs. cache-enabled baseline runs."""
+    name = "cache-hit-rate"
+    if current.cache_policy == "off" or not current.cache_lookups:
+        return CheckResult(name, OK, "cache not in use")
+    rates = [r.cache_hit_rate for r in baseline
+             if r.cache_policy != "off" and r.cache_lookups]
+    if len(rates) < thresholds.min_samples:
+        return CheckResult(name, OK, "no cache baseline yet")
+    base_rate = _median(rates)
+    if base_rate < thresholds.cache_min_rate:
+        return CheckResult(
+            name, OK,
+            f"baseline hit rate {base_rate:.0%} too low to gate")
+    rate = current.cache_hit_rate
+    if rate < thresholds.cache_fail_ratio * base_rate:
+        return CheckResult(
+            name, FAIL,
+            f"hit rate collapsed to {rate:.0%} "
+            f"(baseline {base_rate:.0%} over {len(rates)} runs)")
+    if rate < thresholds.cache_warn_ratio * base_rate:
+        return CheckResult(
+            name, WARN,
+            f"hit rate {rate:.0%} below baseline {base_rate:.0%}")
+    return CheckResult(
+        name, OK, f"hit rate {rate:.0%} (baseline {base_rate:.0%})")
+
+
+def check_parallelism_efficiency(current: RunRecord,
+                                 baseline: Sequence[RunRecord],
+                                 thresholds: HealthThresholds
+                                 ) -> CheckResult:
+    """Serial/wall efficiency vs. baseline runs of the same executor."""
+    name = "parallelism-efficiency"
+    peers = [r.parallelism for r in baseline
+             if r.executor == current.executor and not r.errors]
+    if len(peers) < thresholds.min_samples:
+        return CheckResult(
+            name, OK, f"no {current.executor} baseline yet")
+    base = _median(peers)
+    if base < thresholds.parallelism_min:
+        return CheckResult(
+            name, OK,
+            f"baseline parallelism {base:.2f}x below gating floor")
+    ratio = current.parallelism / base if base else 1.0
+    if ratio < thresholds.parallelism_fail_ratio:
+        return CheckResult(
+            name, FAIL,
+            f"parallelism {current.parallelism:.2f}x degraded from "
+            f"baseline {base:.2f}x over {len(peers)} runs")
+    if ratio < thresholds.parallelism_warn_ratio:
+        return CheckResult(
+            name, WARN,
+            f"parallelism {current.parallelism:.2f}x below baseline "
+            f"{base:.2f}x")
+    return CheckResult(
+        name, OK,
+        f"parallelism {current.parallelism:.2f}x "
+        f"(baseline {base:.2f}x)")
+
+
+HealthCheck = Callable[[RunRecord, Sequence[RunRecord],
+                        HealthThresholds], CheckResult]
+
+#: The named check catalog, in report order.
+HEALTH_CHECKS: tuple[tuple[str, HealthCheck], ...] = (
+    ("tool-duration-drift", check_tool_duration_drift),
+    ("error-rate", check_error_rate),
+    ("cache-hit-rate", check_cache_hit_rate),
+    ("parallelism-efficiency", check_parallelism_efficiency),
+)
+
+
+# ---------------------------------------------------------------------------
+# the report
+# ---------------------------------------------------------------------------
+@dataclass
+class HealthReport:
+    """Verdicts of every named check against the latest ledger run."""
+
+    run: RunRecord | None
+    baseline_runs: int
+    checks: tuple[CheckResult, ...]
+
+    @property
+    def verdict(self) -> str:
+        return _worst([c.verdict for c in self.checks])
+
+    @property
+    def failures(self) -> tuple[CheckResult, ...]:
+        return tuple(c for c in self.checks if c.verdict == FAIL)
+
+    @property
+    def exit_code(self) -> int:
+        """CI contract: 1 on any failing check, 0 otherwise."""
+        return 1 if self.failures else 0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "verdict": self.verdict,
+            "run": self.run.to_dict() if self.run else None,
+            "baseline_runs": self.baseline_runs,
+            "checks": [{"name": c.name, "verdict": c.verdict,
+                        "detail": c.detail} for c in self.checks],
+        }
+
+    def render(self) -> str:
+        if self.run is None:
+            return "health: no runs recorded yet"
+        lines = [
+            f"health of run {self.run.run_id} "
+            f"(flow {self.run.flow}, {self.run.executor} executor, "
+            f"baseline of {self.baseline_runs} runs): "
+            f"{self.verdict.upper()}",
+        ]
+        lines.extend("  " + check.render() for check in self.checks)
+        return "\n".join(lines)
+
+
+def evaluate_health(records: Sequence[RunRecord], *,
+                    thresholds: HealthThresholds | None = None
+                    ) -> HealthReport:
+    """Judge the latest ledger record against the runs before it."""
+    thresholds = thresholds if thresholds is not None \
+        else HealthThresholds()
+    if not records:
+        return HealthReport(run=None, baseline_runs=0, checks=())
+    current = records[-1]
+    baseline = list(records[:-1])[-thresholds.window:]
+    checks = tuple(check(current, baseline, thresholds)
+                   for _, check in HEALTH_CHECKS)
+    return HealthReport(run=current, baseline_runs=len(baseline),
+                        checks=checks)

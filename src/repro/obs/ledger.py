@@ -1,0 +1,432 @@
+"""The run ledger: one compact record per executed flow, across runs.
+
+The paper's claim is that one small derivation record per instance
+yields a complete design-history database; events (PR 1) and spans
+(PR 3) extend that to *how a single run behaved*.  The ledger adds the
+longitudinal axis production flow managers need: at the end of every
+executed flow one :class:`RunRecord` — run/trace identifiers, executor
+kind, cache policy, per-tool-type duration and queue-wait stats, cache
+and error counts — is appended to ``ledger.jsonl`` in the environment
+directory.  Across runs those records are the time series that
+:mod:`repro.obs.health` mines for drift and regressions, and that the
+Prometheus exporter turns into ``repro_run_*`` series.
+
+Records are written append-only through the same JSONL conventions as
+the event log (schema-versioned lines, corrupt-tail tolerance on read),
+so a missing or truncated ledger never breaks an environment — older
+environments simply have no longitudinal history yet.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..errors import ObservabilityError
+from .events import COMPOSE_TOOL
+from .metrics import TimerStats, escape_label_value, timer_stats_of
+from .sinks import iter_jsonl_objects
+
+LEDGER_SCHEMA_VERSION = "ledger.v1"
+
+#: Executor kinds stamped into run records.
+SEQUENTIAL_EXECUTOR = "sequential"
+PARALLEL_EXECUTOR = "parallel"
+SCHEDULED_EXECUTOR = "scheduled"
+
+
+# ---------------------------------------------------------------------------
+# shared JSON serializer (ledger records, ``repro stats --json``,
+# ``repro events --json`` all funnel through here)
+# ---------------------------------------------------------------------------
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert dataclasses/tuples into JSON-ready values."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {name: to_jsonable(item)
+                for name, item in dataclasses.asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item)
+                for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in value]
+    return value
+
+
+def render_json(payload: Any) -> str:
+    """Canonical single-line JSON used by every machine-readable output."""
+    return json.dumps(to_jsonable(payload), sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# run records
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ToolRunStats:
+    """Per-tool-type timing summary of one run.
+
+    ``invocations`` counts coalesced task invocations, ``runs`` the
+    individual tool executions inside them (fan-outs run more than
+    once); ``duration`` summarizes per-invocation execute times and
+    ``queue_wait`` sums the time those invocations sat ready waiting
+    for a machine.
+    """
+
+    invocations: int
+    runs: int
+    duration: TimerStats
+    queue_wait: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "invocations": self.invocations,
+            "runs": self.runs,
+            "duration": dataclasses.asdict(self.duration),
+            "queue_wait": self.queue_wait,
+        }
+
+    @classmethod
+    def from_dict(cls, spec: dict[str, Any]) -> "ToolRunStats":
+        return cls(
+            invocations=int(spec.get("invocations", 0)),
+            runs=int(spec.get("runs", 0)),
+            duration=TimerStats(**spec.get("duration", {})),
+            queue_wait=float(spec.get("queue_wait", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One executed flow, as remembered by the ledger."""
+
+    run_id: str
+    timestamp: float
+    flow: str
+    executor: str
+    cache_policy: str
+    trace_id: str = ""
+    wall_time: float = 0.0
+    serial_time: float = 0.0
+    queue_wait: float = 0.0
+    #: Realized serial/wall ratio — the PR 3 critical-path efficiency
+    #: figure, persisted so degradation is detectable across runs.
+    parallelism: float = 1.0
+    runs: int = 0
+    created: int = 0
+    reused: int = 0
+    skipped: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    errors: int = 0
+    error: str = ""
+    tools: dict[str, ToolRunStats] = field(default_factory=dict)
+    schema_version: str = LEDGER_SCHEMA_VERSION
+
+    @property
+    def cache_lookups(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_lookups
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @classmethod
+    def from_report(cls, report: Any, *, executor: str,
+                    cache_policy: str = "off", trace_id: str = "",
+                    run_id: str = "", timestamp: float | None = None,
+                    error: BaseException | str | None = None
+                    ) -> "RunRecord":
+        """Distill an :class:`~repro.execution.executor.ExecutionReport`.
+
+        ``report`` is duck-typed (obs must not import the execution
+        layer).  ``cache_misses`` counts the executed tool runs of a
+        cache-enabled run: every run that actually executed was, by
+        definition, not served from the cache.
+        """
+        per_tool: dict[str, tuple[list[float], int, float]] = {}
+        for result in report.results:
+            tool = result.tool_type or COMPOSE_TOOL
+            durations, runs, waited = per_tool.get(tool, ([], 0, 0.0))
+            durations.append(result.duration)
+            per_tool[tool] = (durations, runs + result.runs,
+                              waited + result.queue_wait)
+        tools = {
+            tool: ToolRunStats(
+                invocations=len(durations),
+                runs=runs,
+                duration=timer_stats_of(durations),
+                queue_wait=waited)
+            for tool, (durations, runs, waited) in per_tool.items()
+        }
+        cached_runs = report.cache_hits
+        misses = report.runs if cache_policy != "off" else 0
+        return cls(
+            run_id=run_id or uuid.uuid4().hex[:12],
+            timestamp=time.time() if timestamp is None else timestamp,
+            flow=report.flow_name,
+            executor=executor,
+            cache_policy=cache_policy,
+            trace_id=trace_id or "",
+            wall_time=report.wall_time,
+            serial_time=report.serial_time,
+            queue_wait=report.queue_wait_time,
+            parallelism=report.speedup,
+            runs=report.runs,
+            created=len(report.created),
+            reused=len(report.reused),
+            skipped=len(report.skipped),
+            cache_hits=cached_runs,
+            cache_misses=misses,
+            errors=0 if error is None else 1,
+            error="" if error is None else str(error),
+            tools=tools,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        spec = {
+            "schema_version": self.schema_version,
+            "run_id": self.run_id,
+            "timestamp": self.timestamp,
+            "flow": self.flow,
+            "executor": self.executor,
+            "cache_policy": self.cache_policy,
+            "trace_id": self.trace_id,
+            "wall_time": self.wall_time,
+            "serial_time": self.serial_time,
+            "queue_wait": self.queue_wait,
+            "parallelism": self.parallelism,
+            "runs": self.runs,
+            "created": self.created,
+            "reused": self.reused,
+            "skipped": self.skipped,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "errors": self.errors,
+            "tools": {tool: stats.to_dict()
+                      for tool, stats in sorted(self.tools.items())},
+        }
+        if self.error:
+            spec["error"] = self.error
+        return spec
+
+    @classmethod
+    def from_dict(cls, spec: dict[str, Any]) -> "RunRecord":
+        version = spec.get("schema_version", LEDGER_SCHEMA_VERSION)
+        if version.partition(".")[0] != \
+                LEDGER_SCHEMA_VERSION.partition(".")[0]:
+            raise ObservabilityError(
+                f"unsupported ledger schema version {version!r} "
+                f"(this build reads {LEDGER_SCHEMA_VERSION!r})")
+        return cls(
+            run_id=spec["run_id"],
+            timestamp=float(spec.get("timestamp", 0.0)),
+            flow=spec.get("flow", ""),
+            executor=spec.get("executor", SEQUENTIAL_EXECUTOR),
+            cache_policy=spec.get("cache_policy", "off"),
+            trace_id=spec.get("trace_id", ""),
+            wall_time=float(spec.get("wall_time", 0.0)),
+            serial_time=float(spec.get("serial_time", 0.0)),
+            queue_wait=float(spec.get("queue_wait", 0.0)),
+            parallelism=float(spec.get("parallelism", 1.0)),
+            runs=int(spec.get("runs", 0)),
+            created=int(spec.get("created", 0)),
+            reused=int(spec.get("reused", 0)),
+            skipped=int(spec.get("skipped", 0)),
+            cache_hits=int(spec.get("cache_hits", 0)),
+            cache_misses=int(spec.get("cache_misses", 0)),
+            errors=int(spec.get("errors", 0)),
+            error=spec.get("error", ""),
+            tools={tool: ToolRunStats.from_dict(stats)
+                   for tool, stats in spec.get("tools", {}).items()},
+            schema_version=version,
+        )
+
+    def render(self) -> str:
+        """One human-readable line (the ``repro ledger show`` format)."""
+        parts = [
+            f"{self.run_id}",
+            f"flow={self.flow}",
+            f"exec={self.executor}",
+            f"cache={self.cache_policy}",
+            f"wall={self.wall_time * 1e3:.2f}ms",
+            f"runs={self.runs}",
+            f"created={self.created}",
+        ]
+        if self.cache_lookups:
+            parts.append(f"hits={self.cache_hits}/{self.cache_lookups}")
+        if self.queue_wait:
+            parts.append(f"qwait={self.queue_wait * 1e3:.2f}ms")
+        if self.parallelism > 1.05:
+            parts.append(f"par={self.parallelism:.2f}x")
+        if self.errors:
+            parts.append(f"ERRORS={self.errors}")
+        if self.trace_id:
+            parts.append(f"trace={self.trace_id}")
+        return " ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# the ledger itself
+# ---------------------------------------------------------------------------
+class RunLedger:
+    """Append-only JSONL store of :class:`RunRecord` entries.
+
+    One instance per environment directory; appends are serialized
+    under a lock (coordinating executors may finish concurrently) and
+    each record is written and flushed in one call, so a crashed
+    process leaves at worst one truncated trailing line — which the
+    tolerant reader forgives.  A missing file is an empty ledger, never
+    an error: environments predating the ledger load unchanged.
+    """
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        self._lock = threading.Lock()
+
+    def append(self, record: RunRecord) -> RunRecord:
+        line = render_json(record.to_dict())
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+        return record
+
+    def record_run(self, report: Any, *, executor: str,
+                   cache_policy: str = "off", trace_id: str = "",
+                   error: BaseException | str | None = None
+                   ) -> RunRecord | None:
+        """Build and append one record from an execution report.
+
+        Ledger I/O failures (full disk, revoked permissions) are
+        swallowed: losing one longitudinal data point must never fail
+        the design run that produced it.
+        """
+        record = RunRecord.from_report(
+            report, executor=executor, cache_policy=cache_policy,
+            trace_id=trace_id, error=error)
+        try:
+            return self.append(record)
+        except OSError:
+            return None
+
+    def records(self) -> tuple[RunRecord, ...]:
+        """Every readable record, oldest first; missing file is empty."""
+        if not self.path.exists():
+            return ()
+        return tuple(
+            RunRecord.from_dict(spec)
+            for _, spec in iter_jsonl_objects(self.path, strict=False))
+
+    def last(self, count: int = 1) -> tuple[RunRecord, ...]:
+        records = self.records()
+        return records[-count:] if count > 0 else ()
+
+    def find(self, run_id: str) -> RunRecord:
+        """Look up one run by id (unambiguous prefixes accepted)."""
+        records = self.records()
+        exact = [r for r in records if r.run_id == run_id]
+        if len(exact) == 1:
+            return exact[0]
+        matches = [r for r in records if r.run_id.startswith(run_id)]
+        if not matches:
+            raise ObservabilityError(
+                f"no run {run_id!r} in ledger {self.path}")
+        if len(matches) > 1:
+            raise ObservabilityError(
+                f"run id {run_id!r} is ambiguous: "
+                f"{sorted(r.run_id for r in matches)}")
+        return matches[0]
+
+    def for_trace(self, trace_id: str) -> RunRecord | None:
+        """The run record a trace id belongs to (joins instances to
+        runs: history records carry the same trace id)."""
+        if not trace_id:
+            return None
+        for record in reversed(self.records()):
+            if record.trace_id == trace_id:
+                return record
+        return None
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    def __repr__(self) -> str:
+        return f"RunLedger({str(self.path)!r})"
+
+
+# ---------------------------------------------------------------------------
+# Prometheus export of ledger-derived series
+# ---------------------------------------------------------------------------
+def render_prometheus_ledger(records: Sequence[RunRecord],
+                             prefix: str = "repro") -> str:
+    """``repro_run_*`` series in Prometheus text format.
+
+    Monotone totals aggregate the whole ledger; per-run gauges and the
+    per-tool duration summary describe the latest record, which is what
+    a scrape of a live environment wants to see.
+    """
+    lines: list[str] = []
+
+    def sample(metric: str, kind: str, value: float,
+               labels: dict[str, str] | None = None,
+               suffix: str = "", declare: bool = True) -> None:
+        if declare:
+            lines.append(f"# TYPE {metric} {kind}")
+        rendered = ""
+        if labels:
+            pairs = ",".join(
+                f'{name}="{escape_label_value(str(item))}"'
+                for name, item in sorted(labels.items()))
+            rendered = "{" + pairs + "}"
+        lines.append(f"{metric}{suffix}{rendered} {value}")
+
+    total = len(records)
+    sample(f"{prefix}_runs_total", "counter", total)
+    sample(f"{prefix}_run_errors_total", "counter",
+           sum(r.errors for r in records))
+    sample(f"{prefix}_run_tool_runs_total", "counter",
+           sum(r.runs for r in records))
+    sample(f"{prefix}_run_created_instances_total", "counter",
+           sum(r.created for r in records))
+    sample(f"{prefix}_run_cache_hits_total", "counter",
+           sum(r.cache_hits for r in records))
+    sample(f"{prefix}_run_cache_misses_total", "counter",
+           sum(r.cache_misses for r in records))
+    if not records:
+        return "\n".join(lines) + "\n"
+    last = records[-1]
+    labels = {"flow": last.flow, "executor": last.executor,
+              "run": last.run_id}
+    sample(f"{prefix}_run_wall_time_seconds", "gauge", last.wall_time,
+           labels)
+    sample(f"{prefix}_run_serial_time_seconds", "gauge",
+           last.serial_time, labels)
+    sample(f"{prefix}_run_queue_wait_seconds", "gauge", last.queue_wait,
+           labels)
+    sample(f"{prefix}_run_parallelism", "gauge", last.parallelism,
+           labels)
+    sample(f"{prefix}_run_cache_hit_rate", "gauge", last.cache_hit_rate,
+           labels)
+    sample(f"{prefix}_run_timestamp_seconds", "gauge", last.timestamp,
+           labels)
+    metric = f"{prefix}_run_tool_duration_seconds"
+    declared = False
+    for tool, stats in sorted(last.tools.items()):
+        tool_labels = {"tool": tool}
+        sample(metric, "summary", stats.duration.p50,
+               {**tool_labels, "quantile": "0.5"}, declare=not declared)
+        declared = True
+        sample(metric, "summary", stats.duration.p95,
+               {**tool_labels, "quantile": "0.95"}, declare=False)
+        sample(metric, "summary", stats.invocations, tool_labels,
+               suffix="_count", declare=False)
+        sample(metric, "summary", stats.duration.total, tool_labels,
+               suffix="_sum", declare=False)
+    return "\n".join(lines) + "\n"

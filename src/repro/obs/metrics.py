@@ -10,9 +10,10 @@ cite before claiming a win.
 
 from __future__ import annotations
 
+import re
 import threading
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
 
 from .events import (CACHE_HIT, CACHE_MISS, COMPOSITION_RUN,
                      EXECUTION_FAILED, FLOW_FINISHED, FLOW_STARTED,
@@ -39,17 +40,72 @@ class TimerStats:
 EMPTY_TIMER = TimerStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
 
 
-def _percentile(sorted_values: list[float], fraction: float) -> float:
-    """Nearest-rank percentile over a pre-sorted sample."""
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile over a pre-sorted sample.
+
+    Edge cases are exact: one sample returns that sample (nothing to
+    interpolate against), ``fraction`` 0.0/1.0 return min/max, and the
+    interpolation index never reaches past the end of the list —
+    ``fraction=1.0`` lands exactly on the last element with weight 0 on
+    the (clamped) upper neighbour.
+    """
     if not sorted_values:
         return 0.0
-    rank = max(0, min(len(sorted_values) - 1,
-                      round(fraction * (len(sorted_values) - 1))))
-    return sorted_values[rank]
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    fraction = min(1.0, max(0.0, fraction))
+    position = fraction * (len(sorted_values) - 1)
+    lower = min(int(position), len(sorted_values) - 2)
+    weight = position - lower
+    interpolated = (sorted_values[lower] * (1.0 - weight)
+                    + sorted_values[lower + 1] * weight)
+    # clamp away float rounding: a percentile must never leave the
+    # segment it interpolates (keeps p50 <= p95 <= max exact)
+    return max(sorted_values[lower],
+               min(interpolated, sorted_values[lower + 1]))
+
+
+def timer_stats_of(values: Sequence[float]) -> TimerStats:
+    """Summarize a raw sample into a :class:`TimerStats`."""
+    ordered = sorted(values)
+    if not ordered:
+        return EMPTY_TIMER
+    total = sum(ordered)
+    return TimerStats(
+        count=len(ordered),
+        total=total,
+        mean=total / len(ordered),
+        p50=_percentile(ordered, 0.50),
+        p95=_percentile(ordered, 0.95),
+        max=ordered[-1],
+    )
+
+
+_METRIC_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an internal metric name onto the Prometheus charset."""
+    cleaned = _METRIC_BAD_CHARS.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value for the Prometheus text format."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
 
 
 class MetricsRegistry:
-    """Counters, gauges and timers, aggregated per tool type and flow."""
+    """Counters, gauges and timers, aggregated per tool type and flow.
+
+    Thread-safe: one lock guards every read and write of the three
+    stores, so the parallel executors may ``observe()``/``inc()`` from
+    worker threads while a reporter snapshots — no torn reads of a
+    timer list mid-append, no lost counter increments.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -65,14 +121,20 @@ class MetricsRegistry:
             self._counters[name] = self._counters.get(name, 0) + value
 
     def counter(self, name: str) -> int:
-        return self._counters.get(name, 0)
+        with self._lock:
+            return self._counters.get(name, 0)
 
     def set_gauge(self, name: str, value: float) -> None:
         with self._lock:
             self._gauges[name] = value
 
     def gauge(self, name: str, default: float = 0.0) -> float:
-        return self._gauges.get(name, default)
+        with self._lock:
+            return self._gauges.get(name, default)
+
+    def gauges(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._gauges)
 
     def observe(self, name: str, value: float) -> None:
         with self._lock:
@@ -80,18 +142,8 @@ class MetricsRegistry:
 
     def timer(self, name: str) -> TimerStats:
         with self._lock:
-            values = sorted(self._timers.get(name, ()))
-        if not values:
-            return EMPTY_TIMER
-        total = sum(values)
-        return TimerStats(
-            count=len(values),
-            total=total,
-            mean=total / len(values),
-            p50=_percentile(values, 0.50),
-            p95=_percentile(values, 0.95),
-            max=values[-1],
-        )
+            values = list(self._timers.get(name, ()))
+        return timer_stats_of(values)
 
     def counters(self, prefix: str = "") -> dict[str, int]:
         with self._lock:
@@ -99,7 +151,9 @@ class MetricsRegistry:
                     if name.startswith(prefix)}
 
     def timers(self, prefix: str = "") -> dict[str, TimerStats]:
-        names = [name for name in self._timers if name.startswith(prefix)]
+        with self._lock:
+            names = [name for name in self._timers
+                     if name.startswith(prefix)]
         return {name: self.timer(name) for name in sorted(names)}
 
     # ------------------------------------------------------------------
@@ -161,6 +215,44 @@ class MetricsRegistry:
                        for name in timer_names},
         }
 
+    def render_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus text-format exposition of the registry.
+
+        Counters become ``<prefix>_<name>_total`` counter families,
+        gauges plain gauges, and timers summaries
+        (``<prefix>_<name>_seconds`` with p50/p95 quantiles plus
+        ``_count``/``_sum``).  Metric names are sanitized onto the
+        Prometheus charset; families are grouped so every sample
+        follows its ``# TYPE`` line, as the text format requires.
+        """
+        snapshot = self.snapshot()
+        families: dict[str, tuple[str, list[str]]] = {}
+
+        def family(metric: str, kind: str) -> list[str]:
+            return families.setdefault(metric, (kind, []))[1]
+
+        for name, count in snapshot["counters"].items():
+            metric = f"{prefix}_{sanitize_metric_name(name)}_total"
+            family(metric, "counter").append(f"{metric} {count}")
+        for name, value in snapshot["gauges"].items():
+            metric = f"{prefix}_{sanitize_metric_name(name)}"
+            family(metric, "gauge").append(f"{metric} {value}")
+        for name, stats in snapshot["timers"].items():
+            metric = f"{prefix}_{sanitize_metric_name(name)}_seconds"
+            samples = family(metric, "summary")
+            samples.append(
+                f'{metric}{{quantile="0.5"}} {stats["p50"]}')
+            samples.append(
+                f'{metric}{{quantile="0.95"}} {stats["p95"]}')
+            samples.append(f"{metric}_count {stats['count']}")
+            samples.append(f"{metric}_sum {stats['total']}")
+        lines: list[str] = []
+        for metric in sorted(families):
+            kind, samples = families[metric]
+            lines.append(f"# TYPE {metric} {kind}")
+            lines.extend(samples)
+        return "\n".join(lines) + ("\n" if lines else "")
+
     def render(self, top: int = 8) -> str:
         """The ``repro stats`` metrics summary."""
         lines = ["execution metrics:"]
@@ -211,6 +303,7 @@ class MetricsRegistry:
         return "\n".join(lines)
 
     def __repr__(self) -> str:
-        return (f"MetricsRegistry({len(self._counters)} counters, "
-                f"{len(self._gauges)} gauges, "
-                f"{len(self._timers)} timers)")
+        with self._lock:
+            return (f"MetricsRegistry({len(self._counters)} counters, "
+                    f"{len(self._gauges)} gauges, "
+                    f"{len(self._timers)} timers)")

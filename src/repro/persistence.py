@@ -16,6 +16,7 @@ site's tool installation (e.g.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 from typing import Callable
 
@@ -32,6 +33,7 @@ FLOWS_FILE = "flows.json"
 META_FILE = "environment.json"
 CACHE_FILE = "cache.json"
 TRACE_FILE = "trace.jsonl"
+LEDGER_FILE = "ledger.jsonl"
 FORMAT_VERSION = 1
 
 
@@ -101,4 +103,11 @@ def load_environment(directory: str | pathlib.Path, *,
         # be compared — tool code registers after load returns.
         env.cache.restore(
             json.loads(cache_path.read_text(encoding="utf-8")))
+    # The run ledger is on by default for saved environments: every
+    # executed flow appends one record to ledger.jsonl.  A read-only
+    # directory disables recording (reads via `repro ledger`/`repro
+    # health` still work), and a missing ledger file is simply an
+    # environment with no longitudinal history yet — never an error.
+    if os.access(root, os.W_OK):
+        env.attach_ledger(root / LEDGER_FILE)
     return env

@@ -1,17 +1,23 @@
 """Tests for the observability subsystem (events, sinks, metrics)."""
 
+import threading
 import time
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.errors import ObservabilityError, ToolError
 from repro.execution import ScheduledFlowExecutor, encapsulation
-from repro.obs import (COMPOSITION_RUN, EXECUTION_FAILED, FLOW_FINISHED,
+from repro.obs import (CACHE_HIT, CACHE_MISS, COMPOSITION_RUN,
+                       EVENT_TYPES, EXECUTION_FAILED, FLOW_FINISHED,
                        FLOW_STARTED, INSTANCE_CREATED, LANE_ASSIGNED,
                        NODE_READY, SCHEMA_VERSION, TOOL_FINISHED,
                        TOOL_INVOKED, Event, EventBus, JSONLSink,
                        MetricsRegistry, NullSink, RingBufferSink,
-                       read_events, replay_into)
+                       escape_label_value, read_events, replay_into,
+                       sanitize_metric_name, timer_stats_of)
+from repro.obs.metrics import _percentile
 from repro.schema import standard as S
 from tests.conftest import build_performance_flow
 
@@ -313,3 +319,182 @@ class TestEventValueHelpers:
         assert event.value("missing", "dflt") == "dflt"
         assert "flow=f" in event.render()
         assert event.to_dict()["payload"] == {"a": 1}
+
+
+class TestMetricsHandleCoverage:
+    """handle() must aggregate — or deliberately ignore — every event
+    type the bus can emit, and tolerate types it has never seen."""
+
+    @staticmethod
+    def _event(kind, **overrides):
+        payload = tuple(sorted(overrides.pop("payload", {}).items()))
+        return Event(seq=1, event_type=kind, timestamp=0.0,
+                     payload=payload, **overrides)
+
+    def test_every_known_event_type_is_accepted(self):
+        metrics = MetricsRegistry()
+        for kind in sorted(EVENT_TYPES):
+            metrics.handle(self._event(
+                kind, flow="f", tool_type="Simulator", duration=0.1,
+                payload={"runs": 2, "queue_wait": 0.01,
+                         "entity_type": "Netlist", "bytes": 10,
+                         "saved": 0.05}))
+        # the aggregating kinds all left their mark
+        assert metrics.counter("tool.Simulator.invocations") == 2
+        assert metrics.counter("tool.Simulator.runs") == 4
+        assert metrics.counter("flows.started") == 1
+        assert metrics.counter("flows.finished") == 1
+        assert metrics.counter("instances") == 1
+        assert metrics.counter("instances.Netlist") == 1
+        assert metrics.counter("failures.f") == 1
+        assert metrics.counter("cache.hits.Simulator") == 1
+        assert metrics.counter("cache.misses.Simulator") == 1
+        assert metrics.counter("cache.bytes_saved") == 10
+        assert metrics.timer("queue_wait").count == 2
+        assert metrics.timer("flow.f").count == 1
+
+    def test_cache_events_aggregate_hits_and_savings(self):
+        metrics = MetricsRegistry()
+        metrics.handle(self._event(CACHE_HIT, tool_type="Simulator",
+                                   payload={"bytes": 64, "saved": 0.5}))
+        metrics.handle(self._event(CACHE_MISS, tool_type="Simulator"))
+        assert metrics.counter("cache.hits") == 1
+        assert metrics.counter("cache.hits.Simulator") == 1
+        assert metrics.counter("cache.misses") == 1
+        assert metrics.counter("cache.bytes_saved") == 64
+        saved = metrics.timer("cache.time_saved")
+        assert saved.total == pytest.approx(0.5)
+
+    def test_tool_less_invocations_fall_back_to_compose(self):
+        metrics = MetricsRegistry()
+        metrics.handle(self._event(TOOL_FINISHED, duration=0.2))
+        metrics.handle(self._event(COMPOSITION_RUN, duration=0.1))
+        assert metrics.counter("tool.@compose.invocations") == 2
+
+    def test_pure_marker_events_change_nothing(self):
+        metrics = MetricsRegistry()
+        metrics.handle(self._event(NODE_READY, node="n0"))
+        metrics.handle(self._event(TOOL_INVOKED, tool_type="Sim"))
+        metrics.handle(self._event(LANE_ASSIGNED, machine="m0"))
+        assert metrics.snapshot() == {"counters": {}, "gauges": {},
+                                      "timers": {}}
+
+    def test_unknown_event_type_is_tolerated(self):
+        metrics = MetricsRegistry()
+        metrics.handle(self._event("event_from_the_future",
+                                   duration=1.0))
+        assert metrics.snapshot() == {"counters": {}, "gauges": {},
+                                      "timers": {}}
+
+
+class TestPercentile:
+    def test_single_sample_is_every_percentile(self):
+        stats = timer_stats_of([0.25])
+        assert stats.p50 == stats.p95 == stats.max == 0.25
+        assert stats.mean == 0.25
+
+    def test_two_samples_interpolate(self):
+        assert _percentile([1.0, 2.0], 0.5) == pytest.approx(1.5)
+        assert _percentile([1.0, 2.0], 0.95) == pytest.approx(1.95)
+        assert _percentile([1.0, 2.0], 0.0) == 1.0
+        assert _percentile([1.0, 2.0], 1.0) == 2.0
+
+    def test_empty_sample(self):
+        assert _percentile([], 0.5) == 0.0
+        assert timer_stats_of([]).count == 0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=1,
+                    max_size=50),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_percentile_bounded_by_sample(self, values, fraction):
+        ordered = sorted(values)
+        result = _percentile(ordered, fraction)
+        assert ordered[0] <= result <= ordered[-1]
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=1,
+                    max_size=50))
+    def test_percentiles_are_monotone(self, values):
+        ordered = sorted(values)
+        quantiles = [_percentile(ordered, f)
+                     for f in (0.0, 0.25, 0.5, 0.95, 1.0)]
+        for lower, upper in zip(quantiles, quantiles[1:]):
+            # monotone up to float rounding of the interpolation
+            assert lower <= upper or lower == pytest.approx(upper)
+        assert quantiles[0] == ordered[0]
+        assert quantiles[-1] == ordered[-1]
+
+
+class TestMetricsThreadSafety:
+    def test_concurrent_writers_lose_nothing(self):
+        metrics = MetricsRegistry()
+        increments = 2_000
+
+        def worker(name):
+            for _ in range(increments):
+                metrics.inc("shared")
+                metrics.observe(f"timer.{name}", 0.001)
+                metrics.observe("shared.timer", 0.002)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.counter("shared") == 4 * increments
+        assert metrics.timer("shared.timer").count == 4 * increments
+
+    def test_snapshot_while_writing(self):
+        metrics = MetricsRegistry()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                metrics.inc("c")
+                metrics.observe("t", 0.001)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(200):
+                snap = metrics.snapshot()
+                timers = snap["timers"]
+                if "t" in timers:
+                    assert timers["t"]["count"] >= 1
+        finally:
+            stop.set()
+            thread.join()
+
+
+class TestPrometheusRendering:
+    def test_registry_families_and_samples(self):
+        metrics = MetricsRegistry()
+        metrics.inc("flows.started", 3)
+        metrics.set_gauge("queue_depth", 2.0)
+        metrics.observe("tool.Simulator", 0.25)
+        metrics.observe("tool.Simulator", 0.75)
+        text = metrics.render_prometheus()
+        assert ("# TYPE repro_flows_started_total counter\n"
+                "repro_flows_started_total 3") in text
+        assert ("# TYPE repro_queue_depth gauge\n"
+                "repro_queue_depth 2.0") in text
+        assert "# TYPE repro_tool_Simulator_seconds summary" in text
+        assert 'repro_tool_Simulator_seconds{quantile="0.5"} 0.5' \
+            in text
+        assert "repro_tool_Simulator_seconds_count 2" in text
+        assert "repro_tool_Simulator_seconds_sum 1.0" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+    def test_name_sanitization_and_label_escaping(self):
+        assert sanitize_metric_name("tool.Sim-3/x") == "tool_Sim_3_x"
+        assert sanitize_metric_name("0war") == "_0war"
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+        metrics = MetricsRegistry()
+        metrics.inc("tool.Weird-Name.runs")
+        text = metrics.render_prometheus()
+        assert "repro_tool_Weird_Name_runs_total 1" in text

@@ -6,8 +6,9 @@ import pathlib
 import pytest
 
 from repro.cli import main
-from repro.obs import JSONLSink, read_events
-from repro.persistence import save_environment
+from repro.obs import (JSONLSink, RunLedger, RunRecord, ToolRunStats,
+                       read_events, timer_stats_of)
+from repro.persistence import LEDGER_FILE, save_environment
 from repro.schema import standard as S
 from tests.conftest import build_performance_flow
 
@@ -104,6 +105,170 @@ class TestEventsCommand:
         assert not log.exists()
 
 
+def write_ledger(path: pathlib.Path, means, flow="f6") -> RunLedger:
+    """A hand-built ledger: one run per mean Simulator duration."""
+    ledger = RunLedger(path)
+    for index, mean in enumerate(means):
+        ledger.append(RunRecord(
+            run_id=f"run{index:04d}", timestamp=float(index),
+            flow=flow, executor="sequential", cache_policy="off",
+            wall_time=mean, serial_time=mean, runs=1, created=1,
+            tools={S.SIMULATOR: ToolRunStats(
+                1, 1, timer_stats_of([mean]))}))
+    return ledger
+
+
+class TestHealthCommand:
+    def run(self, *argv: str) -> int:
+        return main(list(argv))
+
+    def test_empty_ledger_reports_no_runs(self, tmp_path, capsys):
+        assert self.run("health", str(tmp_path)) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_stable_ledger_passes(self, tmp_path, capsys):
+        log = tmp_path / "ledger.jsonl"
+        write_ledger(log, [0.1, 0.1, 0.1])
+        assert self.run("health", str(log)) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "tool-duration-drift" in out
+
+    def test_drift_flips_exit_code(self, tmp_path, capsys):
+        log = tmp_path / "ledger.jsonl"
+        write_ledger(log, [0.1, 0.1, 0.1, 0.5])
+        assert self.run("health", str(log)) == 1
+        assert "[FAIL] tool-duration-drift" in capsys.readouterr().out
+
+    def test_json_report(self, tmp_path, capsys):
+        log = tmp_path / "ledger.jsonl"
+        write_ledger(log, [0.1, 0.1, 0.5])
+        assert self.run("health", str(log), "--json") == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "fail"
+        assert payload["baseline_runs"] == 2
+        names = [c["name"] for c in payload["checks"]]
+        assert "tool-duration-drift" in names
+
+    def test_threshold_knobs_and_baselines(self, tmp_path, capsys):
+        log = tmp_path / "ledger.jsonl"
+        write_ledger(log, [0.1, 0.1, 0.5])
+        # demanding a deeper baseline suppresses the gate
+        assert self.run("health", str(log), "--min-samples", "5",
+                        "--baselines") == 0
+        assert "baselines:" in capsys.readouterr().out
+
+
+class TestLedgerCommand:
+    def run(self, *argv: str) -> int:
+        return main(list(argv))
+
+    def test_show_tail_and_json(self, tmp_path, capsys):
+        log = tmp_path / "ledger.jsonl"
+        write_ledger(log, [0.1, 0.2, 0.3])
+        assert self.run("ledger", "show", str(log)) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 3
+        assert self.run("ledger", "show", str(log), "--tail", "1",
+                        "--json") == 0
+        (line,) = capsys.readouterr().out.splitlines()
+        assert json.loads(line)["run_id"] == "run0002"
+
+    def test_show_filters_by_flow(self, tmp_path, capsys):
+        log = tmp_path / "ledger.jsonl"
+        write_ledger(log, [0.1])
+        assert self.run("ledger", "show", str(log),
+                        "--flow", "other") == 0
+        assert capsys.readouterr().out == ""
+
+    def test_compare_accepts_prefixes(self, tmp_path, capsys):
+        log = tmp_path / "ledger.jsonl"
+        write_ledger(log, [0.1, 0.4])
+        assert self.run("ledger", "compare", str(log),
+                        "run0000", "run0001") == 0
+        out = capsys.readouterr().out
+        assert "wall_time: 100.00ms -> 400.00ms (+300.0%)" in out
+        assert f"tool {S.SIMULATOR} mean" in out
+
+    def test_compare_ambiguous_prefix_is_error(self, tmp_path, capsys):
+        log = tmp_path / "ledger.jsonl"
+        write_ledger(log, [0.1, 0.2])
+        assert self.run("ledger", "compare", str(log),
+                        "run", "run0001") == 2
+        assert "ambiguous" in capsys.readouterr().err
+
+    def test_export_prometheus(self, tmp_path, capsys):
+        log = tmp_path / "ledger.jsonl"
+        write_ledger(log, [0.1, 0.2])
+        assert self.run("ledger", "export", str(log)) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_runs_total counter" in out
+        assert "repro_runs_total 2" in out
+        assert 'flow="f6"' in out
+
+    def test_export_json_to_file(self, tmp_path, capsys):
+        log = tmp_path / "ledger.jsonl"
+        write_ledger(log, [0.1, 0.2])
+        target = tmp_path / "out.jsonl"
+        assert self.run("ledger", "export", str(log), "--format",
+                        "json", "-o", str(target)) == 0
+        lines = target.read_text(encoding="utf-8").splitlines()
+        assert [json.loads(li)["run_id"] for li in lines] == \
+            ["run0000", "run0001"]
+
+
+class TestLedgerEndToEnd:
+    """The CLI writes, joins and reports the ledger of a real project."""
+
+    def run(self, *argv: str) -> int:
+        return main(list(argv))
+
+    @pytest.fixture
+    def proj(self, stocked_env, tmp_path) -> pathlib.Path:
+        flow, goal = build_performance_flow(
+            stocked_env,
+            netlist_id=stocked_env.netlist.instance_id,
+            models_id=stocked_env.models.instance_id,
+            stimuli_id=stocked_env.stimuli.instance_id,
+            simulator_id=stocked_env.tools[S.SIMULATOR].instance_id)
+        stocked_env.save_flow("simulate", flow)
+        directory = tmp_path / "ledgerproj"
+        save_environment(stocked_env, directory)
+        return directory
+
+    def test_runs_append_and_stats_report(self, proj, capsys):
+        for _ in range(2):
+            assert self.run("run", str(proj), "simulate",
+                            "--force") == 0
+        records = RunLedger(proj / LEDGER_FILE).records()
+        assert len(records) == 2
+        assert records[0].flow == "simulate"
+        capsys.readouterr()
+        assert self.run("stats", str(proj), "--json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ledger"]["runs"] == 2
+        assert payload["ledger"]["last"]["executor"] == "sequential"
+        assert payload["history"]["instances"] > 0
+        assert self.run("stats", str(proj)) == 0
+        assert "run ledger: 2 recorded runs" in \
+            capsys.readouterr().out
+
+    def test_history_joins_run_record(self, proj, capsys):
+        assert self.run("run", str(proj), "simulate", "--trace") == 0
+        capsys.readouterr()
+        assert self.run("history", str(proj), "Performance#0001") == 0
+        out = capsys.readouterr().out
+        assert "produced by run" in out
+        assert "flow=simulate" in out
+
+    def test_health_of_real_reruns_is_ok(self, proj, capsys):
+        for _ in range(3):
+            assert self.run("run", str(proj), "simulate",
+                            "--force") == 0
+        capsys.readouterr()
+        assert self.run("health", str(proj)) == 0
+        assert "OK" in capsys.readouterr().out
+
+
 class TestCiPipelineConfig:
     """The workflow file must exist, parse, and run the tier-1 command."""
 
@@ -116,7 +281,11 @@ class TestCiPipelineConfig:
         triggers = doc.get("on", doc.get(True))
         assert {"push", "pull_request"} <= set(triggers)
         jobs = doc["jobs"]
-        assert {"lint", "test", "bench-smoke"} <= set(jobs)
+        assert {"lint", "test", "bench-smoke", "health-smoke"} <= \
+            set(jobs)
+        health_steps = jobs["health-smoke"]["steps"]
+        assert any("check_health_smoke.py" in s.get("run", "")
+                   for s in health_steps)
         matrix = jobs["test"]["strategy"]["matrix"]["python-version"]
         assert matrix == ["3.10", "3.11", "3.12"]
         runs = [step.get("run", "") for step in jobs["test"]["steps"]]
