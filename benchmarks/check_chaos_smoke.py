@@ -1,0 +1,185 @@
+"""CI gate: the resilience layer must recover from a scripted crash.
+
+Drives the real ``repro run`` CLI over a saved Fig. 6 parallel flow
+with a seeded fault plan (two transient Extractor crashes):
+
+1. with ``--retries 3`` the run must recover — exit 0, all branches
+   produced, and the ledger must record exactly the two retries;
+2. a second same-seed run in a fresh project must record byte-identical
+   per-tool retry counts (the chaos drill is deterministic);
+3. the recovered history must be content-identical (same entity types,
+   same data digests) to a run that never saw a fault — atomicity means
+   faults leave no residue;
+4. with retries disabled the same plan must be fatal — exit 1.
+
+Everything runs through the CLI (``repro run <dir> fig6 --executor
+parallel --fault-plan ...``), so the flags, the ledger wiring, and the
+exit-code contract are all under test, not just the library layer.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+BRANCHES = 4
+SEED = 7
+INJECTED_CRASHES = 2
+
+
+def build_project(root: pathlib.Path) -> None:
+    """A saved environment with a bound Fig. 6 flow in its catalog."""
+    from repro import DesignEnvironment
+    from repro.persistence import save_environment
+    from repro.schema import standard as S
+    from repro.schema.standard import odyssey_schema
+    from repro.tools import (install_standard_tools, standard_library,
+                             stdcell_layout)
+    from repro.tools.logic import LogicSpec
+
+    env = DesignEnvironment(odyssey_schema(), user="chaos")
+    tools = install_standard_tools(env)
+    library = standard_library()
+    equations = ["y = a & b", "y = a | b", "y = ~(a & b)",
+                 "y = (a & ~b) | (~a & b)"]
+    flow = env.new_flow("fig6")
+    for index, equation in enumerate(equations[:BRANCHES]):
+        spec = LogicSpec.from_equations(f"f{index}", equation)
+        layout = env.install_data(
+            S.STD_CELL_LAYOUT,
+            stdcell_layout(spec, library, {"seed": index}),
+            name=f"variant-{index}")
+        netlist_node = flow.place(S.EXTRACTED_NETLIST)
+        tool_node = flow.graph.add_node(S.EXTRACTOR)
+        layout_node = flow.graph.add_node(S.LAYOUT)
+        layout_node.bind(layout.instance_id)
+        tool_node.bind(tools[S.EXTRACTOR].instance_id)
+        flow.connect(netlist_node, tool_node)
+        flow.connect(netlist_node, layout_node, role="layout")
+    env.save_flow("fig6", flow)
+    save_environment(env, root)
+
+
+def write_plan(path: pathlib.Path) -> None:
+    from repro.execution import FaultPlan, FaultSpec
+    from repro.schema import standard as S
+
+    FaultPlan([FaultSpec(S.EXTRACTOR, index + 1)
+               for index in range(INJECTED_CRASHES)],
+              seed=SEED).save(path)
+
+
+def run_cli(directory: pathlib.Path, *extra: str) -> int:
+    from repro.cli import main as repro_main
+
+    return repro_main(["run", str(directory), "fig6",
+                       "--executor", "parallel",
+                       "--machines", str(BRANCHES), *extra])
+
+
+def retry_counts(directory: pathlib.Path) -> str:
+    """Canonical JSON of the last run's recorded retry telemetry."""
+    from repro.obs import RunLedger
+
+    record = RunLedger(directory / "ledger.jsonl").records()[-1]
+    per_tool = {tool: stats.retries
+                for tool, stats in sorted(record.tools.items())}
+    return json.dumps({"retries": record.retries,
+                       "timeouts": record.timeouts,
+                       "failures": record.failures,
+                       "per_tool": per_tool}, sort_keys=True)
+
+
+def history_signature(directory: pathlib.Path) -> list[tuple[str, str]]:
+    """(entity type, content digest) multiset of the whole history."""
+    from repro.persistence import load_environment
+
+    env = load_environment(directory)
+    return sorted((inst.entity_type, inst.data_ref)
+                  for inst in env.db.instances())
+
+
+def netlist_count(directory: pathlib.Path) -> int:
+    from repro.persistence import load_environment
+    from repro.schema import standard as S
+
+    env = load_environment(directory)
+    return len(env.db.browse(S.EXTRACTED_NETLIST))
+
+
+def main() -> int:
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as scratch:
+        root = pathlib.Path(scratch)
+        plan = root / "plan.json"
+        write_plan(plan)
+
+        # 1. crash-then-recover: retries enabled must succeed
+        recovered = root / "recovered"
+        build_project(recovered)
+        code = run_cli(recovered, "--retries", "3",
+                       "--fault-plan", str(plan))
+        print(f"with --retries 3: exit {code}")
+        if code != 0:
+            failures.append(
+                f"retries enabled must recover, exited {code}")
+        counts = retry_counts(recovered)
+        print(f"  ledger telemetry: {counts}")
+        if json.loads(counts)["retries"] != INJECTED_CRASHES:
+            failures.append(
+                f"ledger must record {INJECTED_CRASHES} retries, "
+                f"got {counts}")
+        if netlist_count(recovered) != BRANCHES:
+            failures.append(
+                f"all {BRANCHES} branches must produce, got "
+                f"{netlist_count(recovered)}")
+
+        # 2. determinism: a same-seed re-run records identical telemetry
+        replay = root / "replay"
+        build_project(replay)
+        code = run_cli(replay, "--retries", "3",
+                       "--fault-plan", str(plan))
+        if code != 0:
+            failures.append(f"same-seed replay exited {code}")
+        if retry_counts(replay) != counts:
+            failures.append(
+                "same-seed runs recorded different retry counts:\n"
+                f"  {counts}\n  {retry_counts(replay)}")
+        else:
+            print("  same-seed replay: retry telemetry byte-identical")
+
+        # 3. atomicity: recovered history == never-faulted history
+        pristine = root / "pristine"
+        build_project(pristine)
+        code = run_cli(pristine)
+        if code != 0:
+            failures.append(f"fault-free run exited {code}")
+        if history_signature(recovered) != history_signature(pristine):
+            failures.append(
+                "recovered history differs from a fault-free run")
+        else:
+            print("  recovered history content-identical to "
+                  "fault-free run")
+
+        # 4. the same plan without a retry budget must be fatal
+        fragile = root / "fragile"
+        build_project(fragile)
+        code = run_cli(fragile, "--fault-plan", str(plan))
+        print(f"without retries: exit {code}")
+        if code != 1:
+            failures.append(
+                f"retries disabled must fail with exit 1, got {code}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("chaos smoke check passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

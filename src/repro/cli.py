@@ -35,6 +35,8 @@ from typing import Sequence
 from .errors import ReproError
 from .execution.cache import CACHE_OFF, CACHE_POLICIES
 from .execution.context import DesignEnvironment
+from .execution.faults import FaultPlan
+from .execution.resilience import ResiliencePolicy
 from .history.consistency import consistency_report
 from .history.database import BrowseFilter
 from .history.query import dependents_of_type
@@ -164,7 +166,31 @@ def cmd_retrace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_resilience(args: argparse.Namespace
+                    ) -> tuple[ResiliencePolicy | None,
+                               FaultPlan | None]:
+    """Build the policy/fault plan the ``run`` flags describe."""
+    faults = None
+    if args.fault_plan:
+        faults = FaultPlan.load(args.fault_plan)
+    resilience = None
+    if args.retries or args.timeout is not None or args.degrade:
+        resilience = ResiliencePolicy(
+            retries=args.retries,
+            timeout=args.timeout,
+            degrade=args.degrade,
+            # the plan's seed drives the backoff jitter too, so one
+            # seed reproduces the whole chaos drill, delays included
+            seed=faults.seed if faults is not None else 0)
+    return resilience, faults
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.executor == "scheduled" and args.target:
+        print("error: --target is not supported with "
+              "--executor scheduled (invocation-level scheduling "
+              "always runs the whole flow)", file=sys.stderr)
+        return 2
     env = _load(args.directory)
     sink = None
     if args.events:
@@ -176,10 +202,32 @@ def cmd_run(args: argparse.Namespace) -> int:
             pathlib.Path(args.directory) / TRACE_FILE)
         env.tracer.subscribe(trace_sink)
     flow = env.plan_flow(args.flow)
+    resilience, faults = _run_resilience(args)
+    cache = None if args.cache == "off" else args.cache
     try:
-        report = env.run(flow, targets=args.target or None,
-                         force=args.force,
-                         cache=None if args.cache == "off" else args.cache)
+        if args.executor == "parallel":
+            executor = env.parallel_executor(
+                machines=args.machines, cache=cache,
+                resilience=resilience, faults=faults)
+            report = executor.execute(flow, targets=args.target or None,
+                                      force=args.force)
+        elif args.executor == "scheduled":
+            executor = env.scheduled_executor(
+                machines=args.machines, cache=cache,
+                resilience=resilience, faults=faults)
+            report = executor.execute(flow, force=args.force)
+        else:
+            executor = env.executor(cache=cache, resilience=resilience,
+                                    faults=faults)
+            report = executor.execute(flow, targets=args.target or None,
+                                      force=args.force)
+    except ReproError as error:
+        # Execution failure (as opposed to CLI usage failure, exit 2):
+        # the ledger has the error-path record; exit 1 so scripted
+        # chaos drills can distinguish "flow failed" from "bad flags".
+        print(f"error: run of {args.flow!r} failed: {error}",
+              file=sys.stderr)
+        return 1
     finally:
         if sink is not None:
             sink.close()
@@ -196,11 +244,21 @@ def cmd_run(args: argparse.Namespace) -> int:
     if report.cache_hits:
         print(f"  saved {report.time_saved * 1000.0:.1f}ms and "
               f"{report.bytes_saved} bytes of tool output")
+    if report.retries or report.timeouts:
+        print(f"  resilience: {report.retries} retries, "
+              f"{report.timeouts} timeouts")
     for instance_id in report.created:
         print(f"  created {instance_id}")
     for instance_id in report.reused:
         print(f"  reused  {instance_id}")
-    return 0
+    for failure in report.failures:
+        print(f"  FAILED  {failure.render()}")
+    if report.quarantined:
+        print("  quarantined tool types: "
+              + ", ".join(report.quarantined))
+    # a degraded run that lost invocations is still a failed run to
+    # the shell, even though partial results were recorded
+    return 1 if report.failures else 0
 
 
 def cmd_session(args: argparse.Namespace) -> int:
@@ -547,6 +605,30 @@ def build_parser() -> argparse.ArgumentParser:
                      help="record hierarchical spans to the "
                           "environment's trace.jsonl (inspect with "
                           "'repro trace')")
+    run.add_argument("--executor",
+                     choices=["sequential", "parallel", "scheduled"],
+                     default="sequential",
+                     help="sequential (default), parallel disjoint "
+                          "branches, or invocation-level scheduling")
+    run.add_argument("--machines", type=int, default=2,
+                     help="machine pool size for the parallel/"
+                          "scheduled executors (default 2)")
+    run.add_argument("--retries", type=int, default=0,
+                     help="retry transiently failing tool invocations "
+                          "up to N times with deterministic backoff "
+                          "(default 0: fail on first error)")
+    run.add_argument("--timeout", type=float, default=None,
+                     help="per-invocation watchdog budget in seconds "
+                          "(timed-out attempts count as transient "
+                          "failures and are retried)")
+    run.add_argument("--fault-plan",
+                     help="JSON file scripting deterministic tool "
+                          "faults (chaos drills; see DESIGN.md §10)")
+    run.add_argument("--degrade", action="store_true",
+                     help="on unrecoverable invocation failure, record "
+                          "it and keep executing independent work "
+                          "instead of aborting (exit 1 if anything "
+                          "was lost)")
     run.set_defaults(fn=cmd_run)
 
     session = commands.add_parser(

@@ -71,6 +71,23 @@ class ToolError(ExecutionError):
     """A CAD tool in the substrate failed on its inputs."""
 
 
+class TransientToolError(ToolError):
+    """A tool failure that a retry may well cure (network blip, license
+    server hiccup, scratch-disk contention).  The resilience layer
+    retries these; everything else is treated as permanent."""
+
+
+class InvocationTimeoutError(TransientToolError):
+    """A tool invocation exceeded its per-invocation timeout and was
+    abandoned by the watchdog.  Transient by default: the next attempt
+    runs against a fresh watchdog budget."""
+
+
+class ToolQuarantinedError(ToolError):
+    """The circuit breaker has quarantined this tool type after repeated
+    consecutive failures; invocations fail fast until it is reset."""
+
+
 class HistoryError(ReproError):
     """The design history database rejected an operation."""
 

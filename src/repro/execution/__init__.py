@@ -1,8 +1,11 @@
 """Flow execution: encapsulations, sequential and parallel executors.
 
 Automatic task sequencing from schema dependencies (section 3.3), the
-fan-out semantics of the instance browser (section 4.1), and the parallel
-disjoint-branch execution of Fig. 6.
+fan-out semantics of the instance browser (section 4.1), the parallel
+disjoint-branch execution of Fig. 6, and the resilience layer (retry /
+timeout / quarantine policies plus deterministic fault injection) that
+keeps the history database a faithful derivation record when tools
+misbehave.
 """
 
 from .cache import (CACHE_OFF, CACHE_POLICIES, CACHE_READWRITE,
@@ -14,8 +17,15 @@ from .encapsulation import (EncapsulationRegistry, ToolContext,
                             encapsulation, fingerprint_callable)
 from .executor import (CachedInvocation, ExecutionReport, FlowExecutor,
                        InvocationResult)
+from .faults import (CORRUPT, CRASH, FAULT_KINDS, HANG, SLOWDOWN,
+                     CorruptData, FaultPlan, FaultSpec)
 from .parallel import (BranchPlan, Machine, MachinePool,
                        ParallelFlowExecutor, plan_branches)
+from .resilience import (CLASSIFICATIONS, PERMANENT, QUARANTINED,
+                         TRANSIENT, UPSTREAM, CallStats, CircuitBreaker,
+                         InvocationFailure, ResiliencePolicy, RetryRule,
+                         annotate_error, call_with_timeout,
+                         failure_entry)
 from .scheduler import (DurationModel, Schedule, ScheduleEntry,
                         ScheduledFlowExecutor, plan_schedule)
 
@@ -25,26 +35,47 @@ __all__ = [
     "CACHE_POLICIES",
     "CACHE_READWRITE",
     "CACHE_REUSE",
+    "CLASSIFICATIONS",
+    "CORRUPT",
+    "CRASH",
     "CacheHit",
     "CacheStats",
     "CachedInvocation",
+    "CallStats",
+    "CircuitBreaker",
+    "CorruptData",
     "DerivationCache",
     "DesignEnvironment",
     "DurationModel",
     "EncapsulationRegistry",
     "ExecutionReport",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
     "FlowExecutor",
+    "HANG",
+    "InvocationFailure",
     "InvocationResult",
     "Machine",
     "MachinePool",
+    "PERMANENT",
     "ParallelFlowExecutor",
+    "QUARANTINED",
+    "ResiliencePolicy",
+    "RetryRule",
+    "SLOWDOWN",
     "Schedule",
     "ScheduleEntry",
     "ScheduledFlowExecutor",
+    "TRANSIENT",
     "ToolContext",
     "ToolEncapsulation",
+    "UPSTREAM",
+    "annotate_error",
+    "call_with_timeout",
     "default_composition",
     "encapsulation",
+    "failure_entry",
     "fingerprint_callable",
     "normalize_policy",
     "plan_branches",

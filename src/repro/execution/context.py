@@ -28,7 +28,9 @@ from ..schema.schema import TaskSchema
 from .cache import CACHE_OFF, DerivationCache, normalize_policy
 from .encapsulation import (EncapsulationRegistry, ToolEncapsulation)
 from .executor import ExecutionReport, FlowExecutor
+from .faults import FaultPlan
 from .parallel import MachinePool, ParallelFlowExecutor
+from .resilience import ResiliencePolicy
 from .scheduler import DurationModel, ScheduledFlowExecutor
 
 
@@ -63,6 +65,11 @@ class DesignEnvironment:
         # environments (attach_ledger); in-memory environments record
         # nothing unless a ledger is attached explicitly.
         self.ledger: RunLedger | None = None
+        # Default resilience policy / fault plan handed to every
+        # executor this environment creates (both None: tool failures
+        # abort the flow, exactly as without the resilience layer).
+        self.resilience: ResiliencePolicy | None = None
+        self.faults: FaultPlan | None = None
 
     def attach_ledger(self, path: str | pathlib.Path) -> RunLedger:
         """Record every executed run into a ledger at ``path``.
@@ -157,35 +164,50 @@ class DesignEnvironment:
         return self.cache, policy
 
     def executor(self, machine: str = "local", *,
-                 cache: str | None = None) -> FlowExecutor:
+                 cache: str | None = None,
+                 resilience: ResiliencePolicy | None = None,
+                 faults: FaultPlan | None = None) -> FlowExecutor:
         cache_obj, policy = self._cache_args(cache)
         return FlowExecutor(
             self.db, self.registry, user=self.user, machine=machine,
             bus=self.bus, cache=cache_obj, cache_policy=policy,
-            tracer=self.tracer, ledger=self.ledger)
+            tracer=self.tracer, ledger=self.ledger,
+            resilience=resilience if resilience is not None
+            else self.resilience,
+            faults=faults if faults is not None else self.faults)
 
     def parallel_executor(self, machines: int = 2,
                           pool: MachinePool | None = None, *,
-                          cache: str | None = None
+                          cache: str | None = None,
+                          resilience: ResiliencePolicy | None = None,
+                          faults: FaultPlan | None = None
                           ) -> ParallelFlowExecutor:
         cache_obj, policy = self._cache_args(cache)
         return ParallelFlowExecutor(
             self.db, self.registry, user=self.user, pool=pool,
             machines=machines, bus=self.bus, cache=cache_obj,
             cache_policy=policy, tracer=self.tracer,
-            ledger=self.ledger)
+            ledger=self.ledger,
+            resilience=resilience if resilience is not None
+            else self.resilience,
+            faults=faults if faults is not None else self.faults)
 
     def scheduled_executor(self, machines: int = 2,
                            pool: MachinePool | None = None,
                            durations: DurationModel | None = None, *,
-                           cache: str | None = None
+                           cache: str | None = None,
+                           resilience: ResiliencePolicy | None = None,
+                           faults: FaultPlan | None = None
                            ) -> ScheduledFlowExecutor:
         cache_obj, policy = self._cache_args(cache)
         return ScheduledFlowExecutor(
             self.db, self.registry, user=self.user, pool=pool,
             machines=machines, durations=durations, bus=self.bus,
             cache=cache_obj, cache_policy=policy, tracer=self.tracer,
-            ledger=self.ledger)
+            ledger=self.ledger,
+            resilience=resilience if resilience is not None
+            else self.resilience,
+            faults=faults if faults is not None else self.faults)
 
     def run(self, flow: DynamicFlow | TaskGraph,
             targets: Sequence[str] | None = None, *,

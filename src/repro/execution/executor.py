@@ -33,11 +33,15 @@ from ..obs import (CACHE_HIT, CACHE_MISS, CACHE_SPAN, COMPOSE_SPAN,
                    COMPOSE_TOOL, COMPOSITION_RUN, EXECUTION_FAILED,
                    FLOW_FINISHED, FLOW_STARTED, NO_OP_BUS, NO_OP_TRACER,
                    NODE_READY, NULL_SPAN, RUN_SPAN, SEQUENTIAL_EXECUTOR,
-                   TASK_SPAN, TOOL_FINISHED, TOOL_INVOKED, TOOL_SPAN,
-                   EventBus, RunLedger, Tracer)
+                   TASK_SPAN, TOOL_FINISHED, TOOL_INVOKED,
+                   TOOL_QUARANTINED, TOOL_RETRIED, TOOL_SPAN,
+                   TOOL_TIMED_OUT, EventBus, RunLedger, Tracer)
 from .cache import (CACHE_OFF, CACHE_READWRITE, CACHE_REUSE,
                     DerivationCache, normalize_policy)
 from .encapsulation import EncapsulationRegistry, ToolContext
+from .faults import FaultPlan
+from .resilience import (UPSTREAM, CallStats, InvocationFailure,
+                         ResiliencePolicy, annotate_error, failure_entry)
 
 
 @dataclass
@@ -57,6 +61,11 @@ class InvocationResult:
     #: machine picked it up — nonzero only under scheduled/parallel
     #: execution, and always separate from ``duration``.
     queue_wait: float = 0.0
+    #: Transient failures cured by the resilience policy before this
+    #: invocation succeeded (``timeouts`` counts how many of those
+    #: attempts were watchdog abandonments).
+    retries: int = 0
+    timeouts: int = 0
 
 
 @dataclass
@@ -94,6 +103,12 @@ class ExecutionReport:
     skipped: list[str] = field(default_factory=list)
     cached: list[CachedInvocation] = field(default_factory=list)
     wall_time: float = 0.0
+    #: Invocations that failed for good under graceful degradation —
+    #: empty unless a :class:`ResiliencePolicy` with ``degrade=True``
+    #: turned a fatal error into a partial report.
+    failures: list[InvocationFailure] = field(default_factory=list)
+    #: Tool types the circuit breaker had quarantined by run end.
+    quarantined: list[str] = field(default_factory=list)
 
     @property
     def created(self) -> tuple[str, ...]:
@@ -145,6 +160,23 @@ class ExecutionReport:
         """Realized serial-time / wall-time ratio (1.0 when unknown)."""
         return self.serial_time / self.wall_time if self.wall_time else 1.0
 
+    @property
+    def retries(self) -> int:
+        """Transient failures retried away across all invocations."""
+        return (sum(r.retries for r in self.results)
+                + sum(f.retries for f in self.failures))
+
+    @property
+    def timeouts(self) -> int:
+        """Watchdog abandonments across all invocations."""
+        return (sum(r.timeouts for r in self.results)
+                + sum(f.timeouts for f in self.failures))
+
+    @property
+    def failed(self) -> bool:
+        """True when a degraded run left invocations unexecuted."""
+        return bool(self.failures)
+
     def created_of_node(self, node_id: str) -> tuple[str, ...]:
         out: tuple[str, ...] = ()
         for cached in self.cached:
@@ -166,6 +198,9 @@ class ExecutionReport:
         self.results.extend(other.results)
         self.skipped.extend(other.skipped)
         self.cached.extend(other.cached)
+        self.failures.extend(other.failures)
+        self.quarantined = sorted(
+            set(self.quarantined) | set(other.quarantined))
         self.wall_time = max(self.wall_time, other.wall_time)
 
 
@@ -180,7 +215,9 @@ class FlowExecutor:
                  cache: DerivationCache | None = None,
                  cache_policy: str = CACHE_READWRITE,
                  tracer: Tracer | None = None,
-                 ledger: RunLedger | None = None) -> None:
+                 ledger: RunLedger | None = None,
+                 resilience: ResiliencePolicy | None = None,
+                 faults: FaultPlan | None = None) -> None:
         self.db = db
         self.registry = registry
         self.user = user
@@ -207,6 +244,17 @@ class FlowExecutor:
         # ledger for themselves (their worker executors get none), so
         # one coordinated run is one record, never one per lane.
         self.ledger = ledger
+        # Resilience: with a policy attached, every encapsulation and
+        # composition call runs under its retry/timeout/quarantine
+        # machinery.  Coordinators share ONE policy object with their
+        # worker executors so breaker state is global to the run.
+        # Without a policy, execution behaves exactly as before: the
+        # first tool exception aborts the flow.
+        self.resilience = resilience
+        # Fault injection: a FaultPlan scripts failures at the same
+        # boundary the policy guards, so chaos drills exercise the real
+        # retry path.  None in production.
+        self.faults = faults
         # Coordinators (parallel/scheduled executors) open the run span
         # themselves and clear this on their worker-facing executors so
         # tasks attach to the coordinator's trace, not a second root.
@@ -297,6 +345,9 @@ class FlowExecutor:
             for output in invocation.outputs:
                 invocation_of[output] = invocation
         done: set[int] = set()
+        degrade = (self.resilience is not None
+                   and self.resilience.degrade)
+        failed_nodes: set[str] = set()
         try:
             for node_id in graph.topological_order():
                 if node_id not in needed:
@@ -311,7 +362,28 @@ class FlowExecutor:
                 if not force and all(o.results() for o in outputs):
                     report.skipped.extend(invocation.outputs)
                     continue
-                result, cached = self._run_invocation(graph, invocation)
+                if degrade and self._record_upstream_failure(
+                        graph, invocation, report, failed_nodes):
+                    continue
+                try:
+                    result, cached = self._run_invocation(graph,
+                                                          invocation)
+                except Exception as error:
+                    if not degrade:
+                        raise
+                    # Graceful degradation: record the loss, skip the
+                    # dependents, keep executing independent work.
+                    report.failures.append(
+                        self._failure_entry(error, invocation.outputs))
+                    failed_nodes.update(invocation.outputs)
+                    if emitting:
+                        self.bus.emit(
+                            EXECUTION_FAILED, flow=graph.name,
+                            node=",".join(invocation.outputs),
+                            machine=self.machine,
+                            payload={"error": str(error),
+                                     "degraded": True})
+                    continue
                 if result is not None:
                     report.results.append(result)
                 if cached is not None:
@@ -322,16 +394,58 @@ class FlowExecutor:
                               machine=self.machine,
                               payload={"error": str(error)})
             raise
+        if self.resilience is not None:
+            report.quarantined = sorted(
+                set(report.quarantined)
+                | set(self.resilience.quarantined()))
         report.wall_time = time.perf_counter() - started
         if emitting:
+            payload: dict[str, Any] = {
+                "created": len(report.created),
+                "runs": report.runs,
+                "skipped": len(report.skipped),
+                "cache_hits": report.cache_hits}
+            if report.failures:
+                payload["failures"] = len(report.failures)
             self.bus.emit(FLOW_FINISHED, flow=graph.name,
                           machine=self.machine,
                           duration=report.wall_time,
-                          payload={"created": len(report.created),
-                                   "runs": report.runs,
-                                   "skipped": len(report.skipped),
-                                   "cache_hits": report.cache_hits})
+                          payload=payload)
         return report
+
+    def _record_upstream_failure(self, graph: TaskGraph,
+                                 invocation: TaskInvocation,
+                                 report: ExecutionReport,
+                                 failed_nodes: set[str]) -> bool:
+        """Under degradation, skip invocations whose suppliers failed.
+
+        Returns True (and records an ``upstream``-classified failure)
+        when any input node is in ``failed_nodes``; the invocation's
+        own outputs join the failed set so the loss propagates down
+        the subtree without ever invoking a tool on missing inputs.
+        """
+        upstream = sorted({supplier_id for _, supplier_id
+                           in invocation.inputs
+                           if supplier_id in failed_nodes})
+        if invocation.tool_node is not None \
+                and invocation.tool_node in failed_nodes:
+            upstream.append(invocation.tool_node)
+        if not upstream:
+            return False
+        tool_type = (graph.node(invocation.tool_node).entity_type
+                     if invocation.tool_node is not None
+                     else COMPOSE_TOOL)
+        report.failures.append(InvocationFailure(
+            outputs=tuple(invocation.outputs),
+            tool_type=tool_type,
+            error="inputs unavailable: upstream invocation(s) failed: "
+                  + ", ".join(upstream),
+            error_class="ExecutionError",
+            classification=UPSTREAM,
+            attempts=0,
+            machine=self.machine))
+        failed_nodes.update(invocation.outputs)
+        return True
 
     def execute_node(self, flow: TaskGraph | DynamicFlow,
                      node_id: str, *, force: bool = False
@@ -395,6 +509,65 @@ class FlowExecutor:
                       tool_type=tool_type, machine=self.machine,
                       payload={"key": key[:16]})
 
+    def _call_tool(self, graph: TaskGraph, invocation: TaskInvocation,
+                   tool_type: str, call) -> tuple[Any, CallStats]:
+        """Run one tool/composition call under faults and the policy.
+
+        This is the single resilience boundary: the fault plan wraps
+        the raw call (so injected crashes/hangs hit the same machinery
+        real ones would), and the policy wraps the fault plan (so
+        injected transients are retried, injected hangs time out).
+        Without a policy the call runs bare and any failure propagates
+        unchanged — today's behavior.
+        """
+        guarded = call
+        if self.faults is not None:
+            faults, inner = self.faults, call
+            guarded = lambda: faults.apply(tool_type, inner)  # noqa: E731
+        policy = self.resilience
+        if policy is None:
+            return guarded(), CallStats()
+        node = ",".join(invocation.outputs)
+        emitting = self.bus.enabled
+
+        def on_retry(attempt: int, error: BaseException, delay: float,
+                     classification: str) -> None:
+            if emitting:
+                self.bus.emit(
+                    TOOL_RETRIED, flow=graph.name, node=node,
+                    tool_type=tool_type, machine=self.machine,
+                    payload={"attempt": attempt,
+                             "error": str(error),
+                             "error_class": type(error).__name__,
+                             "classification": classification,
+                             "delay": round(delay, 6)})
+
+        def on_timeout(attempt: int, budget: float) -> None:
+            if emitting:
+                self.bus.emit(
+                    TOOL_TIMED_OUT, flow=graph.name, node=node,
+                    tool_type=tool_type, machine=self.machine,
+                    payload={"attempt": attempt, "budget": budget})
+
+        def on_quarantine(consecutive: int) -> None:
+            if emitting:
+                self.bus.emit(
+                    TOOL_QUARANTINED, flow=graph.name, node=node,
+                    tool_type=tool_type, machine=self.machine,
+                    payload={"consecutive_failures": consecutive})
+
+        return policy.run(tool_type, guarded, on_retry=on_retry,
+                          on_timeout=on_timeout,
+                          on_quarantine=on_quarantine)
+
+    def _failure_entry(self, error: BaseException,
+                       outputs: Sequence[str]) -> InvocationFailure:
+        """Distill one fatal invocation error into a report entry."""
+        return failure_entry(
+            error, outputs=tuple(outputs),
+            tool_type=getattr(error, "repro_tool_type", None),
+            machine=self.machine, policy=self.resilience)
+
     def _run_invocation(
             self, graph: TaskGraph, invocation: TaskInvocation, *,
             queue_wait: float = 0.0, wave: int | None = None
@@ -456,12 +629,22 @@ class FlowExecutor:
                           node=",".join(invocation.outputs),
                           tool_type=tool_type, machine=self.machine,
                           payload={"roles": sorted(role_ids)})
-        if invocation.tool_node is None:
-            result, cached = self._run_composition(
-                graph, invocation, output_nodes, output_types, role_ids)
-        else:
-            result, cached = self._run_tool(
-                graph, invocation, output_nodes, output_types, role_ids)
+        try:
+            if invocation.tool_node is None:
+                result, cached = self._run_composition(
+                    graph, invocation, output_nodes, output_types,
+                    role_ids)
+            else:
+                result, cached = self._run_tool(
+                    graph, invocation, output_nodes, output_types,
+                    role_ids)
+        except Exception as error:
+            # Failures outside the resilient call (contract checks,
+            # history rejection of corrupt output) still carry the
+            # tool type so the ledger and reports can group by tool.
+            if getattr(error, "repro_tool_type", None) is None:
+                annotate_error(error, tool_type=tool_type)
+            raise
         if self._cache_for_run() is not None:
             # cache outcome: every combination served from the cache is
             # a hit; a mix of reused and executed combos is "partial"
@@ -504,6 +687,8 @@ class FlowExecutor:
         created: list[str] = []
         reused: list[str] = []
         runs = 0
+        retries = 0
+        timeouts = 0
         hits = 0
         saved = 0.0
         bytes_saved = 0
@@ -539,9 +724,15 @@ class FlowExecutor:
                     attributes={"entity_type": node.entity_type}
                     ) as compose_span:
                 run_started = time.perf_counter()
-                data = compose(inputs)
+                data, call_stats = self._call_tool(
+                    graph, invocation, COMPOSE_TOOL,
+                    lambda: compose(inputs))
                 run_elapsed = time.perf_counter() - run_started
                 runs += 1
+                retries += call_stats.retries
+                timeouts += call_stats.timeouts
+                if call_stats.retries:
+                    compose_span.set(retries=call_stats.retries)
                 with self._lock:
                     instance = self.db.record(
                         node.entity_type, data,
@@ -564,7 +755,8 @@ class FlowExecutor:
             result = InvocationResult(
                 invocation_id or "", None, (),
                 f"compose:{node.entity_type}", runs, tuple(created),
-                {node.node_id: tuple(created)}, 0.0, self.machine)
+                {node.node_id: tuple(created)}, 0.0, self.machine,
+                retries=retries, timeouts=timeouts)
         cached = None
         if hits:
             cached = CachedInvocation(
@@ -591,6 +783,8 @@ class FlowExecutor:
         reused_by_node: dict[str, list[str]] = {
             n.node_id: [] for n in output_nodes}
         runs = 0
+        retries = 0
+        timeouts = 0
         hits = 0
         saved = 0.0
         bytes_saved = 0
@@ -662,9 +856,17 @@ class FlowExecutor:
                                     "encapsulation": enc.name}
                         ) as tool_span:
                     run_started = time.perf_counter()
-                    result = enc.run(ctx, inputs)
+                    result, call_stats = self._call_tool(
+                        graph, invocation, tool_type,
+                        lambda: enc.run(ctx, inputs))
                     run_elapsed = time.perf_counter() - run_started
                     runs += 1
+                    retries += call_stats.retries
+                    timeouts += call_stats.timeouts
+                    if call_stats.retries:
+                        tool_span.set(retries=call_stats.retries)
+                    if call_stats.timeouts:
+                        tool_span.set(timeouts=call_stats.timeouts)
                     produced = _normalize_result(result, output_types,
                                                  enc.name)
                     record_inputs = _derivation_inputs(combo)
@@ -699,7 +901,7 @@ class FlowExecutor:
                 invocation_id or "", tool_type, tuple(tool_ids),
                 encapsulation_name, runs, tuple(created_all),
                 {k: tuple(v) for k, v in outputs_by_node.items()}, 0.0,
-                self.machine)
+                self.machine, retries=retries, timeouts=timeouts)
         cached = None
         if hits:
             cached = CachedInvocation(

@@ -33,6 +33,8 @@ from ..obs import (EXECUTION_FAILED, FLOW_FINISHED, FLOW_STARTED,
 from .cache import CACHE_OFF, DerivationCache, normalize_policy
 from .encapsulation import EncapsulationRegistry
 from .executor import ExecutionReport, FlowExecutor
+from .faults import FaultPlan
+from .resilience import ResiliencePolicy
 
 
 @dataclass
@@ -111,7 +113,9 @@ class ParallelFlowExecutor:
                  cache: DerivationCache | None = None,
                  cache_policy: str = CACHE_OFF,
                  tracer: Tracer | None = None,
-                 ledger: RunLedger | None = None) -> None:
+                 ledger: RunLedger | None = None,
+                 resilience: ResiliencePolicy | None = None,
+                 faults: FaultPlan | None = None) -> None:
         self.db = db
         self.registry = registry
         self.user = user
@@ -124,6 +128,11 @@ class ParallelFlowExecutor:
         # One RunRecord per coordinated execute() call; the per-branch
         # worker executors deliberately get no ledger of their own.
         self.ledger = ledger
+        # The SAME policy/plan objects go to every branch executor:
+        # breaker state and fault counters are global to the run, so a
+        # tool type quarantined on one lane fails fast on all lanes.
+        self.resilience = resilience
+        self.faults = faults
         self._db_lock = threading.Lock()
 
     def execute(self, flow: TaskGraph | DynamicFlow,
@@ -185,7 +194,9 @@ class ParallelFlowExecutor:
                         machine=machine.name, lock=self._db_lock,
                         bus=self.bus, cache=self.cache,
                         cache_policy=self.cache_policy,
-                        tracer=self.tracer)
+                        tracer=self.tracer,
+                        resilience=self.resilience,
+                        faults=self.faults)
                     # the branch rides this run's trace: its tasks
                     # parent to the branch span, not a second root
                     executor._trace_run_span = False

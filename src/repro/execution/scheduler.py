@@ -35,7 +35,9 @@ from ..obs import (COMPOSE_TOOL, COMPOSITION_RUN, EXECUTION_FAILED,
 from .cache import CACHE_OFF, DerivationCache, normalize_policy
 from .encapsulation import EncapsulationRegistry
 from .executor import ExecutionReport, FlowExecutor, InvocationResult
+from .faults import FaultPlan
 from .parallel import MachinePool
+from .resilience import ResiliencePolicy
 
 DEFAULT_DURATION = 1.0
 
@@ -253,12 +255,18 @@ class ScheduledFlowExecutor:
                  cache: DerivationCache | None = None,
                  cache_policy: str = CACHE_OFF,
                  tracer: Tracer | None = None,
-                 ledger: RunLedger | None = None) -> None:
+                 ledger: RunLedger | None = None,
+                 resilience: ResiliencePolicy | None = None,
+                 faults: FaultPlan | None = None) -> None:
         self.db = db
         self.registry = registry
         self.user = user
         self.pool = pool if pool is not None else MachinePool.local(machines)
         self.tracer = tracer if tracer is not None else NO_OP_TRACER
+        # Shared across every worker lane: one breaker, one fault
+        # counter sequence, no matter which machine runs an invocation.
+        self.resilience = resilience
+        self.faults = faults
         self.cache = cache
         self.cache_policy = normalize_policy(
             cache_policy if cache is not None else CACHE_OFF)
@@ -341,6 +349,9 @@ class ScheduledFlowExecutor:
         ready_at = {index: time.perf_counter() for index in ready}
         done: set[int] = set()
         errors: list[BaseException] = []
+        # node ids whose producing invocation failed under degradation;
+        # dependents are skipped with an "upstream" failure entry
+        failed_nodes: set[str] = set()
         report_lock = threading.Lock()
 
         def worker() -> None:
@@ -350,7 +361,9 @@ class ScheduledFlowExecutor:
                                     lock=self._db_lock, bus=self.bus,
                                     cache=self.cache,
                                     cache_policy=self.cache_policy,
-                                    tracer=self.tracer)
+                                    tracer=self.tracer,
+                                    resilience=self.resilience,
+                                    faults=self.faults)
             executor._force = force
             executor._trace_run_span = False
             try:
@@ -361,7 +374,8 @@ class ScheduledFlowExecutor:
                     executed = self._drain_ready(
                         graph, nodes, executor, machine, force,
                         condition, pending, ready, ready_at, done,
-                        errors, report, report_lock, wave)
+                        errors, report, report_lock, wave,
+                        failed_nodes)
                     lane.set(invocations=executed)
             finally:
                 self.pool.release(machine)
@@ -382,6 +396,10 @@ class ScheduledFlowExecutor:
                 report.wall_time = time.perf_counter() - started
                 self._ledger_record(report, run_span, errors[0])
                 raise errors[0]
+            if self.resilience is not None:
+                report.quarantined = sorted(
+                    set(report.quarantined)
+                    | set(self.resilience.quarantined()))
             report.wall_time = time.perf_counter() - started
             if run_span is not None:
                 run_span.set(runs=report.runs,
@@ -421,11 +439,18 @@ class ScheduledFlowExecutor:
                      errors: list[BaseException],
                      report: ExecutionReport,
                      report_lock: threading.Lock,
-                     wave: dict[int, int]) -> int:
+                     wave: dict[int, int],
+                     failed_nodes: set[str]) -> int:
         """One worker's loop: claim ready invocations until drained.
 
-        Returns the number of invocations this worker executed.
+        Returns the number of invocations this worker executed.  Under
+        graceful degradation a failed invocation is recorded in the
+        report and still marked done — its successors must be released
+        (and skipped as upstream failures), or the other workers would
+        wait on the condition forever.
         """
+        degrade = (executor.resilience is not None
+                   and executor.resilience.degrade)
         executed = 0
         while True:
             with condition:
@@ -441,8 +466,17 @@ class ScheduledFlowExecutor:
             node = nodes[index]
             outputs = [graph.node(o)
                        for o in node.invocation.outputs]
+            skipped_upstream = False
+            if degrade:
+                with report_lock:
+                    skipped_upstream = \
+                        executor._record_upstream_failure(
+                            graph, node.invocation, report,
+                            failed_nodes)
             try:
-                if force or not all(o.results() for o in outputs):
+                if skipped_upstream:
+                    pass
+                elif force or not all(o.results() for o in outputs):
                     result, cached = executor._run_invocation(
                         graph, node.invocation,
                         queue_wait=queue_wait,
@@ -460,10 +494,15 @@ class ScheduledFlowExecutor:
                         report.skipped.extend(
                             node.invocation.outputs)
             except BaseException as exc:
-                with condition:
-                    errors.append(exc)
-                    condition.notify_all()
-                return executed
+                if not degrade:
+                    with condition:
+                        errors.append(exc)
+                        condition.notify_all()
+                    return executed
+                with report_lock:
+                    report.failures.append(executor._failure_entry(
+                        exc, node.invocation.outputs))
+                    failed_nodes.update(node.invocation.outputs)
             with condition:
                 done.add(index)
                 now = time.perf_counter()

@@ -41,6 +41,9 @@ EXECUTION_FAILED = "execution_failed"
 LANE_ASSIGNED = "lane_assigned"
 CACHE_HIT = "cache_hit"
 CACHE_MISS = "cache_miss"
+TOOL_RETRIED = "tool_retried"
+TOOL_TIMED_OUT = "tool_timed_out"
+TOOL_QUARANTINED = "tool_quarantined"
 
 EVENT_TYPES = frozenset({
     FLOW_STARTED,
@@ -54,6 +57,9 @@ EVENT_TYPES = frozenset({
     LANE_ASSIGNED,
     CACHE_HIT,
     CACHE_MISS,
+    TOOL_RETRIED,
+    TOOL_TIMED_OUT,
+    TOOL_QUARANTINED,
 })
 
 #: Tool-type key used for composition (tool-less) invocations, matching

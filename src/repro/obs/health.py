@@ -13,7 +13,9 @@ On top of the baselines sits a small catalog of *named* health checks,
 each returning an ok/warn/fail verdict:
 
 * ``tool-duration-drift`` — per-tool mean duration vs. the baseline;
-* ``error-rate`` — the latest run failed while the baseline was clean;
+* ``error-rate`` — the latest run failed while the baseline was clean
+  (grouped by failing tool type when the record names one);
+* ``tool-quarantine`` — the circuit breaker quarantined a tool type;
 * ``cache-hit-rate`` — cache effectiveness collapsed vs. the baseline;
 * ``parallelism-efficiency`` — the realized serial/wall ratio (the
   PR 3 critical-path efficiency figure) degraded vs. runs of the same
@@ -212,29 +214,82 @@ def check_tool_duration_drift(current: RunRecord,
     return CheckResult(name, _worst(verdicts), "; ".join(details))
 
 
+def _describe_error(record: RunRecord) -> str:
+    """``ToolError@Simulator: message`` when the record knows the error
+    class and failing tool type, the bare message otherwise."""
+    message = record.error or "unknown error"
+    if not record.error_class:
+        return message
+    tool = f"@{record.error_tool}" if record.error_tool else ""
+    return f"{record.error_class}{tool}: {message}"
+
+
 def check_error_rate(current: RunRecord,
                      baseline: Sequence[RunRecord],
                      thresholds: HealthThresholds) -> CheckResult:
-    """A failing run against a (mostly) clean baseline is a spike."""
+    """A failing run against a (mostly) clean baseline is a spike.
+
+    When the record names the failing tool type, the baseline rate is
+    computed per tool — ten clean runs of one flow don't excuse a
+    simulator that has been failing every time it actually ran.
+    """
     name = "error-rate"
     if not current.errors:
         return CheckResult(name, OK, "run completed without errors")
+    described = _describe_error(current)
     if len(baseline) < thresholds.min_samples:
         return CheckResult(
             name, WARN,
-            f"run failed ({current.error or 'unknown error'}); "
-            "no baseline to compare against")
+            f"run failed ({described}); no baseline to compare against")
+    if current.error_tool:
+        # group the baseline by the failing tool: only runs that
+        # invoked (or also failed on) this tool type are peers
+        peers = [r for r in baseline
+                 if current.error_tool in r.tools
+                 or r.error_tool == current.error_tool]
+        failing = [r for r in peers
+                   if r.error_tool == current.error_tool]
+        if len(peers) >= thresholds.min_samples:
+            rate = len(failing) / len(peers)
+            if rate <= thresholds.error_rate_unstable:
+                return CheckResult(
+                    name, FAIL,
+                    f"run failed ({described}) while "
+                    f"{current.error_tool} baseline error rate was "
+                    f"{rate:.0%} over {len(peers)} runs")
+            return CheckResult(
+                name, WARN,
+                f"run failed but {current.error_tool} was already "
+                f"unstable (baseline error rate {rate:.0%})")
     rate = sum(1 for r in baseline if r.errors) / len(baseline)
     if rate <= thresholds.error_rate_unstable:
         return CheckResult(
             name, FAIL,
-            f"run failed ({current.error or 'unknown error'}) while "
-            f"baseline error rate was {rate:.0%} over {len(baseline)} "
-            "runs")
+            f"run failed ({described}) while baseline error rate was "
+            f"{rate:.0%} over {len(baseline)} runs")
     return CheckResult(
         name, WARN,
         f"run failed but the flow was already unstable "
         f"(baseline error rate {rate:.0%})")
+
+
+def check_quarantine(current: RunRecord,
+                     baseline: Sequence[RunRecord],
+                     thresholds: HealthThresholds) -> CheckResult:
+    """Quarantined tool types in the latest run always gate.
+
+    The circuit breaker only opens after repeated consecutive
+    failures, so an open breaker *is* the drift signal — no baseline
+    comparison needed.
+    """
+    name = "tool-quarantine"
+    if not current.quarantined:
+        return CheckResult(name, OK, "no tool types quarantined")
+    tools = ", ".join(current.quarantined)
+    return CheckResult(
+        name, FAIL,
+        f"circuit breaker quarantined: {tools} "
+        f"({current.failures} invocation failure(s) recorded)")
 
 
 def check_cache_hit_rate(current: RunRecord,
@@ -307,6 +362,7 @@ HealthCheck = Callable[[RunRecord, Sequence[RunRecord],
 HEALTH_CHECKS: tuple[tuple[str, HealthCheck], ...] = (
     ("tool-duration-drift", check_tool_duration_drift),
     ("error-rate", check_error_rate),
+    ("tool-quarantine", check_quarantine),
     ("cache-hit-rate", check_cache_hit_rate),
     ("parallelism-efficiency", check_parallelism_efficiency),
 )

@@ -81,6 +81,10 @@ class ToolRunStats:
     runs: int
     duration: TimerStats
     queue_wait: float = 0.0
+    #: Transient failures the resilience layer retried away before the
+    #: runs counted above succeeded (``timeouts``: watchdog kills).
+    retries: int = 0
+    timeouts: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -88,6 +92,8 @@ class ToolRunStats:
             "runs": self.runs,
             "duration": dataclasses.asdict(self.duration),
             "queue_wait": self.queue_wait,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
         }
 
     @classmethod
@@ -97,6 +103,8 @@ class ToolRunStats:
             runs=int(spec.get("runs", 0)),
             duration=TimerStats(**spec.get("duration", {})),
             queue_wait=float(spec.get("queue_wait", 0.0)),
+            retries=int(spec.get("retries", 0)),
+            timeouts=int(spec.get("timeouts", 0)),
         )
 
 
@@ -124,6 +132,18 @@ class RunRecord:
     cache_misses: int = 0
     errors: int = 0
     error: str = ""
+    #: Exception class name and failing tool type of the error above —
+    #: lets ``repro health`` group error rates by tool instead of
+    #: lumping every failure into one opaque message string.
+    error_class: str = ""
+    error_tool: str = ""
+    #: Resilience telemetry: transient failures retried away, watchdog
+    #: abandonments, invocations lost under graceful degradation, and
+    #: the tool types the circuit breaker had quarantined by run end.
+    retries: int = 0
+    timeouts: int = 0
+    failures: int = 0
+    quarantined: tuple[str, ...] = ()
     tools: dict[str, ToolRunStats] = field(default_factory=dict)
     schema_version: str = LEDGER_SCHEMA_VERSION
 
@@ -149,23 +169,47 @@ class RunRecord:
         cache-enabled run: every run that actually executed was, by
         definition, not served from the cache.
         """
-        per_tool: dict[str, tuple[list[float], int, float]] = {}
+        per_tool: dict[str, tuple[list[float], int, float,
+                                  int, int]] = {}
         for result in report.results:
             tool = result.tool_type or COMPOSE_TOOL
-            durations, runs, waited = per_tool.get(tool, ([], 0, 0.0))
+            durations, runs, waited, retried, timed_out = \
+                per_tool.get(tool, ([], 0, 0.0, 0, 0))
             durations.append(result.duration)
-            per_tool[tool] = (durations, runs + result.runs,
-                              waited + result.queue_wait)
+            per_tool[tool] = (
+                durations, runs + result.runs,
+                waited + result.queue_wait,
+                retried + getattr(result, "retries", 0),
+                timed_out + getattr(result, "timeouts", 0))
         tools = {
             tool: ToolRunStats(
                 invocations=len(durations),
                 runs=runs,
                 duration=timer_stats_of(durations),
-                queue_wait=waited)
-            for tool, (durations, runs, waited) in per_tool.items()
+                queue_wait=waited,
+                retries=retried,
+                timeouts=timed_out)
+            for tool, (durations, runs, waited, retried, timed_out)
+            in per_tool.items()
         }
         cached_runs = report.cache_hits
         misses = report.runs if cache_policy != "off" else 0
+        # Degraded runs carry their losses inside the report; a fatal
+        # run carries its (annotated) exception in ``error``.  Either
+        # way the record keeps the error class and the failing tool
+        # type so health checks can group failures by tool.
+        failure_entries = list(getattr(report, "failures", ()))
+        error_text = "" if error is None else str(error)
+        error_class = ""
+        error_tool = ""
+        if isinstance(error, BaseException):
+            error_class = type(error).__name__
+            error_tool = getattr(error, "repro_tool_type", "") or ""
+        elif error is None and failure_entries:
+            first = failure_entries[0]
+            error_text = first.error
+            error_class = first.error_class
+            error_tool = first.tool_type or ""
         return cls(
             run_id=run_id or uuid.uuid4().hex[:12],
             timestamp=time.time() if timestamp is None else timestamp,
@@ -183,8 +227,15 @@ class RunRecord:
             skipped=len(report.skipped),
             cache_hits=cached_runs,
             cache_misses=misses,
-            errors=0 if error is None else 1,
-            error="" if error is None else str(error),
+            errors=(0 if error is None else 1) + len(failure_entries),
+            error=error_text,
+            error_class=error_class,
+            error_tool=error_tool,
+            retries=int(getattr(report, "retries", 0)),
+            timeouts=int(getattr(report, "timeouts", 0)),
+            failures=len(failure_entries),
+            quarantined=tuple(sorted(
+                getattr(report, "quarantined", ()))),
             tools=tools,
         )
 
@@ -208,11 +259,20 @@ class RunRecord:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "errors": self.errors,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "failures": self.failures,
             "tools": {tool: stats.to_dict()
                       for tool, stats in sorted(self.tools.items())},
         }
         if self.error:
             spec["error"] = self.error
+        if self.error_class:
+            spec["error_class"] = self.error_class
+        if self.error_tool:
+            spec["error_tool"] = self.error_tool
+        if self.quarantined:
+            spec["quarantined"] = list(self.quarantined)
         return spec
 
     @classmethod
@@ -242,6 +302,12 @@ class RunRecord:
             cache_misses=int(spec.get("cache_misses", 0)),
             errors=int(spec.get("errors", 0)),
             error=spec.get("error", ""),
+            error_class=spec.get("error_class", ""),
+            error_tool=spec.get("error_tool", ""),
+            retries=int(spec.get("retries", 0)),
+            timeouts=int(spec.get("timeouts", 0)),
+            failures=int(spec.get("failures", 0)),
+            quarantined=tuple(spec.get("quarantined", ())),
             tools={tool: ToolRunStats.from_dict(stats)
                    for tool, stats in spec.get("tools", {}).items()},
             schema_version=version,
@@ -264,8 +330,20 @@ class RunRecord:
             parts.append(f"qwait={self.queue_wait * 1e3:.2f}ms")
         if self.parallelism > 1.05:
             parts.append(f"par={self.parallelism:.2f}x")
+        if self.retries:
+            parts.append(f"retries={self.retries}")
+        if self.timeouts:
+            parts.append(f"timeouts={self.timeouts}")
+        if self.failures:
+            parts.append(f"FAILURES={self.failures}")
         if self.errors:
             parts.append(f"ERRORS={self.errors}")
+            if self.error_class:
+                tool = f"@{self.error_tool}" if self.error_tool else ""
+                parts.append(f"error={self.error_class}{tool}")
+        if self.quarantined:
+            parts.append("quarantined="
+                         + ",".join(self.quarantined))
         if self.trace_id:
             parts.append(f"trace={self.trace_id}")
         return " ".join(parts)
@@ -399,6 +477,12 @@ def render_prometheus_ledger(records: Sequence[RunRecord],
            sum(r.cache_hits for r in records))
     sample(f"{prefix}_run_cache_misses_total", "counter",
            sum(r.cache_misses for r in records))
+    sample(f"{prefix}_run_retries_total", "counter",
+           sum(r.retries for r in records))
+    sample(f"{prefix}_run_timeouts_total", "counter",
+           sum(r.timeouts for r in records))
+    sample(f"{prefix}_run_failures_total", "counter",
+           sum(r.failures for r in records))
     if not records:
         return "\n".join(lines) + "\n"
     last = records[-1]

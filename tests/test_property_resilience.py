@@ -1,0 +1,134 @@
+"""Property-based tests (hypothesis) for resilience invariants.
+
+Random seeded fault plans over the Fig. 6 parallel-branches flow, with
+and without a retry budget.  Whatever the plan scripts, two invariants
+must hold:
+
+* **atomicity** — every invocation the run lost recorded *nothing* in
+  the history database: the surviving instance count is exactly the
+  branch count minus the recorded losses;
+* **repairability** — re-running the flow without faults under
+  ``cache="reuse"`` converges to a history equivalent (same multiset of
+  entity data) to a run that never saw a fault at all.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.execution import (DesignEnvironment, FaultPlan,
+                             ResiliencePolicy, encapsulation)
+from repro.schema import standard as S
+from repro.schema.standard import odyssey_schema
+
+SCHEMA = odyssey_schema()
+BRANCHES = 3
+
+
+def no_sleep(delay: float) -> None:
+    """Backoff/hang sleeps observed but never slept."""
+
+
+def build_env() -> DesignEnvironment:
+    env = DesignEnvironment(SCHEMA, user="chaos")
+
+    def extract(ctx, inputs):
+        layout = inputs["layout"]
+        return {t: {"from": layout["l"], "made": t}
+                for t in ctx.output_types}
+
+    env.extractor = env.install_tool(  # type: ignore[attr-defined]
+        S.EXTRACTOR, encapsulation("netex", extract), name="netex")
+    return env
+
+
+def build_flow(env):
+    """BRANCHES disjoint extraction branches (the Fig. 6 shape)."""
+    flow = env.new_flow("fig6")
+    for index in range(BRANCHES):
+        layout = env.install_data(S.EDITED_LAYOUT, {"l": index})
+        netlist = flow.place(S.EXTRACTED_NETLIST)
+        flow.expand(netlist)
+        unbound = [n for n in flow.nodes()
+                   if n.entity_type == S.LAYOUT and not n.is_bound]
+        flow.bind(unbound[0], layout.instance_id)
+        tools = [n for n in flow.nodes()
+                 if n.entity_type == S.EXTRACTOR and not n.is_bound]
+        flow.bind(tools[0], env.extractor.instance_id)
+    return flow
+
+
+def history_signature(env) -> list[tuple[str, str]]:
+    """Multiset of (entity type, canonical data) over the whole db."""
+    return sorted(
+        (inst.entity_type,
+         json.dumps(env.db.data(inst), sort_keys=True, default=str))
+        for inst in env.db.instances())
+
+
+@given(seed=st.integers(0, 9999), faults=st.integers(1, 3),
+       retries=st.integers(0, 2))
+@settings(max_examples=25, deadline=None)
+def test_atomicity_and_repair_under_random_fault_plans(seed, faults,
+                                                       retries):
+    plan = FaultPlan.seeded(seed, [S.EXTRACTOR], faults=faults,
+                            max_invocation=2 * BRANCHES,
+                            sleep=no_sleep)
+    env = build_env()
+    env.faults = plan
+    env.resilience = ResiliencePolicy(retries=retries, degrade=True,
+                                      seed=seed, sleep=no_sleep)
+    flow = build_flow(env)
+    report = env.run(flow, cache="readwrite")
+
+    # atomicity: every recorded loss left nothing behind; every branch
+    # that is not in the losses recorded exactly once
+    produced = len(env.db.browse(S.EXTRACTED_NETLIST))
+    assert produced == BRANCHES - len(report.failures)
+    assert report.retries >= 0
+
+    # repairability: drop the faults (and the policy, whose breaker may
+    # have opened) and re-run the same flow with the cache coalescing
+    # what already succeeded
+    env.faults = None
+    env.resilience = None
+    for node in flow.nodes():
+        node.produced = ()
+    repaired = env.run(flow, cache="reuse")
+    assert not repaired.failures
+    assert len(env.db.browse(S.EXTRACTED_NETLIST)) == BRANCHES
+    # what already succeeded was reused, never re-derived
+    assert repaired.cache_hits >= BRANCHES - len(report.failures)
+
+    # a clean run that never saw a fault ends with the same history
+    clean = build_env()
+    clean.run(build_flow(clean))
+    assert history_signature(env) == history_signature(clean)
+
+
+@given(seed=st.integers(0, 9999))
+@settings(max_examples=15, deadline=None)
+def test_fault_plan_replay_is_deterministic(seed):
+    """The same seed scripts the same faults and the same recovery."""
+    outcomes = []
+    for _ in range(2):
+        env = build_env()
+        env.faults = FaultPlan.seeded(seed, [S.EXTRACTOR], faults=2,
+                                      max_invocation=2 * BRANCHES,
+                                      sleep=no_sleep)
+        env.resilience = ResiliencePolicy(retries=3, seed=seed,
+                                          sleep=no_sleep)
+        flow = build_flow(env)
+        try:
+            report = env.run(flow)
+            outcome = (report.retries, len(report.failures),
+                       sorted(env.faults.fired))
+        except ReproError as error:
+            outcome = ("raised", type(error).__name__,
+                       sorted(env.faults.fired))
+        outcomes.append((outcome, history_signature(env)))
+    assert outcomes[0] == outcomes[1]
