@@ -1,0 +1,326 @@
+#!/usr/bin/env python
+"""Per-PR history-storage performance trajectory.
+
+Measures, for each history size (10^3/10^4/10^5 instances by default)
+and each storage backend (``json``/``sqlite``):
+
+* **insert throughput** — instances recorded per second through the
+  full ``HistoryDatabase.record`` write path;
+* **backward/forward-trace latency** — *cold-open* cost: open the
+  persisted history and run one trace, the way a fresh ``repro
+  history`` invocation pays it.  The JSON backend must parse the whole
+  file first; the indexed backend touches only the rows on the trace
+  path;
+* **staleness-scan latency** — cold open plus ``stale_inputs`` over a
+  sample of segment heads.
+
+Two modes:
+
+* ``--record`` appends one entry to ``BENCH_history.json`` (never
+  overwrites earlier entries — the file is the repo's longitudinal
+  perf trajectory, one entry per PR that touches the storage layer);
+* default (check) re-measures and compares against the **last**
+  recorded entry, failing on a >20% regression.  The gate compares
+  json/sqlite *speedup ratios*, not absolute times: ratios divide out
+  the machine, so a slow CI runner doesn't read as a regression and a
+  fast one doesn't hide it.
+
+Both modes enforce the architectural floor: cold backward traces at
+the largest size must be at least ``--min-speedup`` (10x) faster on
+the indexed backend, and both write every raw timing to
+``benchmarks/artifacts/bench_trajectory_raw.json`` for upload as a CI
+artifact.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/check_bench_trajectory.py
+    PYTHONPATH=src python benchmarks/check_bench_trajectory.py \
+        --record --label pr7-my-change
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.history.consistency import stale_inputs          # noqa: E402
+from repro.history.database import (HistoryDatabase,        # noqa: E402
+                                    read_history_json)
+from repro.history.sqlite_store import SqliteHistoryStore   # noqa: E402
+from repro.history.synth import (SynthHistory,              # noqa: E402
+                                 build_history, synth_schema)
+from repro.history.trace import (backward_trace,            # noqa: E402
+                                 forward_trace)
+
+DEFAULT_SIZES = (1_000, 10_000, 100_000)
+DEFAULT_HISTORY = REPO / "BENCH_history.json"
+DEFAULT_RAW = REPO / "benchmarks" / "artifacts" / \
+    "bench_trajectory_raw.json"
+QUERY_METRICS = ("backward_trace_s", "forward_trace_s", "stale_scan_s")
+STALE_SAMPLE = 10
+
+#: Ratios are only gated when both of the baseline's underlying
+#: measurements took at least this long: a ratio whose denominator is
+#: a 2ms cold open swings 30% from page-cache luck alone, which is
+#: jitter, not regression.  Sub-threshold metrics are still recorded,
+#: and the fast-query metrics stay protected by the --min-speedup
+#: floor (an indexed trace that degrades to a full scan crashes the
+#: largest-size speedup far below 10x regardless of machine).
+MIN_GATE_SECONDS = 0.1
+
+
+def _open_json(path: pathlib.Path) -> HistoryDatabase:
+    return HistoryDatabase.from_dict(synth_schema(),
+                                     read_history_json(str(path)))
+
+
+def _open_sqlite(path: pathlib.Path) -> HistoryDatabase:
+    return HistoryDatabase(synth_schema(),
+                           store=SqliteHistoryStore(path))
+
+
+def _close(db: HistoryDatabase) -> None:
+    if isinstance(db.store, SqliteHistoryStore):
+        db.store.close()
+
+
+def _cold(opener, path, query, reps: int) -> tuple[float, list[float]]:
+    """Min-of-reps cold time for open+query; returns (best, all)."""
+    times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        db = opener(path)
+        query(db)
+        times.append(time.perf_counter() - start)
+        _close(db)
+    return min(times), times
+
+
+def measure_size(size: int, shape: str, seed: int, workdir: pathlib.Path,
+                 raw: dict) -> dict:
+    """All metrics for one history size; appends raw timings to raw."""
+    results: dict[str, dict[str, float]] = {}
+    raw_size = raw.setdefault(str(size), {})
+
+    start = time.perf_counter()
+    mem = build_history(size, shape, seed=seed)
+    t_insert_json = time.perf_counter() - start
+    json_path = workdir / f"h{size}.json"
+    mem.db.save(str(json_path))
+
+    sqlite_path = workdir / f"h{size}.sqlite"
+    start = time.perf_counter()
+    sq = build_history(size, shape, seed=seed,
+                       store=SqliteHistoryStore(sqlite_path))
+    t_insert_sqlite = time.perf_counter() - start
+    sq.db.store.close()
+    results["insert_per_sec"] = {
+        "json": size / t_insert_json,
+        "sqlite": size / t_insert_sqlite,
+    }
+    raw_size["insert_s"] = {"json": [t_insert_json],
+                            "sqlite": [t_insert_sqlite]}
+
+    handles: SynthHistory = mem
+    head = handles.heads[len(handles.heads) // 2]
+    source = handles.sources[len(handles.sources) // 2]
+    sample = handles.heads[:STALE_SAMPLE]
+    del mem, sq  # drop in-memory copies before timing cold opens
+
+    queries = {
+        "backward_trace_s":
+            lambda db: backward_trace(db, head).instances(),
+        "forward_trace_s":
+            lambda db: forward_trace(db, source).instances(),
+        "stale_scan_s":
+            lambda db: [stale_inputs(db, h) for h in sample],
+    }
+    backends = {
+        "json": (_open_json, json_path, 1 if size >= 100_000 else 3),
+        "sqlite": (_open_sqlite, sqlite_path, 5),
+    }
+    for metric, query in queries.items():
+        results[metric] = {}
+        raw_size[metric] = {}
+        for backend, (opener, path, reps) in backends.items():
+            best, times = _cold(opener, path, query, reps)
+            results[metric][backend] = best
+            raw_size[metric][backend] = times
+    return results
+
+
+def speedups(results: dict) -> dict[str, float]:
+    """Machine-normalized ratios: how much faster the indexed backend
+    answers each query (json seconds / sqlite seconds), plus relative
+    insert throughput (sqlite rate / json rate)."""
+    out = {}
+    for metric in QUERY_METRICS:
+        out[metric.removesuffix("_s")] = (
+            results[metric]["json"] / results[metric]["sqlite"])
+    out["insert_ratio"] = (results["insert_per_sec"]["sqlite"]
+                           / results["insert_per_sec"]["json"])
+    return out
+
+
+def load_trajectory(path: pathlib.Path) -> dict:
+    if path.exists():
+        return json.loads(path.read_text(encoding="utf-8"))
+    return {"version": 1, "entries": []}
+
+
+def check_floor(entry: dict, min_speedup: float) -> list[str]:
+    """The architectural criterion: indexed backward traces at the
+    largest size must beat whole-file parsing by min_speedup."""
+    largest = str(max(int(s) for s in entry["speedups"]))
+    got = entry["speedups"][largest]["backward_trace"]
+    if got < min_speedup:
+        return [f"backward-trace speedup at {largest} instances is "
+                f"{got:.1f}x, below the required {min_speedup:.0f}x"]
+    return []
+
+
+def _gateable(last_results: dict, size: str, name: str) -> bool:
+    """True when the baseline measured this metric slowly enough on
+    both backends for its ratio to be signal rather than jitter."""
+    measured = last_results.get(size, {})
+    if name == "insert_ratio":
+        rates = measured.get("insert_per_sec")
+        if rates is None:
+            return False
+        seconds = [int(size) / rate for rate in rates.values()]
+    else:
+        times = measured.get(f"{name}_s")
+        if times is None:
+            return False
+        seconds = list(times.values())
+    return min(seconds) >= MIN_GATE_SECONDS
+
+
+def check_regression(entry: dict, last: dict,
+                     tolerance: float) -> list[str]:
+    problems = []
+    for size, ratios in entry["speedups"].items():
+        baseline = last.get("speedups", {}).get(size)
+        if baseline is None:
+            continue
+        for name, current in ratios.items():
+            previous = baseline.get(name)
+            if previous is None:
+                continue
+            if not _gateable(last.get("results", {}), size, name):
+                continue
+            if current < previous * (1.0 - tolerance):
+                problems.append(
+                    f"{name}@{size}: ratio fell {previous:.2f} -> "
+                    f"{current:.2f} "
+                    f"({(current - previous) / previous:+.1%}, "
+                    f"tolerance -{tolerance:.0%})")
+    return problems
+
+
+def render(entry: dict) -> str:
+    lines = [f"trajectory entry {entry['label']!r} "
+             f"(shape={entry['shape']}, seed={entry['seed']}):"]
+    for size in entry["sizes"]:
+        r = entry["results"][str(size)]
+        s = entry["speedups"][str(size)]
+        lines.append(
+            f"  {size:>7} instances: "
+            f"insert {r['insert_per_sec']['json']:,.0f}/s json, "
+            f"{r['insert_per_sec']['sqlite']:,.0f}/s sqlite")
+        for metric in QUERY_METRICS:
+            name = metric.removesuffix("_s")
+            lines.append(
+                f"           {name:<14} "
+                f"json {r[metric]['json'] * 1000:>9.1f}ms   "
+                f"sqlite {r[metric]['sqlite'] * 1000:>8.1f}ms   "
+                f"{s[name]:>7.1f}x")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--record", action="store_true",
+                        help="append this run to the trajectory file "
+                             "instead of gating against it")
+    parser.add_argument("--label", default=None,
+                        help="entry label for --record "
+                             "(default: entry-<n>)")
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=list(DEFAULT_SIZES))
+    parser.add_argument("--shape", default="forkjoin")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--history", type=pathlib.Path,
+                        default=DEFAULT_HISTORY)
+    parser.add_argument("--raw-out", type=pathlib.Path,
+                        default=DEFAULT_RAW,
+                        help="raw per-rep timings (the CI artifact)")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed relative drop in any speedup "
+                             "ratio before the gate fails "
+                             "(default 0.20)")
+    parser.add_argument("--min-speedup", type=float, default=10.0,
+                        help="required cold backward-trace advantage "
+                             "of the indexed backend at the largest "
+                             "size (default 10x)")
+    args = parser.parse_args(argv)
+
+    trajectory = load_trajectory(args.history)
+    raw: dict = {}
+    results = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = pathlib.Path(tmp)
+        for size in args.sizes:
+            print(f"measuring {size} instances ({args.shape})...",
+                  flush=True)
+            results[str(size)] = measure_size(
+                size, args.shape, args.seed, workdir, raw)
+
+    entry = {
+        "label": args.label or f"entry-{len(trajectory['entries'])}",
+        "shape": args.shape,
+        "seed": args.seed,
+        "sizes": sorted(args.sizes),
+        "results": results,
+        "speedups": {size: speedups(r) for size, r in results.items()},
+    }
+    print(render(entry))
+
+    args.raw_out.parent.mkdir(parents=True, exist_ok=True)
+    args.raw_out.write_text(
+        json.dumps({"entry": entry, "raw_timings_s": raw}, indent=1,
+                   sort_keys=True) + "\n", encoding="utf-8")
+    print(f"raw timings written to {args.raw_out}")
+
+    problems = check_floor(entry, args.min_speedup)
+    if args.record:
+        trajectory["entries"].append(entry)
+        args.history.write_text(
+            json.dumps(trajectory, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"appended entry {entry['label']!r} to {args.history} "
+              f"({len(trajectory['entries'])} entries)")
+    elif trajectory["entries"]:
+        problems += check_regression(entry, trajectory["entries"][-1],
+                                     args.tolerance)
+    else:
+        print(f"note: {args.history} has no entries yet; nothing to "
+              "gate against")
+
+    if problems:
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        return 1
+    print("bench trajectory gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,8 @@ import pathlib
 import pytest
 
 from repro import DesignEnvironment
+from repro.history.sqlite_store import SqliteHistoryStore
+from repro.history.synth import SHAPES, SynthHistory, build_history
 from repro.schema import standard as S
 from repro.schema.standard import odyssey_schema
 from repro.tools import (default_models, exhaustive,
@@ -69,6 +71,30 @@ def stocked():
     env.netlist = env.install_data(  # type: ignore[attr-defined]
         S.EDITED_NETLIST, tech_map(spec), name="mux-gates")
     return env
+
+
+def synth_pair(size: int, shape: str, seed: int,
+               tmp_path: pathlib.Path
+               ) -> tuple[SynthHistory, SynthHistory]:
+    """The same seeded synthetic history on both storage backends.
+
+    Both builds replay one deterministic workload, so instance ids,
+    derivations and timestamps match exactly — the cross-backend
+    benchmarks and property tests compare their query results verbatim.
+    """
+    in_memory = build_history(size, shape, seed=seed)
+    sqlite = build_history(
+        size, shape, seed=seed,
+        store=SqliteHistoryStore(tmp_path / f"synth-{shape}.sqlite"))
+    return in_memory, sqlite
+
+
+@pytest.fixture(params=SHAPES)
+def synth_histories(request, tmp_path):
+    """Per-shape (in-memory, sqlite) history pair of a modest size."""
+    pair = synth_pair(400, request.param, seed=11, tmp_path=tmp_path)
+    yield pair
+    pair[1].db.store.close()
 
 
 def build_simulation_flow(env, *, netlist_id=None, stimuli_id=None):

@@ -9,6 +9,7 @@ Hercules session — enough to drive a design from a shell::
     python -m repro session ./proj --events run.jsonl \\
         -c "place Performance" -c "expand n0"
     python -m repro run ./proj my-flow --cache reuse
+    python -m repro migrate ./proj --to sqlite
     python -m repro history ./proj Performance#0001
     python -m repro stale ./proj
     python -m repro events run.jsonl --type tool_finished
@@ -40,6 +41,7 @@ from .execution.resilience import ResiliencePolicy
 from .history.consistency import consistency_report
 from .history.database import BrowseFilter
 from .history.query import dependents_of_type
+from .history.store import BACKEND_SQLITE, BACKENDS
 from .history.trace import backward_trace
 from .obs import (EVENT_TYPES, HealthThresholds, JSONLSink,
                   MetricsRegistry, RunLedger, RunRecord, critical_path,
@@ -49,7 +51,8 @@ from .obs import (EVENT_TYPES, HealthThresholds, JSONLSink,
                   tool_baselines, validate_chrome_trace, validate_spans)
 from .obs.health import DEFAULT_K, DEFAULT_MIN_SAMPLES, DEFAULT_WINDOW
 from .persistence import (CACHE_FILE, LEDGER_FILE, TRACE_FILE,
-                          load_environment, save_environment)
+                          load_environment, migrate_environment,
+                          save_environment)
 from .schema.standard import fig1_schema, fig2_schema, odyssey_schema
 from .tools import install_standard_tools, register_standard_encapsulations
 from .ui.session import HerculesSession
@@ -71,9 +74,19 @@ def cmd_init(args: argparse.Namespace) -> int:
     schema = SCHEMAS[args.schema]()
     env = DesignEnvironment(schema, user=args.user)
     install_standard_tools(env)
-    save_environment(env, args.directory)
+    save_environment(env, args.directory, backend=args.backend)
     print(f"initialized {args.directory} with the {args.schema!r} "
           f"schema ({len(env.db)} tool instances installed)")
+    return 0
+
+
+def cmd_migrate(args: argparse.Namespace) -> int:
+    if migrate_environment(args.directory, args.to):
+        print(f"migrated {args.directory} to the {args.to!r} history "
+              "backend")
+    else:
+        print(f"{args.directory} already uses the {args.to!r} history "
+              "backend; nothing to do")
     return 0
 
 
@@ -191,6 +204,10 @@ def cmd_run(args: argparse.Namespace) -> int:
               "--executor scheduled (invocation-level scheduling "
               "always runs the whole flow)", file=sys.stderr)
         return 2
+    if args.backend:
+        # migrate-then-run: convert the directory first (a no-op when
+        # it already uses the requested backend), then load normally
+        migrate_environment(args.directory, args.backend)
     env = _load(args.directory)
     sink = None
     if args.events:
@@ -548,7 +565,21 @@ def build_parser() -> argparse.ArgumentParser:
     init.add_argument("--schema", choices=sorted(SCHEMAS),
                       default="odyssey")
     init.add_argument("--user", default="designer")
+    init.add_argument("--backend", choices=sorted(BACKENDS),
+                      default=None,
+                      help="history storage backend: whole-history "
+                           "'json' (default) or indexed 'sqlite'")
     init.set_defaults(fn=cmd_init)
+
+    migrate = commands.add_parser(
+        "migrate", help="convert the history storage backend in place")
+    migrate.add_argument("directory")
+    migrate.add_argument("--to", choices=sorted(BACKENDS),
+                         default=BACKEND_SQLITE,
+                         help="target backend (default sqlite); "
+                              "idempotent — converting to the current "
+                              "backend is a no-op")
+    migrate.set_defaults(fn=cmd_migrate)
 
     info = commands.add_parser("info", help="environment summary")
     info.add_argument("directory")
@@ -594,6 +625,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="only produce these nodes (repeatable)")
     run.add_argument("--force", action="store_true",
                      help="recompute even already-produced nodes")
+    run.add_argument("--backend", choices=sorted(BACKENDS),
+                     default=None,
+                     help="migrate the environment to this history "
+                          "backend before running (no-op when it "
+                          "already matches)")
     run.add_argument("--cache", choices=sorted(CACHE_POLICIES),
                      default=CACHE_OFF,
                      help="re-execution cache policy: reuse remembered "

@@ -219,6 +219,36 @@ class DerivationCache:
     # ------------------------------------------------------------------
     # index maintenance
     # ------------------------------------------------------------------
+    def _key_store(self):
+        """The history store's persistent key index, when it has one."""
+        store = getattr(self.db, "store", None)
+        if store is not None and store.supports_key_index:
+            return store
+        return None
+
+    def _load_key_index(self) -> bool:
+        """Adopt the store-persisted key index if its signature holds.
+
+        The SQLite backend persists key -> outputs rows next to the
+        instances; when the encapsulation registry's signature matches
+        the one the rows were built against, reopening a history skips
+        the first-use full sweep entirely.
+        """
+        store = self._key_store()
+        if store is None:
+            return False
+        if store.key_index_signature() != self.registry.signature():
+            return False
+        for key, pairs, duration in store.iter_key_groups():
+            entry = self._entries.setdefault(key, _Entry())
+            if duration > entry.duration:
+                entry.duration = duration
+            members = frozenset(pairs)
+            if not any(frozenset(g) == members for g in entry.groups):
+                entry.groups.append(pairs)
+            self._seen.update(instance_id for _, instance_id in pairs)
+        return True
+
     def sync(self) -> int:
         """Materialize the index from captured and pre-existing records.
 
@@ -228,14 +258,22 @@ class DerivationCache:
         runs by ``(invocation, tool, inputs)`` before keys are computed,
         so multi-output siblings land in one group under one key.
         Returns the number of instances newly indexed.
+
+        On a store with a persistent key index (the SQLite backend) the
+        first-use sweep is replaced by loading that index when its
+        registry signature still matches; a full sweep (re)builds it.
         """
         with self._lock:
             self._absorb_pending()
-            batch = self._dirty
+            batch: Iterable[EntityInstance] = self._dirty
             self._dirty = []
             if not self._synced:
-                batch = list(self.db.instances())
                 self._synced = True
+                if not self._load_key_index():
+                    batch = self.db.iter_instances()
+                    store = self._key_store()
+                    if store is not None:
+                        store.reset_key_index(self.registry.signature())
             groups: dict[tuple[Any, ...], list[EntityInstance]] = {}
             added = 0
             for instance in batch:
@@ -277,6 +315,9 @@ class DerivationCache:
         members = frozenset(pairs)
         if not any(frozenset(g) == members for g in entry.groups):
             entry.groups.append(pairs)
+        store = self._key_store()
+        if store is not None and self._synced:
+            store.put_key_group(key, pairs, entry.duration)
 
     def invalidate(self) -> None:
         """Drop the whole index (it will lazily rebuild on next use)."""
@@ -286,6 +327,11 @@ class DerivationCache:
             self._dirty = []
             self._synced = False
             self._pending = None
+            store = self._key_store()
+            if store is not None:
+                # blank signature: the next sync() sweeps and rebuilds
+                # instead of believing the dropped rows
+                store.reset_key_index("")
 
     def __len__(self) -> int:
         with self._lock:

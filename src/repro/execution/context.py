@@ -21,6 +21,7 @@ from ..history.consistency import (consistency_report, is_stale,
 from ..history.database import HistoryDatabase
 from ..history.datastore import CodecRegistry
 from ..history.instance import EntityInstance
+from ..history.store import HistoryStore
 from ..obs import DECOMPOSE_SPAN, EventBus, RunLedger, Tracer
 from ..schema.catalog import (DataTypeCatalog, EntityCatalog, FlowCatalog,
                               ToolCatalog)
@@ -40,7 +41,8 @@ class DesignEnvironment:
     def __init__(self, schema: TaskSchema, *, user: str = "designer",
                  codecs: CodecRegistry | None = None,
                  clock: Callable[[], float] | None = None,
-                 bus: EventBus | None = None) -> None:
+                 bus: EventBus | None = None,
+                 store: HistoryStore | None = None) -> None:
         schema.validate()
         self.schema = schema
         self.user = user
@@ -54,7 +56,7 @@ class DesignEnvironment:
         # environment hands out records hierarchical spans.
         self.tracer = Tracer()
         self.db = HistoryDatabase(schema, codecs=codecs, clock=clock,
-                                  bus=self.bus)
+                                  bus=self.bus, store=store)
         self.registry = EncapsulationRegistry(schema)
         self.flow_catalog: FlowCatalog[DynamicFlow] = FlowCatalog()
         self.entity_catalog = EntityCatalog(schema)

@@ -8,12 +8,15 @@ queries, version trees and staleness checks are all derived views.
 """
 
 from .consistency import (StaleInput, all_up_to_date, consistency_report,
-                          is_stale, is_up_to_date, newest_version,
-                          refresh_plan, retrace, stale_inputs,
-                          successor_versions)
-from .database import BrowseFilter, HistoryDatabase
+                          forward_closure, is_stale, is_up_to_date,
+                          newest_version, refresh_plan, retrace,
+                          stale_inputs, successor_versions)
+from .database import (BrowseFilter, HistoryDatabase, read_history_json)
 from .datastore import GLOBAL_CODECS, Codec, CodecRegistry, DataStore
 from .instance import DerivationRecord, EntityInstance
+from .sqlite_store import SqliteHistoryStore
+from .store import (BACKEND_JSON, BACKEND_SQLITE, BACKENDS, HistoryStore,
+                    InMemoryHistoryStore)
 from .statistics import (HistoryStatistics, derivation_depth,
                          history_statistics, trace_size)
 from .query import (antecedents_of_type, count_instances,
@@ -23,6 +26,9 @@ from .trace import (FlowTrace, TraceEdge, VersionNode, backward_trace,
                     forward_trace, full_trace, lineage)
 
 __all__ = [
+    "BACKEND_JSON",
+    "BACKEND_SQLITE",
+    "BACKENDS",
     "BrowseFilter",
     "Codec",
     "CodecRegistry",
@@ -33,6 +39,9 @@ __all__ = [
     "GLOBAL_CODECS",
     "HistoryStatistics",
     "HistoryDatabase",
+    "HistoryStore",
+    "InMemoryHistoryStore",
+    "SqliteHistoryStore",
     "StaleInput",
     "TraceEdge",
     "VersionNode",
@@ -46,6 +55,7 @@ __all__ = [
     "derivation_inputs",
     "derivation_tool",
     "find_bindings",
+    "forward_closure",
     "forward_trace",
     "full_trace",
     "history_statistics",
@@ -53,6 +63,7 @@ __all__ = [
     "is_up_to_date",
     "lineage",
     "newest_version",
+    "read_history_json",
     "refresh_plan",
     "retrace",
     "stale_inputs",

@@ -24,7 +24,7 @@ from ..core.taskgraph import TaskGraph
 from ..errors import ConsistencyError
 from .database import HistoryDatabase
 from .instance import EntityInstance
-from .trace import backward_trace, forward_trace, lineage
+from .trace import backward_trace, lineage
 
 
 class FlowRunner(Protocol):
@@ -34,18 +34,39 @@ class FlowRunner(Protocol):
     def execute(self, flow: TaskGraph) -> object: ...
 
 
+def forward_closure(db: HistoryDatabase, instance_id: str) -> set[str]:
+    """Ids reachable from an instance along the forward index.
+
+    A dirty-set propagation primitive: walks ``db.consumers_of`` (a
+    constant-time index lookup per edge on every backend) without
+    materializing trace edges or pulling unrelated antecedents the way
+    :func:`forward_trace` must for its richer DAG view.
+    """
+    seen = {instance_id}
+    frontier = [instance_id]
+    while frontier:
+        for consumer in db.consumers_of(frontier.pop()):
+            if consumer not in seen:
+                seen.add(consumer)
+                frontier.append(consumer)
+    return seen
+
+
 def successor_versions(db: HistoryDatabase, instance_id: str
                        ) -> tuple[EntityInstance, ...]:
     """Newer versions of an instance within its entity family.
 
     A successor is a forward-chained descendant whose version lineage
     passes through the given instance — i.e. it was reached by a chain of
-    editing tasks starting from it.
+    editing tasks starting from it.  Only the forward closure is walked:
+    any instance whose lineage passes through ``instance_id`` is by
+    definition forward-reachable from it, so the closure loses no
+    candidates while skipping the full trace construction.
     """
     instance = db.get(instance_id)
     family = db.schema.root_of(instance.entity_type)
     out = []
-    for other_id in forward_trace(db, instance_id).instances():
+    for other_id in forward_closure(db, instance_id):
         if other_id == instance_id:
             continue
         other = db.get(other_id)

@@ -28,6 +28,7 @@ from ..obs import INSTANCE_CREATED, NO_OP_BUS, EventBus, SpanContext
 from ..schema.schema import TaskSchema
 from .datastore import CodecRegistry, DataStore
 from .instance import DerivationRecord, EntityInstance
+from .store import HistoryStore, InMemoryHistoryStore
 
 
 class BrowseFilter:
@@ -63,37 +64,66 @@ class BrowseFilter:
 
 
 class HistoryDatabase:
-    """Instance meta-data store, forward index and persistence."""
+    """Instance meta-data store, dependency indexes and persistence.
+
+    All reads and writes route through a
+    :class:`~repro.history.store.HistoryStore` backend — dictionaries
+    for the compatibility JSON format, or the indexed SQLite-WAL store
+    (:class:`~repro.history.sqlite_store.SqliteHistoryStore`) — so the
+    chaining/staleness query layers stay backend-agnostic while edge
+    lookups stay constant-time at any history size.
+    """
 
     def __init__(self, schema: TaskSchema, *,
                  datastore: DataStore | None = None,
                  codecs: CodecRegistry | None = None,
                  clock: Callable[[], float] | None = None,
-                 bus: EventBus | None = None) -> None:
+                 bus: EventBus | None = None,
+                 store: HistoryStore | None = None) -> None:
         self.schema = schema
-        self.datastore = datastore if datastore is not None \
-            else DataStore(codecs)
+        self.store = store if store is not None else InMemoryHistoryStore()
+        if datastore is not None:
+            self.datastore = datastore
+        else:
+            self.datastore = DataStore(
+                codecs,
+                backend=self.store if self.store.blob_backend else None)
         self.bus = bus if bus is not None else NO_OP_BUS
         self._clock = clock if clock is not None else time.time
-        self._instances: dict[str, EntityInstance] = {}
-        self._by_type: dict[str, list[str]] = {}
-        self._forward: dict[str, list[str]] = {}
+        # id counters are seeded lazily from the store's maxima, so a
+        # reopened (possibly huge) history never needs a warm-up scan
         self._type_counters: dict[str, itertools.count] = {}
-        self._invocation_counter = itertools.count(1)
+        self._invocation_counter: itertools.count | None = None
         # secondary-index maintainers (e.g. the derivation cache) called
         # with every newly added instance; see add_record_listener()
         self._record_listeners: list[Callable[[EntityInstance], None]] = []
+
+    @property
+    def backend(self) -> str:
+        """Name of the storage backend (``json``/``sqlite``)."""
+        return self.store.kind
 
     # ------------------------------------------------------------------
     # identifier & invocation allocation
     # ------------------------------------------------------------------
     def _new_id(self, entity_type: str) -> str:
-        counter = self._type_counters.setdefault(entity_type,
-                                                 itertools.count(1))
+        counter = self._type_counters.get(entity_type)
+        if counter is None:
+            counter = itertools.count(
+                self.store.highest_serial(entity_type) + 1)
+            self._type_counters[entity_type] = counter
         return f"{entity_type}#{next(counter):04d}"
 
     def new_invocation_id(self) -> str:
-        """Fresh identifier grouping sibling outputs of one task run."""
+        """Fresh identifier grouping sibling outputs of one task run.
+
+        The counter resumes past the highest invocation on record:
+        reused invocation ids would merge unrelated runs into fake
+        multi-output sibling groups (breaking derivation grouping).
+        """
+        if self._invocation_counter is None:
+            self._invocation_counter = itertools.count(
+                self.store.highest_invocation() + 1)
         return f"run#{next(self._invocation_counter):05d}"
 
     # ------------------------------------------------------------------
@@ -129,7 +159,7 @@ class HistoryDatabase:
     def _check_derivation(self, entity_type: str,
                           derivation: DerivationRecord) -> None:
         for antecedent in derivation.all_antecedents():
-            if antecedent not in self._instances:
+            if antecedent not in self.store:
                 raise UnknownInstanceError(antecedent)
         construction = self.schema.construction(entity_type)
         if construction is None:
@@ -146,7 +176,7 @@ class HistoryDatabase:
                 raise HistoryError(
                     f"{entity_type!r} requires tool "
                     f"{construction.tool!r} in its derivation")
-            tool_instance = self._instances[derivation.tool]
+            tool_instance = self.get(derivation.tool)
             if not self.schema.is_subtype(tool_instance.entity_type,
                                           construction.tool):
                 raise HistoryError(
@@ -159,7 +189,7 @@ class HistoryDatabase:
                 raise HistoryError(
                     f"{entity_type!r} derivation uses unknown input role "
                     f"{role!r}")
-            input_instance = self._instances[input_id]
+            input_instance = self.get(input_id)
             if not self.schema.is_subtype(input_instance.entity_type,
                                           valid_roles[role].target):
                 raise HistoryError(
@@ -222,28 +252,24 @@ class HistoryDatabase:
             self._record_listeners.remove(listener)
 
     def _index(self, instance: EntityInstance) -> None:
-        self._instances[instance.instance_id] = instance
-        self._by_type.setdefault(instance.entity_type, []).append(
-            instance.instance_id)
-        if instance.derivation is not None:
-            for antecedent in instance.derivation.all_antecedents():
-                self._forward.setdefault(antecedent, []).append(
-                    instance.instance_id)
+        # the store maintains the type, forward/reverse dependency and
+        # invocation indexes incrementally inside its write path
+        self.store.add(instance)
 
     # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
     def get(self, instance_id: str) -> EntityInstance:
-        try:
-            return self._instances[instance_id]
-        except KeyError:
-            raise UnknownInstanceError(instance_id) from None
+        instance = self.store.get(instance_id)
+        if instance is None:
+            raise UnknownInstanceError(instance_id)
+        return instance
 
     def __contains__(self, instance_id: str) -> bool:
-        return instance_id in self._instances
+        return instance_id in self.store
 
     def __len__(self) -> int:
-        return len(self._instances)
+        return len(self.store)
 
     def data(self, instance: EntityInstance | str) -> Any:
         """Fetch the physical data behind an instance (or id)."""
@@ -254,7 +280,11 @@ class HistoryDatabase:
         return self.datastore.get(instance.data_ref)
 
     def instances(self) -> tuple[EntityInstance, ...]:
-        return tuple(self._instances.values())
+        return tuple(self.store.iter_instances())
+
+    def iter_instances(self) -> Iterable[EntityInstance]:
+        """Stream instances in insertion order without materializing."""
+        return self.store.iter_instances()
 
     def browse(self, entity_type: str | None = None, *,
                include_subtypes: bool = True,
@@ -262,15 +292,15 @@ class HistoryDatabase:
                ) -> tuple[EntityInstance, ...]:
         """List instances, newest last (as the Fig. 9 browser does)."""
         if entity_type is None:
-            candidates: Iterable[str] = self._instances
+            selected = list(self.store.iter_instances())
         else:
             self.schema.entity(entity_type)
             types = [entity_type]
             if include_subtypes:
                 types.extend(self.schema.descendants_of(entity_type))
             candidates = itertools.chain.from_iterable(
-                self._by_type.get(t, ()) for t in types)
-        selected = [self._instances[i] for i in candidates]
+                self.store.ids_of_type(t) for t in types)
+            selected = [self.get(i) for i in candidates]
         if filters is not None:
             selected = [i for i in selected if filters.matches(i)]
         selected.sort(key=lambda i: (i.timestamp, i.instance_id))
@@ -287,7 +317,12 @@ class HistoryDatabase:
     def consumers_of(self, instance_id: str) -> tuple[str, ...]:
         """Instances whose derivation directly uses the given instance."""
         self.get(instance_id)
-        return tuple(self._forward.get(instance_id, ()))
+        return self.store.consumers_of(instance_id)
+
+    def antecedents_of(self, instance_id: str) -> tuple[str, ...]:
+        """Instances the given instance's derivation directly uses."""
+        self.get(instance_id)
+        return self.store.antecedents_of(instance_id)
 
     def update_metadata(self, instance_id: str, *,
                         name: str | None = None,
@@ -306,7 +341,7 @@ class HistoryDatabase:
             instance = instance.renamed(instance.name, comment)
         if annotations:
             instance = instance.annotated(**annotations)
-        self._instances[instance_id] = instance
+        self.store.replace(instance)
         return instance
 
     # ------------------------------------------------------------------
@@ -315,7 +350,8 @@ class HistoryDatabase:
     def to_dict(self) -> dict[str, Any]:
         return {
             "schema": self.schema.name,
-            "instances": [i.to_dict() for i in self._instances.values()],
+            "instances": [i.to_dict()
+                          for i in self.store.iter_instances()],
             "blobs": self.datastore.to_dict(),
         }
 
@@ -327,37 +363,66 @@ class HistoryDatabase:
     def from_dict(cls, schema: TaskSchema, payload: dict[str, Any], *,
                   codecs: CodecRegistry | None = None,
                   clock: Callable[[], float] | None = None,
-                  bus: EventBus | None = None) -> "HistoryDatabase":
-        db = cls(schema, codecs=codecs, clock=clock, bus=bus)
+                  bus: EventBus | None = None,
+                  store: HistoryStore | None = None) -> "HistoryDatabase":
+        db = cls(schema, codecs=codecs, clock=clock, bus=bus, store=store)
         db.datastore.load_dict(payload.get("blobs", {}))
         for spec in payload.get("instances", ()):
             db._index(EntityInstance.from_dict(spec))
-        # advance id counters past what was loaded
-        highest_invocation = 0
-        for instance in db._instances.values():
-            entity_type, _, number = instance.instance_id.partition("#")
-            if number.isdigit():
-                counter = db._type_counters.setdefault(
-                    entity_type, itertools.count(1))
-                current = next(counter)
-                target = max(current, int(number) + 1)
-                db._type_counters[entity_type] = itertools.count(target)
-            if instance.derivation is not None:
-                _, _, run = instance.derivation.invocation.partition("#")
-                if run.isdigit():
-                    highest_invocation = max(highest_invocation, int(run))
-        # the invocation counter must also survive reload: reused
-        # invocation ids would merge unrelated runs into fake
-        # multi-output sibling groups (breaking derivation grouping)
-        db._invocation_counter = itertools.count(highest_invocation + 1)
+        # id/invocation counters seed themselves lazily from the
+        # store's maxima, so nothing to recompute here
         return db
 
     @classmethod
     def load(cls, schema: TaskSchema, path: str, *,
              codecs: CodecRegistry | None = None) -> "HistoryDatabase":
-        with open(path, "r", encoding="utf-8") as handle:
-            return cls.from_dict(schema, json.load(handle), codecs=codecs)
+        return cls.from_dict(schema, read_history_json(path),
+                             codecs=codecs)
+
+    def converted(self, store: HistoryStore, *,
+                  codecs: CodecRegistry | None = None
+                  ) -> "HistoryDatabase":
+        """Copy this history verbatim into a different storage backend.
+
+        Instance ids, derivation records, timestamps, data refs and
+        legacy blob aliases are preserved exactly, so both copies answer
+        every derivation query identically (`repro migrate` relies on
+        this).
+        """
+        db = HistoryDatabase(self.schema, codecs=codecs,
+                             clock=self._clock, bus=self.bus, store=store)
+        db.datastore.load_dict(self.datastore.to_dict())
+        for alias, digest in self.datastore.aliases().items():
+            db.datastore._aliases.setdefault(alias, digest)
+            if db.datastore.backend is not None:
+                db.datastore.backend.put_blob_alias(alias, digest)
+        for instance in self.store.iter_instances():
+            if instance.instance_id not in db.store:
+                db.store.add(instance)
+        db.store.flush()
+        return db
 
     def __repr__(self) -> str:
         return (f"HistoryDatabase({self.schema.name!r}, "
-                f"{len(self._instances)} instances)")
+                f"{len(self.store)} instances, "
+                f"backend={self.store.kind!r})")
+
+
+def read_history_json(path: str) -> dict[str, Any]:
+    """Parse a JSON history file with a diagnosable failure mode.
+
+    A truncated or corrupted file (killed writer, partial copy) names
+    the offending path and byte offset instead of surfacing an opaque
+    ``JSONDecodeError`` with no context.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as error:
+        offset = len(text[:error.pos].encode("utf-8"))
+        total = len(text.encode("utf-8"))
+        raise HistoryError(
+            f"corrupt history file {path}: {error.msg} at byte offset "
+            f"{offset} (of {total} bytes); the file is truncated or "
+            "was written by an interrupted save") from error

@@ -116,10 +116,20 @@ class DataStore:
     those short refs still resolve through a prefix alias table, but new
     refs are always full-length so downstream users (derivation cache
     keys in particular) cannot collide.
+
+    Without a ``backend`` the decoded objects live in process dicts and
+    persist through :meth:`to_dict` (the JSON history format).  With a
+    blob-capable :class:`~repro.history.store.HistoryStore` backend
+    (the SQLite backend), canonical JSON text is written through to the
+    store on every :meth:`put` and rows are decoded lazily on first
+    :meth:`get`; the in-process dicts then act as a decode cache, so
+    object identity within one session matches the in-memory behaviour.
     """
 
-    def __init__(self, codecs: CodecRegistry | None = None) -> None:
+    def __init__(self, codecs: CodecRegistry | None = None, *,
+                 backend=None) -> None:
         self.codecs = codecs if codecs is not None else GLOBAL_CODECS
+        self.backend = backend
         self._blobs: dict[str, Any] = {}
         self._sizes: dict[str, int] = {}
         self._aliases: dict[str, str] = {}
@@ -127,18 +137,24 @@ class DataStore:
     def _canonical(self, encoded: Any) -> str:
         return json.dumps(encoded, sort_keys=True, separators=(",", ":"))
 
-    def _admit(self, digest: str, obj: Any, size: int) -> None:
+    def _admit(self, digest: str, obj: Any, size: int,
+               canonical: str | None = None) -> None:
         if digest not in self._blobs:
             self._blobs[digest] = obj
             self._sizes[digest] = size
         self._aliases.setdefault(digest[:SHORT_REF_LENGTH], digest)
+        if self.backend is not None:
+            if canonical is None:
+                canonical = self._canonical(self.codecs.encode(obj))
+            self.backend.put_blob(digest, canonical, size)
+            self.backend.put_blob_alias(digest[:SHORT_REF_LENGTH], digest)
 
     def put(self, obj: Any) -> str:
         """Store an object; return its content digest (``data_ref``)."""
         encoded = self.codecs.encode(obj)
         canonical = self._canonical(encoded)
         digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
-        self._admit(digest, obj, len(canonical))
+        self._admit(digest, obj, len(canonical), canonical)
         return digest
 
     def resolve(self, data_ref: str) -> str:
@@ -148,26 +164,65 @@ class DataStore:
         full = self._aliases.get(data_ref)
         if full is not None:
             return full
+        if self.backend is not None:
+            if self.backend.get_blob(data_ref) is not None:
+                return data_ref
+            full = self.backend.resolve_blob_alias(data_ref)
+            if full is not None:
+                return full
         raise HistoryError(f"no data blob {data_ref!r}")
 
     def get(self, data_ref: str) -> Any:
-        return self._blobs[self.resolve(data_ref)]
+        full = self.resolve(data_ref)
+        if full in self._blobs:
+            return self._blobs[full]
+        # backend-resident blob not decoded yet this session
+        canonical = self.backend.get_blob(full)
+        if canonical is None:
+            raise HistoryError(f"no data blob {data_ref!r}")
+        obj = self.codecs.decode(json.loads(canonical))
+        self._blobs[full] = obj
+        self._sizes[full] = len(canonical)
+        self._aliases.setdefault(full[:SHORT_REF_LENGTH], full)
+        return obj
 
     def size(self, data_ref: str) -> int:
         """Canonical-form byte size of a stored blob."""
-        return self._sizes[self.resolve(data_ref)]
+        full = self.resolve(data_ref)
+        if full in self._sizes:
+            return self._sizes[full]
+        size = self.backend.blob_size(full)
+        if size is None:
+            raise HistoryError(f"no data blob {data_ref!r}")
+        return size
 
     def __contains__(self, data_ref: str) -> bool:
-        return data_ref in self._blobs or data_ref in self._aliases
+        if data_ref in self._blobs or data_ref in self._aliases:
+            return True
+        if self.backend is None:
+            return False
+        return (self.backend.get_blob(data_ref) is not None
+                or self.backend.resolve_blob_alias(data_ref) is not None)
 
     def __len__(self) -> int:
+        if self.backend is not None:
+            return len(self.backend.blob_refs())
         return len(self._blobs)
 
     def refs(self) -> tuple[str, ...]:
+        if self.backend is not None:
+            return self.backend.blob_refs()
         return tuple(self._blobs)
+
+    def aliases(self) -> dict[str, str]:
+        """Every known short/legacy ref -> full digest mapping."""
+        return dict(self._aliases)
 
     # -- persistence -----------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
+        if self.backend is not None:
+            return {ref: json.loads(self.backend.get_blob(ref))
+                    for ref in self.backend.blob_refs()}
         return {ref: self.codecs.encode(obj)
                 for ref, obj in self._blobs.items()}
 
@@ -177,7 +232,9 @@ class DataStore:
             digest = hashlib.sha256(
                 canonical.encode("utf-8")).hexdigest()
             self._admit(digest, self.codecs.decode(encoded),
-                        len(canonical))
+                        len(canonical), canonical)
             # refs recorded by truncating builds keep resolving
             if ref != digest:
                 self._aliases.setdefault(ref, digest)
+                if self.backend is not None:
+                    self.backend.put_blob_alias(ref, digest)

@@ -1,0 +1,348 @@
+"""Indexed SQLite-WAL backend for the design history database.
+
+The JSON backend must parse the entire history file before it can
+answer a single query; at the ROADMAP's million-instance scale that
+load dominates every interaction.  This backend keeps the history in
+one SQLite file (WAL journal) with:
+
+* an ``instances`` table keyed by instance id, with the numeric id
+  suffix and invocation number stored as columns so id allocation
+  after reopen is two ``MAX()`` lookups instead of a scan;
+* a redundant ``edges`` table — both dependency directions indexed —
+  maintained incrementally on every write (the dask scheduler idiom:
+  constant-time edge access in exchange for redundant state);
+* a ``derivation_keys`` table persisting the re-execution cache's
+  key -> outputs index, signature-guarded so stale encapsulation
+  fingerprints are dropped rather than believed;
+* content-addressed ``blobs`` (canonical JSON text keyed by full
+  sha256) with a legacy short-ref alias table.
+
+Reads decode rows lazily into :class:`EntityInstance` objects and
+memoize them, so a backward trace over a 10^5-instance history touches
+only the rows on the trace path.  Writes batch into one transaction,
+committed by :meth:`flush` (persistence calls it on save) or every
+``COMMIT_EVERY`` rows, whichever comes first.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sqlite3
+import threading
+from typing import Iterable, Iterator
+
+from ..errors import HistoryError
+from .instance import EntityInstance
+from .store import (BACKEND_SQLITE, HistoryStore, parse_invocation,
+                    parse_serial)
+
+#: Pending writes are committed at least this often.
+COMMIT_EVERY = 5000
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta(
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL);
+CREATE TABLE IF NOT EXISTS instances(
+    seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    instance_id TEXT UNIQUE NOT NULL,
+    entity_type TEXT NOT NULL,
+    serial INTEGER NOT NULL DEFAULT 0,
+    invocation TEXT NOT NULL DEFAULT '',
+    invocation_num INTEGER NOT NULL DEFAULT 0,
+    payload TEXT NOT NULL);
+CREATE INDEX IF NOT EXISTS idx_instances_type
+    ON instances(entity_type, seq);
+CREATE INDEX IF NOT EXISTS idx_instances_invocation
+    ON instances(invocation);
+CREATE TABLE IF NOT EXISTS edges(
+    antecedent TEXT NOT NULL,
+    consumer TEXT NOT NULL,
+    seq INTEGER NOT NULL);
+CREATE INDEX IF NOT EXISTS idx_edges_forward
+    ON edges(antecedent, seq);
+CREATE INDEX IF NOT EXISTS idx_edges_reverse
+    ON edges(consumer, seq);
+CREATE TABLE IF NOT EXISTS derivation_keys(
+    key TEXT NOT NULL,
+    outputs TEXT NOT NULL,
+    duration REAL NOT NULL DEFAULT 0,
+    PRIMARY KEY(key, outputs));
+CREATE TABLE IF NOT EXISTS blobs(
+    digest TEXT PRIMARY KEY,
+    canonical TEXT NOT NULL,
+    size INTEGER NOT NULL);
+CREATE TABLE IF NOT EXISTS blob_aliases(
+    alias TEXT PRIMARY KEY,
+    digest TEXT NOT NULL);
+"""
+
+#: ``meta`` key holding the encapsulation-registry signature the
+#: derivation-key index was built against.
+KEY_INDEX_SIGNATURE = "key_index_signature"
+
+
+class SqliteHistoryStore(HistoryStore):
+    """History storage in one indexed SQLite-WAL file."""
+
+    kind = BACKEND_SQLITE
+    blob_backend = True
+    supports_key_index = True
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        try:
+            self._conn = sqlite3.connect(str(self.path),
+                                         check_same_thread=False)
+        except sqlite3.Error as error:
+            raise HistoryError(
+                f"cannot open history database {self.path}: {error}"
+            ) from error
+        self._lock = threading.RLock()
+        self._cache: dict[str, EntityInstance] = {}
+        # forward edges are append-only: a memoized consumer list stays
+        # valid as long as add() extends it, so staleness scans that
+        # re-walk the same neighborhoods pay one SELECT per node, not
+        # one per visit
+        self._consumers: dict[str, list[str]] = {}
+        self._pending = 0
+        try:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+        except sqlite3.DatabaseError as error:
+            raise HistoryError(
+                f"{self.path} is not a history database: {error}"
+            ) from error
+
+    # -- write batching ----------------------------------------------------
+    def _wrote(self) -> None:
+        self._pending += 1
+        if self._pending >= COMMIT_EVERY:
+            self._conn.commit()
+            self._pending = 0
+
+    def flush(self) -> None:
+        with self._lock:
+            self._conn.commit()
+            self._pending = 0
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.commit()
+            self._conn.close()
+
+    # -- instance rows -------------------------------------------------
+    def add(self, instance: EntityInstance) -> None:
+        derivation = instance.derivation
+        invocation = derivation.invocation if derivation is not None else ""
+        entity_type, serial = parse_serial(instance.instance_id)
+        with self._lock:
+            cursor = self._conn.execute(
+                "INSERT INTO instances(instance_id, entity_type, serial,"
+                " invocation, invocation_num, payload)"
+                " VALUES(?, ?, ?, ?, ?, ?)",
+                (instance.instance_id, instance.entity_type,
+                 serial if entity_type == instance.entity_type else 0,
+                 invocation, parse_invocation(invocation),
+                 json.dumps(instance.to_dict(), sort_keys=True,
+                            separators=(",", ":"))))
+            seq = cursor.lastrowid
+            if derivation is not None:
+                self._conn.executemany(
+                    "INSERT INTO edges(antecedent, consumer, seq)"
+                    " VALUES(?, ?, ?)",
+                    [(antecedent, instance.instance_id, seq)
+                     for antecedent in derivation.all_antecedents()])
+                for antecedent in derivation.all_antecedents():
+                    memo = self._consumers.get(antecedent)
+                    if memo is not None:
+                        memo.append(instance.instance_id)
+            self._cache[instance.instance_id] = instance
+            self._wrote()
+
+    def replace(self, instance: EntityInstance) -> None:
+        with self._lock:
+            self._conn.execute(
+                "UPDATE instances SET payload = ? WHERE instance_id = ?",
+                (json.dumps(instance.to_dict(), sort_keys=True,
+                            separators=(",", ":")),
+                 instance.instance_id))
+            self._cache[instance.instance_id] = instance
+            self._wrote()
+
+    def get(self, instance_id: str) -> EntityInstance | None:
+        with self._lock:
+            cached = self._cache.get(instance_id)
+            if cached is not None:
+                return cached
+            row = self._conn.execute(
+                "SELECT payload FROM instances WHERE instance_id = ?",
+                (instance_id,)).fetchone()
+            if row is None:
+                return None
+            instance = EntityInstance.from_dict(json.loads(row[0]))
+            self._cache[instance_id] = instance
+            return instance
+
+    def __contains__(self, instance_id: str) -> bool:
+        with self._lock:
+            if instance_id in self._cache:
+                return True
+            row = self._conn.execute(
+                "SELECT 1 FROM instances WHERE instance_id = ?",
+                (instance_id,)).fetchone()
+            return row is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._conn.execute(
+                "SELECT COUNT(*) FROM instances").fetchone()[0]
+
+    def iter_instances(self) -> Iterator[EntityInstance]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT instance_id, payload FROM instances"
+                " ORDER BY seq").fetchall()
+        for instance_id, payload in rows:
+            cached = self._cache.get(instance_id)
+            if cached is not None:
+                yield cached
+            else:
+                instance = EntityInstance.from_dict(json.loads(payload))
+                self._cache[instance_id] = instance
+                yield instance
+
+    def ids_of_type(self, entity_type: str) -> tuple[str, ...]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT instance_id FROM instances WHERE entity_type = ?"
+                " ORDER BY seq", (entity_type,)).fetchall()
+        return tuple(row[0] for row in rows)
+
+    # -- dependency indexes ----------------------------------------------
+    def consumers_of(self, instance_id: str) -> tuple[str, ...]:
+        with self._lock:
+            memo = self._consumers.get(instance_id)
+            if memo is None:
+                rows = self._conn.execute(
+                    "SELECT consumer FROM edges WHERE antecedent = ?"
+                    " ORDER BY seq", (instance_id,)).fetchall()
+                memo = [row[0] for row in rows]
+                self._consumers[instance_id] = memo
+            return tuple(memo)
+
+    def antecedents_of(self, instance_id: str) -> tuple[str, ...]:
+        instance = self.get(instance_id)
+        if instance is None or instance.derivation is None:
+            return ()
+        return instance.derivation.all_antecedents()
+
+    def ids_for_invocation(self, invocation: str) -> tuple[str, ...]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT instance_id FROM instances WHERE invocation = ?"
+                " ORDER BY seq", (invocation,)).fetchall()
+        return tuple(row[0] for row in rows)
+
+    # -- id allocation support ---------------------------------------------
+    def highest_serial(self, entity_type: str) -> int:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT MAX(serial) FROM instances WHERE entity_type = ?",
+                (entity_type,)).fetchone()
+        return row[0] or 0
+
+    def highest_invocation(self) -> int:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT MAX(invocation_num) FROM instances").fetchone()
+        return row[0] or 0
+
+    # -- derivation-key index ---------------------------------------------
+    def key_index_signature(self) -> str | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = ?",
+                (KEY_INDEX_SIGNATURE,)).fetchone()
+        return row[0] if row is not None else None
+
+    def reset_key_index(self, signature: str) -> None:
+        with self._lock:
+            self._conn.execute("DELETE FROM derivation_keys")
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta(key, value) VALUES(?, ?)",
+                (KEY_INDEX_SIGNATURE, signature))
+            self._wrote()
+
+    def put_key_group(self, key: str,
+                      outputs: Iterable[tuple[str, str]],
+                      duration: float = 0.0) -> None:
+        encoded = json.dumps([[t, i] for t, i in outputs],
+                             sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO derivation_keys(key, outputs, duration)"
+                " VALUES(?, ?, ?) ON CONFLICT(key, outputs)"
+                " DO UPDATE SET duration = MAX(duration, excluded.duration)",
+                (key, encoded, duration))
+            self._wrote()
+
+    def iter_key_groups(self) -> Iterator[
+            tuple[str, tuple[tuple[str, str], ...], float]]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT key, outputs, duration FROM derivation_keys"
+                " ORDER BY key, outputs").fetchall()
+        for key, outputs, duration in rows:
+            pairs = tuple((entity_type, instance_id)
+                          for entity_type, instance_id
+                          in json.loads(outputs))
+            yield key, pairs, duration
+
+    # -- content-addressed blobs --------------------------------------------
+    def put_blob(self, digest: str, canonical: str, size: int) -> None:
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO blobs(digest, canonical, size)"
+                " VALUES(?, ?, ?)", (digest, canonical, size))
+            self._wrote()
+
+    def get_blob(self, digest: str) -> str | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT canonical FROM blobs WHERE digest = ?",
+                (digest,)).fetchone()
+        return row[0] if row is not None else None
+
+    def blob_size(self, digest: str) -> int | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT size FROM blobs WHERE digest = ?",
+                (digest,)).fetchone()
+        return row[0] if row is not None else None
+
+    def blob_refs(self) -> tuple[str, ...]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT digest FROM blobs ORDER BY digest").fetchall()
+        return tuple(row[0] for row in rows)
+
+    def put_blob_alias(self, alias: str, digest: str) -> None:
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO blob_aliases(alias, digest)"
+                " VALUES(?, ?)", (alias, digest))
+            self._wrote()
+
+    def resolve_blob_alias(self, alias: str) -> str | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT digest FROM blob_aliases WHERE alias = ?",
+                (alias,)).fetchone()
+        return row[0] if row is not None else None
+
+    def __repr__(self) -> str:
+        return f"SqliteHistoryStore({str(self.path)!r})"

@@ -1,0 +1,174 @@
+"""Seeded synthetic design histories for benchmarks and property tests.
+
+Real histories from the figure benchmarks top out at a few hundred
+instances; the storage layer is specified to a hundred thousand.  This
+module grows deterministic histories of any size and of three dependency
+shapes — ``chain`` (long edit sequences), ``diamond`` (re-convergent
+analysis pairs) and ``forkjoin`` (parallel branches joined by a
+verifier) — so both storage backends can be driven through identical,
+reproducible workloads.  The same seed, shape and size always produce
+the same instance ids, derivations, timestamps and payloads, which is
+what lets the cross-backend equality tests demand *identical* query
+results rather than merely similar ones.
+
+Histories are segmented: every segment starts from freshly installed
+source data, so a head's backward trace covers one segment, not the
+whole database.  That mirrors real use (many design tasks in one
+history) and is what makes indexed queries sublinear — a trace should
+never need to touch instances from unrelated tasks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from ..schema.builder import SchemaBuilder
+from ..schema.schema import TaskSchema
+from .database import HistoryDatabase
+from .instance import DerivationRecord
+from .store import HistoryStore
+
+SHAPES = ("chain", "diamond", "forkjoin")
+
+#: Instances per segment (one "design task"); traces stay this size.
+SEGMENT = 64
+
+
+def synth_schema() -> TaskSchema:
+    """A minimal schema with one tool, one source family, one derived.
+
+    ``Alpha`` is the source family (editable: a derived Alpha is a new
+    version of its ``previous`` input, so edits create staleness);
+    ``Beta`` is derived design data consuming an Alpha and up to three
+    earlier Betas, enough fan-in for every generated shape.
+    """
+    return (SchemaBuilder("synth")
+            .tool("SynthTool")
+            .data("Alpha")
+            .data("Beta")
+            .produced_by("Alpha", "SynthTool",
+                         inputs=[{"type": "Alpha", "role": "previous",
+                                  "optional": True}])
+            .produced_by("Beta", "SynthTool",
+                         inputs=[{"type": "Alpha", "role": "source",
+                                  "optional": True},
+                                 {"type": "Beta", "role": "x",
+                                  "optional": True},
+                                 {"type": "Beta", "role": "y",
+                                  "optional": True},
+                                 {"type": "Beta", "role": "z",
+                                  "optional": True}])
+            .build())
+
+
+def tick_clock(start: float = 1_000_000_000.0,
+               step: float = 1.0) -> Callable[[], float]:
+    """A deterministic clock: identical runs get identical timestamps."""
+    state = {"now": start - step}
+
+    def clock() -> float:
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+@dataclass(frozen=True)
+class SynthHistory:
+    """A generated history plus the handles the benchmarks query."""
+
+    db: HistoryDatabase
+    shape: str
+    seed: int
+    tool_id: str
+    sources: tuple[str, ...]   # installed Alpha ids, oldest first
+    heads: tuple[str, ...]     # final Beta of each segment
+    edited: tuple[str, ...]    # Alphas later superseded by an edit
+
+
+def build_history(size: int, shape: str = "forkjoin", *, seed: int = 0,
+                  store: HistoryStore | None = None,
+                  edit_every: int = 8,
+                  clock: Callable[[], float] | None = None
+                  ) -> SynthHistory:
+    """Grow a deterministic history of ``size`` instances.
+
+    ``edit_every`` re-edits one already-consumed source Alpha per that
+    many completed segments, so a fixed fraction of heads is stale —
+    the staleness-scan benchmarks and the cross-backend equality tests
+    both need superseded versions to exist.
+    """
+    if shape not in SHAPES:
+        raise ValueError(f"unknown shape {shape!r}; choose from "
+                         f"{', '.join(SHAPES)}")
+    if size < 3:
+        raise ValueError(f"size must be >= 3, got {size}")
+    rng = random.Random(seed)
+    db = HistoryDatabase(synth_schema(), store=store,
+                         clock=clock if clock is not None
+                         else tick_clock())
+    tool = db.install("SynthTool", {"tool": "synth"}, user="synth",
+                      name="synth-tool")
+    sources: list[str] = []
+    heads: list[str] = []
+    edited: list[str] = []
+    segments = 0
+    # instance count is tracked locally: len(db) is a COUNT(*) on the
+    # sqlite backend, and calling it per loop turn would be quadratic
+    count = 1  # the tool
+
+    def derive(entity_type: str, inputs: dict[str, str],
+               payload: dict) -> str:
+        nonlocal count
+        record = DerivationRecord.make(tool.instance_id, inputs,
+                                       db.new_invocation_id())
+        count += 1
+        return db.record(entity_type, payload, record,
+                         user="synth").instance_id
+
+    while count < size:
+        # each segment opens with a fresh source entering from outside
+        source = db.install(
+            "Alpha", {"segment": segments, "seed": seed}, user="synth",
+            name=f"src-{segments}").instance_id
+        sources.append(source)
+        count += 1
+        head = derive("Beta", {"source": source}, {"n": count})
+        budget = min(SEGMENT, max(2, size - count)) - 2
+        while budget > 0 and count < size:
+            if shape == "chain":
+                head = derive("Beta", {"x": head}, {"n": count})
+                budget -= 1
+            elif shape == "diamond":
+                left = derive("Beta", {"x": head}, {"n": count})
+                right = derive("Beta", {"x": head}, {"n": count})
+                head = derive("Beta", {"x": left, "y": right},
+                              {"n": count})
+                budget -= 3
+            else:  # forkjoin
+                width = rng.randint(2, 3)
+                branches = [derive("Beta", {"x": head}, {"n": count})
+                            for _ in range(width)]
+                roles = dict(zip(("x", "y", "z"), branches))
+                head = derive("Beta", roles, {"n": count})
+                budget -= width + 1
+        heads.append(head)
+        segments += 1
+        if edit_every and segments % edit_every == 0 and count < size:
+            # supersede a random earlier source: its segment goes stale
+            victim = sources[rng.randrange(len(sources))]
+            if victim not in edited:
+                record = DerivationRecord.make(
+                    tool.instance_id, {"previous": victim},
+                    db.new_invocation_id())
+                db.record("Alpha", {"edit-of": victim}, record,
+                          user="synth", name="edit")
+                count += 1
+                edited.append(victim)
+    db.store.flush()
+    return SynthHistory(db=db, shape=shape, seed=seed,
+                        tool_id=tool.instance_id,
+                        sources=tuple(sources), heads=tuple(heads),
+                        edited=tuple(edited))

@@ -55,7 +55,9 @@ class FlowTrace:
     def __init__(self, db: HistoryDatabase) -> None:
         self.db = db
         self._instances: set[str] = set()
-        self._edges: list[TraceEdge] = []
+        # insertion-ordered edge set: membership stays O(1) on the
+        # 10^5-instance traces the indexed backends make reachable
+        self._edges: dict[TraceEdge, None] = {}
 
     # -- construction ------------------------------------------------
     def add_instance(self, instance_id: str) -> None:
@@ -85,8 +87,7 @@ class FlowTrace:
         return tuple(added)
 
     def _add_edge(self, edge: TraceEdge) -> None:
-        if edge not in self._edges:
-            self._edges.append(edge)
+        self._edges.setdefault(edge)
 
     # -- inspection ----------------------------------------------------
     def instances(self) -> tuple[str, ...]:

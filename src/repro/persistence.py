@@ -3,9 +3,22 @@
 The paper's framework persists three things: the task schema (the one
 methodology artifact), the design history database (meta-data + shared
 physical data), and the flow catalog (the plan-based approach's library).
-:func:`save_environment` writes them as three JSON files in a directory;
+:func:`save_environment` writes them into a directory;
 :func:`load_environment` reconstructs a working
 :class:`~repro.execution.context.DesignEnvironment`.
+
+The history supports two storage backends, recorded in the
+``environment.json`` meta file:
+
+* ``json`` (default, compatible with every earlier build) — the whole
+  history as one ``history.json`` document, fully parsed on load;
+* ``sqlite`` — an indexed ``history.sqlite`` WAL file
+  (:class:`~repro.history.sqlite_store.SqliteHistoryStore`); loading
+  only opens the file, and queries touch just the rows they need.
+
+:func:`migrate_environment` converts an existing directory between the
+two in place (idempotent; both backends answer every derivation query
+identically).
 
 Tool *encapsulations* are code, not data: after loading, re-run the
 site's tool installation (e.g.
@@ -23,12 +36,15 @@ from typing import Callable
 from .core.flow import DynamicFlow
 from .errors import HistoryError
 from .execution.context import DesignEnvironment
-from .history.database import HistoryDatabase
+from .history.database import HistoryDatabase, read_history_json
 from .history.datastore import CodecRegistry
+from .history.sqlite_store import SqliteHistoryStore
+from .history.store import BACKEND_JSON, BACKEND_SQLITE, BACKENDS
 from .schema.serialize import schema_from_dict, schema_to_dict
 
 SCHEMA_FILE = "schema.json"
 HISTORY_FILE = "history.json"
+HISTORY_SQLITE_FILE = "history.sqlite"
 FLOWS_FILE = "flows.json"
 META_FILE = "environment.json"
 CACHE_FILE = "cache.json"
@@ -37,17 +53,66 @@ LEDGER_FILE = "ledger.jsonl"
 FORMAT_VERSION = 1
 
 
-def save_environment(env: DesignEnvironment, directory: str | pathlib.Path
-                     ) -> pathlib.Path:
-    """Persist schema, history and flow catalog into a directory."""
+def _check_backend(backend: str) -> str:
+    if backend not in BACKENDS:
+        raise HistoryError(
+            f"unknown history backend {backend!r}; choose from "
+            f"{', '.join(BACKENDS)}")
+    return backend
+
+
+def _remove_sqlite(root: pathlib.Path) -> None:
+    for suffix in ("", "-wal", "-shm"):
+        target = root / (HISTORY_SQLITE_FILE + suffix)
+        if target.exists():
+            target.unlink()
+
+
+def _write_sqlite_history(env: DesignEnvironment,
+                          root: pathlib.Path) -> None:
+    target = root / HISTORY_SQLITE_FILE
+    store = env.db.store
+    if isinstance(store, SqliteHistoryStore) \
+            and store.path == target:
+        store.flush()
+        return
+    # converting from another backend (or another file): rebuild the
+    # target from scratch so no rows of a previous conversion survive
+    _remove_sqlite(root)
+    converted = env.db.converted(SqliteHistoryStore(target),
+                                 codecs=env.db.datastore.codecs)
+    converted.store.close()
+
+
+def save_environment(env: DesignEnvironment,
+                     directory: str | pathlib.Path, *,
+                     backend: str | None = None) -> pathlib.Path:
+    """Persist schema, history and flow catalog into a directory.
+
+    ``backend`` selects the history storage format (``json`` or
+    ``sqlite``); ``None`` keeps the backend the environment's database
+    already uses.  Saving with a different backend converts the history
+    on the way out and removes the superseded history file, so the
+    directory always has exactly one authoritative history.
+    """
     root = pathlib.Path(directory)
     root.mkdir(parents=True, exist_ok=True)
+    backend = _check_backend(backend if backend is not None
+                             else env.db.backend)
     (root / SCHEMA_FILE).write_text(
         json.dumps(schema_to_dict(env.schema), indent=1, sort_keys=True),
         encoding="utf-8")
-    (root / HISTORY_FILE).write_text(
-        json.dumps(env.db.to_dict(), indent=1, sort_keys=True),
-        encoding="utf-8")
+    if backend == BACKEND_SQLITE:
+        _write_sqlite_history(env, root)
+        history_json = root / HISTORY_FILE
+        if history_json.exists():
+            history_json.unlink()
+    else:
+        (root / HISTORY_FILE).write_text(
+            json.dumps(env.db.to_dict(), indent=1, sort_keys=True),
+            encoding="utf-8")
+        if not isinstance(env.db.store, SqliteHistoryStore):
+            _remove_sqlite(root)
     flows = {}
     for name in env.flow_catalog.names():
         flow = env.flow_catalog.select(name)
@@ -58,7 +123,8 @@ def save_environment(env: DesignEnvironment, directory: str | pathlib.Path
     (root / FLOWS_FILE).write_text(
         json.dumps(flows, indent=1, sort_keys=True), encoding="utf-8")
     (root / META_FILE).write_text(
-        json.dumps({"format": FORMAT_VERSION, "user": env.user},
+        json.dumps({"format": FORMAT_VERSION, "user": env.user,
+                    "history_backend": backend},
                    indent=1), encoding="utf-8")
     if env._cache is not None:
         (root / CACHE_FILE).write_text(
@@ -83,12 +149,22 @@ def load_environment(directory: str | pathlib.Path, *,
             f"unsupported environment format {meta.get('format')!r}")
     schema = schema_from_dict(
         json.loads((root / SCHEMA_FILE).read_text(encoding="utf-8")))
-    env = DesignEnvironment(schema, user=meta.get("user", "designer"),
-                            codecs=codecs, clock=clock)
-    env.db = HistoryDatabase.from_dict(
-        schema,
-        json.loads((root / HISTORY_FILE).read_text(encoding="utf-8")),
-        codecs=codecs, clock=clock, bus=env.bus)
+    backend = _check_backend(meta.get("history_backend", BACKEND_JSON))
+    if backend == BACKEND_SQLITE:
+        sqlite_path = root / HISTORY_SQLITE_FILE
+        if not sqlite_path.exists():
+            raise HistoryError(
+                f"{root} declares the sqlite history backend but "
+                f"{HISTORY_SQLITE_FILE} is missing")
+        env = DesignEnvironment(
+            schema, user=meta.get("user", "designer"), codecs=codecs,
+            clock=clock, store=SqliteHistoryStore(sqlite_path))
+    else:
+        env = DesignEnvironment(schema, user=meta.get("user", "designer"),
+                                codecs=codecs, clock=clock)
+        env.db = HistoryDatabase.from_dict(
+            schema, read_history_json(root / HISTORY_FILE),
+            codecs=codecs, clock=clock, bus=env.bus)
     flows_path = root / FLOWS_FILE
     if flows_path.exists():
         for name, spec in json.loads(
@@ -111,3 +187,30 @@ def load_environment(directory: str | pathlib.Path, *,
     if os.access(root, os.W_OK):
         env.attach_ledger(root / LEDGER_FILE)
     return env
+
+
+def migrate_environment(directory: str | pathlib.Path, to_backend: str, *,
+                        codecs: CodecRegistry | None = None) -> bool:
+    """Convert a saved environment's history storage in place.
+
+    Returns ``True`` when a conversion happened, ``False`` when the
+    directory already uses ``to_backend`` (the command is idempotent:
+    running it twice is a no-op the second time).  Conversion preserves
+    every instance id, derivation record, timestamp and data reference,
+    so queries answer identically before and after.
+    """
+    to_backend = _check_backend(to_backend)
+    root = pathlib.Path(directory)
+    env = load_environment(root, codecs=codecs)
+    if env.db.backend == to_backend:
+        if isinstance(env.db.store, SqliteHistoryStore):
+            env.db.store.close()
+        return False
+    save_environment(env, root, backend=to_backend)
+    if isinstance(env.db.store, SqliteHistoryStore):
+        # save_environment leaves the old file alone while its store is
+        # still open; close it, then retire the superseded history
+        env.db.store.close()
+        if to_backend == BACKEND_JSON:
+            _remove_sqlite(root)
+    return True
