@@ -1,0 +1,151 @@
+"""CI gate: the procpool executor must be fast AND change nothing.
+
+Two halves, both mandatory:
+
+1. **CLI equivalence** — drives the real ``repro run`` CLI over a
+   saved Fig. 6 parallel flow with ``--executor procpool --workers 2``
+   and over a second, identical project sequentially.  The procpool
+   run must exit 0, produce every branch, record ``procpool`` in the
+   ledger, leave the shared memo behind, and leave a history whose
+   (entity type, content digest) multiset is byte-identical to the
+   sequential run — multi-core execution must never change what gets
+   designed.
+
+2. **Parallelism efficiency** — re-times the ``scale_pipeline``
+   scenario from ``bench_multicore.py`` at 1 and 2 workers and gates
+   the 2-worker efficiency (speedup / workers) against
+   ``max(EFFICIENCY_FLOOR, 0.8 * checked-in baseline)`` from
+   ``BENCH_multicore.json``, i.e. a hard floor plus a 20% regression
+   tolerance.  Ratios, not wall seconds, so the gate is
+   machine-independent.
+
+Raw timings and the procpool run's ledger are copied into
+``benchmarks/artifacts/`` for upload on CI failure.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from bench_multicore import run_scenario  # noqa: E402
+from check_chaos_smoke import (build_project,  # noqa: E402
+                               history_signature, netlist_count)
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+BENCH = REPO / "BENCH_multicore.json"
+ARTIFACTS = REPO / "benchmarks" / "artifacts"
+
+BRANCHES = 4
+WORKERS = 2
+EFFICIENCY_FLOOR = 0.6
+REGRESSION_TOLERANCE = 0.8  # keep at least 80% of the recorded baseline
+
+
+def run_cli(directory: pathlib.Path, *extra: str) -> int:
+    from repro.cli import main as repro_main
+
+    return repro_main(["run", str(directory), "fig6", *extra])
+
+
+def last_record(directory: pathlib.Path):
+    from repro.obs import RunLedger
+
+    return RunLedger(directory / "ledger.jsonl").records()[-1]
+
+
+def baseline_efficiency() -> float | None:
+    """2-worker scale_pipeline efficiency from the checked-in bench."""
+    if not BENCH.exists():
+        return None
+    entries = json.loads(BENCH.read_text(encoding="utf-8"))["entries"]
+    if not entries:
+        return None
+    results = entries[-1]["results"]
+    return results["scale_pipeline"]["efficiency"][str(WORKERS)]
+
+
+def main() -> int:
+    failures: list[str] = []
+    ARTIFACTS.mkdir(parents=True, exist_ok=True)
+    with tempfile.TemporaryDirectory() as scratch:
+        root = pathlib.Path(scratch)
+
+        # 1a. the procpool CLI path runs the whole flow
+        pooled = root / "pooled"
+        build_project(pooled)
+        code = run_cli(pooled, "--executor", "procpool",
+                       "--workers", str(WORKERS),
+                       "--cache", "readwrite")
+        print(f"procpool --workers {WORKERS}: exit {code}")
+        if code != 0:
+            failures.append(f"procpool run must exit 0, got {code}")
+        if netlist_count(pooled) != BRANCHES:
+            failures.append(
+                f"all {BRANCHES} branches must produce, got "
+                f"{netlist_count(pooled)}")
+        record = last_record(pooled)
+        print(f"  ledger: executor={record.executor} "
+              f"runs={record.runs}")
+        if record.executor != "procpool":
+            failures.append(
+                f"ledger must record executor 'procpool', got "
+                f"{record.executor!r}")
+        if not (pooled / "memo.jsonl").exists():
+            failures.append(
+                "a caching procpool run over a saved project must "
+                "leave the shared derivation memo behind")
+        shutil.copy(pooled / "ledger.jsonl",
+                    ARTIFACTS / "multicore_smoke_ledger.jsonl")
+
+        # 1b. byte-identical history vs the sequential executor
+        sequential = root / "sequential"
+        build_project(sequential)
+        code = run_cli(sequential)
+        if code != 0:
+            failures.append(f"sequential reference exited {code}")
+        if history_signature(pooled) != history_signature(sequential):
+            failures.append(
+                "procpool history digests differ from the sequential "
+                "executor")
+        else:
+            print("  history content-identical to sequential run")
+
+    # 2. efficiency gate vs the checked-in trajectory
+    outcome = run_scenario("scale_pipeline", sweep=(1, WORKERS),
+                           repeats=2)
+    raw = outcome.pop("raw")
+    (ARTIFACTS / "multicore_smoke_raw.json").write_text(
+        json.dumps({"raw": raw, "results": outcome}, indent=1,
+                   sort_keys=True) + "\n", encoding="utf-8")
+    if not outcome["digest_sequential_equal"]:
+        failures.append(
+            "scale_pipeline procpool digests diverged from sequential")
+    efficiency = outcome["efficiency"][str(WORKERS)]
+    baseline = baseline_efficiency()
+    required = EFFICIENCY_FLOOR
+    if baseline is not None:
+        required = max(required, REGRESSION_TOLERANCE * baseline)
+    print(f"scale_pipeline efficiency at {WORKERS} workers: "
+          f"{efficiency:.2f} (required >= {required:.2f}, "
+          f"baseline {baseline})")
+    if efficiency < required:
+        failures.append(
+            f"parallelism efficiency {efficiency:.2f} fell below "
+            f"{required:.2f} (floor {EFFICIENCY_FLOOR}, baseline "
+            f"{baseline} with 20% tolerance)")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("multicore smoke check passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -199,10 +199,11 @@ def _run_resilience(args: argparse.Namespace
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    if args.executor == "scheduled" and args.target:
+    if args.executor in ("scheduled", "procpool") and args.target:
         print("error: --target is not supported with "
-              "--executor scheduled (invocation-level scheduling "
-              "always runs the whole flow)", file=sys.stderr)
+              f"--executor {args.executor} (invocation-level "
+              "scheduling always runs the whole flow)",
+              file=sys.stderr)
         return 2
     if args.backend:
         # migrate-then-run: convert the directory first (a no-op when
@@ -231,6 +232,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         elif args.executor == "scheduled":
             executor = env.scheduled_executor(
                 machines=args.machines, cache=cache,
+                resilience=resilience, faults=faults)
+            report = executor.execute(flow, force=args.force)
+        elif args.executor == "procpool":
+            executor = env.process_executor(
+                workers=args.workers, cache=cache,
                 resilience=resilience, faults=faults)
             report = executor.execute(flow, force=args.force)
         else:
@@ -642,13 +648,19 @@ def build_parser() -> argparse.ArgumentParser:
                           "environment's trace.jsonl (inspect with "
                           "'repro trace')")
     run.add_argument("--executor",
-                     choices=["sequential", "parallel", "scheduled"],
+                     choices=["sequential", "parallel", "scheduled",
+                              "procpool"],
                      default="sequential",
                      help="sequential (default), parallel disjoint "
-                          "branches, or invocation-level scheduling")
+                          "branches, invocation-level scheduling, or "
+                          "real multi-core worker processes "
+                          "('procpool')")
     run.add_argument("--machines", type=int, default=2,
                      help="machine pool size for the parallel/"
                           "scheduled executors (default 2)")
+    run.add_argument("--workers", type=int, default=2,
+                     help="worker process count for --executor "
+                          "procpool (default 2)")
     run.add_argument("--retries", type=int, default=0,
                      help="retry transiently failing tool invocations "
                           "up to N times with deterministic backoff "

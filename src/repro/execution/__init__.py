@@ -18,9 +18,11 @@ from .encapsulation import (EncapsulationRegistry, ToolContext,
 from .executor import (CachedInvocation, ExecutionReport, FlowExecutor,
                        InvocationResult)
 from .faults import (CORRUPT, CRASH, FAULT_KINDS, HANG, SLOWDOWN,
-                     CorruptData, FaultPlan, FaultSpec)
+                     CorruptData, FaultPlan, FaultSpec, run_with_fault)
 from .parallel import (BranchPlan, Machine, MachinePool,
                        ParallelFlowExecutor, plan_branches)
+from .procpool import (DEFAULT_BATCH_MAX, EnvelopeOutcome,
+                       InvocationEnvelope, ProcessFlowExecutor)
 from .resilience import (CLASSIFICATIONS, PERMANENT, QUARANTINED,
                          TRANSIENT, UPSTREAM, CallStats, CircuitBreaker,
                          InvocationFailure, ResiliencePolicy, RetryRule,
@@ -28,6 +30,8 @@ from .resilience import (CLASSIFICATIONS, PERMANENT, QUARANTINED,
                          failure_entry)
 from .scheduler import (DurationModel, Schedule, ScheduleEntry,
                         ScheduledFlowExecutor, plan_schedule)
+from .shared_memo import (MEMO_SCHEMA_VERSION, MemoEntry,
+                          SharedDerivationMemo)
 
 __all__ = [
     "BranchPlan",
@@ -44,22 +48,28 @@ __all__ = [
     "CallStats",
     "CircuitBreaker",
     "CorruptData",
+    "DEFAULT_BATCH_MAX",
     "DerivationCache",
     "DesignEnvironment",
     "DurationModel",
     "EncapsulationRegistry",
+    "EnvelopeOutcome",
     "ExecutionReport",
     "FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
     "FlowExecutor",
     "HANG",
+    "InvocationEnvelope",
     "InvocationFailure",
     "InvocationResult",
+    "MEMO_SCHEMA_VERSION",
     "Machine",
     "MachinePool",
+    "MemoEntry",
     "PERMANENT",
     "ParallelFlowExecutor",
+    "ProcessFlowExecutor",
     "QUARANTINED",
     "ResiliencePolicy",
     "RetryRule",
@@ -67,6 +77,7 @@ __all__ = [
     "Schedule",
     "ScheduleEntry",
     "ScheduledFlowExecutor",
+    "SharedDerivationMemo",
     "TRANSIENT",
     "ToolContext",
     "ToolEncapsulation",
@@ -80,4 +91,5 @@ __all__ = [
     "normalize_policy",
     "plan_branches",
     "plan_schedule",
+    "run_with_fault",
 ]

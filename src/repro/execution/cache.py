@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import pathlib
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
@@ -44,6 +45,7 @@ from ..history.consistency import all_up_to_date
 from ..history.database import HistoryDatabase
 from ..history.instance import EntityInstance
 from .encapsulation import EncapsulationRegistry, fingerprint_callable
+from .shared_memo import SharedDerivationMemo
 
 # -- cache policies ----------------------------------------------------------
 CACHE_OFF = "off"            #: no lookups, no indexing of this run
@@ -132,6 +134,7 @@ class DerivationCache:
         self._synced = False
         self._attached = False
         self._pending: dict[str, Any] | None = None
+        self.memo: SharedDerivationMemo | None = None
 
     # ------------------------------------------------------------------
     # wiring
@@ -147,6 +150,21 @@ class DerivationCache:
         if self._attached:
             self.db.remove_record_listener(self._on_record)
             self._attached = False
+
+    def attach_shared_memo(
+            self, path: str | pathlib.Path) -> SharedDerivationMemo:
+        """Share remembered runs with other processes via ``path``.
+
+        Freshly stored runs are appended to the memo log and entries
+        other processes appended are absorbed on every :meth:`sync` —
+        concurrent runs (and procpool coordinators of concurrent runs)
+        observe each other's hits.  Memo entries naming instances this
+        history has never recorded are ignored at :meth:`fetch` time.
+        """
+        with self._lock:
+            self.memo = SharedDerivationMemo(
+                path, lambda: self.registry.signature())
+            return self.memo
 
     def _on_record(self, instance: EntityInstance) -> None:
         """Record listener: capture freshly written instances.
@@ -265,6 +283,7 @@ class DerivationCache:
         """
         with self._lock:
             self._absorb_pending()
+            self._absorb_memo()
             batch: Iterable[EntityInstance] = self._dirty
             self._dirty = []
             if not self._synced:
@@ -319,6 +338,28 @@ class DerivationCache:
         if store is not None and self._synced:
             store.put_key_group(key, pairs, entry.duration)
 
+    def _absorb_memo(self) -> None:
+        """Adopt runs other processes published to the shared memo.
+
+        Memo entries feed ``_entries`` only — never ``_seen`` or the
+        store-persisted key index, which both describe *this* history's
+        records.  Entries for instances absent from this history stay
+        inert until :meth:`fetch` skips them.
+        """
+        if self.memo is None:
+            return
+        try:
+            polled = self.memo.poll()
+        except OSError:
+            return  # unreadable memo: degrade to a process-local cache
+        for key, pairs, duration in polled:
+            entry = self._entries.setdefault(key, _Entry())
+            if duration > entry.duration:
+                entry.duration = duration
+            members = frozenset(pairs)
+            if not any(frozenset(g) == members for g in entry.groups):
+                entry.groups.append(pairs)
+
     def invalidate(self) -> None:
         """Drop the whole index (it will lazily rebuild on next use)."""
         with self._lock:
@@ -327,6 +368,8 @@ class DerivationCache:
             self._dirty = []
             self._synced = False
             self._pending = None
+            if self.memo is not None:
+                self.memo.rewind()
             store = self._key_store()
             if store is not None:
                 # blank signature: the next sync() sweeps and rebuilds
@@ -370,6 +413,10 @@ class DerivationCache:
             if types != wanted:
                 continue
             ids = [instance_id for _, instance_id in group]
+            if any(instance_id not in self.db for instance_id in ids):
+                # a shared-memo entry from a run whose records this
+                # history never received: unusable here, not stale
+                continue
             if not all_up_to_date(self.db, ids):
                 with self._lock:
                     self.stats.invalidated += 1
@@ -407,6 +454,11 @@ class DerivationCache:
             if duration > 0.0:
                 entry.duration = duration
             self._remember(key, group)
+            if self.memo is not None:
+                try:
+                    self.memo.append(key, group, duration)
+                except OSError:
+                    pass  # unwritable memo: stay process-local
 
     # ------------------------------------------------------------------
     # persistence (used by repro.persistence)

@@ -31,8 +31,10 @@ from .encapsulation import (EncapsulationRegistry, ToolEncapsulation)
 from .executor import ExecutionReport, FlowExecutor
 from .faults import FaultPlan
 from .parallel import MachinePool, ParallelFlowExecutor
+from .procpool import DEFAULT_BATCH_MAX, ProcessFlowExecutor
 from .resilience import ResiliencePolicy
 from .scheduler import DurationModel, ScheduledFlowExecutor
+from .shared_memo import SharedDerivationMemo
 
 
 class DesignEnvironment:
@@ -72,6 +74,10 @@ class DesignEnvironment:
         # abort the flow, exactly as without the resilience layer).
         self.resilience: ResiliencePolicy | None = None
         self.faults: FaultPlan | None = None
+        # Cross-process shared derivation memo: set by
+        # enable_shared_memo (persistence does so for saved
+        # environments) and attached to the cache on first use.
+        self._shared_memo_path: pathlib.Path | None = None
 
     def attach_ledger(self, path: str | pathlib.Path) -> RunLedger:
         """Record every executed run into a ledger at ``path``.
@@ -94,7 +100,24 @@ class DesignEnvironment:
         if self._cache is None:
             self._cache = DerivationCache(self.db, self.registry)
             self._cache.attach()
+        if self._shared_memo_path is not None \
+                and self._cache.memo is None:
+            self._cache.attach_shared_memo(self._shared_memo_path)
         return self._cache
+
+    def enable_shared_memo(
+            self, path: str | pathlib.Path) -> SharedDerivationMemo:
+        """Share remembered derivations across processes and runs.
+
+        Points the environment's cache at an append-only memo log at
+        ``path`` (created on first write).  Concurrent runs — and the
+        worker lanes of a :class:`ProcessFlowExecutor` coordinator —
+        publish every cache store there and absorb each other's
+        entries on lookup, guarded by the same registry signature that
+        invalidates the in-memory cache when tool code changes.
+        """
+        self._shared_memo_path = pathlib.Path(path)
+        return self.cache.attach_shared_memo(self._shared_memo_path)
 
     # ------------------------------------------------------------------
     # installation (source entities enter from outside the flows)
@@ -205,6 +228,24 @@ class DesignEnvironment:
         return ScheduledFlowExecutor(
             self.db, self.registry, user=self.user, pool=pool,
             machines=machines, durations=durations, bus=self.bus,
+            cache=cache_obj, cache_policy=policy, tracer=self.tracer,
+            ledger=self.ledger,
+            resilience=resilience if resilience is not None
+            else self.resilience,
+            faults=faults if faults is not None else self.faults)
+
+    def process_executor(self, workers: int = 2,
+                         durations: DurationModel | None = None, *,
+                         cache: str | None = None,
+                         batch_max: int = DEFAULT_BATCH_MAX,
+                         resilience: ResiliencePolicy | None = None,
+                         faults: FaultPlan | None = None
+                         ) -> ProcessFlowExecutor:
+        """Real multi-core execution on ``workers`` forked processes."""
+        cache_obj, policy = self._cache_args(cache)
+        return ProcessFlowExecutor(
+            self.db, self.registry, user=self.user, workers=workers,
+            batch_max=batch_max, durations=durations, bus=self.bus,
             cache=cache_obj, cache_policy=policy, tracer=self.tracer,
             ledger=self.ledger,
             resilience=resilience if resilience is not None

@@ -42,7 +42,7 @@ import json
 import random
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable
 
@@ -197,9 +197,16 @@ class FaultPlan:
             return tuple(self._fired)
 
     # -- the injection boundary -------------------------------------------
-    def apply(self, tool_type: str, call: Callable[[], Any]) -> Any:
-        """Run ``call``, injecting whatever this plan scripts for the
-        current (1-based) invocation of ``tool_type``."""
+    def next_fault(self, tool_type: str) -> FaultSpec | None:
+        """Advance the counter for ``tool_type`` and return the fault
+        scripted for this (1-based) invocation, if any.
+
+        Counting is the plan's single source of truth: every call
+        consumes one invocation slot whether or not a fault fires.
+        Crash faults come back with their message resolved, so the
+        returned spec is self-contained — a coordinator can pickle it
+        into a worker process and fire it far from the plan object.
+        """
         with self._lock:
             count = self._counts.get(tool_type, 0) + 1
             self._counts[tool_type] = count
@@ -207,26 +214,21 @@ class FaultPlan:
                 (f for f in self.faults
                  if f.tool_type == tool_type and f.invocation == count),
                 None)
-            if fault is not None:
-                self._fired.append((tool_type, count, fault.kind))
-        if fault is None:
-            return call()
-        if fault.kind == CRASH:
-            message = fault.message or (
-                f"injected {'transient' if fault.transient else 'permanent'}"
-                f" crash: {tool_type} invocation {count}")
-            error_type = (TransientToolError if fault.transient
-                          else ToolError)
-            raise error_type(message)
-        if fault.kind == HANG:
-            self.sleep(fault.delay)
-            return call()
-        if fault.kind == SLOWDOWN:
-            self.sleep(fault.delay)
-            return call()
-        # CORRUPT: run the tool, then mangle what it produced.
-        call()
-        return CorruptData()
+            if fault is None:
+                return None
+            self._fired.append((tool_type, count, fault.kind))
+        if fault.kind == CRASH and not fault.message:
+            fault = replace(fault, message=(
+                f"injected "
+                f"{'transient' if fault.transient else 'permanent'}"
+                f" crash: {tool_type} invocation {count}"))
+        return fault
+
+    def apply(self, tool_type: str, call: Callable[[], Any]) -> Any:
+        """Run ``call``, injecting whatever this plan scripts for the
+        current (1-based) invocation of ``tool_type``."""
+        return run_with_fault(self.next_fault(tool_type), call,
+                              sleep=self.sleep)
 
     # -- persistence ------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
@@ -269,6 +271,34 @@ class FaultPlan:
         return f"FaultPlan(seed={self.seed}, [{kinds}])"
 
 
+def run_with_fault(fault: FaultSpec | None, call: Callable[[], Any], *,
+                   sleep: Callable[[float], None] = time.sleep) -> Any:
+    """Run ``call`` under an already-drawn fault spec (or none).
+
+    The plan side (:meth:`FaultPlan.next_fault`) and the firing side
+    are split so a process-pool coordinator can draw the fault where
+    the counters live and fire it inside the worker process — a hang
+    then really blocks the worker and the watchdog kills a real
+    process, not a thread-local stand-in.
+    """
+    if fault is None:
+        return call()
+    if fault.kind == CRASH:
+        message = fault.message or (
+            f"injected "
+            f"{'transient' if fault.transient else 'permanent'}"
+            f" crash: {fault.tool_type}")
+        error_type = (TransientToolError if fault.transient
+                      else ToolError)
+        raise error_type(message)
+    if fault.kind in (HANG, SLOWDOWN):
+        sleep(fault.delay)
+        return call()
+    # CORRUPT: run the tool, then mangle what it produced.
+    call()
+    return CorruptData()
+
+
 __all__ = [
     "CORRUPT",
     "CRASH",
@@ -279,4 +309,5 @@ __all__ = [
     "FaultSpec",
     "HANG",
     "SLOWDOWN",
+    "run_with_fault",
 ]

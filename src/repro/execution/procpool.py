@@ -1,0 +1,1292 @@
+"""Process-pool flow execution: real multi-core task dispatch.
+
+The thread-based executors overlap tool *waiting* but never tool
+*computing* — every Python-level encapsulation still serializes on the
+GIL, so the paper's "parallel task execution ... possibly on different
+machines" (section 3.3) has so far only been simulated.  This tier
+dispatches the scheduler's ready set to a pool of real
+``multiprocessing`` worker processes:
+
+* the coordinator keeps every piece of shared state — the history
+  database, the derivation cache, the circuit breaker, the fault
+  counters, the trace — and workers receive only **invocation
+  envelopes**: picklable records of tool type + encapsulation
+  fingerprint + resolved input payloads, re-resolved against the
+  (fork-inherited) tool registry inside the worker;
+* ready invocations of one tool type are **batched** onto one worker
+  round-trip (``batch_max``), and every lane **steals** from the one
+  global ready deque, so an idle worker drains whatever is runnable;
+* the resilience layer survives the thread→process move: a watchdog
+  timeout *kills and respawns the worker process* (something the
+  thread watchdog could never do), retries re-enqueue the envelope
+  with a freshly drawn fault, and quarantine/breaker state stays with
+  the coordinator.
+
+Workers never touch the history database; recording, cache population
+and span emission happen coordinator-side, with worker-reported tool
+durations attached to the spans.  ``fork`` is required: the registry
+holds arbitrary closures that cannot be pickled to a spawned child,
+but a forked child inherits them for free.
+"""
+
+from __future__ import annotations
+
+import builtins
+import itertools
+import multiprocessing
+import multiprocessing.connection
+import os
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from ..core.flow import DynamicFlow
+from ..core.taskgraph import TaskGraph, TaskInvocation
+from ..errors import (ExecutionError, InvocationTimeoutError, ToolError,
+                      ToolQuarantinedError, TransientToolError)
+from ..history.database import HistoryDatabase
+from ..history.instance import DerivationRecord
+from ..obs import (CACHE_HIT, CACHE_MISS, CACHE_SPAN, COMPOSE_SPAN,
+                   COMPOSE_TOOL, COMPOSITION_RUN, EXECUTION_FAILED,
+                   FLOW_FINISHED, FLOW_STARTED, NODE_READY,
+                   PROCESS_EXECUTOR, RUN_SPAN, TASK_SPAN, TOOL_FINISHED,
+                   TOOL_INVOKED, TOOL_QUARANTINED, TOOL_RETRIED,
+                   TOOL_SPAN, TOOL_TIMED_OUT, WAVE_SPAN, EventBus,
+                   NO_OP_TRACER, RunLedger, Tracer)
+from .cache import (CACHE_OFF, CACHE_READWRITE, CACHE_REUSE,
+                    DerivationCache, normalize_policy)
+from .encapsulation import (EncapsulationRegistry, ToolContext,
+                            fingerprint_callable)
+from .executor import (CachedInvocation, ExecutionReport, FlowExecutor,
+                       InvocationResult, _combinations,
+                       _derivation_inputs, _normalize_result)
+from .faults import FaultPlan, FaultSpec, run_with_fault
+from .resilience import (QUARANTINED, TRANSIENT, CallStats,
+                         ResiliencePolicy, annotate_error)
+from .scheduler import (DurationModel, _InvocationNode,
+                        _invocation_graph, _tool_type_of)
+
+DEFAULT_BATCH_MAX = 4
+
+
+# ---------------------------------------------------------------------------
+# the wire format: what crosses the process boundary
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class InvocationEnvelope:
+    """One tool (or composition) call, serialized for a worker.
+
+    Everything a worker needs is resolved coordinator-side into plain
+    picklable values; the one exception is the encapsulation itself,
+    which the worker re-resolves from its fork-inherited registry and
+    verifies against ``fingerprint`` — the envelope names *code by
+    content*, it never ships code.
+    """
+
+    envelope_id: int
+    #: ``"tool"`` or ``"compose"``.
+    kind: str
+    #: Entity type of the tool node (tool) or composed data (compose).
+    tool_type: str
+    tool_instance_id: str | None
+    tool_data: Any
+    #: sha256 fingerprint of the encapsulation/composition callable the
+    #: coordinator keyed the derivation on; the worker refuses to run
+    #: different code under the same envelope.
+    fingerprint: str
+    output_types: tuple[str, ...]
+    #: ``(role, payload)`` pairs; a payload is one design datum or (for
+    #: batch encapsulations) a list of them.
+    inputs: tuple[tuple[str, Any], ...]
+    #: ``(role, instance_id)`` provenance of each input, for debugging
+    #: and worker-side error messages — never re-resolved remotely.
+    input_digests: tuple[tuple[str, str], ...]
+    user: str
+    #: Scripted fault to fire *inside* the worker (drawn by the
+    #: coordinator, where the plan's counters live), or None.
+    fault: FaultSpec | None = None
+
+
+@dataclass(frozen=True)
+class EnvelopeOutcome:
+    """What came back: a tool result or a transportable error triple."""
+
+    envelope_id: int
+    ok: bool
+    value: Any = None
+    #: Tool run time measured inside the worker — excludes dispatch,
+    #: pickling and queueing, so durations stay comparable with the
+    #: in-process executors.
+    duration: float = 0.0
+    worker: str = ""
+    pid: int = 0
+    error_class: str = ""
+    error_message: str = ""
+    error_module: str = ""
+
+
+def _decode_error(outcome: EnvelopeOutcome) -> BaseException:
+    """Reconstruct a worker-reported error on the coordinator.
+
+    Exceptions cross the pipe as ``(module, class, message)`` strings —
+    arbitrary exception objects may not pickle, strings always do.
+    Framework errors rebuild as their real types (so transient vs
+    permanent classification survives the hop); anything unknown
+    becomes a permanent :class:`~repro.errors.ToolError`.
+    """
+    from .. import errors as errors_module
+    cls: Any = getattr(errors_module, outcome.error_class, None)
+    if cls is None:
+        cls = getattr(builtins, outcome.error_class, None)
+    if isinstance(cls, type) and issubclass(cls, BaseException):
+        try:
+            return cls(outcome.error_message)
+        except Exception:  # noqa: BLE001 - odd constructor signature
+            pass
+    return ToolError(
+        f"{outcome.error_class}: {outcome.error_message} "
+        f"(raised in worker {outcome.worker or '?'})")
+
+
+# ---------------------------------------------------------------------------
+# worker side (runs in the forked child)
+# ---------------------------------------------------------------------------
+def _run_envelope(registry: EncapsulationRegistry,
+                  envelope: InvocationEnvelope,
+                  worker: str) -> EnvelopeOutcome:
+    started = time.perf_counter()
+    try:
+        inputs = {role: payload for role, payload in envelope.inputs}
+        if envelope.kind == "compose":
+            compose = registry.composition(envelope.tool_type)
+            if fingerprint_callable(compose) != envelope.fingerprint:
+                raise ExecutionError(
+                    f"composition for {envelope.tool_type!r} changed "
+                    "between dispatch and execution (fingerprint "
+                    "mismatch)")
+            value = run_with_fault(envelope.fault,
+                                   lambda: compose(inputs))
+        else:
+            enc = registry.resolve(envelope.tool_type,
+                                   envelope.tool_instance_id)
+            if enc.fingerprint() != envelope.fingerprint:
+                raise ExecutionError(
+                    f"encapsulation {enc.name!r} changed between "
+                    "dispatch and execution (fingerprint mismatch)")
+            ctx = ToolContext(
+                tool_type=envelope.tool_type,
+                tool_instance_id=envelope.tool_instance_id or "",
+                tool_data=envelope.tool_data,
+                output_types=envelope.output_types,
+                options=enc.options(),
+                user=envelope.user)
+            value = run_with_fault(envelope.fault,
+                                   lambda: enc.run(ctx, inputs))
+    except BaseException as error:  # transported, never fatal here
+        return EnvelopeOutcome(
+            envelope_id=envelope.envelope_id, ok=False,
+            duration=time.perf_counter() - started, worker=worker,
+            pid=os.getpid(), error_class=type(error).__name__,
+            error_message=str(error),
+            error_module=type(error).__module__)
+    return EnvelopeOutcome(
+        envelope_id=envelope.envelope_id, ok=True, value=value,
+        duration=time.perf_counter() - started, worker=worker,
+        pid=os.getpid())
+
+
+def _worker_main(conn: multiprocessing.connection.Connection,
+                 registry: EncapsulationRegistry, worker: str) -> None:
+    """Worker loop: receive envelope batches, send outcome batches.
+
+    ``None`` is the shutdown sentinel; a broken pipe means the
+    coordinator is gone and the worker simply exits.
+    """
+    while True:
+        try:
+            batch = conn.recv()
+        except (EOFError, OSError):
+            return
+        if batch is None:
+            return
+        replies = [_run_envelope(registry, envelope, worker)
+                   for envelope in batch]
+        try:
+            conn.send(replies)
+        except Exception as error:  # unpicklable tool result
+            conn.send([
+                EnvelopeOutcome(
+                    envelope_id=reply.envelope_id, ok=False,
+                    duration=reply.duration, worker=worker,
+                    pid=os.getpid(),
+                    error_class="ExecutionError",
+                    error_message=(
+                        "tool result could not cross the process "
+                        f"boundary: {error}"),
+                    error_module="repro.errors")
+                for reply in replies])
+
+
+class _WorkerHandle:
+    """One worker process plus its pipe, owned by one coordinator lane.
+
+    Dedicated ``Process`` + ``Pipe`` pairs (rather than a shared
+    ``concurrent.futures`` pool) exist precisely so one hung worker can
+    be killed and respawned without disturbing the others — the
+    process-level analogue of abandoning a watchdogged thread.
+    """
+
+    def __init__(self, name: str, registry: EncapsulationRegistry,
+                 context) -> None:
+        self.name = name
+        self.registry = registry
+        self.context = context
+        self.restarts = 0
+        self.process: Any = None
+        self.conn: Any = None
+
+    def start(self) -> None:
+        parent, child = self.context.Pipe()
+        self.process = self.context.Process(
+            target=_worker_main, args=(child, self.registry, self.name),
+            name=f"repro-{self.name}", daemon=True)
+        self.process.start()
+        child.close()
+        self.conn = parent
+
+    def respawn(self) -> None:
+        """Kill the current process (if any) and fork a fresh one."""
+        if self.process is not None and self.process.is_alive():
+            self.process.kill()
+            self.process.join()
+        if self.conn is not None:
+            self.conn.close()
+        self.restarts += 1
+        self.start()
+
+    def call(self, batch: list[InvocationEnvelope],
+             timeout: float | None) -> list[EnvelopeOutcome]:
+        """One round trip; on trouble the worker is replaced first.
+
+        * broken pipe on send -> the worker died between rounds:
+          respawn, raise transient;
+        * no reply within ``timeout`` -> the worker is wedged (a real
+          hang, not a slow scheduler): **kill it**, respawn, raise
+          :class:`~repro.errors.InvocationTimeoutError` (transient, so
+          the retry budget applies);
+        * EOF on receive -> the worker crashed mid-call: respawn,
+          raise transient.
+        """
+        try:
+            self.conn.send(batch)
+        except (BrokenPipeError, OSError):
+            self.respawn()
+            raise TransientToolError(
+                f"worker {self.name} was gone before dispatch; "
+                "respawned")
+        if timeout is not None and timeout > 0:
+            if not self.conn.poll(timeout):
+                self.respawn()
+                raise InvocationTimeoutError(
+                    f"worker {self.name} exceeded its {timeout:g}s "
+                    "watchdog budget; process killed and respawned")
+        try:
+            return self.conn.recv()
+        except (EOFError, OSError):
+            self.respawn()
+            raise TransientToolError(
+                f"worker {self.name} died mid-invocation "
+                "(exit code suggests a crash); respawned")
+
+    def stop(self) -> None:
+        if self.conn is not None:
+            try:
+                self.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        if self.process is not None:
+            self.process.join(timeout=2.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join()
+        if self.conn is not None:
+            self.conn.close()
+
+
+# ---------------------------------------------------------------------------
+# coordinator-side bookkeeping
+# ---------------------------------------------------------------------------
+@dataclass
+class _Unit:
+    """One cold tool/composition call of one invocation."""
+
+    envelope: InvocationEnvelope
+    tool_id: str | None
+    record_inputs: tuple[tuple[str, str], ...]
+    combo: dict[str, Any]
+    cache_key: str | None
+    node_label: str
+    #: Tool type as events/policy see it (COMPOSE_TOOL for compose).
+    event_tool_type: str
+    stats: CallStats = field(default_factory=lambda: CallStats(attempts=0))
+    outcome: EnvelopeOutcome | None = None
+    error: BaseException | None = None
+    #: Tool time of earlier units in the same worker round trip: a
+    #: batched unit waits this long after dispatch before its tool
+    #: starts, so it counts toward queue wait, not duration.
+    batch_offset: float = 0.0
+
+
+@dataclass
+class _Prepared:
+    """One claimed invocation, after cache lookups, before dispatch."""
+
+    index: int
+    invocation: TaskInvocation
+    tool_type: str | None
+    event_tool_type: str
+    output_nodes: list[Any]
+    output_types: tuple[str, ...]
+    queue_wait: float
+    wave: int | None
+    units: list[_Unit] = field(default_factory=list)
+    tool_ids: tuple[str, ...] = ()
+    encapsulation_name: str = ""
+    invocation_id: str | None = None
+    hits: int = 0
+    saved: float = 0.0
+    bytes_saved: int = 0
+    reused_all: list[str] = field(default_factory=list)
+    reused_by_node: dict[str, list[str]] = field(default_factory=dict)
+
+
+class ProcessFlowExecutor:
+    """Executes one flow on a pool of real worker processes.
+
+    The coordinator mirrors the invocation-level scheduler: one lane
+    thread per worker process claims ready invocations from a shared
+    deque (work-stealing), batches same-tool-type claims onto one
+    round trip, and records all results into the (single-process)
+    history database.  Requires the ``fork`` start method — the tool
+    registry holds closures only a forked child can inherit.
+    """
+
+    def __init__(self, db: HistoryDatabase,
+                 registry: EncapsulationRegistry, *, user: str = "",
+                 workers: int = 2, batch_max: int = DEFAULT_BATCH_MAX,
+                 durations: DurationModel | None = None,
+                 bus: EventBus | None = None,
+                 cache: DerivationCache | None = None,
+                 cache_policy: str = CACHE_OFF,
+                 tracer: Tracer | None = None,
+                 ledger: RunLedger | None = None,
+                 resilience: ResiliencePolicy | None = None,
+                 faults: FaultPlan | None = None) -> None:
+        if workers < 1:
+            raise ExecutionError(
+                f"need at least one worker process, got {workers}")
+        if batch_max < 1:
+            raise ExecutionError(
+                f"batch_max must be >= 1, got {batch_max}")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ExecutionError(
+                "the procpool executor requires the 'fork' start "
+                "method (tool encapsulations hold closures that "
+                "cannot be pickled to a spawned worker); this "
+                "platform offers only: "
+                + ", ".join(multiprocessing.get_all_start_methods()))
+        self.db = db
+        self.registry = registry
+        self.user = user
+        self.workers = workers
+        self.batch_max = batch_max
+        self.tracer = tracer if tracer is not None else NO_OP_TRACER
+        # Shared across every lane: one breaker, one fault counter
+        # sequence, no matter which worker runs an invocation.
+        self.resilience = resilience
+        self.faults = faults
+        self.cache = cache
+        self.cache_policy = normalize_policy(
+            cache_policy if cache is not None else CACHE_OFF)
+        self.ledger = ledger
+        self.durations = durations if durations is not None \
+            else DurationModel()
+        self.bus = bus if bus is not None else EventBus()
+        self.bus.subscribe(self.durations)
+        self._context = multiprocessing.get_context("fork")
+        self._db_lock = threading.Lock()
+        self._envelope_ids = itertools.count(1)
+        self._force = False
+
+    # ------------------------------------------------------------------
+    # cache plumbing (mirrors FlowExecutor)
+    # ------------------------------------------------------------------
+    def _cache_for_run(self) -> DerivationCache | None:
+        if self.cache is None or self.cache_policy == CACHE_OFF:
+            return None
+        return self.cache
+
+    @property
+    def _cache_reads(self) -> bool:
+        return self.cache_policy in (CACHE_REUSE, CACHE_READWRITE) \
+            and not self._force
+
+    @property
+    def _cache_writes(self) -> bool:
+        return self.cache_policy == CACHE_READWRITE
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def execute(self, flow: TaskGraph | DynamicFlow, *,
+                force: bool = False,
+                cache: str | None = None) -> ExecutionReport:
+        if cache is not None:
+            if self.cache is None and normalize_policy(cache) != CACHE_OFF:
+                raise ExecutionError(
+                    f"cache policy {cache!r} requires a DerivationCache")
+            self.cache_policy = normalize_policy(cache)
+        graph = flow.graph if isinstance(flow, DynamicFlow) else flow
+        graph.validate()
+        started = time.perf_counter()
+        nodes = _invocation_graph(graph, None, self.durations,
+                                  _tool_type_of(graph))
+        report = ExecutionReport(graph.name)
+        if not nodes:
+            return report
+        self.bus.emit(FLOW_STARTED, flow=graph.name,
+                      payload={"scheduler": "procpool",
+                               "workers": self.workers,
+                               "invocations": len(nodes)})
+        # Readiness checks, degrade bookkeeping and failure entries are
+        # borrowed from the sequential executor; it never runs a tool.
+        probe = FlowExecutor(self.db, self.registry, user=self.user,
+                             machine="coordinator", lock=self._db_lock,
+                             resilience=self.resilience)
+        probe._check_ready(graph, set(graph.node_ids()))
+        if force:
+            for node_id in graph.node_ids():
+                if graph.suppliers(node_id):
+                    graph.node(node_id).produced = ()
+        self._force = force
+
+        # dependency depth of each invocation: its scheduler "wave"
+        wave: dict[int, int] = {}
+        for node in nodes:
+            chain = [node.index]
+            while chain:
+                index = chain[-1]
+                missing = [p for p in nodes[index].predecessors
+                           if p not in wave]
+                if missing:
+                    chain.extend(missing)
+                    continue
+                chain.pop()
+                wave[index] = 1 + max(
+                    (wave[p] for p in nodes[index].predecessors),
+                    default=-1)
+
+        run_span = None
+        run_ctx = None
+        if self.tracer.enabled:
+            run_span = self.tracer.start_span(
+                f"run:{graph.name}", RUN_SPAN,
+                attributes={"flow": graph.name,
+                            "scheduler": "procpool",
+                            "workers": self.workers,
+                            "invocations": len(nodes),
+                            "cache": self.cache_policy})
+            run_ctx = run_span.context
+
+        # Fork the whole pool BEFORE any lane thread exists: forking a
+        # single-threaded coordinator is safe; forking one with live
+        # lanes would snapshot their lock states into the child.
+        handles = [_WorkerHandle(f"worker{i}", self.registry,
+                                 self._context)
+                   for i in range(self.workers)]
+        for handle in handles:
+            handle.start()
+
+        pending = {n.index: len(n.predecessors) for n in nodes}
+        condition = threading.Condition()
+        ready = [n.index for n in nodes if not n.predecessors]
+        ready_at = {index: time.perf_counter() for index in ready}
+        done: set[int] = set()
+        errors: list[BaseException] = []
+        failed_nodes: set[str] = set()
+        report_lock = threading.Lock()
+
+        def lane(handle: _WorkerHandle) -> None:
+            with self.tracer.activate(run_ctx), self.tracer.span(
+                    f"lane:{handle.name}", WAVE_SPAN,
+                    attributes={"flow": graph.name,
+                                "machine": handle.name}) as lane_span:
+                executed = self._drain(
+                    graph, nodes, handle, probe, force, condition,
+                    pending, ready, ready_at, done, errors, report,
+                    report_lock, wave, failed_nodes)
+                lane_span.set(invocations=executed,
+                              restarts=handle.restarts)
+
+        try:
+            threads = [threading.Thread(target=lane, args=(handle,),
+                                        name=f"repro-lane-{handle.name}")
+                       for handle in handles]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            for handle in handles:
+                handle.stop()
+        try:
+            if errors:
+                self.bus.emit(EXECUTION_FAILED, flow=graph.name,
+                              payload={"error": str(errors[0])})
+                if run_span is not None:
+                    run_span.status = \
+                        f"error:{type(errors[0]).__name__}"
+                report.wall_time = time.perf_counter() - started
+                self._ledger_record(report, run_span, errors[0])
+                raise errors[0]
+            if self.resilience is not None:
+                report.quarantined = sorted(
+                    set(report.quarantined)
+                    | set(self.resilience.quarantined()))
+            report.wall_time = time.perf_counter() - started
+            if run_span is not None:
+                run_span.set(runs=report.runs,
+                             created=len(report.created),
+                             cache_hits=report.cache_hits,
+                             queue_wait=round(report.queue_wait_time, 6),
+                             restarts=sum(h.restarts for h in handles))
+        finally:
+            if run_span is not None:
+                self.tracer.finish(run_span)
+        self.bus.emit(FLOW_FINISHED, flow=graph.name,
+                      duration=report.wall_time,
+                      payload={"serial_time": report.serial_time,
+                               "speedup": round(report.speedup, 3),
+                               "runs": report.runs,
+                               "cache_hits": report.cache_hits,
+                               "queue_wait": round(
+                                   report.queue_wait_time, 6)})
+        self._ledger_record(report, run_span)
+        return report
+
+    def _ledger_record(self, report: ExecutionReport, run_span,
+                       error: BaseException | None = None) -> None:
+        if self.ledger is None:
+            return
+        self.ledger.record_run(
+            report, executor=PROCESS_EXECUTOR,
+            cache_policy=self.cache_policy,
+            trace_id=run_span.trace_id if run_span is not None else "",
+            error=error)
+
+    # ------------------------------------------------------------------
+    # lane loop: claim, batch, dispatch, record
+    # ------------------------------------------------------------------
+    def _batchable(self, tool_type: str | None) -> bool:
+        """Same-tool-type claims may share one worker round trip —
+        unless a watchdog budget applies, which is per invocation."""
+        if self.batch_max < 2:
+            return False
+        if self.resilience is None:
+            return True
+        rule = self.resilience.rule_for(tool_type or COMPOSE_TOOL)
+        return rule.timeout is None
+
+    def _drain(self, graph: TaskGraph, nodes: list[_InvocationNode],
+               handle: _WorkerHandle, probe: FlowExecutor, force: bool,
+               condition: threading.Condition, pending: dict[int, int],
+               ready: list[int], ready_at: dict[int, float],
+               done: set[int], errors: list[BaseException],
+               report: ExecutionReport, report_lock: threading.Lock,
+               wave: dict[int, int], failed_nodes: set[str]) -> int:
+        degrade = (self.resilience is not None
+                   and self.resilience.degrade)
+        executed = 0
+        while True:
+            with condition:
+                while not ready and len(done) < len(nodes) \
+                        and not errors:
+                    condition.wait()
+                if errors or len(done) >= len(nodes):
+                    return executed
+                claimed = [ready.pop(0)]
+                tool_type = nodes[claimed[0]].tool_type
+                # Batch greed is capped at this lane's fair share of
+                # the ready set: amortize round trips only when there
+                # is more ready work than workers — otherwise batching
+                # would serialize exactly the parallelism it exists to
+                # exploit.
+                share = -(-(len(ready) + 1) // self.workers)
+                limit = min(self.batch_max, max(1, share))
+                if self._batchable(tool_type):
+                    position = 0
+                    while position < len(ready) \
+                            and len(claimed) < limit:
+                        if nodes[ready[position]].tool_type == tool_type:
+                            claimed.append(ready.pop(position))
+                        else:
+                            position += 1
+            # Queue-wait semantics (deliberately different from the
+            # thread scheduler, which measures at claim time *inside*
+            # the condition lock): the wait ends when the coordinator
+            # actually starts dispatching, measured on the coordinator
+            # clock after the lock is released — lock contention counts
+            # as waiting, it is not silently hidden inside it.
+            dispatch_at = time.perf_counter()
+            queue_waits = {
+                index: max(0.0, dispatch_at
+                           - ready_at.get(index, dispatch_at))
+                for index in claimed}
+            aborted = self._execute_batch(
+                graph, nodes, handle, probe, force, claimed,
+                queue_waits, wave, degrade, report, report_lock,
+                errors, condition, failed_nodes)
+            executed += len(claimed)
+            with condition:
+                now = time.perf_counter()
+                for index in claimed:
+                    done.add(index)
+                    for successor in nodes[index].successors:
+                        pending[successor] -= 1
+                        if pending[successor] == 0:
+                            ready.append(successor)
+                            ready_at[successor] = now
+                condition.notify_all()
+                if aborted:
+                    condition.notify_all()
+                    return executed
+
+    def _execute_batch(self, graph: TaskGraph,
+                       nodes: list[_InvocationNode],
+                       handle: _WorkerHandle, probe: FlowExecutor,
+                       force: bool, claimed: list[int],
+                       queue_waits: dict[int, float],
+                       wave: dict[int, int], degrade: bool,
+                       report: ExecutionReport,
+                       report_lock: threading.Lock,
+                       errors: list[BaseException],
+                       condition: threading.Condition,
+                       failed_nodes: set[str]) -> bool:
+        """Prepare, dispatch and record one claimed batch.
+
+        Returns True when a non-degradable error aborted the run (the
+        caller still marks the claimed invocations done so the other
+        lanes wake up and observe ``errors``).
+        """
+
+        def fail(index: int, error: BaseException) -> bool:
+            """Route one invocation's failure; True means abort."""
+            invocation = nodes[index].invocation
+            if not degrade:
+                with condition:
+                    errors.append(error)
+                    condition.notify_all()
+                return True
+            with report_lock:
+                report.failures.append(probe._failure_entry(
+                    error, invocation.outputs))
+                failed_nodes.update(invocation.outputs)
+            self.bus.emit(EXECUTION_FAILED, flow=graph.name,
+                          node=",".join(invocation.outputs),
+                          machine=handle.name,
+                          payload={"error": str(error),
+                                   "degraded": True})
+            return False
+
+        prepared: list[_Prepared] = []
+        for index in claimed:
+            invocation = nodes[index].invocation
+            outputs = [graph.node(o) for o in invocation.outputs]
+            if degrade:
+                with report_lock:
+                    if probe._record_upstream_failure(
+                            graph, invocation, report, failed_nodes):
+                        continue
+            if not force and all(o.results() for o in outputs):
+                with report_lock:
+                    report.skipped.extend(invocation.outputs)
+                continue
+            try:
+                prepared.append(self._prepare(
+                    graph, nodes[index], handle, queue_waits[index],
+                    wave.get(index)))
+            except BaseException as error:
+                if fail(index, error):
+                    return True
+        units = [unit for prep in prepared for unit in prep.units]
+        if units:
+            self._dispatch(graph, handle, units)
+        for prep in prepared:
+            try:
+                result, cached = self._record(graph, prep, handle)
+            except BaseException as error:
+                if fail(prep.index, error):
+                    return True
+                continue
+            with report_lock:
+                if result is not None:
+                    report.results.append(result)
+                if cached is not None:
+                    report.cached.append(cached)
+        return False
+
+    # ------------------------------------------------------------------
+    # prepare: cache lookups + envelope construction (coordinator side)
+    # ------------------------------------------------------------------
+    def _next_fault(self, event_tool_type: str) -> FaultSpec | None:
+        if self.faults is None:
+            return None
+        return self.faults.next_fault(event_tool_type)
+
+    def _check_quarantine(self, tool_type: str) -> None:
+        """Fail fast before building envelopes, like the policy does."""
+        policy = self.resilience
+        if policy is None or not policy.breaker.is_open(tool_type):
+            return
+        raise annotate_error(
+            ToolQuarantinedError(
+                f"tool type {tool_type!r} is quarantined after "
+                f"{policy.breaker.failures(tool_type)} consecutive "
+                "failures"),
+            tool_type=tool_type, classification=QUARANTINED,
+            attempts=0, retries=0, timeouts=0)
+
+    def _prepare(self, graph: TaskGraph, inv_node: _InvocationNode,
+                 handle: _WorkerHandle, queue_wait: float,
+                 wave_index: int | None) -> _Prepared:
+        invocation = inv_node.invocation
+        output_nodes = [graph.node(o) for o in invocation.outputs]
+        output_types = tuple(n.entity_type for n in output_nodes)
+        emitting = self.bus.enabled
+        if emitting:
+            for node in output_nodes:
+                self.bus.emit(NODE_READY, flow=graph.name,
+                              node=node.node_id, machine=handle.name,
+                              payload={"entity_type": node.entity_type})
+        role_ids: dict[str, tuple[str, ...]] = {}
+        for role, supplier_id in invocation.inputs:
+            supplier = graph.node(supplier_id)
+            ids = supplier.results()
+            if not ids:
+                raise ExecutionError(
+                    f"{supplier}: no instances available for role "
+                    f"{role!r}")
+            role_ids[role] = ids
+        event_tool_type = (
+            graph.node(invocation.tool_node).entity_type
+            if invocation.tool_node is not None else COMPOSE_TOOL)
+        if emitting:
+            self.bus.emit(TOOL_INVOKED, flow=graph.name,
+                          node=",".join(invocation.outputs),
+                          tool_type=event_tool_type,
+                          machine=handle.name,
+                          payload={"roles": sorted(role_ids)})
+        self._check_quarantine(event_tool_type)
+        prep = _Prepared(
+            index=inv_node.index, invocation=invocation,
+            tool_type=inv_node.tool_type,
+            event_tool_type=event_tool_type,
+            output_nodes=output_nodes, output_types=output_types,
+            queue_wait=queue_wait, wave=wave_index,
+            reused_by_node={n.node_id: [] for n in output_nodes})
+        if invocation.tool_node is None:
+            self._prepare_compose(graph, prep, handle, role_ids)
+        else:
+            self._prepare_tool(graph, prep, handle, role_ids)
+        return prep
+
+    def _take_hit(self, graph: TaskGraph, prep: _Prepared, hit,
+                  handle: _WorkerHandle) -> None:
+        grouped = hit.ids_by_type()
+        for node in prep.output_nodes:
+            ids = grouped.get(node.entity_type, [])
+            instance_id = ids.pop(0) if ids else hit.instance_ids[0]
+            prep.reused_by_node[node.node_id].append(instance_id)
+            prep.reused_all.append(instance_id)
+        prep.hits += 1
+        prep.saved += hit.saved
+        prep.bytes_saved += hit.bytes_saved
+        if self.bus.enabled:
+            self.bus.emit(CACHE_HIT, flow=graph.name,
+                          node=",".join(prep.invocation.outputs),
+                          tool_type=prep.event_tool_type,
+                          machine=handle.name,
+                          payload={"instances": list(hit.instance_ids),
+                                   "saved": hit.saved,
+                                   "bytes": hit.bytes_saved,
+                                   "key": hit.key[:16]})
+
+    def _emit_miss(self, graph: TaskGraph, prep: _Prepared, key: str,
+                   handle: _WorkerHandle) -> None:
+        if self.bus.enabled:
+            self.bus.emit(CACHE_MISS, flow=graph.name,
+                          node=",".join(prep.invocation.outputs),
+                          tool_type=prep.event_tool_type,
+                          machine=handle.name,
+                          payload={"key": key[:16]})
+
+    def _prepare_tool(self, graph: TaskGraph, prep: _Prepared,
+                      handle: _WorkerHandle,
+                      role_ids: dict[str, tuple[str, ...]]) -> None:
+        invocation = prep.invocation
+        tool_node = graph.node(invocation.tool_node)
+        tool_ids = tool_node.results()
+        if not tool_ids:
+            raise ExecutionError(
+                f"{tool_node}: no tool instance available")
+        prep.tool_ids = tuple(tool_ids)
+        cache = self._cache_for_run()
+        tool_type = tool_node.entity_type
+        for tool_id in tool_ids:
+            with self._db_lock:
+                tool_instance = self.db.get(tool_id)
+                tool_data = self.db.data(tool_instance)
+            enc = self.registry.resolve(tool_instance.entity_type,
+                                        tool_id)
+            prep.encapsulation_name = enc.name
+            if enc.batch:
+                combos: list[dict[str, Any]] = [
+                    {role: list(ids) for role, ids in role_ids.items()}]
+            else:
+                combos = list(_combinations(role_ids))
+            for combo in combos:
+                key = None
+                if cache is not None:
+                    key = cache.tool_run_key(
+                        tool_id, combo, sorted(set(prep.output_types)))
+                    if self._cache_reads:
+                        with self.tracer.span(
+                                f"cache:{tool_type}", CACHE_SPAN,
+                                attributes={"key": key[:16],
+                                            "tool": tool_id}) as lookup:
+                            hit = cache.fetch(
+                                key, sorted(set(prep.output_types)))
+                            lookup.set(outcome="hit" if hit is not None
+                                       else "miss")
+                        if hit is not None:
+                            self._take_hit(graph, prep, hit, handle)
+                            continue
+                        self._emit_miss(graph, prep, key, handle)
+                with self._db_lock:
+                    if prep.invocation_id is None:
+                        prep.invocation_id = self.db.new_invocation_id()
+                    inputs = tuple(
+                        (role, [self.db.data(r) for r in ref]
+                         if isinstance(ref, list)
+                         else self.db.data(ref))
+                        for role, ref in sorted(combo.items()))
+                prep.units.append(_Unit(
+                    envelope=InvocationEnvelope(
+                        envelope_id=next(self._envelope_ids),
+                        kind="tool", tool_type=tool_type,
+                        tool_instance_id=tool_id, tool_data=tool_data,
+                        fingerprint=enc.fingerprint(),
+                        output_types=prep.output_types, inputs=inputs,
+                        input_digests=_derivation_inputs(combo),
+                        user=self.user,
+                        fault=self._next_fault(tool_type)),
+                    tool_id=tool_id,
+                    record_inputs=_derivation_inputs(combo),
+                    combo=dict(combo), cache_key=key,
+                    node_label=",".join(invocation.outputs),
+                    event_tool_type=tool_type))
+
+    def _prepare_compose(self, graph: TaskGraph, prep: _Prepared,
+                         handle: _WorkerHandle,
+                         role_ids: dict[str, tuple[str, ...]]) -> None:
+        node = prep.output_nodes[0]
+        compose = self.registry.composition(node.entity_type)
+        prep.encapsulation_name = f"compose:{node.entity_type}"
+        cache = self._cache_for_run()
+        for combo in _combinations(role_ids):
+            key = None
+            if cache is not None:
+                key = cache.composition_key(node.entity_type, combo)
+                if self._cache_reads:
+                    with self.tracer.span(
+                            f"cache:{node.entity_type}", CACHE_SPAN,
+                            attributes={"key": key[:16]}) as lookup:
+                        hit = cache.fetch(key, (node.entity_type,))
+                        lookup.set(outcome="hit" if hit is not None
+                                   else "miss")
+                    if hit is not None:
+                        self._take_hit(graph, prep, hit, handle)
+                        continue
+                    self._emit_miss(graph, prep, key, handle)
+            with self._db_lock:
+                if prep.invocation_id is None:
+                    prep.invocation_id = self.db.new_invocation_id()
+                inputs = tuple((role, self.db.data(ref))
+                               for role, ref in sorted(combo.items()))
+            prep.units.append(_Unit(
+                envelope=InvocationEnvelope(
+                    envelope_id=next(self._envelope_ids),
+                    kind="compose", tool_type=node.entity_type,
+                    tool_instance_id=None, tool_data=None,
+                    fingerprint=fingerprint_callable(compose),
+                    output_types=(node.entity_type,), inputs=inputs,
+                    input_digests=_derivation_inputs(combo),
+                    user=self.user,
+                    fault=self._next_fault(COMPOSE_TOOL)),
+                tool_id=None, record_inputs=_derivation_inputs(combo),
+                combo=dict(combo), cache_key=key,
+                node_label=",".join(prep.invocation.outputs),
+                event_tool_type=COMPOSE_TOOL))
+
+    # ------------------------------------------------------------------
+    # dispatch: worker round trips with retry / watchdog / breaker
+    # ------------------------------------------------------------------
+    def _dispatch(self, graph: TaskGraph, handle: _WorkerHandle,
+                  units: list[_Unit]) -> None:
+        """Run every unit to a final outcome (success or final error).
+
+        Reimplements :meth:`ResiliencePolicy.run`'s loop for the
+        process boundary: the watchdog is the coordinator polling the
+        pipe (and killing the worker on expiry) instead of a daemon
+        thread, and a retried unit's envelope is re-enqueued with a
+        freshly drawn fault so the plan's per-attempt counting holds.
+        """
+        policy = self.resilience
+        emitting = self.bus.enabled
+        pending = list(units)
+        while pending:
+            current, pending = pending, []
+            # Per-unit watchdog budgets force one-envelope round trips;
+            # unbounded units of one batch share a single trip.
+            groups: list[list[_Unit]] = []
+            for unit in current:
+                timeout = self._timeout_for(unit)
+                if timeout is not None or not groups \
+                        or self._timeout_for(groups[-1][0]) is not None:
+                    groups.append([unit])
+                else:
+                    groups[-1].append(unit)
+            for group in groups:
+                # Dispatch-time breaker check: a batch-mate (or an
+                # earlier group) may have opened the quarantine after
+                # this unit was prepared.  The fail-fast mirrors
+                # :meth:`ResiliencePolicy.run`'s pre-check — attempts
+                # stay 0 and the breaker does NOT count it as another
+                # failure.
+                if policy is not None and policy.breaker.is_open(
+                        group[0].event_tool_type):
+                    for unit in group:
+                        unit.error = self._quarantined_error(
+                            unit.event_tool_type)
+                    continue
+                timeout = self._timeout_for(group[0])
+                for unit in group:
+                    unit.stats.attempts += 1
+                try:
+                    outcomes = handle.call(
+                        [unit.envelope for unit in group], timeout)
+                except BaseException as error:
+                    # transport-level failure: the whole round is one
+                    # failed attempt for every unit aboard
+                    is_timeout = isinstance(error,
+                                            InvocationTimeoutError)
+                    for unit in group:
+                        if is_timeout:
+                            unit.stats.timeouts += 1
+                            if emitting:
+                                self.bus.emit(
+                                    TOOL_TIMED_OUT, flow=graph.name,
+                                    node=unit.node_label,
+                                    tool_type=unit.event_tool_type,
+                                    machine=handle.name,
+                                    payload={
+                                        "attempt": unit.stats.attempts,
+                                        "budget": timeout or 0.0})
+                        self._settle(graph, handle, unit, error,
+                                     pending)
+                    continue
+                by_id = {outcome.envelope_id: outcome
+                         for outcome in outcomes}
+                # A worker runs its batch serially: unit K's tool only
+                # starts after units 0..K-1 finished, so their summed
+                # tool time is queue wait from unit K's point of view.
+                elapsed = 0.0
+                for unit in group:
+                    unit.batch_offset = elapsed
+                    got = by_id.get(unit.envelope.envelope_id)
+                    if got is not None:
+                        elapsed += got.duration
+                for unit in group:
+                    outcome = by_id.get(unit.envelope.envelope_id)
+                    if outcome is None:
+                        self._settle(
+                            graph, handle, unit,
+                            TransientToolError(
+                                f"worker {handle.name} returned no "
+                                "outcome for envelope "
+                                f"{unit.envelope.envelope_id}"),
+                            pending)
+                        continue
+                    if outcome.ok:
+                        unit.outcome = outcome
+                        if policy is not None:
+                            policy.breaker.record_success(
+                                unit.event_tool_type)
+                        continue
+                    self._settle(graph, handle, unit,
+                                 _decode_error(outcome), pending,
+                                 duration=outcome.duration)
+
+    def _timeout_for(self, unit: _Unit) -> float | None:
+        if self.resilience is None:
+            return None
+        timeout = self.resilience.rule_for(unit.event_tool_type).timeout
+        if timeout is None or timeout <= 0:
+            return None
+        return timeout
+
+    def _quarantined_error(self, tool_key: str) -> BaseException:
+        """The pre-check-shaped error for an already-open breaker."""
+        breaker = self.resilience.breaker
+        return annotate_error(
+            ToolQuarantinedError(
+                f"tool type {tool_key!r} is quarantined after "
+                f"{breaker.failures(tool_key)} consecutive failures"),
+            tool_type=tool_key, classification=QUARANTINED,
+            attempts=0, retries=0, timeouts=0)
+
+    def _settle(self, graph: TaskGraph, handle: _WorkerHandle,
+                unit: _Unit, error: BaseException,
+                pending: list[_Unit], duration: float = 0.0) -> None:
+        """Decide one failed attempt: re-enqueue or finalize."""
+        policy = self.resilience
+        emitting = self.bus.enabled
+        if policy is None:
+            unit.error = annotate_error(error,
+                                        tool_type=unit.event_tool_type)
+            return
+        if policy.breaker.is_open(unit.event_tool_type):
+            # A round-trip-mate already opened the quarantine: had the
+            # units run one at a time (as the in-process executors do)
+            # this one would have been refused at the pre-check, so its
+            # failure surfaces as quarantined and is not counted by the
+            # breaker again.
+            unit.error = self._quarantined_error(unit.event_tool_type)
+            return
+        classification = policy.classify(error)
+        rule = policy.rule_for(unit.event_tool_type)
+        exhausted = unit.stats.attempts > rule.retries
+        if classification != TRANSIENT or exhausted:
+            opened = policy.breaker.record_failure(unit.event_tool_type)
+            if opened and emitting:
+                self.bus.emit(
+                    TOOL_QUARANTINED, flow=graph.name,
+                    node=unit.node_label,
+                    tool_type=unit.event_tool_type,
+                    machine=handle.name,
+                    payload={"consecutive_failures":
+                             policy.breaker.failures(
+                                 unit.event_tool_type)})
+            unit.error = annotate_error(
+                error, tool_type=unit.event_tool_type,
+                classification=classification,
+                attempts=unit.stats.attempts,
+                retries=unit.stats.retries,
+                timeouts=unit.stats.timeouts)
+            return
+        delay = policy.backoff_delay(unit.event_tool_type,
+                                     unit.stats.attempts)
+        unit.stats.retries += 1
+        unit.stats.delays += (delay,)
+        if emitting:
+            self.bus.emit(
+                TOOL_RETRIED, flow=graph.name, node=unit.node_label,
+                tool_type=unit.event_tool_type, machine=handle.name,
+                payload={"attempt": unit.stats.attempts,
+                         "error": str(error),
+                         "error_class": type(error).__name__,
+                         "classification": classification,
+                         "delay": round(delay, 6)})
+        policy.sleep(delay)
+        # Per-attempt fault counting: the retried call is a fresh draw
+        # from the plan, exactly as the in-process boundary counts it.
+        unit.envelope = replace(
+            unit.envelope,
+            fault=self._next_fault(unit.event_tool_type))
+        pending.append(unit)
+
+    # ------------------------------------------------------------------
+    # record: history writes, spans and events (coordinator side)
+    # ------------------------------------------------------------------
+    def _record(self, graph: TaskGraph, prep: _Prepared,
+                handle: _WorkerHandle
+                ) -> tuple[InvocationResult | None,
+                           CachedInvocation | None]:
+        """Fold one invocation's outcomes into history + report.
+
+        Invocations fail atomically: if any unit ended in error,
+        nothing of the invocation is recorded and the (annotated)
+        error is raised — mirroring how the in-process executor never
+        records past the first failing combination.
+        """
+        invocation = prep.invocation
+        emitting = self.bus.enabled
+        # The invocation waited in the coordinator's ready queue AND
+        # (when batched) behind its round-trip-mates inside the worker.
+        if prep.units:
+            prep.queue_wait += min(u.batch_offset for u in prep.units)
+        attributes: dict[str, Any] = {
+            "flow": graph.name,
+            "machine": handle.name,
+            "outputs": sorted(invocation.outputs),
+            "inputs": sorted({supplier_id for _, supplier_id
+                              in invocation.inputs}),
+            "entity_types": sorted(set(prep.output_types)),
+            "tool_type": prep.event_tool_type,
+        }
+        if prep.wave is not None:
+            attributes["wave"] = prep.wave
+        if prep.queue_wait > 0:
+            attributes["queue_wait"] = round(prep.queue_wait, 6)
+        with self.tracer.span("task:" + ",".join(invocation.outputs),
+                              TASK_SPAN,
+                              attributes=attributes) as task_span:
+            failed = next((u for u in prep.units
+                           if u.error is not None), None)
+            if failed is not None:
+                raise failed.error
+            result, cached = self._record_units(graph, prep, handle,
+                                                task_span)
+        if result is not None and emitting:
+            payload: dict[str, Any] = {"runs": result.runs,
+                                       "created": list(result.created)}
+            if prep.queue_wait > 0:
+                payload["queue_wait"] = round(prep.queue_wait, 6)
+            self.bus.emit(
+                COMPOSITION_RUN if invocation.tool_node is None
+                else TOOL_FINISHED,
+                flow=graph.name, node=",".join(invocation.outputs),
+                tool_type=prep.event_tool_type,
+                invocation_id=result.invocation_id,
+                machine=handle.name, duration=result.duration,
+                payload=payload)
+        return result, cached
+
+    def _record_units(self, graph: TaskGraph, prep: _Prepared,
+                      handle: _WorkerHandle, task_span
+                      ) -> tuple[InvocationResult | None,
+                                 CachedInvocation | None]:
+        invocation = prep.invocation
+        cache = self._cache_for_run()
+        is_compose = invocation.tool_node is None
+        created_all: list[str] = []
+        outputs_by_node: dict[str, list[str]] = {
+            n.node_id: [] for n in prep.output_nodes}
+        duration = 0.0
+        retries = sum(u.stats.retries for u in prep.units)
+        timeouts = sum(u.stats.timeouts for u in prep.units)
+        for unit in prep.units:
+            outcome = unit.outcome
+            if outcome is None:  # defensive: dispatch settles all
+                raise ExecutionError(
+                    f"unit {unit.envelope.envelope_id} was never "
+                    "dispatched")
+            duration += outcome.duration
+            span_name = (f"compose:{prep.output_nodes[0].entity_type}"
+                         if is_compose
+                         else f"tool:{unit.event_tool_type}")
+            span_kind = COMPOSE_SPAN if is_compose else TOOL_SPAN
+            span_attrs: dict[str, Any] = {
+                "worker": outcome.worker or handle.name,
+                "worker_pid": outcome.pid,
+                "tool_duration": round(outcome.duration, 6)}
+            if is_compose:
+                span_attrs["entity_type"] = \
+                    prep.output_nodes[0].entity_type
+            else:
+                span_attrs["tool"] = unit.tool_id
+                span_attrs["tool_type"] = unit.event_tool_type
+                span_attrs["encapsulation"] = prep.encapsulation_name
+            with self.tracer.span(span_name, span_kind,
+                                  attributes=span_attrs) as tool_span:
+                if unit.stats.retries:
+                    tool_span.set(retries=unit.stats.retries)
+                if unit.stats.timeouts:
+                    tool_span.set(timeouts=unit.stats.timeouts)
+                if is_compose:
+                    produced = {prep.output_nodes[0].entity_type:
+                                outcome.value}
+                else:
+                    produced = _normalize_result(
+                        outcome.value, prep.output_types,
+                        prep.encapsulation_name)
+                combo_created: list[tuple[str, str]] = []
+                for node in prep.output_nodes:
+                    data = produced[node.entity_type]
+                    derivation = (
+                        DerivationRecord.make(None, unit.combo,
+                                              prep.invocation_id)
+                        if is_compose else
+                        DerivationRecord(unit.tool_id,
+                                         unit.record_inputs,
+                                         prep.invocation_id))
+                    with self._db_lock:
+                        instance = self.db.record(
+                            node.entity_type, data, derivation,
+                            user=self.user, name=node.label,
+                            annotations={"flow": graph.name,
+                                         "machine": handle.name},
+                            trace=tool_span.context)
+                    outputs_by_node[node.node_id].append(
+                        instance.instance_id)
+                    created_all.append(instance.instance_id)
+                    combo_created.append(
+                        (node.entity_type, instance.instance_id))
+                tool_span.set(created=[i for _, i in combo_created],
+                              invocation_id=prep.invocation_id)
+            if unit.cache_key is not None and self._cache_writes:
+                cache.store(unit.cache_key, combo_created,
+                            outcome.duration)
+        for node in prep.output_nodes:
+            node.produced = node.produced \
+                + tuple(prep.reused_by_node[node.node_id]) \
+                + tuple(outputs_by_node[node.node_id])
+        result = None
+        if prep.units:
+            result = InvocationResult(
+                prep.invocation_id or "",
+                None if is_compose else prep.tool_type,
+                () if is_compose else prep.tool_ids,
+                prep.encapsulation_name, len(prep.units),
+                tuple(created_all),
+                ({prep.output_nodes[0].node_id: tuple(created_all)}
+                 if is_compose else
+                 {k: tuple(v) for k, v in outputs_by_node.items()}),
+                duration, handle.name, queue_wait=prep.queue_wait,
+                retries=retries, timeouts=timeouts)
+            task_span.set(created=list(result.created),
+                          invocation_id=result.invocation_id)
+        cached = None
+        if prep.hits:
+            cached = CachedInvocation(
+                None if is_compose else prep.tool_type,
+                invocation.outputs, prep.hits, tuple(prep.reused_all),
+                {k: tuple(v) for k, v in prep.reused_by_node.items()},
+                prep.saved, prep.bytes_saved, handle.name)
+            task_span.set(reused=list(cached.instances))
+        if cache is not None:
+            if cached is not None:
+                task_span.set(cache="hit" if result is None
+                              else "partial")
+            elif self._cache_reads:
+                task_span.set(cache="miss")
+        return result, cached
+
+
+__all__ = [
+    "DEFAULT_BATCH_MAX",
+    "EnvelopeOutcome",
+    "InvocationEnvelope",
+    "ProcessFlowExecutor",
+]

@@ -1,0 +1,180 @@
+"""Cross-process shared derivation memo (file-locked append log).
+
+The :class:`~repro.execution.cache.DerivationCache` is an in-process
+index; the moment flows execute on real worker *processes* — or two
+``repro run`` invocations share one environment directory — remembered
+tool runs must survive process boundaries.  The memo is the smallest
+structure that does: an append-only JSONL log (``memo.jsonl`` under the
+environment directory) where each line records one derivation-key ->
+outputs group, stamped with the encapsulation registry's sha256
+signature so stale code silently invalidates old lines, exactly like
+the persisted ``cache.json`` snapshot.
+
+Safety model (single-writer append, shared readers):
+
+* every append takes an **exclusive** ``flock`` on a sidecar lock file,
+  writes one complete line, flushes, and releases — concurrent writers
+  serialize and lines never interleave;
+* readers take a **shared** lock, read from their last byte offset to
+  the end of file, and only advance past *complete* lines — a reader
+  racing a writer at worst re-reads the same tail next poll, it never
+  adopts a torn line;
+* lines whose ``sig`` does not match the current registry signature are
+  skipped (still consuming their bytes), so two runs with different
+  tool code share one log without poisoning each other.
+
+On platforms without ``fcntl`` the memo degrades to an O_EXCL spin
+lock around the same protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Any, Callable
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+MEMO_SCHEMA_VERSION = 1
+
+#: (key, ((entity_type, instance_id), ...), duration)
+MemoEntry = tuple[str, tuple[tuple[str, str], ...], float]
+
+
+class _FileLock:
+    """Advisory lock on a sidecar file, exclusive or shared.
+
+    ``fcntl.flock`` where available; otherwise an ``O_CREAT | O_EXCL``
+    spin lock (always exclusive — correct, just less concurrent).
+    """
+
+    def __init__(self, path: pathlib.Path, *, exclusive: bool) -> None:
+        self.path = path
+        self.exclusive = exclusive
+        self._fd: int | None = None
+
+    def __enter__(self) -> "_FileLock":
+        if fcntl is not None:
+            self._fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+            fcntl.flock(self._fd, fcntl.LOCK_EX if self.exclusive
+                        else fcntl.LOCK_SH)
+            return self
+        while True:  # pragma: no cover - non-POSIX fallback
+            try:
+                self._fd = os.open(self.path,
+                                   os.O_CREAT | os.O_EXCL | os.O_RDWR)
+                return self
+            except FileExistsError:
+                time.sleep(0.005)
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._fd is None:
+            return
+        if fcntl is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_UN)
+            os.close(self._fd)
+        else:  # pragma: no cover - non-POSIX fallback
+            os.close(self._fd)
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+        self._fd = None
+
+
+class SharedDerivationMemo:
+    """Append-only derivation memo shared between processes.
+
+    ``signature`` is a zero-argument callable returning the current
+    :meth:`~repro.execution.encapsulation.EncapsulationRegistry.signature`
+    — evaluated per call, because encapsulations register *after* an
+    environment loads and the signature must reflect the final registry.
+    """
+
+    def __init__(self, path: str | pathlib.Path,
+                 signature: Callable[[], str]) -> None:
+        self.path = pathlib.Path(path)
+        self.lock_path = self.path.with_name(self.path.name + ".lock")
+        self._signature = signature
+        self._offset = 0
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, key: str, outputs: tuple[tuple[str, str], ...],
+               duration: float = 0.0) -> None:
+        """Publish one freshly executed run for other processes."""
+        line = json.dumps(
+            {"duration": duration, "key": key,
+             "outputs": [[t, i] for t, i in outputs],
+             "sig": self._signature(), "v": MEMO_SCHEMA_VERSION},
+            sort_keys=True, separators=(",", ":"))
+        with _FileLock(self.lock_path, exclusive=True):
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def poll(self) -> list[MemoEntry]:
+        """Entries appended (by anyone) since the last poll.
+
+        Only complete, signature-matching lines are returned; a torn
+        trailing line (a writer mid-append on a non-POSIX box) is left
+        for the next poll.  Lines written against different tool code
+        are consumed but not returned.
+        """
+        if not self.path.exists():
+            return []
+        with _FileLock(self.lock_path, exclusive=False):
+            with open(self.path, "rb") as handle:
+                handle.seek(self._offset)
+                chunk = handle.read()
+        entries: list[MemoEntry] = []
+        signature = self._signature()
+        consumed = 0
+        for raw in chunk.split(b"\n"):
+            end = consumed + len(raw) + 1
+            if end > len(chunk):
+                break  # incomplete trailing line: re-read next poll
+            consumed = end
+            if not raw.strip():
+                continue
+            try:
+                record = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                continue  # foreign garbage: skip, bytes consumed
+            if record.get("v") != MEMO_SCHEMA_VERSION:
+                continue
+            if record.get("sig") != signature:
+                continue  # written against different tool code
+            outputs = tuple((str(t), str(i))
+                            for t, i in record.get("outputs", ()))
+            if not outputs:
+                continue
+            entries.append((str(record.get("key", "")), outputs,
+                            float(record.get("duration", 0.0))))
+        self._offset += consumed
+        return entries
+
+    def rewind(self) -> None:
+        """Forget the read offset; the next poll re-reads everything."""
+        self._offset = 0
+
+    def __repr__(self) -> str:
+        return (f"SharedDerivationMemo({str(self.path)!r}, "
+                f"offset={self._offset})")
+
+
+__all__ = [
+    "MEMO_SCHEMA_VERSION",
+    "MemoEntry",
+    "SharedDerivationMemo",
+]

@@ -39,6 +39,7 @@ LEDGER_SCHEMA_VERSION = "ledger.v1"
 SEQUENTIAL_EXECUTOR = "sequential"
 PARALLEL_EXECUTOR = "parallel"
 SCHEDULED_EXECUTOR = "scheduled"
+PROCESS_EXECUTOR = "procpool"
 
 
 # ---------------------------------------------------------------------------

@@ -50,6 +50,7 @@ META_FILE = "environment.json"
 CACHE_FILE = "cache.json"
 TRACE_FILE = "trace.jsonl"
 LEDGER_FILE = "ledger.jsonl"
+MEMO_FILE = "memo.jsonl"
 FORMAT_VERSION = 1
 
 
@@ -186,6 +187,12 @@ def load_environment(directory: str | pathlib.Path, *,
     # environment with no longitudinal history yet — never an error.
     if os.access(root, os.W_OK):
         env.attach_ledger(root / LEDGER_FILE)
+        # Likewise the cross-process derivation memo: concurrent runs
+        # (and procpool worker lanes) of this environment publish and
+        # absorb remembered derivations through memo.jsonl.  The memo
+        # is attached lazily with the cache, so environments that never
+        # touch the cache never create the file.
+        env._shared_memo_path = root / MEMO_FILE
     return env
 
 

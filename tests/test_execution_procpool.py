@@ -1,0 +1,254 @@
+"""Process-pool executor: equivalence, resilience, queue-wait semantics.
+
+The procpool tier must be observably interchangeable with the
+in-process executors — same history digests, same resilience contract —
+while actually running tools in forked worker processes.  These tests
+pin that equivalence plus the process-specific behaviours: watchdog
+kills of hung workers, respawn after worker death, and the
+coordinator-clock queue-wait accounting.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ExecutionError, ToolError
+from repro.execution import (DesignEnvironment, FaultPlan, FaultSpec,
+                             ResiliencePolicy, encapsulation)
+from repro.schema.builder import SchemaBuilder
+
+SLEEP = 0.03
+
+
+def fan_schema():
+    builder = SchemaBuilder("fan")
+    builder.data("Spec")
+    builder.tool("Tool")
+    builder.data("Out")
+    builder.produced_by("Out", "Tool", inputs=[("src", "Spec")])
+    return builder.build()
+
+
+def fan_env(sleep: float = 0.0, tool_fn=None) -> DesignEnvironment:
+    env = DesignEnvironment(fan_schema(), user="tester")
+
+    def default_fn(ctx, inputs):
+        if sleep:
+            time.sleep(sleep)
+        return {"ok": inputs["src"]["n"]}
+
+    env.install_tool("Tool", encapsulation("fan-tool",
+                                           tool_fn or default_fn),
+                     name="t0")
+    for index in range(4):
+        env.install_data("Spec", {"n": index}, name=f"s{index}")
+    return env
+
+
+def fan_flow(env: DesignEnvironment):
+    """Four independent Spec -> Tool -> Out branches in one flow."""
+    tool = env.db.latest("Tool")
+    specs = sorted((i for i in env.db.instances()
+                    if i.entity_type == "Spec"),
+                   key=lambda i: i.name)
+    flow = env.new_flow("fan")
+    for index, spec in enumerate(specs):
+        spec_node = flow.place("Spec", label=f"s{index}")
+        flow.bind(spec_node, spec.instance_id)
+        out = flow.place("Out", label=f"o{index}")
+        tool_node = flow.place("Tool", label=f"t{index}")
+        flow.bind(tool_node, tool.instance_id)
+        flow.connect(out, tool_node)
+        flow.connect(out, spec_node, role="src")
+    return flow
+
+
+def digest(env: DesignEnvironment):
+    return sorted((inst.entity_type, inst.data_ref)
+                  for inst in env.db.instances())
+
+
+class TestEquivalence:
+    def test_same_history_as_sequential(self):
+        a = fan_env()
+        a.run(fan_flow(a))
+        b = fan_env()
+        report = b.process_executor(workers=2).execute(fan_flow(b))
+        assert len(report.results) == 4
+        assert digest(a) == digest(b)
+
+    def test_results_report_worker_machines(self):
+        env = fan_env()
+        report = env.process_executor(workers=2).execute(fan_flow(env))
+        machines = {r.machine for r in report.results}
+        assert machines <= {"worker0", "worker1"}
+
+    def test_worker_count_must_be_positive(self):
+        env = fan_env()
+        with pytest.raises(ExecutionError):
+            env.process_executor(workers=0)
+
+    def test_composition_matches_sequential(self, stocked_env):
+        from tests.conftest import build_performance_flow
+
+        def performance(env):
+            return build_performance_flow(
+                env,
+                netlist_id=env.netlist.instance_id,
+                models_id=env.models.instance_id,
+                stimuli_id=env.stimuli.instance_id,
+                simulator_id=env.db.latest("Simulator").instance_id)
+
+        flow, goal = performance(stocked_env)
+        report = stocked_env.process_executor(workers=2).execute(flow)
+        assert goal.produced
+        assert [r.tool_type for r in report.results] == [None,
+                                                         "Simulator"]
+
+    def test_cache_reuse_across_runs(self):
+        env = fan_env()
+        first = env.process_executor(
+            workers=2, cache="readwrite").execute(fan_flow(env))
+        assert len(first.results) == 4
+        second = env.process_executor(
+            workers=2, cache="readwrite").execute(fan_flow(env))
+        assert not second.results
+        assert second.cache_hits == 4
+
+    def test_skips_already_produced_nodes(self):
+        env = fan_env()
+        flow = fan_flow(env)
+        env.process_executor(workers=2).execute(flow)
+        again = env.process_executor(workers=2).execute(flow)
+        assert not again.results
+        assert len(again.skipped) == 4
+
+
+class TestResilience:
+    def test_transient_crash_is_retried(self):
+        env = fan_env()
+        policy = ResiliencePolicy(retries=2, backoff_base=0.0,
+                                  jitter=0.0)
+        faults = FaultPlan([FaultSpec("Tool", 2)], seed=1)
+        report = env.process_executor(
+            workers=2, resilience=policy,
+            faults=faults).execute(fan_flow(env))
+        assert len(report.results) == 4
+        assert report.retries == 1
+        assert faults.fired == (("Tool", 2, "crash"),)
+
+    def test_hang_trips_watchdog_and_recovers(self):
+        env = fan_env(sleep=0.005)
+        policy = ResiliencePolicy(retries=2, timeout=0.5,
+                                  backoff_base=0.0, jitter=0.0)
+        faults = FaultPlan([FaultSpec("Tool", 1, kind="hang",
+                                      delay=30.0)], seed=1)
+        started = time.perf_counter()
+        report = env.process_executor(
+            workers=2, resilience=policy,
+            faults=faults).execute(fan_flow(env))
+        elapsed = time.perf_counter() - started
+        # the hung worker was killed at the 0.5s budget, not after 30s
+        assert elapsed < 10.0
+        assert len(report.results) == 4
+        assert report.timeouts == 1
+        assert report.retries == 1
+
+    def test_worker_death_is_transient_and_respawned(self, tmp_path):
+        flag = tmp_path / "died-once"
+
+        def suicidal(ctx, inputs):
+            if not flag.exists():
+                flag.write_text("x")
+                os._exit(17)  # hard worker death, no cleanup
+            return {"ok": inputs["src"]["n"]}
+
+        env = fan_env(tool_fn=suicidal)
+        policy = ResiliencePolicy(retries=2, backoff_base=0.0,
+                                  jitter=0.0)
+        report = env.process_executor(
+            workers=1, resilience=policy).execute(fan_flow(env))
+        assert len(report.results) == 4
+        assert report.retries >= 1
+
+    def test_permanent_crash_aborts_without_degrade(self):
+        env = fan_env()
+        policy = ResiliencePolicy(retries=2, backoff_base=0.0,
+                                  jitter=0.0)
+        faults = FaultPlan([FaultSpec("Tool", 1, transient=False)],
+                           seed=1)
+        with pytest.raises(ToolError) as caught:
+            env.process_executor(
+                workers=2, resilience=policy,
+                faults=faults).execute(fan_flow(env))
+        # classification survives the process boundary
+        assert caught.value.repro_classification == "permanent"
+        assert caught.value.repro_attempts == 1
+
+    def test_quarantine_opens_across_workers(self):
+        env = fan_env()
+        policy = ResiliencePolicy(degrade=True, quarantine_after=2)
+        faults = FaultPlan([FaultSpec("Tool", i, transient=False)
+                            for i in (1, 2, 3, 4)], seed=1)
+        report = env.process_executor(
+            workers=1, resilience=policy,
+            faults=faults).execute(fan_flow(env))
+        assert not report.results
+        assert report.quarantined == ["Tool"]
+        classifications = [f.classification for f in report.failures]
+        assert "quarantined" in classifications
+
+    def test_unpicklable_result_is_a_tool_failure(self):
+        def opaque(ctx, inputs):
+            return {"fn": lambda: None}  # cannot cross the pipe
+
+        env = fan_env(tool_fn=opaque)
+        with pytest.raises(ExecutionError):
+            env.process_executor(workers=1).execute(fan_flow(env))
+
+
+class TestQueueWait:
+    """Queue-wait accounting: regression-pins BOTH semantics.
+
+    The thread scheduler measures the wait at claim time *inside* its
+    condition lock, so time spent contending for the claim lock itself
+    is attributed to the winning task's wait.  The procpool coordinator
+    measures on its own clock *after* releasing the lock — the wait
+    ends when dispatch actually starts.  Both must agree on the
+    invariants that matter: a single-lane run of independent equal
+    tasks accumulates roughly 0+1+2+3 task-lengths of wait, and tool
+    durations never include any of it.
+    """
+
+    def _assert_wait_profile(self, report):
+        assert len(report.results) == 4
+        total_wait = report.queue_wait_time
+        # 4 equal tasks on one lane: waits ~ 0+1+2+3 sleeps = 6 sleeps
+        assert total_wait > 3 * SLEEP
+        # durations are pure tool time, the wait is accounted apart
+        for result in report.results:
+            assert result.duration < 3 * SLEEP
+        assert report.serial_time < 4 * 3 * SLEEP
+
+    def test_procpool_single_worker_accumulates_wait(self):
+        env = fan_env(sleep=SLEEP)
+        report = env.process_executor(workers=1).execute(fan_flow(env))
+        self._assert_wait_profile(report)
+
+    def test_scheduled_single_machine_accumulates_wait(self):
+        env = fan_env(sleep=SLEEP)
+        report = env.scheduled_executor(machines=1).execute(
+            fan_flow(env))
+        self._assert_wait_profile(report)
+
+    def test_procpool_parallel_run_waits_less_than_serial(self):
+        serial_env = fan_env(sleep=SLEEP)
+        serial = serial_env.process_executor(workers=1).execute(
+            fan_flow(serial_env))
+        wide_env = fan_env(sleep=SLEEP)
+        wide = wide_env.process_executor(workers=4).execute(
+            fan_flow(wide_env))
+        assert wide.queue_wait_time < serial.queue_wait_time
