@@ -1,6 +1,6 @@
 """CI gate: the procpool executor must be fast AND change nothing.
 
-Two halves, both mandatory:
+Three parts, all mandatory:
 
 1. **CLI equivalence** — drives the real ``repro run`` CLI over a
    saved Fig. 6 parallel flow with ``--executor procpool --workers 2``
@@ -11,7 +11,16 @@ Two halves, both mandatory:
    sequential run — multi-core execution must never change what gets
    designed.
 
-2. **Parallelism efficiency** — re-times the ``scale_pipeline``
+2. **Worker telemetry** — the traced procpool run must merge cleanly:
+   the trace validates with no orphans, every tool span carries
+   worker-side phase children (decode/verify/tool_body/encode), one
+   lane span exists per worker, ``repro trace timeline`` renders the
+   trace, the ledger record carries per-worker stats, and — after a
+   second ``--force`` run builds a baseline — the
+   ``worker-utilization`` health check reports on the smoke ledger
+   without failing.
+
+3. **Parallelism efficiency** — re-times the ``scale_pipeline``
    scenario from ``bench_multicore.py`` at 1 and 2 workers and gates
    the 2-worker efficiency (speedup / workers) against
    ``max(EFFICIENCY_FLOOR, 0.8 * checked-in baseline)`` from
@@ -19,7 +28,7 @@ Two halves, both mandatory:
    tolerance.  Ratios, not wall seconds, so the gate is
    machine-independent.
 
-Raw timings and the procpool run's ledger are copied into
+Raw timings, the procpool run's ledger and its trace are copied into
 ``benchmarks/artifacts/`` for upload on CI failure.
 """
 
@@ -59,6 +68,78 @@ def last_record(directory: pathlib.Path):
     return RunLedger(directory / "ledger.jsonl").records()[-1]
 
 
+def check_worker_telemetry(pooled: pathlib.Path,
+                           failures: list[str]) -> None:
+    """Gate the PR 8 surface: merged spans, timeline, health check."""
+    from repro.cli import main as repro_main
+    from repro.obs import (PHASE_SPAN, TOOL_SPAN, WAVE_SPAN,
+                           HealthThresholds, RunLedger, evaluate_health,
+                           read_spans, validate_spans)
+
+    spans = list(read_spans(pooled / "trace.jsonl", strict=False))
+    problems = validate_spans(spans)
+    if problems:
+        failures.append(
+            f"merged procpool trace must validate, got {problems}")
+    lanes = {s.value("machine") for s in spans
+             if s.kind == WAVE_SPAN and s.name.startswith("lane:")}
+    print(f"  trace: {len(spans)} spans, {len(lanes)} worker lanes")
+    if len(lanes) != WORKERS:
+        failures.append(
+            f"expected {WORKERS} worker lane spans, got "
+            f"{sorted(lanes)}")
+    tools = [s for s in spans if s.kind == TOOL_SPAN]
+    phases = [s for s in spans if s.kind == PHASE_SPAN]
+    if len(tools) != BRANCHES:
+        failures.append(
+            f"expected {BRANCHES} tool spans, got {len(tools)}")
+    orphans = [p.name for p in phases
+               if p.parent_id not in {t.span_id for t in tools}]
+    if orphans:
+        failures.append(
+            f"phase spans must parent on tool spans, orphaned: "
+            f"{orphans}")
+    for tool in tools:
+        names = {p.value("phase") for p in phases
+                 if p.parent_id == tool.span_id}
+        if "tool_body" not in names:
+            failures.append(
+                f"tool span {tool.name} has no worker-side "
+                f"tool_body phase (got {sorted(names)})")
+    code = repro_main(["trace", "timeline", str(pooled)])
+    if code != 0:
+        failures.append(
+            f"'repro trace timeline' must exit 0, got {code}")
+
+    # a second (forced) run gives the health check a same-executor
+    # baseline; --force keeps it from coalescing into pure cache hits
+    code = run_cli(pooled, "--executor", "procpool",
+                   "--workers", str(WORKERS), "--cache", "readwrite",
+                   "--trace", "--force")
+    if code != 0:
+        failures.append(
+            f"forced second procpool run must exit 0, got {code}")
+    records = RunLedger(pooled / "ledger.jsonl").records()
+    if not records[-1].workers:
+        failures.append(
+            "procpool ledger records must carry per-worker stats")
+    report = evaluate_health(
+        records, thresholds=HealthThresholds(min_samples=1))
+    verdicts = {check.name: check.verdict for check in report.checks}
+    print(f"  health: worker-utilization="
+          f"{verdicts.get('worker-utilization')} "
+          f"exit={report.exit_code}")
+    if "worker-utilization" not in verdicts:
+        failures.append(
+            "health report must include the worker-utilization check")
+    if report.exit_code != 0:
+        failures.append(
+            f"smoke-ledger health must pass, got exit "
+            f"{report.exit_code}: {verdicts}")
+    shutil.copy(pooled / "trace.jsonl",
+                ARTIFACTS / "multicore_smoke_trace.jsonl")
+
+
 def baseline_efficiency() -> float | None:
     """2-worker scale_pipeline efficiency from the checked-in bench."""
     if not BENCH.exists():
@@ -81,7 +162,7 @@ def main() -> int:
         build_project(pooled)
         code = run_cli(pooled, "--executor", "procpool",
                        "--workers", str(WORKERS),
-                       "--cache", "readwrite")
+                       "--cache", "readwrite", "--trace")
         print(f"procpool --workers {WORKERS}: exit {code}")
         if code != 0:
             failures.append(f"procpool run must exit 0, got {code}")
@@ -100,9 +181,6 @@ def main() -> int:
             failures.append(
                 "a caching procpool run over a saved project must "
                 "leave the shared derivation memo behind")
-        shutil.copy(pooled / "ledger.jsonl",
-                    ARTIFACTS / "multicore_smoke_ledger.jsonl")
-
         # 1b. byte-identical history vs the sequential executor
         sequential = root / "sequential"
         build_project(sequential)
@@ -116,7 +194,14 @@ def main() -> int:
         else:
             print("  history content-identical to sequential run")
 
-    # 2. efficiency gate vs the checked-in trajectory
+        # 2. the traced run's worker telemetry must merge cleanly
+        # (after 1b: this re-runs the flow with --force, which grows
+        # the pooled history past the sequential reference)
+        check_worker_telemetry(pooled, failures)
+        shutil.copy(pooled / "ledger.jsonl",
+                    ARTIFACTS / "multicore_smoke_ledger.jsonl")
+
+    # 3. efficiency gate vs the checked-in trajectory
     outcome = run_scenario("scale_pipeline", sweep=(1, WORKERS),
                            repeats=2)
     raw = outcome.pop("raw")

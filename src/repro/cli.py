@@ -31,7 +31,8 @@ import json
 import os
 import pathlib
 import sys
-from typing import Sequence
+import time
+from typing import Callable, Sequence
 
 from .errors import ReproError
 from .execution.cache import CACHE_OFF, CACHE_POLICIES
@@ -45,10 +46,11 @@ from .history.store import BACKEND_SQLITE, BACKENDS
 from .history.trace import backward_trace
 from .obs import (EVENT_TYPES, HealthThresholds, JSONLSink,
                   MetricsRegistry, RunLedger, RunRecord, critical_path,
-                  evaluate_health, export_chrome, read_spans,
-                  render_json, render_prometheus_ledger,
-                  render_span_tree, replay_events, replay_into,
-                  tool_baselines, validate_chrome_trace, validate_spans)
+                  evaluate_health, export_chrome, follow_events,
+                  read_spans, render_json, render_prometheus_ledger,
+                  render_span_tree, render_timeline, replay_events,
+                  replay_into, tool_baselines, validate_chrome_trace,
+                  validate_spans)
 from .obs.health import DEFAULT_K, DEFAULT_MIN_SAMPLES, DEFAULT_WINDOW
 from .persistence import (CACHE_FILE, LEDGER_FILE, TRACE_FILE,
                           load_environment, migrate_environment,
@@ -353,28 +355,84 @@ def cmd_stats(args: argparse.Namespace) -> int:
     if records:
         print(f"run ledger: {len(records)} recorded runs, latest:")
         print(f"  {records[-1].render()}")
+        last = records[-1]
+        if last.workers:
+            steals = sum(w.steals for w in last.workers.values())
+            respawns = sum(w.respawns for w in last.workers.values())
+            print(f"workers (latest run): {len(last.workers)} "
+                  f"worker(s), utilization "
+                  f"{last.worker_utilization:.0%}, "
+                  f"steals={steals}, respawns={respawns}")
+            for name in sorted(last.workers):
+                print(f"  {name}: {last.workers[name].render()}")
     if metrics is not None:
         print(metrics.render())
     return 0
 
 
-def cmd_events(args: argparse.Namespace) -> int:
-    # lenient: a truncated trailing line (killed writer) is tolerated
-    events = replay_events(args.logfile, strict=False)
-    if args.type:
-        wanted = set(args.type)
+def _event_filter(args: argparse.Namespace
+                  ) -> "Callable[..., bool] | None":
+    """Shared --type/--flow/--tool/--since predicate; None = bad args."""
+    wanted = set(args.type) if args.type else None
+    if wanted is not None:
         unknown = wanted - EVENT_TYPES
         if unknown:
             print(f"error: unknown event type(s) {sorted(unknown)}; "
                   f"known: {sorted(EVENT_TYPES)}", file=sys.stderr)
-            return 2
-        events = (e for e in events if e.event_type in wanted)
-    if args.flow:
-        events = (e for e in events if e.flow == args.flow)
-    if args.tool:
-        events = (e for e in events if e.tool_type == args.tool)
-    if args.since is not None:
-        events = (e for e in events if e.timestamp >= args.since)
+            return None
+
+    def keep(event: object) -> bool:
+        if wanted is not None and event.event_type not in wanted:
+            return False
+        if args.flow and event.flow != args.flow:
+            return False
+        if args.tool and event.tool_type != args.tool:
+            return False
+        if args.since is not None and event.timestamp < args.since:
+            return False
+        return True
+
+    return keep
+
+
+def _follow_events_cli(args: argparse.Namespace,
+                       keep: "Callable[..., bool]") -> int:
+    if args.replay or args.tail is not None:
+        print("error: --follow cannot be combined with --replay "
+              "or --tail", file=sys.stderr)
+        return 2
+    if args.poll <= 0:
+        print(f"error: --poll must be > 0, got {args.poll}",
+              file=sys.stderr)
+        return 2
+    stop = None
+    if args.duration is not None:
+        deadline = time.monotonic() + args.duration
+        stop = lambda: time.monotonic() >= deadline  # noqa: E731
+    try:
+        for event in follow_events(args.logfile,
+                                   poll_interval=args.poll,
+                                   stop=stop):
+            if not keep(event):
+                continue
+            print(render_json(event.to_dict()) if args.json
+                  else event.render(), flush=True)
+    except KeyboardInterrupt:
+        return 0
+    return 0
+
+
+def cmd_events(args: argparse.Namespace) -> int:
+    keep = _event_filter(args)
+    if keep is None:
+        return 2
+    if args.follow:
+        # a missing logfile is fine here: follow waits for the first
+        # write, the usual way to watch an environment about to run
+        return _follow_events_cli(args, keep)
+    # lenient: a truncated trailing line (killed writer) is tolerated
+    events = (e for e in replay_events(args.logfile, strict=False)
+              if keep(e))
     if args.replay:
         metrics = MetricsRegistry()
         count = replay_into(events, metrics)
@@ -537,6 +595,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
         return 0
     if args.trace_command == "critical-path":
         print(critical_path(spans, args.trace_id).render())
+        return 0
+    if args.trace_command == "timeline":
+        print(render_timeline(spans, args.trace_id,
+                              width=args.width))
         return 0
     # export
     problems = validate_spans(spans)
@@ -791,6 +853,16 @@ def build_parser() -> argparse.ArgumentParser:
     events.add_argument("--replay", action="store_true",
                         help="replay matching events into a metrics "
                              "registry and print the summary")
+    events.add_argument("--follow", action="store_true",
+                        help="tail mode: wait for the log (it may not "
+                             "exist yet) and print matching events as "
+                             "a live run appends them")
+    events.add_argument("--poll", type=float, default=0.5,
+                        help="with --follow: poll interval in seconds "
+                             "(default 0.5)")
+    events.add_argument("--duration", type=float,
+                        help="with --follow: stop after this many "
+                             "seconds (default: follow until ^C)")
     events.set_defaults(fn=cmd_events)
 
     trace = commands.add_parser(
@@ -803,6 +875,9 @@ def build_parser() -> argparse.ArgumentParser:
             ("critical-path",
              "longest cost-weighted dependency chain with per-task "
              "slack"),
+            ("timeline",
+             "ASCII Gantt chart: one row per execution lane (procpool "
+             "worker or scheduler machine)"),
             ("export", "export a trace for external viewers")):
         sub = trace_commands.add_parser(name, help=description)
         sub.add_argument("path",
@@ -811,6 +886,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--trace-id",
                          help="select a trace (default: the latest "
                               "recorded run)")
+        if name == "timeline":
+            sub.add_argument("--width", type=int, default=60,
+                             help="chart width in columns "
+                                  "(default 60)")
         if name == "export":
             sub.add_argument("--format", choices=["chrome"],
                              default="chrome",

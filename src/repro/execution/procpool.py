@@ -36,6 +36,7 @@ import itertools
 import multiprocessing
 import multiprocessing.connection
 import os
+import pickle
 import threading
 import time
 from dataclasses import dataclass, field, replace
@@ -49,11 +50,14 @@ from ..history.database import HistoryDatabase
 from ..history.instance import DerivationRecord
 from ..obs import (CACHE_HIT, CACHE_MISS, CACHE_SPAN, COMPOSE_SPAN,
                    COMPOSE_TOOL, COMPOSITION_RUN, EXECUTION_FAILED,
-                   FLOW_FINISHED, FLOW_STARTED, NODE_READY,
+                   FLOW_FINISHED, FLOW_STARTED, NODE_READY, PHASE_DECODE,
+                   PHASE_ENCODE, PHASE_SPAN, PHASE_TOOL, PHASE_VERIFY,
                    PROCESS_EXECUTOR, RUN_SPAN, TASK_SPAN, TOOL_FINISHED,
                    TOOL_INVOKED, TOOL_QUARANTINED, TOOL_RETRIED,
-                   TOOL_SPAN, TOOL_TIMED_OUT, WAVE_SPAN, EventBus,
-                   NO_OP_TRACER, RunLedger, Tracer)
+                   TOOL_SPAN, TOOL_TIMED_OUT, WAVE_SPAN, WORKER_STATS,
+                   ClockSync, EventBus, NO_OP_TRACER, RunLedger, Span,
+                   Tracer, WorkerRunStats, WorkerTelemetry, fit_phases,
+                   worker_utilization)
 from .cache import (CACHE_OFF, CACHE_READWRITE, CACHE_REUSE,
                     DerivationCache, normalize_policy)
 from .encapsulation import (EncapsulationRegistry, ToolContext,
@@ -68,6 +72,16 @@ from .scheduler import (DurationModel, _InvocationNode,
                         _invocation_graph, _tool_type_of)
 
 DEFAULT_BATCH_MAX = 4
+
+#: Clock-handshake request sentinel on the worker pipe (``None`` stays
+#: the shutdown sentinel; envelope batches are lists, so neither can be
+#: mistaken for the other).
+_SYNC = "__clock_sync__"
+
+#: How long the coordinator waits for the handshake pong.  Generous:
+#: a fork under memory pressure can take a while to reach its loop, and
+#: an unsynced handle degrades gracefully (offset 0) rather than fail.
+SYNC_TIMEOUT = 10.0
 
 
 # ---------------------------------------------------------------------------
@@ -106,6 +120,11 @@ class InvocationEnvelope:
     #: Scripted fault to fire *inside* the worker (drawn by the
     #: coordinator, where the plan's counters live), or None.
     fault: FaultSpec | None = None
+    #: True when the coordinator has a live tracer: the worker then
+    #: records per-phase timing samples (decode/verify/tool/encode)
+    #: and ships them home on the outcome.  Untraced runs skip the
+    #: collection entirely.
+    collect_phases: bool = False
 
 
 @dataclass(frozen=True)
@@ -124,6 +143,13 @@ class EnvelopeOutcome:
     error_class: str = ""
     error_message: str = ""
     error_module: str = ""
+    #: Worker-side phase samples ``(name, start, end)`` on the worker's
+    #: clock — only populated when the envelope asked for them; the
+    #: coordinator skew-corrects and merges them as child spans.
+    phases: tuple[tuple[str, float, float], ...] = ()
+    #: Pickled size of the result payload (the encode phase's probe);
+    #: 0 when phases were not collected.
+    result_bytes: int = 0
 
 
 def _decode_error(outcome: EnvelopeOutcome) -> BaseException:
@@ -154,55 +180,85 @@ def _decode_error(outcome: EnvelopeOutcome) -> BaseException:
 # ---------------------------------------------------------------------------
 def _run_envelope(registry: EncapsulationRegistry,
                   envelope: InvocationEnvelope,
-                  worker: str) -> EnvelopeOutcome:
-    started = time.perf_counter()
+                  telemetry: WorkerTelemetry) -> EnvelopeOutcome:
+    telemetry.begin_envelope(collect=envelope.collect_phases)
+    started = telemetry.clock()
+    value: Any = None
+    failure: BaseException | None = None
+    result_bytes = 0
     try:
-        inputs = {role: payload for role, payload in envelope.inputs}
+        with telemetry.phase(PHASE_DECODE):
+            inputs = {role: payload
+                      for role, payload in envelope.inputs}
         if envelope.kind == "compose":
-            compose = registry.composition(envelope.tool_type)
-            if fingerprint_callable(compose) != envelope.fingerprint:
-                raise ExecutionError(
-                    f"composition for {envelope.tool_type!r} changed "
-                    "between dispatch and execution (fingerprint "
-                    "mismatch)")
-            value = run_with_fault(envelope.fault,
-                                   lambda: compose(inputs))
+            with telemetry.phase(PHASE_VERIFY):
+                compose = registry.composition(envelope.tool_type)
+                if fingerprint_callable(compose) != envelope.fingerprint:
+                    raise ExecutionError(
+                        f"composition for {envelope.tool_type!r} "
+                        "changed between dispatch and execution "
+                        "(fingerprint mismatch)")
+            with telemetry.phase(PHASE_TOOL):
+                value = run_with_fault(envelope.fault,
+                                       lambda: compose(inputs))
         else:
-            enc = registry.resolve(envelope.tool_type,
-                                   envelope.tool_instance_id)
-            if enc.fingerprint() != envelope.fingerprint:
-                raise ExecutionError(
-                    f"encapsulation {enc.name!r} changed between "
-                    "dispatch and execution (fingerprint mismatch)")
-            ctx = ToolContext(
-                tool_type=envelope.tool_type,
-                tool_instance_id=envelope.tool_instance_id or "",
-                tool_data=envelope.tool_data,
-                output_types=envelope.output_types,
-                options=enc.options(),
-                user=envelope.user)
-            value = run_with_fault(envelope.fault,
-                                   lambda: enc.run(ctx, inputs))
+            with telemetry.phase(PHASE_VERIFY):
+                enc = registry.resolve(envelope.tool_type,
+                                       envelope.tool_instance_id)
+                if enc.fingerprint() != envelope.fingerprint:
+                    raise ExecutionError(
+                        f"encapsulation {enc.name!r} changed between "
+                        "dispatch and execution (fingerprint mismatch)")
+                ctx = ToolContext(
+                    tool_type=envelope.tool_type,
+                    tool_instance_id=envelope.tool_instance_id or "",
+                    tool_data=envelope.tool_data,
+                    output_types=envelope.output_types,
+                    options=enc.options(),
+                    user=envelope.user)
+            with telemetry.phase(PHASE_TOOL):
+                value = run_with_fault(envelope.fault,
+                                       lambda: enc.run(ctx, inputs))
+        if envelope.collect_phases:
+            # The real result serialization happens in conn.send();
+            # this probe sizes the payload so the encode phase carries
+            # data, and stays off the untraced fast path entirely.
+            with telemetry.phase(PHASE_ENCODE):
+                try:
+                    result_bytes = len(pickle.dumps(value))
+                except Exception:  # noqa: BLE001 - size is best-effort
+                    result_bytes = 0
     except BaseException as error:  # transported, never fatal here
+        failure = error
+    duration = telemetry.clock() - started
+    telemetry.finish_envelope(duration)
+    if failure is not None:
         return EnvelopeOutcome(
             envelope_id=envelope.envelope_id, ok=False,
-            duration=time.perf_counter() - started, worker=worker,
-            pid=os.getpid(), error_class=type(error).__name__,
-            error_message=str(error),
-            error_module=type(error).__module__)
+            duration=duration, worker=telemetry.worker,
+            pid=os.getpid(), error_class=type(failure).__name__,
+            error_message=str(failure),
+            error_module=type(failure).__module__,
+            phases=telemetry.phases())
     return EnvelopeOutcome(
         envelope_id=envelope.envelope_id, ok=True, value=value,
-        duration=time.perf_counter() - started, worker=worker,
-        pid=os.getpid())
+        duration=duration, worker=telemetry.worker, pid=os.getpid(),
+        phases=telemetry.phases(), result_bytes=result_bytes)
 
 
 def _worker_main(conn: multiprocessing.connection.Connection,
                  registry: EncapsulationRegistry, worker: str) -> None:
     """Worker loop: receive envelope batches, send outcome batches.
 
-    ``None`` is the shutdown sentinel; a broken pipe means the
-    coordinator is gone and the worker simply exits.
+    ``None`` is the shutdown sentinel; the :data:`_SYNC` string is the
+    clock handshake (answered with this worker's monotonic clock and
+    pid); a broken pipe means the coordinator is gone and the worker
+    simply exits.  Every batch reply travels as ``(outcomes, stats)``
+    where ``stats`` is the telemetry counter snapshot — the coordinator
+    keeps the latest, so a killed worker costs at most one batch of
+    counters.
     """
+    telemetry = WorkerTelemetry(worker)
     while True:
         try:
             batch = conn.recv()
@@ -210,12 +266,20 @@ def _worker_main(conn: multiprocessing.connection.Connection,
             return
         if batch is None:
             return
-        replies = [_run_envelope(registry, envelope, worker)
+        if batch == _SYNC:
+            try:
+                conn.send((telemetry.clock(), os.getpid()))
+            except (BrokenPipeError, OSError):
+                return
+            continue
+        telemetry.batches += 1
+        replies = [_run_envelope(registry, envelope, telemetry)
                    for envelope in batch]
+        stats = telemetry.stats()
         try:
-            conn.send(replies)
+            conn.send((replies, stats))
         except Exception as error:  # unpicklable tool result
-            conn.send([
+            conn.send(([
                 EnvelopeOutcome(
                     envelope_id=reply.envelope_id, ok=False,
                     duration=reply.duration, worker=worker,
@@ -224,8 +288,9 @@ def _worker_main(conn: multiprocessing.connection.Connection,
                     error_message=(
                         "tool result could not cross the process "
                         f"boundary: {error}"),
-                    error_module="repro.errors")
-                for reply in replies])
+                    error_module="repro.errors",
+                    phases=reply.phases)
+                for reply in replies], stats))
 
 
 class _WorkerHandle:
@@ -238,13 +303,31 @@ class _WorkerHandle:
     """
 
     def __init__(self, name: str, registry: EncapsulationRegistry,
-                 context) -> None:
+                 context, clock: Any = time.perf_counter) -> None:
         self.name = name
         self.registry = registry
         self.context = context
+        self.clock = clock
         self.restarts = 0
         self.process: Any = None
         self.conn: Any = None
+        #: Clock handshake result for the *current* process; refreshed
+        #: on every (re)spawn, since a fresh fork is a fresh clock.
+        self.sync = ClockSync()
+        #: Worker-reported counters: the latest snapshot from the live
+        #: process, plus the folded totals of every process a watchdog
+        #: killed before it — "respawns survived" means the numbers
+        #: keep accumulating across replacements.
+        self.last_stats: dict[str, Any] = {}
+        self.stats_base: dict[str, Any] = {}
+        #: Lane-side counters (each handle is owned by exactly one
+        #: coordinator lane thread, so these need no locking).  A
+        #: *steal* is a claim whose tool type differs from this lane's
+        #: previous claim — the lane left its warm streak to drain
+        #: whatever was runnable on the shared deque.
+        self.lane_steals = 0
+        self.lane_cache_hits = 0
+        self.last_tool_type: str | None = None
 
     def start(self) -> None:
         parent, child = self.context.Pipe()
@@ -254,9 +337,54 @@ class _WorkerHandle:
         self.process.start()
         child.close()
         self.conn = parent
+        self._handshake()
+
+    def _handshake(self) -> None:
+        """One ping/pong to estimate the worker-clock offset.
+
+        Failure is harmless: an unsynced handle keeps offset 0 (exact
+        on Linux, where ``perf_counter`` is the system-wide monotonic
+        clock) and phase clamping bounds any residual error.
+        """
+        self.sync = ClockSync()
+        try:
+            sent_at = self.clock()
+            self.conn.send(_SYNC)
+            if self.conn.poll(SYNC_TIMEOUT):
+                worker_clock, _pid = self.conn.recv()
+                self.sync = ClockSync.estimate(
+                    sent_at, float(worker_clock), self.clock())
+        except (BrokenPipeError, EOFError, OSError):
+            pass
+
+    def _fold_stats(self) -> None:
+        """Bank the dying process's last snapshot before replacing it."""
+        base, snap = self.stats_base, self.last_stats
+        if not snap:
+            return
+        for key in ("batches", "envelopes"):
+            base[key] = base.get(key, 0) + int(snap.get(key, 0))
+        base["busy_time"] = (base.get("busy_time", 0.0)
+                             + float(snap.get("busy_time", 0.0)))
+        base["rss_kb"] = max(int(base.get("rss_kb", 0)),
+                             int(snap.get("rss_kb", 0)))
+        self.last_stats = {}
+
+    def worker_stats(self) -> dict[str, Any]:
+        """Cumulative worker-side counters across every respawn."""
+        merged = dict(self.stats_base)
+        snap = self.last_stats
+        for key in ("batches", "envelopes"):
+            merged[key] = merged.get(key, 0) + int(snap.get(key, 0))
+        merged["busy_time"] = (merged.get("busy_time", 0.0)
+                               + float(snap.get("busy_time", 0.0)))
+        merged["rss_kb"] = max(int(merged.get("rss_kb", 0)),
+                               int(snap.get("rss_kb", 0)))
+        return merged
 
     def respawn(self) -> None:
         """Kill the current process (if any) and fork a fresh one."""
+        self._fold_stats()
         if self.process is not None and self.process.is_alive():
             self.process.kill()
             self.process.join()
@@ -292,12 +420,14 @@ class _WorkerHandle:
                     f"worker {self.name} exceeded its {timeout:g}s "
                     "watchdog budget; process killed and respawned")
         try:
-            return self.conn.recv()
+            replies, stats = self.conn.recv()
         except (EOFError, OSError):
             self.respawn()
             raise TransientToolError(
                 f"worker {self.name} died mid-invocation "
                 "(exit code suggests a crash); respawned")
+        self.last_stats = dict(stats)
+        return replies
 
     def stop(self) -> None:
         if self.conn is not None:
@@ -336,6 +466,11 @@ class _Unit:
     #: batched unit waits this long after dispatch before its tool
     #: starts, so it counts toward queue wait, not duration.
     batch_offset: float = 0.0
+    #: Coordinator-observed (send, receive) interval of the round trip
+    #: that produced ``outcome``, on the tracer clock — the clamp
+    #: window for skew-corrected worker phase spans.  Retries
+    #: overwrite it, so the last (successful) attempt wins.
+    window: tuple[float, float] | None = None
 
 
 @dataclass
@@ -503,7 +638,8 @@ class ProcessFlowExecutor:
         # single-threaded coordinator is safe; forking one with live
         # lanes would snapshot their lock states into the child.
         handles = [_WorkerHandle(f"worker{i}", self.registry,
-                                 self._context)
+                                 self._context,
+                                 clock=self.tracer.clock)
                    for i in range(self.workers)]
         for handle in handles:
             handle.start()
@@ -527,7 +663,11 @@ class ProcessFlowExecutor:
                     pending, ready, ready_at, done, errors, report,
                     report_lock, wave, failed_nodes)
                 lane_span.set(invocations=executed,
-                              restarts=handle.restarts)
+                              restarts=handle.restarts,
+                              steals=handle.lane_steals,
+                              cache_hits=handle.lane_cache_hits,
+                              clock_offset=round(handle.sync.offset, 6),
+                              clock_rtt=round(handle.sync.rtt, 6))
 
         try:
             threads = [threading.Thread(target=lane, args=(handle,),
@@ -540,6 +680,8 @@ class ProcessFlowExecutor:
         finally:
             for handle in handles:
                 handle.stop()
+        wall = time.perf_counter() - started
+        workers = self._collect_worker_stats(handles, wall)
         try:
             if errors:
                 self.bus.emit(EXECUTION_FAILED, flow=graph.name,
@@ -547,23 +689,27 @@ class ProcessFlowExecutor:
                 if run_span is not None:
                     run_span.status = \
                         f"error:{type(errors[0]).__name__}"
-                report.wall_time = time.perf_counter() - started
-                self._ledger_record(report, run_span, errors[0])
+                report.wall_time = wall
+                self._ledger_record(report, run_span, errors[0],
+                                    workers)
                 raise errors[0]
             if self.resilience is not None:
                 report.quarantined = sorted(
                     set(report.quarantined)
                     | set(self.resilience.quarantined()))
-            report.wall_time = time.perf_counter() - started
+            report.wall_time = wall
             if run_span is not None:
                 run_span.set(runs=report.runs,
                              created=len(report.created),
                              cache_hits=report.cache_hits,
                              queue_wait=round(report.queue_wait_time, 6),
-                             restarts=sum(h.restarts for h in handles))
+                             restarts=sum(h.restarts for h in handles),
+                             utilization=round(
+                                 worker_utilization(workers, wall), 4))
         finally:
             if run_span is not None:
                 self.tracer.finish(run_span)
+        self._emit_worker_stats(graph, workers, wall)
         self.bus.emit(FLOW_FINISHED, flow=graph.name,
                       duration=report.wall_time,
                       payload={"serial_time": report.serial_time,
@@ -572,18 +718,61 @@ class ProcessFlowExecutor:
                                "cache_hits": report.cache_hits,
                                "queue_wait": round(
                                    report.queue_wait_time, 6)})
-        self._ledger_record(report, run_span)
+        self._ledger_record(report, run_span, workers=workers)
         return report
 
+    def _collect_worker_stats(self, handles: list[_WorkerHandle],
+                              wall: float
+                              ) -> dict[str, WorkerRunStats]:
+        """Fold worker-side counters + lane counters per worker."""
+        stats: dict[str, WorkerRunStats] = {}
+        for handle in handles:
+            snap = handle.worker_stats()
+            busy = float(snap.get("busy_time", 0.0))
+            stats[handle.name] = WorkerRunStats(
+                batches=int(snap.get("batches", 0)),
+                invocations=int(snap.get("envelopes", 0)),
+                steals=handle.lane_steals,
+                respawns=handle.restarts,
+                cache_hits=handle.lane_cache_hits,
+                busy_time=round(busy, 6),
+                idle_time=round(max(0.0, wall - busy), 6),
+                rss_kb=int(snap.get("rss_kb", 0)))
+        return stats
+
+    def _emit_worker_stats(self, graph: TaskGraph,
+                           workers: dict[str, WorkerRunStats],
+                           wall: float) -> None:
+        if not self.bus.enabled:
+            return
+        for name in sorted(workers):
+            stats = workers[name]
+            self.bus.emit(
+                WORKER_STATS, flow=graph.name, machine=name,
+                duration=stats.busy_time,
+                payload={"batches": stats.batches,
+                         "invocations": stats.invocations,
+                         "steals": stats.steals,
+                         "respawns": stats.respawns,
+                         "cache_hits": stats.cache_hits,
+                         "busy": stats.busy_time,
+                         "idle": stats.idle_time,
+                         "rss_kb": stats.rss_kb,
+                         "utilization": round(
+                             stats.busy_time / wall, 4)
+                         if wall > 0 else 0.0})
+
     def _ledger_record(self, report: ExecutionReport, run_span,
-                       error: BaseException | None = None) -> None:
+                       error: BaseException | None = None,
+                       workers: dict[str, WorkerRunStats] | None = None
+                       ) -> None:
         if self.ledger is None:
             return
         self.ledger.record_run(
             report, executor=PROCESS_EXECUTOR,
             cache_policy=self.cache_policy,
             trace_id=run_span.trace_id if run_span is not None else "",
-            error=error)
+            error=error, workers=workers)
 
     # ------------------------------------------------------------------
     # lane loop: claim, batch, dispatch, record
@@ -617,6 +806,12 @@ class ProcessFlowExecutor:
                     return executed
                 claimed = [ready.pop(0)]
                 tool_type = nodes[claimed[0]].tool_type
+                # Steal accounting: this lane switched tool types to
+                # drain whatever was runnable off the shared deque.
+                if handle.last_tool_type is not None \
+                        and tool_type != handle.last_tool_type:
+                    handle.lane_steals += 1
+                handle.last_tool_type = tool_type
                 # Batch greed is capped at this lane's fair share of
                 # the ready set: amortize round trips only when there
                 # is more ready work than workers — otherwise batching
@@ -812,6 +1007,7 @@ class ProcessFlowExecutor:
         prep.hits += 1
         prep.saved += hit.saved
         prep.bytes_saved += hit.bytes_saved
+        handle.lane_cache_hits += 1
         if self.bus.enabled:
             self.bus.emit(CACHE_HIT, flow=graph.name,
                           node=",".join(prep.invocation.outputs),
@@ -890,7 +1086,8 @@ class ProcessFlowExecutor:
                         output_types=prep.output_types, inputs=inputs,
                         input_digests=_derivation_inputs(combo),
                         user=self.user,
-                        fault=self._next_fault(tool_type)),
+                        fault=self._next_fault(tool_type),
+                        collect_phases=self.tracer.enabled),
                     tool_id=tool_id,
                     record_inputs=_derivation_inputs(combo),
                     combo=dict(combo), cache_key=key,
@@ -933,7 +1130,8 @@ class ProcessFlowExecutor:
                     output_types=(node.entity_type,), inputs=inputs,
                     input_digests=_derivation_inputs(combo),
                     user=self.user,
-                    fault=self._next_fault(COMPOSE_TOOL)),
+                    fault=self._next_fault(COMPOSE_TOOL),
+                    collect_phases=self.tracer.enabled),
                 tool_id=None, record_inputs=_derivation_inputs(combo),
                 combo=dict(combo), cache_key=key,
                 node_label=",".join(prep.invocation.outputs),
@@ -983,6 +1181,7 @@ class ProcessFlowExecutor:
                 timeout = self._timeout_for(group[0])
                 for unit in group:
                     unit.stats.attempts += 1
+                sent_at = self.tracer.clock()
                 try:
                     outcomes = handle.call(
                         [unit.envelope for unit in group], timeout)
@@ -1006,6 +1205,9 @@ class ProcessFlowExecutor:
                         self._settle(graph, handle, unit, error,
                                      pending)
                     continue
+                received_at = self.tracer.clock()
+                for unit in group:
+                    unit.window = (sent_at, received_at)
                 by_id = {outcome.envelope_id: outcome
                          for outcome in outcomes}
                 # A worker runs its batch serially: unit K's tool only
@@ -1158,6 +1360,14 @@ class ProcessFlowExecutor:
                 raise failed.error
             result, cached = self._record_units(graph, prep, handle,
                                                 task_span)
+            # Spans are recorded post-hoc (the work already happened
+            # inside the worker); pull the task span's start back to
+            # the earliest dispatch so child intervals stay contained.
+            windows = [u.window for u in prep.units
+                       if u.window is not None]
+            if windows and isinstance(task_span, Span):
+                task_span.start = min([task_span.start]
+                                      + [w[0] for w in windows])
         if result is not None and emitting:
             payload: dict[str, Any] = {"runs": result.runs,
                                        "created": list(result.created)}
@@ -1245,6 +1455,8 @@ class ProcessFlowExecutor:
                         (node.entity_type, instance.instance_id))
                 tool_span.set(created=[i for _, i in combo_created],
                               invocation_id=prep.invocation_id)
+                if isinstance(tool_span, Span):
+                    self._merge_phases(handle, unit, tool_span)
             if unit.cache_key is not None and self._cache_writes:
                 cache.store(unit.cache_key, combo_created,
                             outcome.duration)
@@ -1282,6 +1494,35 @@ class ProcessFlowExecutor:
             elif self._cache_reads:
                 task_span.set(cache="miss")
         return result, cached
+
+    def _merge_phases(self, handle: _WorkerHandle, unit: _Unit,
+                      tool_span: Span) -> None:
+        """Graft worker-side phase samples under the tool span.
+
+        Worker clocks are skew-corrected via the handshake offset and
+        then clamped into the coordinator-observed dispatch window, so
+        a bad offset estimate can distort a phase but never push it
+        outside its parent.  The tool span's start is pulled back to
+        the earliest phase so the children stay contained.
+        """
+        outcome = unit.outcome
+        if outcome is None:
+            return
+        fitted = fit_phases(outcome.phases, handle.sync, unit.window)
+        if not fitted:
+            return
+        worker = outcome.worker or handle.name
+        for name, start, end in fitted:
+            phase_span = self.tracer.start_span(
+                f"{name}:{unit.event_tool_type}", PHASE_SPAN,
+                parent=tool_span.context,
+                attributes={"worker": worker, "phase": name},
+                start=start)
+            self.tracer.finish(phase_span, end=end)
+        tool_span.start = min([tool_span.start]
+                              + [s for _, s, _ in fitted])
+        if outcome.result_bytes:
+            tool_span.set(result_bytes=outcome.result_bytes)
 
 
 __all__ = [

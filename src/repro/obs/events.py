@@ -44,6 +44,9 @@ CACHE_MISS = "cache_miss"
 TOOL_RETRIED = "tool_retried"
 TOOL_TIMED_OUT = "tool_timed_out"
 TOOL_QUARANTINED = "tool_quarantined"
+#: End-of-run summary for one worker process (procpool): batches,
+#: steals, respawns, busy/idle split — ``machine`` names the worker.
+WORKER_STATS = "worker_stats"
 
 EVENT_TYPES = frozenset({
     FLOW_STARTED,
@@ -60,6 +63,7 @@ EVENT_TYPES = frozenset({
     TOOL_RETRIED,
     TOOL_TIMED_OUT,
     TOOL_QUARANTINED,
+    WORKER_STATS,
 })
 
 #: Tool-type key used for composition (tool-less) invocations, matching

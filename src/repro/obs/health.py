@@ -19,7 +19,10 @@ each returning an ok/warn/fail verdict:
 * ``cache-hit-rate`` — cache effectiveness collapsed vs. the baseline;
 * ``parallelism-efficiency`` — the realized serial/wall ratio (the
   PR 3 critical-path efficiency figure) degraded vs. runs of the same
-  executor kind.
+  executor kind;
+* ``worker-utilization`` — procpool worker-pool health from the
+  per-worker ledger telemetry: absolute busy-time imbalance across
+  the pool, plus utilization drift vs. same-executor baselines.
 
 ``repro health`` renders the report and exits 1 on any fail, which is
 what CI gates on.
@@ -31,6 +34,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from .ledger import RunRecord
+from .workers import worker_imbalance
 
 OK = "ok"
 WARN = "warn"
@@ -170,6 +174,17 @@ class HealthThresholds:
     parallelism_min: float = 1.5
     parallelism_fail_ratio: float = 0.6
     parallelism_warn_ratio: float = 0.8
+    #: Worker-pool gates (procpool runs with per-worker telemetry):
+    #: total busy seconds below the floor never gate (framework-scale
+    #: tools finish in the noise band); imbalance is max/mean busy
+    #: across workers; utilization drift compares against the median
+    #: of same-executor baseline runs.
+    worker_busy_floor: float = 0.05
+    worker_imbalance_warn: float = 2.5
+    worker_imbalance_fail: float = 4.0
+    worker_min_utilization: float = 0.2
+    worker_fail_ratio: float = 0.6
+    worker_warn_ratio: float = 0.8
 
 
 def _worst(verdicts: Sequence[str]) -> str:
@@ -355,6 +370,67 @@ def check_parallelism_efficiency(current: RunRecord,
         f"(baseline {base:.2f}x)")
 
 
+def check_worker_utilization(current: RunRecord,
+                             baseline: Sequence[RunRecord],
+                             thresholds: HealthThresholds
+                             ) -> CheckResult:
+    """Worker-pool health of a procpool run: imbalance + utilization.
+
+    Two gates over the per-worker ledger telemetry.  *Imbalance* is
+    absolute — one worker doing several times the mean busy time means
+    the pool ran effectively serial, whatever history says.
+    *Utilization drift* is relative: summed busy / (workers x wall)
+    compared against the median of same-executor baseline runs, with
+    a gating floor so lightly loaded flows never flake.
+    """
+    name = "worker-utilization"
+    if not current.workers:
+        return CheckResult(name, OK, "no worker telemetry recorded")
+    utilization = current.worker_utilization
+    imbalance = worker_imbalance(current.workers)
+    busy_total = sum(stats.busy_time
+                     for stats in current.workers.values())
+    verdicts: list[str] = []
+    details: list[str] = []
+    if len(current.workers) > 1 \
+            and busy_total >= thresholds.worker_busy_floor:
+        if imbalance >= thresholds.worker_imbalance_fail:
+            verdicts.append(FAIL)
+            details.append(
+                f"pool imbalance {imbalance:.1f}x: the busiest of "
+                f"{len(current.workers)} workers did "
+                f"{imbalance:.1f}x the mean busy time")
+        elif imbalance >= thresholds.worker_imbalance_warn:
+            verdicts.append(WARN)
+            details.append(
+                f"pool imbalance {imbalance:.1f}x across "
+                f"{len(current.workers)} workers")
+    rates = [r.worker_utilization for r in baseline
+             if r.executor == current.executor and r.workers
+             and not r.errors]
+    if len(rates) >= thresholds.min_samples:
+        base = _median(rates)
+        if base >= thresholds.worker_min_utilization:
+            ratio = utilization / base if base else 1.0
+            if ratio < thresholds.worker_fail_ratio:
+                verdicts.append(FAIL)
+                details.append(
+                    f"utilization collapsed to {utilization:.0%} "
+                    f"(baseline {base:.0%} over {len(rates)} runs)")
+            elif ratio < thresholds.worker_warn_ratio:
+                verdicts.append(WARN)
+                details.append(
+                    f"utilization {utilization:.0%} below baseline "
+                    f"{base:.0%}")
+    if not verdicts:
+        return CheckResult(
+            name, OK,
+            f"utilization {utilization:.0%} across "
+            f"{len(current.workers)} worker(s), "
+            f"imbalance {imbalance:.1f}x")
+    return CheckResult(name, _worst(verdicts), "; ".join(details))
+
+
 HealthCheck = Callable[[RunRecord, Sequence[RunRecord],
                         HealthThresholds], CheckResult]
 
@@ -365,6 +441,7 @@ HEALTH_CHECKS: tuple[tuple[str, HealthCheck], ...] = (
     ("tool-quarantine", check_quarantine),
     ("cache-hit-rate", check_cache_hit_rate),
     ("parallelism-efficiency", check_parallelism_efficiency),
+    ("worker-utilization", check_worker_utilization),
 )
 
 

@@ -32,6 +32,7 @@ from ..errors import ObservabilityError
 from .events import COMPOSE_TOOL
 from .metrics import TimerStats, escape_label_value, timer_stats_of
 from .sinks import iter_jsonl_objects
+from .workers import WorkerRunStats, worker_utilization
 
 LEDGER_SCHEMA_VERSION = "ledger.v1"
 
@@ -146,6 +147,10 @@ class RunRecord:
     failures: int = 0
     quarantined: tuple[str, ...] = ()
     tools: dict[str, ToolRunStats] = field(default_factory=dict)
+    #: Per-worker telemetry of a procpool run (empty for in-process
+    #: executors and for ledgers written before PR 8 — optional on the
+    #: wire, so old ledgers load unchanged).
+    workers: dict[str, WorkerRunStats] = field(default_factory=dict)
     schema_version: str = LEDGER_SCHEMA_VERSION
 
     @property
@@ -157,11 +162,17 @@ class RunRecord:
         lookups = self.cache_lookups
         return self.cache_hits / lookups if lookups else 0.0
 
+    @property
+    def worker_utilization(self) -> float:
+        """Pool utilization: summed worker busy time / (n x wall)."""
+        return worker_utilization(self.workers, self.wall_time)
+
     @classmethod
     def from_report(cls, report: Any, *, executor: str,
                     cache_policy: str = "off", trace_id: str = "",
                     run_id: str = "", timestamp: float | None = None,
-                    error: BaseException | str | None = None
+                    error: BaseException | str | None = None,
+                    workers: dict[str, WorkerRunStats] | None = None
                     ) -> "RunRecord":
         """Distill an :class:`~repro.execution.executor.ExecutionReport`.
 
@@ -238,6 +249,7 @@ class RunRecord:
             quarantined=tuple(sorted(
                 getattr(report, "quarantined", ()))),
             tools=tools,
+            workers=dict(workers or {}),
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -274,6 +286,10 @@ class RunRecord:
             spec["error_tool"] = self.error_tool
         if self.quarantined:
             spec["quarantined"] = list(self.quarantined)
+        if self.workers:
+            spec["workers"] = {
+                worker: stats.to_dict()
+                for worker, stats in sorted(self.workers.items())}
         return spec
 
     @classmethod
@@ -311,6 +327,9 @@ class RunRecord:
             quarantined=tuple(spec.get("quarantined", ())),
             tools={tool: ToolRunStats.from_dict(stats)
                    for tool, stats in spec.get("tools", {}).items()},
+            workers={worker: WorkerRunStats.from_dict(stats)
+                     for worker, stats
+                     in spec.get("workers", {}).items()},
             schema_version=version,
         )
 
@@ -345,6 +364,9 @@ class RunRecord:
         if self.quarantined:
             parts.append("quarantined="
                          + ",".join(self.quarantined))
+        if self.workers:
+            parts.append(f"workers={len(self.workers)}")
+            parts.append(f"util={self.worker_utilization * 100.0:.0f}%")
         if self.trace_id:
             parts.append(f"trace={self.trace_id}")
         return " ".join(parts)
@@ -379,7 +401,8 @@ class RunLedger:
 
     def record_run(self, report: Any, *, executor: str,
                    cache_policy: str = "off", trace_id: str = "",
-                   error: BaseException | str | None = None
+                   error: BaseException | str | None = None,
+                   workers: dict[str, WorkerRunStats] | None = None
                    ) -> RunRecord | None:
         """Build and append one record from an execution report.
 
@@ -389,7 +412,7 @@ class RunLedger:
         """
         record = RunRecord.from_report(
             report, executor=executor, cache_policy=cache_policy,
-            trace_id=trace_id, error=error)
+            trace_id=trace_id, error=error, workers=workers)
         try:
             return self.append(record)
         except OSError:
@@ -484,6 +507,12 @@ def render_prometheus_ledger(records: Sequence[RunRecord],
            sum(r.timeouts for r in records))
     sample(f"{prefix}_run_failures_total", "counter",
            sum(r.failures for r in records))
+    sample(f"{prefix}_run_worker_steals_total", "counter",
+           sum(stats.steals for r in records
+               for stats in r.workers.values()))
+    sample(f"{prefix}_run_worker_respawns_total", "counter",
+           sum(stats.respawns for r in records
+               for stats in r.workers.values()))
     if not records:
         return "\n".join(lines) + "\n"
     last = records[-1]
@@ -514,4 +543,23 @@ def render_prometheus_ledger(records: Sequence[RunRecord],
                suffix="_count", declare=False)
         sample(metric, "summary", stats.duration.total, tool_labels,
                suffix="_sum", declare=False)
+    if last.workers:
+        sample(f"{prefix}_run_worker_utilization", "gauge",
+               last.worker_utilization, labels)
+        per_worker = (
+            (f"{prefix}_run_worker_busy_seconds",
+             lambda stats: stats.busy_time),
+            (f"{prefix}_run_worker_idle_seconds",
+             lambda stats: stats.idle_time),
+            (f"{prefix}_run_worker_invocations",
+             lambda stats: stats.invocations),
+            (f"{prefix}_run_worker_rss_kilobytes",
+             lambda stats: stats.rss_kb),
+        )
+        for metric, extract in per_worker:
+            declared = False
+            for worker, stats in sorted(last.workers.items()):
+                sample(metric, "gauge", extract(stats),
+                       {"worker": worker}, declare=not declared)
+                declared = True
     return "\n".join(lines) + "\n"

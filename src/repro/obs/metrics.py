@@ -17,7 +17,8 @@ from typing import Any, Sequence
 
 from .events import (CACHE_HIT, CACHE_MISS, COMPOSITION_RUN,
                      EXECUTION_FAILED, FLOW_FINISHED, FLOW_STARTED,
-                     INSTANCE_CREATED, TOOL_FINISHED, Event)
+                     INSTANCE_CREATED, TOOL_FINISHED, WORKER_STATS,
+                     Event)
 
 
 @dataclass(frozen=True)
@@ -199,6 +200,20 @@ class MetricsRegistry:
         elif kind == CACHE_MISS:
             self.inc("cache.misses")
             self.inc(f"cache.misses.{event.tool_type or '@compose'}")
+        elif kind == WORKER_STATS:
+            worker = event.machine or "?"
+            for counter in ("batches", "invocations", "steals",
+                            "respawns", "cache_hits"):
+                amount = int(event.value(counter, 0))
+                if amount:
+                    self.inc(f"worker.{worker}.{counter}", amount)
+                    self.inc(f"workers.{counter}", amount)
+            self.set_gauge(f"worker.{worker}.busy_seconds",
+                           float(event.value("busy", event.duration)))
+            self.set_gauge(f"worker.{worker}.idle_seconds",
+                           float(event.value("idle", 0.0)))
+            self.set_gauge(f"worker.{worker}.utilization",
+                           float(event.value("utilization", 0.0)))
 
     # ------------------------------------------------------------------
     # reporting
@@ -280,6 +295,27 @@ class MetricsRegistry:
                 f"  cache: {hits} hits, {misses} misses, "
                 f"{self.counter('cache.bytes_saved')} bytes saved, "
                 f"{saved.total * 1e3:.2f}ms saved")
+        workers = sorted({name.split(".")[1]
+                          for name in self.counters("worker.")}
+                         | {name.split(".")[1]
+                            for name in self.gauges()
+                            if name.startswith("worker.")})
+        if workers:
+            lines.append("  workers:")
+            for worker in workers:
+                busy = self.gauge(f"worker.{worker}.busy_seconds")
+                util = self.gauge(f"worker.{worker}.utilization")
+                parts = [
+                    f"batches={self.counter(f'worker.{worker}.batches')}",
+                    f"inv={self.counter(f'worker.{worker}.invocations')}",
+                    f"busy={busy * 1e3:.2f}ms",
+                    f"util={util * 100.0:.0f}%",
+                ]
+                for counter in ("cache_hits", "steals", "respawns"):
+                    count = self.counter(f"worker.{worker}.{counter}")
+                    if count:
+                        parts.append(f"{counter}={count}")
+                lines.append(f"    {worker:<12} " + " ".join(parts))
         tools = self.timers("tool.")
         if tools:
             by_total = sorted(tools.items(),

@@ -17,6 +17,7 @@ from __future__ import annotations
 import collections
 import json
 import pathlib
+import time
 from typing import IO, Any, Callable, Iterable, Iterator
 
 from ..errors import ObservabilityError
@@ -150,6 +151,73 @@ def iter_jsonl_objects(path: str | pathlib.Path, *,
                 pending = problem
                 continue
             yield lineno, spec
+
+
+def follow_jsonl_objects(path: str | pathlib.Path, *,
+                         poll_interval: float = 0.5,
+                         sleep: Callable[[float], None] = time.sleep,
+                         stop: Callable[[], bool] | None = None
+                         ) -> Iterator[tuple[int, dict[str, Any]]]:
+    """Tail a JSON-lines file: yield objects as a live writer appends.
+
+    The torn-tail discipline of :func:`iter_jsonl_objects` applies
+    incrementally: a partial trailing line (a write caught mid-flush)
+    is buffered until its newline arrives, while a newline-*terminated*
+    line that fails to parse raises — that is real damage, not
+    truncation.  A missing file is waited for (watching an environment
+    about to run), and a file that shrinks (rotation) restarts from the
+    top.  ``stop`` is polled between reads; returning True ends the
+    follow — without it the generator runs until the consumer stops
+    iterating (e.g. KeyboardInterrupt in the CLI).
+    """
+    log = pathlib.Path(path)
+    offset = 0
+    lineno = 0
+    buffered = ""
+    while True:
+        if log.exists():
+            size = log.stat().st_size
+            if size < offset:  # rotated/truncated: start over
+                offset = 0
+                lineno = 0
+                buffered = ""
+            if size > offset:
+                with open(log, "r", encoding="utf-8") as handle:
+                    handle.seek(offset)
+                    chunk = handle.read()
+                    offset = handle.tell()
+                buffered += chunk
+                while "\n" in buffered:
+                    line, _, buffered = buffered.partition("\n")
+                    lineno += 1
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        spec = json.loads(line)
+                    except json.JSONDecodeError as error:
+                        raise ObservabilityError(
+                            f"{log}:{lineno}: corrupt event line "
+                            f"({error})") from None
+                    if not isinstance(spec, dict):
+                        raise ObservabilityError(
+                            f"{log}:{lineno}: expected a JSON object, "
+                            f"got {type(spec).__name__}")
+                    yield lineno, spec
+        if stop is not None and stop():
+            return
+        sleep(poll_interval)
+
+
+def follow_events(path: str | pathlib.Path, *,
+                  poll_interval: float = 0.5,
+                  sleep: Callable[[float], None] = time.sleep,
+                  stop: Callable[[], bool] | None = None
+                  ) -> Iterator[Event]:
+    """Tail a :class:`JSONLSink` event log (``repro events --follow``)."""
+    for _, spec in follow_jsonl_objects(path, poll_interval=poll_interval,
+                                        sleep=sleep, stop=stop):
+        yield Event.from_dict(spec)
 
 
 def replay_events(path: str | pathlib.Path, *,

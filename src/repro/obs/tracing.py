@@ -51,6 +51,10 @@ TOOL_SPAN = "tool"
 COMPOSE_SPAN = "compose"
 CACHE_SPAN = "cache_lookup"
 DECOMPOSE_SPAN = "decompose"
+#: In-worker phase of one tool/compose execution (envelope decode,
+#: fingerprint verify, tool body, result encode) — emitted by the
+#: procpool coordinator from worker-reported, skew-corrected samples.
+PHASE_SPAN = "phase"
 
 SPAN_KINDS = frozenset({
     RUN_SPAN,
@@ -60,6 +64,7 @@ SPAN_KINDS = frozenset({
     COMPOSE_SPAN,
     CACHE_SPAN,
     DECOMPOSE_SPAN,
+    PHASE_SPAN,
 })
 
 
@@ -271,9 +276,15 @@ class Tracer:
     # ------------------------------------------------------------------
     def start_span(self, name: str, kind: str, *,
                    parent: SpanContext | None = None,
-                   attributes: dict[str, Any] | None = None) -> Span:
+                   attributes: dict[str, Any] | None = None,
+                   start: float | None = None) -> Span:
         """Open a span; without an explicit or ambient parent it roots
-        a fresh trace."""
+        a fresh trace.
+
+        ``start`` overrides the clock — used when the span describes
+        work that already happened somewhere else (a worker process)
+        and its observed timestamps are being merged in after the fact.
+        """
         if kind not in SPAN_KINDS:
             raise ObservabilityError(f"unknown span kind {kind!r}")
         if parent is None:
@@ -291,13 +302,18 @@ class Tracer:
             parent_id=parent_id,
             name=name,
             kind=kind,
-            start=self.clock(),
+            start=self.clock() if start is None else start,
             attributes=dict(attributes or {}),
         )
 
-    def finish(self, span: Span) -> Span:
-        """Stamp the end time and flush the span to every sink."""
-        span.end = self.clock()
+    def finish(self, span: Span, *, end: float | None = None) -> Span:
+        """Stamp the end time and flush the span to every sink.
+
+        ``end`` overrides the clock for retroactively merged spans
+        (see :meth:`start_span`); it is clamped so the span never ends
+        before it starts.
+        """
+        span.end = self.clock() if end is None else max(span.start, end)
         with self._lock:
             for sink in self._sinks:
                 sink.handle(span)
@@ -438,6 +454,113 @@ def render_span_tree(spans: Sequence[Span],
             walk(span.span_id, depth + 1)
 
     walk(None, 1)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# worker-lane timeline (the ``repro trace timeline`` output)
+# ---------------------------------------------------------------------------
+def _union_length(intervals: Sequence[tuple[float, float]]) -> float:
+    """Total length covered by a set of possibly-overlapping intervals."""
+    total = 0.0
+    edge = float("-inf")
+    for start, end in sorted(intervals):
+        start = max(start, edge)
+        if end > start:
+            total += end - start
+            edge = end
+    return total
+
+
+def _lane_sort_key(name: str) -> tuple[str, int]:
+    """Natural sort for lane names: worker2 before worker10."""
+    digits = ""
+    while name and name[-1].isdigit():
+        digits = name[-1] + digits
+        name = name[:-1]
+    return (name, int(digits) if digits else -1)
+
+
+def render_timeline(spans: Sequence[Span],
+                    trace_id: str | None = None, *,
+                    width: int = 60) -> str:
+    """ASCII Gantt of one trace, one row per execution lane.
+
+    Lanes come from the task spans' ``machine`` attribute, so the
+    rendering works for every executor that stamps one — procpool
+    worker lanes and thread-scheduler machines alike.  Each row paints
+    ``width`` columns of the run's wall interval: ``#`` where the lane
+    executed a task, ``~`` where a task sat ready in the queue, ``!``
+    where the task errored, ``.`` idle.  Per-lane busy/wait shares are
+    computed from the real intervals, not the (quantized) columns —
+    merged as a union first, since batched tasks on one lane share a
+    dispatch window and would otherwise double-count.
+    """
+    if width < 10:
+        raise ObservabilityError(
+            f"timeline width must be >= 10 columns, got {width}")
+    selected = spans_of_trace(spans, trace_id)
+    if not selected:
+        return "no spans recorded"
+    tasks = [s for s in selected if s.kind == TASK_SPAN]
+    header = f"timeline for trace {selected[0].trace_id}"
+    if not tasks:
+        return header + ": no task spans to lay out"
+    run = next((s for s in selected if s.kind == RUN_SPAN), None)
+    flow = (run.value("flow", "") if run is not None
+            else tasks[0].value("flow", ""))
+    if flow:
+        header += f" (flow {flow})"
+    starts = [s.start - float(s.value("queue_wait", 0.0) or 0.0)
+              for s in tasks]
+    base = min(starts + ([run.start] if run is not None else []))
+    finish = max([s.end for s in tasks]
+                 + ([run.end] if run is not None
+                    and run.end > run.start else []))
+    wall = max(finish - base, 1e-9)
+
+    def column(moment: float) -> int:
+        fraction = (moment - base) / wall
+        return min(width - 1, max(0, int(fraction * width)))
+
+    lanes: dict[str, list[Span]] = {}
+    for span in tasks:
+        lane = str(span.value("machine") or "?")
+        lanes.setdefault(lane, []).append(span)
+    label_width = max(len(name) for name in lanes)
+    lines = [
+        header + (f": wall {wall * 1e3:.2f}ms, {len(lanes)} lane(s), "
+                  f"{len(tasks)} task(s)"),
+        "  legend: '#' executing  '~' queue wait  '!' error  '.' idle",
+    ]
+    for lane in sorted(lanes, key=_lane_sort_key):
+        members = sorted(lanes[lane], key=lambda s: (s.start, s.span_id))
+        row = ["."] * width
+        busy = _union_length([(s.start, s.end) for s in members])
+        wait = _union_length(
+            [(s.start - float(s.value("queue_wait", 0.0) or 0.0),
+              s.start) for s in members
+             if float(s.value("queue_wait", 0.0) or 0.0) > 0])
+        for span in members:
+            queue_wait = float(span.value("queue_wait", 0.0) or 0.0)
+            if queue_wait > 0:
+                for index in range(column(span.start - queue_wait),
+                                   column(span.start)):
+                    if row[index] == ".":
+                        row[index] = "~"
+            mark = "#" if span.status == "ok" else "!"
+            for index in range(column(span.start),
+                               column(span.end) + 1):
+                row[index] = mark
+        lines.append(
+            f"  {lane:<{label_width}} |{''.join(row)}| "
+            f"busy {busy / wall * 100.0:3.0f}% "
+            f"wait {wait / wall * 100.0:3.0f}% "
+            f"({len(members)} task(s))")
+    left = "0ms"
+    right = f"{wall * 1e3:.2f}ms"
+    gap = max(1, width + 2 - len(left) - len(right))
+    lines.append(" " * (2 + label_width) + left + " " * gap + right)
     return "\n".join(lines)
 
 

@@ -1,0 +1,288 @@
+"""Worker-side telemetry for the process-pool executor.
+
+The procpool tier (PR 7) made forked workers a black box: spans were
+synthesized coordinator-side from a single reported duration.  This
+module is the worker's half of the fix — a lightweight, pickle-safe
+recorder that runs *inside* each forked worker and ships structured
+timing home with every batch reply:
+
+* :class:`WorkerTelemetry` captures per-invocation **phase samples**
+  (envelope decode, fingerprint verify, tool body, result encode) on
+  the worker's monotonic clock, plus cumulative counters (batches,
+  envelopes, busy seconds, rss high-water via ``resource.getrusage``);
+* :class:`ClockSync` is the coordinator's half of the spawn-time
+  handshake: one ping/pong over the worker pipe estimates the offset
+  between the worker clock and the coordinator's tracer clock
+  (midpoint method), so worker timestamps merge skew-corrected;
+* :func:`fit_phases` performs that merge: correct each worker-side
+  sample by the estimated offset, then clamp it into the coordinator's
+  observed dispatch window so the resulting spans always nest inside
+  their parents, whatever the residual skew;
+* :class:`WorkerRunStats` is the per-worker summary the ledger, the
+  Prometheus export and ``repro health`` consume.
+
+Everything here is stdlib-only and import-safe from both halves of the
+fork; nothing imports the execution layer.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+#: Phase names, in the order a worker executes them.
+PHASE_DECODE = "decode"
+PHASE_VERIFY = "verify"
+PHASE_TOOL = "tool_body"
+PHASE_ENCODE = "encode"
+
+WORKER_PHASES: tuple[str, ...] = (
+    PHASE_DECODE,
+    PHASE_VERIFY,
+    PHASE_TOOL,
+    PHASE_ENCODE,
+)
+
+#: One phase sample as it crosses the pipe: (name, start, end) on the
+#: worker's clock.  Plain tuples pickle smaller than dataclasses.
+PhaseSample = tuple[str, float, float]
+
+
+def _rss_kb() -> int:
+    """High-water resident set size of this process, in KiB.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; normalize to KiB.
+    Platforms without :mod:`resource` report 0 rather than fail.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    import sys
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS only
+        peak //= 1024
+    return int(peak)
+
+
+class WorkerTelemetry:
+    """In-worker recorder: phase samples plus cumulative counters.
+
+    One instance lives for the worker process's lifetime.  Phase
+    collection is opt-in per envelope (the coordinator only asks for it
+    when a tracer is attached), so untraced runs pay one boolean test
+    per phase; the counters are always maintained — they are a handful
+    of float adds per batch.
+    """
+
+    def __init__(self, worker: str, *,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self.worker = worker
+        self.clock = clock
+        self.batches = 0
+        self.envelopes = 0
+        self.busy_time = 0.0
+        self._collecting = False
+        self._phases: list[PhaseSample] = []
+
+    def begin_envelope(self, *, collect: bool = False) -> None:
+        """Reset the per-envelope scratch; called before each unit."""
+        self._collecting = collect
+        self._phases = []
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one phase of the current envelope (no-op untraced)."""
+        if not self._collecting:
+            yield
+            return
+        started = self.clock()
+        try:
+            yield
+        finally:
+            self._phases.append((name, started, self.clock()))
+
+    def phases(self) -> tuple[PhaseSample, ...]:
+        """The current envelope's samples, in execution order."""
+        return tuple(self._phases)
+
+    def finish_envelope(self, duration: float) -> None:
+        """Fold one completed envelope into the counters."""
+        self.envelopes += 1
+        self.busy_time += max(0.0, duration)
+
+    def stats(self) -> dict[str, Any]:
+        """Snapshot shipped home with every batch reply."""
+        return {
+            "worker": self.worker,
+            "batches": self.batches,
+            "envelopes": self.envelopes,
+            "busy_time": round(self.busy_time, 6),
+            "rss_kb": _rss_kb(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# coordinator side: clock handshake + skew-corrected merge
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClockSync:
+    """Result of one spawn-time clock handshake.
+
+    ``offset`` maps worker timestamps onto the coordinator clock:
+    ``coordinator_time = worker_time - offset``.  The midpoint estimate
+    is exact to within half the round-trip (``rtt``); on Linux both
+    clocks are the same system-wide ``CLOCK_MONOTONIC``, so the offset
+    is usually near zero — the handshake exists for the day it isn't
+    (tracers with custom clocks, platforms with per-process clocks).
+    """
+
+    offset: float = 0.0
+    rtt: float = 0.0
+    synced: bool = False
+
+    @classmethod
+    def estimate(cls, t_sent: float, worker_clock: float,
+                 t_received: float) -> "ClockSync":
+        """Midpoint offset from one ping (NTP-style, single sample)."""
+        midpoint = (t_sent + t_received) / 2.0
+        return cls(offset=worker_clock - midpoint,
+                   rtt=max(0.0, t_received - t_sent),
+                   synced=True)
+
+    def correct(self, worker_time: float) -> float:
+        """Map one worker-clock timestamp onto the coordinator clock."""
+        return worker_time - self.offset
+
+
+def fit_phases(phases: Sequence[PhaseSample], sync: ClockSync,
+               window: tuple[float, float] | None
+               ) -> tuple[PhaseSample, ...]:
+    """Merge worker phase samples into the coordinator's timeline.
+
+    Each sample is skew-corrected by the handshake offset, then clamped
+    into ``window`` — the coordinator-observed (send, receive) interval
+    of the round trip that carried it.  Clamping guarantees the derived
+    spans nest inside their parent task span even when the offset
+    estimate is off by up to the handshake round-trip; intervals are
+    truncated, never reordered, and ``end >= start`` always holds.
+    """
+    if not phases:
+        return ()
+    corrected = [(name, sync.correct(start), sync.correct(end))
+                 for name, start, end in phases]
+    if window is None:
+        return tuple(corrected)
+    lo, hi = window
+    fitted: list[PhaseSample] = []
+    for name, start, end in corrected:
+        start = min(max(start, lo), hi)
+        end = min(max(end, lo), hi)
+        fitted.append((name, start, max(start, end)))
+    return tuple(fitted)
+
+
+# ---------------------------------------------------------------------------
+# the per-worker run summary (ledger / health / Prometheus shape)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkerRunStats:
+    """One worker's contribution to one executed flow.
+
+    ``batches``/``invocations``/``busy_time``/``rss_kb`` come from the
+    worker's own telemetry (summed across respawns); ``steals``,
+    ``cache_hits`` and ``respawns`` are coordinator-side lane counters
+    — a *steal* is a claim whose tool type differs from the lane's
+    previous claim, i.e. the lane abandoned its warm streak to drain
+    whatever was runnable.  ``idle_time`` is wall minus busy, clamped
+    at zero.
+    """
+
+    batches: int = 0
+    invocations: int = 0
+    steals: int = 0
+    respawns: int = 0
+    cache_hits: int = 0
+    busy_time: float = 0.0
+    idle_time: float = 0.0
+    rss_kb: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "batches": self.batches,
+            "invocations": self.invocations,
+            "steals": self.steals,
+            "respawns": self.respawns,
+            "cache_hits": self.cache_hits,
+            "busy_time": self.busy_time,
+            "idle_time": self.idle_time,
+            "rss_kb": self.rss_kb,
+        }
+
+    @classmethod
+    def from_dict(cls, spec: dict[str, Any]) -> "WorkerRunStats":
+        return cls(
+            batches=int(spec.get("batches", 0)),
+            invocations=int(spec.get("invocations", 0)),
+            steals=int(spec.get("steals", 0)),
+            respawns=int(spec.get("respawns", 0)),
+            cache_hits=int(spec.get("cache_hits", 0)),
+            busy_time=float(spec.get("busy_time", 0.0)),
+            idle_time=float(spec.get("idle_time", 0.0)),
+            rss_kb=int(spec.get("rss_kb", 0)),
+        )
+
+    def render(self) -> str:
+        parts = [
+            f"batches={self.batches}",
+            f"inv={self.invocations}",
+            f"busy={self.busy_time * 1e3:.2f}ms",
+            f"idle={self.idle_time * 1e3:.2f}ms",
+        ]
+        if self.cache_hits:
+            parts.append(f"hits={self.cache_hits}")
+        if self.steals:
+            parts.append(f"steals={self.steals}")
+        if self.respawns:
+            parts.append(f"respawns={self.respawns}")
+        if self.rss_kb:
+            parts.append(f"rss={self.rss_kb}KiB")
+        return " ".join(parts)
+
+
+def worker_utilization(workers: dict[str, WorkerRunStats],
+                       wall_time: float) -> float:
+    """Pool utilization: summed busy time over workers x wall."""
+    if not workers or wall_time <= 0:
+        return 0.0
+    busy = sum(stats.busy_time for stats in workers.values())
+    return busy / (len(workers) * wall_time)
+
+
+def worker_imbalance(workers: dict[str, WorkerRunStats]) -> float:
+    """Max/mean busy-time ratio; 1.0 is a perfectly even pool."""
+    if not workers:
+        return 1.0
+    busy = [stats.busy_time for stats in workers.values()]
+    mean = sum(busy) / len(busy)
+    if mean <= 0:
+        return 1.0
+    return max(busy) / mean
+
+
+__all__ = [
+    "ClockSync",
+    "PHASE_DECODE",
+    "PHASE_ENCODE",
+    "PHASE_TOOL",
+    "PHASE_VERIFY",
+    "PhaseSample",
+    "WORKER_PHASES",
+    "WorkerRunStats",
+    "WorkerTelemetry",
+    "fit_phases",
+    "worker_imbalance",
+    "worker_utilization",
+]
