@@ -18,6 +18,9 @@ Hercules session — enough to drive a design from a shell::
     python -m repro ledger show ./proj --tail 5
     python -m repro ledger compare ./proj 3f2a 9c1b
     python -m repro ledger export ./proj --format prometheus
+    python -m repro run ./proj my-flow --profile --trace
+    python -m repro profile flamegraph ./proj -o profile.folded
+    python -m repro profile queries ./proj
 
 Every mutating command saves the environment back to the directory, so
 consecutive invocations build one continuous design history — the CLI
@@ -45,14 +48,18 @@ from .history.query import dependents_of_type
 from .history.store import BACKEND_SQLITE, BACKENDS
 from .history.trace import backward_trace
 from .obs import (EVENT_TYPES, HealthThresholds, JSONLSink,
-                  MetricsRegistry, RunLedger, RunRecord, critical_path,
-                  evaluate_health, export_chrome, follow_events,
-                  read_spans, render_json, render_prometheus_ledger,
+                  MetricsRegistry, ProfileAggregate, QueryRecorder,
+                  RunLedger, RunRecord, SamplingProfiler, append_profile,
+                  critical_path, evaluate_health, export_chrome,
+                  find_profile, follow_events, iter_jsonl_objects,
+                  profile_record, read_profiles, read_spans, render_json,
+                  render_profile, render_prometheus_ledger,
                   render_span_tree, render_timeline, replay_events,
-                  replay_into, tool_baselines, validate_chrome_trace,
-                  validate_spans)
+                  replay_into, timeline_model, tool_baselines,
+                  validate_chrome_trace, validate_spans)
 from .obs.health import DEFAULT_K, DEFAULT_MIN_SAMPLES, DEFAULT_WINDOW
-from .persistence import (CACHE_FILE, LEDGER_FILE, TRACE_FILE,
+from .persistence import (CACHE_FILE, LEDGER_FILE, PROFILE_FILE,
+                          SLOW_QUERY_FILE, TRACE_FILE,
                           load_environment, migrate_environment,
                           save_environment)
 from .schema.standard import fig1_schema, fig2_schema, odyssey_schema
@@ -221,6 +228,23 @@ def cmd_run(args: argparse.Namespace) -> int:
         trace_sink = JSONLSink(
             pathlib.Path(args.directory) / TRACE_FILE)
         env.tracer.subscribe(trace_sink)
+    profiler = None
+    if args.profile or args.profile_memory:
+        if args.profile_interval_ms <= 0:
+            print("error: --profile-interval-ms must be > 0",
+                  file=sys.stderr)
+            return 2
+        recorder = QueryRecorder(
+            slow_log=pathlib.Path(args.directory) / SLOW_QUERY_FILE,
+            backend=env.db.backend)
+        profiler = SamplingProfiler(
+            args.profile_interval_ms / 1000.0,
+            track_memory=args.profile_memory)
+        profiler.query_recorder = recorder
+        env.db.store.set_query_recorder(recorder)
+        # every executor the environment hands out below inherits it
+        env.profiler = profiler
+        profiler.start()
     flow = env.plan_flow(args.flow)
     resilience, faults = _run_resilience(args)
     cache = None if args.cache == "off" else args.cache
@@ -254,6 +278,8 @@ def cmd_run(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     finally:
+        if profiler is not None:
+            profiler.stop()
         if sink is not None:
             sink.close()
         if trace_sink is not None:
@@ -266,6 +292,18 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.trace and env.tracer.last_trace_id:
         print(f"  trace {env.tracer.last_trace_id} appended to "
               f"{trace_sink.path}")
+    if profiler is not None:
+        records = env.ledger.records() if env.ledger is not None else ()
+        target = pathlib.Path(args.directory) / PROFILE_FILE
+        append_profile(target, profile_record(
+            profiler.aggregate,
+            run_id=records[-1].run_id if records else "",
+            trace_id=env.tracer.last_trace_id if args.trace else "",
+            flow=args.flow, executor=args.executor,
+            query=profiler.query_recorder.summary() or None))
+        print(f"  profile: {profiler.aggregate.samples} stack "
+              f"sample(s) @{args.profile_interval_ms:g}ms appended to "
+              f"{target}")
     if report.cache_hits:
         print(f"  saved {report.time_saved * 1000.0:.1f}ms and "
               f"{report.bytes_saved} bytes of tool output")
@@ -597,8 +635,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print(critical_path(spans, args.trace_id).render())
         return 0
     if args.trace_command == "timeline":
-        print(render_timeline(spans, args.trace_id,
-                              width=args.width))
+        if args.json:
+            print(render_json(timeline_model(spans, args.trace_id)))
+        else:
+            print(render_timeline(spans, args.trace_id,
+                                  width=args.width))
         return 0
     # export
     problems = validate_spans(spans)
@@ -619,6 +660,66 @@ def cmd_trace(args: argparse.Namespace) -> int:
               f"{args.output} (open in https://ui.perfetto.dev)")
     else:
         print(text)
+    return 0
+
+
+def _profile_log(path: str) -> pathlib.Path:
+    """Accept either a profiles file or an environment directory."""
+    candidate = pathlib.Path(path)
+    if candidate.is_dir():
+        return candidate / PROFILE_FILE
+    return candidate
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    if args.profile_command == "queries":
+        env = _load(args.directory)
+        store = env.db.store
+        audit = getattr(store, "query_plan_audit", None)
+        if audit is None:
+            print("error: the query-plan audit requires the sqlite "
+                  "history backend (run 'repro migrate "
+                  f"{args.directory} --to sqlite' first; current "
+                  f"backend: {env.db.backend})", file=sys.stderr)
+            return 2
+        regressions = 0
+        audits = audit()
+        for entry in audits:
+            shape = "INDEX" if entry["uses_index"] else (
+                "SCAN" if entry["full_scan"] else "-")
+            note = ""
+            if entry["expect_index"] and entry["full_scan"]:
+                note = "  <-- full-scan regression"
+                regressions += 1
+            print(f"{entry['name']:<26} {shape:<6} "
+                  f"{entry['fingerprint']}  {entry['statement']}{note}")
+        indexed = sum(1 for entry in audits if entry["uses_index"])
+        scans = sum(1 for entry in audits if entry["full_scan"])
+        print(f"{len(audits)} statements audited: {indexed} indexed, "
+              f"{scans} full scan(s), {regressions} regression(s)")
+        slow_log = pathlib.Path(args.directory) / SLOW_QUERY_FILE
+        if slow_log.exists():
+            slow = sum(1 for _ in iter_jsonl_objects(slow_log,
+                                                     strict=False))
+            print(f"slow-query log: {slow} entries in {slow_log}")
+        return 1 if regressions else 0
+    record = find_profile(read_profiles(_profile_log(args.path)),
+                          args.run)
+    if args.profile_command == "show":
+        print(render_profile(record))
+        return 0
+    if args.profile_command == "flamegraph":
+        text = ProfileAggregate.from_dict(record).collapsed()
+        if args.output:
+            pathlib.Path(args.output).write_text(
+                text + ("\n" if text else ""), encoding="utf-8")
+            print(f"wrote {len(text.splitlines())} collapsed-stack "
+                  f"line(s) to {args.output}")
+        else:
+            print(text)
+        return 0
+    # export: the raw record, one JSON object
+    print(render_json(record))
     return 0
 
 
@@ -734,6 +835,19 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fault-plan",
                      help="JSON file scripting deterministic tool "
                           "faults (chaos drills; see DESIGN.md §10)")
+    run.add_argument("--profile", action="store_true",
+                     help="sample in-tool stacks during the run and "
+                          "append a profile record to the "
+                          "environment's profiles.jsonl (inspect with "
+                          "'repro profile')")
+    run.add_argument("--profile-interval-ms", type=float, default=5.0,
+                     help="with --profile: sampling interval in "
+                          "milliseconds (default 5)")
+    run.add_argument("--profile-memory", action="store_true",
+                     help="with --profile: also track per-invocation "
+                          "tracemalloc high-water marks (implies "
+                          "--profile; expensive — tracemalloc "
+                          "multiplies allocation-heavy tool cost)")
     run.add_argument("--degrade", action="store_true",
                      help="on unrecoverable invocation failure, record "
                           "it and keep executing independent work "
@@ -890,6 +1004,10 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--width", type=int, default=60,
                              help="chart width in columns "
                                   "(default 60)")
+            sub.add_argument("--json", action="store_true",
+                             help="emit the lane/interval model as "
+                                  "one JSON object instead of the "
+                                  "ASCII chart")
         if name == "export":
             sub.add_argument("--format", choices=["chrome"],
                              default="chrome",
@@ -900,6 +1018,41 @@ def build_parser() -> argparse.ArgumentParser:
                              help="write to this file instead of "
                                   "stdout")
         sub.set_defaults(fn=cmd_trace)
+
+    profile = commands.add_parser(
+        "profile", help="inspect recorded sampling profiles and "
+                        "history-query observability "
+                        "(see 'repro run --profile')")
+    profile_commands = profile.add_subparsers(dest="profile_command",
+                                              required=True)
+    for name, description in (
+            ("show", "per-tool self-time summary of one recorded "
+                     "profile"),
+            ("flamegraph", "collapsed-stack output for flamegraph.pl "
+                           "or speedscope"),
+            ("queries", "EXPLAIN QUERY PLAN index audit of the sqlite "
+                        "history backend plus the slow-query log "
+                        "(exit 1 on a full-scan regression)"),
+            ("export", "raw JSON of one recorded profile")):
+        sub = profile_commands.add_parser(name, help=description)
+        if name == "queries":
+            sub.add_argument("directory",
+                             help="an environment directory using the "
+                                  "sqlite history backend")
+        else:
+            sub.add_argument("path",
+                             help="a profiles JSONL file or an "
+                                  "environment directory containing "
+                                  "profiles.jsonl")
+            sub.add_argument("--run",
+                             help="select a run id (unambiguous "
+                                  "prefixes accepted; default: the "
+                                  "latest profile)")
+        if name == "flamegraph":
+            sub.add_argument("-o", "--output",
+                             help="write to this file instead of "
+                                  "stdout")
+        sub.set_defaults(fn=cmd_profile)
 
     schema = commands.add_parser("schema",
                                  help="dump the schema as Graphviz DOT")

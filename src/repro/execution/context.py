@@ -74,6 +74,10 @@ class DesignEnvironment:
         # abort the flow, exactly as without the resilience layer).
         self.resilience: ResiliencePolicy | None = None
         self.faults: FaultPlan | None = None
+        # Sampling profiler handed to every executor this environment
+        # creates (None: no profiling overhead anywhere).  The CLI's
+        # ``repro run --profile`` sets and starts one for the run.
+        self.profiler = None
         # Cross-process shared derivation memo: set by
         # enable_shared_memo (persistence does so for saved
         # environments) and attached to the cache on first use.
@@ -199,7 +203,8 @@ class DesignEnvironment:
             tracer=self.tracer, ledger=self.ledger,
             resilience=resilience if resilience is not None
             else self.resilience,
-            faults=faults if faults is not None else self.faults)
+            faults=faults if faults is not None else self.faults,
+            profiler=self.profiler)
 
     def parallel_executor(self, machines: int = 2,
                           pool: MachinePool | None = None, *,
@@ -215,7 +220,8 @@ class DesignEnvironment:
             ledger=self.ledger,
             resilience=resilience if resilience is not None
             else self.resilience,
-            faults=faults if faults is not None else self.faults)
+            faults=faults if faults is not None else self.faults,
+            profiler=self.profiler)
 
     def scheduled_executor(self, machines: int = 2,
                            pool: MachinePool | None = None,
@@ -232,7 +238,8 @@ class DesignEnvironment:
             ledger=self.ledger,
             resilience=resilience if resilience is not None
             else self.resilience,
-            faults=faults if faults is not None else self.faults)
+            faults=faults if faults is not None else self.faults,
+            profiler=self.profiler)
 
     def process_executor(self, workers: int = 2,
                          durations: DurationModel | None = None, *,
@@ -250,7 +257,8 @@ class DesignEnvironment:
             ledger=self.ledger,
             resilience=resilience if resilience is not None
             else self.resilience,
-            faults=faults if faults is not None else self.faults)
+            faults=faults if faults is not None else self.faults,
+            profiler=self.profiler)
 
     def run(self, flow: DynamicFlow | TaskGraph,
             targets: Sequence[str] | None = None, *,

@@ -217,7 +217,8 @@ class FlowExecutor:
                  tracer: Tracer | None = None,
                  ledger: RunLedger | None = None,
                  resilience: ResiliencePolicy | None = None,
-                 faults: FaultPlan | None = None) -> None:
+                 faults: FaultPlan | None = None,
+                 profiler=None) -> None:
         self.db = db
         self.registry = registry
         self.user = user
@@ -255,6 +256,10 @@ class FlowExecutor:
         # boundary the policy guards, so chaos drills exercise the real
         # retry path.  None in production.
         self.faults = faults
+        # Profiling: a SamplingProfiler brackets every tool body so
+        # the sweep thread can attribute stacks (and busy time) to the
+        # tool type, whatever thread ends up executing the call.
+        self.profiler = profiler
         # Coordinators (parallel/scheduled executors) open the run span
         # themselves and clear this on their worker-facing executors so
         # tasks attach to the coordinator's trace, not a second root.
@@ -318,7 +323,9 @@ class FlowExecutor:
         self.ledger.record_run(
             report, executor=SEQUENTIAL_EXECUTOR,
             cache_policy=self.cache_policy, trace_id=trace_id,
-            error=error)
+            error=error,
+            profile=(self.profiler.summary()
+                     if self.profiler is not None else None))
 
     def _execute_graph(self, graph: TaskGraph,
                        targets: Sequence[str] | None, *,
@@ -524,6 +531,13 @@ class FlowExecutor:
         if self.faults is not None:
             faults, inner = self.faults, call
             guarded = lambda: faults.apply(tool_type, inner)  # noqa: E731
+        if self.profiler is not None:
+            # inside the policy wrap, outside the fault wrap: every
+            # attempt (including injected slowdowns, and watchdog
+            # threads running the body) registers the thread that
+            # actually executes the tool
+            profiler, wrapped = self.profiler, guarded
+            guarded = lambda: profiler.run(tool_type, wrapped)  # noqa: E731
         policy = self.resilience
         if policy is None:
             return guarded(), CallStats()

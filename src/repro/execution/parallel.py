@@ -115,7 +115,8 @@ class ParallelFlowExecutor:
                  tracer: Tracer | None = None,
                  ledger: RunLedger | None = None,
                  resilience: ResiliencePolicy | None = None,
-                 faults: FaultPlan | None = None) -> None:
+                 faults: FaultPlan | None = None,
+                 profiler=None) -> None:
         self.db = db
         self.registry = registry
         self.user = user
@@ -133,6 +134,9 @@ class ParallelFlowExecutor:
         # tool type quarantined on one lane fails fast on all lanes.
         self.resilience = resilience
         self.faults = faults
+        # Shared across branch executors: samples are taken by one
+        # background thread, registration is per worker thread.
+        self.profiler = profiler
         self._db_lock = threading.Lock()
 
     def execute(self, flow: TaskGraph | DynamicFlow,
@@ -196,7 +200,8 @@ class ParallelFlowExecutor:
                         cache_policy=self.cache_policy,
                         tracer=self.tracer,
                         resilience=self.resilience,
-                        faults=self.faults)
+                        faults=self.faults,
+                        profiler=self.profiler)
                     # the branch rides this run's trace: its tasks
                     # parent to the branch span, not a second root
                     executor._trace_run_span = False
@@ -259,4 +264,6 @@ class ParallelFlowExecutor:
             report, executor=PARALLEL_EXECUTOR,
             cache_policy=self.cache_policy,
             trace_id=run_span.trace_id if run_span is not None else "",
-            error=error)
+            error=error,
+            profile=(self.profiler.summary()
+                     if self.profiler is not None else None))

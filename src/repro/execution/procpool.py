@@ -55,8 +55,9 @@ from ..obs import (CACHE_HIT, CACHE_MISS, CACHE_SPAN, COMPOSE_SPAN,
                    PROCESS_EXECUTOR, RUN_SPAN, TASK_SPAN, TOOL_FINISHED,
                    TOOL_INVOKED, TOOL_QUARANTINED, TOOL_RETRIED,
                    TOOL_SPAN, TOOL_TIMED_OUT, WAVE_SPAN, WORKER_STATS,
-                   ClockSync, EventBus, NO_OP_TRACER, RunLedger, Span,
-                   Tracer, WorkerRunStats, WorkerTelemetry, fit_phases,
+                   ClockSync, EventBus, NO_OP_TRACER, RunLedger,
+                   SamplingProfiler, Span, Tracer, WorkerRunStats,
+                   WorkerTelemetry, fit_phases, merge_profiles,
                    worker_utilization)
 from .cache import (CACHE_OFF, CACHE_READWRITE, CACHE_REUSE,
                     DerivationCache, normalize_policy)
@@ -125,6 +126,15 @@ class InvocationEnvelope:
     #: and ships them home on the outcome.  Untraced runs skip the
     #: collection entirely.
     collect_phases: bool = False
+    #: Sampling-profiler interval for the worker-side profiler, in
+    #: seconds; 0 disables profiling for this envelope.  The worker
+    #: keeps one profiler per process incarnation and ships its
+    #: cumulative aggregate on every batch reply.
+    profile_interval: float = 0.0
+    #: Enable ``tracemalloc`` high-water tracking in the worker (the
+    #: coordinator mirrors its own ``--profile-memory`` flag; off by
+    #: default because tracemalloc multiplies tool-body cost).
+    profile_memory: bool = False
 
 
 @dataclass(frozen=True)
@@ -180,7 +190,8 @@ def _decode_error(outcome: EnvelopeOutcome) -> BaseException:
 # ---------------------------------------------------------------------------
 def _run_envelope(registry: EncapsulationRegistry,
                   envelope: InvocationEnvelope,
-                  telemetry: WorkerTelemetry) -> EnvelopeOutcome:
+                  telemetry: WorkerTelemetry,
+                  profiler=None) -> EnvelopeOutcome:
     telemetry.begin_envelope(collect=envelope.collect_phases)
     started = telemetry.clock()
     value: Any = None
@@ -199,8 +210,13 @@ def _run_envelope(registry: EncapsulationRegistry,
                         "changed between dispatch and execution "
                         "(fingerprint mismatch)")
             with telemetry.phase(PHASE_TOOL):
-                value = run_with_fault(envelope.fault,
-                                       lambda: compose(inputs))
+                body = lambda: compose(inputs)  # noqa: E731
+                if profiler is not None:
+                    value = profiler.run(COMPOSE_TOOL,
+                                         lambda: run_with_fault(
+                                             envelope.fault, body))
+                else:
+                    value = run_with_fault(envelope.fault, body)
         else:
             with telemetry.phase(PHASE_VERIFY):
                 enc = registry.resolve(envelope.tool_type,
@@ -217,8 +233,13 @@ def _run_envelope(registry: EncapsulationRegistry,
                     options=enc.options(),
                     user=envelope.user)
             with telemetry.phase(PHASE_TOOL):
-                value = run_with_fault(envelope.fault,
-                                       lambda: enc.run(ctx, inputs))
+                body = lambda: enc.run(ctx, inputs)  # noqa: E731
+                if profiler is not None:
+                    value = profiler.run(envelope.tool_type,
+                                         lambda: run_with_fault(
+                                             envelope.fault, body))
+                else:
+                    value = run_with_fault(envelope.fault, body)
         if envelope.collect_phases:
             # The real result serialization happens in conn.send();
             # this probe sizes the payload so the encode phase carries
@@ -259,38 +280,58 @@ def _worker_main(conn: multiprocessing.connection.Connection,
     counters.
     """
     telemetry = WorkerTelemetry(worker)
-    while True:
-        try:
-            batch = conn.recv()
-        except (EOFError, OSError):
-            return
-        if batch is None:
-            return
-        if batch == _SYNC:
+    # Created lazily on the first profiled envelope and kept for the
+    # life of this process; every batch reply carries the *cumulative*
+    # aggregate, so the coordinator's replace-latest/fold-on-respawn
+    # stats protocol works unchanged for profiles.
+    profiler: SamplingProfiler | None = None
+    try:
+        while True:
             try:
-                conn.send((telemetry.clock(), os.getpid()))
-            except (BrokenPipeError, OSError):
+                batch = conn.recv()
+            except (EOFError, OSError):
                 return
-            continue
-        telemetry.batches += 1
-        replies = [_run_envelope(registry, envelope, telemetry)
-                   for envelope in batch]
-        stats = telemetry.stats()
-        try:
-            conn.send((replies, stats))
-        except Exception as error:  # unpicklable tool result
-            conn.send(([
-                EnvelopeOutcome(
-                    envelope_id=reply.envelope_id, ok=False,
-                    duration=reply.duration, worker=worker,
-                    pid=os.getpid(),
-                    error_class="ExecutionError",
-                    error_message=(
-                        "tool result could not cross the process "
-                        f"boundary: {error}"),
-                    error_module="repro.errors",
-                    phases=reply.phases)
-                for reply in replies], stats))
+            if batch is None:
+                return
+            if batch == _SYNC:
+                try:
+                    conn.send((telemetry.clock(), os.getpid()))
+                except (BrokenPipeError, OSError):
+                    return
+                continue
+            telemetry.batches += 1
+            if profiler is None:
+                for envelope in batch:
+                    if envelope.profile_interval > 0:
+                        profiler = SamplingProfiler(
+                            envelope.profile_interval,
+                            track_memory=envelope.profile_memory)
+                        profiler.start()
+                        break
+            replies = [_run_envelope(registry, envelope, telemetry,
+                                     profiler)
+                       for envelope in batch]
+            stats = telemetry.stats()
+            if profiler is not None:
+                stats["profile"] = profiler.payload()
+            try:
+                conn.send((replies, stats))
+            except Exception as error:  # unpicklable tool result
+                conn.send(([
+                    EnvelopeOutcome(
+                        envelope_id=reply.envelope_id, ok=False,
+                        duration=reply.duration, worker=worker,
+                        pid=os.getpid(),
+                        error_class="ExecutionError",
+                        error_message=(
+                            "tool result could not cross the process "
+                            f"boundary: {error}"),
+                        error_module="repro.errors",
+                        phases=reply.phases)
+                    for reply in replies], stats))
+    finally:
+        if profiler is not None:
+            profiler.stop()
 
 
 class _WorkerHandle:
@@ -368,6 +409,10 @@ class _WorkerHandle:
                              + float(snap.get("busy_time", 0.0)))
         base["rss_kb"] = max(int(base.get("rss_kb", 0)),
                              int(snap.get("rss_kb", 0)))
+        profile = merge_profiles(base.get("profile", {}),
+                                 snap.get("profile", {}))
+        if profile:
+            base["profile"] = profile
         self.last_stats = {}
 
     def worker_stats(self) -> dict[str, Any]:
@@ -380,6 +425,12 @@ class _WorkerHandle:
                                + float(snap.get("busy_time", 0.0)))
         merged["rss_kb"] = max(int(merged.get("rss_kb", 0)),
                                int(snap.get("rss_kb", 0)))
+        profile = merge_profiles(merged.get("profile", {}),
+                                 snap.get("profile", {}))
+        if profile:
+            merged["profile"] = profile
+        elif "profile" in merged:
+            del merged["profile"]
         return merged
 
     def respawn(self) -> None:
@@ -517,7 +568,8 @@ class ProcessFlowExecutor:
                  tracer: Tracer | None = None,
                  ledger: RunLedger | None = None,
                  resilience: ResiliencePolicy | None = None,
-                 faults: FaultPlan | None = None) -> None:
+                 faults: FaultPlan | None = None,
+                 profiler=None) -> None:
         if workers < 1:
             raise ExecutionError(
                 f"need at least one worker process, got {workers}")
@@ -541,6 +593,14 @@ class ProcessFlowExecutor:
         # sequence, no matter which worker runs an invocation.
         self.resilience = resilience
         self.faults = faults
+        # Coordinator-side aggregate: workers run their own in-process
+        # samplers (a coordinator thread cannot see worker stacks) and
+        # ship cumulative payloads back on every batch reply; the
+        # coordinator absorbs them here and clamps busy time to the
+        # fitted tool-phase durations before the ledger snapshot.
+        self.profiler = profiler
+        self._profile_caps: dict[str, float] = {}
+        self._profile_lock = threading.Lock()
         self.cache = cache
         self.cache_policy = normalize_policy(
             cache_policy if cache is not None else CACHE_OFF)
@@ -570,6 +630,16 @@ class ProcessFlowExecutor:
     @property
     def _cache_writes(self) -> bool:
         return self.cache_policy == CACHE_READWRITE
+
+    @property
+    def _profile_interval(self) -> float:
+        return self.profiler.interval if self.profiler is not None \
+            else 0.0
+
+    @property
+    def _profile_memory(self) -> bool:
+        return bool(self.profiler is not None
+                    and self.profiler.track_memory)
 
     # ------------------------------------------------------------------
     # public API
@@ -605,6 +675,7 @@ class ProcessFlowExecutor:
                 if graph.suppliers(node_id):
                     graph.node(node_id).produced = ()
         self._force = force
+        self._profile_caps = {}
 
         # dependency depth of each invocation: its scheduler "wave"
         wave: dict[int, int] = {}
@@ -682,6 +753,16 @@ class ProcessFlowExecutor:
                 handle.stop()
         wall = time.perf_counter() - started
         workers = self._collect_worker_stats(handles, wall)
+        if self.profiler is not None:
+            # Fold every worker's cumulative aggregate (respawn bases
+            # included), then clamp busy time to the skew-corrected
+            # tool-phase durations so self time stays contained in the
+            # merged trace spans.  Runs before BOTH ledger paths.
+            for handle in handles:
+                payload = handle.worker_stats().get("profile")
+                if payload:
+                    self.profiler.absorb(payload)
+            self.profiler.clamp_to(self._profile_caps)
         try:
             if errors:
                 self.bus.emit(EXECUTION_FAILED, flow=graph.name,
@@ -772,7 +853,9 @@ class ProcessFlowExecutor:
             report, executor=PROCESS_EXECUTOR,
             cache_policy=self.cache_policy,
             trace_id=run_span.trace_id if run_span is not None else "",
-            error=error, workers=workers)
+            error=error, workers=workers,
+            profile=(self.profiler.summary()
+                     if self.profiler is not None else None))
 
     # ------------------------------------------------------------------
     # lane loop: claim, batch, dispatch, record
@@ -1087,7 +1170,9 @@ class ProcessFlowExecutor:
                         input_digests=_derivation_inputs(combo),
                         user=self.user,
                         fault=self._next_fault(tool_type),
-                        collect_phases=self.tracer.enabled),
+                        collect_phases=self.tracer.enabled,
+                        profile_interval=self._profile_interval,
+                        profile_memory=self._profile_memory),
                     tool_id=tool_id,
                     record_inputs=_derivation_inputs(combo),
                     combo=dict(combo), cache_key=key,
@@ -1131,7 +1216,9 @@ class ProcessFlowExecutor:
                     input_digests=_derivation_inputs(combo),
                     user=self.user,
                     fault=self._next_fault(COMPOSE_TOOL),
-                    collect_phases=self.tracer.enabled),
+                    collect_phases=self.tracer.enabled,
+                    profile_interval=self._profile_interval,
+                    profile_memory=self._profile_memory),
                 tool_id=None, record_inputs=_derivation_inputs(combo),
                 combo=dict(combo), cache_key=key,
                 node_label=",".join(prep.invocation.outputs),
@@ -1511,6 +1598,18 @@ class ProcessFlowExecutor:
         fitted = fit_phases(outcome.phases, handle.sync, unit.window)
         if not fitted:
             return
+        if self.profiler is not None:
+            # Sum the fitted tool-body durations per tool type: these
+            # are, by construction, contained in the merged tool spans,
+            # so they are the containment cap for worker-sampled busy
+            # time (clamped once, after all lanes join).
+            tool_body = sum(end - start for name, start, end in fitted
+                            if name == PHASE_TOOL)
+            if tool_body > 0:
+                with self._profile_lock:
+                    self._profile_caps[unit.event_tool_type] = \
+                        self._profile_caps.get(
+                            unit.event_tool_type, 0.0) + tool_body
         worker = outcome.worker or handle.name
         for name, start, end in fitted:
             phase_span = self.tracer.start_span(

@@ -257,7 +257,8 @@ class ScheduledFlowExecutor:
                  tracer: Tracer | None = None,
                  ledger: RunLedger | None = None,
                  resilience: ResiliencePolicy | None = None,
-                 faults: FaultPlan | None = None) -> None:
+                 faults: FaultPlan | None = None,
+                 profiler=None) -> None:
         self.db = db
         self.registry = registry
         self.user = user
@@ -267,6 +268,9 @@ class ScheduledFlowExecutor:
         # counter sequence, no matter which machine runs an invocation.
         self.resilience = resilience
         self.faults = faults
+        # Shared across worker lanes: the sampler thread reads every
+        # lane's registered tool invocation.
+        self.profiler = profiler
         self.cache = cache
         self.cache_policy = normalize_policy(
             cache_policy if cache is not None else CACHE_OFF)
@@ -363,7 +367,8 @@ class ScheduledFlowExecutor:
                                     cache_policy=self.cache_policy,
                                     tracer=self.tracer,
                                     resilience=self.resilience,
-                                    faults=self.faults)
+                                    faults=self.faults,
+                                    profiler=self.profiler)
             executor._force = force
             executor._trace_run_span = False
             try:
@@ -428,7 +433,9 @@ class ScheduledFlowExecutor:
             report, executor=SCHEDULED_EXECUTOR,
             cache_policy=self.cache_policy,
             trace_id=run_span.trace_id if run_span is not None else "",
-            error=error)
+            error=error,
+            profile=(self.profiler.summary()
+                     if self.profiler is not None else None))
 
     def _drain_ready(self, graph: TaskGraph,
                      nodes: list[_InvocationNode],

@@ -30,9 +30,11 @@ import json
 import pathlib
 import sqlite3
 import threading
-from typing import Iterable, Iterator
+import time
+from typing import Any, Iterable, Iterator
 
 from ..errors import HistoryError
+from ..obs.profiling import statement_fingerprint
 from .instance import EntityInstance
 from .store import (BACKEND_SQLITE, HistoryStore, parse_invocation,
                     parse_serial)
@@ -81,6 +83,39 @@ CREATE TABLE IF NOT EXISTS blob_aliases(
 #: ``meta`` key holding the encapsulation-registry signature the
 #: derivation-key index was built against.
 KEY_INDEX_SIGNATURE = "key_index_signature"
+
+#: The read statements ``repro profile queries`` audits with
+#: ``EXPLAIN QUERY PLAN``: every hot lookup this store issues, plus the
+#: one deliberate full scan (history iteration has no useful index).
+#: Entries are ``(name, statement, dummy params, expect_index)``.
+AUDITED_QUERIES: tuple[tuple[str, str, tuple[Any, ...], bool], ...] = (
+    ("instance-by-id",
+     "SELECT payload FROM instances WHERE instance_id = ?",
+     ("x",), True),
+    ("instance-exists",
+     "SELECT 1 FROM instances WHERE instance_id = ?",
+     ("x",), True),
+    ("instances-of-type",
+     "SELECT instance_id FROM instances WHERE entity_type = ?"
+     " ORDER BY seq",
+     ("x",), True),
+    ("instances-of-invocation",
+     "SELECT instance_id FROM instances WHERE invocation = ?"
+     " ORDER BY seq",
+     ("x",), True),
+    ("consumers-forward",
+     "SELECT consumer FROM edges WHERE antecedent = ? ORDER BY seq",
+     ("x",), True),
+    ("highest-serial",
+     "SELECT MAX(serial) FROM instances WHERE entity_type = ?",
+     ("x",), True),
+    ("blob-by-digest",
+     "SELECT canonical FROM blobs WHERE digest = ?",
+     ("x",), True),
+    ("history-scan",
+     "SELECT instance_id, payload FROM instances ORDER BY seq",
+     (), False),
+)
 
 
 class SqliteHistoryStore(HistoryStore):
@@ -134,13 +169,95 @@ class SqliteHistoryStore(HistoryStore):
             self._conn.commit()
             self._conn.close()
 
+    # -- query observability -----------------------------------------------
+    # Every statement funnels through one of these four helpers.  With
+    # no recorder attached they are a plain ``execute`` — the timing
+    # branch costs nothing on the default path.
+    def _execute(self, statement: str,
+                 params: tuple[Any, ...] = ()) -> sqlite3.Cursor:
+        recorder = self._recorder
+        if recorder is None:
+            return self._conn.execute(statement, params)
+        started = time.perf_counter()
+        cursor = self._conn.execute(statement, params)
+        recorder.record(statement, time.perf_counter() - started,
+                        rows=max(cursor.rowcount, 0))
+        return cursor
+
+    def _executemany(self, statement: str,
+                     rows: list[tuple[Any, ...]]) -> None:
+        recorder = self._recorder
+        if recorder is None:
+            self._conn.executemany(statement, rows)
+            return
+        started = time.perf_counter()
+        self._conn.executemany(statement, rows)
+        recorder.record(statement, time.perf_counter() - started,
+                        rows=len(rows))
+
+    def _fetchone(self, statement: str,
+                  params: tuple[Any, ...] = ()) -> Any:
+        recorder = self._recorder
+        if recorder is None:
+            return self._conn.execute(statement, params).fetchone()
+        started = time.perf_counter()
+        row = self._conn.execute(statement, params).fetchone()
+        recorder.record(statement, time.perf_counter() - started,
+                        rows=1 if row is not None else 0)
+        return row
+
+    def _fetchall(self, statement: str,
+                  params: tuple[Any, ...] = ()) -> list[Any]:
+        recorder = self._recorder
+        if recorder is None:
+            return self._conn.execute(statement, params).fetchall()
+        started = time.perf_counter()
+        rows = self._conn.execute(statement, params).fetchall()
+        recorder.record(statement, time.perf_counter() - started,
+                        rows=len(rows))
+        return rows
+
+    def query_plan_audit(self) -> tuple[dict[str, Any], ...]:
+        """``EXPLAIN QUERY PLAN`` over every audited read statement.
+
+        One entry per :data:`AUDITED_QUERIES` row: the normalized
+        statement, its fingerprint, the plan details, and whether the
+        plan uses an index / degrades to a full table scan.  ``repro
+        profile queries`` renders this and fails on an indexed
+        statement that regressed to a scan.
+        """
+        audits: list[dict[str, Any]] = []
+        with self._lock:
+            for name, statement, params, expect_index in AUDITED_QUERIES:
+                rows = self._conn.execute(
+                    "EXPLAIN QUERY PLAN " + statement, params).fetchall()
+                plan = tuple(str(row[-1]) for row in rows)
+                uses_index = any(
+                    "USING INDEX" in detail
+                    or "USING COVERING INDEX" in detail
+                    or "PRIMARY KEY" in detail
+                    for detail in plan)
+                full_scan = any(
+                    detail.startswith("SCAN") and "INDEX" not in detail
+                    for detail in plan)
+                audits.append({
+                    "name": name,
+                    "statement": " ".join(statement.split()),
+                    "fingerprint": statement_fingerprint(statement),
+                    "plan": plan,
+                    "uses_index": uses_index,
+                    "full_scan": full_scan,
+                    "expect_index": expect_index,
+                })
+        return tuple(audits)
+
     # -- instance rows -------------------------------------------------
     def add(self, instance: EntityInstance) -> None:
         derivation = instance.derivation
         invocation = derivation.invocation if derivation is not None else ""
         entity_type, serial = parse_serial(instance.instance_id)
         with self._lock:
-            cursor = self._conn.execute(
+            cursor = self._execute(
                 "INSERT INTO instances(instance_id, entity_type, serial,"
                 " invocation, invocation_num, payload)"
                 " VALUES(?, ?, ?, ?, ?, ?)",
@@ -151,7 +268,7 @@ class SqliteHistoryStore(HistoryStore):
                             separators=(",", ":"))))
             seq = cursor.lastrowid
             if derivation is not None:
-                self._conn.executemany(
+                self._executemany(
                     "INSERT INTO edges(antecedent, consumer, seq)"
                     " VALUES(?, ?, ?)",
                     [(antecedent, instance.instance_id, seq)
@@ -165,7 +282,7 @@ class SqliteHistoryStore(HistoryStore):
 
     def replace(self, instance: EntityInstance) -> None:
         with self._lock:
-            self._conn.execute(
+            self._execute(
                 "UPDATE instances SET payload = ? WHERE instance_id = ?",
                 (json.dumps(instance.to_dict(), sort_keys=True,
                             separators=(",", ":")),
@@ -178,9 +295,9 @@ class SqliteHistoryStore(HistoryStore):
             cached = self._cache.get(instance_id)
             if cached is not None:
                 return cached
-            row = self._conn.execute(
+            row = self._fetchone(
                 "SELECT payload FROM instances WHERE instance_id = ?",
-                (instance_id,)).fetchone()
+                (instance_id,))
             if row is None:
                 return None
             instance = EntityInstance.from_dict(json.loads(row[0]))
@@ -191,21 +308,21 @@ class SqliteHistoryStore(HistoryStore):
         with self._lock:
             if instance_id in self._cache:
                 return True
-            row = self._conn.execute(
+            row = self._fetchone(
                 "SELECT 1 FROM instances WHERE instance_id = ?",
-                (instance_id,)).fetchone()
+                (instance_id,))
             return row is not None
 
     def __len__(self) -> int:
         with self._lock:
-            return self._conn.execute(
-                "SELECT COUNT(*) FROM instances").fetchone()[0]
+            return self._fetchone(
+                "SELECT COUNT(*) FROM instances")[0]
 
     def iter_instances(self) -> Iterator[EntityInstance]:
         with self._lock:
-            rows = self._conn.execute(
+            rows = self._fetchall(
                 "SELECT instance_id, payload FROM instances"
-                " ORDER BY seq").fetchall()
+                " ORDER BY seq")
         for instance_id, payload in rows:
             cached = self._cache.get(instance_id)
             if cached is not None:
@@ -217,9 +334,9 @@ class SqliteHistoryStore(HistoryStore):
 
     def ids_of_type(self, entity_type: str) -> tuple[str, ...]:
         with self._lock:
-            rows = self._conn.execute(
+            rows = self._fetchall(
                 "SELECT instance_id FROM instances WHERE entity_type = ?"
-                " ORDER BY seq", (entity_type,)).fetchall()
+                " ORDER BY seq", (entity_type,))
         return tuple(row[0] for row in rows)
 
     # -- dependency indexes ----------------------------------------------
@@ -227,9 +344,9 @@ class SqliteHistoryStore(HistoryStore):
         with self._lock:
             memo = self._consumers.get(instance_id)
             if memo is None:
-                rows = self._conn.execute(
+                rows = self._fetchall(
                     "SELECT consumer FROM edges WHERE antecedent = ?"
-                    " ORDER BY seq", (instance_id,)).fetchall()
+                    " ORDER BY seq", (instance_id,))
                 memo = [row[0] for row in rows]
                 self._consumers[instance_id] = memo
             return tuple(memo)
@@ -242,37 +359,37 @@ class SqliteHistoryStore(HistoryStore):
 
     def ids_for_invocation(self, invocation: str) -> tuple[str, ...]:
         with self._lock:
-            rows = self._conn.execute(
+            rows = self._fetchall(
                 "SELECT instance_id FROM instances WHERE invocation = ?"
-                " ORDER BY seq", (invocation,)).fetchall()
+                " ORDER BY seq", (invocation,))
         return tuple(row[0] for row in rows)
 
     # -- id allocation support ---------------------------------------------
     def highest_serial(self, entity_type: str) -> int:
         with self._lock:
-            row = self._conn.execute(
+            row = self._fetchone(
                 "SELECT MAX(serial) FROM instances WHERE entity_type = ?",
-                (entity_type,)).fetchone()
+                (entity_type,))
         return row[0] or 0
 
     def highest_invocation(self) -> int:
         with self._lock:
-            row = self._conn.execute(
-                "SELECT MAX(invocation_num) FROM instances").fetchone()
+            row = self._fetchone(
+                "SELECT MAX(invocation_num) FROM instances")
         return row[0] or 0
 
     # -- derivation-key index ---------------------------------------------
     def key_index_signature(self) -> str | None:
         with self._lock:
-            row = self._conn.execute(
+            row = self._fetchone(
                 "SELECT value FROM meta WHERE key = ?",
-                (KEY_INDEX_SIGNATURE,)).fetchone()
+                (KEY_INDEX_SIGNATURE,))
         return row[0] if row is not None else None
 
     def reset_key_index(self, signature: str) -> None:
         with self._lock:
-            self._conn.execute("DELETE FROM derivation_keys")
-            self._conn.execute(
+            self._execute("DELETE FROM derivation_keys")
+            self._execute(
                 "INSERT OR REPLACE INTO meta(key, value) VALUES(?, ?)",
                 (KEY_INDEX_SIGNATURE, signature))
             self._wrote()
@@ -283,7 +400,7 @@ class SqliteHistoryStore(HistoryStore):
         encoded = json.dumps([[t, i] for t, i in outputs],
                              sort_keys=True, separators=(",", ":"))
         with self._lock:
-            self._conn.execute(
+            self._execute(
                 "INSERT INTO derivation_keys(key, outputs, duration)"
                 " VALUES(?, ?, ?) ON CONFLICT(key, outputs)"
                 " DO UPDATE SET duration = MAX(duration, excluded.duration)",
@@ -293,9 +410,9 @@ class SqliteHistoryStore(HistoryStore):
     def iter_key_groups(self) -> Iterator[
             tuple[str, tuple[tuple[str, str], ...], float]]:
         with self._lock:
-            rows = self._conn.execute(
+            rows = self._fetchall(
                 "SELECT key, outputs, duration FROM derivation_keys"
-                " ORDER BY key, outputs").fetchall()
+                " ORDER BY key, outputs")
         for key, outputs, duration in rows:
             pairs = tuple((entity_type, instance_id)
                           for entity_type, instance_id
@@ -305,43 +422,43 @@ class SqliteHistoryStore(HistoryStore):
     # -- content-addressed blobs --------------------------------------------
     def put_blob(self, digest: str, canonical: str, size: int) -> None:
         with self._lock:
-            self._conn.execute(
+            self._execute(
                 "INSERT OR IGNORE INTO blobs(digest, canonical, size)"
                 " VALUES(?, ?, ?)", (digest, canonical, size))
             self._wrote()
 
     def get_blob(self, digest: str) -> str | None:
         with self._lock:
-            row = self._conn.execute(
+            row = self._fetchone(
                 "SELECT canonical FROM blobs WHERE digest = ?",
-                (digest,)).fetchone()
+                (digest,))
         return row[0] if row is not None else None
 
     def blob_size(self, digest: str) -> int | None:
         with self._lock:
-            row = self._conn.execute(
+            row = self._fetchone(
                 "SELECT size FROM blobs WHERE digest = ?",
-                (digest,)).fetchone()
+                (digest,))
         return row[0] if row is not None else None
 
     def blob_refs(self) -> tuple[str, ...]:
         with self._lock:
-            rows = self._conn.execute(
-                "SELECT digest FROM blobs ORDER BY digest").fetchall()
+            rows = self._fetchall(
+                "SELECT digest FROM blobs ORDER BY digest")
         return tuple(row[0] for row in rows)
 
     def put_blob_alias(self, alias: str, digest: str) -> None:
         with self._lock:
-            self._conn.execute(
+            self._execute(
                 "INSERT OR IGNORE INTO blob_aliases(alias, digest)"
                 " VALUES(?, ?)", (alias, digest))
             self._wrote()
 
     def resolve_blob_alias(self, alias: str) -> str | None:
         with self._lock:
-            row = self._conn.execute(
+            row = self._fetchone(
                 "SELECT digest FROM blob_aliases WHERE alias = ?",
-                (alias,)).fetchone()
+                (alias,))
         return row[0] if row is not None else None
 
     def __repr__(self) -> str:

@@ -65,6 +65,15 @@ class HistoryStore:
     #: True when the store persists the derivation-key index consulted
     #: by :class:`~repro.execution.cache.DerivationCache`.
     supports_key_index: bool = False
+    #: Optional query-observability hook (duck-typed to
+    #: :class:`~repro.obs.profiling.QueryRecorder` — this module never
+    #: imports obs).  ``None`` keeps every read on the untimed fast
+    #: path.
+    _recorder = None
+
+    def set_query_recorder(self, recorder) -> None:
+        """Route per-statement timings into ``recorder`` (None stops)."""
+        self._recorder = recorder
 
     # -- instance rows -------------------------------------------------
     def add(self, instance: EntityInstance) -> None:
@@ -209,14 +218,38 @@ class InMemoryHistoryStore(HistoryStore):
         return len(self._instances)
 
     def iter_instances(self) -> Iterator[EntityInstance]:
-        return iter(tuple(self._instances.values()))
+        recorder = self._recorder
+        if recorder is None:
+            return iter(tuple(self._instances.values()))
+        # The materialization IS the scan: every history-wide walk
+        # (staleness sweeps, ``repro history``) lands here, so the JSON
+        # backend's full-scan cost shows up next to SQLite's statements
+        # under one fingerprint scheme.
+        with recorder.timed("MEM SCAN instances") as cell:
+            rows = tuple(self._instances.values())
+            cell[0] = len(rows)
+        return iter(rows)
 
     def ids_of_type(self, entity_type: str) -> tuple[str, ...]:
-        return tuple(self._by_type.get(entity_type, ()))
+        recorder = self._recorder
+        if recorder is None:
+            return tuple(self._by_type.get(entity_type, ()))
+        with recorder.timed(
+                "MEM SELECT instances BY entity_type") as cell:
+            rows = tuple(self._by_type.get(entity_type, ()))
+            cell[0] = len(rows)
+        return rows
 
     # -- dependency indexes ----------------------------------------------
     def consumers_of(self, instance_id: str) -> tuple[str, ...]:
-        return tuple(self._forward.get(instance_id, ()))
+        recorder = self._recorder
+        if recorder is None:
+            return tuple(self._forward.get(instance_id, ()))
+        with recorder.timed(
+                "MEM SELECT consumers BY antecedent") as cell:
+            rows = tuple(self._forward.get(instance_id, ()))
+            cell[0] = len(rows)
+        return rows
 
     def antecedents_of(self, instance_id: str) -> tuple[str, ...]:
         instance = self._instances.get(instance_id)

@@ -22,7 +22,12 @@ each returning an ok/warn/fail verdict:
   executor kind;
 * ``worker-utilization`` — procpool worker-pool health from the
   per-worker ledger telemetry: absolute busy-time imbalance across
-  the pool, plus utilization drift vs. same-executor baselines.
+  the pool, plus utilization drift vs. same-executor baselines;
+* ``tool-self-time-drift`` — per-tool sampled self time (from the
+  optional ``--profile`` summary on the record) vs. the profiled
+  baseline runs;
+* ``query-latency-drift`` — mean history-backend statement latency
+  (from the same profile summary) vs. the profiled baseline.
 
 ``repro health`` renders the report and exits 1 on any fail, which is
 what CI gates on.
@@ -185,6 +190,11 @@ class HealthThresholds:
     worker_min_utilization: float = 0.2
     worker_fail_ratio: float = 0.6
     worker_warn_ratio: float = 0.8
+    #: Absolute floor for the query-latency-drift gate: mean statement
+    #: latencies live in the sub-millisecond band, so the tool-scale
+    #: ``abs_floor`` would never let it gate.  Sub-2ms mean drift is
+    #: still treated as noise.
+    query_abs_floor: float = 0.002
 
 
 def _worst(verdicts: Sequence[str]) -> str:
@@ -431,6 +441,117 @@ def check_worker_utilization(current: RunRecord,
     return CheckResult(name, _worst(verdicts), "; ".join(details))
 
 
+def check_tool_self_time_drift(current: RunRecord,
+                               baseline: Sequence[RunRecord],
+                               thresholds: HealthThresholds
+                               ) -> CheckResult:
+    """Per-tool sampled self time vs. the profiled ledger baseline.
+
+    Runs without a ``--profile`` summary pass trivially (the check
+    only ever judges like against like); the gate itself is the same
+    median/MAD formula the duration-drift check uses, applied to the
+    ``self_s`` figure the sampling profiler recorded.
+    """
+    name = "tool-self-time-drift"
+    tools = (current.profile or {}).get("tools", {})
+    if not tools:
+        return CheckResult(name, OK, "no profile recorded")
+    history: dict[str, list[float]] = {}
+    for record in baseline:
+        if record.errors or not record.profile:
+            continue
+        for tool, stats in record.profile.get("tools", {}).items():
+            history.setdefault(tool, []).append(
+                float(stats.get("self_s", 0.0)))
+    verdicts: list[str] = []
+    details: list[str] = []
+    for tool, stats in sorted(tools.items()):
+        peers = history.get(tool, [])[-thresholds.window:]
+        if len(peers) < thresholds.min_samples:
+            continue
+        median = _median(peers)
+        mad = _mad(peers, median)
+        threshold = max(thresholds.k * MAD_SIGMA * mad,
+                        thresholds.rel_floor * median,
+                        thresholds.abs_floor)
+        drift = float(stats.get("self_s", 0.0)) - median
+        if drift > threshold:
+            verdicts.append(FAIL)
+            details.append(
+                f"{tool} self time "
+                f"{float(stats.get('self_s', 0.0)) * 1e3:.2f}ms is "
+                f"+{drift * 1e3:.2f}ms over baseline median "
+                f"{median * 1e3:.2f}ms "
+                f"(threshold +{threshold * 1e3:.2f}ms, "
+                f"n={len(peers)})")
+        elif drift > 0.5 * threshold:
+            verdicts.append(WARN)
+            details.append(
+                f"{tool} self time drifting: "
+                f"{float(stats.get('self_s', 0.0)) * 1e3:.2f}ms, "
+                f"+{drift * 1e3:.2f}ms over median "
+                f"{median * 1e3:.2f}ms")
+    if not verdicts:
+        return CheckResult(name, OK,
+                           "tool self times within baseline"
+                           if history else "no profiled baseline yet")
+    return CheckResult(name, _worst(verdicts), "; ".join(details))
+
+
+def _mean_query_latency(record: RunRecord) -> float | None:
+    """Mean per-statement latency of a profiled run, None without
+    query telemetry."""
+    query = (record.profile or {}).get("query") or {}
+    count = int(query.get("count", 0))
+    if not count:
+        return None
+    return float(query.get("total_s", 0.0)) / count
+
+
+def check_query_latency_drift(current: RunRecord,
+                              baseline: Sequence[RunRecord],
+                              thresholds: HealthThresholds
+                              ) -> CheckResult:
+    """Mean history-backend statement latency vs. profiled baselines.
+
+    The per-statement timers ride the profile summary; a lost index or
+    a backend regression shows up as the whole-run mean drifting above
+    the median of earlier profiled runs.
+    """
+    name = "query-latency-drift"
+    mean = _mean_query_latency(current)
+    if mean is None:
+        return CheckResult(name, OK, "no query telemetry recorded")
+    peers = [latency for record in baseline
+             if not record.errors
+             and (latency := _mean_query_latency(record)) is not None]
+    peers = peers[-thresholds.window:]
+    if len(peers) < thresholds.min_samples:
+        return CheckResult(name, OK, "no query baseline yet")
+    median = _median(peers)
+    mad = _mad(peers, median)
+    threshold = max(thresholds.k * MAD_SIGMA * mad,
+                    thresholds.rel_floor * median,
+                    thresholds.query_abs_floor)
+    drift = mean - median
+    if drift > threshold:
+        return CheckResult(
+            name, FAIL,
+            f"mean statement latency {mean * 1e6:.0f}us is "
+            f"+{drift * 1e6:.0f}us over baseline median "
+            f"{median * 1e6:.0f}us "
+            f"(threshold +{threshold * 1e6:.0f}us, n={len(peers)})")
+    if drift > 0.5 * threshold:
+        return CheckResult(
+            name, WARN,
+            f"mean statement latency drifting: {mean * 1e6:.0f}us, "
+            f"+{drift * 1e6:.0f}us over median {median * 1e6:.0f}us")
+    return CheckResult(
+        name, OK,
+        f"mean statement latency {mean * 1e6:.0f}us "
+        f"(baseline {median * 1e6:.0f}us over {len(peers)} runs)")
+
+
 HealthCheck = Callable[[RunRecord, Sequence[RunRecord],
                         HealthThresholds], CheckResult]
 
@@ -442,6 +563,8 @@ HEALTH_CHECKS: tuple[tuple[str, HealthCheck], ...] = (
     ("cache-hit-rate", check_cache_hit_rate),
     ("parallelism-efficiency", check_parallelism_efficiency),
     ("worker-utilization", check_worker_utilization),
+    ("tool-self-time-drift", check_tool_self_time_drift),
+    ("query-latency-drift", check_query_latency_drift),
 )
 
 

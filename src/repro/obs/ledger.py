@@ -151,6 +151,12 @@ class RunRecord:
     #: executors and for ledgers written before PR 8 — optional on the
     #: wire, so old ledgers load unchanged).
     workers: dict[str, WorkerRunStats] = field(default_factory=dict)
+    #: Profiling summary of a ``--profile`` run (the
+    #: :meth:`repro.obs.profiling.SamplingProfiler.summary` shape plus
+    #: an optional ``query`` roll-up).  Optional on the wire — omitted
+    #: when empty, so the schema stays ledger.v1 and ledgers written
+    #: before PR 9 load unchanged.
+    profile: dict[str, Any] = field(default_factory=dict)
     schema_version: str = LEDGER_SCHEMA_VERSION
 
     @property
@@ -172,7 +178,8 @@ class RunRecord:
                     cache_policy: str = "off", trace_id: str = "",
                     run_id: str = "", timestamp: float | None = None,
                     error: BaseException | str | None = None,
-                    workers: dict[str, WorkerRunStats] | None = None
+                    workers: dict[str, WorkerRunStats] | None = None,
+                    profile: dict[str, Any] | None = None
                     ) -> "RunRecord":
         """Distill an :class:`~repro.execution.executor.ExecutionReport`.
 
@@ -250,6 +257,7 @@ class RunRecord:
                 getattr(report, "quarantined", ()))),
             tools=tools,
             workers=dict(workers or {}),
+            profile=dict(profile or {}),
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -290,6 +298,8 @@ class RunRecord:
             spec["workers"] = {
                 worker: stats.to_dict()
                 for worker, stats in sorted(self.workers.items())}
+        if self.profile:
+            spec["profile"] = to_jsonable(self.profile)
         return spec
 
     @classmethod
@@ -330,6 +340,7 @@ class RunRecord:
             workers={worker: WorkerRunStats.from_dict(stats)
                      for worker, stats
                      in spec.get("workers", {}).items()},
+            profile=dict(spec.get("profile", {})),
             schema_version=version,
         )
 
@@ -367,6 +378,9 @@ class RunRecord:
         if self.workers:
             parts.append(f"workers={len(self.workers)}")
             parts.append(f"util={self.worker_utilization * 100.0:.0f}%")
+        if self.profile:
+            parts.append(
+                f"profiled={self.profile.get('samples', 0)}smp")
         if self.trace_id:
             parts.append(f"trace={self.trace_id}")
         return " ".join(parts)
@@ -402,7 +416,8 @@ class RunLedger:
     def record_run(self, report: Any, *, executor: str,
                    cache_policy: str = "off", trace_id: str = "",
                    error: BaseException | str | None = None,
-                   workers: dict[str, WorkerRunStats] | None = None
+                   workers: dict[str, WorkerRunStats] | None = None,
+                   profile: dict[str, Any] | None = None
                    ) -> RunRecord | None:
         """Build and append one record from an execution report.
 
@@ -412,7 +427,8 @@ class RunLedger:
         """
         record = RunRecord.from_report(
             report, executor=executor, cache_policy=cache_policy,
-            trace_id=trace_id, error=error, workers=workers)
+            trace_id=trace_id, error=error, workers=workers,
+            profile=profile)
         try:
             return self.append(record)
         except OSError:

@@ -481,6 +481,60 @@ def _lane_sort_key(name: str) -> tuple[str, int]:
     return (name, int(digits) if digits else -1)
 
 
+def timeline_model(spans: Sequence[Span],
+                   trace_id: str | None = None) -> dict[str, Any]:
+    """The lane/interval model behind the timeline, machine-readable.
+
+    One entry per execution lane (the task spans' ``machine``
+    attribute), each carrying its union busy/wait seconds and its task
+    intervals **relative to the run base** (the earliest enqueue or the
+    run span's start).  ``repro trace timeline --json`` emits this
+    verbatim; :func:`render_timeline` paints it.
+    """
+    selected = spans_of_trace(spans, trace_id)
+    if not selected:
+        raise ObservabilityError(
+            "no spans recorded"
+            + (f" for trace {trace_id}" if trace_id else ""))
+    tasks = [s for s in selected if s.kind == TASK_SPAN]
+    run = next((s for s in selected if s.kind == RUN_SPAN), None)
+    flow = (run.value("flow", "") if run is not None
+            else tasks[0].value("flow", "") if tasks else "")
+    model: dict[str, Any] = {"trace_id": selected[0].trace_id,
+                             "flow": flow, "wall": 0.0, "lanes": []}
+    if not tasks:
+        return model
+    starts = [s.start - float(s.value("queue_wait", 0.0) or 0.0)
+              for s in tasks]
+    base = min(starts + ([run.start] if run is not None else []))
+    finish = max([s.end for s in tasks]
+                 + ([run.end] if run is not None
+                    and run.end > run.start else []))
+    model["wall"] = max(finish - base, 1e-9)
+    lanes: dict[str, list[Span]] = {}
+    for span in tasks:
+        lane = str(span.value("machine") or "?")
+        lanes.setdefault(lane, []).append(span)
+    for lane in sorted(lanes, key=_lane_sort_key):
+        members = sorted(lanes[lane], key=lambda s: (s.start, s.span_id))
+        # union, not sum: batched tasks on one lane share a dispatch
+        # window and would otherwise double-count
+        busy = _union_length([(s.start, s.end) for s in members])
+        wait = _union_length(
+            [(s.start - float(s.value("queue_wait", 0.0) or 0.0),
+              s.start) for s in members
+             if float(s.value("queue_wait", 0.0) or 0.0) > 0])
+        model["lanes"].append({
+            "lane": lane, "busy": busy, "wait": wait,
+            "tasks": [{"name": s.name, "span_id": s.span_id,
+                       "status": s.status,
+                       "start": s.start - base, "end": s.end - base,
+                       "queue_wait": float(
+                           s.value("queue_wait", 0.0) or 0.0)}
+                      for s in members]})
+    return model
+
+
 def render_timeline(spans: Sequence[Span],
                     trace_id: str | None = None, *,
                     width: int = 60) -> str:
@@ -491,72 +545,53 @@ def render_timeline(spans: Sequence[Span],
     worker lanes and thread-scheduler machines alike.  Each row paints
     ``width`` columns of the run's wall interval: ``#`` where the lane
     executed a task, ``~`` where a task sat ready in the queue, ``!``
-    where the task errored, ``.`` idle.  Per-lane busy/wait shares are
-    computed from the real intervals, not the (quantized) columns —
-    merged as a union first, since batched tasks on one lane share a
-    dispatch window and would otherwise double-count.
+    where the task errored, ``.`` idle.  Per-lane busy/wait shares come
+    from :func:`timeline_model`'s real union intervals, not the
+    (quantized) columns.
     """
     if width < 10:
         raise ObservabilityError(
             f"timeline width must be >= 10 columns, got {width}")
-    selected = spans_of_trace(spans, trace_id)
-    if not selected:
+    if not spans_of_trace(spans, trace_id):
         return "no spans recorded"
-    tasks = [s for s in selected if s.kind == TASK_SPAN]
-    header = f"timeline for trace {selected[0].trace_id}"
-    if not tasks:
+    model = timeline_model(spans, trace_id)
+    header = f"timeline for trace {model['trace_id']}"
+    if not model["lanes"]:
         return header + ": no task spans to lay out"
-    run = next((s for s in selected if s.kind == RUN_SPAN), None)
-    flow = (run.value("flow", "") if run is not None
-            else tasks[0].value("flow", ""))
-    if flow:
-        header += f" (flow {flow})"
-    starts = [s.start - float(s.value("queue_wait", 0.0) or 0.0)
-              for s in tasks]
-    base = min(starts + ([run.start] if run is not None else []))
-    finish = max([s.end for s in tasks]
-                 + ([run.end] if run is not None
-                    and run.end > run.start else []))
-    wall = max(finish - base, 1e-9)
+    if model["flow"]:
+        header += f" (flow {model['flow']})"
+    wall = model["wall"]
 
     def column(moment: float) -> int:
-        fraction = (moment - base) / wall
+        fraction = moment / wall
         return min(width - 1, max(0, int(fraction * width)))
 
-    lanes: dict[str, list[Span]] = {}
-    for span in tasks:
-        lane = str(span.value("machine") or "?")
-        lanes.setdefault(lane, []).append(span)
-    label_width = max(len(name) for name in lanes)
+    task_count = sum(len(lane["tasks"]) for lane in model["lanes"])
+    label_width = max(len(lane["lane"]) for lane in model["lanes"])
     lines = [
-        header + (f": wall {wall * 1e3:.2f}ms, {len(lanes)} lane(s), "
-                  f"{len(tasks)} task(s)"),
+        header + (f": wall {wall * 1e3:.2f}ms, "
+                  f"{len(model['lanes'])} lane(s), "
+                  f"{task_count} task(s)"),
         "  legend: '#' executing  '~' queue wait  '!' error  '.' idle",
     ]
-    for lane in sorted(lanes, key=_lane_sort_key):
-        members = sorted(lanes[lane], key=lambda s: (s.start, s.span_id))
+    for lane in model["lanes"]:
         row = ["."] * width
-        busy = _union_length([(s.start, s.end) for s in members])
-        wait = _union_length(
-            [(s.start - float(s.value("queue_wait", 0.0) or 0.0),
-              s.start) for s in members
-             if float(s.value("queue_wait", 0.0) or 0.0) > 0])
-        for span in members:
-            queue_wait = float(span.value("queue_wait", 0.0) or 0.0)
-            if queue_wait > 0:
-                for index in range(column(span.start - queue_wait),
-                                   column(span.start)):
+        for task in lane["tasks"]:
+            if task["queue_wait"] > 0:
+                for index in range(
+                        column(task["start"] - task["queue_wait"]),
+                        column(task["start"])):
                     if row[index] == ".":
                         row[index] = "~"
-            mark = "#" if span.status == "ok" else "!"
-            for index in range(column(span.start),
-                               column(span.end) + 1):
+            mark = "#" if task["status"] == "ok" else "!"
+            for index in range(column(task["start"]),
+                               column(task["end"]) + 1):
                 row[index] = mark
         lines.append(
-            f"  {lane:<{label_width}} |{''.join(row)}| "
-            f"busy {busy / wall * 100.0:3.0f}% "
-            f"wait {wait / wall * 100.0:3.0f}% "
-            f"({len(members)} task(s))")
+            f"  {lane['lane']:<{label_width}} |{''.join(row)}| "
+            f"busy {lane['busy'] / wall * 100.0:3.0f}% "
+            f"wait {lane['wait'] / wall * 100.0:3.0f}% "
+            f"({len(lane['tasks'])} task(s))")
     left = "0ms"
     right = f"{wall * 1e3:.2f}ms"
     gap = max(1, width + 2 - len(left) - len(right))

@@ -51,6 +51,8 @@ CACHE_FILE = "cache.json"
 TRACE_FILE = "trace.jsonl"
 LEDGER_FILE = "ledger.jsonl"
 MEMO_FILE = "memo.jsonl"
+PROFILE_FILE = "profiles.jsonl"
+SLOW_QUERY_FILE = "slow_queries.jsonl"
 FORMAT_VERSION = 1
 
 
