@@ -1,0 +1,170 @@
+"""CI gate: the scenario corpus must be deterministic end to end.
+
+Drives the real ``repro corpus`` CLI:
+
+1. ``corpus generate`` at the pinned seed twice, into two fresh
+   directories — the manifests must be byte-identical, and identical
+   to the checked-in exemplar
+   (``benchmarks/artifacts/corpus_exemplar/corpus.json``);
+2. ``corpus run`` with the sequential executor on the json backend and
+   with the procpool executor on the sqlite backend — every scenario's
+   history digest must match the manifest's offline simulation (the
+   CLI exits 1 itself on divergence);
+3. ``corpus export`` of an executed scenario in both formats — the
+   triples export must be byte-identical to the exemplar, and the
+   governance export's deterministic fingerprint (tasks, artifact
+   digests, depends_on edges, node/edge counts — run ids and
+   timestamps excluded) must match the exemplar's.
+
+Regenerate the exemplar after an intentional contract change with::
+
+    PYTHONPATH=src python benchmarks/check_corpus_smoke.py --write
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+SEED = 2026
+EXEMPLAR = (pathlib.Path(__file__).parent / "artifacts"
+            / "corpus_exemplar")
+#: The scenario whose exports the exemplar pins.
+EXPORT_SCENARIO = "s02-diamond"
+
+
+def generate(directory: pathlib.Path) -> int:
+    from repro.cli import main as repro_main
+
+    return repro_main(["corpus", "generate", str(directory),
+                       "--seed", str(SEED)])
+
+
+def run_corpus(directory: pathlib.Path, executor: str,
+               backend: str) -> int:
+    from repro.cli import main as repro_main
+
+    return repro_main(["corpus", "run", str(directory),
+                       "--executor", executor, "--backend", backend])
+
+
+def export(scenario_dir: pathlib.Path, fmt: str,
+           target: pathlib.Path) -> int:
+    from repro.cli import main as repro_main
+
+    return repro_main(["corpus", "export", str(scenario_dir),
+                       "--format", fmt, "-o", str(target)])
+
+
+def write_exemplar() -> int:
+    """Regenerate the checked-in artifact (run after contract changes).
+
+    Only the contract files are kept — the manifest and the two export
+    files; the executed scenario environments stay in scratch (their
+    ledgers and timestamps are run-specific).
+    """
+    from repro.scenarios import governance_fingerprint, read_jsonl
+
+    with tempfile.TemporaryDirectory() as scratch:
+        work = pathlib.Path(scratch) / "corpus"
+        if generate(work) != 0:
+            return 1
+        if run_corpus(work, "sequential", "json") != 0:
+            return 1
+        EXEMPLAR.mkdir(parents=True, exist_ok=True)
+        scenario_dir = work / EXPORT_SCENARIO
+        if export(scenario_dir, "governance",
+                  EXEMPLAR / "governance.jsonl") != 0:
+            return 1
+        if export(scenario_dir, "triples",
+                  EXEMPLAR / "triples.jsonl") != 0:
+            return 1
+        (EXEMPLAR / "corpus.json").write_bytes(
+            (work / "corpus.json").read_bytes())
+    fingerprint = governance_fingerprint(
+        read_jsonl(EXEMPLAR / "governance.jsonl"))
+    (EXEMPLAR / "governance.fingerprint").write_text(fingerprint + "\n")
+    print(f"exemplar written to {EXEMPLAR} "
+          f"(governance fingerprint {fingerprint[:16]})")
+    return 0
+
+
+def main() -> int:
+    if "--write" in sys.argv[1:]:
+        return write_exemplar()
+    from repro.scenarios import governance_fingerprint, read_jsonl
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as scratch:
+        root = pathlib.Path(scratch)
+
+        # 1. byte-identical regeneration, matching the exemplar
+        first, second = root / "first", root / "second"
+        for directory in (first, second):
+            if generate(directory) != 0:
+                failures.append(f"corpus generate failed "
+                                f"in {directory}")
+        manifest = (first / "corpus.json").read_bytes()
+        if manifest != (second / "corpus.json").read_bytes():
+            failures.append(
+                "same-seed corpus generate is not byte-identical")
+        else:
+            print("same-seed regeneration: byte-identical")
+        exemplar_manifest = EXEMPLAR / "corpus.json"
+        if manifest != exemplar_manifest.read_bytes():
+            failures.append(
+                f"generated manifest differs from {exemplar_manifest} "
+                "— if the corpus contract changed intentionally, "
+                "regenerate with --write")
+        else:
+            print("manifest matches the checked-in exemplar")
+
+        # 2. two executors x two backends must match the simulation
+        for executor, backend in (("sequential", "json"),
+                                  ("procpool", "sqlite")):
+            code = run_corpus(first, executor, backend)
+            print(f"corpus run --executor {executor} "
+                  f"--backend {backend}: exit {code}")
+            if code != 0:
+                failures.append(
+                    f"{executor}/{backend} corpus run diverged from "
+                    "the manifest")
+
+        # 3. exports of the executed scenario match the exemplar
+        scenario_dir = first / EXPORT_SCENARIO
+        triples = root / "triples.jsonl"
+        if export(scenario_dir, "triples", triples) != 0:
+            failures.append("triples export failed validation")
+        elif triples.read_bytes() != \
+                (EXEMPLAR / "triples.jsonl").read_bytes():
+            failures.append(
+                "triples export is not byte-identical to the "
+                "exemplar")
+        else:
+            print("triples export byte-identical to the exemplar")
+        governance = root / "governance.jsonl"
+        if export(scenario_dir, "governance", governance) != 0:
+            failures.append("governance export failed validation")
+        else:
+            fingerprint = governance_fingerprint(read_jsonl(governance))
+            expected = (EXEMPLAR / "governance.fingerprint") \
+                .read_text().strip()
+            if fingerprint != expected:
+                failures.append(
+                    f"governance fingerprint {fingerprint[:16]} "
+                    f"differs from exemplar {expected[:16]}")
+            else:
+                print("governance fingerprint matches the exemplar")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("corpus smoke check passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,9 @@ Hercules session — enough to drive a design from a shell::
     python -m repro run ./proj my-flow --profile --trace
     python -m repro profile flamegraph ./proj -o profile.folded
     python -m repro profile queries ./proj
+    python -m repro corpus generate ./corpus --seed 7
+    python -m repro corpus run ./corpus --executor procpool
+    python -m repro corpus export ./corpus/s02-diamond --format triples
 
 Every mutating command saves the environment back to the directory, so
 consecutive invocations build one continuous design history — the CLI
@@ -33,6 +36,7 @@ import argparse
 import json
 import os
 import pathlib
+import shutil
 import sys
 import time
 from typing import Callable, Sequence
@@ -62,6 +66,13 @@ from .persistence import (CACHE_FILE, LEDGER_FILE, PROFILE_FILE,
                           SLOW_QUERY_FILE, TRACE_FILE,
                           load_environment, migrate_environment,
                           save_environment)
+from .scenarios import (SHAPES, CorpusSpec, governance_records,
+                        history_signature, load_corpus,
+                        materialize_governance, materialize_scenario,
+                        register_corpus_encapsulations, render_jsonl,
+                        signature_digest, spec_from_entry,
+                        triples_records, validate_governance,
+                        validate_triples, write_corpus)
 from .schema.standard import fig1_schema, fig2_schema, odyssey_schema
 from .tools import install_standard_tools, register_standard_encapsulations
 from .ui.session import HerculesSession
@@ -76,6 +87,9 @@ SCHEMAS = {
 def _load(directory: str) -> DesignEnvironment:
     env = load_environment(directory)
     register_standard_encapsulations(env)
+    # scenario-corpus environments carry their tool salts in the
+    # schema; no-op for standard schemas
+    register_corpus_encapsulations(env)
     return env
 
 
@@ -723,6 +737,118 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _corpus_generate(args: argparse.Namespace) -> int:
+    corpus = CorpusSpec(
+        seed=args.seed, width=args.width, depth=args.depth,
+        fanout=args.fanout, per_shape=args.per_shape,
+        shapes=tuple(args.shapes) if args.shapes else SHAPES)
+    target = write_corpus(corpus, args.directory)
+    manifest = load_corpus(target)
+    print(f"wrote {target}: {len(manifest['scenarios'])} scenario(s), "
+          f"digest {manifest['digest'][:16]}")
+    return 0
+
+
+def _corpus_run(args: argparse.Namespace) -> int:
+    root = pathlib.Path(args.directory)
+    manifest = load_corpus(root)
+    entries = manifest["scenarios"]
+    if args.scenario:
+        known = {entry["scenario_id"] for entry in entries}
+        missing = sorted(set(args.scenario) - known)
+        if missing:
+            print(f"error: no such scenario(s): {', '.join(missing)} "
+                  f"(corpus has {', '.join(sorted(known))})",
+                  file=sys.stderr)
+            return 2
+        entries = [entry for entry in entries
+                   if entry["scenario_id"] in set(args.scenario)]
+    cache = None if args.cache == CACHE_OFF else args.cache
+    failures = 0
+    for entry in entries:
+        spec = spec_from_entry(entry)
+        scenario_dir = root / entry["scenario_id"]
+        # every invocation re-materializes the scenario from its spec,
+        # so runs are deterministic by construction: re-running never
+        # re-derives on top of an existing history
+        if scenario_dir.exists():
+            shutil.rmtree(scenario_dir)
+        env = materialize_scenario(spec)
+        save_environment(env, scenario_dir, backend=args.backend)
+        env = _load(str(scenario_dir))
+        flow = env.flow_catalog.select(entry["flow"])
+        if args.executor == "parallel":
+            executor = env.parallel_executor(machines=args.machines,
+                                             cache=cache)
+        elif args.executor == "scheduled":
+            executor = env.scheduled_executor(machines=args.machines,
+                                              cache=cache)
+        elif args.executor == "procpool":
+            executor = env.process_executor(workers=args.workers,
+                                            cache=cache)
+        else:
+            executor = env.executor(cache=cache)
+        report = executor.execute(flow)
+        save_environment(env, scenario_dir)
+        digest = signature_digest(history_signature(env))
+        expected = entry["expected"]
+        ok = (digest == expected["history_digest"]
+              and report.runs == expected["runs"]
+              and not report.failures)
+        print(f"  {entry['scenario_id']}: {report.runs} tool runs, "
+              f"digest {digest[:16]} "
+              f"[{'ok' if ok else 'MISMATCH'}]")
+        if not ok:
+            failures += 1
+            if digest != expected["history_digest"]:
+                print(f"    expected digest "
+                      f"{expected['history_digest'][:16]}",
+                      file=sys.stderr)
+            if report.runs != expected["runs"]:
+                print(f"    expected {expected['runs']} tool runs",
+                      file=sys.stderr)
+            for failure in report.failures:
+                print(f"    FAILED {failure.render()}",
+                      file=sys.stderr)
+    verdict = ("all digests match the manifest" if not failures
+               else f"{failures} scenario(s) diverged")
+    print(f"ran {len(entries)} scenario(s) with the {args.executor} "
+          f"executor: {verdict}")
+    return 1 if failures else 0
+
+
+def _corpus_export(args: argparse.Namespace) -> int:
+    env = _load(args.directory)
+    if args.format == "governance":
+        runs = env.ledger.records() if env.ledger is not None else ()
+        records = governance_records(env, runs)
+        problems = validate_governance(
+            materialize_governance(records), env, runs)
+    else:
+        records = triples_records(env)
+        problems = validate_triples(records, env)
+    for problem in problems:
+        print(f"error: export validation: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    text = render_jsonl(records)
+    if args.output:
+        pathlib.Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {len(records)} {args.format} record(s) to "
+              f"{args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    if args.corpus_command == "generate":
+        return _corpus_generate(args)
+    if args.corpus_command == "run":
+        return _corpus_run(args)
+    return _corpus_export(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1053,6 +1179,83 @@ def build_parser() -> argparse.ArgumentParser:
                              help="write to this file instead of "
                                   "stdout")
         sub.set_defaults(fn=cmd_profile)
+
+    corpus = commands.add_parser(
+        "corpus", help="seeded scenario corpora: deterministic "
+                       "generator, cross-executor runner, "
+                       "governance/triples exports (DESIGN.md §15)")
+    corpus_commands = corpus.add_subparsers(dest="corpus_command",
+                                            required=True)
+    generate = corpus_commands.add_parser(
+        "generate", help="write a corpus.v1 manifest; the same seed "
+                         "regenerates byte-identical output")
+    generate.add_argument("directory",
+                          help="corpus directory (created if missing)")
+    generate.add_argument("--seed", type=int, default=0,
+                          help="corpus seed (default 0)")
+    generate.add_argument("--width", type=int, default=2,
+                          help="branch/lane count for independent and "
+                               "pipeline shapes (default 2)")
+    generate.add_argument("--depth", type=int, default=2,
+                          help="chain length for chain, diamond and "
+                               "pipeline shapes (default 2)")
+    generate.add_argument("--fanout", type=int, default=2,
+                          help="fork count for the fork_join shape "
+                               "(default 2, minimum 2)")
+    generate.add_argument("--per-shape", type=int, default=1,
+                          dest="per_shape",
+                          help="scenarios per dependency shape "
+                               "(default 1)")
+    generate.add_argument("--shape", action="append", dest="shapes",
+                          choices=list(SHAPES),
+                          help="restrict to these shapes (repeatable; "
+                               "default: all five)")
+    generate.set_defaults(fn=cmd_corpus)
+    corpus_run = corpus_commands.add_parser(
+        "run", help="materialize + execute the corpus scenarios and "
+                    "check history digests against the manifest")
+    corpus_run.add_argument("directory",
+                            help="a directory holding corpus.json")
+    corpus_run.add_argument("--executor",
+                            choices=["sequential", "parallel",
+                                     "scheduled", "procpool"],
+                            default="sequential",
+                            help="executor to drive every scenario "
+                                 "with (default sequential)")
+    corpus_run.add_argument("--machines", type=int, default=2,
+                            help="machine pool size for the parallel/"
+                                 "scheduled executors (default 2)")
+    corpus_run.add_argument("--workers", type=int, default=2,
+                            help="worker process count for --executor "
+                                 "procpool (default 2)")
+    corpus_run.add_argument("--cache", choices=sorted(CACHE_POLICIES),
+                            default=CACHE_OFF,
+                            help="re-execution cache policy "
+                                 "(default off)")
+    corpus_run.add_argument("--backend", choices=sorted(BACKENDS),
+                            default=None,
+                            help="history backend for the scenario "
+                                 "environments (default: json)")
+    corpus_run.add_argument("--scenario", action="append",
+                            help="only run these scenario ids "
+                                 "(repeatable; default: all)")
+    corpus_run.set_defaults(fn=cmd_corpus)
+    corpus_export = corpus_commands.add_parser(
+        "export", help="export a saved environment's runs + history "
+                       "as a governance graph or ontology triples")
+    corpus_export.add_argument("directory",
+                               help="a saved environment directory "
+                                    "(e.g. one corpus scenario)")
+    corpus_export.add_argument("--format",
+                               choices=["governance", "triples"],
+                               default="governance",
+                               help="cg.v1 governance JSONL (default) "
+                                    "or subject/predicate/object "
+                                    "triples")
+    corpus_export.add_argument("-o", "--output",
+                               help="write to this file instead of "
+                                    "stdout")
+    corpus_export.set_defaults(fn=cmd_corpus)
 
     schema = commands.add_parser("schema",
                                  help="dump the schema as Graphviz DOT")

@@ -325,7 +325,8 @@ class FlowExecutor:
             cache_policy=self.cache_policy, trace_id=trace_id,
             error=error,
             profile=(self.profiler.summary()
-                     if self.profiler is not None else None))
+                     if self.profiler is not None else None),
+            pool_size=1)
 
     def _execute_graph(self, graph: TaskGraph,
                        targets: Sequence[str] | None, *,

@@ -266,4 +266,5 @@ class ParallelFlowExecutor:
             trace_id=run_span.trace_id if run_span is not None else "",
             error=error,
             profile=(self.profiler.summary()
-                     if self.profiler is not None else None))
+                     if self.profiler is not None else None),
+            pool_size=len(self.pool))

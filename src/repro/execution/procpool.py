@@ -855,7 +855,8 @@ class ProcessFlowExecutor:
             trace_id=run_span.trace_id if run_span is not None else "",
             error=error, workers=workers,
             profile=(self.profiler.summary()
-                     if self.profiler is not None else None))
+                     if self.profiler is not None else None),
+            pool_size=self.workers)
 
     # ------------------------------------------------------------------
     # lane loop: claim, batch, dispatch, record

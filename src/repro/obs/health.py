@@ -19,7 +19,9 @@ each returning an ok/warn/fail verdict:
 * ``cache-hit-rate`` — cache effectiveness collapsed vs. the baseline;
 * ``parallelism-efficiency`` — the realized serial/wall ratio (the
   PR 3 critical-path efficiency figure) degraded vs. runs of the same
-  executor kind;
+  executor kind, raw and normalized by the recorded execution-slot
+  count (``parallelism / pool_size``, the multicore-smoke efficiency
+  figure brought ledger-side);
 * ``worker-utilization`` — procpool worker-pool health from the
   per-worker ledger telemetry: absolute busy-time imbalance across
   the pool, plus utilization drift vs. same-executor baselines;
@@ -179,6 +181,13 @@ class HealthThresholds:
     parallelism_min: float = 1.5
     parallelism_fail_ratio: float = 0.6
     parallelism_warn_ratio: float = 0.8
+    #: Worker-normalized efficiency gate (parallelism / pool size, the
+    #: multicore-smoke figure brought ledger-side): baselines below the
+    #: floor never gate — a flow without enough parallel work can't
+    #: regress by staying serial.
+    efficiency_min: float = 0.25
+    efficiency_fail_ratio: float = 0.6
+    efficiency_warn_ratio: float = 0.8
     #: Worker-pool gates (procpool runs with per-worker telemetry):
     #: total busy seconds below the floor never gate (framework-scale
     #: tools finish in the noise band); imbalance is max/mean busy
@@ -351,33 +360,75 @@ def check_parallelism_efficiency(current: RunRecord,
                                  baseline: Sequence[RunRecord],
                                  thresholds: HealthThresholds
                                  ) -> CheckResult:
-    """Serial/wall efficiency vs. baseline runs of the same executor."""
+    """Serial/wall efficiency vs. baseline runs of the same executor.
+
+    Two gates.  *Raw drift* compares the realized serial/wall ratio
+    against the same-executor baseline median — it catches a flow that
+    stopped parallelizing.  *Worker-normalized drift* divides that
+    ratio by the recorded pool size first (parallelism / pool_size,
+    the per-slot efficiency the multicore-smoke CI job gates on), so a
+    run that kept its speedup only by doubling the pool still fails.
+    The normalized gate needs ``pool_size`` on the records, which
+    in-process and pre-PR-10 ledgers may not carry — it silently sits
+    out when the data is missing.
+    """
     name = "parallelism-efficiency"
-    peers = [r.parallelism for r in baseline
+    peers = [r for r in baseline
              if r.executor == current.executor and not r.errors]
     if len(peers) < thresholds.min_samples:
         return CheckResult(
             name, OK, f"no {current.executor} baseline yet")
-    base = _median(peers)
+    verdicts: list[str] = []
+    details: list[str] = []
+    base = _median([r.parallelism for r in peers])
     if base < thresholds.parallelism_min:
-        return CheckResult(
-            name, OK,
+        details.append(
             f"baseline parallelism {base:.2f}x below gating floor")
-    ratio = current.parallelism / base if base else 1.0
-    if ratio < thresholds.parallelism_fail_ratio:
-        return CheckResult(
-            name, FAIL,
-            f"parallelism {current.parallelism:.2f}x degraded from "
-            f"baseline {base:.2f}x over {len(peers)} runs")
-    if ratio < thresholds.parallelism_warn_ratio:
-        return CheckResult(
-            name, WARN,
-            f"parallelism {current.parallelism:.2f}x below baseline "
-            f"{base:.2f}x")
-    return CheckResult(
-        name, OK,
-        f"parallelism {current.parallelism:.2f}x "
-        f"(baseline {base:.2f}x)")
+    else:
+        ratio = current.parallelism / base if base else 1.0
+        if ratio < thresholds.parallelism_fail_ratio:
+            verdicts.append(FAIL)
+            details.append(
+                f"parallelism {current.parallelism:.2f}x degraded "
+                f"from baseline {base:.2f}x over {len(peers)} runs")
+        elif ratio < thresholds.parallelism_warn_ratio:
+            verdicts.append(WARN)
+            details.append(
+                f"parallelism {current.parallelism:.2f}x below "
+                f"baseline {base:.2f}x")
+        else:
+            details.append(
+                f"parallelism {current.parallelism:.2f}x "
+                f"(baseline {base:.2f}x)")
+    rates = [r.parallelism / r.pool_size for r in peers
+             if r.pool_size >= 2]
+    if current.pool_size >= 2 \
+            and len(rates) >= thresholds.min_samples:
+        efficiency = current.parallelism / current.pool_size
+        base_eff = _median(rates)
+        if base_eff < thresholds.efficiency_min:
+            details.append(
+                f"baseline efficiency {base_eff:.0%} below gating "
+                "floor")
+        else:
+            ratio = efficiency / base_eff if base_eff else 1.0
+            if ratio < thresholds.efficiency_fail_ratio:
+                verdicts.append(FAIL)
+                details.append(
+                    f"efficiency {efficiency:.0%} of "
+                    f"{current.pool_size} slot(s) degraded from "
+                    f"baseline {base_eff:.0%} over {len(rates)} runs")
+            elif ratio < thresholds.efficiency_warn_ratio:
+                verdicts.append(WARN)
+                details.append(
+                    f"efficiency {efficiency:.0%} below baseline "
+                    f"{base_eff:.0%}")
+            else:
+                details.append(
+                    f"efficiency {efficiency:.0%} across "
+                    f"{current.pool_size} slot(s) "
+                    f"(baseline {base_eff:.0%})")
+    return CheckResult(name, _worst(verdicts), "; ".join(details))
 
 
 def check_worker_utilization(current: RunRecord,

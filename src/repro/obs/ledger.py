@@ -126,6 +126,11 @@ class RunRecord:
     #: Realized serial/wall ratio — the PR 3 critical-path efficiency
     #: figure, persisted so degradation is detectable across runs.
     parallelism: float = 1.0
+    #: Execution-slot count of the executor that ran the flow (machine
+    #: pool size or worker process count; 1 for sequential).  Optional
+    #: on the wire — omitted when 0, so the schema stays ledger.v1 and
+    #: older ledgers load unchanged.
+    pool_size: int = 0
     runs: int = 0
     created: int = 0
     reused: int = 0
@@ -179,8 +184,8 @@ class RunRecord:
                     run_id: str = "", timestamp: float | None = None,
                     error: BaseException | str | None = None,
                     workers: dict[str, WorkerRunStats] | None = None,
-                    profile: dict[str, Any] | None = None
-                    ) -> "RunRecord":
+                    profile: dict[str, Any] | None = None,
+                    pool_size: int = 0) -> "RunRecord":
         """Distill an :class:`~repro.execution.executor.ExecutionReport`.
 
         ``report`` is duck-typed (obs must not import the execution
@@ -240,6 +245,7 @@ class RunRecord:
             serial_time=report.serial_time,
             queue_wait=report.queue_wait_time,
             parallelism=report.speedup,
+            pool_size=pool_size,
             runs=report.runs,
             created=len(report.created),
             reused=len(report.reused),
@@ -286,6 +292,8 @@ class RunRecord:
             "tools": {tool: stats.to_dict()
                       for tool, stats in sorted(self.tools.items())},
         }
+        if self.pool_size:
+            spec["pool_size"] = self.pool_size
         if self.error:
             spec["error"] = self.error
         if self.error_class:
@@ -321,6 +329,7 @@ class RunRecord:
             serial_time=float(spec.get("serial_time", 0.0)),
             queue_wait=float(spec.get("queue_wait", 0.0)),
             parallelism=float(spec.get("parallelism", 1.0)),
+            pool_size=int(spec.get("pool_size", 0)),
             runs=int(spec.get("runs", 0)),
             created=int(spec.get("created", 0)),
             reused=int(spec.get("reused", 0)),
@@ -361,6 +370,8 @@ class RunRecord:
             parts.append(f"qwait={self.queue_wait * 1e3:.2f}ms")
         if self.parallelism > 1.05:
             parts.append(f"par={self.parallelism:.2f}x")
+        if self.pool_size > 1:
+            parts.append(f"pool={self.pool_size}")
         if self.retries:
             parts.append(f"retries={self.retries}")
         if self.timeouts:
@@ -417,8 +428,8 @@ class RunLedger:
                    cache_policy: str = "off", trace_id: str = "",
                    error: BaseException | str | None = None,
                    workers: dict[str, WorkerRunStats] | None = None,
-                   profile: dict[str, Any] | None = None
-                   ) -> RunRecord | None:
+                   profile: dict[str, Any] | None = None,
+                   pool_size: int = 0) -> RunRecord | None:
         """Build and append one record from an execution report.
 
         Ledger I/O failures (full disk, revoked permissions) are
@@ -428,7 +439,7 @@ class RunLedger:
         record = RunRecord.from_report(
             report, executor=executor, cache_policy=cache_policy,
             trace_id=trace_id, error=error, workers=workers,
-            profile=profile)
+            profile=profile, pool_size=pool_size)
         try:
             return self.append(record)
         except OSError:

@@ -1,0 +1,71 @@
+"""Seeded scenario corpora: generator, synthetic tools and exports.
+
+The package behind ``repro corpus generate|run|export``: a deterministic
+corpus of schemas + flow templates over the five dependency shapes
+(independent / chain / diamond / fork-join / pipeline), synthetic tools
+whose outputs are pure functions of the corpus seed, and two external
+contracts over a saved environment — the ``cg.v1`` governance JSONL
+graph and an ontology-flavored triples export.
+"""
+
+from .exports import (GOVERNANCE_FORMAT, TRIPLES_FORMAT, GovernanceGraph,
+                      governance_fingerprint, governance_records,
+                      materialize_governance, read_jsonl, render_jsonl,
+                      triples_records, validate_governance,
+                      validate_triples, write_jsonl)
+from .generator import (CORPUS_FILE, CORPUS_FORMAT, MAIN_FLOW, SHAPES,
+                        CorpusSpec, ScenarioNode, ScenarioSpec,
+                        build_scenario_schema, expected_signature,
+                        generate_corpus, history_signature, load_corpus,
+                        manifest_digest, materialize_scenario,
+                        scenario_entry, scenario_nodes, scenario_specs,
+                        signature_digest, simulate_payloads,
+                        spec_from_entry, tool_salts, write_corpus)
+from .synthetic import (SALT_MARKER, canonical_json, corpus_digest,
+                        derived_payload, register_corpus_encapsulations,
+                        salt_of, source_payload, synthetic_tool)
+
+__all__ = [
+    "CORPUS_FILE",
+    "CORPUS_FORMAT",
+    "GOVERNANCE_FORMAT",
+    "MAIN_FLOW",
+    "SALT_MARKER",
+    "SHAPES",
+    "TRIPLES_FORMAT",
+    "CorpusSpec",
+    "GovernanceGraph",
+    "ScenarioNode",
+    "ScenarioSpec",
+    "build_scenario_schema",
+    "canonical_json",
+    "corpus_digest",
+    "derived_payload",
+    "expected_signature",
+    "generate_corpus",
+    "governance_fingerprint",
+    "governance_records",
+    "history_signature",
+    "load_corpus",
+    "manifest_digest",
+    "materialize_governance",
+    "materialize_scenario",
+    "read_jsonl",
+    "register_corpus_encapsulations",
+    "render_jsonl",
+    "salt_of",
+    "scenario_entry",
+    "scenario_nodes",
+    "scenario_specs",
+    "signature_digest",
+    "simulate_payloads",
+    "source_payload",
+    "spec_from_entry",
+    "synthetic_tool",
+    "tool_salts",
+    "triples_records",
+    "validate_governance",
+    "validate_triples",
+    "write_corpus",
+    "write_jsonl",
+]

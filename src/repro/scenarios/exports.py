@@ -1,0 +1,446 @@
+"""History + run exports: governance-graph JSONL and ontology triples.
+
+Two external contracts over a saved environment (scenario or not):
+
+* **Governance JSONL** (``cg.v1``, SNIPPETS §2): one self-describing
+  record per line — a header, then typed nodes
+  (Task/Run/Artifact/GateResult/Actor), then typed edges (``owns``,
+  ``implements``, ``produced``, ``evaluated_by``, ``depends_on``).
+  Every node carries the required property set (its id, ``scope``,
+  ``source_ref``, ``schema_version``, ``timestamp``) plus the two-clock
+  split: ``timestamp`` is the *fast* clock (per-task execution events),
+  ``clock_slow`` the *slow* clock (schema/corpus evolution — the schema
+  name and manifest format this history was produced under).
+  :func:`materialize_governance` rebuilds the graph from the lines, and
+  :func:`validate_governance` checks it matches the source task graph
+  node/edge-for-edge (data nodes ↔ Tasks, data edges ↔ ``depends_on``)
+  and the history instance-for-instance (↔ Artifacts).
+
+* **Triples JSONL**: subject/predicate/object lines in the spirit of
+  the ontology-based model-management work — ``rdf:type`` /
+  ``rdfs:subClassOf`` for the schema, ``repro:digest`` /
+  ``repro:producedBy`` / ``repro:derivedFrom`` / ``repro:input/<role>``
+  for the history.  Deterministically sorted and timestamp-free, so a
+  seeded corpus run exports byte-identical triples on every executor.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from ..core.taskgraph import DepKind
+from ..execution.context import DesignEnvironment
+from .synthetic import canonical_json, corpus_digest
+
+GOVERNANCE_FORMAT = "cg.v1"
+TRIPLES_FORMAT = "triples.v1"
+
+TASK = "Task"
+RUN = "Run"
+ARTIFACT = "Artifact"
+GATE_RESULT = "GateResult"
+ACTOR = "Actor"
+
+OWNS = "owns"
+IMPLEMENTS = "implements"
+PRODUCED = "produced"
+EVALUATED_BY = "evaluated_by"
+DEPENDS_ON = "depends_on"
+
+
+def _node(node_type: str, node_id: str,
+          props: dict[str, Any]) -> dict[str, Any]:
+    return {"record": "node", "schema_version": GOVERNANCE_FORMAT,
+            "node_type": node_type, "id": node_id, "props": props}
+
+
+def _edge(edge_type: str, src: str, dst: str) -> dict[str, Any]:
+    return {"record": "edge", "schema_version": GOVERNANCE_FORMAT,
+            "edge_type": edge_type, "src": src, "dst": dst}
+
+
+def governance_records(env: DesignEnvironment,
+                       runs: Sequence[Any] = (), *,
+                       scope: str = "",
+                       source_ref: str = "") -> list[dict[str, Any]]:
+    """The governance graph of one environment, as JSONL-ready dicts.
+
+    ``runs`` are ledger :class:`~repro.obs.ledger.RunRecord` entries;
+    instances join to them through the shared ``trace_id`` (stamped on
+    traced runs), which is what makes the Run→Artifact ``produced``
+    edges materializable.
+    """
+    scope = scope or env.schema.name
+    source_ref = source_ref or f"schema:{env.schema.name}"
+    slow_clock = f"{source_ref}/{GOVERNANCE_FORMAT}"
+    shared = {"scope": scope, "source_ref": source_ref,
+              "clock_slow": slow_clock}
+    nodes: list[dict[str, Any]] = []
+    edges: list[dict[str, Any]] = []
+
+    users = sorted({env.user}
+                   | {instance.user
+                      for instance in env.db.instances()
+                      if instance.user})
+    for user in users:
+        nodes.append(_node(ACTOR, f"actor:{user}",
+                           {"actor_id": user, "timestamp": 0.0,
+                            **shared}))
+
+    task_ids: dict[tuple[str, str], str] = {}
+    for flow_name in sorted(env.flow_catalog.names()):
+        graph = env.flow_catalog.select(flow_name).graph
+        tool_of: dict[str, str] = {}
+        for edge in graph.edges():
+            if edge.kind is DepKind.FUNCTIONAL:
+                tool_of[edge.consumer] = \
+                    graph.node(edge.supplier).entity_type
+        for node in graph.nodes():
+            if env.schema.entity(node.entity_type).is_tool:
+                continue
+            task_id = f"task:{flow_name}:{node.node_id}"
+            task_ids[(flow_name, node.node_id)] = task_id
+            nodes.append(_node(TASK, task_id, {
+                "task_id": task_id,
+                "flow": flow_name,
+                "entity_type": node.entity_type,
+                "tool": tool_of.get(node.node_id),
+                "timestamp": 0.0,
+                **shared}))
+            edges.append(_edge(OWNS, f"actor:{env.user}", task_id))
+        for edge in graph.edges():
+            if edge.kind is not DepKind.DATA:
+                continue
+            consumer = task_ids.get((flow_name, edge.consumer))
+            supplier = task_ids.get((flow_name, edge.supplier))
+            if consumer and supplier:
+                edges.append(_edge(DEPENDS_ON, consumer, supplier))
+
+    run_by_trace: dict[str, str] = {}
+    for record in runs:
+        run_id = f"run:{record.run_id}"
+        if record.trace_id:
+            run_by_trace[record.trace_id] = run_id
+        nodes.append(_node(RUN, run_id, {
+            "run_id": record.run_id,
+            "flow": record.flow,
+            "executor": record.executor,
+            "cache_policy": record.cache_policy,
+            "runs": record.runs,
+            "created": record.created,
+            "errors": record.errors,
+            "trace_id": record.trace_id,
+            "timestamp": record.timestamp,
+            **shared}))
+        for (flow_name, node_id), task_id in sorted(task_ids.items()):
+            if flow_name == record.flow:
+                edges.append(_edge(IMPLEMENTS, run_id, task_id))
+        gate_id = f"gate:{record.run_id}"
+        nodes.append(_node(GATE_RESULT, gate_id, {
+            "gate_id": gate_id,
+            "check": "run-completed",
+            "status": "fail" if record.errors else "pass",
+            "run_id": record.run_id,
+            "timestamp": record.timestamp,
+            **shared}))
+        edges.append(_edge(EVALUATED_BY, run_id, gate_id))
+
+    for instance in env.db.instances():
+        artifact_id = f"artifact:{instance.instance_id}"
+        nodes.append(_node(ARTIFACT, artifact_id, {
+            "artifact_id": artifact_id,
+            "entity_type": instance.entity_type,
+            "digest": instance.data_ref,
+            "user": instance.user,
+            "derived": instance.is_derived,
+            "timestamp": instance.timestamp,
+            **shared}))
+        run_id = run_by_trace.get(instance.trace_id)
+        if run_id is not None:
+            edges.append(_edge(PRODUCED, run_id, artifact_id))
+
+    header = {"record": "header",
+              "schema_version": GOVERNANCE_FORMAT,
+              "scope": scope, "source_ref": source_ref,
+              "clock_fast": "unix-seconds event timestamps",
+              "clock_slow": slow_clock}
+    nodes.sort(key=lambda n: (n["node_type"], n["id"]))
+    edges.sort(key=lambda e: (e["edge_type"], e["src"], e["dst"]))
+    return [header, *nodes, *edges]
+
+
+# ---------------------------------------------------------------------------
+# materialize graph from JSONL + validators
+# ---------------------------------------------------------------------------
+@dataclass
+class GovernanceGraph:
+    """A governance export, re-materialized."""
+
+    header: dict[str, Any] = field(default_factory=dict)
+    nodes: dict[str, dict[str, Any]] = field(default_factory=dict)
+    edges: list[tuple[str, str, str]] = field(default_factory=list)
+
+    def nodes_of_type(self, node_type: str) -> tuple[str, ...]:
+        return tuple(sorted(
+            node_id for node_id, record in self.nodes.items()
+            if record["node_type"] == node_type))
+
+    def edges_of_type(self, edge_type: str
+                      ) -> tuple[tuple[str, str], ...]:
+        return tuple(sorted((src, dst)
+                            for kind, src, dst in self.edges
+                            if kind == edge_type))
+
+    def props(self, node_id: str) -> dict[str, Any]:
+        return self.nodes[node_id].get("props", {})
+
+
+def materialize_governance(
+        lines: Iterable[str | dict[str, Any]]) -> GovernanceGraph:
+    """Rebuild the graph from exported JSONL lines (or parsed dicts)."""
+    graph = GovernanceGraph()
+    for line in lines:
+        record = (json.loads(line) if isinstance(line, str)
+                  else line)
+        kind = record.get("record")
+        if kind == "header":
+            graph.header = record
+        elif kind == "node":
+            graph.nodes[record["id"]] = record
+        elif kind == "edge":
+            graph.edges.append((record["edge_type"], record["src"],
+                                record["dst"]))
+        else:
+            raise ValueError(
+                f"governance line has unknown record kind {kind!r}")
+    return graph
+
+
+_REQUIRED_PROPS = ("scope", "source_ref", "clock_slow", "timestamp")
+
+
+def validate_governance(graph: GovernanceGraph,
+                        env: DesignEnvironment,
+                        runs: Sequence[Any] = ()) -> list[str]:
+    """Check a re-materialized graph against its source environment.
+
+    Returns a list of problems (empty = valid): the Task/``depends_on``
+    projection must match every cataloged flow's data nodes and data
+    edges node/edge-for-edge, Artifacts must match history instances
+    one-for-one (digests included), and every ledger run must have its
+    Run node, GateResult and ``evaluated_by`` edge.
+    """
+    problems: list[str] = []
+    if graph.header.get("schema_version") != GOVERNANCE_FORMAT:
+        problems.append("missing or mismatched cg.v1 header")
+    for node_id, record in sorted(graph.nodes.items()):
+        props = record.get("props", {})
+        for required in _REQUIRED_PROPS:
+            if required not in props:
+                problems.append(
+                    f"{node_id}: missing required prop {required!r}")
+
+    expected_tasks: set[str] = set()
+    expected_deps: set[tuple[str, str]] = set()
+    for flow_name in env.flow_catalog.names():
+        flow_graph = env.flow_catalog.select(flow_name).graph
+        data_nodes = {
+            node.node_id for node in flow_graph.nodes()
+            if not env.schema.entity(node.entity_type).is_tool}
+        for node_id in data_nodes:
+            expected_tasks.add(f"task:{flow_name}:{node_id}")
+        for edge in flow_graph.edges():
+            if edge.kind is DepKind.DATA \
+                    and edge.consumer in data_nodes \
+                    and edge.supplier in data_nodes:
+                expected_deps.add(
+                    (f"task:{flow_name}:{edge.consumer}",
+                     f"task:{flow_name}:{edge.supplier}"))
+    exported_tasks = set(graph.nodes_of_type(TASK))
+    for missing in sorted(expected_tasks - exported_tasks):
+        problems.append(f"flow data node has no Task node: {missing}")
+    for extra in sorted(exported_tasks - expected_tasks):
+        problems.append(f"Task node has no flow data node: {extra}")
+    exported_deps = set(graph.edges_of_type(DEPENDS_ON))
+    for missing_edge in sorted(expected_deps - exported_deps):
+        problems.append(
+            f"flow data edge has no depends_on edge: {missing_edge}")
+    for extra_edge in sorted(exported_deps - expected_deps):
+        problems.append(
+            f"depends_on edge has no flow data edge: {extra_edge}")
+
+    instances = {instance.instance_id: instance
+                 for instance in env.db.instances()}
+    expected_artifacts = {f"artifact:{instance_id}"
+                          for instance_id in instances}
+    exported_artifacts = set(graph.nodes_of_type(ARTIFACT))
+    for missing in sorted(expected_artifacts - exported_artifacts):
+        problems.append(f"instance has no Artifact node: {missing}")
+    for extra in sorted(exported_artifacts - expected_artifacts):
+        problems.append(f"Artifact node has no instance: {extra}")
+    for instance_id, instance in sorted(instances.items()):
+        artifact_id = f"artifact:{instance_id}"
+        if artifact_id in graph.nodes \
+                and graph.props(artifact_id).get("digest") \
+                != instance.data_ref:
+            problems.append(f"{artifact_id}: digest mismatch")
+
+    for record in runs:
+        run_id = f"run:{record.run_id}"
+        gate_id = f"gate:{record.run_id}"
+        if run_id not in graph.nodes:
+            problems.append(f"ledger run has no Run node: {run_id}")
+        if gate_id not in graph.nodes:
+            problems.append(f"run has no GateResult node: {gate_id}")
+        if (run_id, gate_id) not in graph.edges_of_type(EVALUATED_BY):
+            problems.append(
+                f"missing evaluated_by edge {run_id} -> {gate_id}")
+    for src, dst in graph.edges_of_type(PRODUCED):
+        if src not in graph.nodes or dst not in graph.nodes:
+            problems.append(
+                f"produced edge touches unknown node: {src} -> {dst}")
+    return problems
+
+
+def governance_fingerprint(
+        lines: Iterable[str | dict[str, Any]]) -> str:
+    """Digest over the deterministic projection of an export.
+
+    Run ids and timestamps differ between runs; the structural rest —
+    task graph, artifacts with digests, node/edge counts by type — must
+    not.  CI compares this fingerprint against the exemplar's.
+    """
+    graph = materialize_governance(lines)
+    node_counts: dict[str, int] = {}
+    for record in graph.nodes.values():
+        node_type = record["node_type"]
+        node_counts[node_type] = node_counts.get(node_type, 0) + 1
+    edge_counts: dict[str, int] = {}
+    for kind, _, _ in graph.edges:
+        edge_counts[kind] = edge_counts.get(kind, 0) + 1
+    projection = {
+        "tasks": list(graph.nodes_of_type(TASK)),
+        "artifacts": [
+            [artifact_id, graph.props(artifact_id).get("digest")]
+            for artifact_id in graph.nodes_of_type(ARTIFACT)],
+        "actors": list(graph.nodes_of_type(ACTOR)),
+        "depends_on": [list(edge)
+                       for edge in graph.edges_of_type(DEPENDS_ON)],
+        "node_counts": node_counts,
+        "edge_counts": edge_counts,
+    }
+    return corpus_digest(canonical_json(projection))
+
+
+# ---------------------------------------------------------------------------
+# ontology-flavored triples
+# ---------------------------------------------------------------------------
+def triples_records(env: DesignEnvironment) -> list[dict[str, Any]]:
+    """Subject/predicate/object lines for schema + history.
+
+    Timestamp-free and sorted, so the export of a seeded scenario run
+    is byte-identical across executors and backends.
+    """
+    triples: list[tuple[str, str, str]] = []
+    for entity in env.schema.entities():
+        subject = f"type:{entity.name}"
+        triples.append((subject, "rdf:type",
+                        "repro:ToolType" if entity.is_tool
+                        else "repro:DataType"))
+        if entity.parent:
+            triples.append((subject, "rdfs:subClassOf",
+                            f"type:{entity.parent}"))
+    for instance in env.db.instances():
+        subject = f"inst:{instance.instance_id}"
+        triples.append((subject, "rdf:type",
+                        f"type:{instance.entity_type}"))
+        triples.append((subject, "repro:digest",
+                        instance.data_ref or ""))
+        triples.append((subject, "repro:user", instance.user))
+        derivation = instance.derivation
+        if derivation is None:
+            continue
+        if derivation.tool is not None:
+            triples.append((subject, "repro:producedBy",
+                            f"inst:{derivation.tool}"))
+        for role, input_id in derivation.inputs:
+            triples.append((subject, "repro:derivedFrom",
+                            f"inst:{input_id}"))
+            triples.append((subject, f"repro:input/{role}",
+                            f"inst:{input_id}"))
+    return [{"s": s, "p": p, "o": o}
+            for s, p, o in sorted(triples)]
+
+
+def validate_triples(lines: Iterable[str | dict[str, Any]],
+                     env: DesignEnvironment) -> list[str]:
+    """Parse + count-consistency checks against the history database.
+
+    Returns a list of problems (empty = valid): every line must be an
+    ``{s, p, o}`` object and the per-predicate counts must match the
+    database — one ``rdf:type``/``repro:digest`` per instance, one
+    ``repro:producedBy`` per tool-derived instance, one
+    ``repro:derivedFrom`` (and one role-qualified ``repro:input/*``)
+    per derivation input pair.
+    """
+    problems: list[str] = []
+    counts: dict[str, int] = {}
+    for index, line in enumerate(lines):
+        record = json.loads(line) if isinstance(line, str) else line
+        if set(record) != {"s", "p", "o"}:
+            problems.append(
+                f"line {index}: not an s/p/o triple: {record!r}")
+            continue
+        predicate = record["p"]
+        key = ("repro:input/*" if predicate.startswith("repro:input/")
+               else predicate)
+        counts[key] = counts.get(key, 0) + 1
+    instances = list(env.db.instances())
+    derived = [instance for instance in instances
+               if instance.derivation is not None
+               and instance.derivation.tool is not None]
+    pairs = sum(len(instance.derivation.inputs)
+                for instance in instances
+                if instance.derivation is not None)
+    type_triples = counts.get("rdf:type", 0) - len(env.schema.entities())
+    expectations = (
+        ("rdf:type (instances)", type_triples, len(instances)),
+        ("repro:digest", counts.get("repro:digest", 0),
+         len(instances)),
+        ("repro:user", counts.get("repro:user", 0), len(instances)),
+        ("repro:producedBy", counts.get("repro:producedBy", 0),
+         len(derived)),
+        ("repro:derivedFrom", counts.get("repro:derivedFrom", 0),
+         pairs),
+        ("repro:input/*", counts.get("repro:input/*", 0), pairs),
+    )
+    for label, actual, expected in expectations:
+        if actual != expected:
+            problems.append(
+                f"{label}: {actual} triple(s), database expects "
+                f"{expected}")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# serialization helpers
+# ---------------------------------------------------------------------------
+def render_jsonl(records: Iterable[dict[str, Any]]) -> str:
+    """One canonical JSON object per line (sorted keys, no spaces)."""
+    text = "\n".join(canonical_json(record) for record in records)
+    return text + "\n" if text else ""
+
+
+def write_jsonl(records: Iterable[dict[str, Any]],
+                path: str | pathlib.Path) -> pathlib.Path:
+    target = pathlib.Path(path)
+    target.write_text(render_jsonl(records), encoding="utf-8")
+    return target
+
+
+def read_jsonl(path: str | pathlib.Path) -> list[dict[str, Any]]:
+    lines = pathlib.Path(path).read_text(encoding="utf-8").splitlines()
+    return [json.loads(line) for line in lines if line.strip()]

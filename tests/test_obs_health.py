@@ -36,12 +36,14 @@ def make_report(flow="f", durations=(0.02,), tool=S.SIMULATOR):
 def make_record(tool_mean=0.05, *, tool=S.SIMULATOR, flow="f",
                 executor="sequential", errors=0, error="",
                 cache_policy="off", cache_hits=0, cache_misses=0,
-                parallelism=1.0, run_id="", trace_id=""):
+                parallelism=1.0, pool_size=0, run_id="",
+                trace_id=""):
     return RunRecord(
         run_id=run_id or f"r{tool_mean}", timestamp=1.0, flow=flow,
         executor=executor, cache_policy=cache_policy,
         trace_id=trace_id, wall_time=tool_mean,
         serial_time=tool_mean * parallelism, parallelism=parallelism,
+        pool_size=pool_size,
         runs=1, created=1, cache_hits=cache_hits,
         cache_misses=cache_misses, errors=errors, error=error,
         tools={tool: ToolRunStats(1, 1, timer_stats_of([tool_mean]))})
@@ -236,6 +238,62 @@ class TestHealthChecks:
             make_record(0.1, executor="sequential", parallelism=1.0),
             peers, THRESHOLDS)
         assert other.verdict == OK  # different executor: no peers
+
+    def test_efficiency_drift_normalized_by_pool_size(self):
+        # same raw parallelism, but it took 4x the slots to get it:
+        # the worker-normalized gate must fail where raw drift passes
+        peers = [make_record(0.1, executor="procpool",
+                             parallelism=3.2, pool_size=4,
+                             run_id=f"p{i}") for i in range(3)]
+        bloated = check_parallelism_efficiency(
+            make_record(0.1, executor="procpool", parallelism=3.2,
+                        pool_size=16),
+            peers, THRESHOLDS)
+        assert bloated.verdict == FAIL
+        assert "efficiency" in bloated.detail
+        steady = check_parallelism_efficiency(
+            make_record(0.1, executor="procpool", parallelism=3.2,
+                        pool_size=4),
+            peers, THRESHOLDS)
+        assert steady.verdict == OK
+        assert "efficiency" in steady.detail
+
+    def test_efficiency_gate_needs_pool_size_on_the_wire(self):
+        # pre-PR-10 ledgers carry no pool_size: the normalized gate
+        # sits out and only raw drift can speak
+        peers = [make_record(0.1, executor="procpool",
+                             parallelism=3.2, run_id=f"p{i}")
+                 for i in range(3)]
+        legacy = check_parallelism_efficiency(
+            make_record(0.1, executor="procpool", parallelism=3.0,
+                        pool_size=16),
+            peers, THRESHOLDS)
+        assert legacy.verdict == OK
+        assert "efficiency" not in legacy.detail
+
+    def test_efficiency_floor_never_gates_serial_flows(self):
+        # a flow without parallel work has baseline efficiency under
+        # the floor; shrinking it further must not flake
+        peers = [make_record(0.1, executor="procpool",
+                             parallelism=2.0, pool_size=16,
+                             run_id=f"p{i}") for i in range(3)]
+        quiet = check_parallelism_efficiency(
+            make_record(0.1, executor="procpool", parallelism=1.8,
+                        pool_size=16),
+            peers, THRESHOLDS)
+        assert quiet.verdict == OK
+        assert "below gating floor" in quiet.detail
+
+    def test_pool_size_roundtrips_optionally(self):
+        record = make_record(0.1, executor="procpool",
+                             parallelism=3.0, pool_size=8)
+        spec = record.to_dict()
+        assert spec["pool_size"] == 8
+        assert RunRecord.from_dict(spec).pool_size == 8
+        assert "pool=8" in record.render()
+        legacy = make_record(0.1)
+        assert "pool_size" not in legacy.to_dict()
+        assert RunRecord.from_dict(legacy.to_dict()).pool_size == 0
 
     def test_evaluate_health_empty_and_exit_codes(self):
         empty = evaluate_health([])
